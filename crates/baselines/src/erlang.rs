@@ -1,0 +1,102 @@
+//! Erlang-B (M/G/c/c) loss probability — the classical single-resource
+//! anchor for circuit-switched blocking models.
+//!
+//! Computed with the standard numerically-stable recursion
+//! `B(0, ρ) = 1`, `B(c, ρ) = ρ·B(c−1, ρ) / (c + ρ·B(c−1, ρ))`,
+//! which never forms the huge factorial terms of the direct sum — the same
+//! trick in miniature that the paper's Algorithm 1 plays on the crossbar's
+//! two-dimensional normalisation constant.
+
+/// Erlang-B blocking probability for `servers` trunks offered `rho` Erlangs.
+pub fn erlang_b(servers: u32, rho: f64) -> f64 {
+    assert!(rho >= 0.0, "offered load must be non-negative");
+    let mut b = 1.0f64;
+    for c in 1..=servers {
+        b = rho * b / (c as f64 + rho * b);
+    }
+    b
+}
+
+/// Inverse problem: the offered load at which `servers` trunks reach the
+/// target blocking `b_target` (bisection; monotone in `rho`).
+pub fn erlang_b_load(servers: u32, b_target: f64) -> f64 {
+    assert!((0.0..1.0).contains(&b_target));
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while erlang_b(servers, hi) < b_target {
+        hi *= 2.0;
+        assert!(hi < 1e12, "target blocking unreachable");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if erlang_b(servers, mid) < b_target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct_sum(c: u32, rho: f64) -> f64 {
+        // B = (ρ^c/c!) / Σ_{k=0..c} ρ^k/k!  — fine for small c.
+        let mut term = 1.0;
+        let mut sum = 1.0;
+        for k in 1..=c {
+            term *= rho / k as f64;
+            sum += term;
+        }
+        term / sum
+    }
+
+    #[test]
+    fn recursion_matches_direct_sum() {
+        for &c in &[1u32, 2, 5, 10, 20] {
+            for &rho in &[0.1, 1.0, 5.0, 15.0] {
+                let a = erlang_b(c, rho);
+                let b = direct_sum(c, rho);
+                assert!((a - b).abs() < 1e-12, "c={c} rho={rho}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_values() {
+        // Classic engineering table entries.
+        assert!((erlang_b(1, 1.0) - 0.5).abs() < 1e-12);
+        assert!((erlang_b(2, 1.0) - 0.2).abs() < 1e-12);
+        // 10 trunks at 5 Erlang ≈ 1.84% blocking.
+        assert!((erlang_b(10, 5.0) - 0.0184).abs() < 2e-4);
+    }
+
+    #[test]
+    fn monotone_in_load_and_servers() {
+        assert!(erlang_b(5, 2.0) < erlang_b(5, 4.0));
+        assert!(erlang_b(10, 4.0) < erlang_b(5, 4.0));
+    }
+
+    #[test]
+    fn zero_load_never_blocks() {
+        assert_eq!(erlang_b(4, 0.0), 0.0);
+        assert_eq!(erlang_b(0, 2.0), 1.0); // no servers: always blocked
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for &(c, b) in &[(1u32, 0.1), (8, 0.005), (32, 0.01)] {
+            let rho = erlang_b_load(c, b);
+            assert!((erlang_b(c, rho) - b).abs() < 1e-9, "c={c}");
+        }
+    }
+
+    #[test]
+    fn huge_server_counts_stay_stable() {
+        // The naive factorial sum would overflow long before c = 1000.
+        let b = erlang_b(1000, 950.0);
+        assert!((0.0..1.0).contains(&b));
+        assert!(b > erlang_b(1000, 900.0));
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Baseline switch models the asynchronous crossbar is positioned against
+//! in the paper's introduction, plus a classical teletraffic anchor.
+//!
+//! * [`erlang`] — Erlang-B loss formula for a `c`-server trunk group: the
+//!   textbook sanity anchor (a `1 × 1` crossbar *is* `M/G/1/1`, and the
+//!   model's single-resource limits must agree with it).
+//! * [`slotted`] — the **synchronous (slotted) crossbar** the paper
+//!   explicitly contrasts its asynchronous model with (§2): per slot, each
+//!   input holds a request with probability `p` aimed at a uniform output;
+//!   each output grants one. Both the classical closed form
+//!   (Patel 1981, the paper's ref \[26\]) and a slotted simulator.
+//! * [`omega`] — an **Omega (shuffle-exchange) multistage interconnection
+//!   network** of `2 × 2` crossbars: the `O(N log N)` alternative whose
+//!   internal blocking motivates free-space optical crossbars (§1).
+//!   Circuit-switched, asynchronous, unique-path routing; simulation plus
+//!   the per-stage load-thinning approximation.
+
+pub mod erlang;
+pub mod omega;
+pub mod slotted;
+
+pub use erlang::{erlang_b, erlang_b_load};
+pub use omega::{omega_reduced_load, OmegaConfig, OmegaSim};
+pub use slotted::{slotted_acceptance, SlottedCrossbarSim};

@@ -1,0 +1,146 @@
+//! The synchronous (slotted) crossbar — the model the paper contrasts its
+//! asynchronous switch with (§2), analysed by Patel (the paper's ref \[26\]).
+//!
+//! Per slot, each of the `N1` inputs independently holds a request with
+//! probability `p`, addressed to a uniformly random output among `N2`.
+//! Each output grants exactly one of its contenders; the rest are dropped
+//! (the classical input-resubmission-free variant).
+//!
+//! Closed form: a given output receives no request with probability
+//! `(1 − p/N2)^{N1}`, so per-slot switch throughput is
+//! `N2·(1 − (1 − p/N2)^{N1})` and the per-request acceptance probability is
+//! that divided by the offered `N1·p`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Closed-form per-request acceptance probability of the slotted crossbar.
+pub fn slotted_acceptance(n1: u32, n2: u32, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    if p == 0.0 {
+        return 1.0;
+    }
+    let thr = n2 as f64 * (1.0 - (1.0 - p / n2 as f64).powi(n1 as i32));
+    thr / (n1 as f64 * p)
+}
+
+/// Closed-form normalised throughput (accepted requests per slot per
+/// output).
+pub fn slotted_throughput(n1: u32, n2: u32, p: f64) -> f64 {
+    1.0 - (1.0 - p / n2 as f64).powi(n1 as i32)
+}
+
+/// Monte-Carlo slotted crossbar, for validating the closed form and for
+/// head-to-head comparisons against the asynchronous simulator.
+pub struct SlottedCrossbarSim {
+    n1: u32,
+    n2: u32,
+    p: f64,
+    rng: StdRng,
+}
+
+/// Aggregate result of a slotted run.
+#[derive(Clone, Copy, Debug)]
+pub struct SlottedReport {
+    /// Requests generated.
+    pub offered: u64,
+    /// Requests granted.
+    pub accepted: u64,
+    /// Acceptance ratio.
+    pub acceptance: f64,
+    /// Mean accepted requests per output per slot.
+    pub throughput: f64,
+}
+
+impl SlottedCrossbarSim {
+    /// Build an `n1 × n2` slotted crossbar with per-input request
+    /// probability `p`.
+    pub fn new(n1: u32, n2: u32, p: f64, seed: u64) -> Self {
+        assert!(n1 >= 1 && n2 >= 1);
+        assert!((0.0..=1.0).contains(&p));
+        SlottedCrossbarSim {
+            n1,
+            n2,
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Simulate `slots` slots.
+    pub fn run(&mut self, slots: u64) -> SlottedReport {
+        let mut offered = 0u64;
+        let mut accepted = 0u64;
+        let mut contenders = vec![0u32; self.n2 as usize];
+        for _ in 0..slots {
+            contenders.fill(0);
+            for _ in 0..self.n1 {
+                if self.rng.gen::<f64>() < self.p {
+                    offered += 1;
+                    let out = self.rng.gen_range(0..self.n2 as usize);
+                    contenders[out] += 1;
+                }
+            }
+            accepted += contenders.iter().filter(|&&c| c > 0).count() as u64;
+        }
+        SlottedReport {
+            offered,
+            accepted,
+            acceptance: if offered > 0 {
+                accepted as f64 / offered as f64
+            } else {
+                1.0
+            },
+            throughput: accepted as f64 / (slots as f64 * self.n2 as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_limits() {
+        // p → 0: everything accepted.
+        assert!((slotted_acceptance(8, 8, 1e-9) - 1.0).abs() < 1e-6);
+        assert_eq!(slotted_acceptance(8, 8, 0.0), 1.0);
+        // Saturated square switch: Patel's classic 1 − (1−1/N)^N → 1 − 1/e.
+        let sat = slotted_throughput(64, 64, 1.0);
+        assert!((sat - (1.0 - (1.0f64 - 1.0 / 64.0).powi(64))).abs() < 1e-12);
+        assert!((sat - 0.6346).abs() < 5e-3);
+    }
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        for &(n1, n2, p) in &[(4u32, 4u32, 0.3f64), (8, 8, 0.7), (16, 8, 0.2)] {
+            let mut sim = SlottedCrossbarSim::new(n1, n2, p, 9);
+            let rep = sim.run(200_000);
+            let want = slotted_acceptance(n1, n2, p);
+            assert!(
+                (rep.acceptance - want).abs() < 0.005,
+                "{n1}x{n2} p={p}: sim {} vs formula {want}",
+                rep.acceptance
+            );
+            let want_thr = slotted_throughput(n1, n2, p);
+            assert!((rep.throughput - want_thr).abs() < 0.005);
+        }
+    }
+
+    #[test]
+    fn acceptance_decreases_with_load() {
+        assert!(slotted_acceptance(8, 8, 0.9) < slotted_acceptance(8, 8, 0.1));
+    }
+
+    #[test]
+    fn rectangular_more_outputs_helps() {
+        assert!(slotted_acceptance(8, 16, 0.8) > slotted_acceptance(8, 8, 0.8));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SlottedCrossbarSim::new(8, 8, 0.5, 3).run(10_000);
+        let b = SlottedCrossbarSim::new(8, 8, 0.5, 3).run(10_000);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.accepted, b.accepted);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cost of the beyond-the-paper analyses: occupancy convolution with
+//! marginals (Algorithm 3 extras), the reduced-load approximation, the
+//! transient uniformisation, and the trunk-reservation chain solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xbar_bench::{mixed_model, table2_model};
+use xbar_core::alg3::Convolution;
+use xbar_core::approx::reduced_load;
+use xbar_core::policy::solve_policy;
+use xbar_core::sensitivity::sensitivity;
+use xbar_core::transient::Transient;
+use xbar_core::Algorithm;
+
+/// Shared quick profile: the regeneration costs here are seconds-scale,
+/// so short measurement windows already give stable estimates and keep
+/// `cargo bench --workspace` inside a coffee break.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_convolution_extras(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convolution_extras");
+    for n in [32u32, 128, 256] {
+        let model = table2_model(n);
+        g.bench_with_input(BenchmarkId::new("solve", n), &model, |b, m| {
+            b.iter(|| black_box(Convolution::solve(m).g_at(n as i64, n as i64)))
+        });
+        let conv = Convolution::solve(&model);
+        g.bench_with_input(BenchmarkId::new("marginal", n), &conv, |b, conv| {
+            b.iter(|| black_box(conv.class_marginal(1).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("occupancy", n), &conv, |b, conv| {
+            b.iter(|| black_box(conv.occupancy_distribution().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduced_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduced_load");
+    for n in [16u32, 256] {
+        let model = table2_model(n);
+        g.bench_with_input(BenchmarkId::new("fixed_point", n), &model, |b, m| {
+            b.iter(|| black_box(reduced_load(m).blocking(0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transient");
+    g.sample_size(10);
+    let model = mixed_model(6);
+    let tr = Transient::new(&model);
+    g.bench_function("distribution_t10", |b| {
+        b.iter(|| black_box(tr.distribution(10.0).len()))
+    });
+    g.bench_function("build_chain_n6", |b| {
+        b.iter(|| black_box(Transient::new(&model).state_count()))
+    });
+    g.finish();
+}
+
+fn bench_policy_and_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    g.sample_size(10);
+    let model = mixed_model(6);
+    g.bench_function("trunk_reservation_n6", |b| {
+        b.iter(|| black_box(solve_policy(&model, &[0, 1, 0, 2]).revenue))
+    });
+    let small = table2_model(16);
+    g.bench_function("sensitivity_matrix_n16", |b| {
+        b.iter(|| black_box(sensitivity(&small, Algorithm::Alg1F64).unwrap().revenue_by_rho[0]))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets =
+    bench_convolution_extras,
+    bench_reduced_load,
+    bench_transient,
+    bench_policy_and_sensitivity
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Regeneration cost of each figure of the paper: one benchmark per
+//! figure, measuring the single-cell solve at the figure's largest size
+//! and (at a reduced sample count) the full sweep that the corresponding
+//! `xbar-experiments` binary runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xbar_experiments::{fig1, fig2, fig3, fig4};
+
+/// Shared quick profile: the regeneration costs here are seconds-scale,
+/// so short measurement windows already give stable estimates and keep
+/// `cargo bench --workspace` inside a coffee break.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    for n in [16u32, 64, 128] {
+        g.bench_with_input(BenchmarkId::new("cell", n), &n, |b, &n| {
+            b.iter(|| black_box(fig1::blocking_at(n, -4.0e-6)))
+        });
+    }
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| b.iter(|| black_box(fig1::rows().len())));
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    for n in [16u32, 128] {
+        g.bench_with_input(BenchmarkId::new("cell_fixed_beta", n), &n, |b, &n| {
+            b.iter(|| black_box(fig2::blocking_fixed_beta(n, 1.2e-3)))
+        });
+        g.bench_with_input(BenchmarkId::new("cell_fixed_z", n), &n, |b, &n| {
+            b.iter(|| black_box(fig2::blocking_fixed_z(n, 2.0)))
+        });
+    }
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| b.iter(|| black_box(fig2::rows().len())));
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("cell_mixed_n128", |b| {
+        b.iter(|| black_box(fig3::blocking_at(true, 128, 1.2e-3)))
+    });
+    g.sample_size(10);
+    g.bench_function("full_sweep", |b| b.iter(|| black_box(fig3::rows().len())));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("cell_a2_n64", |b| {
+        let (_, rho2) = fig4::table1_loads(64);
+        b.iter(|| black_box(fig4::blocking_single_class(64, 2, rho2)))
+    });
+    g.bench_function("full_sweep_and_table1", |b| {
+        b.iter(|| black_box(fig4::rows().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_fig1, bench_fig2, bench_fig3, bench_fig4);
+criterion_main!(benches);

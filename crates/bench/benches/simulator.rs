@@ -1,0 +1,113 @@
+//! Throughput of the simulation substrates (events per wall-second) and
+//! the regeneration cost of the three validation experiments — the
+//! figure-of-merit that decides how tight the CIs in Validations A–C can
+//! be for a given time budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use xbar_baselines::omega::{OmegaConfig, OmegaSim};
+use xbar_baselines::slotted::SlottedCrossbarSim;
+use xbar_sim::{CrossbarSim, RunConfig, ServiceDist, SimConfig};
+use xbar_traffic::TrafficClass;
+
+/// Shared quick profile: the regeneration costs here are seconds-scale,
+/// so short measurement windows already give stable estimates and keep
+/// `cargo bench --workspace` inside a coffee break.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_crossbar_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossbar_sim");
+    g.sample_size(10);
+    for n in [8u32, 32] {
+        // Moderate load: arrival rate scales with N², fix expected events.
+        let lambda = 0.5 / n as f64;
+        let duration = 2_000.0 / n as f64;
+        g.throughput(Throughput::Elements((duration * n as f64) as u64));
+        g.bench_with_input(BenchmarkId::new("poisson", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg =
+                    SimConfig::new(n, n).with_exp_class(TrafficClass::poisson(lambda));
+                let mut sim = CrossbarSim::new(cfg, 1);
+                black_box(
+                    sim.run(RunConfig {
+                        warmup: 0.0,
+                        duration,
+                        batches: 5,
+                    })
+                    .events,
+                )
+            })
+        });
+    }
+    // Multi-class with BPP state dependence (rate refresh on every event).
+    g.bench_function("bpp_multiclass_n16", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::new(16, 16)
+                .with_exp_class(TrafficClass::poisson(0.02))
+                .with_exp_class(TrafficClass::bpp(0.01, 0.005, 1.0))
+                .with_exp_class(TrafficClass::poisson(0.005).with_bandwidth(2));
+            let mut sim = CrossbarSim::new(cfg, 2);
+            black_box(
+                sim.run(RunConfig {
+                    warmup: 0.0,
+                    duration: 100.0,
+                    batches: 5,
+                })
+                .events,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_baseline_sims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_sims");
+    g.sample_size(10);
+    g.bench_function("slotted_crossbar_16x16", |b| {
+        b.iter(|| {
+            let mut sim = SlottedCrossbarSim::new(16, 16, 0.5, 3);
+            black_box(sim.run(20_000).accepted)
+        })
+    });
+    g.bench_function("omega_min_16", |b| {
+        b.iter(|| {
+            let mut sim = OmegaSim::new(
+                OmegaConfig {
+                    stages: 4,
+                    lambda: 0.01,
+                    service: ServiceDist::Exponential { mean: 1.0 },
+                },
+                3,
+            );
+            black_box(sim.run(0.0, 500.0, 5).offered)
+        })
+    });
+    g.finish();
+}
+
+fn bench_validations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validations");
+    g.sample_size(10);
+    g.bench_function("validate_sim_short", |b| {
+        b.iter(|| black_box(xbar_experiments::validate_sim::rows(2_000.0, 1).len()))
+    });
+    g.bench_function("insensitivity_short", |b| {
+        b.iter(|| black_box(xbar_experiments::insensitivity::rows(2_000.0, 1).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets =
+    bench_crossbar_sim,
+    bench_baseline_sims,
+    bench_validations
+);
+criterion_main!(benches);

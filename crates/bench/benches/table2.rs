@@ -1,0 +1,40 @@
+//! Regeneration cost of Table 2: the single most expensive analytic
+//! artefact (three parameter sets × nine sizes up to 256, each with a
+//! forward-difference gradient that re-solves the lattice twice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xbar_experiments::table2;
+
+/// Shared quick profile: the regeneration costs here are seconds-scale,
+/// so short measurement windows already give stable estimates and keep
+/// `cargo bench --workspace` inside a coffee break.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    for n in [16u32, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("row", n), &n, |b, &n| {
+            b.iter(|| black_box(table2::row(table2::SETS[0], n).revenue))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_full");
+    g.sample_size(10);
+    g.bench_function("all_rows", |b| b.iter(|| black_box(table2::rows().len())));
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_cells, bench_full_table);
+criterion_main!(benches);

@@ -1,0 +1,518 @@
+//! **Algorithm 1** of the paper: the `O(N1·N2·R)` lattice recursion on the
+//! normalised constant `Q(N) = G(N)/(N1!·N2!)` (paper eq. 8–10), with the
+//! auxiliary `V`-recursion (eq. 9) folding the geometric tail of each bursty
+//! class into constant work per lattice point.
+//!
+//! Sweeping the lattice row-major and applying the `i = 1` recurrence (and
+//! the `i = 2` recurrence along the `n1 = 0` column):
+//!
+//! ```text
+//! Q(n1, n2) = [ Q(n1−1, n2)
+//!             + Σ_{r∈R1} a_r·ρ_r·Q(n1−a_r, n2−a_r)
+//!             + Σ_{r∈R2} a_r·ρ_r·V_r(n1, n2) ] / n1
+//! V_r(n1, n2) = Q(n1−a_r, n2−a_r) + (β_r/μ_r)·V_r(n1−a_r, n2−a_r)
+//! ```
+//!
+//! with `Q(0,0) = 1` and `Q ≡ 0` at any negative coordinate.
+//!
+//! # Numeric backends
+//!
+//! `Q(n1, n2) ≈ G/(n1!·n2!)` underflows `f64` well before the paper's
+//! largest evaluation size even though all the performance measures —
+//! ratios of nearby `Q` values — are perfectly tame. Three backends are
+//! provided:
+//!
+//! * [`QLattice<f64>`] — plain doubles; fastest; valid while no cell
+//!   underflows. The solver's `Auto` mode uses it in the paper's
+//!   "Algorithm 1 for `N ≤ 32`" regime.
+//! * [`QLattice<ExtFloat>`] — extended-range floats; works at any size the
+//!   lattice fits in memory; the reference fast backend.
+//! * [`ScaledQLattice`] — the paper's §6 *dynamic scaling*, realised as a
+//!   deterministic geometric schedule `Q̂(n) = Q(n)·c^(n1+n2)` with
+//!   `ln c = ln(max(N1,N2)) − 1`. A single *reactive* scalar `ω` (scaling
+//!   every stored cell when one nears underflow, as §6 literally suggests)
+//!   cannot work at `N = 256`: the spread between `Q(0,0) = 1` and
+//!   `Q(256,256) ≈ 10^-1014` exceeds the `f64` exponent range on its own.
+//!   The geometric schedule keeps the whole lattice in range for every size
+//!   the paper evaluates (by Stirling, the residual
+//!   `ln Q̂ ≈ −2·n·(ln n − ln N_max)` peaks near `2N/e`, about `e^±190` at
+//!   `N = 256`), at the cost of one extra multiply per term — the
+//!   "constant factor" §6 mentions. Ratios of `Q̂` cells recover ratios of
+//!   `Q` exactly, so the measures are unaffected, which is §6's point.
+
+use xbar_numeric::ExtFloat;
+
+use crate::model::{Dims, Model};
+
+/// Scalar arithmetic needed by the `Q`-recursion.
+pub trait QScalar: Copy {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `self + other`.
+    fn add(self, other: Self) -> Self;
+    /// `self · x` for an `f64` coefficient.
+    fn scale(self, x: f64) -> Self;
+    /// `self / den` as an `f64` (the form every measure takes).
+    fn ratio_to(self, den: Self) -> f64;
+    /// `true` iff the value is exactly zero (used by health checks).
+    fn is_zero(self) -> bool;
+}
+
+impl QScalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    fn scale(self, x: f64) -> Self {
+        self * x
+    }
+    fn ratio_to(self, den: Self) -> f64 {
+        self / den
+    }
+    fn is_zero(self) -> bool {
+        self == 0.0
+    }
+}
+
+impl QScalar for ExtFloat {
+    fn zero() -> Self {
+        ExtFloat::ZERO
+    }
+    fn one() -> Self {
+        ExtFloat::ONE
+    }
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    fn scale(self, x: f64) -> Self {
+        self * x
+    }
+    fn ratio_to(self, den: Self) -> f64 {
+        self.ratio(den)
+    }
+    fn is_zero(self) -> bool {
+        ExtFloat::is_zero(self)
+    }
+}
+
+/// Access to ratios `Q(num)/Q(den)` of normalisation constants — the
+/// interface through which every performance measure reads a solved lattice
+/// (Algorithm 1 in any backend, or Algorithm 2's ratio form).
+pub trait QRatio {
+    /// The largest dims this lattice was solved for.
+    fn dims(&self) -> Dims;
+
+    /// `Q(num)/Q(den)`. A negative coordinate in `num` means `Q(num) = 0`
+    /// so the ratio is 0. `den` must be a valid lattice point.
+    fn q_ratio(&self, num: (i64, i64), den: (i64, i64)) -> f64;
+}
+
+/// Solved `Q` lattice over `[0..=N1] × [0..=N2]` in scalar type `S`.
+#[derive(Clone, Debug)]
+pub struct QLattice<S> {
+    dims: Dims,
+    /// Row-major `(N1+1) × (N2+1)`.
+    q: Vec<S>,
+}
+
+impl<S: QScalar> QLattice<S> {
+    /// Run Algorithm 1 for `model`.
+    pub fn solve(model: &Model) -> Self {
+        let dims = model.dims();
+        let (n1, n2) = (dims.n1 as usize, dims.n2 as usize);
+        let cols = n2 + 1;
+        let classes = model.workload().classes();
+
+        struct PoissonTerm {
+            a: i64,
+            a_rho: f64,
+        }
+        struct BurstyTerm {
+            a: i64,
+            a_rho: f64,
+            beta_over_mu: f64,
+        }
+        let mut poisson = Vec::new();
+        let mut bursty = Vec::new();
+        for c in classes {
+            let a = c.bandwidth as i64;
+            let a_rho = a as f64 * c.rho();
+            if c.is_poisson() {
+                poisson.push(PoissonTerm { a, a_rho });
+            } else {
+                bursty.push(BurstyTerm {
+                    a,
+                    a_rho,
+                    beta_over_mu: c.beta / c.mu,
+                });
+            }
+        }
+
+        let mut q = vec![S::zero(); (n1 + 1) * cols];
+        // One V lattice per bursty class.
+        let mut v: Vec<Vec<S>> = vec![vec![S::zero(); (n1 + 1) * cols]; bursty.len()];
+
+        let at = |i1: i64, i2: i64| -> usize { i1 as usize * cols + i2 as usize };
+        let get = |buf: &[S], i1: i64, i2: i64| -> S {
+            if i1 < 0 || i2 < 0 {
+                S::zero()
+            } else {
+                buf[i1 as usize * cols + i2 as usize]
+            }
+        };
+
+        q[0] = S::one();
+        for i1 in 0..=n1 as i64 {
+            for i2 in 0..=n2 as i64 {
+                // V_r(i1, i2) first — it only reads strictly smaller points.
+                for (j, b) in bursty.iter().enumerate() {
+                    let val = get(&q, i1 - b.a, i2 - b.a)
+                        .add(get(&v[j], i1 - b.a, i2 - b.a).scale(b.beta_over_mu));
+                    v[j][at(i1, i2)] = val;
+                }
+                if i1 == 0 && i2 == 0 {
+                    continue;
+                }
+                // The i = 1 recurrence when possible, i = 2 on the n1 = 0
+                // column (both derive from paper eq. 8; a consistency test
+                // below checks they agree).
+                let (prev, divisor) = if i1 >= 1 {
+                    (get(&q, i1 - 1, i2), i1 as f64)
+                } else {
+                    (get(&q, i1, i2 - 1), i2 as f64)
+                };
+                let mut acc = prev;
+                for p in &poisson {
+                    acc = acc.add(get(&q, i1 - p.a, i2 - p.a).scale(p.a_rho));
+                }
+                for (j, b) in bursty.iter().enumerate() {
+                    acc = acc.add(v[j][at(i1, i2)].scale(b.a_rho));
+                }
+                q[at(i1, i2)] = acc.scale(1.0 / divisor);
+            }
+        }
+
+        QLattice { dims, q }
+    }
+
+    /// Raw `Q(i1, i2)` (zero outside the non-negative quadrant).
+    pub fn q(&self, i1: i64, i2: i64) -> S {
+        if i1 < 0 || i2 < 0 {
+            S::zero()
+        } else {
+            assert!(
+                i1 <= self.dims.n1 as i64 && i2 <= self.dims.n2 as i64,
+                "Q({i1},{i2}) outside solved lattice {}",
+                self.dims
+            );
+            self.q[i1 as usize * (self.dims.n2 as usize + 1) + i2 as usize]
+        }
+    }
+
+    /// `true` iff every lattice cell is a usable (nonzero) value — the
+    /// plain-`f64` backend loses cells to underflow on large switches, and
+    /// the solver uses this to detect that.
+    pub fn is_healthy(&self) -> bool {
+        !self.q.iter().any(|x| x.is_zero())
+    }
+}
+
+impl<S: QScalar> QRatio for QLattice<S> {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn q_ratio(&self, num: (i64, i64), den: (i64, i64)) -> f64 {
+        if num.0 < 0 || num.1 < 0 {
+            return 0.0;
+        }
+        self.q(num.0, num.1).ratio_to(self.q(den.0, den.1))
+    }
+}
+
+/// Algorithm 1 under the paper's §6 dynamic scaling, realised as the
+/// deterministic geometric schedule described in the module docs:
+/// each stored cell is `Q̂(n) = Q(n)·c^(n1+n2)`.
+///
+/// Scaled recurrence (`ĉ2a = c^{2a_r}`):
+///
+/// ```text
+/// V̂_r(n)  = ĉ2a·( Q̂(n−a_rI) + (β_r/μ_r)·V̂_r(n−a_rI) )
+/// Q̂(n)    = [ c·Q̂(n−1_1) + Σ_{R1} a_r·ρ_r·ĉ2a·Q̂(n−a_rI)
+///                          + Σ_{R2} a_r·ρ_r·V̂_r(n) ] / n1
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScaledQLattice {
+    dims: Dims,
+    /// `ln c` — the per-coordinate scaling exponent.
+    ln_c: f64,
+    qhat: Vec<f64>,
+}
+
+impl ScaledQLattice {
+    /// Run Algorithm 1 with scaling for `model`.
+    pub fn solve(model: &Model) -> Self {
+        let dims = model.dims();
+        let (n1, n2) = (dims.n1 as usize, dims.n2 as usize);
+        let cols = n2 + 1;
+        // ln c = ln(Nmax) − 1 flattens the factorial decay (Stirling);
+        // clamp at 0 so tiny switches are simply unscaled.
+        let ln_c = ((dims.max_n() as f64).ln() - 1.0).max(0.0);
+        let c = ln_c.exp();
+
+        struct Term {
+            a: i64,
+            a_rho: f64,
+            c2a: f64,
+            beta_over_mu: f64,
+            poisson: bool,
+        }
+        let terms: Vec<Term> = model
+            .workload()
+            .classes()
+            .iter()
+            .map(|cl| {
+                let a = cl.bandwidth as i64;
+                Term {
+                    a,
+                    a_rho: a as f64 * cl.rho(),
+                    c2a: (2.0 * a as f64 * ln_c).exp(),
+                    beta_over_mu: cl.beta / cl.mu,
+                    poisson: cl.is_poisson(),
+                }
+            })
+            .collect();
+        let n_bursty = terms.iter().filter(|t| !t.poisson).count();
+
+        let mut qhat = vec![0.0f64; (n1 + 1) * cols];
+        let mut v: Vec<Vec<f64>> = vec![vec![0.0; (n1 + 1) * cols]; n_bursty];
+        let at = |i1: i64, i2: i64| -> usize { i1 as usize * cols + i2 as usize };
+        let get = |buf: &[f64], i1: i64, i2: i64| -> f64 {
+            if i1 < 0 || i2 < 0 {
+                0.0
+            } else {
+                buf[i1 as usize * cols + i2 as usize]
+            }
+        };
+
+        qhat[0] = 1.0;
+        for i1 in 0..=n1 as i64 {
+            for i2 in 0..=n2 as i64 {
+                let mut j = 0usize;
+                for t in terms.iter().filter(|t| !t.poisson) {
+                    v[j][at(i1, i2)] = t.c2a
+                        * (get(&qhat, i1 - t.a, i2 - t.a)
+                            + t.beta_over_mu * get(&v[j], i1 - t.a, i2 - t.a));
+                    j += 1;
+                }
+                if i1 == 0 && i2 == 0 {
+                    continue;
+                }
+                let (prev, divisor) = if i1 >= 1 {
+                    (get(&qhat, i1 - 1, i2) * c, i1 as f64)
+                } else {
+                    (get(&qhat, i1, i2 - 1) * c, i2 as f64)
+                };
+                let mut acc = prev;
+                let mut j = 0usize;
+                for t in &terms {
+                    if t.poisson {
+                        acc += t.a_rho * t.c2a * get(&qhat, i1 - t.a, i2 - t.a);
+                    } else {
+                        acc += t.a_rho * v[j][at(i1, i2)];
+                        j += 1;
+                    }
+                }
+                qhat[at(i1, i2)] = acc / divisor;
+            }
+        }
+
+        ScaledQLattice { dims, ln_c, qhat }
+    }
+
+    /// The scaling exponent `ln c` in use (diagnostic).
+    pub fn ln_scale(&self) -> f64 {
+        self.ln_c
+    }
+
+    fn qhat(&self, i1: i64, i2: i64) -> f64 {
+        if i1 < 0 || i2 < 0 {
+            0.0
+        } else {
+            assert!(
+                i1 <= self.dims.n1 as i64 && i2 <= self.dims.n2 as i64,
+                "Q({i1},{i2}) outside solved lattice {}",
+                self.dims
+            );
+            self.qhat[i1 as usize * (self.dims.n2 as usize + 1) + i2 as usize]
+        }
+    }
+
+    /// `true` iff no cell under- or overflowed.
+    pub fn is_healthy(&self) -> bool {
+        self.qhat.iter().all(|x| x.is_finite() && *x > 0.0)
+    }
+}
+
+impl QRatio for ScaledQLattice {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn q_ratio(&self, num: (i64, i64), den: (i64, i64)) -> f64 {
+        if num.0 < 0 || num.1 < 0 {
+            return 0.0;
+        }
+        // Q(num)/Q(den) = Q̂(num)/Q̂(den) · c^{(den1+den2) − (num1+num2)}.
+        let shift = (den.0 + den.1 - num.0 - num.1) as f64;
+        self.qhat(num.0, num.1) / self.qhat(den.0, den.1) * (shift * self.ln_c).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::Brute;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+    }
+
+    fn mixed_model(n1: u32, n2: u32) -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.3))
+            .with(TrafficClass::bpp(0.2, 0.08, 1.0))
+            .with(TrafficClass::poisson(0.15).with_bandwidth(2))
+            .with(TrafficClass::bpp(0.1, 0.05, 2.0).with_bandwidth(2));
+        Model::new(Dims::new(n1, n2), w).unwrap()
+    }
+
+    #[test]
+    fn lattice_matches_brute_force_q_everywhere() {
+        let m = mixed_model(6, 5);
+        let lat: QLattice<f64> = QLattice::solve(&m);
+        let brute = Brute::new(&m);
+        for i1 in 0..=6i64 {
+            for i2 in 0..=5i64 {
+                let expect = brute.q(Dims::new(i1 as u32, i2 as u32)).to_f64();
+                close(lat.q(i1, i2), expect, 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn extfloat_backend_matches_f64_backend() {
+        let m = mixed_model(7, 7);
+        let a: QLattice<f64> = QLattice::solve(&m);
+        let b: QLattice<ExtFloat> = QLattice::solve(&m);
+        for i1 in 0..=7i64 {
+            for i2 in 0..=7i64 {
+                close(a.q(i1, i2), b.q(i1, i2).to_f64(), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_backend_ratios_match_f64_backend() {
+        let m = mixed_model(8, 6);
+        let plain: QLattice<f64> = QLattice::solve(&m);
+        let scaled = ScaledQLattice::solve(&m);
+        assert!(scaled.is_healthy());
+        let den = (8i64, 6i64);
+        for i1 in 0..=8i64 {
+            for i2 in 0..=6i64 {
+                close(
+                    scaled.q_ratio((i1, i2), den),
+                    plain.q_ratio((i1, i2), den),
+                    1e-9,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f64_backend_underflows_large_switch_but_ext_survives() {
+        let w = Workload::new().with(TrafficClass::poisson(0.0012 / 128.0));
+        let m = Model::new(Dims::square(128), w).unwrap();
+        let plain: QLattice<f64> = QLattice::solve(&m);
+        assert!(!plain.is_healthy(), "expected f64 underflow at N=128");
+        let ext: QLattice<ExtFloat> = QLattice::solve(&m);
+        assert!(ext.is_healthy());
+        // Q(127,127)/Q(128,128) is huge but finite.
+        let r = ext.q_ratio((127, 127), (128, 128));
+        assert!(r.is_finite() && r > 1.0);
+    }
+
+    #[test]
+    fn scaled_backend_survives_n256() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.0012 / 256.0))
+            .with(TrafficClass::bpp(0.0012 / 256.0, 0.0012 / 256.0, 1.0));
+        let m = Model::new(Dims::square(256), w).unwrap();
+        let scaled = ScaledQLattice::solve(&m);
+        assert!(scaled.is_healthy(), "scaled backend lost cells at N=256");
+        let ext: QLattice<ExtFloat> = QLattice::solve(&m);
+        let den = (256i64, 256i64);
+        // (Ratios to far-away cells like Q(0,0)/Q(256,256) ≈ e^2335 exceed
+        // f64 as plain numbers; the measures only ever need nearby cells.)
+        for &p in &[(255i64, 255i64), (250, 250), (200, 256), (240, 240)] {
+            close(scaled.q_ratio(p, den), ext.q_ratio(p, den), 1e-6);
+        }
+    }
+
+    #[test]
+    fn q_ratio_zero_for_negative_numerator() {
+        let m = mixed_model(4, 4);
+        let lat: QLattice<f64> = QLattice::solve(&m);
+        assert_eq!(lat.q_ratio((-1, 2), (4, 4)), 0.0);
+        assert_eq!(lat.q_ratio((2, -2), (4, 4)), 0.0);
+    }
+
+    #[test]
+    fn boundary_rows_are_inverse_factorials() {
+        // Q(0, n) = Q(n, 0) = 1/n! (only the empty state fits) —
+        // exercises the i = 2 branch against the i = 1 branch.
+        let m = mixed_model(5, 5);
+        let lat: QLattice<f64> = QLattice::solve(&m);
+        let mut fact = 1.0;
+        for n in 0..=5i64 {
+            if n > 0 {
+                fact *= n as f64;
+            }
+            close(lat.q(0, n), 1.0 / fact, 1e-13);
+            close(lat.q(n, 0), 1.0 / fact, 1e-13);
+        }
+    }
+
+    #[test]
+    fn transpose_symmetry() {
+        // Q is symmetric under swapping (N1, N2) when the workload is held
+        // in per-set parameters: G(N1,N2) = G(N2,N1) by symmetry of Ψ.
+        let m = mixed_model(6, 4);
+        let mt = mixed_model(4, 6);
+        let a: QLattice<f64> = QLattice::solve(&m);
+        let b: QLattice<f64> = QLattice::solve(&mt);
+        for i1 in 0..=6i64 {
+            for i2 in 0..=4i64 {
+                close(a.q(i1, i2), b.q(i2, i1), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside solved lattice")]
+    fn out_of_range_access_panics() {
+        let m = mixed_model(3, 3);
+        let lat: QLattice<f64> = QLattice::solve(&m);
+        let _ = lat.q(4, 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! **Algorithm 2** of the paper (§5.1): mean-value analysis directly on the
+//! normalisation-constant *ratios*
+//!
+//! ```text
+//! F_i(N) = Q(N − 1_i)/Q(N),            i ∈ {1, 2}
+//! H_r(N) = Q(N − a_r·I)/Q(N)           (a staircase product of F's)
+//! D_r(N) = Σ_{m≥0} (β_r/μ_r)^m · Q(N − m·a_r·I)/Q(N)
+//! ```
+//!
+//! whose values stay `O(N)` — this is the paper's numerically-stable
+//! alternative to recursing on `Q` itself, at the cost of `O(R)` extra
+//! lattices ("substantially more space", §5.1).
+//!
+//! The printed Step 1/Step 2 of Algorithm 2 are garbled (self-contradictory
+//! `F_i(0)` initialisation, missing parentheses, and eq. 19 does not satisfy
+//! its own definition eq. 17 — see DESIGN.md). The sweep below is re-derived
+//! from eq. 16; each lattice point `(n1, n2)` with `n1, n2 ≥ 1` uses
+//!
+//! ```text
+//! F_1(n) = n1 / (1 + Σ_{R1} a·ρ·L_1r(n) + Σ_{R2} a·ρ·L_1r(n)·D_r(n − a·I))
+//! L_1r(n) = Q(n − a·I)/Q(n − 1_1)      (staircase product, zero if n − a·I
+//!                                       leaves the quadrant)
+//! D_r(n) = 1 + (β/μ)·H_r(n)·D_r(n − a·I)        (corrected eq. 19)
+//! ```
+//!
+//! with boundaries `F_1(n1, 0) = n1`, `F_2(0, n2) = n2`,
+//! `F_i = 0` where `N − 1_i` leaves the quadrant, and `D_r = 1` wherever
+//! `n − a·I` does. All of it is validated against Algorithm 1 and brute
+//! force in the tests.
+
+use crate::alg1::QRatio;
+use crate::model::{Dims, Model};
+
+/// Solved mean-value lattices for a model.
+#[derive(Clone, Debug)]
+pub struct Mva {
+    dims: Dims,
+    cols: usize,
+    f1: Vec<f64>,
+    f2: Vec<f64>,
+}
+
+impl Mva {
+    /// Run Algorithm 2 for `model`.
+    pub fn solve(model: &Model) -> Self {
+        let dims = model.dims();
+        let (n1, n2) = (dims.n1 as i64, dims.n2 as i64);
+        let cols = dims.n2 as usize + 1;
+        let size = (dims.n1 as usize + 1) * cols;
+
+        struct Term {
+            a: i64,
+            a_rho: f64,
+            beta_over_mu: f64, // 0 for Poisson: D ≡ 1 and the sums merge
+            bursty_index: usize,
+        }
+        let mut terms = Vec::new();
+        let mut n_bursty = 0usize;
+        for c in model.workload().classes() {
+            let bursty_index = if c.is_poisson() {
+                usize::MAX
+            } else {
+                n_bursty += 1;
+                n_bursty - 1
+            };
+            terms.push(Term {
+                a: c.bandwidth as i64,
+                a_rho: c.bandwidth as f64 * c.rho(),
+                beta_over_mu: c.beta / c.mu,
+                bursty_index,
+            });
+        }
+
+        let mut f1 = vec![0.0f64; size];
+        let mut f2 = vec![0.0f64; size];
+        let mut d: Vec<Vec<f64>> = vec![vec![1.0; size]; n_bursty];
+        let at = |i1: i64, i2: i64| -> usize { i1 as usize * cols + i2 as usize };
+
+        // Q(num)/Q(den) on the partially-built lattice, for num ≤ den
+        // componentwise (telescoping staircase of F's).
+        let ratio = |f1: &[f64], f2: &[f64], num: (i64, i64), den: (i64, i64)| -> f64 {
+            if num.0 < 0 || num.1 < 0 {
+                return 0.0;
+            }
+            debug_assert!(num.0 <= den.0 && num.1 <= den.1);
+            let mut acc = 1.0;
+            for x in (num.0 + 1)..=den.0 {
+                acc *= f1[at(x, den.1)];
+            }
+            for y in (num.1 + 1)..=den.1 {
+                acc *= f2[at(num.0, y)];
+            }
+            acc
+        };
+
+        for i1 in 0..=n1 {
+            for i2 in 0..=n2 {
+                // --- F values ---
+                if i1 >= 1 {
+                    if i2 == 0 {
+                        f1[at(i1, 0)] = i1 as f64; // Q(n1−1,0)/Q(n1,0) = n1
+                    } else {
+                        let mut denom = 1.0;
+                        for t in &terms {
+                            // L_1r = Q(i1−a, i2−a)/Q(i1−1, i2).
+                            let l = if i1 - t.a < 0 || i2 - t.a < 0 {
+                                0.0
+                            } else {
+                                ratio(&f1, &f2, (i1 - t.a, i2 - t.a), (i1 - 1, i2))
+                            };
+                            let dcoef = if t.bursty_index == usize::MAX || l == 0.0 {
+                                1.0
+                            } else {
+                                d[t.bursty_index][at(i1 - t.a, i2 - t.a)]
+                            };
+                            denom += t.a_rho * l * dcoef;
+                        }
+                        f1[at(i1, i2)] = i1 as f64 / denom;
+                    }
+                }
+                if i2 >= 1 {
+                    if i1 == 0 {
+                        f2[at(0, i2)] = i2 as f64;
+                    } else {
+                        let mut denom = 1.0;
+                        for t in &terms {
+                            // L_2r = Q(i1−a, i2−a)/Q(i1, i2−1).
+                            let l = if i1 - t.a < 0 || i2 - t.a < 0 {
+                                0.0
+                            } else {
+                                ratio(&f1, &f2, (i1 - t.a, i2 - t.a), (i1, i2 - 1))
+                            };
+                            let dcoef = if t.bursty_index == usize::MAX || l == 0.0 {
+                                1.0
+                            } else {
+                                d[t.bursty_index][at(i1 - t.a, i2 - t.a)]
+                            };
+                            denom += t.a_rho * l * dcoef;
+                        }
+                        f2[at(i1, i2)] = i2 as f64 / denom;
+                    }
+                }
+                // --- D values (corrected eq. 19) ---
+                for t in &terms {
+                    if t.bursty_index == usize::MAX {
+                        continue;
+                    }
+                    if i1 - t.a < 0 || i2 - t.a < 0 {
+                        d[t.bursty_index][at(i1, i2)] = 1.0;
+                    } else {
+                        let h = ratio(&f1, &f2, (i1 - t.a, i2 - t.a), (i1, i2));
+                        d[t.bursty_index][at(i1, i2)] =
+                            1.0 + t.beta_over_mu * h * d[t.bursty_index][at(i1 - t.a, i2 - t.a)];
+                    }
+                }
+            }
+        }
+
+        Mva {
+            dims,
+            cols,
+            f1,
+            f2,
+        }
+    }
+
+    /// `F_1(n1, n2) = Q(n1−1, n2)/Q(n1, n2)` (0 on the `n1 = 0` column).
+    pub fn f1(&self, i1: i64, i2: i64) -> f64 {
+        self.f1[i1 as usize * self.cols + i2 as usize]
+    }
+
+    /// `F_2(n1, n2) = Q(n1, n2−1)/Q(n1, n2)` (0 on the `n2 = 0` row).
+    pub fn f2(&self, i1: i64, i2: i64) -> f64 {
+        self.f2[i1 as usize * self.cols + i2 as usize]
+    }
+}
+
+impl QRatio for Mva {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn q_ratio(&self, num: (i64, i64), den: (i64, i64)) -> f64 {
+        if num.0 < 0 || num.1 < 0 {
+            return 0.0;
+        }
+        assert!(
+            num.0 <= den.0 && num.1 <= den.1,
+            "MVA q_ratio only supports num <= den componentwise, got {num:?}/{den:?}"
+        );
+        assert!(
+            den.0 <= self.dims.n1 as i64 && den.1 <= self.dims.n2 as i64,
+            "q_ratio {den:?} outside solved lattice {}",
+            self.dims
+        );
+        let mut acc = 1.0;
+        for x in (num.0 + 1)..=den.0 {
+            acc *= self.f1(x, den.1);
+        }
+        for y in (num.1 + 1)..=den.1 {
+            acc *= self.f2(num.0, y);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg1::QLattice;
+    use crate::brute::Brute;
+    use crate::measures::measures;
+    use xbar_numeric::ExtFloat;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+    }
+
+    fn mixed_model(n1: u32, n2: u32) -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.3))
+            .with(TrafficClass::bpp(0.2, 0.08, 1.0))
+            .with(TrafficClass::poisson(0.15).with_bandwidth(2))
+            .with(TrafficClass::bpp(0.1, 0.05, 2.0).with_bandwidth(3));
+        Model::new(Dims::new(n1, n2), w).unwrap()
+    }
+
+    #[test]
+    fn f_values_match_alg1_ratios() {
+        let m = mixed_model(7, 6);
+        let mva = Mva::solve(&m);
+        let lat: QLattice<f64> = QLattice::solve(&m);
+        for i1 in 0..=7i64 {
+            for i2 in 0..=6i64 {
+                if i1 >= 1 {
+                    close(
+                        mva.f1(i1, i2),
+                        lat.q_ratio((i1 - 1, i2), (i1, i2)),
+                        1e-10,
+                    );
+                }
+                if i2 >= 1 {
+                    close(
+                        mva.f2(i1, i2),
+                        lat.q_ratio((i1, i2 - 1), (i1, i2)),
+                        1e-10,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_ratio_matches_alg1_for_arbitrary_pairs() {
+        let m = mixed_model(6, 8);
+        let mva = Mva::solve(&m);
+        let lat: QLattice<f64> = QLattice::solve(&m);
+        for num in [(0i64, 0i64), (1, 3), (4, 4), (6, 8), (2, 7), (-1, 4)] {
+            let den = (6, 8);
+            close(mva.q_ratio(num, den), lat.q_ratio(num, den), 1e-9);
+        }
+    }
+
+    #[test]
+    fn measures_via_mva_match_brute_force() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.4).with_weight(1.0))
+            .with(TrafficClass::bpp(0.3, 0.1, 1.0).with_weight(0.2))
+            .with(TrafficClass::bpp(0.8, -0.1, 2.0).with_bandwidth(2)); // S=8
+        let m = Model::new(Dims::new(6, 5), w).unwrap();
+        let mva = Mva::solve(&m);
+        let got = measures(&m, &mva);
+        let brute = Brute::new(&m);
+        for r in 0..3 {
+            close(got.classes[r].nonblocking, brute.nonblocking(r), 1e-9);
+            close(got.classes[r].concurrency, brute.concurrency(r), 1e-9);
+        }
+        close(got.revenue, brute.revenue(), 1e-9);
+    }
+
+    #[test]
+    fn boundary_f_values() {
+        let m = mixed_model(5, 5);
+        let mva = Mva::solve(&m);
+        for n in 1..=5i64 {
+            close(mva.f1(n, 0), n as f64, 1e-12);
+            close(mva.f2(0, n), n as f64, 1e-12);
+        }
+        assert_eq!(mva.f1(0, 3), 0.0);
+        assert_eq!(mva.f2(3, 0), 0.0);
+    }
+
+    #[test]
+    fn stable_at_n256_against_extfloat_alg1() {
+        // The whole point of Algorithm 2: no under/overflow at large N.
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.0012 / 256.0))
+            .with(TrafficClass::bpp(0.0012 / 256.0, 0.0012 / 256.0, 1.0));
+        let m = Model::new(Dims::square(256), w).unwrap();
+        let mva = Mva::solve(&m);
+        let ext: QLattice<ExtFloat> = QLattice::solve(&m);
+        let mva_meas = measures(&m, &mva);
+        let ext_meas = measures(&m, &ext);
+        for r in 0..2 {
+            close(
+                mva_meas.classes[r].blocking,
+                ext_meas.classes[r].blocking,
+                1e-9,
+            );
+            close(
+                mva_meas.classes[r].concurrency,
+                ext_meas.classes[r].concurrency,
+                1e-9,
+            );
+        }
+        close(mva_meas.revenue, ext_meas.revenue, 1e-9);
+    }
+
+    #[test]
+    fn single_class_f1_closed_form_small() {
+        // One Poisson class, a = 1. At (1,1): Q(1,1) = 1 + ρ, Q(0,1) = 1,
+        // so F_1(1,1) = 1/(1+ρ).
+        let rho = 0.37;
+        let w = Workload::new().with(TrafficClass::poisson(rho));
+        let m = Model::new(Dims::square(3), w).unwrap();
+        let mva = Mva::solve(&m);
+        close(mva.f1(1, 1), 1.0 / (1.0 + rho), 1e-12);
+        // And F_2(1,1) symmetric.
+        close(mva.f2(1, 1), 1.0 / (1.0 + rho), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "num <= den")]
+    fn q_ratio_rejects_increasing_pairs() {
+        let m = mixed_model(4, 4);
+        let mva = Mva::solve(&m);
+        let _ = mva.q_ratio((4, 4), (3, 3));
+    }
+}

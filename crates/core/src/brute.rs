@@ -1,0 +1,324 @@
+//! Brute-force evaluation of the product form by exhaustive enumeration of
+//! `Γ(N)` — the ground-truth oracle every fast algorithm in this crate is
+//! tested against.
+//!
+//! Exponential in the number of classes, so only usable for small switches,
+//! which is exactly its job: on small instances it computes `G(N)`, `π(k)`
+//! and every performance measure *directly from the definitions* (paper
+//! eq. 2–4), with extended-range arithmetic so factorial terms cannot
+//! overflow.
+
+use xbar_numeric::{permutation, ExtFloat};
+use xbar_traffic::TrafficClass;
+
+use crate::model::{Dims, Model};
+use crate::state::StateIter;
+
+/// Brute-force solver for a [`Model`].
+#[derive(Clone, Debug)]
+pub struct Brute<'m> {
+    model: &'m Model,
+}
+
+impl<'m> Brute<'m> {
+    /// Wrap a model. No size check — callers are expected to keep `N` small
+    /// (state-space size is reported by [`Brute::state_count`]).
+    pub fn new(model: &'m Model) -> Self {
+        Brute { model }
+    }
+
+    fn classes(&self) -> &[TrafficClass] {
+        self.model.workload().classes()
+    }
+
+    fn bandwidths(&self) -> Vec<u32> {
+        self.classes().iter().map(|c| c.bandwidth).collect()
+    }
+
+    /// `Ψ(k) = N1!/(N1−k·A)! · N2!/(N2−k·A)!` for given dims.
+    fn psi(dims: Dims, ka: u32) -> ExtFloat {
+        ExtFloat::from_f64(permutation(dims.n1 as u64, ka as u64))
+            * ExtFloat::from_f64(permutation(dims.n2 as u64, ka as u64))
+    }
+
+    /// `Φ_r(k) = Π_{l=1..k} λ_r(l−1)/(l·μ_r)`.
+    fn phi(class: &TrafficClass, k: u32) -> ExtFloat {
+        let mut acc = ExtFloat::ONE;
+        for l in 1..=k {
+            acc = acc * ExtFloat::from_f64(class.lambda((l - 1) as u64) / (l as f64 * class.mu));
+        }
+        acc
+    }
+
+    /// Unnormalised stationary weight `Ψ(k)·Π_r Φ_r(k_r)` at dims `dims`.
+    pub fn weight(&self, dims: Dims, k: &[u32]) -> ExtFloat {
+        let bw = self.bandwidths();
+        let ka = StateIter::occupancy(&bw, k);
+        debug_assert!(ka <= dims.min_n());
+        let mut w = Self::psi(dims, ka);
+        for (class, &kr) in self.classes().iter().zip(k) {
+            w *= Self::phi(class, kr);
+        }
+        w
+    }
+
+    /// The normalisation constant `G(dims)` (paper eq. 3), summed over the
+    /// full state space.
+    pub fn g(&self, dims: Dims) -> ExtFloat {
+        let bw = self.bandwidths();
+        StateIter::new(&bw, dims.min_n())
+            .map(|k| self.weight(dims, &k))
+            .sum()
+    }
+
+    /// `Q(dims) = G(dims)/(N1!·N2!)` — the normalised constant Algorithm 1
+    /// recurses on (paper §5).
+    pub fn q(&self, dims: Dims) -> ExtFloat {
+        let ln_fact =
+            xbar_numeric::ln_factorial(dims.n1 as u64) + xbar_numeric::ln_factorial(dims.n2 as u64);
+        self.g(dims) / ExtFloat::exp(ln_fact)
+    }
+
+    /// Number of states in `Γ(N)`.
+    pub fn state_count(&self) -> usize {
+        StateIter::for_model(self.model).count()
+    }
+
+    /// Stationary probability `π(k)` (paper eq. 2) at the model's own dims.
+    pub fn pi(&self, k: &[u32]) -> f64 {
+        let dims = self.model.dims();
+        self.weight(dims, k).ratio(self.g(dims))
+    }
+
+    /// Full stationary distribution as `(state, π)` pairs.
+    pub fn distribution(&self) -> Vec<(Vec<u32>, f64)> {
+        let dims = self.model.dims();
+        let g = self.g(dims);
+        StateIter::for_model(self.model)
+            .map(|k| {
+                let p = self.weight(dims, &k).ratio(g);
+                (k, p)
+            })
+            .collect()
+    }
+
+    /// Non-blocking probability `B_r = G(N − a_r·I)/G(N)` (paper eq. 4).
+    ///
+    /// Zero when the shrunken switch would not exist.
+    pub fn nonblocking(&self, r: usize) -> f64 {
+        let dims = self.model.dims();
+        let a = self.classes()[r].bandwidth;
+        match dims.shrink(a) {
+            Some(small) => self.g(small).ratio(self.g(dims)),
+            None => 0.0,
+        }
+    }
+
+    /// Per-class concurrency `E_r = Σ_k k_r·π(k)` — summed directly from
+    /// the definition (paper §3), no recursion involved.
+    pub fn concurrency(&self, r: usize) -> f64 {
+        let dims = self.model.dims();
+        let g = self.g(dims);
+        let total: ExtFloat = StateIter::for_model(self.model)
+            .map(|k| self.weight(dims, &k) * ExtFloat::from_f64(k[r] as f64))
+            .sum();
+        total.ratio(g)
+    }
+
+    /// Weighted throughput / revenue `W = Σ_r w_r·E_r` (paper §4).
+    pub fn revenue(&self) -> f64 {
+        (0..self.classes().len())
+            .map(|r| self.classes()[r].weight * self.concurrency(r))
+            .sum()
+    }
+
+    /// Distribution of the total occupancy `k·A` (how many input/output
+    /// ports are in use) — a diagnostic also exposed by the simulator.
+    pub fn occupancy_distribution(&self) -> Vec<f64> {
+        let dims = self.model.dims();
+        let bw = self.bandwidths();
+        let g = self.g(dims);
+        let mut hist = vec![0.0f64; dims.min_n() as usize + 1];
+        for k in StateIter::for_model(self.model) {
+            let ka = StateIter::occupancy(&bw, &k) as usize;
+            hist[ka] += self.weight(dims, &k).ratio(g);
+        }
+        hist
+    }
+
+    /// Verify the detailed-balance equations
+    /// `π(k)·q(k, k+1_r) = π(k+1_r)·q(k+1_r, k)` over the whole chain,
+    /// returning the worst relative violation.
+    ///
+    /// The birth rate consistent with `Ψ` is
+    /// `q(k, k+1_r) = P(N1−k·A, a_r)·P(N2−k·A, a_r)·λ_r(k_r)` — for
+    /// `a_r = 1` this is the paper's `(N1−k·A)(N2−k·A)·λ_r(k_r)`; for
+    /// `a_r ≥ 2` the permutation form is the one the product form (eq. 2)
+    /// actually balances against (see DESIGN.md).
+    pub fn detailed_balance_violation(&self) -> f64 {
+        let dims = self.model.dims();
+        let bw = self.bandwidths();
+        let cap = dims.min_n();
+        let g = self.g(dims);
+        let mut worst = 0.0f64;
+        for k in StateIter::for_model(self.model) {
+            let ka = StateIter::occupancy(&bw, &k);
+            let pi_k = self.weight(dims, &k).ratio(g);
+            for (r, class) in self.classes().iter().enumerate() {
+                let a = class.bandwidth;
+                if ka + a > cap {
+                    continue; // k + 1_r outside Γ(N)
+                }
+                let mut k_up = k.clone();
+                k_up[r] += 1;
+                let pi_up = self.weight(dims, &k_up).ratio(g);
+                let birth = permutation((dims.n1 - ka) as u64, a as u64)
+                    * permutation((dims.n2 - ka) as u64, a as u64)
+                    * class.lambda(k[r] as u64);
+                let death = (k[r] + 1) as f64 * class.mu;
+                let lhs = pi_k * birth;
+                let rhs = pi_up * death;
+                let scale = lhs.abs().max(rhs.abs());
+                if scale > 0.0 {
+                    worst = worst.max((lhs - rhs).abs() / scale);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_traffic::Workload;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+    }
+
+    fn poisson_model(n: u32, rho: f64) -> Model {
+        let w = Workload::new().with(TrafficClass::poisson(rho));
+        Model::new(Dims::square(n), w).unwrap()
+    }
+
+    #[test]
+    fn distribution_normalises() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.3))
+            .with(TrafficClass::bpp(0.2, 0.1, 1.0).with_bandwidth(2));
+        let m = Model::new(Dims::new(5, 7), w).unwrap();
+        let b = Brute::new(&m);
+        let total: f64 = b.distribution().iter().map(|(_, p)| p).sum();
+        close(total, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn one_by_one_closed_form() {
+        // N = (1,1), one Poisson class: G = 1 + ρ, B = 1/(1+ρ), E = ρ/(1+ρ).
+        let m = poisson_model(1, 0.5);
+        let b = Brute::new(&m);
+        close(b.g(Dims::square(1)).to_f64(), 1.5, 1e-14);
+        close(b.nonblocking(0), 1.0 / 1.5, 1e-14);
+        close(b.concurrency(0), 0.5 / 1.5, 1e-14);
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        // N = (2,2), one Poisson class a = 1:
+        // G = 1 + 4ρ + 2ρ² (Ψ(1) = 2·2, Ψ(2) = 2!·2!, Φ(2) = ρ²/2).
+        let rho = 0.3;
+        let m = poisson_model(2, rho);
+        let b = Brute::new(&m);
+        let g = 1.0 + 4.0 * rho + 2.0 * rho * rho;
+        close(b.g(Dims::square(2)).to_f64(), g, 1e-14);
+        close(b.nonblocking(0), (1.0 + rho) / g, 1e-14);
+        // E = (4ρ + 4ρ²)/G  (k=1 term weight 4ρ, k=2 term 2ρ², times k).
+        close(b.concurrency(0), (4.0 * rho + 4.0 * rho * rho) / g, 1e-14);
+    }
+
+    #[test]
+    fn rectangular_uses_min_side() {
+        // N = (1, 3): capacity 1, G = 1 + Ψ(1)·ρ with Ψ(1) = 1·3.
+        let w = Workload::new().with(TrafficClass::poisson(0.2));
+        let m = Model::new(Dims::new(1, 3), w).unwrap();
+        let b = Brute::new(&m);
+        close(b.g(Dims::new(1, 3)).to_f64(), 1.0 + 3.0 * 0.2, 1e-14);
+        assert_eq!(b.state_count(), 2);
+    }
+
+    #[test]
+    fn table2_n1_anchor() {
+        // The N=1 row of the paper's Table 2, first parameter set:
+        // blocking = 0.00239425, W = 0.00119725.
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.0012).with_weight(1.0))
+            .with(TrafficClass::bpp(0.0012, 0.0012, 1.0).with_weight(0.0001));
+        let m = Model::new(Dims::square(1), w).unwrap();
+        let b = Brute::new(&m);
+        let blocking = 1.0 - b.nonblocking(0);
+        assert!((blocking - 0.00239425).abs() < 5e-9, "{blocking}");
+        assert!((b.revenue() - 0.00119725).abs() < 5e-9, "{}", b.revenue());
+    }
+
+    #[test]
+    fn detailed_balance_holds_for_mixed_workload() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.4))
+            .with(TrafficClass::bpp(0.3, 0.1, 1.0))
+            .with(TrafficClass::bpp(0.8, -0.1, 2.0).with_bandwidth(2)); // S=8 Bernoulli
+        let m = Model::new(Dims::new(6, 8), w).unwrap();
+        let b = Brute::new(&m);
+        assert!(b.detailed_balance_violation() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_population_truncates_support() {
+        // S = 2 sources on a big switch: states with k > 2 have π = 0.
+        let w = Workload::new().with(TrafficClass::bpp(0.2, -0.1, 1.0));
+        let m = Model::new(Dims::square(2), w).unwrap();
+        let b = Brute::new(&m);
+        close(b.pi(&[2]) + b.pi(&[1]) + b.pi(&[0]), 1.0, 1e-12);
+        // On a 2×2 switch S=2 exactly fills it; occupancy dist has 3 bins.
+        let occ = b.occupancy_distribution();
+        assert_eq!(occ.len(), 3);
+        close(occ.iter().sum::<f64>(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn occupancy_distribution_matches_pi_sums() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.5))
+            .with(TrafficClass::poisson(0.3).with_bandwidth(2));
+        let m = Model::new(Dims::square(4), w).unwrap();
+        let b = Brute::new(&m);
+        let occ = b.occupancy_distribution();
+        close(occ.iter().sum::<f64>(), 1.0, 1e-12);
+        // P(occupancy = 0) is π(0,0).
+        close(occ[0], b.pi(&[0, 0]), 1e-14);
+    }
+
+    #[test]
+    fn q_matches_g_over_factorials() {
+        let m = poisson_model(4, 0.7);
+        let b = Brute::new(&m);
+        let dims = Dims::square(4);
+        let expect = b.g(dims).to_f64() / (24.0 * 24.0);
+        close(b.q(dims).to_f64(), expect, 1e-12);
+    }
+
+    #[test]
+    fn nonblocking_zero_when_bandwidth_cannot_fit_shrunk_switch() {
+        let w = Workload::new().with(TrafficClass::poisson(0.1).with_bandwidth(2));
+        let m = Model::new(Dims::square(2), w).unwrap();
+        let b = Brute::new(&m);
+        // N − a·I = (0,0): G(0)/G(N) is still well-defined (G(0)=1).
+        assert!(b.nonblocking(0) > 0.0);
+        // But a 1×1 switch can't shrink by 2 at all.
+        let w = Workload::new().with(TrafficClass::poisson(0.1));
+        let m1 = Model::new(Dims::square(1), w).unwrap();
+        let b1 = Brute::new(&m1);
+        assert!(b1.nonblocking(0) > 0.0); // shrink(1) = (0,0) exists
+    }
+}

@@ -1,0 +1,256 @@
+//! Switch geometry and the analysed [`Model`] (geometry + workload).
+
+use std::fmt;
+
+use xbar_traffic::{TrafficError, Workload};
+
+/// Crossbar dimensions: `N1` inputs × `N2` outputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Dims {
+    /// Number of input ports `N1 ≥ 1`.
+    pub n1: u32,
+    /// Number of output ports `N2 ≥ 1`.
+    pub n2: u32,
+}
+
+impl Dims {
+    /// An `n1 × n2` crossbar.
+    pub fn new(n1: u32, n2: u32) -> Self {
+        Dims { n1, n2 }
+    }
+
+    /// A square `n × n` crossbar (the shape in all of the paper's plots).
+    pub fn square(n: u32) -> Self {
+        Dims { n1: n, n2: n }
+    }
+
+    /// `min(N1, N2)` — the connection capacity bound defining `Γ(N)`.
+    pub fn min_n(&self) -> u32 {
+        self.n1.min(self.n2)
+    }
+
+    /// `max(N1, N2)` — the bound used in the Bernoulli validity condition.
+    pub fn max_n(&self) -> u32 {
+        self.n1.max(self.n2)
+    }
+
+    /// Shrink both sides by `a·t` (the `N − t·a_r·I` of the measure
+    /// recursions). Returns `None` if either side would go negative.
+    pub fn shrink(&self, by: u32) -> Option<Dims> {
+        if self.n1 >= by && self.n2 >= by {
+            Some(Dims {
+                n1: self.n1 - by,
+                n2: self.n2 - by,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.n1, self.n2)
+    }
+}
+
+/// Why a [`Model`] could not be constructed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// A dimension is zero.
+    EmptySwitch,
+    /// The workload has no classes — the system is trivially empty; the
+    /// measures the library reports would all be degenerate, so we reject
+    /// early rather than return NaN-prone results.
+    EmptyWorkload,
+    /// A class failed BPP validation (index, cause).
+    BadClass(usize, TrafficError),
+    /// A class's bandwidth `a_r` exceeds `min(N1, N2)`: no connection of the
+    /// class could ever be carried.
+    BandwidthExceedsSwitch {
+        /// Index of the offending class.
+        class: usize,
+        /// Its bandwidth `a_r`.
+        bandwidth: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptySwitch => write!(f, "switch must have N1 >= 1 and N2 >= 1"),
+            ModelError::EmptyWorkload => write!(f, "workload has no traffic classes"),
+            ModelError::BadClass(r, e) => write!(f, "class {r}: {e}"),
+            ModelError::BandwidthExceedsSwitch { class, bandwidth } => write!(
+                f,
+                "class {class}: bandwidth {bandwidth} exceeds min(N1,N2); it can never be carried"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A fully-validated analysis instance: geometry plus traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Model {
+    dims: Dims,
+    workload: Workload,
+}
+
+impl Model {
+    /// Validate and construct.
+    pub fn new(dims: Dims, workload: Workload) -> Result<Self, ModelError> {
+        if dims.n1 == 0 || dims.n2 == 0 {
+            return Err(ModelError::EmptySwitch);
+        }
+        if workload.is_empty() {
+            return Err(ModelError::EmptyWorkload);
+        }
+        workload
+            .validate(dims.max_n())
+            .map_err(|(r, e)| ModelError::BadClass(r, e))?;
+        for (r, c) in workload.classes().iter().enumerate() {
+            if c.bandwidth > dims.min_n() {
+                return Err(ModelError::BandwidthExceedsSwitch {
+                    class: r,
+                    bandwidth: c.bandwidth,
+                });
+            }
+        }
+        Ok(Model { dims, workload })
+    }
+
+    /// The switch geometry.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// The traffic classes.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Number of classes `R`.
+    pub fn num_classes(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// A copy of the model with different dimensions (same workload in
+    /// per-set parameters — used by the `W(N − a_r·I)` terms of the revenue
+    /// gradient, where the paper holds per-set rates fixed).
+    pub fn with_dims(&self, dims: Dims) -> Result<Self, ModelError> {
+        Model::new(dims, self.workload.clone())
+    }
+
+    /// A copy with one class's `β/μ` nudged (used by the forward-difference
+    /// gradients of §4): replaces `β_r` by `x·μ_r` where `x` is the new
+    /// `β_r/μ_r` value.
+    ///
+    /// Deliberately skips BPP re-validation: the normalisation constant is a
+    /// polynomial in `β`, so the finite difference of its analytic
+    /// continuation is exactly the derivative the paper approximates — even
+    /// when the nudged `β` would fail, say, the Bernoulli integral-source
+    /// check by an infinitesimal amount.
+    pub fn with_beta_over_mu(&self, r: usize, x: f64) -> Result<Self, ModelError> {
+        let mut classes = self.workload.classes().to_vec();
+        classes[r].beta = x * classes[r].mu;
+        Ok(Model {
+            dims: self.dims,
+            workload: Workload::from_classes(classes),
+        })
+    }
+
+    /// A copy with one class's per-set offered load `ρ_r = α_r/μ_r` set to
+    /// `x` (holding `μ_r` fixed, so `α_r = x·μ_r`). Like
+    /// [`Model::with_beta_over_mu`], skips re-validation so finite
+    /// differences act on the analytic continuation.
+    pub fn with_rho(&self, r: usize, x: f64) -> Result<Self, ModelError> {
+        let mut classes = self.workload.classes().to_vec();
+        classes[r].alpha = x * classes[r].mu;
+        Ok(Model {
+            dims: self.dims,
+            workload: Workload::from_classes(classes),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_traffic::TrafficClass;
+
+    #[test]
+    fn dims_helpers() {
+        let d = Dims::new(4, 7);
+        assert_eq!(d.min_n(), 4);
+        assert_eq!(d.max_n(), 7);
+        assert_eq!(d.shrink(2), Some(Dims::new(2, 5)));
+        assert_eq!(d.shrink(5), None);
+        assert_eq!(format!("{d}"), "4x7");
+        assert_eq!(Dims::square(8), Dims::new(8, 8));
+    }
+
+    #[test]
+    fn model_validates_geometry() {
+        let w = Workload::new().with(TrafficClass::poisson(0.1));
+        assert_eq!(
+            Model::new(Dims::new(0, 4), w.clone()).unwrap_err(),
+            ModelError::EmptySwitch
+        );
+        assert!(Model::new(Dims::new(4, 4), w).is_ok());
+    }
+
+    #[test]
+    fn model_rejects_empty_workload() {
+        assert_eq!(
+            Model::new(Dims::square(4), Workload::new()).unwrap_err(),
+            ModelError::EmptyWorkload
+        );
+    }
+
+    #[test]
+    fn model_rejects_oversized_bandwidth() {
+        let w = Workload::new().with(TrafficClass::poisson(0.1).with_bandwidth(5));
+        assert!(matches!(
+            Model::new(Dims::new(4, 8), w).unwrap_err(),
+            ModelError::BandwidthExceedsSwitch { class: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn model_propagates_class_validation() {
+        let w = Workload::new().with(TrafficClass::bpp(1.0, 2.0, 1.0)); // unstable
+        assert!(matches!(
+            Model::new(Dims::square(4), w).unwrap_err(),
+            ModelError::BadClass(0, _)
+        ));
+    }
+
+    #[test]
+    fn perturbation_helpers() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.1))
+            .with(TrafficClass::bpp(0.1, 0.05, 2.0));
+        let m = Model::new(Dims::square(8), w).unwrap();
+
+        let m2 = m.with_beta_over_mu(1, 0.05).unwrap();
+        assert!((m2.workload().classes()[1].beta - 0.1).abs() < 1e-15);
+
+        let m3 = m.with_rho(0, 0.3).unwrap();
+        assert!((m3.workload().classes()[0].alpha - 0.3).abs() < 1e-15);
+
+        let m4 = m.with_dims(Dims::square(4)).unwrap();
+        assert_eq!(m4.dims().n1, 4);
+        assert_eq!(m4.workload(), m.workload());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ModelError::BandwidthExceedsSwitch {
+            class: 2,
+            bandwidth: 9,
+        };
+        assert!(format!("{e}").contains("class 2"));
+    }
+}

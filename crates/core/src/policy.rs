@@ -1,0 +1,265 @@
+//! Trunk-reservation admission control — extending the paper's §4 revenue
+//! analysis from *diagnosis* (shadow costs say which class is worth its
+//! ports) to *control* (actually protecting the valuable class).
+//!
+//! Policy: class `r` is admitted only while
+//! `min(N1,N2) − k·A ≥ a_r + t_r` — it must leave `t_r` spare connection
+//! slots behind. `t ≡ 0` recovers the paper's model exactly. Reservation
+//! breaks reversibility, so there is no product form: the chain is solved
+//! numerically (uniformised power iteration over the enumerated state
+//! space — small switches only, like [`crate::transient`]).
+
+use xbar_numeric::permutation;
+
+use crate::model::Model;
+use crate::state::StateIter;
+use crate::transient::MAX_STATES;
+
+/// Stationary measures of the reserved switch.
+#[derive(Clone, Debug)]
+pub struct PolicyMeasures {
+    /// Per-class call acceptance (accepted rate / offered rate).
+    pub acceptance: Vec<f64>,
+    /// Per-class call blocking `1 − acceptance`.
+    pub blocking: Vec<f64>,
+    /// Per-class concurrency `E_r`.
+    pub concurrency: Vec<f64>,
+    /// Revenue `Σ w_r·E_r`.
+    pub revenue: f64,
+    /// Power-iteration sweeps used.
+    pub iterations: u32,
+}
+
+/// Solve the trunk-reservation chain for `model` with per-class spare-slot
+/// thresholds `t` (one per class).
+///
+/// # Panics
+/// Panics on threshold arity mismatch or if the state space exceeds
+/// [`MAX_STATES`].
+pub fn solve_policy(model: &Model, thresholds: &[u32]) -> PolicyMeasures {
+    let dims = model.dims();
+    let classes = model.workload().classes();
+    assert_eq!(
+        thresholds.len(),
+        classes.len(),
+        "one threshold per class required"
+    );
+    let bw: Vec<u32> = classes.iter().map(|c| c.bandwidth).collect();
+    let cap = dims.min_n();
+
+    let states: Vec<Vec<u32>> = StateIter::for_model(model).collect();
+    assert!(states.len() <= MAX_STATES, "state space too large");
+    let index: std::collections::HashMap<&[u32], usize> = states
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.as_slice(), i))
+        .collect();
+
+    // Transition rows under the policy.
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(states.len());
+    let mut max_exit = 0.0f64;
+    for k in &states {
+        let ka = StateIter::occupancy(&bw, k);
+        let mut row = Vec::new();
+        let mut exit = 0.0;
+        for (r, class) in classes.iter().enumerate() {
+            let a = class.bandwidth;
+            let admitted = cap - ka >= a + thresholds[r];
+            if admitted && ka + a <= cap {
+                let rate = permutation((dims.n1 - ka) as u64, a as u64)
+                    * permutation((dims.n2 - ka) as u64, a as u64)
+                    * class.lambda(k[r] as u64);
+                if rate > 0.0 {
+                    let mut up = k.clone();
+                    up[r] += 1;
+                    row.push((index[up.as_slice()], rate));
+                    exit += rate;
+                }
+            }
+            if k[r] > 0 {
+                let rate = k[r] as f64 * class.mu;
+                let mut down = k.clone();
+                down[r] -= 1;
+                row.push((index[down.as_slice()], rate));
+                exit += rate;
+            }
+        }
+        max_exit = max_exit.max(exit);
+        rows.push(row);
+    }
+
+    // Uniformised power iteration to stationarity.
+    let lambda_u = (max_exit * 1.05).max(1e-300);
+    let mut pi = vec![1.0 / states.len() as f64; states.len()];
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let mut next = pi.clone(); // the I part scaled below
+        for (i, row) in rows.iter().enumerate() {
+            let exit: f64 = row.iter().map(|(_, r)| r).sum();
+            let stay = exit / lambda_u;
+            next[i] -= pi[i] * stay;
+            for &(j, rate) in row {
+                next[j] += pi[i] * rate / lambda_u;
+            }
+        }
+        let delta: f64 = next
+            .iter()
+            .zip(&pi)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        pi = next;
+        if delta < 1e-14 || iterations >= 2_000_000 {
+            break;
+        }
+    }
+    // Normalise away drift.
+    let total: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= total;
+    }
+
+    // Measures.
+    let r_count = classes.len();
+    let mut offered = vec![0.0f64; r_count];
+    let mut accepted = vec![0.0f64; r_count];
+    let mut concurrency = vec![0.0f64; r_count];
+    for (k, &p) in states.iter().zip(&pi) {
+        let ka = StateIter::occupancy(&bw, k);
+        for (r, class) in classes.iter().enumerate() {
+            let a = class.bandwidth;
+            let tuples = permutation(dims.n1 as u64, a as u64)
+                * permutation(dims.n2 as u64, a as u64);
+            let off = tuples * class.lambda(k[r] as u64);
+            offered[r] += p * off;
+            let admitted = cap - ka >= a + thresholds[r];
+            if admitted {
+                accepted[r] += p
+                    * permutation((dims.n1 - ka) as u64, a as u64)
+                    * permutation((dims.n2 - ka) as u64, a as u64)
+                    * class.lambda(k[r] as u64);
+            }
+            concurrency[r] += p * k[r] as f64;
+        }
+    }
+    let acceptance: Vec<f64> = offered
+        .iter()
+        .zip(&accepted)
+        .map(|(o, a)| if *o > 0.0 { a / o } else { 1.0 })
+        .collect();
+    let revenue = classes
+        .iter()
+        .zip(&concurrency)
+        .map(|(c, e)| c.weight * e)
+        .sum();
+    PolicyMeasures {
+        blocking: acceptance.iter().map(|a| 1.0 - a).collect(),
+        acceptance,
+        concurrency,
+        revenue,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::Brute;
+    use crate::model::Dims;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+    }
+
+    fn two_class_model() -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.15).with_weight(1.0))
+            .with(TrafficClass::bpp(0.1, 0.05, 1.0).with_weight(0.1));
+        Model::new(Dims::square(5), w).unwrap()
+    }
+
+    #[test]
+    fn zero_thresholds_recover_the_product_form() {
+        let m = two_class_model();
+        let pol = solve_policy(&m, &[0, 0]);
+        let brute = Brute::new(&m);
+        for r in 0..2 {
+            close(pol.concurrency[r], brute.concurrency(r), 1e-8);
+        }
+        close(pol.revenue, brute.revenue(), 1e-8);
+        // Acceptance must equal the analytic call acceptance.
+        let sol = crate::solver::solve(&m, crate::solver::Algorithm::Auto).unwrap();
+        for r in 0..2 {
+            close(pol.acceptance[r], sol.call_acceptance(r), 1e-8);
+        }
+    }
+
+    #[test]
+    fn reservation_protects_the_unthrottled_class() {
+        let m = two_class_model();
+        let base = solve_policy(&m, &[0, 0]);
+        let reserved = solve_policy(&m, &[0, 2]);
+        // The throttled class blocks (much) more…
+        assert!(reserved.blocking[1] > base.blocking[1] + 0.01);
+        // …and the protected class blocks less.
+        assert!(
+            reserved.blocking[0] < base.blocking[0],
+            "{} !< {}",
+            reserved.blocking[0],
+            base.blocking[0]
+        );
+    }
+
+    #[test]
+    fn full_reservation_shuts_a_class_off() {
+        let m = two_class_model();
+        let cap = m.dims().min_n();
+        let pol = solve_policy(&m, &[0, cap]);
+        assert!(pol.acceptance[1] < 1e-9);
+        assert!(pol.concurrency[1].abs() < 1e-10);
+        // With class 2 effectively removed, class 1 behaves like a
+        // single-class switch.
+        let single = Model::new(
+            m.dims(),
+            Workload::new().with(m.workload().classes()[0].clone()),
+        )
+        .unwrap();
+        let brute = Brute::new(&single);
+        close(pol.concurrency[0], brute.concurrency(0), 1e-6);
+    }
+
+    #[test]
+    fn reservation_can_raise_revenue_in_an_asymmetric_mix() {
+        // A cheap but hungry class crowding out a valuable one: some
+        // reservation against the cheap class must beat laissez-faire.
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.25).with_weight(1.0))
+            .with(TrafficClass::poisson(0.5).with_weight(0.01));
+        let m = Model::new(Dims::square(4), w).unwrap();
+        let base = solve_policy(&m, &[0, 0]).revenue;
+        let best = (0..=4)
+            .map(|t| solve_policy(&m, &[0, t]).revenue)
+            .fold(f64::MIN, f64::max);
+        assert!(best > base, "best {best} !> base {base}");
+    }
+
+    #[test]
+    fn monotone_in_threshold() {
+        let m = two_class_model();
+        let mut prev_acc = 2.0;
+        for t in 0..=3u32 {
+            let pol = solve_policy(&m, &[0, t]);
+            assert!(pol.acceptance[1] < prev_acc);
+            prev_acc = pol.acceptance[1];
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per class")]
+    fn arity_mismatch_panics() {
+        let m = two_class_model();
+        let _ = solve_policy(&m, &[0]);
+    }
+}

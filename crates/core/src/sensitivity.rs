@@ -1,0 +1,179 @@
+//! Cross-class sensitivity analysis — the full matrix version of §4's
+//! single-gradient story.
+//!
+//! §4 computes `∂W/∂ρ_r`; an operator tuning a real mix also wants to know
+//! how pushing one class's load moves *every other class's* blocking and
+//! concurrency. This module assembles the Jacobians
+//!
+//! ```text
+//! J_B[r][s] = ∂B_r/∂ρ_s        J_E[r][s] = ∂E_r/∂ρ_s
+//! ```
+//!
+//! by central differences on re-solved models (two solves per column), plus
+//! the analogous columns in `β_s/μ_s` for bursty classes. Central rather
+//! than the paper's forward differences: the Jacobian entries are used for
+//! comparisons between columns, where the extra order of accuracy is worth
+//! the second solve.
+
+use xbar_numeric::central_diff;
+
+use crate::model::Model;
+use crate::solver::{solve, Algorithm, SolveError};
+
+/// The assembled sensitivity matrices (rows = affected class, columns =
+/// perturbed class).
+#[derive(Clone, Debug)]
+pub struct Sensitivity {
+    /// `∂B_r/∂ρ_s` (non-blocking probability w.r.t. per-set load).
+    pub nonblocking_by_rho: Vec<Vec<f64>>,
+    /// `∂E_r/∂ρ_s`.
+    pub concurrency_by_rho: Vec<Vec<f64>>,
+    /// `∂W/∂ρ_s` (one row — revenue is a scalar).
+    pub revenue_by_rho: Vec<f64>,
+    /// `∂W/∂(β_s/μ_s)` per class (`0` entries are still computed — the
+    /// derivative exists for Poisson classes too; it reports how revenue
+    /// would move if the class *became* bursty).
+    pub revenue_by_beta: Vec<f64>,
+}
+
+/// Assemble all sensitivities for `model` using `algorithm` for each
+/// internal solve.
+pub fn sensitivity(model: &Model, algorithm: Algorithm) -> Result<Sensitivity, SolveError> {
+    let r_count = model.num_classes();
+    let mut nonblocking_by_rho = vec![vec![0.0; r_count]; r_count];
+    let mut concurrency_by_rho = vec![vec![0.0; r_count]; r_count];
+    let mut revenue_by_rho = vec![0.0; r_count];
+    let mut revenue_by_beta = vec![0.0; r_count];
+
+    for s in 0..r_count {
+        let rho0 = model.workload().classes()[s].rho();
+        // One pass per output quantity keeps the code simple; the solves
+        // are memoised implicitly by the closure capturing nothing mutable.
+        for r in 0..r_count {
+            nonblocking_by_rho[r][s] = diff(model, algorithm, s, rho0, |sol| sol.nonblocking(r))?;
+            concurrency_by_rho[r][s] = diff(model, algorithm, s, rho0, |sol| sol.concurrency(r))?;
+        }
+        revenue_by_rho[s] = diff(model, algorithm, s, rho0, |sol| sol.revenue())?;
+
+        let class = &model.workload().classes()[s];
+        let x0 = class.beta / class.mu;
+        let mut err = None;
+        revenue_by_beta[s] = central_diff(
+            |x| match model
+                .with_beta_over_mu(s, x)
+                .map_err(SolveError::from)
+                .and_then(|m| solve(&m, algorithm))
+            {
+                Ok(sol) => sol.revenue(),
+                Err(e) => {
+                    err.get_or_insert(e);
+                    f64::NAN
+                }
+            },
+            x0,
+        );
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+
+    Ok(Sensitivity {
+        nonblocking_by_rho,
+        concurrency_by_rho,
+        revenue_by_rho,
+        revenue_by_beta,
+    })
+}
+
+fn diff<F: Fn(&crate::solver::Solution) -> f64>(
+    model: &Model,
+    algorithm: Algorithm,
+    s: usize,
+    rho0: f64,
+    read: F,
+) -> Result<f64, SolveError> {
+    let mut err = None;
+    let d = central_diff(
+        |x| match model
+            .with_rho(s, x)
+            .map_err(SolveError::from)
+            .and_then(|m| solve(&m, algorithm))
+        {
+            Ok(sol) => read(&sol),
+            Err(e) => {
+                err.get_or_insert(e);
+                f64::NAN
+            }
+        },
+        rho0,
+    );
+    match err {
+        Some(e) => Err(e),
+        None => Ok(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Dims;
+    use crate::solver::Algorithm;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-9);
+        assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+    }
+
+    fn model() -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.08).with_weight(1.0))
+            .with(TrafficClass::poisson(0.03).with_bandwidth(2).with_weight(0.4));
+        Model::new(Dims::square(8), w).unwrap()
+    }
+
+    #[test]
+    fn every_load_hurts_every_availability() {
+        // All entries of ∂B_r/∂ρ_s are negative: any extra load anywhere
+        // reduces everyone's availability.
+        let sens = sensitivity(&model(), Algorithm::Alg1F64).unwrap();
+        for row in &sens.nonblocking_by_rho {
+            for &v in row {
+                assert!(v < 0.0, "{row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn own_concurrency_rises_with_own_load() {
+        let sens = sensitivity(&model(), Algorithm::Alg1F64).unwrap();
+        for r in 0..2 {
+            assert!(sens.concurrency_by_rho[r][r] > 0.0);
+        }
+        // Cross terms are negative: class s's load displaces class r.
+        assert!(sens.concurrency_by_rho[0][1] < 0.0);
+        assert!(sens.concurrency_by_rho[1][0] < 0.0);
+    }
+
+    #[test]
+    fn revenue_row_matches_solution_gradient() {
+        // For a pure-Poisson workload the closed form (paper §4) is exact,
+        // so the central-difference row must match it.
+        let m = model();
+        let sens = sensitivity(&m, Algorithm::Alg1F64).unwrap();
+        let sol = solve(&m, Algorithm::Alg1F64).unwrap();
+        for s in 0..2 {
+            close(sens.revenue_by_rho[s], sol.revenue_gradient_rho(s), 1e-4);
+        }
+    }
+
+    #[test]
+    fn beta_column_is_negative_for_crowded_switches() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.1).with_weight(1.0))
+            .with(TrafficClass::bpp(0.05, 0.2, 1.0).with_weight(0.01));
+        let m = Model::new(Dims::square(6), w).unwrap();
+        let sens = sensitivity(&m, Algorithm::Alg1F64).unwrap();
+        assert!(sens.revenue_by_beta[1] < 0.0, "{:?}", sens.revenue_by_beta);
+    }
+}

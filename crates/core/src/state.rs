@@ -1,0 +1,168 @@
+//! Enumeration of the state space
+//! `Γ(N) = { k : 0 ≤ k·A ≤ min(N1, N2) }` (paper §2).
+//!
+//! Only the brute-force oracle and the diagnostics walk `Γ(N)` explicitly —
+//! its size grows like `O(C^R)` — but having a careful iterator makes the
+//! ground truth trustworthy and reusable (the simulator's state-occupancy
+//! histograms are keyed by the same vectors).
+
+use crate::model::Model;
+
+/// Iterator over all states `k = (k_1, …, k_R)` with
+/// `Σ_r k_r·a_r ≤ capacity` (odometer order, `k_R` fastest).
+#[derive(Clone, Debug)]
+pub struct StateIter {
+    bandwidths: Vec<u32>,
+    capacity: u32,
+    /// Next state to yield; `None` once exhausted.
+    next: Option<Vec<u32>>,
+}
+
+impl StateIter {
+    /// Iterate `Γ` for an explicit capacity `min(N1,N2)` and bandwidth
+    /// vector `A`.
+    pub fn new(bandwidths: &[u32], capacity: u32) -> Self {
+        StateIter {
+            bandwidths: bandwidths.to_vec(),
+            capacity,
+            next: Some(vec![0; bandwidths.len()]),
+        }
+    }
+
+    /// Iterate `Γ(N)` for a model.
+    pub fn for_model(model: &Model) -> Self {
+        let bw: Vec<u32> = model
+            .workload()
+            .classes()
+            .iter()
+            .map(|c| c.bandwidth)
+            .collect();
+        Self::new(&bw, model.dims().min_n())
+    }
+
+    fn used(&self, k: &[u32]) -> u32 {
+        k.iter()
+            .zip(&self.bandwidths)
+            .map(|(&kr, &ar)| kr * ar)
+            .sum()
+    }
+
+    /// Total weighted occupancy `k·A` of a state.
+    pub fn occupancy(bandwidths: &[u32], k: &[u32]) -> u32 {
+        k.iter()
+            .zip(bandwidths)
+            .map(|(&kr, &ar)| kr * ar)
+            .sum()
+    }
+}
+
+impl Iterator for StateIter {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        let current = self.next.take()?;
+        // Advance: increment the last class whose bump stays within
+        // capacity, zeroing everything after it.
+        let mut succ = current.clone();
+        let r_count = succ.len();
+        let mut used = self.used(&succ);
+        let mut pos = r_count;
+        loop {
+            if pos == 0 {
+                self.next = None;
+                break;
+            }
+            let r = pos - 1;
+            // Try to bump class r.
+            if used + self.bandwidths[r] <= self.capacity {
+                succ[r] += 1;
+                self.next = Some(succ);
+                break;
+            }
+            // Reset class r to zero and carry left.
+            used -= succ[r] * self.bandwidths[r];
+            succ[r] = 0;
+            pos -= 1;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(bw: &[u32], cap: u32) -> Vec<Vec<u32>> {
+        StateIter::new(bw, cap).collect()
+    }
+
+    #[test]
+    fn single_class_unit_bandwidth() {
+        let states = collect(&[1], 3);
+        assert_eq!(states, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn single_class_wide_bandwidth() {
+        // a = 2, capacity 5 ⇒ k ∈ {0, 1, 2}.
+        let states = collect(&[2], 5);
+        assert_eq!(states, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn two_classes_mixed_bandwidth() {
+        // a = (1, 2), capacity 3.
+        let states = collect(&[1, 2], 3);
+        let expected: Vec<Vec<u32>> = vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![1, 0],
+            vec![1, 1],
+            vec![2, 0],
+            vec![3, 0],
+        ];
+        assert_eq!(states, expected);
+    }
+
+    #[test]
+    fn all_states_satisfy_capacity_and_none_missing() {
+        let bw = [1u32, 2, 3];
+        let cap = 7;
+        let states = collect(&bw, cap);
+        // Every yielded state fits.
+        for k in &states {
+            assert!(StateIter::occupancy(&bw, k) <= cap);
+        }
+        // Count against an independent triple loop.
+        let mut expect = 0usize;
+        for k1 in 0..=cap {
+            for k2 in 0..=cap / 2 {
+                for k3 in 0..=cap / 3 {
+                    if k1 + 2 * k2 + 3 * k3 <= cap {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(states.len(), expect);
+        // No duplicates.
+        let mut sorted = states.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), states.len());
+    }
+
+    #[test]
+    fn zero_capacity_yields_only_origin() {
+        assert_eq!(collect(&[1, 1], 0), vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn state_count_matches_closed_form_single_class() {
+        for cap in 0..20u32 {
+            for a in 1..4u32 {
+                assert_eq!(collect(&[a], cap).len() as u32, cap / a + 1);
+            }
+        }
+    }
+}

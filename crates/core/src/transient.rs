@@ -1,0 +1,410 @@
+//! Transient analysis of the crossbar CTMC by uniformisation — an
+//! extension beyond the paper, which analyses the stationary regime only.
+//!
+//! For switches small enough to enumerate `Γ(N)`, the continuous-time
+//! Markov chain with the product-form-consistent rates
+//!
+//! ```text
+//! q(k, k+1_r) = P(N1−k·A, a_r)·P(N2−k·A, a_r)·λ_r(k_r)
+//! q(k, k−1_r) = k_r·μ_r
+//! ```
+//!
+//! is built explicitly and `π(t) = π(0)·e^{Qt}` is evaluated by
+//! uniformisation: with `Λ ≥ max_k |q(k,k)|` and `P = I + Q/Λ`,
+//!
+//! ```text
+//! π(t) = Σ_{n≥0} Poisson(Λt; n) · π(0)·Pⁿ,
+//! ```
+//!
+//! truncated when the Poisson tail falls below `1e-12`. This answers
+//! questions the stationary analysis cannot: how long after power-on (or a
+//! traffic surge) the switch takes to reach its operating point, and what
+//! blocking looks like on the way there.
+
+use std::collections::HashMap;
+
+use xbar_numeric::{ln_factorial, permutation, NeumaierSum};
+
+use crate::brute::Brute;
+use crate::model::Model;
+use crate::state::StateIter;
+
+/// Hard cap on the enumerated state count (the dense vector iteration is
+/// `O(states · transitions)` per uniformisation step).
+pub const MAX_STATES: usize = 200_000;
+
+/// Explicit CTMC of a (small) crossbar model.
+pub struct Transient {
+    model: Model,
+    states: Vec<Vec<u32>>,
+    /// Sparse `P = I + Q/Λ` rows: `(column, probability)`.
+    p_rows: Vec<Vec<(usize, f64)>>,
+    /// Uniformisation rate `Λ`.
+    uniform_rate: f64,
+    /// Per-state, per-class availability (the paper-`B_r` integrand).
+    avail: Vec<Vec<f64>>,
+}
+
+impl Transient {
+    /// Build the chain. Uses `Λ = 1.02 × max exit rate`.
+    ///
+    /// # Panics
+    /// Panics if the state space exceeds [`MAX_STATES`].
+    pub fn new(model: &Model) -> Self {
+        Self::with_rate_margin(model, 1.02)
+    }
+
+    /// Build with an explicit uniformisation-rate margin (`Λ = margin ×
+    /// max exit rate`). Any `margin ≥ 1` must give identical results —
+    /// asserted in tests; exposed for exactly that invariance check.
+    pub fn with_rate_margin(model: &Model, margin: f64) -> Self {
+        assert!(margin >= 1.0);
+        let dims = model.dims();
+        let classes = model.workload().classes();
+        let bw: Vec<u32> = classes.iter().map(|c| c.bandwidth).collect();
+
+        let states: Vec<Vec<u32>> = StateIter::for_model(model).collect();
+        assert!(
+            states.len() <= MAX_STATES,
+            "state space too large for transient analysis: {}",
+            states.len()
+        );
+        let index: HashMap<&[u32], usize> = states
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_slice(), i))
+            .collect();
+
+        // Raw rate rows and exit rates.
+        let cap = dims.min_n();
+        let mut rate_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(states.len());
+        let mut max_exit = 0.0f64;
+        let mut avail = Vec::with_capacity(states.len());
+        for k in &states {
+            let ka = StateIter::occupancy(&bw, k);
+            let mut row = Vec::new();
+            let mut exit = 0.0;
+            let mut row_avail = Vec::with_capacity(classes.len());
+            for (r, class) in classes.iter().enumerate() {
+                let a = class.bandwidth;
+                // Birth.
+                if ka + a <= cap {
+                    let rate = permutation((dims.n1 - ka) as u64, a as u64)
+                        * permutation((dims.n2 - ka) as u64, a as u64)
+                        * class.lambda(k[r] as u64);
+                    if rate > 0.0 {
+                        let mut up = k.clone();
+                        up[r] += 1;
+                        row.push((index[up.as_slice()], rate));
+                        exit += rate;
+                    }
+                }
+                // Death.
+                if k[r] > 0 {
+                    let rate = k[r] as f64 * class.mu;
+                    let mut down = k.clone();
+                    down[r] -= 1;
+                    row.push((index[down.as_slice()], rate));
+                    exit += rate;
+                }
+                // Availability of this class in this state.
+                let tuples = permutation(dims.n1 as u64, a as u64)
+                    * permutation(dims.n2 as u64, a as u64);
+                row_avail.push(
+                    permutation((dims.n1 - ka) as u64, a as u64)
+                        * permutation((dims.n2 - ka) as u64, a as u64)
+                        / tuples,
+                );
+            }
+            max_exit = max_exit.max(exit);
+            rate_rows.push(row);
+            avail.push(row_avail);
+        }
+
+        let uniform_rate = (max_exit * margin).max(1e-300);
+        // P = I + Q/Λ.
+        let mut p_rows = Vec::with_capacity(states.len());
+        for (i, row) in rate_rows.iter().enumerate() {
+            let exit: f64 = row.iter().map(|(_, r)| r).sum();
+            let mut prow: Vec<(usize, f64)> =
+                row.iter().map(|&(j, r)| (j, r / uniform_rate)).collect();
+            prow.push((i, 1.0 - exit / uniform_rate));
+            p_rows.push(prow);
+        }
+
+        Transient {
+            model: model.clone(),
+            states,
+            p_rows,
+            uniform_rate,
+            avail,
+        }
+    }
+
+    /// Number of states in the chain.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Index of the empty state (all `k_r = 0`).
+    pub fn empty_state(&self) -> usize {
+        self.states
+            .iter()
+            .position(|k| k.iter().all(|&x| x == 0))
+            .expect("empty state exists")
+    }
+
+    fn step(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0f64; v.len()];
+        for (i, row) in self.p_rows.iter().enumerate() {
+            let vi = v[i];
+            if vi == 0.0 {
+                continue;
+            }
+            for &(j, p) in row {
+                out[j] += vi * p;
+            }
+        }
+        out
+    }
+
+    /// `π(t)` starting from the empty switch.
+    pub fn distribution(&self, t: f64) -> Vec<f64> {
+        let mut init = vec![0.0; self.states.len()];
+        init[self.empty_state()] = 1.0;
+        self.distribution_from(&init, t)
+    }
+
+    /// `π(t)` from an arbitrary initial distribution.
+    pub fn distribution_from(&self, init: &[f64], t: f64) -> Vec<f64> {
+        assert_eq!(init.len(), self.states.len());
+        assert!(t >= 0.0);
+        let lt = self.uniform_rate * t;
+        if lt == 0.0 {
+            return init.to_vec();
+        }
+        let mut out = vec![0.0f64; init.len()];
+        let mut v = init.to_vec();
+        let mut cumulative = 0.0f64;
+        let mut n = 0u64;
+        loop {
+            // Poisson(Λt; n) in log space (stable for huge Λt).
+            let ln_w = -lt + n as f64 * lt.ln() - ln_factorial(n);
+            let w = ln_w.exp();
+            if w > 0.0 {
+                for (o, &x) in out.iter_mut().zip(&v) {
+                    *o += w * x;
+                }
+            }
+            cumulative += w;
+            // Stop once the tail is negligible (past the mode).
+            if cumulative > 1.0 - 1e-12 && n as f64 > lt {
+                break;
+            }
+            assert!(
+                n < 1_000_000,
+                "uniformisation did not converge (Λt = {lt})"
+            );
+            v = self.step(&v);
+            n += 1;
+        }
+        // Renormalise away the Poisson-tail truncation residue.
+        let total: NeumaierSum = out.iter().cloned().collect();
+        let total = total.value();
+        for o in &mut out {
+            *o /= total;
+        }
+        out
+    }
+
+    /// Expected class-`r` concurrency at time `t` (from empty).
+    pub fn concurrency_at(&self, t: f64, r: usize) -> f64 {
+        let pi = self.distribution(t);
+        pi.iter()
+            .zip(&self.states)
+            .map(|(p, k)| p * k[r] as f64)
+            .sum()
+    }
+
+    /// The paper's non-blocking probability `B_r` evaluated against
+    /// `π(t)` — transient availability (from empty).
+    pub fn availability_at(&self, t: f64, r: usize) -> f64 {
+        let pi = self.distribution(t);
+        pi.iter()
+            .zip(&self.avail)
+            .map(|(p, row)| p * row[r])
+            .sum()
+    }
+
+    /// Smallest `t` (by doubling, then bisection) such that
+    /// `‖π(t) − π(∞)‖₁ ≤ eps` from the empty start — the switch's
+    /// relaxation time to its operating point.
+    pub fn relaxation_time(&self, eps: f64) -> f64 {
+        let stationary: Vec<f64> = {
+            let brute = Brute::new(&self.model);
+            brute.distribution().into_iter().map(|(_, p)| p).collect()
+        };
+        let dist = |t: f64| -> f64 {
+            let pi = self.distribution(t);
+            pi.iter()
+                .zip(&stationary)
+                .map(|(a, b)| (a - b).abs())
+                .sum()
+        };
+        let mut hi = 1.0 / self.model.workload().classes()[0].mu;
+        while dist(hi) > eps {
+            hi *= 2.0;
+            assert!(hi < 1e12, "no relaxation within horizon");
+        }
+        let mut lo = 0.0;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if dist(mid) > eps {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Dims;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+    }
+
+    fn small_model() -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.3))
+            .with(TrafficClass::bpp(0.2, 0.1, 2.0));
+        Model::new(Dims::square(3), w).unwrap()
+    }
+
+    #[test]
+    fn distribution_is_stochastic_at_all_times() {
+        let tr = Transient::new(&small_model());
+        for &t in &[0.0, 0.1, 1.0, 10.0, 100.0] {
+            let pi = tr.distribution(t);
+            close(pi.iter().sum::<f64>(), 1.0, 1e-10);
+            assert!(pi.iter().all(|&p| p >= -1e-15));
+        }
+    }
+
+    #[test]
+    fn t_zero_is_the_initial_state() {
+        let tr = Transient::new(&small_model());
+        let pi = tr.distribution(0.0);
+        assert_eq!(pi[tr.empty_state()], 1.0);
+    }
+
+    #[test]
+    fn converges_to_the_product_form() {
+        let m = small_model();
+        let tr = Transient::new(&m);
+        let pi = tr.distribution(200.0);
+        let brute = Brute::new(&m);
+        for ((k, want), got) in brute.distribution().iter().zip(&pi) {
+            close(*got, *want, 1e-6);
+            let _ = k;
+        }
+    }
+
+    #[test]
+    fn invariant_under_uniformisation_rate() {
+        // The defining correctness property of uniformisation: the answer
+        // cannot depend on the chosen Λ.
+        let m = small_model();
+        let a = Transient::with_rate_margin(&m, 1.0);
+        let b = Transient::with_rate_margin(&m, 3.7);
+        for &t in &[0.3, 2.0, 9.0] {
+            let pa = a.distribution(t);
+            let pb = b.distribution(t);
+            for (x, y) in pa.iter().zip(&pb) {
+                close(*x, *y, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn short_time_growth_matches_exit_rate_from_empty() {
+        // d/dt E[k_total] at t = 0 equals the total accepted-arrival rate
+        // out of the empty state.
+        let m = small_model();
+        let tr = Transient::new(&m);
+        let dt = 1e-4;
+        let classes = m.workload().classes();
+        let expect: f64 = classes
+            .iter()
+            .map(|c| {
+                permutation(3, c.bandwidth as u64).powi(2) * c.lambda(0)
+            })
+            .sum();
+        let growth = (tr.concurrency_at(dt, 0) + tr.concurrency_at(dt, 1)) / dt;
+        close(growth, expect, 1e-2);
+    }
+
+    #[test]
+    fn availability_decays_from_one_to_stationary() {
+        let m = small_model();
+        let tr = Transient::new(&m);
+        let b0 = tr.availability_at(0.0, 0);
+        close(b0, 1.0, 1e-12); // empty switch: everything available
+        let b_inf = tr.availability_at(300.0, 0);
+        let stationary = Brute::new(&m).nonblocking(0);
+        close(b_inf, stationary, 1e-6);
+        // Monotone in between for this birth-death-ish start.
+        let b1 = tr.availability_at(0.5, 0);
+        let b2 = tr.availability_at(2.0, 0);
+        assert!(b0 >= b1 && b1 >= b2 && b2 >= b_inf - 1e-9);
+    }
+
+    #[test]
+    fn relaxation_time_is_a_few_holding_times() {
+        let m = small_model();
+        let tr = Transient::new(&m);
+        let t = tr.relaxation_time(1e-4);
+        // Light load: relaxation is governed by μ ≈ 1–2, so O(1–20).
+        assert!(t > 0.1 && t < 50.0, "{t}");
+        // And it really is inside the tolerance there.
+        let pi = tr.distribution(t);
+        let want: Vec<f64> = Brute::new(&m)
+            .distribution()
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        let l1: f64 = pi.iter().zip(&want).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 <= 1.2e-4, "{l1}");
+    }
+
+    #[test]
+    fn custom_initial_distribution() {
+        let m = small_model();
+        let tr = Transient::new(&m);
+        // Start at stationarity: must stay there.
+        let stat: Vec<f64> = Brute::new(&m)
+            .distribution()
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        let pi = tr.distribution_from(&stat, 5.0);
+        for (a, b) in pi.iter().zip(&stat) {
+            close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state space too large")]
+    fn rejects_huge_state_spaces() {
+        // 5 unit-bandwidth classes on 64 ports: C(64+5,5)-ish ≈ 10⁷ states.
+        let w = Workload::from_classes(vec![TrafficClass::poisson(0.1); 5]);
+        let m = Model::new(Dims::square(64), w).unwrap();
+        let _ = Transient::new(&m);
+    }
+}

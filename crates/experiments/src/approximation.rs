@@ -1,0 +1,115 @@
+//! **Validation D (ours)** — how much accuracy the paper's exact analysis
+//! buys over the classical reduced-load (Erlang fixed-point)
+//! approximation, across switch size and operating point.
+//!
+//! The approximation treats ports as independent; the exact product form
+//! knows that busy inputs and busy outputs arrive in pairs. The error of
+//! ignoring that correlation is what this table measures.
+
+use xbar_core::approx::reduced_load;
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// Per-input offered loads swept.
+pub const LOADS: [f64; 4] = [0.05, 0.2, 0.5, 0.8];
+
+/// Switch sizes swept.
+pub const NS: [u32; 4] = [4, 16, 64, 256];
+
+/// One comparison row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Switch size.
+    pub n: u32,
+    /// Per-input offered load `u = N·ρ`.
+    pub load: f64,
+    /// Exact blocking (product form).
+    pub exact: f64,
+    /// Reduced-load approximation.
+    pub approx: f64,
+    /// Relative error `(approx − exact)/exact`.
+    pub rel_err: f64,
+}
+
+/// Compute one row.
+pub fn row(n: u32, load: f64) -> Row {
+    let rho = load / n as f64;
+    let model = Model::new(
+        Dims::square(n),
+        Workload::new().with(TrafficClass::poisson(rho)),
+    )
+    .expect("valid model");
+    let exact = solve(&model, Algorithm::Auto).expect("solvable").blocking(0);
+    let approx = reduced_load(&model).blocking(0);
+    Row {
+        n,
+        load,
+        exact,
+        approx,
+        rel_err: (approx - exact) / exact,
+    }
+}
+
+/// All rows.
+pub fn rows() -> Vec<Row> {
+    let cells: Vec<(u32, f64)> = NS
+        .iter()
+        .flat_map(|&n| LOADS.map(move |u| (n, u)))
+        .collect();
+    par_map(cells, |(n, u)| row(n, u))
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(["N", "load", "exact", "reduced_load", "rel_err"]);
+    for r in rows {
+        t.push([
+            r.n.to_string(),
+            format!("{:.2}", r.load),
+            format!("{:.6}", r.exact),
+            format!("{:.6}", r.approx),
+            format!("{:+.4}", r.rel_err),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximation_is_pessimistic_everywhere_tested() {
+        for r in rows() {
+            assert!(
+                r.rel_err >= -1e-9,
+                "N={} u={}: approx {} below exact {}",
+                r.n,
+                r.load,
+                r.approx,
+                r.exact
+            );
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_switch_size() {
+        // Port correlations matter less on big switches (mean-field gets
+        // better): at fixed load the relative error decreases in N.
+        for &u in &LOADS {
+            let e4 = row(4, u).rel_err;
+            let e64 = row(64, u).rel_err;
+            assert!(e64 <= e4 + 1e-9, "u={u}: {e64} !<= {e4}");
+        }
+    }
+
+    #[test]
+    fn error_is_single_digit_percent_at_scale() {
+        for &u in &LOADS {
+            let r = row(256, u);
+            assert!(r.rel_err.abs() < 0.1, "u={u}: {}", r.rel_err);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Regenerate every table and figure in one go (CSV in out/).
+use xbar_experiments::*;
+
+fn main() {
+    println!("=== Figure 1 ===");
+    let r = fig1::rows();
+    write_csv("fig1.csv", &fig1::table(&r).to_csv()).unwrap();
+    let sparse: Vec<_> = r.iter().filter(|x| x.n.is_power_of_two()).cloned().collect();
+    println!("{}", fig1::table(&sparse).to_text());
+
+    println!("=== Figure 2 ===");
+    let r = fig2::rows();
+    write_csv("fig2.csv", &fig2::table(&r).to_csv()).unwrap();
+    let sparse: Vec<_> = r.iter().filter(|x| x.n.is_power_of_two()).cloned().collect();
+    println!("{}", fig2::table(&sparse).to_text());
+
+    println!("=== Figure 3 ===");
+    let r = fig3::rows();
+    write_csv("fig3.csv", &fig3::table(&r).to_csv()).unwrap();
+    let sparse: Vec<_> = r.iter().filter(|x| x.n.is_power_of_two()).cloned().collect();
+    println!("{}", fig3::table(&sparse).to_text());
+
+    println!("=== Figure 4 / Table 1 ===");
+    let r = fig4::rows();
+    write_csv("fig4.csv", &fig4::table(&r).to_csv()).unwrap();
+    write_csv("table1.csv", &fig4::table1(&r).to_csv()).unwrap();
+    println!("{}", fig4::table1(&r).to_text());
+    println!("{}", fig4::table(&r).to_text());
+
+    println!("=== Table 2 ===");
+    let r = table2::rows();
+    write_csv("table2.csv", &table2::table(&r).to_csv()).unwrap();
+    println!("{}", table2::table(&r).to_text());
+
+    println!("=== Validation A: analytic vs simulation ===");
+    let r = validate_sim::rows(200_000.0, 2024);
+    write_csv("validate_sim.csv", &validate_sim::table(&r).to_csv()).unwrap();
+    println!("{}", validate_sim::table(&r).to_text());
+
+    println!("=== Validation B: insensitivity ===");
+    let r = insensitivity::rows(200_000.0, 77);
+    write_csv("insensitivity.csv", &insensitivity::table(&r).to_csv()).unwrap();
+    println!("{}", insensitivity::table(&r).to_text());
+
+    println!("=== Validation C: baselines ===");
+    let r = compare_baselines::rows(11);
+    write_csv("baselines.csv", &compare_baselines::table(&r).to_csv()).unwrap();
+    println!("{}", compare_baselines::table(&r).to_text());
+
+    println!("=== Validation D: exact vs reduced-load approximation ===");
+    let r = approximation::rows();
+    write_csv("approximation.csv", &approximation::table(&r).to_csv()).unwrap();
+    println!("{}", approximation::table(&r).to_text());
+
+    println!("=== Validation E: rectangular switches ===");
+    let r = rectangular::rows();
+    write_csv("rectangular.csv", &rectangular::table(&r).to_csv()).unwrap();
+    println!("{}", rectangular::table(&r).to_text());
+
+    println!("=== Validation F: transient warm-up ===");
+    let r = transient_warmup::rows();
+    write_csv("transient.csv", &transient_warmup::table(&r).to_csv()).unwrap();
+    println!("{}", transient_warmup::table(&r).to_text());
+
+    println!("=== Validation G: retrial impact ===");
+    let r = retrial_impact::rows(200_000.0, 7);
+    write_csv("retrial.csv", &retrial_impact::table(&r).to_csv()).unwrap();
+    println!("{}", retrial_impact::table(&r).to_text());
+
+    println!("=== Validation H: multistage-network analysis ===");
+    let r = min_analysis::rows(17);
+    write_csv("min_analysis.csv", &min_analysis::table(&r).to_csv()).unwrap();
+    println!("{}", min_analysis::table(&r).to_text());
+
+    println!("=== Validation I: trunk reservation ===");
+    let r = reservation::rows();
+    write_csv("reservation.csv", &reservation::table(&r).to_csv()).unwrap();
+    println!("{}", reservation::table(&r).to_text());
+
+    println!("=== Validation J: hot-spot traffic ===");
+    let r = hotspot_sweep::rows(100_000.0, 33);
+    write_csv("hotspot.csv", &hotspot_sweep::table(&r).to_csv()).unwrap();
+    println!("{}", hotspot_sweep::table(&r).to_text());
+
+    println!("All CSV artefacts written to out/");
+}

@@ -1,0 +1,10 @@
+//! Validation D: exact product form vs reduced-load approximation.
+use xbar_experiments::{approximation, write_csv};
+
+fn main() {
+    let rows = approximation::rows();
+    println!("Validation D — exact vs reduced-load (Erlang fixed-point)\n");
+    println!("{}", approximation::table(&rows).to_text());
+    let path = write_csv("approximation.csv", &approximation::table(&rows).to_csv()).expect("write CSV");
+    println!("written to {}", path.display());
+}

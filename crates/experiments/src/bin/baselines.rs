@@ -1,0 +1,10 @@
+//! Validation C: async crossbar vs slotted crossbar vs Omega MIN.
+use xbar_experiments::{compare_baselines, write_csv};
+
+fn main() {
+    let rows = compare_baselines::rows(11);
+    println!("Validation C — crossbar vs slotted vs Omega MIN at N = {}\n", compare_baselines::N);
+    println!("{}", compare_baselines::table(&rows).to_text());
+    let path = write_csv("baselines.csv", &compare_baselines::table(&rows).to_csv()).expect("write CSV");
+    println!("written to {}", path.display());
+}

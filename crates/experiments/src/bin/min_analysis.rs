@@ -1,0 +1,10 @@
+//! Validation H: analytic multistage-network model vs simulation.
+use xbar_experiments::{min_analysis, write_csv};
+
+fn main() {
+    let rows = min_analysis::rows(17);
+    println!("Validation H — Omega MIN: simulation vs reduced-load fixed point vs crossbar\n");
+    println!("{}", min_analysis::table(&rows).to_text());
+    let path = write_csv("min_analysis.csv", &min_analysis::table(&rows).to_csv()).expect("write CSV");
+    println!("written to {}", path.display());
+}

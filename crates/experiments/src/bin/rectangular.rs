@@ -1,0 +1,10 @@
+//! Validation E: aspect-ratio sweep at a fixed port budget.
+use xbar_experiments::{rectangular, write_csv};
+
+fn main() {
+    let rows = rectangular::rows();
+    println!("Validation E — rectangular switches, N1 + N2 = {}\n", rectangular::PORT_BUDGET);
+    println!("{}", rectangular::table(&rows).to_text());
+    let path = write_csv("rectangular.csv", &rectangular::table(&rows).to_csv()).expect("write CSV");
+    println!("written to {}", path.display());
+}

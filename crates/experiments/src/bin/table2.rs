@@ -1,0 +1,11 @@
+//! Regenerate Table 2 (revenue-oriented analysis) with paper deltas.
+use xbar_experiments::{table2, write_csv};
+
+fn main() {
+    let rows = table2::rows();
+    println!("Table 2 — revenue analysis (ours vs paper; see DESIGN.md on the");
+    println!("blocking column's known inconsistency with the stated model)\n");
+    println!("{}", table2::table(&rows).to_text());
+    let path = write_csv("table2.csv", &table2::table(&rows).to_csv()).expect("write CSV");
+    println!("written to {}", path.display());
+}

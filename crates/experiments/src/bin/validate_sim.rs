@@ -1,0 +1,10 @@
+//! Validation A: analytic model vs discrete-event simulation.
+use xbar_experiments::{validate_sim, write_csv};
+
+fn main() {
+    let rows = validate_sim::rows(200_000.0, 2024);
+    println!("Validation A — analytic vs simulation (95% CIs)\n");
+    println!("{}", validate_sim::table(&rows).to_text());
+    let path = write_csv("validate_sim.csv", &validate_sim::table(&rows).to_csv()).expect("write CSV");
+    println!("written to {}", path.display());
+}

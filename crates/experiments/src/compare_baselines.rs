@@ -1,0 +1,154 @@
+//! **Validation C (ours)** — the asynchronous crossbar against the two
+//! architectures the paper's introduction positions it between:
+//!
+//! * the **synchronous slotted crossbar** (the ATM-style model of §2's
+//!   contrast, Patel's analysis), and
+//! * the **Omega multistage interconnection network** (the `O(N log N)`
+//!   alternative whose internal blocking motivates optical crossbars).
+//!
+//! Load matching: each point fixes the per-input offered load `u` Erlangs
+//! (`u = N·λ/μ` for the asynchronous models, request probability `p = u`
+//! per slot for the slotted one) and compares request-acceptance
+//! probabilities. The asynchronous and slotted disciplines are different
+//! queueing objects, so only the qualitative ordering is meaningful:
+//! crossbars (async or slotted) beat the Omega MIN, whose internal links
+//! add blocking the crossbar doesn't have.
+
+use xbar_baselines::omega::{OmegaConfig, OmegaSim};
+use xbar_baselines::slotted::{slotted_acceptance, SlottedCrossbarSim};
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_sim::ServiceDist;
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// Per-input offered loads compared.
+pub const LOADS: [f64; 4] = [0.1, 0.3, 0.5, 0.7];
+
+/// Switch size (power of two for the Omega network).
+pub const N: u32 = 16;
+
+/// One comparison row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Per-input offered load `u`.
+    pub load: f64,
+    /// Async crossbar blocking (analytic, exact).
+    pub xbar_analytic: f64,
+    /// Slotted crossbar per-request loss (closed form).
+    pub slotted_formula: f64,
+    /// Slotted crossbar per-request loss (simulated).
+    pub slotted_sim: f64,
+    /// Omega MIN blocking (simulated).
+    pub omega_sim: f64,
+    /// End-port-only blocking inside the same Omega run — what a crossbar
+    /// would have rejected from the identical call sequence.
+    pub omega_crossbar_part: f64,
+}
+
+/// Compute one row at per-input load `u`.
+pub fn row(u: f64, seed: u64) -> Row {
+    // Asynchronous crossbar, analytic: per-pair rate λ = u·μ/N, μ = 1.
+    let lambda = u / N as f64;
+    let model = Model::new(
+        Dims::square(N),
+        Workload::new().with(TrafficClass::poisson(lambda)),
+    )
+    .unwrap();
+    let xbar_analytic = solve(&model, Algorithm::Auto).unwrap().blocking(0);
+
+    let slotted_formula = 1.0 - slotted_acceptance(N, N, u);
+    let slotted_sim = {
+        let mut sim = SlottedCrossbarSim::new(N, N, u, seed);
+        1.0 - sim.run(300_000).acceptance
+    };
+
+    let stages = (N as f64).log2() as u32;
+    let omega = OmegaSim::new(
+        OmegaConfig {
+            stages,
+            lambda,
+            service: ServiceDist::Exponential { mean: 1.0 },
+        },
+        seed,
+    )
+    .run(500.0, 30_000.0, 10);
+
+    Row {
+        load: u,
+        xbar_analytic,
+        slotted_formula,
+        slotted_sim,
+        omega_sim: omega.blocking.mean,
+        omega_crossbar_part: omega.crossbar_blocking.mean,
+    }
+}
+
+/// All rows.
+pub fn rows(seed: u64) -> Vec<Row> {
+    par_map(LOADS.to_vec(), move |u| row(u, seed))
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new([
+        "load",
+        "xbar_async",
+        "slotted_formula",
+        "slotted_sim",
+        "omega_sim",
+        "omega_endport_part",
+    ]);
+    for r in rows {
+        t.push([
+            format!("{:.2}", r.load),
+            format!("{:.5}", r.xbar_analytic),
+            format!("{:.5}", r.slotted_formula),
+            format!("{:.5}", r.slotted_sim),
+            format!("{:.5}", r.omega_sim),
+            format!("{:.5}", r.omega_crossbar_part),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_pays_an_internal_blocking_penalty() {
+        for r in rows(5) {
+            assert!(
+                r.omega_sim > r.omega_crossbar_part,
+                "load {}: omega {} !> end-port part {}",
+                r.load,
+                r.omega_sim,
+                r.omega_crossbar_part
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_monotone_in_load_for_every_architecture() {
+        let rows = rows(6);
+        for pair in rows.windows(2) {
+            assert!(pair[1].xbar_analytic >= pair[0].xbar_analytic);
+            assert!(pair[1].slotted_formula >= pair[0].slotted_formula);
+            assert!(pair[1].omega_sim >= pair[0].omega_sim - 0.01);
+        }
+    }
+
+    #[test]
+    fn slotted_simulation_matches_its_closed_form() {
+        for r in rows(7) {
+            assert!(
+                (r.slotted_sim - r.slotted_formula).abs() < 0.01,
+                "load {}: {} vs {}",
+                r.load,
+                r.slotted_sim,
+                r.slotted_formula
+            );
+        }
+    }
+}

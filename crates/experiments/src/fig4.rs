@@ -1,0 +1,154 @@
+//! **Figure 4 + Table 1** — multi-rate traffic: `a = 2` requests block far
+//! more than `a = 1` requests at the same total offered load.
+//!
+//! Table 1 (as printed) gives the aggregated loads for total load
+//! `τ = .0048`:
+//!
+//! * `ρ̃1 = τ/(2N)` for the `a = 1` class — note the paper's *text* says
+//!   `ρ̃_r = τ/C(N1, a_r)`, which would be `τ/N`; the printed table has an
+//!   extra factor 2 for this class. We reproduce the printed values and
+//!   check both against the stated formula (see tests);
+//! * `ρ̃2 = τ/C(N, 2)` for the `a = 2` class — matching the text formula.
+//!
+//! Each class is analysed on its own switch (the paper: "considering each
+//! traffic type separately").
+
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_numeric::binomial;
+use xbar_traffic::{TildeClass, Workload};
+
+use crate::{par_map, Table};
+
+/// Total load `τ` (paper §7).
+pub const TAU: f64 = 0.0048;
+
+/// The switch sizes of Table 1.
+pub const NS: [u32; 5] = [4, 8, 16, 32, 64];
+
+/// One Table 1 row with its Figure 4 blocking values.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Switch size.
+    pub n: u32,
+    /// Printed `ρ̃1 = τ/(2N)`.
+    pub rho1_tilde: f64,
+    /// Printed `ρ̃2 = τ/C(N,2)`.
+    pub rho2_tilde: f64,
+    /// Blocking of the `a = 1` class alone.
+    pub blocking_a1: f64,
+    /// Blocking of the `a = 2` class alone.
+    pub blocking_a2: f64,
+}
+
+/// The printed Table 1 loads for a given `N`.
+pub fn table1_loads(n: u32) -> (f64, f64) {
+    (
+        TAU / (2.0 * n as f64),
+        TAU / binomial(n as u64, 2),
+    )
+}
+
+/// Blocking of a single class with bandwidth `a` and aggregated load
+/// `ρ̃` on an `N × N` switch.
+pub fn blocking_single_class(n: u32, a: u32, rho_tilde: f64) -> f64 {
+    let tilde = TildeClass::poisson(rho_tilde).with_bandwidth(a);
+    let model = Model::new(Dims::square(n), Workload::from_tilde(&[tilde], n))
+        .expect("valid Fig 4 model");
+    solve(&model, Algorithm::Auto).expect("solvable").blocking(0)
+}
+
+/// All rows.
+pub fn rows() -> Vec<Row> {
+    par_map(NS.to_vec(), |n| {
+        let (rho1, rho2) = table1_loads(n);
+        Row {
+            n,
+            rho1_tilde: rho1,
+            rho2_tilde: rho2,
+            blocking_a1: blocking_single_class(n, 1, rho1),
+            blocking_a2: blocking_single_class(n, 2, rho2),
+        }
+    })
+}
+
+/// Table 1 as printed (loads only).
+pub fn table1(rows: &[Row]) -> Table {
+    let mut t = Table::new(["N1", "rho1_tilde", "rho2_tilde"]);
+    for r in rows {
+        t.push([
+            r.n.to_string(),
+            format!("{:.7}", r.rho1_tilde),
+            format!("{:.8}", r.rho2_tilde),
+        ]);
+    }
+    t
+}
+
+/// Figure 4: the two blocking curves.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(["N", "blocking_a1", "blocking_a2", "ratio"]);
+    for r in rows {
+        t.push([
+            r.n.to_string(),
+            format!("{:.8}", r.blocking_a1),
+            format!("{:.8}", r.blocking_a2),
+            format!("{:.2}", r.blocking_a2 / r.blocking_a1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_match_printed_table1() {
+        // Paper Table 1, all five rows, both columns.
+        let printed = [
+            (4u32, 0.000600, 0.000800),
+            (8, 0.000300, 0.000171),
+            (16, 0.000150, 0.0000400),
+            (32, 0.0000750, 0.00000967),
+            (64, 0.0000375, 0.00000238),
+        ];
+        for (n, p1, p2) in printed {
+            let (r1, r2) = table1_loads(n);
+            assert!((r1 - p1).abs() < 5e-7, "N={n}: rho1 {r1} vs printed {p1}");
+            assert!(
+                (r2 - p2).abs() < 5e-8 * (1.0 + p2 / 1e-6),
+                "N={n}: rho2 {r2} vs printed {p2}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_formula_disagrees_with_table_for_a1() {
+        // Documents the paper-internal inconsistency: the text formula
+        // τ/C(N,1) = τ/N is exactly twice the printed ρ̃1.
+        let (r1, _) = table1_loads(8);
+        let text = TAU / 8.0;
+        assert!((text - 2.0 * r1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_requests_block_significantly_more() {
+        // The headline claim of Figure 4.
+        for row in rows() {
+            assert!(
+                row.blocking_a2 > row.blocking_a1,
+                "N={}: {} !> {}",
+                row.n,
+                row.blocking_a2,
+                row.blocking_a1
+            );
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let rows = rows();
+        assert_eq!(table1(&rows).len(), NS.len());
+        assert_eq!(table(&rows).len(), NS.len());
+    }
+}

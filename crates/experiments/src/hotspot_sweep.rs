@@ -1,0 +1,133 @@
+//! **Validation J (ours)** — hot-spot (non-uniform) output traffic, the
+//! scenario of the authors' companion paper \[28\] that this paper's
+//! uniform model cannot cover. Simulation-only: sweeping the redirected
+//! fraction `h` shows how a single popular output degrades the whole
+//! switch, and how far the uniform analysis (the `h = 0` anchor, which the
+//! simulator must reproduce exactly) remains a useful lower bound.
+
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_sim::hotspot::{HotspotConfig, HotspotSim};
+use xbar_sim::ServiceDist;
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// Switch size.
+pub const N: u32 = 16;
+
+/// Per-pair uniform-component arrival rate.
+pub const LAMBDA: f64 = 0.01;
+
+/// Hot fractions swept.
+pub const HOT_FRACTIONS: [f64; 5] = [0.0, 0.1, 0.2, 0.4, 0.6];
+
+/// One row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Redirected fraction `h`.
+    pub hot_fraction: f64,
+    /// Overall call blocking (simulated).
+    pub blocking: f64,
+    /// Blocking of calls aimed at the hot output.
+    pub hot_blocking: f64,
+    /// Blocking of calls aimed at cold outputs.
+    pub cold_blocking: f64,
+    /// Hot-output utilisation.
+    pub hot_utilisation: f64,
+    /// Mean cold-output utilisation.
+    pub cold_utilisation: f64,
+    /// The uniform-model analytic blocking (exact for `h = 0`).
+    pub uniform_analytic: f64,
+}
+
+/// Compute all rows.
+pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
+    let model = Model::new(
+        Dims::square(N),
+        Workload::new().with(TrafficClass::poisson(LAMBDA)),
+    )
+    .expect("valid uniform model");
+    let uniform_analytic = solve(&model, Algorithm::Auto).unwrap().blocking(0);
+    par_map(HOT_FRACTIONS.to_vec(), move |h| {
+        let rep = HotspotSim::new(
+            HotspotConfig {
+                n1: N,
+                n2: N,
+                lambda: LAMBDA,
+                hot_fraction: h,
+                service: ServiceDist::Exponential { mean: 1.0 },
+            },
+            seed,
+        )
+        .run(duration / 50.0, duration, 20);
+        Row {
+            hot_fraction: h,
+            blocking: rep.blocking.mean,
+            hot_blocking: rep.hot_blocking.mean,
+            cold_blocking: rep.cold_blocking.mean,
+            hot_utilisation: rep.hot_utilisation,
+            cold_utilisation: rep.cold_utilisation,
+            uniform_analytic,
+        }
+    })
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new([
+        "hot_fraction",
+        "blocking",
+        "hot_blocking",
+        "cold_blocking",
+        "hot_util",
+        "cold_util",
+        "uniform_analytic",
+    ]);
+    for r in rows {
+        t.push([
+            format!("{:.2}", r.hot_fraction),
+            format!("{:.5}", r.blocking),
+            format!("{:.5}", r.hot_blocking),
+            format!("{:.5}", r.cold_blocking),
+            format!("{:.4}", r.hot_utilisation),
+            format!("{:.4}", r.cold_utilisation),
+            format!("{:.5}", r.uniform_analytic),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_anchor_matches_the_analytic_model() {
+        let rows = rows(40_000.0, 33);
+        let h0 = &rows[0];
+        assert!(
+            (h0.blocking - h0.uniform_analytic).abs() < 0.01,
+            "h=0 sim {} vs analytic {}",
+            h0.blocking,
+            h0.uniform_analytic
+        );
+    }
+
+    #[test]
+    fn hotter_spot_more_blocking_everywhere() {
+        let rows = rows(40_000.0, 34);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].blocking >= pair[0].blocking - 0.005,
+                "{:?} -> {:?}",
+                pair[0].blocking,
+                pair[1].blocking
+            );
+        }
+        // And the hot output is the bottleneck: it blocks far more than
+        // cold ones once h is substantial.
+        let last = rows.last().unwrap();
+        assert!(last.hot_blocking > 2.0 * last.cold_blocking);
+        assert!(last.hot_utilisation > 2.0 * last.cold_utilisation);
+    }
+}

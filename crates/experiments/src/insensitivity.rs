@@ -1,0 +1,119 @@
+//! **Validation B (ours)** — the insensitivity property: the paper's
+//! stationary distribution depends on holding times only through their
+//! mean (§2, ref \[7\]). We hold the mean at `1/μ = 1` and sweep the
+//! holding-time *shape* from constant (`c² = 0`) to heavy-tailed Pareto
+//! (`c²` infinite-ish), checking the simulated availability against the
+//! single analytic value.
+
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_sim::{CrossbarSim, RunConfig, ServiceDist, SimConfig};
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// The class used everywhere (Pascal — the bursty case is the interesting
+/// one, since for it insensitivity is *not* folklore).
+pub fn class() -> TrafficClass {
+    TrafficClass::bpp(0.04, 0.3, 1.0)
+}
+
+/// Switch size.
+pub const N: u32 = 6;
+
+/// The service-law menu.
+pub fn menu() -> Vec<(&'static str, ServiceDist)> {
+    vec![
+        ("exponential", ServiceDist::Exponential { mean: 1.0 }),
+        ("deterministic", ServiceDist::Deterministic { mean: 1.0 }),
+        ("erlang-4", ServiceDist::Erlang { mean: 1.0, k: 4 }),
+        ("hyperexp-cv4", ServiceDist::HyperExp { mean: 1.0, cv2: 4.0 }),
+        ("uniform", ServiceDist::Uniform { mean: 1.0 }),
+        ("lognormal-cv2", ServiceDist::LogNormal { mean: 1.0, cv2: 2.0 }),
+        ("pareto-2.5", ServiceDist::Pareto { mean: 1.0, shape: 2.5 }),
+    ]
+}
+
+/// One comparison row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Distribution label.
+    pub dist: &'static str,
+    /// Its squared coefficient of variation.
+    pub cv2: f64,
+    /// Simulated availability mean.
+    pub sim: f64,
+    /// Simulated CI half-width.
+    pub ci: f64,
+    /// The one analytic value all rows must match.
+    pub analytic: f64,
+}
+
+/// Run the sweep.
+pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
+    let model = Model::new(Dims::square(N), Workload::new().with(class())).unwrap();
+    let analytic = solve(&model, Algorithm::Auto).unwrap().nonblocking(0);
+    par_map(menu(), move |(dist_label, dist)| {
+        let cfg = SimConfig::new(N, N).with_class(class(), dist);
+        let mut sim = CrossbarSim::new(cfg, seed);
+        let rep = sim.run(RunConfig {
+            warmup: duration / 50.0,
+            duration,
+            batches: 20,
+        });
+        Row {
+            dist: dist_label,
+            cv2: dist.cv2(),
+            sim: rep.classes[0].availability.mean,
+            ci: rep.classes[0].availability.half_width,
+            analytic,
+        }
+    })
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(["service", "cv2", "B_sim", "ci", "B_analytic", "delta"]);
+    for r in rows {
+        t.push([
+            r.dist.to_string(),
+            format!("{:.2}", r.cv2),
+            format!("{:.6}", r.sim),
+            format!("{:.6}", r.ci),
+            format!("{:.6}", r.analytic),
+            format!("{:+.6}", r.sim - r.analytic),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_is_insensitive_to_service_shape() {
+        let rows = rows(40_000.0, 77);
+        assert_eq!(rows.len(), menu().len());
+        for r in &rows {
+            assert!(
+                (r.sim - r.analytic).abs() <= r.ci + 0.012,
+                "{}: sim {}±{} vs analytic {}",
+                r.dist,
+                r.sim,
+                r.ci,
+                r.analytic
+            );
+        }
+        // And the spread across distributions is itself small.
+        let max = rows.iter().map(|r| r.sim).fold(f64::MIN, f64::max);
+        let min = rows.iter().map(|r| r.sim).fold(f64::MAX, f64::min);
+        assert!(max - min < 0.03, "spread {}", max - min);
+    }
+
+    #[test]
+    fn menu_spans_cv2_range() {
+        let m = menu();
+        assert!(m.iter().any(|(_, d)| d.cv2() == 0.0));
+        assert!(m.iter().any(|(_, d)| d.cv2() > 3.0));
+    }
+}

@@ -1,0 +1,121 @@
+//! **Validation H (ours)** — the paper's second future-work item:
+//! analysing the *asynchronous multistage network*. We compare, across
+//! load, the Omega-network simulation against our per-link reduced-load
+//! fixed point and against the exact crossbar analysis — quantifying both
+//! how far mean-field analysis gets on a shuffle network and how much
+//! blocking the multistage fabric adds over the crossbar.
+
+use xbar_baselines::omega::{omega_reduced_load, OmegaConfig, OmegaSim};
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_sim::ServiceDist;
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// Network size (2^stages ports).
+pub const STAGES: u32 = 4;
+
+/// Per-input offered loads.
+pub const LOADS: [f64; 5] = [0.05, 0.1, 0.2, 0.4, 0.7];
+
+/// One row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Per-input offered load.
+    pub load: f64,
+    /// Omega blocking, simulated (ground truth for the MIN).
+    pub omega_sim: f64,
+    /// Omega blocking, reduced-load fixed point.
+    pub omega_analytic: f64,
+    /// Relative error of the fixed point.
+    pub rel_err: f64,
+    /// Exact crossbar blocking at the same load (the non-blocking fabric).
+    pub crossbar: f64,
+    /// The multistage penalty (sim − crossbar).
+    pub min_penalty: f64,
+}
+
+/// Compute one row.
+pub fn row(load: f64, seed: u64) -> Row {
+    let n = 1u32 << STAGES;
+    let lambda = load / n as f64;
+    let sim = OmegaSim::new(
+        OmegaConfig {
+            stages: STAGES,
+            lambda,
+            service: ServiceDist::Exponential { mean: 1.0 },
+        },
+        seed,
+    )
+    .run(500.0, 40_000.0, 10);
+    let analytic = omega_reduced_load(STAGES, lambda, 1.0);
+    let model = Model::new(
+        Dims::square(n),
+        Workload::new().with(TrafficClass::poisson(lambda)),
+    )
+    .unwrap();
+    let crossbar = solve(&model, Algorithm::Auto).unwrap().blocking(0);
+    Row {
+        load,
+        omega_sim: sim.blocking.mean,
+        omega_analytic: analytic,
+        rel_err: (analytic - sim.blocking.mean) / sim.blocking.mean,
+        crossbar,
+        min_penalty: sim.blocking.mean - crossbar,
+    }
+}
+
+/// All rows.
+pub fn rows(seed: u64) -> Vec<Row> {
+    par_map(LOADS.to_vec(), move |u| row(u, seed))
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new([
+        "load",
+        "omega_sim",
+        "omega_fixed_point",
+        "rel_err",
+        "crossbar_exact",
+        "min_penalty",
+    ]);
+    for r in rows {
+        t.push([
+            format!("{:.2}", r.load),
+            format!("{:.5}", r.omega_sim),
+            format!("{:.5}", r.omega_analytic),
+            format!("{:+.3}", r.rel_err),
+            format!("{:.5}", r.crossbar),
+            format!("{:+.5}", r.min_penalty),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_is_pessimistic_and_tightens_with_load() {
+        let rows = rows(17);
+        for r in &rows {
+            assert!(r.rel_err > 0.0, "load {}: {}", r.load, r.rel_err);
+        }
+        let first = rows.first().unwrap().rel_err;
+        let last = rows.last().unwrap().rel_err;
+        assert!(last < first, "rel err did not tighten: {first} -> {last}");
+    }
+
+    #[test]
+    fn multistage_penalty_is_positive_and_grows_then_saturates() {
+        let rows = rows(18);
+        for r in &rows {
+            assert!(r.min_penalty > 0.0, "load {}", r.load);
+        }
+        // The penalty at moderate load exceeds the penalty at very light
+        // load in absolute terms.
+        assert!(rows[3].min_penalty > rows[0].min_penalty);
+    }
+}

@@ -1,0 +1,136 @@
+//! **Validation I (ours)** — trunk reservation: turning §4's shadow-price
+//! diagnosis into control. Sweeping the reservation threshold against the
+//! second class maps the protection/revenue trade-off for two mixes. The
+//! measured structure is *bang-bang*: when the second class is cheap
+//! relative to the ports it occupies (its `w` below its §4 shadow cost),
+//! maximal reservation wins; when the classes are comparably valuable,
+//! laissez-faire (`t = 0`) wins — the revenue-optimal policy jumps between
+//! the extremes with the value asymmetry, exactly what the shadow-price
+//! inequality `w_r ≷ ΔW` predicts.
+
+use xbar_core::policy::solve_policy;
+use xbar_core::{Dims, Model};
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// Switch size (kept small: the policy chain is solved numerically).
+pub const N: u32 = 6;
+
+/// Thresholds swept for the cheap class.
+pub const THRESHOLDS: [u32; 6] = [0, 1, 2, 3, 4, 5];
+
+/// Which mix a row belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    /// Second class cheap relative to its port usage (`w2 = 0.05`).
+    Skewed,
+    /// Second class comparably valuable (`w2 = 0.6`).
+    Balanced,
+}
+
+/// The two mixes.
+pub fn model(mix: Mix) -> Model {
+    let w2 = match mix {
+        Mix::Skewed => 0.05,
+        Mix::Balanced => 0.6,
+    };
+    let w = Workload::new()
+        .with(TrafficClass::poisson(0.02).with_weight(1.0))
+        .with(TrafficClass::poisson(0.08).with_weight(w2));
+    Model::new(Dims::square(N), w).unwrap()
+}
+
+/// One row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Which mix.
+    pub mix: Mix,
+    /// Spare-slot threshold imposed on the second class.
+    pub threshold: u32,
+    /// First (always-valuable) class blocking.
+    pub blocking_valuable: f64,
+    /// Second-class blocking.
+    pub blocking_second: f64,
+    /// Revenue `W`.
+    pub revenue: f64,
+}
+
+/// Compute all rows for both mixes.
+pub fn rows() -> Vec<Row> {
+    let mut cells = Vec::new();
+    for mix in [Mix::Skewed, Mix::Balanced] {
+        for &t in &THRESHOLDS {
+            cells.push((mix, t));
+        }
+    }
+    par_map(cells, |(mix, t)| {
+        let pol = solve_policy(&model(mix), &[0, t]);
+        Row {
+            mix,
+            threshold: t,
+            blocking_valuable: pol.blocking[0],
+            blocking_second: pol.blocking[1],
+            revenue: pol.revenue,
+        }
+    })
+}
+
+/// The revenue-maximising row of one mix.
+pub fn best(rows: &[Row], mix: Mix) -> Row {
+    *rows
+        .iter()
+        .filter(|r| r.mix == mix)
+        .max_by(|a, b| a.revenue.partial_cmp(&b.revenue).unwrap())
+        .expect("non-empty")
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new([
+        "mix",
+        "threshold",
+        "blocking_class1",
+        "blocking_class2",
+        "revenue",
+    ]);
+    for r in rows {
+        t.push([
+            format!("{:?}", r.mix).to_lowercase(),
+            r.threshold.to_string(),
+            format!("{:.5}", r.blocking_valuable),
+            format!("{:.5}", r.blocking_second),
+            format!("{:.6}", r.revenue),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_is_monotone_in_threshold() {
+        let rows = rows();
+        for mix in [Mix::Skewed, Mix::Balanced] {
+            let series: Vec<&Row> = rows.iter().filter(|r| r.mix == mix).collect();
+            for pair in series.windows(2) {
+                assert!(pair[1].blocking_valuable <= pair[0].blocking_valuable + 1e-9);
+                assert!(pair[1].blocking_second >= pair[0].blocking_second - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_policy_is_bang_bang_in_the_value_asymmetry() {
+        let rows = rows();
+        // Cheap second class: reserve hard.
+        let skewed = best(&rows, Mix::Skewed);
+        assert_eq!(skewed.threshold, *THRESHOLDS.last().unwrap());
+        assert!(skewed.revenue > rows.iter().find(|r| r.mix == Mix::Skewed).unwrap().revenue);
+        // Comparably valuable second class: don't reserve at all.
+        let balanced = best(&rows, Mix::Balanced);
+        assert_eq!(balanced.threshold, 0);
+    }
+}

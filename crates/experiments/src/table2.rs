@@ -1,0 +1,338 @@
+//! **Table 2** — revenue-oriented analysis of two classes (Poisson class 1
+//! worth `w1 = 1.0` per connection, bursty class 2 worth `w2 = .0001`),
+//! across three parameter sets and `N ∈ {1, 2, 4, …, 256}`.
+//!
+//! Columns: the closed-form `∂W/∂ρ1` (paper §4), the forward-difference
+//! `∂W/∂(β2/μ2)` (the paper's numerical approximation, taken with respect
+//! to the *per-set* `β2/μ2` — the convention that reproduces the printed
+//! magnitudes), the class blocking probability, and the revenue `W`.
+//!
+//! The paper's printed values ride along in every row so the harness
+//! reports `ours`, `paper`, and the delta. The `β`-insensitive entries
+//! (all of `N ∈ {1, 2}` except the β-gradient, and the small-`N` `W` and
+//! `∂W/∂ρ1` columns) agree digit-for-digit; the bursty-blocking entries at
+//! larger `N` do not, because the printed table is not consistent with the
+//! paper's stated model — see DESIGN.md ("Table 2 blocking column") for the
+//! forensics. One symptom reproduced in the tests here: at `N = 2` the
+//! paper prints a *positive* `∂W/∂(β2/μ2)` equal to `w2·∂E2/∂x` alone,
+//! which is what the derivative degenerates to if `G` carries no
+//! `β`-dependence at `N = 2` — in the stated model `G` does depend on `β`
+//! there, making the true gradient negative.
+
+use xbar_core::{solve, Algorithm, Dims, Model, Solution};
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// One of the paper's three parameter sets (tilde/aggregated units).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParamSet {
+    /// Human label ("set1"…).
+    pub label: &'static str,
+    /// `ρ̃1` (Poisson class).
+    pub rho1_tilde: f64,
+    /// `ρ̃2` (bursty class).
+    pub rho2_tilde: f64,
+    /// `β̃2`.
+    pub beta2_tilde: f64,
+}
+
+/// The three parameter sets of Table 2 (`w1 = 1.0`, `w2 = .0001` always).
+pub const SETS: [ParamSet; 3] = [
+    ParamSet {
+        label: "set1",
+        rho1_tilde: 0.0012,
+        rho2_tilde: 0.0012,
+        beta2_tilde: 0.0012,
+    },
+    ParamSet {
+        label: "set2",
+        rho1_tilde: 0.0012,
+        rho2_tilde: 0.0012,
+        beta2_tilde: 0.0036,
+    },
+    ParamSet {
+        label: "set3",
+        rho1_tilde: 0.0012,
+        rho2_tilde: 0.0036,
+        beta2_tilde: 0.0012,
+    },
+];
+
+/// Revenue weights.
+pub const W1: f64 = 1.0;
+/// Revenue weight of the bursty class.
+pub const W2: f64 = 0.0001;
+
+/// The switch sizes of the table.
+pub const NS: [u32; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Printed values `(grad_rho1, grad_beta2, blocking, revenue)` per set and
+/// `N` (grad_beta2 is `None` where the paper prints "−").
+pub fn paper_row(set: &'static str, n: u32) -> (f64, Option<f64>, f64, f64) {
+    let table: &[(u32, f64, Option<f64>, f64, f64)] = match set {
+        "set1" => &[
+            (1, 0.99, None, 0.00239425, 0.00119725),
+            (2, 3.97, Some(2.38871e-07), 0.00358566, 0.00239163),
+            (4, 15.89, Some(-2.12995e-05), 0.00418083, 0.00478041),
+            (8, 63.57, Some(-0.000370081), 0.0044820, 0.00955794),
+            (16, 254.22, Some(-0.00402453), 0.00464093, 0.0191128),
+            (32, 1016.76, Some(-0.0369292), 0.00473733, 0.0382221),
+            (64, 4066.62, Some(-0.313413), 0.0048195, 0.0764381),
+            (128, 16264.50, Some(-2.53805), 0.00492849, 0.152861),
+            (256, 65045.30, Some(-19.3138), 0.00511868, 0.305671),
+        ],
+        "set2" => &[
+            (1, 0.99, None, 0.00239425, 0.00119725),
+            (2, 3.97, Some(2.38871e-07), 0.00358566, 0.00239163),
+            (4, 15.89, Some(-2.12788e-05), 0.00418403, 0.0047804),
+            (8, 63.56, Some(-0.00036904), 0.00449504, 0.00955782),
+            (16, 254.21, Some(-0.00399684), 0.00467581, 0.0191122),
+            (32, 1016.68, Some(-0.0363166), 0.00481708, 0.0382193),
+            (64, 4065.93, Some(-0.299452), 0.00498953, 0.0764266),
+            (128, 16258.80, Some(-2.09857), 0.00527912, 0.152817),
+            (256, 64998.30, Some(-68.6054), 0.00582948, 0.305646),
+        ],
+        "set3" => &[
+            (1, 0.99, None, 0.00477707, 0.00119463),
+            (2, 3.96, Some(7.13145e-07), 0.00714287, 0.00238357),
+            (4, 15.83, Some(-6.30503e-05), 0.0083221, 0.00476149),
+            (8, 63.28, Some(-0.00109351), 0.0089218, 0.00951723),
+            (16, 253.05, Some(-0.0118788), 0.00924611, 0.0190283),
+            (32, 1011.95, Some(-0.108917), 0.00945823, 0.0380486),
+            (64, 4046.89, Some(-0.923616), 0.0096644, 0.0760824),
+            (128, 16182.50, Some(-7.47015), 0.0099675, 0.152123),
+            (256, 64693.50, Some(-56.7188), 0.010518, 0.304099),
+        ],
+        other => panic!("unknown set {other}"),
+    };
+    let row = table.iter().find(|r| r.0 == n).expect("known N");
+    (row.1, row.2, row.3, row.4)
+}
+
+/// One computed row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Which parameter set.
+    pub set: &'static str,
+    /// Switch size.
+    pub n: u32,
+    /// Closed-form `∂W/∂ρ1`.
+    pub grad_rho1: f64,
+    /// Forward-difference `∂W/∂(β2/μ2)` (per-set `x`).
+    pub grad_beta2: f64,
+    /// Class blocking probability `1 − B_r` (equal for both classes here).
+    pub blocking: f64,
+    /// Revenue `W`.
+    pub revenue: f64,
+}
+
+/// Build and solve the model for one cell.
+pub fn solve_cell(set: ParamSet, n: u32) -> Solution {
+    let nf = n as f64;
+    let workload = Workload::new()
+        .with(TrafficClass::poisson(set.rho1_tilde / nf).with_weight(W1))
+        .with(
+            TrafficClass::bpp(set.rho2_tilde / nf, set.beta2_tilde / nf, 1.0).with_weight(W2),
+        );
+    let model = Model::new(Dims::square(n), workload).expect("valid Table 2 model");
+    solve(&model, Algorithm::Alg1Ext).expect("solvable")
+}
+
+/// Compute one row.
+pub fn row(set: ParamSet, n: u32) -> Row {
+    let sol = solve_cell(set, n);
+    Row {
+        set: set.label,
+        n,
+        grad_rho1: sol.revenue_gradient_rho(0),
+        grad_beta2: sol.revenue_gradient_beta_fd(1).expect("fd solvable"),
+        blocking: sol.blocking(0),
+        revenue: sol.revenue(),
+    }
+}
+
+/// All rows for all three sets.
+pub fn rows() -> Vec<Row> {
+    let cells: Vec<(ParamSet, u32)> = SETS
+        .iter()
+        .flat_map(|&s| NS.map(move |n| (s, n)))
+        .collect();
+    par_map(cells, |(s, n)| row(s, n))
+}
+
+/// Render including the paper's printed values and deltas.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new([
+        "set",
+        "N",
+        "dW/drho1",
+        "dW/drho1(paper)",
+        "dW/d(b2/u2)",
+        "dW/d(b2/u2)(paper)",
+        "blocking",
+        "blocking(paper)",
+        "W",
+        "W(paper)",
+    ]);
+    for r in rows {
+        let (pg, pb, pblk, pw) = paper_row(r.set, r.n);
+        t.push([
+            r.set.to_string(),
+            r.n.to_string(),
+            format!("{:.2}", r.grad_rho1),
+            format!("{pg:.2}"),
+            format!("{:.6e}", r.grad_beta2),
+            pb.map_or_else(|| "-".to_string(), |v| format!("{v:.6e}")),
+            format!("{:.8}", r.blocking),
+            format!("{pblk:.8}"),
+            format!("{:.6}", r.revenue),
+            format!("{pw:.6}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn small_n_anchors_are_digit_exact() {
+        // N = 1 rows of all sets: β plays no role, everything matches the
+        // printed digits.
+        for &set in &SETS {
+            let r = row(set, 1);
+            let (pg, _, pblk, pw) = paper_row(set.label, 1);
+            assert!(rel(r.revenue, pw) < 3e-5, "{}: W {} vs {pw}", set.label, r.revenue);
+            assert!(
+                (r.blocking - pblk).abs() < 1e-7,
+                "{}: blocking {} vs {pblk}",
+                set.label,
+                r.blocking
+            );
+            // Gradient printed to 2 decimals (truncated).
+            assert!((r.grad_rho1 - pg).abs() < 0.011, "{}", r.grad_rho1);
+        }
+    }
+
+    #[test]
+    fn revenue_tracks_paper_closely() {
+        // W is dominated by the Poisson class, so it is nearly immune to
+        // the paper's bursty-blocking inconsistency: ≤0.1% relative except
+        // the strongly-bursty set2 at N = 256 (1.4%).
+        for &set in &SETS {
+            for &n in &[2u32, 8, 64, 256] {
+                let r = row(set, n);
+                let (_, _, _, pw) = paper_row(set.label, n);
+                let bound = if set.label == "set2" && n == 256 { 1.5e-2 } else { 2e-3 };
+                assert!(
+                    rel(r.revenue, pw) < bound,
+                    "{} N={n}: W {} vs paper {pw}",
+                    set.label,
+                    r.revenue
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_tracks_paper_within_documented_bounds() {
+        // See module docs/DESIGN.md: the printed blocking column is not
+        // consistent with the stated model. The stated model is *more*
+        // β-sensitive than whatever produced the printed values, so the
+        // gap grows with N and with β̃: measured maxima are 13% (set1,
+        // N=256), 232% (set2, N=256 — β̃ three times larger), 19% (set3).
+        // Exact agreement holds wherever β is irrelevant (N = 1 rows).
+        for &set in &SETS {
+            let bound = match set.label {
+                "set1" => 0.14,
+                "set2" => 2.4,
+                _ => 0.20,
+            };
+            for &n in &NS {
+                let r = row(set, n);
+                let (_, _, pblk, _) = paper_row(set.label, n);
+                assert!(
+                    rel(r.blocking, pblk) < bound,
+                    "{} N={n}: blocking {} vs paper {pblk}",
+                    set.label,
+                    r.blocking
+                );
+                // And ours is always the (weakly) larger one: the stated
+                // model takes the full β effect.
+                assert!(r.blocking >= pblk - 1e-7, "{} N={n}", set.label);
+            }
+        }
+    }
+
+    #[test]
+    fn rho_gradient_matches_paper_columns() {
+        // ∂W/∂ρ1 is only weakly β-sensitive: sub-percent agreement (the
+        // N = 2 entries are printed truncated to 2 decimals, hence 5e-3).
+        for &set in &SETS {
+            for &n in &[2u32, 8, 64] {
+                let r = row(set, n);
+                let (pg, _, _, _) = paper_row(set.label, n);
+                assert!(
+                    rel(r.grad_rho1, pg) < 5e-3,
+                    "{} N={n}: {} vs {pg}",
+                    set.label,
+                    r.grad_rho1
+                );
+            }
+        }
+        // Largest deviation in the whole table: set2 at N = 256, 1.4%.
+        let r = row(SETS[1], 256);
+        let (pg, _, _, _) = paper_row("set2", 256);
+        assert!(rel(r.grad_rho1, pg) < 2e-2, "{} vs {pg}", r.grad_rho1);
+    }
+
+    #[test]
+    fn beta_gradient_turns_negative_and_grows_with_n() {
+        let r4 = row(SETS[0], 4);
+        let r64 = row(SETS[0], 64);
+        let r256 = row(SETS[0], 256);
+        assert!(r4.grad_beta2 < 0.0);
+        assert!(r64.grad_beta2 < r4.grad_beta2);
+        assert!(r256.grad_beta2 < r64.grad_beta2);
+        // Same order of magnitude as the printed column at N = 64.
+        let (_, pb, _, _) = paper_row("set1", 64);
+        let pb = pb.unwrap();
+        assert!(
+            r64.grad_beta2 / pb > 0.3 && r64.grad_beta2 / pb < 3.0,
+            "{} vs paper {pb}",
+            r64.grad_beta2
+        );
+    }
+
+    #[test]
+    fn stated_model_beta_gradient_is_negative_even_at_n2() {
+        // The paper prints +2.38871e-7 at N = 2 — exactly w2·∂E2/∂x with no
+        // G-dependence on β. In the stated model the dominant term is the
+        // revenue lost by class 1 as β2 raises blocking, so the gradient is
+        // already negative at N = 2 (see module docs).
+        let r = row(SETS[0], 2);
+        assert!(r.grad_beta2 < 0.0, "{}", r.grad_beta2);
+        // And the positive part the paper printed is recoverable: it is
+        // smaller in magnitude than the total.
+        assert!(r.grad_beta2.abs() > 2.38871e-07);
+    }
+
+    #[test]
+    fn higher_burstiness_and_load_cost_revenue() {
+        // Table 2's qualitative story at N = 128: set2 (peakier) and set3
+        // (heavier class 2) both block more than set1 and earn less.
+        let r1 = row(SETS[0], 128);
+        let r2 = row(SETS[1], 128);
+        let r3 = row(SETS[2], 128);
+        assert!(r2.blocking > r1.blocking);
+        assert!(r3.blocking > r1.blocking);
+        assert!(r2.revenue < r1.revenue);
+        assert!(r3.revenue < r1.revenue);
+    }
+}

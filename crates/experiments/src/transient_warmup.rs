@@ -1,0 +1,152 @@
+//! **Validation F (ours)** — transient behaviour: how fast a cold switch
+//! reaches the paper's stationary operating point, and what availability
+//! looks like on the way (uniformisation on the enumerated chain; beyond
+//! the paper's stationary-only analysis).
+//!
+//! Also doubles as an independent check of the stationary solvers: the
+//! `t → ∞` row of every scenario must equal the product-form value.
+
+use xbar_core::transient::Transient;
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// The time grid (in mean holding times).
+pub const TIMES: [f64; 6] = [0.1, 0.3, 1.0, 3.0, 10.0, 30.0];
+
+/// One scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Label.
+    pub label: &'static str,
+    /// Switch size.
+    pub n: u32,
+    /// Traffic class.
+    pub class: TrafficClass,
+}
+
+/// Scenarios: light vs heavy, Poisson vs peaky.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "light-poisson",
+            n: 6,
+            class: TrafficClass::poisson(0.02),
+        },
+        Scenario {
+            label: "heavy-poisson",
+            n: 6,
+            class: TrafficClass::poisson(0.3),
+        },
+        Scenario {
+            label: "peaky-Z2",
+            n: 6,
+            class: TrafficClass::bpp(0.05, 0.5, 1.0),
+        },
+    ]
+}
+
+/// One row: availability trajectory plus relaxation time.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Scenario label.
+    pub label: &'static str,
+    /// `B_r(t)` at each grid time.
+    pub availability: Vec<f64>,
+    /// Stationary `B_r`.
+    pub stationary: f64,
+    /// Time to within `1e-4` (L1) of stationarity.
+    pub relaxation: f64,
+}
+
+/// Compute all rows.
+pub fn rows() -> Vec<Row> {
+    par_map(scenarios(), |sc| {
+        let model = Model::new(
+            Dims::square(sc.n),
+            Workload::new().with(sc.class.clone()),
+        )
+        .expect("valid scenario");
+        let tr = Transient::new(&model);
+        let availability = TIMES.iter().map(|&t| tr.availability_at(t, 0)).collect();
+        let stationary = solve(&model, Algorithm::Auto).unwrap().nonblocking(0);
+        Row {
+            label: sc.label,
+            availability,
+            stationary,
+            relaxation: tr.relaxation_time(1e-4),
+        }
+    })
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut headers = vec!["scenario".to_string()];
+    headers.extend(TIMES.iter().map(|t| format!("B(t={t})")));
+    headers.push("B(inf)".into());
+    headers.push("t_relax".into());
+    let mut t = Table::new(headers);
+    for r in rows {
+        let mut cells = vec![r.label.to_string()];
+        cells.extend(r.availability.iter().map(|b| format!("{b:.5}")));
+        cells.push(format!("{:.5}", r.stationary));
+        cells.push(format!("{:.2}", r.relaxation));
+        t.push(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_decays_monotonically_to_stationary() {
+        for r in rows() {
+            for pair in r.availability.windows(2) {
+                assert!(
+                    pair[1] <= pair[0] + 1e-9,
+                    "{}: {:?} not monotone",
+                    r.label,
+                    r.availability
+                );
+            }
+            let last = *r.availability.last().unwrap();
+            assert!(
+                (last - r.stationary).abs() < 1e-3,
+                "{}: B(30) = {last} vs stationary {}",
+                r.label,
+                r.stationary
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_load_relaxes_no_slower_than_a_few_holding_times() {
+        for r in rows() {
+            assert!(
+                r.relaxation > 0.05 && r.relaxation < 100.0,
+                "{}: relaxation {}",
+                r.label,
+                r.relaxation
+            );
+        }
+    }
+
+    #[test]
+    fn relaxation_ordering_measured() {
+        // Measured: heavy Poisson (3.5 holding times) relaxes fastest —
+        // more event pressure mixes the chain quicker; the peaky class
+        // (6.2) is slower than heavy Poisson despite similar event rates,
+        // because the β·k feedback sustains correlations; light Poisson
+        // (7.4) is slowest — its empty-ish chain moves rarely.
+        let rows = rows();
+        let get = |l: &str| rows.iter().find(|r| r.label == l).unwrap().relaxation;
+        let light = get("light-poisson");
+        let heavy = get("heavy-poisson");
+        let peaky = get("peaky-Z2");
+        assert!(heavy < peaky, "heavy {heavy} !< peaky {peaky}");
+        assert!(peaky < light, "peaky {peaky} !< light {light}");
+    }
+}

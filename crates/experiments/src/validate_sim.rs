@@ -1,0 +1,157 @@
+//! **Validation A (ours)** — analytic model vs. discrete-event simulation,
+//! the comparison the paper lists as future work (§8).
+//!
+//! Scenarios cover each burstiness regime and a multi-rate class. Loads
+//! are set well above the paper's 0.5% operating point so the simulator
+//! resolves blocking with tight confidence intervals in reasonable time
+//! (at 0.5% blocking a run needs ~10⁷ arrivals per point; the *agreement*
+//! shown here is load-independent — the analytic and simulated chains are
+//! the same object at any load).
+
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_sim::{CrossbarSim, RunConfig, SimConfig};
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::{par_map, Table};
+
+/// One scenario of the comparison.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable label.
+    pub label: &'static str,
+    /// Square switch size.
+    pub n: u32,
+    /// The traffic class (per-set parameters).
+    pub class: TrafficClass,
+}
+
+/// The scenario list.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "poisson",
+            n: 8,
+            class: TrafficClass::poisson(0.05),
+        },
+        Scenario {
+            label: "pascal-Z2",
+            n: 8,
+            class: TrafficClass::bpp(0.025, 0.5, 1.0),
+        },
+        Scenario {
+            label: "bernoulli-S16",
+            n: 8,
+            class: TrafficClass::bpp(0.64, -0.04, 1.0),
+        },
+        Scenario {
+            label: "multirate-a2",
+            n: 8,
+            class: TrafficClass::poisson(0.002).with_bandwidth(2),
+        },
+    ]
+}
+
+/// One comparison row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Scenario label.
+    pub label: &'static str,
+    /// Analytic `B_r` (non-blocking).
+    pub analytic_nonblocking: f64,
+    /// Simulated availability (time-average tuple-idle probability).
+    pub sim_availability: f64,
+    /// Simulated 95% CI half-width.
+    pub sim_ci: f64,
+    /// Analytic concurrency `E_r`.
+    pub analytic_concurrency: f64,
+    /// Simulated concurrency.
+    pub sim_concurrency: f64,
+    /// `true` iff the analytic value lies inside the (slightly slackened)
+    /// simulation CI.
+    pub agrees: bool,
+}
+
+/// Run all scenarios. `duration` is the measured sim-time per scenario.
+pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
+    par_map(scenarios(), move |sc| {
+        let model = Model::new(
+            Dims::square(sc.n),
+            Workload::new().with(sc.class.clone()),
+        )
+        .expect("valid scenario");
+        let sol = solve(&model, Algorithm::Auto).expect("solvable");
+
+        let cfg = SimConfig::new(sc.n, sc.n).with_exp_class(sc.class.clone());
+        let mut sim = CrossbarSim::new(cfg, seed);
+        let rep = sim.run(RunConfig {
+            warmup: duration / 50.0,
+            duration,
+            batches: 20,
+        });
+        let c = &rep.classes[0];
+        let agrees = c
+            .availability
+            .covers_with_slack(sol.nonblocking(0), 0.01)
+            && c.concurrency
+                .covers_with_slack(sol.concurrency(0), 0.02 * (1.0 + sol.concurrency(0)));
+        Row {
+            label: sc.label,
+            analytic_nonblocking: sol.nonblocking(0),
+            sim_availability: c.availability.mean,
+            sim_ci: c.availability.half_width,
+            analytic_concurrency: sol.concurrency(0),
+            sim_concurrency: c.concurrency.mean,
+            agrees,
+        }
+    })
+}
+
+/// Render as a table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new([
+        "scenario",
+        "B_analytic",
+        "B_sim",
+        "ci",
+        "E_analytic",
+        "E_sim",
+        "agrees",
+    ]);
+    for r in rows {
+        t.push([
+            r.label.to_string(),
+            format!("{:.6}", r.analytic_nonblocking),
+            format!("{:.6}", r.sim_availability),
+            format!("{:.6}", r.sim_ci),
+            format!("{:.4}", r.analytic_concurrency),
+            format!("{:.4}", r.sim_concurrency),
+            r.agrees.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_agree_with_analytics() {
+        for r in rows(40_000.0, 2024) {
+            assert!(
+                r.agrees,
+                "{}: sim {}±{} vs analytic {}",
+                r.label, r.sim_availability, r.sim_ci, r.analytic_nonblocking
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_list_covers_all_regimes() {
+        let sc = scenarios();
+        assert!(sc.iter().any(|s| s.class.beta == 0.0));
+        assert!(sc.iter().any(|s| s.class.beta > 0.0));
+        assert!(sc.iter().any(|s| s.class.beta < 0.0));
+        assert!(sc.iter().any(|s| s.class.bandwidth > 1));
+    }
+}

@@ -1,0 +1,73 @@
+//! Finite-difference derivatives.
+//!
+//! The paper (§4) reports that no closed form was found for the revenue
+//! gradient `∂W/∂(β_r/μ_r)` when bursty classes are present, and approximates
+//! it "via a forward difference". These helpers implement that forward
+//! difference (for fidelity with the paper's Table 2) and a central
+//! difference (for accuracy cross-checks), both with curvature-scaled steps.
+
+/// Machine-epsilon-derived default relative step for forward differences
+/// (`√ε`, the classical optimum for first-order schemes).
+pub const FORWARD_STEP: f64 = 1.4901161193847656e-8; // f64::EPSILON.sqrt()
+
+/// Default relative step for central differences (`ε^(1/3)`).
+pub const CENTRAL_STEP: f64 = 6.055454452393343e-6; // f64::EPSILON.cbrt()
+
+fn step(x: f64, rel: f64) -> f64 {
+    let h = rel * x.abs().max(1.0);
+    // Ensure x + h differs from x in floating point.
+    let xh = x + h;
+    xh - x
+}
+
+/// Forward-difference derivative `(f(x+h) − f(x))/h`, the scheme the paper
+/// uses for `∂W/∂(β_r/μ_r)` (§4).
+pub fn forward_diff<F: FnMut(f64) -> f64>(mut f: F, x: f64) -> f64 {
+    let h = step(x, FORWARD_STEP);
+    (f(x + h) - f(x)) / h
+}
+
+/// Central-difference derivative `(f(x+h) − f(x−h))/(2h)` — second-order
+/// accurate; used to validate the forward differences.
+pub fn central_diff<F: FnMut(f64) -> f64>(mut f: F, x: f64) -> f64 {
+    let h = step(x, CENTRAL_STEP);
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_diff_on_polynomials() {
+        // d/dx (3x² + 2x + 1) = 6x + 2
+        let f = |x: f64| 3.0 * x * x + 2.0 * x + 1.0;
+        for &x in &[0.0, 1.0, -2.5, 100.0] {
+            let d = forward_diff(f, x);
+            assert!((d - (6.0 * x + 2.0)).abs() < 1e-5 * (1.0 + x.abs()), "{x}");
+        }
+    }
+
+    #[test]
+    fn central_diff_beats_forward_on_exp() {
+        let x = 1.3f64;
+        let fd = forward_diff(f64::exp, x);
+        let cd = central_diff(f64::exp, x);
+        let exact = x.exp();
+        assert!((cd - exact).abs() < (fd - exact).abs().max(1e-12));
+        assert!((cd - exact).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn step_never_degenerates() {
+        // At x = 0 the step must still be nonzero.
+        let d = forward_diff(|x| 5.0 * x, 0.0);
+        assert!((d - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diff_of_constant_is_zero() {
+        assert_eq!(forward_diff(|_| 42.0, 3.0), 0.0);
+        assert_eq!(central_diff(|_| 42.0, 3.0), 0.0);
+    }
+}

@@ -1,0 +1,529 @@
+//! Extended-range floating point: an `f64` mantissa paired with an `i64`
+//! binary exponent.
+//!
+//! [`ExtFloat`] represents `m × 2^e` with `0.5 ≤ |m| < 1` (the `frexp`
+//! normal form), giving the precision of `f64` (~15–16 significant decimal
+//! digits) over an exponent range of roughly `10^±(2.7 × 10^18)`. This is the
+//! numeric backend that lets Algorithm 1 of the paper run verbatim on
+//! `256 × 256` crossbars, where the raw `Q(N)` values are around `10^-1014`
+//! and would underflow `f64` (the situation the paper's §6 "dynamic scaling"
+//! is designed to patch).
+//!
+//! Only the operations the recursions need are implemented: addition,
+//! subtraction, multiplication, division, scaling by `f64`, natural log,
+//! comparison, and a careful [`ExtFloat::ratio`] that returns the quotient of
+//! two extended floats as an ordinary `f64` (the form in which all of the
+//! paper's performance measures are expressed, so the huge exponents always
+//! cancel at the end).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Split a finite `f64` into `(mantissa, exponent)` with
+/// `x = mantissa × 2^exponent` and `0.5 ≤ |mantissa| < 1` (or `(0, 0)` for
+/// zero). Equivalent to C's `frexp`, which `std` does not expose.
+pub fn frexp(x: f64) -> (f64, i32) {
+    if x == 0.0 || !x.is_finite() {
+        return (x, 0);
+    }
+    let bits = x.to_bits();
+    let exp_bits = ((bits >> 52) & 0x7ff) as i32;
+    if exp_bits == 0 {
+        // Subnormal: renormalise by scaling into the normal range first.
+        let (m, e) = frexp(x * f64::from_bits(0x43F0_0000_0000_0000)); // × 2^64
+        return (m, e - 64);
+    }
+    let e = exp_bits - 1022;
+    let m = f64::from_bits((bits & !(0x7ffu64 << 52)) | (1022u64 << 52));
+    (m, e)
+}
+
+/// Compute `x × 2^e`, saturating to `±inf`/`0` outside the `f64` range.
+/// Equivalent to C's `ldexp`.
+pub fn ldexp(x: f64, e: i64) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    // Apply in at most three steps so intermediate powers stay representable.
+    let mut result = x;
+    let mut remaining = e;
+    while remaining != 0 {
+        let step = remaining.clamp(-1000, 1000) as i32;
+        result *= 2f64.powi(step);
+        remaining -= step as i64;
+        if result == 0.0 || result.is_infinite() {
+            return result;
+        }
+    }
+    result
+}
+
+/// An extended-range float `m × 2^e`.
+///
+/// Invariant: either `m == 0.0 && e == 0`, or `0.5 ≤ |m| < 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExtFloat {
+    m: f64,
+    e: i64,
+}
+
+impl ExtFloat {
+    /// The value `0`.
+    pub const ZERO: ExtFloat = ExtFloat { m: 0.0, e: 0 };
+    /// The value `1`.
+    pub const ONE: ExtFloat = ExtFloat { m: 0.5, e: 1 };
+
+    /// Construct from an ordinary `f64`.
+    ///
+    /// # Panics
+    /// Panics if `x` is NaN or infinite — the recursions this type backs
+    /// never produce non-finite values, so one appearing is a logic error
+    /// worth failing loudly on.
+    pub fn from_f64(x: f64) -> Self {
+        assert!(x.is_finite(), "ExtFloat::from_f64 on non-finite {x}");
+        let (m, e) = frexp(x);
+        ExtFloat { m, e: e as i64 }
+    }
+
+    /// Construct `m × 2^e` from unnormalised parts.
+    pub fn from_parts(m: f64, e: i64) -> Self {
+        assert!(m.is_finite(), "ExtFloat::from_parts on non-finite {m}");
+        if m == 0.0 {
+            return Self::ZERO;
+        }
+        let (nm, ne) = frexp(m);
+        ExtFloat {
+            m: nm,
+            e: e + ne as i64,
+        }
+    }
+
+    /// Construct `e^x` for an arbitrary (possibly huge) exponent `x`.
+    pub fn exp(x: f64) -> Self {
+        assert!(x.is_finite(), "ExtFloat::exp on non-finite {x}");
+        // e^x = 2^(x·log2(e)) = 2^k · 2^f with k integer, |f| < 1.
+        let y = x * std::f64::consts::LOG2_E;
+        let k = y.floor();
+        let f = y - k;
+        Self::from_parts(2f64.powf(f), k as i64)
+    }
+
+    /// The mantissa (in `[0.5, 1)` by magnitude, or `0`).
+    pub fn mantissa(self) -> f64 {
+        self.m
+    }
+
+    /// The binary exponent.
+    pub fn exponent(self) -> i64 {
+        self.e
+    }
+
+    /// Convert back to `f64`, saturating to `±inf` / `0` outside the range.
+    pub fn to_f64(self) -> f64 {
+        ldexp(self.m, self.e)
+    }
+
+    /// `true` iff the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.m == 0.0
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.m > 0.0
+    }
+
+    /// Natural logarithm. Returns `-inf` for zero.
+    ///
+    /// # Panics
+    /// Panics on negative values.
+    pub fn ln(self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        assert!(self.m > 0.0, "ln of negative ExtFloat");
+        self.m.ln() + self.e as f64 * std::f64::consts::LN_2
+    }
+
+    /// Base-10 logarithm. Returns `-inf` for zero.
+    pub fn log10(self) -> f64 {
+        self.ln() / std::f64::consts::LN_10
+    }
+
+    /// The quotient `self / other` as an ordinary `f64`.
+    ///
+    /// All performance measures in the paper are ratios of normalisation
+    /// constants (e.g. `B_r = Q(N − a_r·I)/Q(N)`), so even though each
+    /// operand may have an astronomical exponent, the result is a plain
+    /// probability-scale number. This method divides mantissas and subtracts
+    /// exponents so the ratio is exact up to `f64` rounding.
+    pub fn ratio(self, other: ExtFloat) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        assert!(!other.is_zero(), "ExtFloat::ratio division by zero");
+        ldexp(self.m / other.m, self.e - other.e)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        ExtFloat {
+            m: self.m.abs(),
+            e: self.e,
+        }
+    }
+
+    /// Raise to a non-negative integer power by repeated squaring.
+    pub fn powi(self, n: u32) -> Self {
+        let mut result = Self::ONE;
+        let mut base = self;
+        let mut n = n;
+        while n > 0 {
+            if n & 1 == 1 {
+                result *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        result
+    }
+}
+
+impl Default for ExtFloat {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl From<f64> for ExtFloat {
+    fn from(x: f64) -> Self {
+        Self::from_f64(x)
+    }
+}
+
+impl From<u64> for ExtFloat {
+    fn from(x: u64) -> Self {
+        Self::from_f64(x as f64)
+    }
+}
+
+impl fmt::Display for ExtFloat {
+    /// Renders as `m2^e`-free scientific notation, e.g. `1.234e-1017`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let log10 = self.abs().log10();
+        let e10 = log10.floor();
+        let mant = 10f64.powf(log10 - e10) * self.m.signum();
+        write!(f, "{:.6}e{}", mant, e10 as i64)
+    }
+}
+
+impl Add for ExtFloat {
+    type Output = ExtFloat;
+    fn add(self, rhs: ExtFloat) -> ExtFloat {
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        // Align onto the larger exponent; beyond 64 bits of shift, the
+        // smaller operand is invisible at f64 precision.
+        let (big, small) = if self.e >= rhs.e {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let shift = big.e - small.e;
+        if shift > 64 {
+            return big;
+        }
+        let m = big.m + ldexp(small.m, -shift);
+        ExtFloat::from_parts(m, big.e)
+    }
+}
+
+impl Sub for ExtFloat {
+    type Output = ExtFloat;
+    fn sub(self, rhs: ExtFloat) -> ExtFloat {
+        self + (-rhs)
+    }
+}
+
+impl Neg for ExtFloat {
+    type Output = ExtFloat;
+    fn neg(self) -> ExtFloat {
+        ExtFloat {
+            m: -self.m,
+            e: self.e,
+        }
+    }
+}
+
+impl Mul for ExtFloat {
+    type Output = ExtFloat;
+    fn mul(self, rhs: ExtFloat) -> ExtFloat {
+        if self.is_zero() || rhs.is_zero() {
+            return ExtFloat::ZERO;
+        }
+        ExtFloat::from_parts(self.m * rhs.m, self.e + rhs.e)
+    }
+}
+
+impl Mul<f64> for ExtFloat {
+    type Output = ExtFloat;
+    fn mul(self, rhs: f64) -> ExtFloat {
+        self * ExtFloat::from_f64(rhs)
+    }
+}
+
+impl Div for ExtFloat {
+    type Output = ExtFloat;
+    fn div(self, rhs: ExtFloat) -> ExtFloat {
+        assert!(!rhs.is_zero(), "ExtFloat division by zero");
+        if self.is_zero() {
+            return ExtFloat::ZERO;
+        }
+        ExtFloat::from_parts(self.m / rhs.m, self.e - rhs.e)
+    }
+}
+
+impl Div<f64> for ExtFloat {
+    type Output = ExtFloat;
+    fn div(self, rhs: f64) -> ExtFloat {
+        self / ExtFloat::from_f64(rhs)
+    }
+}
+
+impl AddAssign for ExtFloat {
+    fn add_assign(&mut self, rhs: ExtFloat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for ExtFloat {
+    fn sub_assign(&mut self, rhs: ExtFloat) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for ExtFloat {
+    fn mul_assign(&mut self, rhs: ExtFloat) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for ExtFloat {
+    fn div_assign(&mut self, rhs: ExtFloat) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for ExtFloat {
+    fn sum<I: Iterator<Item = ExtFloat>>(iter: I) -> ExtFloat {
+        iter.fold(ExtFloat::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl PartialOrd for ExtFloat {
+    fn partial_cmp(&self, other: &ExtFloat) -> Option<Ordering> {
+        let sign = |x: &ExtFloat| {
+            if x.m > 0.0 {
+                1
+            } else if x.m < 0.0 {
+                -1
+            } else {
+                0
+            }
+        };
+        let (sa, sb) = (sign(self), sign(other));
+        if sa != sb {
+            return sa.partial_cmp(&sb);
+        }
+        if sa == 0 {
+            return Some(Ordering::Equal);
+        }
+        // Same nonzero sign: compare exponents (flipping for negatives).
+        let ord = match self.e.cmp(&other.e) {
+            Ordering::Equal => self.m.partial_cmp(&other.m)?,
+            other_ord => {
+                if sa > 0 {
+                    other_ord
+                } else {
+                    other_ord.reverse()
+                }
+            }
+        };
+        // For negatives with differing exponents the mantissa comparison is
+        // already handled above; exponent ordering was flipped.
+        Some(if sa > 0 || self.e == other.e {
+            ord
+        } else {
+            ord
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-300);
+        assert!(
+            (a - b).abs() / scale < tol,
+            "{a} vs {b} (rel err {})",
+            (a - b).abs() / scale
+        );
+    }
+
+    #[test]
+    fn frexp_round_trips() {
+        for &x in &[
+            1.0,
+            -1.0,
+            0.5,
+            3.75,
+            1e300,
+            -1e-300,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 1024.0, // subnormal
+            std::f64::consts::PI,
+        ] {
+            let (m, e) = frexp(x);
+            assert!(m == 0.0 || (0.5..1.0).contains(&m.abs()), "mantissa {m}");
+            close(ldexp(m, e as i64), x, 1e-15);
+        }
+    }
+
+    #[test]
+    fn frexp_zero() {
+        assert_eq!(frexp(0.0), (0.0, 0));
+    }
+
+    #[test]
+    fn ldexp_saturates() {
+        assert_eq!(ldexp(1.0, 10_000), f64::INFINITY);
+        assert_eq!(ldexp(1.0, -10_000), 0.0);
+        assert_eq!(ldexp(-1.0, 10_000), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn arithmetic_matches_f64_in_range() {
+        let pairs = [
+            (3.5, 2.25),
+            (1e-10, 7.0),
+            (123456.789, 0.001),
+            (-2.5, 8.0),
+            (1e150, 1e-150),
+        ];
+        for &(a, b) in &pairs {
+            let (ea, eb) = (ExtFloat::from_f64(a), ExtFloat::from_f64(b));
+            close((ea + eb).to_f64(), a + b, 1e-14);
+            close((ea - eb).to_f64(), a - b, 1e-14);
+            close((ea * eb).to_f64(), a * b, 1e-14);
+            close((ea / eb).to_f64(), a / b, 1e-14);
+        }
+    }
+
+    #[test]
+    fn survives_far_beyond_f64_range() {
+        // Compute 1/500! step by step — raw value ~ 1e-1134, far below f64.
+        let mut q = ExtFloat::ONE;
+        for n in 1..=500u64 {
+            q = q / ExtFloat::from_f64(n as f64);
+        }
+        // ln(1/500!) = -ln_gamma(501)
+        let expect = -crate::special::ln_gamma(501.0);
+        close(q.ln(), expect, 1e-12);
+        assert!(q.is_positive());
+        assert_eq!(q.to_f64(), 0.0); // saturates when forced back to f64
+    }
+
+    #[test]
+    fn ratio_of_tiny_values_is_exact() {
+        // (1/300!) / (1/301!) = 301 even though both operands underflow f64.
+        let mut a = ExtFloat::ONE;
+        let mut b = ExtFloat::ONE;
+        for n in 1..=300u64 {
+            a = a / ExtFloat::from_f64(n as f64);
+            b = b / ExtFloat::from_f64(n as f64);
+        }
+        b = b / ExtFloat::from_f64(301.0);
+        close(a.ratio(b), 301.0, 1e-13);
+    }
+
+    #[test]
+    fn exp_handles_huge_arguments() {
+        close(ExtFloat::exp(1.0).ln(), 1.0, 1e-14);
+        close(ExtFloat::exp(-2345.0).ln(), -2345.0, 1e-12);
+        close(ExtFloat::exp(10_000.0).ln(), 10_000.0, 1e-12);
+    }
+
+    #[test]
+    fn add_with_extreme_exponent_gap_keeps_larger() {
+        let big = ExtFloat::from_parts(0.75, 1000);
+        let small = ExtFloat::from_parts(0.75, -1000);
+        assert_eq!(big + small, big);
+        assert_eq!(small + big, big);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let x = ExtFloat::from_f64(1.5);
+        let mut acc = ExtFloat::ONE;
+        for _ in 0..13 {
+            acc *= x;
+        }
+        close(x.powi(13).to_f64(), acc.to_f64(), 1e-14);
+        assert_eq!(x.powi(0), ExtFloat::ONE);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = ExtFloat::from_f64(2.0);
+        let b = ExtFloat::from_f64(3.0);
+        let z = ExtFloat::ZERO;
+        let n = ExtFloat::from_f64(-5.0);
+        assert!(a < b);
+        assert!(z < a);
+        assert!(n < z);
+        assert!(n < a);
+        let tiny = ExtFloat::from_parts(0.9, -2000);
+        assert!(z < tiny);
+        assert!(tiny < a);
+    }
+
+    #[test]
+    fn display_uses_decimal_exponent() {
+        let mut q = ExtFloat::ONE;
+        for n in 1..=300u64 {
+            q = q / ExtFloat::from_f64(n as f64);
+        }
+        let s = format!("{q}");
+        assert!(s.contains('e'), "{s}");
+        assert!(s.contains("-61"), "{s}"); // ln10(300!) ≈ 614.5
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v: ExtFloat = (1..=10u64).map(|n| ExtFloat::from_f64(n as f64)).sum();
+        close(v.to_f64(), 55.0, 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn from_f64_rejects_nan() {
+        let _ = ExtFloat::from_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = ExtFloat::ONE / ExtFloat::ZERO;
+    }
+}

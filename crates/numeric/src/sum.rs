@@ -1,0 +1,137 @@
+//! Compensated summation and log-domain accumulation.
+//!
+//! The brute-force oracle sums the product form over the whole state space
+//! `Γ(N)`; terms span many orders of magnitude, so naive accumulation loses
+//! digits exactly where we want a ground truth. [`NeumaierSum`] (improved
+//! Kahan) keeps the oracle honest, and [`logsumexp`] supports the log-domain
+//! backend.
+
+/// Neumaier's improved Kahan–Babuška compensated summation.
+///
+/// Error is `O(ε)` independent of the number of terms, versus `O(n·ε)` for a
+/// naive loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl NeumaierSum {
+    /// An empty (zero) accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+impl FromIterator<f64> for NeumaierSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = NeumaierSum::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+/// `ln(e^a + e^b)`, robust to large magnitudes; identity element is `-inf`.
+pub fn logsumexp_pair(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `ln Σ e^{x_i}` over a slice; `-inf` for an empty slice.
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let mut acc = NeumaierSum::new();
+    for &x in xs {
+        acc.add((x - hi).exp());
+    }
+    hi + acc.value().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neumaier_classic_cancellation_case() {
+        // The textbook case where plain Kahan fails: [1, 1e100, 1, -1e100].
+        let mut s = NeumaierSum::new();
+        for x in [1.0, 1e100, 1.0, -1e100] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn neumaier_many_small_terms() {
+        let mut s = NeumaierSum::new();
+        for _ in 0..10_000_000 {
+            s.add(0.1);
+        }
+        assert!((s.value() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neumaier_from_iterator() {
+        let s: NeumaierSum = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.value(), 5050.0);
+    }
+
+    #[test]
+    fn logsumexp_pair_basics() {
+        let r = logsumexp_pair(0.0, 0.0);
+        assert!((r - 2f64.ln()).abs() < 1e-15);
+        assert_eq!(logsumexp_pair(f64::NEG_INFINITY, 3.0), 3.0);
+        assert_eq!(logsumexp_pair(3.0, f64::NEG_INFINITY), 3.0);
+        // Huge magnitudes must not overflow.
+        let r = logsumexp_pair(-1e6, -1e6 + 1.0);
+        assert!((r - (-1e6 + 1.0 + 1f64.exp().recip().ln_1p())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logsumexp_slice_matches_direct_in_range() {
+        let xs = [0.1f64, 0.5, -0.3, 2.0];
+        let direct: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((logsumexp(&xs) - direct).abs() < 1e-14);
+    }
+
+    #[test]
+    fn logsumexp_empty_and_singleton() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+        assert_eq!(logsumexp(&[-5.0]), -5.0);
+    }
+
+    #[test]
+    fn logsumexp_extreme_range() {
+        // Terms of wildly different scales: answer dominated by the max.
+        let xs = [-2000.0, -3000.0, -2000.0];
+        let expect = -2000.0 + 2f64.ln();
+        assert!((logsumexp(&xs) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+use xbar_numeric::extfloat::{frexp, ldexp};
+use xbar_numeric::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL | prop::num::f64::ZERO | prop::num::f64::SUBNORMAL
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+    (a - b).abs() / scale < tol
+}
+
+proptest! {
+    #[test]
+    fn frexp_ldexp_round_trip(x in finite_f64()) {
+        let (m, e) = frexp(x);
+        prop_assert!(m == 0.0 || (0.5..1.0).contains(&m.abs()));
+        prop_assert!(close(ldexp(m, e as i64), x, 1e-15));
+    }
+
+    #[test]
+    fn extfloat_add_commutes(a in -1e30f64..1e30, b in -1e30f64..1e30) {
+        let (ea, eb) = (ExtFloat::from_f64(a), ExtFloat::from_f64(b));
+        prop_assert!(close((ea + eb).to_f64(), (eb + ea).to_f64(), 1e-15));
+    }
+
+    #[test]
+    fn extfloat_mul_matches_f64(a in -1e100f64..1e100, b in -1e100f64..1e100) {
+        let prod = (ExtFloat::from_f64(a) * ExtFloat::from_f64(b)).to_f64();
+        prop_assert!(close(prod, a * b, 1e-14));
+    }
+
+    #[test]
+    fn extfloat_add_matches_f64(a in -1e100f64..1e100, b in -1e100f64..1e100) {
+        let sum = (ExtFloat::from_f64(a) + ExtFloat::from_f64(b)).to_f64();
+        prop_assert!(close(sum, a + b, 1e-12) || (a + b).abs() < 1e-30 * a.abs().max(b.abs()));
+    }
+
+    #[test]
+    fn extfloat_div_inverts_mul(a in 1e-100f64..1e100, b in 1e-100f64..1e100) {
+        let (ea, eb) = (ExtFloat::from_f64(a), ExtFloat::from_f64(b));
+        let back = (ea * eb / eb).to_f64();
+        prop_assert!(close(back, a, 1e-14));
+    }
+
+    #[test]
+    fn extfloat_ln_matches_f64(a in 1e-300f64..1e300) {
+        prop_assert!(close(ExtFloat::from_f64(a).ln(), a.ln(), 1e-12));
+    }
+
+    #[test]
+    fn extfloat_ratio_is_scale_invariant(
+        a in 1e-10f64..1e10,
+        b in 1e-10f64..1e10,
+        shift in -3000i64..3000,
+    ) {
+        // (a·2^s)/(b·2^s) must equal a/b even when the scaled values are far
+        // outside f64 range — the property that makes the paper's measures
+        // computable at N = 256.
+        let ea = ExtFloat::from_parts(a, shift);
+        let eb = ExtFloat::from_parts(b, shift);
+        prop_assert!(close(ea.ratio(eb), a / b, 1e-13));
+    }
+
+    #[test]
+    fn extfloat_ordering_matches_f64(a in -1e50f64..1e50, b in -1e50f64..1e50) {
+        let ea = ExtFloat::from_f64(a);
+        let eb = ExtFloat::from_f64(b);
+        prop_assert_eq!(ea.partial_cmp(&eb), a.partial_cmp(&b));
+    }
+
+    #[test]
+    fn extfloat_exp_consistent_with_ln(x in -5000.0f64..5000.0) {
+        prop_assert!(close(ExtFloat::exp(x).ln(), x, 1e-10) || x.abs() < 1e-12);
+    }
+
+    #[test]
+    fn neumaier_at_least_as_good_as_naive(xs in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let naive: f64 = xs.iter().sum();
+        let comp: NeumaierSum = xs.iter().cloned().collect();
+        // Reference: two-pass sorted-by-magnitude summation in f64 is not
+        // exact either; just require agreement to a loose bound.
+        prop_assert!(close(comp.value(), naive, 1e-9) || naive.abs() < 1e-3);
+    }
+
+    #[test]
+    fn logsumexp_shift_invariance(xs in prop::collection::vec(-50f64..50.0, 1..20), c in -1e4f64..1e4) {
+        let base = logsumexp(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!(close(logsumexp(&shifted), base + c, 1e-10));
+    }
+
+    #[test]
+    fn logsumexp_pair_agrees_with_slice(a in -700f64..700.0, b in -700f64..700.0) {
+        prop_assert!(close(logsumexp_pair(a, b), logsumexp(&[a, b]), 1e-12));
+    }
+
+    #[test]
+    fn binomial_pascal_rule(n in 1u64..200, k in 1u64..200) {
+        prop_assume!(k <= n);
+        // C(n,k) = C(n-1,k-1) + C(n-1,k)
+        let lhs = binomial(n, k);
+        let rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+        prop_assert!(close(lhs, rhs, 1e-10));
+    }
+
+    #[test]
+    fn binomial_symmetry(n in 0u64..300, k in 0u64..300) {
+        prop_assume!(k <= n);
+        prop_assert!(close(binomial(n, k), binomial(n, n - k), 1e-10));
+    }
+
+    #[test]
+    fn permutation_binomial_relation(n in 0u64..100, k in 0u64..20) {
+        prop_assume!(k <= n);
+        // P(n,k) = C(n,k) · k!
+        let kfact: f64 = (1..=k).map(|i| i as f64).product();
+        prop_assert!(close(permutation(n, k), binomial(n, k) * kfact, 1e-10));
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.5f64..500.0) {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        prop_assert!(close(ln_gamma(x + 1.0), ln_gamma(x) + x.ln(), 1e-10));
+    }
+
+    #[test]
+    fn ln_permutation_consistency(n in 0u64..2000, k in 0u64..50) {
+        prop_assume!(k <= n);
+        // ln P(n,k) = Σ ln(n-i)
+        let direct: f64 = (0..k).map(|i| ((n - i) as f64).ln()).sum();
+        prop_assert!(close(ln_permutation(n, k), direct, 1e-9));
+    }
+
+    #[test]
+    fn central_diff_accurate_on_smooth_functions(x in -3.0f64..3.0, a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let f = |t: f64| a * t.sin() + b * t * t;
+        let exact = a * x.cos() + 2.0 * b * x;
+        let d = central_diff(f, x);
+        prop_assert!((d - exact).abs() < 1e-6 * (1.0 + exact.abs()));
+    }
+}

@@ -1,0 +1,593 @@
+//! The asynchronous crossbar discrete-event simulator.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xbar_numeric::permutation;
+use xbar_traffic::TrafficClass;
+
+use crate::events::{Calendar, EventKind};
+use crate::service::{sample_exp, ServiceDist};
+use crate::stats::{BatchMeans, Estimate};
+
+/// Static simulation configuration: switch geometry plus one
+/// (traffic class, holding-time distribution) pair per class.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Inputs `N1`.
+    pub n1: u32,
+    /// Outputs `N2`.
+    pub n2: u32,
+    /// Classes with their holding-time laws. The class's `μ` is used for
+    /// the *rate* bookkeeping; the distribution's mean should equal `1/μ`
+    /// (checked at construction).
+    pub classes: Vec<(TrafficClass, ServiceDist)>,
+}
+
+impl SimConfig {
+    /// An empty config for an `n1 × n2` switch.
+    pub fn new(n1: u32, n2: u32) -> Self {
+        SimConfig {
+            n1,
+            n2,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Add a class (builder style).
+    pub fn with_class(mut self, class: TrafficClass, service: ServiceDist) -> Self {
+        self.classes.push((class, service));
+        self
+    }
+
+    /// Add a class with its canonical exponential holding time.
+    pub fn with_exp_class(self, class: TrafficClass) -> Self {
+        let mu = class.mu;
+        self.with_class(class, ServiceDist::exponential(mu))
+    }
+}
+
+/// Run-length parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Transient period discarded before measurement starts.
+    pub warmup: f64,
+    /// Measured simulation time (after warmup).
+    pub duration: f64,
+    /// Number of batches for the batch-means confidence intervals.
+    pub batches: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup: 1_000.0,
+            duration: 100_000.0,
+            batches: 20,
+        }
+    }
+}
+
+/// Per-class simulation output.
+#[derive(Clone, Debug)]
+pub struct ClassReport {
+    /// Requests generated during the measurement window.
+    pub offered: u64,
+    /// Requests that found all their ports idle.
+    pub accepted: u64,
+    /// Requests cleared.
+    pub blocked: u64,
+    /// Call-level blocking ratio (blocked/offered) with CI.
+    pub blocking: Estimate,
+    /// Time-average number of connections in progress with CI.
+    pub concurrency: Estimate,
+    /// Time-average probability that a uniformly-chosen port tuple for this
+    /// class is entirely idle — the simulation analogue of the paper's
+    /// `B_r` (eq. 4), with CI.
+    pub availability: Estimate,
+}
+
+/// Whole-run simulation output.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Measured (post-warmup) simulated time.
+    pub duration: f64,
+    /// Events processed in the measurement window.
+    pub events: u64,
+    /// Per-class reports, in config order.
+    pub classes: Vec<ClassReport>,
+    /// Revenue rate `Σ_r w_r·E_r` using measured concurrency.
+    pub revenue: f64,
+    /// Time-weighted distribution of the total port occupancy `k·A`
+    /// (index = busy input count), normalised.
+    pub occupancy: Vec<f64>,
+}
+
+struct LiveConn {
+    class: usize,
+    inputs: Vec<u32>,
+    outputs: Vec<u32>,
+}
+
+/// Per-class batch accumulators.
+#[derive(Clone, Default)]
+struct ClassBatch {
+    offered: u64,
+    blocked: u64,
+    k_time: f64,    // ∫ k_r dt
+    avail_time: f64, // ∫ P(tuple idle) dt
+}
+
+/// The simulator.
+pub struct CrossbarSim {
+    cfg: SimConfig,
+    rng: StdRng,
+    now: f64,
+    busy_in: Vec<bool>,
+    busy_out: Vec<bool>,
+    /// Total busy inputs (= busy outputs, since every connection takes
+    /// `a_r` of each).
+    occupancy: u32,
+    k: Vec<u64>,
+    live: HashMap<u64, LiveConn>,
+    next_conn: u64,
+    cal: Calendar,
+    /// `P(N1,a_r)·P(N2,a_r)` per class: the ordered-tuple count the
+    /// aggregate arrival rate is proportional to (see crate docs).
+    tuple_count: Vec<f64>,
+}
+
+impl CrossbarSim {
+    /// Build a simulator from a config and an RNG seed.
+    ///
+    /// # Panics
+    /// Panics if a class is invalid for the geometry or a service
+    /// distribution's mean disagrees with the class's `1/μ`.
+    pub fn new(cfg: SimConfig, seed: u64) -> Self {
+        assert!(cfg.n1 >= 1 && cfg.n2 >= 1, "switch must have ports");
+        assert!(!cfg.classes.is_empty(), "need at least one class");
+        let max_n = cfg.n1.max(cfg.n2);
+        for (i, (class, service)) in cfg.classes.iter().enumerate() {
+            class
+                .validate(max_n)
+                .unwrap_or_else(|e| panic!("class {i}: {e}"));
+            assert!(
+                class.bandwidth <= cfg.n1.min(cfg.n2),
+                "class {i}: bandwidth exceeds switch"
+            );
+            let want = 1.0 / class.mu;
+            assert!(
+                (service.mean() - want).abs() <= 1e-9 * want,
+                "class {i}: service mean {} != 1/mu = {want}",
+                service.mean()
+            );
+        }
+        let tuple_count = cfg
+            .classes
+            .iter()
+            .map(|(c, _)| {
+                permutation(cfg.n1 as u64, c.bandwidth as u64)
+                    * permutation(cfg.n2 as u64, c.bandwidth as u64)
+            })
+            .collect();
+        let r = cfg.classes.len();
+        CrossbarSim {
+            busy_in: vec![false; cfg.n1 as usize],
+            busy_out: vec![false; cfg.n2 as usize],
+            occupancy: 0,
+            k: vec![0; r],
+            live: HashMap::new(),
+            next_conn: 0,
+            cal: Calendar::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: 0.0,
+            tuple_count,
+            cfg,
+        }
+    }
+
+    /// Current per-class connection counts (diagnostic).
+    pub fn state(&self) -> &[u64] {
+        &self.k
+    }
+
+    /// Aggregate arrival rate of class `r` in the current state.
+    fn arrival_rate(&self, r: usize) -> f64 {
+        self.tuple_count[r] * self.cfg.classes[r].0.lambda(self.k[r])
+    }
+
+    /// Probability a uniformly-chosen class-`r` port tuple is fully idle in
+    /// the current state.
+    fn availability(&self, r: usize) -> f64 {
+        let a = self.cfg.classes[r].0.bandwidth as u64;
+        let free1 = (self.cfg.n1 - self.occupancy) as u64;
+        let free2 = (self.cfg.n2 - self.occupancy) as u64;
+        permutation(free1, a) * permutation(free2, a) / self.tuple_count[r]
+    }
+
+    /// Draw `count` distinct indices in `0..n`, reporting whether all were
+    /// idle in `busy`.
+    fn draw_ports(rng: &mut StdRng, busy: &[bool], count: u32) -> (Vec<u32>, bool) {
+        let n = busy.len();
+        // Partial Fisher–Yates over a scratch index list is O(n); for the
+        // small port counts here that is cheaper than fancier sampling.
+        let mut picked = Vec::with_capacity(count as usize);
+        let mut all_free = true;
+        while picked.len() < count as usize {
+            let cand = rng.gen_range(0..n) as u32;
+            if picked.contains(&cand) {
+                continue;
+            }
+            if busy[cand as usize] {
+                all_free = false;
+            }
+            picked.push(cand);
+        }
+        (picked, all_free)
+    }
+
+    /// Run for `run.warmup + run.duration` sim-time and report measures
+    /// over the measurement window.
+    pub fn run(&mut self, run: RunConfig) -> SimReport {
+        assert!(run.batches >= 1, "need at least one batch");
+        assert!(run.duration > 0.0);
+        let r_count = self.cfg.classes.len();
+
+        // Warmup: advance without recording.
+        let warmup_end = self.now + run.warmup;
+        self.advance_until(warmup_end, &mut |_| {});
+
+        let t0 = self.now;
+        let batch_len = run.duration / run.batches as f64;
+        let mut batches: Vec<Vec<ClassBatch>> =
+            vec![vec![ClassBatch::default(); r_count]; run.batches];
+        let mut occupancy_time = vec![0.0f64; self.cfg.n1.min(self.cfg.n2) as usize + 1];
+        let mut events = 0u64;
+
+        // The recorder distributes elapsed time (and counts) into batches;
+        // state snapshots arrive through the callback argument so the
+        // closure doesn't alias `self`.
+        let end = t0 + run.duration;
+        let batch_of = |t: f64| -> usize {
+            (((t - t0) / batch_len) as usize).min(run.batches - 1)
+        };
+
+        self.advance_until(end, &mut |rec: Record| match rec {
+            Record::Elapse {
+                from,
+                to,
+                k,
+                avail,
+                occ,
+            } => {
+                // Split [from, to) across batch boundaries.
+                let mut cur = from;
+                while cur < to {
+                    let b = batch_of(cur);
+                    let stop = (t0 + (b + 1) as f64 * batch_len).min(to);
+                    let dt = stop - cur;
+                    for r in 0..r_count {
+                        batches[b][r].k_time += k[r] as f64 * dt;
+                        batches[b][r].avail_time += avail[r] * dt;
+                    }
+                    occupancy_time[occ as usize] += dt;
+                    cur = stop;
+                }
+            }
+            Record::Offered { class, at, blocked } => {
+                let b = batch_of(at);
+                batches[b][class].offered += 1;
+                if blocked {
+                    batches[b][class].blocked += 1;
+                }
+            }
+            Record::Event => events += 1,
+        });
+
+        // Aggregate.
+        let mut classes = Vec::with_capacity(r_count);
+        let mut revenue = 0.0;
+        for r in 0..r_count {
+            let mut offered = 0u64;
+            let mut blocked = 0u64;
+            let mut blocking_batches = Vec::new();
+            let mut conc_batches = Vec::new();
+            let mut avail_batches = Vec::new();
+            for b in batches.iter() {
+                let cb = &b[r];
+                offered += cb.offered;
+                blocked += cb.blocked;
+                if cb.offered > 0 {
+                    blocking_batches.push(cb.blocked as f64 / cb.offered as f64);
+                }
+                conc_batches.push(cb.k_time / batch_len);
+                avail_batches.push(cb.avail_time / batch_len);
+            }
+            let concurrency = BatchMeans::from_batches(conc_batches).estimate();
+            revenue += self.cfg.classes[r].0.weight * concurrency.mean;
+            classes.push(ClassReport {
+                offered,
+                accepted: offered - blocked,
+                blocked,
+                blocking: BatchMeans::from_batches(blocking_batches).estimate(),
+                concurrency,
+                availability: BatchMeans::from_batches(avail_batches).estimate(),
+            });
+        }
+        let total_occ: f64 = occupancy_time.iter().sum();
+        let occupancy = occupancy_time.iter().map(|t| t / total_occ).collect();
+
+        SimReport {
+            duration: run.duration,
+            events,
+            classes,
+            revenue,
+            occupancy,
+        }
+    }
+
+    /// Core event loop with a recording callback. Generic over the record
+    /// sink so warmup can run it with a no-op.
+    fn advance_until<F>(&mut self, end: f64, record: &mut F)
+    where
+        F: FnMut(Record),
+    {
+        let r_count = self.cfg.classes.len();
+        loop {
+            // Total arrival rate in the current state.
+            let rates: Vec<f64> = (0..r_count).map(|r| self.arrival_rate(r)).collect();
+            let total_rate: f64 = rates.iter().sum();
+
+            // Candidate next arrival (memoryless ⇒ resampling each event is
+            // distributionally exact).
+            let t_arrival = if total_rate > 0.0 {
+                self.now + sample_exp(&mut self.rng, 1.0 / total_rate)
+            } else {
+                f64::INFINITY
+            };
+            let t_departure = self.cal.peek_time().unwrap_or(f64::INFINITY);
+            let t_next = t_arrival.min(t_departure).min(end);
+
+            // Record the elapsed interval in the *current* state.
+            let avail: Vec<f64> = (0..r_count).map(|r| self.availability(r)).collect();
+            record(Record::Elapse {
+                from: self.now,
+                to: t_next,
+                k: self.k.clone(),
+                avail,
+                occ: self.occupancy,
+            });
+
+            if t_next >= end {
+                self.now = end;
+                return;
+            }
+            self.now = t_next;
+            record(Record::Event);
+
+            if t_departure <= t_arrival {
+                // Departure.
+                let ev = self.cal.pop().expect("peeked");
+                let EventKind::Departure { class, connection } = ev.kind;
+                let conn = self.live.remove(&connection).expect("live connection");
+                debug_assert_eq!(conn.class, class);
+                for &i in &conn.inputs {
+                    self.busy_in[i as usize] = false;
+                }
+                for &o in &conn.outputs {
+                    self.busy_out[o as usize] = false;
+                }
+                self.occupancy -= self.cfg.classes[class].0.bandwidth;
+                self.k[class] -= 1;
+            } else {
+                // Arrival: pick the class proportional to its rate.
+                let mut pick = self.rng.gen::<f64>() * total_rate;
+                let mut class = r_count - 1;
+                for (r, &rate) in rates.iter().enumerate() {
+                    if pick < rate {
+                        class = r;
+                        break;
+                    }
+                    pick -= rate;
+                }
+                let a = self.cfg.classes[class].0.bandwidth;
+                let (inputs, in_free) = Self::draw_ports(&mut self.rng, &self.busy_in, a);
+                let (outputs, out_free) = Self::draw_ports(&mut self.rng, &self.busy_out, a);
+                let accepted = in_free && out_free;
+                record(Record::Offered {
+                    class,
+                    at: self.now,
+                    blocked: !accepted,
+                });
+                if accepted {
+                    for &i in &inputs {
+                        self.busy_in[i as usize] = true;
+                    }
+                    for &o in &outputs {
+                        self.busy_out[o as usize] = true;
+                    }
+                    self.occupancy += a;
+                    self.k[class] += 1;
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.live.insert(
+                        id,
+                        LiveConn {
+                            class,
+                            inputs,
+                            outputs,
+                        },
+                    );
+                    let hold = self.cfg.classes[class].1.sample(&mut self.rng);
+                    self.cal.schedule(
+                        self.now + hold,
+                        EventKind::Departure {
+                            class,
+                            connection: id,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+// The Record enum must be nameable by both `run` and `advance_until`;
+// hoist it out of the method (kept private to the module).
+use record::Record;
+mod record {
+    pub(super) enum Record {
+        Elapse {
+            from: f64,
+            to: f64,
+            k: Vec<u64>,
+            avail: Vec<f64>,
+            occ: u32,
+        },
+        Offered {
+            class: usize,
+            at: f64,
+            blocked: bool,
+        },
+        Event,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_cfg(n: u32, rho: f64) -> SimConfig {
+        SimConfig::new(n, n).with_exp_class(TrafficClass::poisson(rho))
+    }
+
+    #[test]
+    fn conservation_counters_add_up() {
+        let mut sim = CrossbarSim::new(poisson_cfg(4, 0.1), 1);
+        let rep = sim.run(RunConfig {
+            warmup: 10.0,
+            duration: 2_000.0,
+            batches: 10,
+        });
+        let c = &rep.classes[0];
+        assert_eq!(c.offered, c.accepted + c.blocked);
+        assert!(c.offered > 1000, "{}", c.offered);
+        assert!(rep.events > 0);
+    }
+
+    #[test]
+    fn occupancy_distribution_normalises_and_bounds() {
+        let mut sim = CrossbarSim::new(poisson_cfg(4, 0.3), 2);
+        let rep = sim.run(RunConfig {
+            warmup: 10.0,
+            duration: 1_000.0,
+            batches: 5,
+        });
+        assert_eq!(rep.occupancy.len(), 5);
+        let total: f64 = rep.occupancy.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r1 = CrossbarSim::new(poisson_cfg(4, 0.2), 7).run(RunConfig::default());
+        let r2 = CrossbarSim::new(poisson_cfg(4, 0.2), 7).run(RunConfig::default());
+        assert_eq!(r1.classes[0].offered, r2.classes[0].offered);
+        assert_eq!(r1.classes[0].blocked, r2.classes[0].blocked);
+        assert_eq!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let r1 = CrossbarSim::new(poisson_cfg(4, 0.2), 7).run(RunConfig::default());
+        let r2 = CrossbarSim::new(poisson_cfg(4, 0.2), 8).run(RunConfig::default());
+        assert_ne!(r1.classes[0].offered, r2.classes[0].offered);
+    }
+
+    #[test]
+    fn zero_load_class_never_blocks() {
+        // A Bernoulli class with S = max_n sources all at tiny rate plus an
+        // essentially idle Poisson class: at near-zero load nothing blocks.
+        let cfg = SimConfig::new(4, 4).with_exp_class(TrafficClass::poisson(1e-6));
+        let mut sim = CrossbarSim::new(cfg, 3);
+        let rep = sim.run(RunConfig {
+            warmup: 0.0,
+            duration: 10_000.0,
+            batches: 5,
+        });
+        assert_eq!(rep.classes[0].blocked, 0);
+    }
+
+    #[test]
+    fn saturating_load_blocks_heavily() {
+        let mut sim = CrossbarSim::new(poisson_cfg(2, 50.0), 4);
+        let rep = sim.run(RunConfig {
+            warmup: 50.0,
+            duration: 2_000.0,
+            batches: 10,
+        });
+        assert!(
+            rep.classes[0].blocking.mean > 0.5,
+            "{}",
+            rep.classes[0].blocking.mean
+        );
+    }
+
+    #[test]
+    fn multirate_class_occupies_multiple_ports() {
+        let cfg = SimConfig::new(4, 4)
+            .with_exp_class(TrafficClass::poisson(0.05).with_bandwidth(2));
+        let mut sim = CrossbarSim::new(cfg, 5);
+        let rep = sim.run(RunConfig {
+            warmup: 10.0,
+            duration: 2_000.0,
+            batches: 10,
+        });
+        // Occupancy histogram only has even entries populated.
+        assert!(rep.occupancy[1] == 0.0 && rep.occupancy[3] == 0.0);
+        assert!(rep.occupancy[2] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "service mean")]
+    fn rejects_mismatched_service_mean() {
+        let cfg = SimConfig::new(2, 2).with_class(
+            TrafficClass::poisson(0.1), // mu = 1
+            ServiceDist::Deterministic { mean: 2.0 },
+        );
+        let _ = CrossbarSim::new(cfg, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth exceeds switch")]
+    fn rejects_oversized_bandwidth() {
+        let cfg = SimConfig::new(2, 2)
+            .with_exp_class(TrafficClass::poisson(0.1).with_bandwidth(3));
+        let _ = CrossbarSim::new(cfg, 0);
+    }
+
+    #[test]
+    fn n1x1_matches_erlang_one_line() {
+        // A 1×1 crossbar with Poisson traffic is an M/M/1/1 loss system:
+        // blocking = ρ/(1+ρ).
+        let rho = 0.5;
+        let mut sim = CrossbarSim::new(poisson_cfg(1, rho), 11);
+        let rep = sim.run(RunConfig {
+            warmup: 100.0,
+            duration: 200_000.0,
+            batches: 20,
+        });
+        let want = rho / (1.0 + rho);
+        let got = &rep.classes[0].blocking;
+        assert!(
+            got.covers_with_slack(want, 0.01),
+            "blocking {got:?}, want {want}"
+        );
+        // Availability (paper B) equals 1 − blocking here.
+        assert!(rep.classes[0]
+            .availability
+            .covers_with_slack(1.0 - want, 0.01));
+    }
+}

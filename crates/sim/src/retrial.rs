@@ -1,0 +1,398 @@
+//! Retrial behaviour — probing the paper's "blocked requests are cleared"
+//! assumption (§2: "recovery is managed by the corresponding end-points at
+//! the boundaries of the network").
+//!
+//! In a real circuit-switched network the end-points *retry*. This
+//! simulator gives each blocked request up to `max_attempts − 1` retries
+//! after exponentially-distributed back-off, turning the loss system into
+//! a retrial queue (which has no product form — hence simulation). The
+//! interesting outputs are how much the *final* loss probability drops,
+//! and how much extra port pressure the retry traffic creates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xbar_numeric::permutation;
+use xbar_traffic::TrafficClass;
+
+use crate::service::sample_exp;
+use crate::stats::{BatchMeans, Estimate};
+
+/// Configuration of the retrial experiment (single class, `a ≥ 1`).
+#[derive(Clone, Debug)]
+pub struct RetrialConfig {
+    /// Inputs.
+    pub n1: u32,
+    /// Outputs.
+    pub n2: u32,
+    /// The traffic class (per-set parameters; `β` supported).
+    pub class: TrafficClass,
+    /// Total attempts allowed per call (1 = blocked-calls-cleared).
+    pub max_attempts: u32,
+    /// Mean back-off before a retry, in units of the holding time.
+    pub backoff_mean: f64,
+}
+
+/// Outcome of a retrial run.
+#[derive(Clone, Debug)]
+pub struct RetrialReport {
+    /// Fresh calls generated in the measurement window.
+    pub calls: u64,
+    /// Calls eventually carried.
+    pub carried: u64,
+    /// Calls lost after exhausting their attempts.
+    pub lost: u64,
+    /// Final loss probability (lost/calls) with CI.
+    pub loss: Estimate,
+    /// Per-attempt blocking probability (across all attempts) with CI.
+    pub attempt_blocking: Estimate,
+    /// Mean attempts per call.
+    pub mean_attempts: f64,
+}
+
+/// The retrial simulator.
+pub struct RetrialSim {
+    cfg: RetrialConfig,
+    rng: StdRng,
+}
+
+#[derive(Clone, Copy)]
+enum Pending {
+    /// A retry of call `id` on its `attempt`-th try.
+    Retry { id: u64, attempt: u32 },
+    /// A departure releasing `a` ports starting at slot `slot` of `live`.
+    Departure { live_slot: usize },
+}
+
+impl RetrialSim {
+    /// Build from config and seed.
+    pub fn new(cfg: RetrialConfig, seed: u64) -> Self {
+        assert!(cfg.max_attempts >= 1);
+        assert!(cfg.backoff_mean > 0.0);
+        assert!(cfg.class.bandwidth <= cfg.n1.min(cfg.n2));
+        RetrialSim {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Run for `warmup + duration` with `batches` batch means.
+    pub fn run(&mut self, warmup: f64, duration: f64, batches: usize) -> RetrialReport {
+        let cfg = self.cfg.clone();
+        let a = cfg.class.bandwidth as usize;
+        let (n1, n2) = (cfg.n1 as usize, cfg.n2 as usize);
+        let tuples = permutation(cfg.n1 as u64, a as u64) * permutation(cfg.n2 as u64, a as u64);
+
+        let mut busy_in = vec![false; n1];
+        let mut busy_out = vec![false; n2];
+        let mut k_live: u64 = 0;
+
+        // Event list: (time, Pending).
+        let mut events: std::collections::BinaryHeap<Ev> = std::collections::BinaryHeap::new();
+        struct Ev(f64, u64, Pending);
+        impl PartialEq for Ev {
+            fn eq(&self, o: &Self) -> bool {
+                self.0 == o.0 && self.1 == o.1
+            }
+        }
+        impl Eq for Ev {}
+        impl PartialOrd for Ev {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Ev {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                o.0.partial_cmp(&self.0).unwrap().then(o.1.cmp(&self.1))
+            }
+        }
+        let mut seq = 0u64;
+        let mut live: Vec<Option<(Vec<usize>, Vec<usize>)>> = Vec::new();
+
+        let mut now = 0.0f64;
+        let end = warmup + duration;
+        let batch_len = duration / batches as f64;
+        #[derive(Clone, Copy, Default)]
+        struct Counts {
+            calls: u64,
+            lost: u64,
+            attempts: u64,
+            blocked_attempts: u64,
+        }
+        let mut per_batch = vec![Counts::default(); batches];
+        let mut next_call = 0u64;
+        // Track per-call attempt numbers for loss accounting.
+        let mut call_batch: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+
+        loop {
+            let rate = tuples * cfg.class.lambda(k_live);
+            let t_arr = if rate > 0.0 {
+                now + sample_exp(&mut self.rng, 1.0 / rate)
+            } else {
+                f64::INFINITY
+            };
+            let t_ev = events.peek().map(|e| e.0).unwrap_or(f64::INFINITY);
+            let t_next = t_arr.min(t_ev).min(end);
+            if t_next >= end {
+                break;
+            }
+            now = t_next;
+
+            // Attempt-execution helper runs inline below; both fresh calls
+            // and retries go through the same port draw.
+            let attempt = |rng: &mut StdRng,
+                               busy_in: &mut Vec<bool>,
+                               busy_out: &mut Vec<bool>,
+                               live: &mut Vec<Option<(Vec<usize>, Vec<usize>)>>,
+                               events: &mut std::collections::BinaryHeap<Ev>,
+                               seq: &mut u64,
+                               k_live: &mut u64,
+                               now: f64|
+             -> bool {
+                let draw = |rng: &mut StdRng, busy: &[bool], count: usize| {
+                    let mut picked: Vec<usize> = Vec::with_capacity(count);
+                    let mut free = true;
+                    while picked.len() < count {
+                        let c = rng.gen_range(0..busy.len());
+                        if picked.contains(&c) {
+                            continue;
+                        }
+                        if busy[c] {
+                            free = false;
+                        }
+                        picked.push(c);
+                    }
+                    (picked, free)
+                };
+                let (ins, f1) = draw(rng, busy_in, a);
+                let (outs, f2) = draw(rng, busy_out, a);
+                if f1 && f2 {
+                    for &i in &ins {
+                        busy_in[i] = true;
+                    }
+                    for &o in &outs {
+                        busy_out[o] = true;
+                    }
+                    *k_live += 1;
+                    let slot = live.len();
+                    live.push(Some((ins, outs)));
+                    let hold = sample_exp(rng, 1.0 / cfg.class.mu);
+                    *seq += 1;
+                    events.push(Ev(now + hold, *seq, Pending::Departure { live_slot: slot }));
+                    true
+                } else {
+                    false
+                }
+            };
+
+            if t_ev <= t_arr {
+                let Ev(_, _, pending) = events.pop().unwrap();
+                match pending {
+                    Pending::Departure { live_slot } => {
+                        let (ins, outs) = live[live_slot].take().expect("live");
+                        for i in ins {
+                            busy_in[i] = false;
+                        }
+                        for o in outs {
+                            busy_out[o] = false;
+                        }
+                        k_live -= 1;
+                    }
+                    Pending::Retry { id, attempt: n_try } => {
+                        // Calls originating during warmup carry the
+                        // usize::MAX sentinel: retry, but don't count.
+                        let b = call_batch.get(&id).copied().filter(|&b| b != usize::MAX);
+                        let ok = attempt(
+                            &mut self.rng,
+                            &mut busy_in,
+                            &mut busy_out,
+                            &mut live,
+                            &mut events,
+                            &mut seq,
+                            &mut k_live,
+                            now,
+                        );
+                        if let Some(b) = b {
+                            per_batch[b].attempts += 1;
+                            if !ok {
+                                per_batch[b].blocked_attempts += 1;
+                            }
+                        }
+                        if ok {
+                            call_batch.remove(&id);
+                        } else if n_try + 1 <= cfg.max_attempts {
+                            let backoff =
+                                sample_exp(&mut self.rng, cfg.backoff_mean / cfg.class.mu);
+                            seq += 1;
+                            events.push(Ev(
+                                now + backoff,
+                                seq,
+                                Pending::Retry {
+                                    id,
+                                    attempt: n_try + 1,
+                                },
+                            ));
+                        } else {
+                            if let Some(b) = b {
+                                per_batch[b].lost += 1;
+                            }
+                            call_batch.remove(&id);
+                        }
+                    }
+                }
+            } else {
+                // Fresh call.
+                let in_window = now >= warmup;
+                let b = if in_window {
+                    Some((((now - warmup) / batch_len) as usize).min(batches - 1))
+                } else {
+                    None
+                };
+                let id = next_call;
+                next_call += 1;
+                if let Some(b) = b {
+                    per_batch[b].calls += 1;
+                    per_batch[b].attempts += 1;
+                }
+                let ok = attempt(
+                    &mut self.rng,
+                    &mut busy_in,
+                    &mut busy_out,
+                    &mut live,
+                    &mut events,
+                    &mut seq,
+                    &mut k_live,
+                    now,
+                );
+                if !ok {
+                    if let Some(b) = b {
+                        per_batch[b].blocked_attempts += 1;
+                    }
+                    if cfg.max_attempts > 1 {
+                        if let Some(b) = b {
+                            call_batch.insert(id, b);
+                        } else {
+                            // Warmup calls retry too, but aren't counted.
+                            call_batch.insert(id, usize::MAX);
+                        }
+                        let backoff = sample_exp(&mut self.rng, cfg.backoff_mean / cfg.class.mu);
+                        seq += 1;
+                        events.push(Ev(now + backoff, seq, Pending::Retry { id, attempt: 2 }));
+                    } else if let Some(b) = b {
+                        per_batch[b].lost += 1;
+                    }
+                }
+            }
+        }
+
+        // Warmup-tagged retries used usize::MAX as a sentinel batch; they
+        // were never counted. Clean aggregation:
+        let per_batch: Vec<Counts> = per_batch;
+        let calls: u64 = per_batch.iter().map(|c| c.calls).sum();
+        let lost: u64 = per_batch.iter().map(|c| c.lost).sum();
+        let attempts: u64 = per_batch.iter().map(|c| c.attempts).sum();
+        let loss = BatchMeans::from_batches(
+            per_batch
+                .iter()
+                .filter(|c| c.calls > 0)
+                .map(|c| c.lost as f64 / c.calls as f64)
+                .collect(),
+        )
+        .estimate();
+        let attempt_blocking = BatchMeans::from_batches(
+            per_batch
+                .iter()
+                .filter(|c| c.attempts > 0)
+                .map(|c| c.blocked_attempts as f64 / c.attempts as f64)
+                .collect(),
+        )
+        .estimate();
+        RetrialReport {
+            calls,
+            carried: calls - lost,
+            lost,
+            loss,
+            attempt_blocking,
+            mean_attempts: if calls > 0 {
+                attempts as f64 / calls as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_attempts: u32) -> RetrialConfig {
+        RetrialConfig {
+            n1: 6,
+            n2: 6,
+            class: TrafficClass::poisson(0.05),
+            max_attempts,
+            backoff_mean: 0.3,
+        }
+    }
+
+    #[test]
+    fn single_attempt_matches_cleared_blocking() {
+        // max_attempts = 1 is exactly blocked-calls-cleared; the loss rate
+        // must match the analytic B of the same model.
+        use xbar_core::{solve, Algorithm, Dims, Model};
+        use xbar_traffic::Workload;
+        let model = Model::new(
+            Dims::square(6),
+            Workload::new().with(TrafficClass::poisson(0.05)),
+        )
+        .unwrap();
+        let want = solve(&model, Algorithm::Auto).unwrap().blocking(0);
+        let rep = RetrialSim::new(cfg(1), 5).run(200.0, 60_000.0, 20);
+        assert!(
+            rep.loss.covers_with_slack(want, 0.01),
+            "loss {:?} vs analytic {want}",
+            rep.loss
+        );
+        assert!((rep.mean_attempts - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retries_cut_final_loss_but_raise_attempt_blocking() {
+        let cleared = RetrialSim::new(cfg(1), 9).run(200.0, 40_000.0, 10);
+        let retried = RetrialSim::new(cfg(4), 9).run(200.0, 40_000.0, 10);
+        assert!(
+            retried.loss.mean < 0.5 * cleared.loss.mean,
+            "retries {} vs cleared {}",
+            retried.loss.mean,
+            cleared.loss.mean
+        );
+        // The retry traffic adds pressure: per-attempt blocking rises.
+        assert!(retried.attempt_blocking.mean >= cleared.attempt_blocking.mean - 0.005);
+        assert!(retried.mean_attempts > 1.0);
+    }
+
+    #[test]
+    fn more_attempts_monotonically_less_loss() {
+        let l1 = RetrialSim::new(cfg(1), 3).run(100.0, 30_000.0, 10).loss.mean;
+        let l2 = RetrialSim::new(cfg(2), 3).run(100.0, 30_000.0, 10).loss.mean;
+        let l5 = RetrialSim::new(cfg(5), 3).run(100.0, 30_000.0, 10).loss.mean;
+        assert!(l2 < l1 && l5 < l2, "{l1} {l2} {l5}");
+    }
+
+    #[test]
+    fn conservation() {
+        let rep = RetrialSim::new(cfg(3), 1).run(100.0, 20_000.0, 10);
+        assert_eq!(rep.calls, rep.carried + rep.lost);
+        assert!(rep.calls > 1000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RetrialSim::new(cfg(3), 42).run(50.0, 5_000.0, 5);
+        let b = RetrialSim::new(cfg(3), 42).run(50.0, 5_000.0, 5);
+        assert_eq!(a.calls, b.calls);
+        assert_eq!(a.lost, b.lost);
+    }
+}

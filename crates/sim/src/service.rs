@@ -1,0 +1,239 @@
+//! Holding-time (service) distributions, all parameterised by their mean.
+//!
+//! The paper's chain is *insensitive*: every distribution here with the same
+//! mean must produce the same blocking probabilities (paper §2, ref \[7\]).
+//! The `insensitivity` experiment sweeps this whole menu.
+
+use rand::Rng;
+
+/// A holding-time distribution with a configurable mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceDist {
+    /// Exponential with the given mean (the paper's base assumption);
+    /// squared coefficient of variation `c² = 1`.
+    Exponential {
+        /// Mean holding time.
+        mean: f64,
+    },
+    /// Constant holding time; `c² = 0`.
+    Deterministic {
+        /// The constant holding time.
+        mean: f64,
+    },
+    /// Erlang-`k` (sum of `k` exponentials); `c² = 1/k < 1`.
+    Erlang {
+        /// Mean holding time (across all phases).
+        mean: f64,
+        /// Number of phases.
+        k: u32,
+    },
+    /// Balanced-mean two-phase hyperexponential with `c² = cv2 > 1`.
+    HyperExp {
+        /// Mean holding time.
+        mean: f64,
+        /// Target squared coefficient of variation (must be > 1).
+        cv2: f64,
+    },
+    /// Uniform on `[0, 2·mean]`; `c² = 1/3`.
+    Uniform {
+        /// Mean holding time (support is `[0, 2·mean]`).
+        mean: f64,
+    },
+    /// Log-normal with the given mean and `c² = cv2`.
+    LogNormal {
+        /// Mean holding time.
+        mean: f64,
+        /// Squared coefficient of variation.
+        cv2: f64,
+    },
+    /// Pareto (Lomax, shifted to start at 0) with tail index `shape > 2`
+    /// — heavy-tailed holding times.
+    Pareto {
+        /// Mean holding time.
+        mean: f64,
+        /// Tail index (> 2 so the variance exists).
+        shape: f64,
+    },
+}
+
+impl ServiceDist {
+    /// Exponential with mean `1/mu`.
+    pub fn exponential(mu: f64) -> Self {
+        ServiceDist::Exponential { mean: 1.0 / mu }
+    }
+
+    /// The configured mean holding time.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDist::Exponential { mean }
+            | ServiceDist::Deterministic { mean }
+            | ServiceDist::Erlang { mean, .. }
+            | ServiceDist::HyperExp { mean, .. }
+            | ServiceDist::Uniform { mean }
+            | ServiceDist::LogNormal { mean, .. }
+            | ServiceDist::Pareto { mean, .. } => mean,
+        }
+    }
+
+    /// Squared coefficient of variation (variance/mean²).
+    pub fn cv2(&self) -> f64 {
+        match *self {
+            ServiceDist::Exponential { .. } => 1.0,
+            ServiceDist::Deterministic { .. } => 0.0,
+            ServiceDist::Erlang { k, .. } => 1.0 / k as f64,
+            ServiceDist::HyperExp { cv2, .. } => cv2,
+            ServiceDist::Uniform { .. } => 1.0 / 3.0,
+            ServiceDist::LogNormal { cv2, .. } => cv2,
+            ServiceDist::Pareto { shape, .. } => {
+                // var/mean² for Lomax(λ, α): α/(α−2) for α > 2.
+                shape / (shape - 2.0)
+            }
+        }
+    }
+
+    /// Draw one holding time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ServiceDist::Exponential { mean } => sample_exp(rng, mean),
+            ServiceDist::Deterministic { mean } => mean,
+            ServiceDist::Erlang { mean, k } => {
+                let phase = mean / k as f64;
+                (0..k).map(|_| sample_exp(rng, phase)).sum()
+            }
+            ServiceDist::HyperExp { mean, cv2 } => {
+                // Balanced-mean H2 fit: phases with probabilities p, 1−p and
+                // means mean/(2p), mean/(2(1−p)); p chosen for the target c².
+                let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
+                if rng.gen::<f64>() < p {
+                    sample_exp(rng, mean / (2.0 * p))
+                } else {
+                    sample_exp(rng, mean / (2.0 * (1.0 - p)))
+                }
+            }
+            ServiceDist::Uniform { mean } => rng.gen::<f64>() * 2.0 * mean,
+            ServiceDist::LogNormal { mean, cv2 } => {
+                let sigma2 = (1.0 + cv2).ln();
+                let mu = mean.ln() - 0.5 * sigma2;
+                let z = sample_std_normal(rng);
+                (mu + sigma2.sqrt() * z).exp()
+            }
+            ServiceDist::Pareto { mean, shape } => {
+                // Lomax: X = λ((1−U)^(−1/α) − 1), mean = λ/(α−1).
+                let lambda = mean * (shape - 1.0);
+                let u: f64 = rng.gen();
+                lambda * ((1.0 - u).powf(-1.0 / shape) - 1.0)
+            }
+        }
+    }
+}
+
+/// Exponential with the given mean via inverse transform.
+pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    // 1−U ∈ (0, 1]: avoids ln(0).
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// Standard normal via Box–Muller.
+pub fn sample_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(dist: ServiceDist, n: usize) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = dist.sample(&mut rng);
+            assert!(x >= 0.0, "negative holding time from {dist:?}");
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        (mean, var)
+    }
+
+    #[test]
+    fn all_distributions_hit_their_mean() {
+        let dists = [
+            ServiceDist::Exponential { mean: 2.0 },
+            ServiceDist::Deterministic { mean: 2.0 },
+            ServiceDist::Erlang { mean: 2.0, k: 4 },
+            ServiceDist::HyperExp { mean: 2.0, cv2: 4.0 },
+            ServiceDist::Uniform { mean: 2.0 },
+            ServiceDist::LogNormal { mean: 2.0, cv2: 2.0 },
+            ServiceDist::Pareto { mean: 2.0, shape: 3.5 },
+        ];
+        for d in dists {
+            let (mean, _) = sample_stats(d, 400_000);
+            assert!(
+                (mean - 2.0).abs() < 0.05,
+                "{d:?}: sample mean {mean}, want 2.0"
+            );
+            assert_eq!(d.mean(), 2.0);
+        }
+    }
+
+    #[test]
+    fn cv2_matches_samples_for_light_tailed() {
+        // (Pareto excluded: its variance converges too slowly to test cheaply.)
+        let dists = [
+            ServiceDist::Exponential { mean: 1.0 },
+            ServiceDist::Deterministic { mean: 1.0 },
+            ServiceDist::Erlang { mean: 1.0, k: 3 },
+            ServiceDist::HyperExp { mean: 1.0, cv2: 5.0 },
+            ServiceDist::Uniform { mean: 1.0 },
+            ServiceDist::LogNormal { mean: 1.0, cv2: 1.5 },
+        ];
+        for d in dists {
+            let (mean, var) = sample_stats(d, 600_000);
+            let cv2 = var / (mean * mean);
+            assert!(
+                (cv2 - d.cv2()).abs() < 0.1 * (1.0 + d.cv2()),
+                "{d:?}: sample cv² {cv2}, want {}",
+                d.cv2()
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_constructor_inverts_rate() {
+        let d = ServiceDist::exponential(4.0);
+        assert_eq!(d.mean(), 0.25);
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = ServiceDist::Deterministic { mean: 3.5 };
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn erlang_variance_shrinks_with_k() {
+        let (_, v2) = sample_stats(ServiceDist::Erlang { mean: 1.0, k: 2 }, 200_000);
+        let (_, v8) = sample_stats(ServiceDist::Erlang { mean: 1.0, k: 8 }, 200_000);
+        assert!(v8 < v2);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let d = ServiceDist::Exponential { mean: 1.0 };
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Output analysis: online moments, batch means and confidence intervals.
+
+/// Welford's online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Two-sided 97.5% Student-t quantile (for 95% confidence intervals) with
+/// `df` degrees of freedom; normal approximation beyond the table.
+pub fn t_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=60 => 2.02,
+        61..=120 => 2.0,
+        _ => 1.96,
+    }
+}
+
+/// A point estimate with a 95% confidence half-width.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Estimate {
+    /// Point estimate (mean of batch means).
+    pub mean: f64,
+    /// 95% CI half-width (0 when fewer than 2 batches).
+    pub half_width: f64,
+}
+
+impl Estimate {
+    /// `true` iff `x` falls inside the 95% interval.
+    pub fn covers(&self, x: f64) -> bool {
+        (x - self.mean).abs() <= self.half_width
+    }
+
+    /// `true` iff `x` falls inside the interval widened by `slack` (both
+    /// absolute); useful for asserting agreement in tests without flaking.
+    pub fn covers_with_slack(&self, x: f64, slack: f64) -> bool {
+        (x - self.mean).abs() <= self.half_width + slack
+    }
+}
+
+/// Batch-means estimator: observations are grouped into fixed batches and
+/// the CI is computed over batch averages (the standard way to get a CI out
+/// of one long, autocorrelated simulation run).
+#[derive(Clone, Debug)]
+pub struct BatchMeans {
+    batch_values: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// From precomputed batch aggregates.
+    pub fn from_batches(batch_values: Vec<f64>) -> Self {
+        BatchMeans { batch_values }
+    }
+
+    /// Number of batches.
+    pub fn batches(&self) -> usize {
+        self.batch_values.len()
+    }
+
+    /// Point estimate plus 95% CI.
+    pub fn estimate(&self) -> Estimate {
+        let n = self.batch_values.len();
+        if n == 0 {
+            return Estimate::default();
+        }
+        let mut w = Welford::new();
+        for &v in &self.batch_values {
+            w.add(v);
+        }
+        let hw = if n >= 2 {
+            t_975(n as u64 - 1) * w.std_dev() / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Estimate {
+            mean: w.mean(),
+            half_width: hw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of that classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.add(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn t_table_monotone_and_limits() {
+        assert!(t_975(1) > t_975(2));
+        assert!(t_975(5) > t_975(30));
+        assert_eq!(t_975(1_000_000), 1.96);
+        assert_eq!(t_975(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn batch_means_ci_covers_true_mean_for_iid_batches() {
+        // Deterministic pseudo-noise around 10.0.
+        let vals: Vec<f64> = (0..20)
+            .map(|i| 10.0 + ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5))
+            .collect();
+        let est = BatchMeans::from_batches(vals).estimate();
+        assert!(est.covers(10.0), "{est:?}");
+        assert!(est.half_width > 0.0);
+    }
+
+    #[test]
+    fn batch_means_degenerate_cases() {
+        assert_eq!(BatchMeans::from_batches(vec![]).estimate(), Estimate::default());
+        let one = BatchMeans::from_batches(vec![5.0]).estimate();
+        assert_eq!(one.mean, 5.0);
+        assert_eq!(one.half_width, 0.0);
+    }
+
+    #[test]
+    fn covers_with_slack() {
+        let e = Estimate {
+            mean: 1.0,
+            half_width: 0.1,
+        };
+        assert!(e.covers(1.05));
+        assert!(!e.covers(1.2));
+        assert!(e.covers_with_slack(1.2, 0.15));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the simulator: structural invariants that must
+//! hold for *any* configuration and seed (statistical agreement with the
+//! analytics is covered separately in `validate.rs` with long runs).
+
+use proptest::prelude::*;
+use xbar_sim::{CrossbarSim, RunConfig, SimConfig};
+use xbar_traffic::TrafficClass;
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (2u32..8, 2u32..8, 1usize..4).prop_flat_map(|(n1, n2, r_count)| {
+        let max_a = n1.min(n2).min(2);
+        let class = (0.001f64..0.5, 0.2f64..2.0, 1u32..=max_a, prop::bool::ANY).prop_map(
+            |(alpha, mu, a, peaky)| {
+                let beta = if peaky { 0.3 * mu } else { 0.0 };
+                TrafficClass::bpp(alpha, beta, mu).with_bandwidth(a)
+            },
+        );
+        prop::collection::vec(class, r_count).prop_map(move |classes| {
+            let mut cfg = SimConfig::new(n1, n2);
+            for c in classes {
+                cfg = cfg.with_exp_class(c);
+            }
+            cfg
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn counters_always_conserve(cfg in arb_config(), seed in 0u64..1000) {
+        let r_count = cfg.classes.len();
+        let mut sim = CrossbarSim::new(cfg, seed);
+        let rep = sim.run(RunConfig { warmup: 5.0, duration: 300.0, batches: 4 });
+        for r in 0..r_count {
+            let c = &rep.classes[r];
+            prop_assert_eq!(c.offered, c.accepted + c.blocked);
+            prop_assert!((0.0..=1.0).contains(&c.blocking.mean) || c.offered == 0);
+            prop_assert!(c.concurrency.mean >= 0.0);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c.availability.mean));
+        }
+    }
+
+    #[test]
+    fn occupancy_is_a_distribution(cfg in arb_config(), seed in 0u64..1000) {
+        let mut sim = CrossbarSim::new(cfg, seed);
+        let rep = sim.run(RunConfig { warmup: 5.0, duration: 300.0, batches: 4 });
+        let total: f64 = rep.occupancy.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(rep.occupancy.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn concurrency_bounded_by_capacity(cfg in arb_config(), seed in 0u64..1000) {
+        let capacity = cfg.n1.min(cfg.n2) as f64;
+        let bands: Vec<f64> = cfg.classes.iter().map(|(c, _)| c.bandwidth as f64).collect();
+        let mut sim = CrossbarSim::new(cfg, seed);
+        let rep = sim.run(RunConfig { warmup: 5.0, duration: 300.0, batches: 4 });
+        let used: f64 = rep
+            .classes
+            .iter()
+            .zip(&bands)
+            .map(|(c, a)| a * c.concurrency.mean)
+            .sum();
+        prop_assert!(used <= capacity + 1e-9, "{used} > {capacity}");
+    }
+
+    #[test]
+    fn same_seed_same_run(cfg in arb_config(), seed in 0u64..1000) {
+        let run = RunConfig { warmup: 2.0, duration: 100.0, batches: 2 };
+        let a = CrossbarSim::new(cfg.clone(), seed).run(run);
+        let b = CrossbarSim::new(cfg, seed).run(run);
+        prop_assert_eq!(a.events, b.events);
+        for (x, y) in a.classes.iter().zip(&b.classes) {
+            prop_assert_eq!(x.offered, y.offered);
+            prop_assert_eq!(x.blocked, y.blocked);
+        }
+    }
+}

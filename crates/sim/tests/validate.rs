@@ -1,0 +1,217 @@
+//! Simulator ↔ analytic-solver agreement — the validation the paper lists
+//! as future work (§8), plus an experimental check of the insensitivity
+//! claim (§2).
+
+use xbar_core::brute::Brute;
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_sim::{CrossbarSim, RunConfig, ServiceDist, SimConfig};
+use xbar_traffic::{TrafficClass, Workload};
+
+fn run(cfg: SimConfig, seed: u64, duration: f64) -> xbar_sim::SimReport {
+    let mut sim = CrossbarSim::new(cfg, seed);
+    sim.run(RunConfig {
+        warmup: duration / 50.0,
+        duration,
+        batches: 20,
+    })
+}
+
+#[test]
+fn poisson_class_matches_analytics() {
+    let n = 6u32;
+    let rho = 0.08;
+    let class = TrafficClass::poisson(rho);
+    let model = Model::new(
+        Dims::square(n),
+        Workload::new().with(class.clone()),
+    )
+    .unwrap();
+    let sol = solve(&model, Algorithm::Alg1F64).unwrap();
+
+    let rep = run(
+        SimConfig::new(n, n).with_exp_class(class),
+        42,
+        60_000.0,
+    );
+    let c = &rep.classes[0];
+    // Call blocking for Poisson arrivals equals 1 − B_r (PASTA).
+    assert!(
+        c.blocking.covers_with_slack(sol.blocking(0), 0.01),
+        "blocking {:?} vs analytic {}",
+        c.blocking,
+        sol.blocking(0)
+    );
+    assert!(
+        c.availability.covers_with_slack(sol.nonblocking(0), 0.005),
+        "availability {:?} vs analytic {}",
+        c.availability,
+        sol.nonblocking(0)
+    );
+    assert!(
+        c.concurrency.covers_with_slack(sol.concurrency(0), 0.05),
+        "concurrency {:?} vs analytic {}",
+        c.concurrency,
+        sol.concurrency(0)
+    );
+}
+
+#[test]
+fn pascal_class_matches_analytics() {
+    let n = 5u32;
+    let class = TrafficClass::bpp(0.05, 0.3, 1.0);
+    let model = Model::new(Dims::square(n), Workload::new().with(class.clone())).unwrap();
+    let sol = solve(&model, Algorithm::Alg1F64).unwrap();
+
+    let rep = run(SimConfig::new(n, n).with_exp_class(class), 7, 60_000.0);
+    let c = &rep.classes[0];
+    assert!(
+        c.availability.covers_with_slack(sol.nonblocking(0), 0.01),
+        "availability {:?} vs paper-B {}",
+        c.availability,
+        sol.nonblocking(0)
+    );
+    assert!(
+        c.concurrency.covers_with_slack(sol.concurrency(0), 0.05),
+        "concurrency {:?} vs analytic {}",
+        c.concurrency,
+        sol.concurrency(0)
+    );
+    // For bursty classes the call-level acceptance is a *different* number
+    // from B_r; the solver's call_acceptance predicts the simulator's ratio.
+    assert!(
+        c.blocking
+            .covers_with_slack(1.0 - sol.call_acceptance(0), 0.01),
+        "call blocking {:?} vs analytic {}",
+        c.blocking,
+        1.0 - sol.call_acceptance(0)
+    );
+}
+
+#[test]
+fn bernoulli_class_matches_analytics() {
+    let n = 4u32;
+    // S = 8 sources, each of rate 0.03.
+    let class = TrafficClass::bpp(0.24, -0.03, 1.0);
+    let model = Model::new(Dims::square(n), Workload::new().with(class.clone())).unwrap();
+    let sol = solve(&model, Algorithm::Alg1F64).unwrap();
+
+    let rep = run(SimConfig::new(n, n).with_exp_class(class), 3, 60_000.0);
+    let c = &rep.classes[0];
+    assert!(
+        c.availability.covers_with_slack(sol.nonblocking(0), 0.01),
+        "availability {:?} vs {}",
+        c.availability,
+        sol.nonblocking(0)
+    );
+    assert!(
+        c.concurrency.covers_with_slack(sol.concurrency(0), 0.05),
+        "concurrency {:?} vs {}",
+        c.concurrency,
+        sol.concurrency(0)
+    );
+}
+
+#[test]
+fn mixed_multirate_workload_matches_brute_force() {
+    let classes = vec![
+        TrafficClass::poisson(0.06),
+        TrafficClass::bpp(0.04, 0.15, 1.0),
+        TrafficClass::poisson(0.02).with_bandwidth(2),
+    ];
+    let model = Model::new(
+        Dims::new(5, 6),
+        Workload::from_classes(classes.clone()),
+    )
+    .unwrap();
+    let brute = Brute::new(&model);
+
+    let mut cfg = SimConfig::new(5, 6);
+    for c in classes {
+        cfg = cfg.with_exp_class(c);
+    }
+    let rep = run(cfg, 19, 80_000.0);
+    for r in 0..3 {
+        assert!(
+            rep.classes[r]
+                .concurrency
+                .covers_with_slack(brute.concurrency(r), 0.03),
+            "class {r} concurrency {:?} vs brute {}",
+            rep.classes[r].concurrency,
+            brute.concurrency(r)
+        );
+        assert!(
+            rep.classes[r]
+                .availability
+                .covers_with_slack(brute.nonblocking(r), 0.01),
+            "class {r} availability {:?} vs brute {}",
+            rep.classes[r].availability,
+            brute.nonblocking(r)
+        );
+    }
+    // Time-weighted occupancy distribution vs enumerated π.
+    let want = brute.occupancy_distribution();
+    for (j, (&got, &exp)) in rep.occupancy.iter().zip(&want).enumerate() {
+        assert!(
+            (got - exp).abs() < 0.01,
+            "occupancy[{j}]: sim {got} vs brute {exp}"
+        );
+    }
+}
+
+#[test]
+fn insensitivity_to_service_distribution() {
+    // Paper §2 (ref [7]): the stationary law depends on holding times only
+    // through their mean. Same mean, wildly different shapes ⇒ same
+    // availability and concurrency.
+    let n = 4u32;
+    let class = TrafficClass::poisson(0.12);
+    let model = Model::new(Dims::square(n), Workload::new().with(class.clone())).unwrap();
+    let sol = solve(&model, Algorithm::Alg1F64).unwrap();
+
+    let menu = [
+        ServiceDist::Exponential { mean: 1.0 },
+        ServiceDist::Deterministic { mean: 1.0 },
+        ServiceDist::Erlang { mean: 1.0, k: 4 },
+        ServiceDist::HyperExp { mean: 1.0, cv2: 4.0 },
+        ServiceDist::Uniform { mean: 1.0 },
+        ServiceDist::LogNormal { mean: 1.0, cv2: 2.0 },
+        ServiceDist::Pareto { mean: 1.0, shape: 2.5 },
+    ];
+    for (i, dist) in menu.into_iter().enumerate() {
+        let rep = run(
+            SimConfig::new(n, n).with_class(class.clone(), dist),
+            100 + i as u64,
+            60_000.0,
+        );
+        let c = &rep.classes[0];
+        assert!(
+            c.availability.covers_with_slack(sol.nonblocking(0), 0.012),
+            "{dist:?}: availability {:?} vs analytic {}",
+            c.availability,
+            sol.nonblocking(0)
+        );
+        assert!(
+            c.concurrency.covers_with_slack(sol.concurrency(0), 0.05),
+            "{dist:?}: concurrency {:?} vs analytic {}",
+            c.concurrency,
+            sol.concurrency(0)
+        );
+    }
+}
+
+#[test]
+fn flow_balance_accepted_rate_equals_concurrency_times_mu() {
+    // Little's-law style consistency inside the simulator itself:
+    // accepted/duration ≈ μ·E.
+    let class = TrafficClass::bpp(0.05, 0.2, 2.0);
+    let cfg = SimConfig::new(5, 5).with_exp_class(class);
+    let duration = 60_000.0;
+    let rep = run(cfg, 55, duration);
+    let c = &rep.classes[0];
+    let accept_rate = c.accepted as f64 / duration;
+    let want = 2.0 * c.concurrency.mean;
+    assert!(
+        (accept_rate - want).abs() / want < 0.05,
+        "accepted rate {accept_rate} vs mu*E {want}"
+    );
+}

@@ -1,0 +1,584 @@
+//! Traffic-class types: per-set [`TrafficClass`], aggregated [`TildeClass`],
+//! burstiness classification, validation, fitting, and the equivalent
+//! state-dependent-service view.
+
+use std::fmt;
+
+use xbar_numeric::binomial;
+
+/// Which regime of the BPP family a class falls in (paper §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Burstiness {
+    /// `β < 0`: Bernoulli / Engset-like smooth traffic (`Z < 1`).
+    Smooth,
+    /// `β = 0`: Poisson regular traffic (`Z = 1`).
+    Regular,
+    /// `β > 0`: Pascal / negative-binomial peaky traffic (`Z > 1`).
+    Peaky,
+}
+
+impl fmt::Display for Burstiness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Burstiness::Smooth => write!(f, "smooth (Bernoulli)"),
+            Burstiness::Regular => write!(f, "regular (Poisson)"),
+            Burstiness::Peaky => write!(f, "peaky (Pascal)"),
+        }
+    }
+}
+
+/// Validation failures for BPP parameterisations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficError {
+    /// `α_r < 0`, or a non-finite parameter.
+    InvalidAlpha(f64),
+    /// `μ_r ≤ 0` or non-finite.
+    InvalidMu(f64),
+    /// `a_r = 0` — a connection must occupy at least one input and output.
+    ZeroBandwidth,
+    /// Pascal stability: requires `β_r < μ_r` for a finite infinite-server
+    /// occupancy (the paper's `0 < β < 1` with `μ = 1`).
+    PascalUnstable {
+        /// The offending slope.
+        beta: f64,
+        /// The service rate it must stay below.
+        mu: f64,
+    },
+    /// Bernoulli validity: `α_r/β_r` must be a negative integer (an integral
+    /// source population `S = −α/β`); paper §2.
+    BernoulliNonIntegerSources {
+        /// The fractional population `−α/β` that was rejected.
+        sources: f64,
+    },
+    /// Bernoulli validity: `α_r + β_r·n ≥ 0` must hold for all
+    /// `n ≤ max(N1,N2)`, i.e. `S ≥ max(N1,N2)`; paper §2.
+    BernoulliRateNegative {
+        /// The source population `S = −α/β`.
+        sources: f64,
+        /// The `max(N1,N2)` bound it must reach.
+        max_n: u32,
+    },
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidAlpha(a) => write!(f, "invalid alpha: {a} (need finite, >= 0)"),
+            TrafficError::InvalidMu(m) => write!(f, "invalid mu: {m} (need finite, > 0)"),
+            TrafficError::ZeroBandwidth => write!(f, "bandwidth a_r must be >= 1"),
+            TrafficError::PascalUnstable { beta, mu } => {
+                write!(f, "Pascal class unstable: beta {beta} >= mu {mu}")
+            }
+            TrafficError::BernoulliNonIntegerSources { sources } => {
+                write!(
+                    f,
+                    "Bernoulli class needs an integral source population, got S = {sources}"
+                )
+            }
+            TrafficError::BernoulliRateNegative { sources, max_n } => write!(
+                f,
+                "Bernoulli class: alpha + beta*n < 0 within n <= {max_n} (S = {sources}); \
+                 the arrival rate would go negative inside the state space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// A traffic class in *per-set* parameters: the arrival process for one
+/// particular (input-set, output-set) pair is `λ(k) = α + β·k`.
+///
+/// This is the form the product-form solution (paper eq. 2) and the solver
+/// algorithms consume. Experiments usually start from [`TildeClass`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficClass {
+    /// State-independent arrival-rate component `α_r ≥ 0`.
+    pub alpha: f64,
+    /// State-dependent slope `β_r` (sign selects the BPP regime).
+    pub beta: f64,
+    /// Service (departure) rate `μ_r > 0`; mean holding time `1/μ_r`.
+    pub mu: f64,
+    /// Bandwidth `a_r ≥ 1`: inputs (= outputs) occupied per connection.
+    pub bandwidth: u32,
+    /// Revenue weight `w_r` (paper §4); defaults to 1 (pure throughput).
+    pub weight: f64,
+}
+
+impl TrafficClass {
+    /// A Poisson (`β = 0`) class with offered per-set load `ρ = α/μ`, unit
+    /// service rate and unit weight.
+    pub fn poisson(rho: f64) -> Self {
+        TrafficClass {
+            alpha: rho,
+            beta: 0.0,
+            mu: 1.0,
+            bandwidth: 1,
+            weight: 1.0,
+        }
+    }
+
+    /// A general BPP class with unit weight and bandwidth 1.
+    pub fn bpp(alpha: f64, beta: f64, mu: f64) -> Self {
+        TrafficClass {
+            alpha,
+            beta,
+            mu,
+            bandwidth: 1,
+            weight: 1.0,
+        }
+    }
+
+    /// Builder-style bandwidth override.
+    pub fn with_bandwidth(mut self, a: u32) -> Self {
+        self.bandwidth = a;
+        self
+    }
+
+    /// Builder-style revenue-weight override.
+    pub fn with_weight(mut self, w: f64) -> Self {
+        self.weight = w;
+        self
+    }
+
+    /// Builder-style service-rate override (keeps `α`, `β` fixed).
+    pub fn with_mu(mut self, mu: f64) -> Self {
+        self.mu = mu;
+        self
+    }
+
+    /// The per-set offered load `ρ_r = α_r/μ_r` (paper §2).
+    pub fn rho(&self) -> f64 {
+        self.alpha / self.mu
+    }
+
+    /// The state-dependent arrival rate `λ_r(k) = α_r + β_r·k`, clamped at
+    /// zero (for Bernoulli classes the population is exhausted at
+    /// `k = S = −α/β`; analytically the product form zeroes those states,
+    /// and the simulator must never see a negative rate).
+    pub fn lambda(&self, k: u64) -> f64 {
+        (self.alpha + self.beta * k as f64).max(0.0)
+    }
+
+    /// Burstiness regime by the sign of `β_r`.
+    pub fn burstiness(&self) -> Burstiness {
+        if self.beta < 0.0 {
+            Burstiness::Smooth
+        } else if self.beta == 0.0 {
+            Burstiness::Regular
+        } else {
+            Burstiness::Peaky
+        }
+    }
+
+    /// `true` iff the class is Poisson — the paper's partition `r ∈ R1`.
+    pub fn is_poisson(&self) -> bool {
+        self.beta == 0.0
+    }
+
+    /// Peakedness `Z = V/M` of the class's infinite-server occupancy.
+    ///
+    /// With explicit service rate this is `Z = μ/(μ−β)`; the paper's
+    /// `Z = 1/(1−β)` is the `μ = 1` special case.
+    pub fn z_factor(&self) -> f64 {
+        self.mu / (self.mu - self.beta)
+    }
+
+    /// Mean infinite-server occupancy `M = α/(μ−β)` (paper's `α/(1−β)` with
+    /// `μ = 1`).
+    pub fn is_mean(&self) -> f64 {
+        self.alpha / (self.mu - self.beta)
+    }
+
+    /// Variance of the infinite-server occupancy `V = M·Z = α·μ/(μ−β)²`.
+    pub fn is_variance(&self) -> f64 {
+        self.is_mean() * self.z_factor()
+    }
+
+    /// Bernoulli source population `S = −α/β` (only meaningful for
+    /// [`Burstiness::Smooth`] classes).
+    pub fn sources(&self) -> f64 {
+        -self.alpha / self.beta
+    }
+
+    /// Fit `(α, β)` from a target infinite-server mean `m` and peakedness
+    /// `z` at service rate `mu`: `β = μ(1 − 1/z)`, `α = m·μ/z`.
+    ///
+    /// Round-trips with [`Self::is_mean`] / [`Self::z_factor`].
+    pub fn from_mean_peakedness(m: f64, z: f64, mu: f64) -> Self {
+        assert!(m >= 0.0 && z > 0.0 && mu > 0.0);
+        let beta = mu * (1.0 - 1.0 / z);
+        let alpha = m * mu / z;
+        TrafficClass::bpp(alpha, beta, mu)
+    }
+
+    /// Validate BPP constraints for use on a crossbar with
+    /// `max_n = max(N1, N2)` ports (paper §2):
+    ///
+    /// * always: `α ≥ 0` finite, `μ > 0` finite, `a_r ≥ 1`;
+    /// * Pascal: `β < μ`;
+    /// * Bernoulli: `S = −α/β` a (near-)integer and `α + β·n ≥ 0` for
+    ///   `n ≤ max_n`.
+    pub fn validate(&self, max_n: u32) -> Result<(), TrafficError> {
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return Err(TrafficError::InvalidAlpha(self.alpha));
+        }
+        if !self.mu.is_finite() || self.mu <= 0.0 {
+            return Err(TrafficError::InvalidMu(self.mu));
+        }
+        if self.bandwidth == 0 {
+            return Err(TrafficError::ZeroBandwidth);
+        }
+        match self.burstiness() {
+            Burstiness::Regular => Ok(()),
+            Burstiness::Peaky => {
+                if self.beta >= self.mu {
+                    Err(TrafficError::PascalUnstable {
+                        beta: self.beta,
+                        mu: self.mu,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Burstiness::Smooth => {
+                let s = self.sources();
+                if (s - s.round()).abs() > 1e-6 * s.abs().max(1.0) {
+                    return Err(TrafficError::BernoulliNonIntegerSources { sources: s });
+                }
+                // α + β·n ≥ 0 for n ≤ max_n  ⇔  S ≥ max_n (β < 0).
+                if s + 1e-9 < max_n as f64 {
+                    return Err(TrafficError::BernoulliRateNegative {
+                        sources: s,
+                        max_n,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The equivalent state-dependent-*service* parameterisation (paper §2):
+    /// unit-rate Poisson arrivals with `μ_r(k) = k·μ_r/(ν_r + δ_r·k)`, which
+    /// has the same steady state when `α = ν + δ` and `β = δ`.
+    pub fn service_view(&self) -> ServiceView {
+        ServiceView {
+            nu: self.alpha - self.beta,
+            delta: self.beta,
+            mu: self.mu,
+        }
+    }
+}
+
+/// The state-dependent-service reading of a BPP class (paper §2): Poisson
+/// arrivals of unit rate served at `μ(k) = k·μ/(ν + δ·k)`.
+///
+/// `δ > 1` models slow-down under congestion, `0 < δ < 1` efficiency gains
+/// with congestion (Heffes' queueing interpretation, paper ref \[16\]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceView {
+    /// Offset `ν_r` (`= α_r − δ_r`).
+    pub nu: f64,
+    /// Slope `δ_r` (`= β_r`).
+    pub delta: f64,
+    /// Base service rate `μ_r`.
+    pub mu: f64,
+}
+
+impl ServiceView {
+    /// Effective service rate in state `k` (0 in the empty state).
+    pub fn rate(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let k = k as f64;
+        k * self.mu / (self.nu + self.delta * k)
+    }
+
+    /// Convert back to the arrival-process view: `α = ν + δ`, `β = δ`.
+    pub fn arrival_view(&self) -> TrafficClass {
+        TrafficClass::bpp(self.nu + self.delta, self.delta, self.mu)
+    }
+}
+
+/// A traffic class in the paper's *tilde* (aggregated) parameters:
+/// `λ̃(k) = α̃ + β̃·k` is the total rate of requests for a particular set of
+/// `a_r` inputs and **any** set of outputs, so `α = α̃/C(N2, a_r)` etc.
+/// (paper §2, after the definition of `ρ_r`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TildeClass {
+    /// Aggregated state-independent rate `α̃_r`.
+    pub alpha_tilde: f64,
+    /// Aggregated slope `β̃_r`.
+    pub beta_tilde: f64,
+    /// Service rate `μ_r`.
+    pub mu: f64,
+    /// Bandwidth `a_r`.
+    pub bandwidth: u32,
+    /// Revenue weight `w_r`.
+    pub weight: f64,
+}
+
+impl TildeClass {
+    /// A Poisson tilde class (`β̃ = 0`) with aggregated load `ρ̃ = α̃/μ`,
+    /// unit service rate, bandwidth 1 and unit weight.
+    pub fn poisson(rho_tilde: f64) -> Self {
+        TildeClass {
+            alpha_tilde: rho_tilde,
+            beta_tilde: 0.0,
+            mu: 1.0,
+            bandwidth: 1,
+            weight: 1.0,
+        }
+    }
+
+    /// A general BPP tilde class with bandwidth 1 and unit weight.
+    pub fn bpp(alpha_tilde: f64, beta_tilde: f64, mu: f64) -> Self {
+        TildeClass {
+            alpha_tilde,
+            beta_tilde,
+            mu,
+            bandwidth: 1,
+            weight: 1.0,
+        }
+    }
+
+    /// Builder-style bandwidth override.
+    pub fn with_bandwidth(mut self, a: u32) -> Self {
+        self.bandwidth = a;
+        self
+    }
+
+    /// Builder-style weight override.
+    pub fn with_weight(mut self, w: f64) -> Self {
+        self.weight = w;
+        self
+    }
+
+    /// Resolve to per-set parameters for a switch with `n2` outputs:
+    /// divide by `C(n2, a_r)` (paper §2).
+    pub fn resolve(&self, n2: u32) -> TrafficClass {
+        let scale = binomial(n2 as u64, self.bandwidth as u64);
+        assert!(
+            scale > 0.0,
+            "cannot resolve tilde class: C({n2}, {}) = 0 (bandwidth exceeds outputs)",
+            self.bandwidth
+        );
+        TrafficClass {
+            alpha: self.alpha_tilde / scale,
+            beta: self.beta_tilde / scale,
+            mu: self.mu,
+            bandwidth: self.bandwidth,
+            weight: self.weight,
+        }
+    }
+
+    /// Aggregated offered load `ρ̃ = α̃/μ`.
+    pub fn rho_tilde(&self) -> f64 {
+        self.alpha_tilde / self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn burstiness_classification() {
+        assert_eq!(
+            TrafficClass::bpp(1.0, -0.1, 1.0).burstiness(),
+            Burstiness::Smooth
+        );
+        assert_eq!(
+            TrafficClass::bpp(1.0, 0.0, 1.0).burstiness(),
+            Burstiness::Regular
+        );
+        assert_eq!(
+            TrafficClass::bpp(1.0, 0.1, 1.0).burstiness(),
+            Burstiness::Peaky
+        );
+    }
+
+    #[test]
+    fn z_factor_regimes() {
+        assert!(TrafficClass::bpp(1.0, -0.5, 1.0).z_factor() < 1.0);
+        assert_eq!(TrafficClass::bpp(1.0, 0.0, 1.0).z_factor(), 1.0);
+        assert!(TrafficClass::bpp(1.0, 0.5, 1.0).z_factor() > 1.0);
+    }
+
+    #[test]
+    fn paper_peakedness_formulas_at_unit_mu() {
+        // Paper §2: M = α/(1−β), V = α/(1−β)², Z = 1/(1−β) with μ = 1.
+        let c = TrafficClass::bpp(0.3, 0.4, 1.0);
+        close(c.is_mean(), 0.3 / 0.6, 1e-15);
+        close(c.is_variance(), 0.3 / 0.36, 1e-15);
+        close(c.z_factor(), 1.0 / 0.6, 1e-15);
+    }
+
+    #[test]
+    fn lambda_is_clamped_for_exhausted_bernoulli_population() {
+        // S = 4 sources: λ(4) = 0 and λ(5) must not go negative.
+        let c = TrafficClass::bpp(0.4, -0.1, 1.0);
+        close(c.sources(), 4.0, 1e-12);
+        close(c.lambda(0), 0.4, 1e-15);
+        close(c.lambda(3), 0.1, 1e-12);
+        assert_eq!(c.lambda(4), 0.0);
+        assert_eq!(c.lambda(5), 0.0);
+    }
+
+    #[test]
+    fn fit_round_trips() {
+        for &(m, z, mu) in &[(2.0, 1.5, 1.0), (0.5, 0.8, 2.0), (10.0, 1.0, 0.5)] {
+            let c = TrafficClass::from_mean_peakedness(m, z, mu);
+            close(c.is_mean(), m, 1e-12);
+            close(c.z_factor(), z, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_poisson_when_z_is_one() {
+        let c = TrafficClass::from_mean_peakedness(3.0, 1.0, 1.0);
+        assert_eq!(c.beta, 0.0);
+        assert!(c.is_poisson());
+        close(c.rho(), 3.0, 1e-15);
+    }
+
+    #[test]
+    fn validate_accepts_paper_figure1_parameters() {
+        // Fig 1: α̃ = .0024, β̃ = −4e−6 on up to 128×128 ⇒ S = 600 ≥ 128.
+        let c = TildeClass::bpp(0.0024, -4.0e-6, 1.0).resolve(128);
+        c.validate(128).unwrap();
+        close(c.sources(), 600.0, 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_small_bernoulli_population() {
+        // S = 10 sources on a 128-port switch: rate would go negative.
+        let c = TrafficClass::bpp(1.0, -0.1, 1.0);
+        assert!(matches!(
+            c.validate(128),
+            Err(TrafficError::BernoulliRateNegative { .. })
+        ));
+        c.validate(10).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_fractional_sources() {
+        let c = TrafficClass::bpp(1.0, -0.3, 1.0); // S = 3.33…
+        assert!(matches!(
+            c.validate(2),
+            Err(TrafficError::BernoulliNonIntegerSources { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unstable_pascal() {
+        let c = TrafficClass::bpp(1.0, 1.5, 1.0);
+        assert!(matches!(
+            c.validate(8),
+            Err(TrafficError::PascalUnstable { .. })
+        ));
+        TrafficClass::bpp(1.0, 0.99, 1.0).validate(8).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_scalars() {
+        assert!(matches!(
+            TrafficClass::bpp(-1.0, 0.0, 1.0).validate(4),
+            Err(TrafficError::InvalidAlpha(_))
+        ));
+        assert!(matches!(
+            TrafficClass::bpp(1.0, 0.0, 0.0).validate(4),
+            Err(TrafficError::InvalidMu(_))
+        ));
+        assert!(matches!(
+            TrafficClass::poisson(1.0).with_bandwidth(0).validate(4),
+            Err(TrafficError::ZeroBandwidth)
+        ));
+    }
+
+    #[test]
+    fn tilde_resolution_divides_by_output_sets() {
+        // a = 1 on N2 = 8: divide by C(8,1) = 8.
+        let c = TildeClass::poisson(0.8).resolve(8);
+        close(c.alpha, 0.1, 1e-15);
+        // a = 2 on N2 = 8: divide by C(8,2) = 28.
+        let c2 = TildeClass::bpp(2.8, 0.28, 1.0).with_bandwidth(2).resolve(8);
+        close(c2.alpha, 0.1, 1e-15);
+        close(c2.beta, 0.01, 1e-15);
+        assert_eq!(c2.bandwidth, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth exceeds outputs")]
+    fn tilde_resolution_rejects_impossible_bandwidth() {
+        let _ = TildeClass::poisson(1.0).with_bandwidth(9).resolve(8);
+    }
+
+    #[test]
+    fn service_view_round_trips() {
+        let c = TrafficClass::bpp(0.7, 0.2, 1.5);
+        let sv = c.service_view();
+        close(sv.nu + sv.delta, c.alpha, 1e-15);
+        assert_eq!(sv.delta, c.beta);
+        let back = sv.arrival_view();
+        close(back.alpha, c.alpha, 1e-15);
+        close(back.beta, c.beta, 1e-15);
+    }
+
+    #[test]
+    fn service_view_rate_shape() {
+        // δ = 1 with large ν: μ(k) ≈ k·μ/ν linear for small k, → μ constant
+        // for large k (the paper's example).
+        let sv = ServiceView {
+            nu: 100.0,
+            delta: 1.0,
+            mu: 1.0,
+        };
+        assert_eq!(sv.rate(0), 0.0);
+        close(sv.rate(1), 1.0 / 101.0, 1e-12);
+        // Asymptote: k·μ/(ν+k) → μ.
+        assert!((sv.rate(1_000_000) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn infinite_server_detailed_balance_equivalence() {
+        // The two views must induce the same birth/death ratios:
+        // λ_arr(k)/( (k+1)μ ) for the arrival view equals
+        // 1/μ_srv(k+1) for the unit-rate service view.
+        let c = TrafficClass::bpp(0.7, 0.2, 1.5);
+        let sv = c.service_view();
+        for k in 0..10u64 {
+            let arrival_ratio = c.lambda(k) / ((k + 1) as f64 * c.mu);
+            let service_ratio = 1.0 / sv.rate(k + 1);
+            close(arrival_ratio, service_ratio, 1e-12);
+        }
+    }
+
+    #[test]
+    fn builders() {
+        let c = TrafficClass::poisson(0.5)
+            .with_bandwidth(3)
+            .with_weight(2.0)
+            .with_mu(4.0);
+        assert_eq!(c.bandwidth, 3);
+        assert_eq!(c.weight, 2.0);
+        assert_eq!(c.mu, 4.0);
+        close(c.rho(), 0.125, 1e-15);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert!(format!("{}", Burstiness::Peaky).contains("Pascal"));
+        let e = TrafficError::PascalUnstable {
+            beta: 2.0,
+            mu: 1.0,
+        };
+        assert!(format!("{e}").contains("unstable"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Infinite-server occupancy distributions of BPP classes.
+//!
+//! On an infinite server group (no blocking), a BPP class with birth rate
+//! `λ(k) = α + β·k` and death rate `k·μ` has occupancy
+//! `π(k) ∝ Π_{l=1..k} λ(l−1)/(l·μ)`, which is exactly
+//!
+//! * **Binomial(S, p)** with `S = −α/β`, `p = −β/(μ−β)` when `β < 0`,
+//! * **Poisson(α/μ)** when `β = 0`,
+//! * **Negative-binomial(r = α/β, q = β/μ)** when `0 < β < μ`.
+//!
+//! This is what makes the family "Bernoulli–Poisson–Pascal" (paper §2). The
+//! crossbar truncates and reweights this distribution through `Ψ(k)`; the
+//! pure forms here serve as closed-form oracles in tests and as the
+//! asymptotic sanity check for the simulator.
+
+use crate::class::{Burstiness, TrafficClass};
+use xbar_numeric::NeumaierSum;
+
+/// Occupancy pmf `π(0..=kmax)` of the class on an infinite server group,
+/// normalised over the truncation range.
+///
+/// For Bernoulli classes the support naturally ends at the source population
+/// `S`; entries beyond it are exactly zero.
+pub fn occupancy_pmf(class: &TrafficClass, kmax: usize) -> Vec<f64> {
+    let mut weights = Vec::with_capacity(kmax + 1);
+    let mut w = 1.0f64;
+    weights.push(w);
+    for k in 1..=kmax {
+        w *= class.lambda((k - 1) as u64) / (k as f64 * class.mu);
+        weights.push(w);
+    }
+    let total: NeumaierSum = weights.iter().cloned().collect();
+    let norm = total.value();
+    weights.iter().map(|x| x / norm).collect()
+}
+
+/// Mean of a pmf vector (index-weighted).
+pub fn pmf_mean(pmf: &[f64]) -> f64 {
+    pmf.iter()
+        .enumerate()
+        .map(|(k, p)| k as f64 * p)
+        .sum::<f64>()
+}
+
+/// Variance of a pmf vector.
+pub fn pmf_variance(pmf: &[f64]) -> f64 {
+    let m = pmf_mean(pmf);
+    pmf.iter()
+        .enumerate()
+        .map(|(k, p)| (k as f64 - m).powi(2) * p)
+        .sum::<f64>()
+}
+
+/// The closed-form pmf the BPP occupancy must coincide with, evaluated at
+/// `k` (used as a test oracle; exposed because the simulator tests reuse it).
+pub fn closed_form_pmf(class: &TrafficClass, k: usize) -> f64 {
+    match class.burstiness() {
+        Burstiness::Regular => {
+            // Poisson(ρ)
+            let rho = class.rho();
+            let mut p = (-rho).exp();
+            for i in 1..=k {
+                p *= rho / i as f64;
+            }
+            p
+        }
+        Burstiness::Smooth => {
+            // Binomial(S, p), p = −β/(μ−β)
+            let s = class.sources().round() as u64;
+            if (k as u64) > s {
+                return 0.0;
+            }
+            let p = -class.beta / (class.mu - class.beta);
+            xbar_numeric::binomial(s, k as u64) * p.powi(k as i32) * (1.0 - p).powi((s - k as u64) as i32)
+        }
+        Burstiness::Peaky => {
+            // NegBinomial(r, q): C(r−1+k, k) q^k (1−q)^r
+            let r = class.alpha / class.beta;
+            let q = class.beta / class.mu;
+            xbar_numeric::binomial_real(r - 1.0 + k as f64, k as u32)
+                * q.powi(k as i32)
+                * (1.0 - q).powf(r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::TrafficClass;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn pmf_normalises() {
+        for class in [
+            TrafficClass::poisson(2.0),
+            TrafficClass::bpp(1.0, 0.4, 1.0),
+            TrafficClass::bpp(2.0, -0.25, 1.0), // S = 8
+        ] {
+            let pmf = occupancy_pmf(&class, 200);
+            let total: f64 = pmf.iter().sum();
+            close(total, 1.0, 1e-12);
+            assert!(pmf.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn poisson_matches_closed_form() {
+        let class = TrafficClass::poisson(1.7);
+        let pmf = occupancy_pmf(&class, 80);
+        for k in 0..30 {
+            close(pmf[k], closed_form_pmf(&class, k), 1e-10);
+        }
+    }
+
+    #[test]
+    fn bernoulli_matches_binomial() {
+        // S = 8 sources.
+        let class = TrafficClass::bpp(2.0, -0.25, 1.0);
+        let pmf = occupancy_pmf(&class, 20);
+        for k in 0..=12 {
+            close(pmf[k], closed_form_pmf(&class, k), 1e-10);
+        }
+        // Support ends at S.
+        assert_eq!(pmf[9], 0.0);
+        assert_eq!(pmf[15], 0.0);
+    }
+
+    #[test]
+    fn pascal_matches_negative_binomial() {
+        let class = TrafficClass::bpp(1.2, 0.4, 1.0); // r = 3, q = 0.4
+        let pmf = occupancy_pmf(&class, 400);
+        for k in 0..40 {
+            close(pmf[k], closed_form_pmf(&class, k), 1e-9);
+        }
+    }
+
+    #[test]
+    fn moments_match_class_formulas() {
+        for class in [
+            TrafficClass::poisson(2.5),
+            TrafficClass::bpp(1.0, 0.5, 1.0),
+            TrafficClass::bpp(2.0, -0.25, 1.0),
+            TrafficClass::bpp(0.7, 0.2, 1.5),
+        ] {
+            let pmf = occupancy_pmf(&class, 2000);
+            close(pmf_mean(&pmf), class.is_mean(), 1e-6);
+            close(pmf_variance(&pmf), class.is_variance(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn peakedness_orders_the_family() {
+        // At equal mean, Pascal variance > Poisson variance > Bernoulli.
+        let m = 2.0;
+        let smooth = TrafficClass::from_mean_peakedness(m, 0.5, 1.0);
+        let regular = TrafficClass::from_mean_peakedness(m, 1.0, 1.0);
+        let peaky = TrafficClass::from_mean_peakedness(m, 2.0, 1.0);
+        let v = |c: &TrafficClass| pmf_variance(&occupancy_pmf(c, 3000));
+        let (vs, vr, vp) = (v(&smooth), v(&regular), v(&peaky));
+        assert!(vs < vr && vr < vp, "{vs} {vr} {vp}");
+        close(vr / m, 1.0, 1e-6); // Z = 1
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! BPP (Bernoulli–Poisson–Pascal) traffic-class modelling for the
+//! asynchronous multi-rate crossbar of Stirpe & Pinsky (SIGCOMM '92).
+//!
+//! A *class* `r` of connection requests is described by (paper §2):
+//!
+//! * a bandwidth requirement `a_r` — the number of crossbar inputs **and**
+//!   outputs one connection of the class occupies;
+//! * a mean holding time `1/μ_r` (any distribution, by insensitivity);
+//! * a state-dependent arrival rate `λ_r(k) = α_r + β_r·k` for each
+//!   particular (input-set, output-set) pair, where `k` is the number of
+//!   connections of the class currently in progress. The sign of `β_r`
+//!   selects the burstiness regime:
+//!   - `β < 0` — **Bernoulli** (smooth traffic, finite source population of
+//!     `S = −α/β` sources),
+//!   - `β = 0` — **Poisson** (regular traffic),
+//!   - `β > 0` — **Pascal** (peaky traffic).
+//!
+//! The paper states most experiments in *tilde* parameters, aggregated over
+//! all `C(N2, a_r)` output sets: `λ̃_r = C(N2,a_r)·λ_r`. [`TildeClass`]
+//! carries those and resolves to a per-set [`TrafficClass`] once the switch
+//! geometry is known.
+//!
+//! The module also provides the equivalent state-dependent-*service* view of
+//! the same model (paper §2, after the `μ_r(k_r)` equation), peakedness
+//! calculations, parameter fitting from `(mean, Z)`, and infinite-server
+//! occupancy distributions used as test oracles.
+
+pub mod class;
+pub mod infinite_server;
+pub mod workload;
+
+pub use class::{Burstiness, ServiceView, TildeClass, TrafficClass, TrafficError};
+pub use infinite_server::occupancy_pmf;
+pub use workload::Workload;

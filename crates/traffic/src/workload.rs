@@ -1,0 +1,158 @@
+//! A [`Workload`] bundles the `R` traffic classes offered to one crossbar,
+//! with the Poisson/bursty partition (`R1`/`R2` in the paper) and
+//! whole-workload validation.
+
+use crate::class::{TildeClass, TrafficClass, TrafficError};
+
+/// The set of traffic classes offered to a crossbar.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Workload {
+    classes: Vec<TrafficClass>,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from per-set classes.
+    pub fn from_classes(classes: Vec<TrafficClass>) -> Self {
+        Workload { classes }
+    }
+
+    /// Build from tilde (aggregated) classes for a switch with `n2` outputs.
+    pub fn from_tilde(tilde: &[TildeClass], n2: u32) -> Self {
+        Workload {
+            classes: tilde.iter().map(|t| t.resolve(n2)).collect(),
+        }
+    }
+
+    /// Append a class (builder style).
+    pub fn with(mut self, class: TrafficClass) -> Self {
+        self.classes.push(class);
+        self
+    }
+
+    /// The classes, in index order `r = 0..R`.
+    pub fn classes(&self) -> &[TrafficClass] {
+        &self.classes
+    }
+
+    /// Number of classes `R`.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` iff no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Indices of Poisson classes (the paper's `R1`).
+    pub fn poisson_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&r| self.classes[r].is_poisson())
+            .collect()
+    }
+
+    /// Indices of bursty (Bernoulli or Pascal) classes (the paper's `R2`).
+    pub fn bursty_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&r| !self.classes[r].is_poisson())
+            .collect()
+    }
+
+    /// The largest bandwidth requirement `max_r a_r` (0 for an empty
+    /// workload).
+    pub fn max_bandwidth(&self) -> u32 {
+        self.classes.iter().map(|c| c.bandwidth).max().unwrap_or(0)
+    }
+
+    /// Validate every class for a switch with `max_n = max(N1,N2)` ports;
+    /// returns the index of the first offending class alongside the error.
+    pub fn validate(&self, max_n: u32) -> Result<(), (usize, TrafficError)> {
+        for (r, c) in self.classes.iter().enumerate() {
+            c.validate(max_n).map_err(|e| (r, e))?;
+        }
+        Ok(())
+    }
+
+    /// Total offered *connection* load `Σ_r a_r·ρ_r` (per-set units) — a
+    /// rough single-number operating point used in reports.
+    pub fn offered_connection_load(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.bandwidth as f64 * c.rho())
+            .sum()
+    }
+}
+
+impl FromIterator<TrafficClass> for Workload {
+    fn from_iter<I: IntoIterator<Item = TrafficClass>>(iter: I) -> Self {
+        Workload {
+            classes: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_matches_paper_r1_r2() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.1))
+            .with(TrafficClass::bpp(0.1, 0.05, 1.0))
+            .with(TrafficClass::poisson(0.2))
+            .with(TrafficClass::bpp(0.4, -0.1, 1.0));
+        assert_eq!(w.poisson_indices(), vec![0, 2]);
+        assert_eq!(w.bursty_indices(), vec![1, 3]);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn from_tilde_resolves_each_class() {
+        let tilde = vec![
+            TildeClass::poisson(0.8),
+            TildeClass::bpp(2.8, 0.0028, 1.0).with_bandwidth(2),
+        ];
+        let w = Workload::from_tilde(&tilde, 8);
+        assert!((w.classes()[0].alpha - 0.1).abs() < 1e-15);
+        assert!((w.classes()[1].alpha - 0.1).abs() < 1e-15);
+        assert_eq!(w.max_bandwidth(), 2);
+    }
+
+    #[test]
+    fn validate_reports_offending_index() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.1))
+            .with(TrafficClass::bpp(1.0, 2.0, 1.0)); // unstable Pascal
+        let err = w.validate(8).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn offered_load_weights_bandwidth() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.1))
+            .with(TrafficClass::poisson(0.2).with_bandwidth(2));
+        assert!((w.offered_connection_load() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_workload_behaviour() {
+        let w = Workload::new();
+        assert!(w.is_empty());
+        assert_eq!(w.max_bandwidth(), 0);
+        assert!(w.validate(8).is_ok());
+        assert_eq!(w.offered_connection_load(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let w: Workload = (1..=3).map(|i| TrafficClass::poisson(i as f64 * 0.1)).collect();
+        assert_eq!(w.len(), 3);
+    }
+}

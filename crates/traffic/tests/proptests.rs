@@ -1,0 +1,127 @@
+//! Property-based tests for the BPP traffic machinery.
+
+use proptest::prelude::*;
+use xbar_traffic::infinite_server::{closed_form_pmf, occupancy_pmf, pmf_mean, pmf_variance};
+use xbar_traffic::{Burstiness, TildeClass, TrafficClass, Workload};
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    (a - b).abs() / scale < tol
+}
+
+/// A random stable BPP class (any regime).
+fn arb_class() -> impl Strategy<Value = TrafficClass> {
+    let poisson = (1e-4f64..5.0, 0.1f64..4.0).prop_map(|(rho, mu)| TrafficClass::bpp(rho * mu, 0.0, mu));
+    let pascal = (1e-4f64..3.0, 0.01f64..0.95, 0.1f64..4.0)
+        .prop_map(|(a, frac, mu)| TrafficClass::bpp(a, frac * mu, mu));
+    let bernoulli = (2u64..200, 1e-4f64..0.5, 0.1f64..4.0)
+        .prop_map(|(s, p, mu)| TrafficClass::bpp(s as f64 * p, -p, mu));
+    prop_oneof![poisson, pascal, bernoulli]
+}
+
+proptest! {
+    #[test]
+    fn fit_from_mean_peakedness_round_trips(
+        m in 1e-3f64..50.0,
+        z in 0.05f64..20.0,
+        mu in 0.1f64..5.0,
+    ) {
+        let c = TrafficClass::from_mean_peakedness(m, z, mu);
+        prop_assert!(close(c.is_mean(), m, 1e-10));
+        prop_assert!(close(c.z_factor(), z, 1e-10));
+        prop_assert!(close(c.is_variance(), m * z, 1e-10));
+    }
+
+    #[test]
+    fn z_factor_sign_matches_regime(class in arb_class()) {
+        match class.burstiness() {
+            Burstiness::Smooth => prop_assert!(class.z_factor() < 1.0),
+            Burstiness::Regular => prop_assert!(close(class.z_factor(), 1.0, 1e-12)),
+            Burstiness::Peaky => prop_assert!(class.z_factor() > 1.0),
+        }
+    }
+
+    #[test]
+    fn tilde_resolution_round_trips(
+        alpha_t in 1e-6f64..10.0,
+        beta_frac in -0.5f64..0.5,
+        n2 in 1u32..64,
+        a in 1u32..4,
+    ) {
+        prop_assume!(a <= n2);
+        let beta_t = alpha_t * beta_frac;
+        let t = TildeClass::bpp(alpha_t, beta_t, 1.0).with_bandwidth(a);
+        let c = t.resolve(n2);
+        let scale = xbar_numeric::binomial(n2 as u64, a as u64);
+        prop_assert!(close(c.alpha * scale, alpha_t, 1e-12));
+        prop_assert!(close(c.beta * scale, beta_t, 1e-12) || beta_t == 0.0);
+        // The α/β ratio (and hence regime and source count) is invariant.
+        if beta_t != 0.0 {
+            prop_assert!(close(c.alpha / c.beta, alpha_t / beta_t, 1e-10));
+        }
+    }
+
+    #[test]
+    fn service_view_round_trips(class in arb_class()) {
+        let back = class.service_view().arrival_view();
+        prop_assert!(close(back.alpha, class.alpha, 1e-12));
+        prop_assert!(close(back.beta, class.beta, 1e-12) || class.beta == 0.0);
+        prop_assert!(close(back.mu, class.mu, 1e-12));
+    }
+
+    #[test]
+    fn infinite_server_moments_match_closed_forms(class in arb_class()) {
+        // Truncate far enough that the tail is negligible: the Pascal tail
+        // decays like (β/μ)^k, i.e. one e-fold per 1/(1−β/μ) states.
+        let geo = (class.beta / class.mu).max(0.0);
+        let kmax = ((class.is_mean() + 12.0 * class.is_variance().sqrt()) as usize
+            + 30
+            + (60.0 / (1.0 - geo)) as usize)
+            .min(20_000);
+        let pmf = occupancy_pmf(&class, kmax);
+        prop_assert!(close(pmf.iter().sum::<f64>(), 1.0, 1e-9));
+        prop_assert!(close(pmf_mean(&pmf), class.is_mean(), 1e-4));
+        prop_assert!(close(pmf_variance(&pmf), class.is_variance(), 1e-3));
+    }
+
+    #[test]
+    fn occupancy_pmf_matches_named_distribution(class in arb_class(), k in 0usize..30) {
+        let pmf = occupancy_pmf(&class, 2000);
+        if k < pmf.len() {
+            let want = closed_form_pmf(&class, k);
+            prop_assert!(
+                close(pmf[k], want, 1e-6) || (pmf[k] < 1e-12 && want < 1e-12),
+                "k={k}: {} vs {}", pmf[k], want
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_never_negative(class in arb_class(), k in 0u64..10_000) {
+        prop_assert!(class.lambda(k) >= 0.0);
+    }
+
+    #[test]
+    fn workload_partition_is_exhaustive(classes in prop::collection::vec(arb_class(), 0..6)) {
+        let w = Workload::from_classes(classes);
+        let p = w.poisson_indices();
+        let b = w.bursty_indices();
+        prop_assert_eq!(p.len() + b.len(), w.len());
+        let mut all: Vec<usize> = p.into_iter().chain(b).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..w.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn validation_accepts_exactly_the_paper_conditions(
+        s in 1u64..100,
+        p in 1e-4f64..1.0,
+        max_n in 1u32..100,
+    ) {
+        // A Bernoulli class with integral population S is valid iff
+        // S ≥ max_n.
+        let c = TrafficClass::bpp(s as f64 * p, -p, 1.0);
+        let valid = c.validate(max_n).is_ok();
+        prop_assert_eq!(valid, s >= max_n as u64);
+    }
+}

@@ -1,0 +1,85 @@
+//! Integrated-services scenario from the paper's introduction: one optical
+//! crossbar carrying voice, interactive data, and video with different
+//! bandwidths, burstiness, and revenue — then using the §4 machinery
+//! (shadow costs, revenue gradients) to answer an admission-policy
+//! question.
+//!
+//! Run with: `cargo run --release -p xbar --example integrated_services`
+
+use xbar::{solve, Algorithm, Burstiness, Dims, Model, TildeClass, Workload};
+
+fn main() {
+    let dims = Dims::square(32);
+
+    // The §1 traffic mix: "voice, video, interactive data, each with
+    // different arrival and service statistics … different bandwidth
+    // requirements".
+    // Loads aim at ≈60% port utilisation: voice ≈ 8 connections, data ≈ 4,
+    // video ≈ 4 (×2 ports). Remember the tilde convention: for a = 2 the
+    // rate aggregates over each of the C(32,2) input *sets*, so video's α̃
+    // is much smaller than its port share suggests.
+    let tilde = [
+        // Voice: smooth (finite subscriber population of 2500), long
+        // holding times, cheap per connection.
+        TildeClass::bpp(0.125, -5.0e-5, 0.5).with_weight(0.5),
+        // Interactive data: Poisson, short holding times, mid value.
+        TildeClass::poisson(0.125).with_weight(1.0),
+        // Video: peaky and wide — needs 2 ports per connection, pays most.
+        TildeClass::bpp(0.0005, 0.00025, 0.25)
+            .with_bandwidth(2)
+            .with_weight(4.0),
+    ];
+    let names = ["voice", "data", "video"];
+    let workload = Workload::from_tilde(&tilde, dims.n2);
+    let model = Model::new(dims, workload).expect("valid model");
+    let sol = solve(&model, Algorithm::Auto).expect("solvable");
+
+    println!("integrated services on a {dims} crossbar\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "class", "regime", "blocking", "E[conns]", "throughput", "Z-factor"
+    );
+    for (r, name) in names.iter().enumerate() {
+        let class = &model.workload().classes()[r];
+        let regime = match class.burstiness() {
+            Burstiness::Smooth => "smooth",
+            Burstiness::Regular => "regular",
+            Burstiness::Peaky => "peaky",
+        };
+        println!(
+            "{name:>6} {regime:>10} {:>10.5} {:>12.3} {:>12.3} {:>10.4}",
+            sol.blocking(r),
+            sol.concurrency(r),
+            sol.throughput(r),
+            class.z_factor(),
+        );
+    }
+    println!("\nrevenue W = {:.4}", sol.revenue());
+
+    // §4's economic interpretation: a class is worth admitting more of iff
+    // its per-connection revenue w_r exceeds the shadow cost ΔW of the
+    // ports it occupies.
+    println!("\nadmission economics (paper §4):");
+    for (r, name) in names.iter().enumerate() {
+        let w = model.workload().classes()[r].weight;
+        let shadow = sol.shadow_cost(r);
+        let gradient = sol.revenue_gradient_rho(r);
+        let verdict = if w > shadow { "grow it" } else { "cap it" };
+        println!(
+            "  {name:>6}: w = {w:.2}, shadow cost = {shadow:.4}, dW/drho = {gradient:+.2}  -> {verdict}"
+        );
+    }
+
+    // What does burstiness cost? The paper's Table 2 question, asked of
+    // this mix: forward-difference gradients of W in each class's beta/mu.
+    // Voice turning bursty displaces everyone, so that gradient must be
+    // negative; video's own burstiness can *help* W because video is the
+    // top earner — the sign flip is exactly the shadow-price economics.
+    let g_voice = sol.revenue_gradient_beta_fd(0).expect("gradient computable");
+    let g_video = sol.revenue_gradient_beta_fd(2).expect("gradient computable");
+    println!(
+        "\nsensitivity of revenue to burstiness: voice dW/d(beta/mu) = {g_voice:+.3}, \
+         video dW/d(beta/mu) = {g_video:+.3}"
+    );
+    assert!(g_voice < 0.0, "losing voice smoothness must cost revenue");
+}

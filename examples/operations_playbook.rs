@@ -1,0 +1,82 @@
+//! Operations playbook: the extension APIs in one realistic sequence —
+//! cold-start transient, steady-state solve, cross-class sensitivity,
+//! and a trunk-reservation decision.
+//!
+//! Run with: `cargo run --release -p xbar --example operations_playbook`
+
+use xbar::analytic::policy::solve_policy;
+use xbar::analytic::sensitivity::sensitivity;
+use xbar::analytic::transient::Transient;
+use xbar::{solve, Algorithm, Dims, Model, TrafficClass, Workload};
+
+fn main() {
+    // A small edge switch: premium circuits vs best-effort bulk.
+    let dims = Dims::square(6);
+    let workload = Workload::new()
+        .with(TrafficClass::poisson(0.02).with_weight(1.0))
+        .with(TrafficClass::bpp(0.06, 0.02, 1.0).with_weight(0.05));
+    let model = Model::new(dims, workload).expect("valid model");
+
+    // 1. How long after power-on until measurements are meaningful?
+    let tr = Transient::new(&model);
+    let t_ready = tr.relaxation_time(1e-3);
+    println!("cold start: within 1e-3 of stationarity after t = {t_ready:.2} holding times");
+    for t in [0.5, 2.0, 8.0] {
+        println!(
+            "  t = {t:>4}: premium availability = {:.4}",
+            tr.availability_at(t, 0)
+        );
+    }
+
+    // 2. Steady state.
+    let sol = solve(&model, Algorithm::Auto).expect("solvable");
+    println!(
+        "\nsteady state: premium blocking = {:.4}, bulk blocking = {:.4}, W = {:.4}",
+        sol.blocking(0),
+        sol.blocking(1),
+        sol.revenue()
+    );
+    let occ = sol.occupancy_distribution();
+    let busiest = occ
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!(
+        "mode of the occupancy distribution: {} of {} ports busy (p = {:.3})",
+        busiest.0,
+        dims.min_n(),
+        busiest.1
+    );
+
+    // 3. Which knob matters? Full Jacobian of the §4 gradients.
+    let sens = sensitivity(&model, Algorithm::Auto).expect("sensitivity");
+    println!("\nsensitivities:");
+    for (s, name) in ["premium", "bulk"].iter().enumerate() {
+        println!(
+            "  d(premium availability)/d(rho_{name}) = {:+.3}, dW/d(rho_{name}) = {:+.3}",
+            sens.nonblocking_by_rho[0][s], sens.revenue_by_rho[s]
+        );
+    }
+
+    // 4. Should we reserve capacity against bulk? Sweep the threshold.
+    println!("\ntrunk reservation against bulk:");
+    let mut best = (0u32, f64::MIN);
+    for t in 0..=dims.min_n() {
+        let pol = solve_policy(&model, &[0, t]);
+        println!(
+            "  t = {t}: premium blocking = {:.4}, bulk blocking = {:.4}, W = {:.4}",
+            pol.blocking[0], pol.blocking[1], pol.revenue
+        );
+        if pol.revenue > best.1 {
+            best = (t, pol.revenue);
+        }
+    }
+    println!(
+        "\nrecommendation: reserve {} slot(s) against bulk (W = {:.4})",
+        best.0, best.1
+    );
+    // Sanity for CI use of this example: the laissez-faire revenue must
+    // never exceed the swept optimum.
+    assert!(best.1 >= solve_policy(&model, &[0, 0]).revenue);
+}

@@ -1,0 +1,81 @@
+//! Quickstart: model one crossbar, read every measure, and cross-check the
+//! analytic answer against the discrete-event simulator.
+//!
+//! Run with: `cargo run --release -p xbar --example quickstart`
+
+use xbar::{
+    solve, Algorithm, CrossbarSim, Dims, Model, RunConfig, SimConfig, TildeClass, TrafficClass,
+    Workload,
+};
+
+fn main() {
+    // A 16×16 asynchronous crossbar. Two classes:
+    //  - class 0: smooth (Bernoulli) "voice" traffic, 1 port/connection;
+    //  - class 1: peaky (Pascal) "bursty data", 1 port/connection.
+    // Tilde parameters are aggregated per input set over all outputs,
+    // exactly as in the paper's experiments.
+    let dims = Dims::square(16);
+    let workload = Workload::from_tilde(
+        &[
+            TildeClass::bpp(0.4, -4.0e-4, 1.0), // S = 1000 sources
+            TildeClass::bpp(0.2, 0.2, 1.0),
+        ],
+        dims.n2,
+    );
+    let model = Model::new(dims, workload).expect("valid model");
+
+    // Solve analytically. `Auto` picks the paper's Algorithm 1 in plain
+    // f64 here; large switches transparently switch to extended-range.
+    let sol = solve(&model, Algorithm::Auto).expect("solvable");
+
+    println!("analytic measures on {dims}:");
+    for (r, name) in ["smooth voice", "peaky data"].iter().enumerate() {
+        println!(
+            "  class {r} ({name}): blocking = {:.5}, E[connections] = {:.3}, \
+             call acceptance = {:.5}",
+            sol.blocking(r),
+            sol.concurrency(r),
+            sol.call_acceptance(r),
+        );
+    }
+    println!(
+        "  throughput = {:.3} connections/unit-time, revenue W = {:.4}",
+        sol.total_throughput(),
+        sol.revenue()
+    );
+    println!(
+        "  shadow cost of one more voice connection: {:.6}",
+        sol.shadow_cost(0)
+    );
+
+    // Cross-check with the simulator (same classes, exponential holding).
+    let cfg = SimConfig::new(dims.n1, dims.n2)
+        .with_exp_class(model.workload().classes()[0].clone())
+        .with_exp_class(model.workload().classes()[1].clone());
+    let mut sim = CrossbarSim::new(cfg, 42);
+    let report = sim.run(RunConfig {
+        warmup: 500.0,
+        duration: 50_000.0,
+        batches: 20,
+    });
+
+    println!("\nsimulation ({} events):", report.events);
+    for (r, c) in report.classes.iter().enumerate() {
+        println!(
+            "  class {r}: availability = {:.5} ± {:.5} (analytic B = {:.5}), \
+             E = {:.3} ± {:.3} (analytic {:.3})",
+            c.availability.mean,
+            c.availability.half_width,
+            sol.nonblocking(r),
+            c.concurrency.mean,
+            c.concurrency.half_width,
+            sol.concurrency(r),
+        );
+        assert!(
+            c.availability
+                .covers_with_slack(sol.nonblocking(r), 0.01),
+            "simulation drifted from analytics"
+        );
+    }
+    println!("\nanalytics and simulation agree.");
+}

@@ -1,0 +1,170 @@
+//! Workspace-level integration: the full pipeline through the `xbar`
+//! facade — traffic specification → analytic solution (every algorithm) →
+//! simulation → agreement.
+
+use xbar::analytic::brute::Brute;
+use xbar::{
+    solve, Algorithm, CrossbarSim, Dims, Model, RunConfig, ServiceDist, SimConfig, TildeClass,
+    TrafficClass, Workload,
+};
+
+fn close(a: f64, b: f64, tol: f64) {
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    assert!((a - b).abs() / scale < tol, "{a} vs {b}");
+}
+
+#[test]
+fn facade_exposes_the_full_pipeline() {
+    // Specify in tilde parameters (like the paper), solve, simulate.
+    let dims = Dims::new(6, 8);
+    let workload = Workload::from_tilde(
+        &[
+            TildeClass::poisson(0.5).with_weight(1.0),
+            TildeClass::bpp(0.3, 0.15, 1.0).with_weight(0.2),
+        ],
+        dims.n2,
+    );
+    let model = Model::new(dims, workload).unwrap();
+
+    // Every algorithm and the brute-force oracle agree.
+    let brute = Brute::new(&model);
+    for alg in [
+        Algorithm::Auto,
+        Algorithm::Alg1F64,
+        Algorithm::Alg1Scaled,
+        Algorithm::Alg1Ext,
+        Algorithm::Mva,
+    ] {
+        let sol = solve(&model, alg).unwrap();
+        for r in 0..2 {
+            close(sol.nonblocking(r), brute.nonblocking(r), 1e-8);
+            close(sol.concurrency(r), brute.concurrency(r), 1e-8);
+        }
+        close(sol.revenue(), brute.revenue(), 1e-8);
+    }
+
+    // The simulator (driven through the same facade types) agrees too.
+    let sol = solve(&model, Algorithm::Auto).unwrap();
+    let cfg = SimConfig::new(dims.n1, dims.n2)
+        .with_exp_class(model.workload().classes()[0].clone())
+        .with_class(
+            model.workload().classes()[1].clone(),
+            // …and by insensitivity, even with a non-exponential law.
+            ServiceDist::LogNormal {
+                mean: 1.0,
+                cv2: 2.0,
+            },
+        );
+    let rep = CrossbarSim::new(cfg, 99).run(RunConfig {
+        warmup: 500.0,
+        duration: 60_000.0,
+        batches: 20,
+    });
+    for r in 0..2 {
+        assert!(
+            rep.classes[r]
+                .availability
+                .covers_with_slack(sol.nonblocking(r), 0.012),
+            "class {r}: sim {:?} vs analytic {}",
+            rep.classes[r].availability,
+            sol.nonblocking(r)
+        );
+    }
+}
+
+#[test]
+fn large_switch_table2_regime_is_stable_end_to_end() {
+    // The N = 256 regime of Table 2 exercises the extended-range backend;
+    // all large-size algorithms must agree with each other there.
+    let n = 256u32;
+    let workload = Workload::from_tilde(
+        &[
+            TildeClass::poisson(0.0012).with_weight(1.0),
+            TildeClass::bpp(0.0012, 0.0012, 1.0).with_weight(0.0001),
+        ],
+        n,
+    );
+    let model = Model::new(Dims::square(n), workload).unwrap();
+    let ext = solve(&model, Algorithm::Alg1Ext).unwrap();
+    let mva = solve(&model, Algorithm::Mva).unwrap();
+    let scaled = solve(&model, Algorithm::Alg1Scaled).unwrap();
+    for r in 0..2 {
+        close(ext.blocking(r), mva.blocking(r), 1e-7);
+        close(ext.blocking(r), scaled.blocking(r), 1e-6);
+    }
+    close(ext.revenue(), mva.revenue(), 1e-7);
+    // Plain f64 must refuse rather than return garbage.
+    assert!(solve(&model, Algorithm::Alg1F64).is_err());
+}
+
+#[test]
+fn revenue_machinery_is_consistent() {
+    let workload = Workload::new()
+        .with(TrafficClass::poisson(0.08).with_weight(1.0))
+        .with(TrafficClass::bpp(0.04, 0.2, 1.0).with_weight(0.3));
+    let model = Model::new(Dims::square(10), workload).unwrap();
+    let sol = solve(&model, Algorithm::Auto).unwrap();
+
+    // Revenue equals the weighted concurrencies.
+    let direct: f64 = (0..2)
+        .map(|r| model.workload().classes()[r].weight * sol.concurrency(r))
+        .sum();
+    close(sol.revenue(), direct, 1e-12);
+
+    // Closed-form and FD rho-gradients agree to FD accuracy here (the
+    // bursty class makes the closed form first-order, but at these loads
+    // the difference is far below the tolerance).
+    let fd = sol.revenue_gradient_rho_fd(0).unwrap();
+    close(sol.revenue_gradient_rho(0), fd, 1e-3);
+
+    // Shadow cost = W(N) − W(N − a·I) by definition.
+    let sub = sol.measures_at(Dims::square(9)).revenue;
+    close(sol.shadow_cost(0), sol.revenue() - sub, 1e-12);
+}
+
+#[test]
+fn burstiness_helpers_round_trip_through_the_model() {
+    // fit → class → model → measures, all via the facade.
+    let class = TrafficClass::from_mean_peakedness(1.5, 2.0, 1.0);
+    assert_eq!(class.burstiness(), xbar::Burstiness::Peaky);
+    let model = Model::new(Dims::square(8), Workload::new().with(class)).unwrap();
+    let sol = solve(&model, Algorithm::Auto).unwrap();
+    assert!(sol.blocking(0) > 0.0 && sol.blocking(0) < 1.0);
+}
+
+#[test]
+fn one_by_n_crossbar_is_an_erlang_loss_system() {
+    // A 1×N crossbar with a single Poisson class has capacity 1 and
+    // aggregate offered load N·ρ, so its blocking is Erlang-B(1, N·ρ) —
+    // the analytic model must collapse to the textbook anchor exactly.
+    use xbar::baselines::erlang_b;
+    for n in [1u32, 4, 16, 57] {
+        for rho_total in [0.1f64, 0.8, 3.0] {
+            let rho = rho_total / n as f64;
+            let model = Model::new(
+                Dims::new(1, n),
+                Workload::new().with(TrafficClass::poisson(rho)),
+            )
+            .unwrap();
+            let sol = solve(&model, Algorithm::Auto).unwrap();
+            close(sol.blocking(0), erlang_b(1, rho_total), 1e-12);
+        }
+    }
+}
+
+#[test]
+fn occupancy_and_marginal_apis_work_through_the_facade() {
+    let workload = Workload::new()
+        .with(TrafficClass::poisson(0.2))
+        .with(TrafficClass::bpp(0.1, 0.05, 1.0).with_bandwidth(2));
+    let model = Model::new(Dims::square(6), workload).unwrap();
+    let sol = solve(&model, Algorithm::Convolution).unwrap();
+    let occ = sol.occupancy_distribution();
+    close(occ.iter().sum::<f64>(), 1.0, 1e-10);
+    // Odd occupancies are reachable (class 0 has a = 1).
+    assert!(occ[1] > 0.0);
+    let marg = sol.class_marginal(1);
+    close(marg.iter().sum::<f64>(), 1.0, 1e-10);
+    // Class 1 (a = 2) can hold at most 3 connections on 6 ports.
+    assert_eq!(marg.len(), 4);
+}

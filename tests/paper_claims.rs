@@ -1,0 +1,127 @@
+//! Every qualitative claim of the paper's §7, asserted end-to-end through
+//! the experiment harness (the same code paths that regenerate the
+//! figures and tables).
+
+use xbar_experiments::{compare_baselines, fig1, fig2, fig3, fig4, table2};
+
+#[test]
+fn figure1_smooth_traffic_bounded_by_poisson() {
+    // "the degenerate case provides an upper bound for the smooth arrival
+    // traffic" — at every plotted size.
+    for n in [1u32, 3, 9, 27, 81, 128] {
+        let poisson = fig1::blocking_at(n, 0.0);
+        for &b in &fig1::BETA_TILDES[1..] {
+            assert!(fig1::blocking_at(n, b) <= poisson, "N={n}, beta={b}");
+        }
+    }
+}
+
+#[test]
+fn figure1_operating_point() {
+    // α̃ = .0024 "drives the non-blocking probability to approximately
+    // 99.5%" at the large end.
+    let b = fig1::blocking_at(128, 0.0);
+    assert!((0.0025..0.0075).contains(&b), "{b}");
+}
+
+#[test]
+fn figure2_peaky_traffic_dramatic_impact() {
+    // Pascal ≥ Poisson always; at sustained per-pair peakedness the
+    // effect is multiplicative.
+    for n in [2u32, 16, 128] {
+        let p = fig1::blocking_at(n, 0.0);
+        assert!(fig2::blocking_fixed_beta(n, 1.2e-3) >= p);
+        assert!(fig2::blocking_fixed_z(n, 2.0) >= p);
+    }
+    assert!(fig2::blocking_fixed_z(128, 2.0) > 2.0 * fig1::blocking_at(128, 0.0));
+}
+
+#[test]
+fn figure3_poisson_class_shifts_operating_point() {
+    for n in [4u32, 64] {
+        for &b in &fig3::BETA_TILDES {
+            assert!(fig3::blocking_at(true, n, b) > fig3::blocking_at(false, n, b));
+        }
+    }
+}
+
+#[test]
+fn figure4_wide_requests_block_more_at_equal_total_load() {
+    // "traffic ρ̃2 with a2 = 2 results in a significantly higher blocking
+    // probability as compared to traffic ρ̃1 with a1 = 1".
+    for row in fig4::rows() {
+        assert!(
+            row.blocking_a2 > 1.5 * row.blocking_a1,
+            "N={}: a2 blocking {} not significantly above a1 {}",
+            row.n,
+            row.blocking_a2,
+            row.blocking_a1
+        );
+    }
+}
+
+#[test]
+fn table1_matches_printed_loads() {
+    let (r1, r2) = fig4::table1_loads(16);
+    assert!((r1 - 0.000150).abs() < 1e-9);
+    assert!((r2 - 0.0000400).abs() < 1e-9);
+}
+
+#[test]
+fn table2_revenue_falls_as_bursty_load_rises() {
+    // "the overall weighted throughput decreases as load β̃2/μ2 is
+    // increased, resulting in a loss of revenue" — and the gradient is
+    // negative from N = 4 up.
+    for &n in &[4u32, 16, 64, 256] {
+        let r1 = table2::row(table2::SETS[0], n);
+        let r2 = table2::row(table2::SETS[1], n);
+        assert!(r1.grad_beta2 < 0.0, "N={n}");
+        assert!(r2.revenue <= r1.revenue, "N={n}");
+        assert!(r2.blocking >= r1.blocking, "N={n}");
+    }
+}
+
+#[test]
+fn table2_increasing_alpha_costs_more_revenue_than_increasing_beta() {
+    // "increasing α̃2 causes a greater decrease in revenue … compared to
+    // that resulting from the proportional increase in β̃2": set3 (3×
+    // load) earns less than set2 (3× burstiness). Holds up to N = 128 in
+    // the stated model; at N = 256 the full β effect (which the paper's
+    // own numbers understate — see DESIGN.md) makes burstiness the more
+    // expensive of the two, flipping the ordering.
+    for &n in &[8u32, 32, 128] {
+        let set2 = table2::row(table2::SETS[1], n);
+        let set3 = table2::row(table2::SETS[2], n);
+        assert!(
+            set3.revenue < set2.revenue,
+            "N={n}: set3 {} !< set2 {}",
+            set3.revenue,
+            set2.revenue
+        );
+    }
+}
+
+#[test]
+fn table2_anchor_rows_are_exact() {
+    // The β-insensitive N = 1 rows match the printed digits exactly.
+    for &set in &table2::SETS {
+        let r = table2::row(set, 1);
+        let (_, _, pblk, pw) = table2::paper_row(set.label, 1);
+        assert!((r.blocking - pblk).abs() < 1e-7);
+        assert!((r.revenue - pw).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn crossbars_beat_multistage_networks() {
+    // §1's architectural motivation, quantified by Validation C.
+    for r in compare_baselines::rows(3) {
+        assert!(
+            r.omega_sim > r.xbar_analytic,
+            "load {}: omega {} !> crossbar {}",
+            r.load,
+            r.omega_sim,
+            r.xbar_analytic
+        );
+    }
+}
