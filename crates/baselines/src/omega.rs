@@ -112,15 +112,13 @@ impl OmegaSim {
         }
         impl Ord for Dep {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                other
-                    .0
-                    .partial_cmp(&self.0)
-                    .unwrap()
-                    .then(other.1.cmp(&self.1))
+                // Departure times are finite; total_cmp keeps Ord total.
+                other.0.total_cmp(&self.0).then(other.1.cmp(&self.1))
             }
         }
-        let mut live: std::collections::HashMap<u64, (usize, usize, Vec<(u32, u32)>)> =
-            std::collections::HashMap::new();
+        // Connection id → (input, output, per-stage links held).
+        type LiveConn = (usize, usize, Vec<(u32, u32)>);
+        let mut live: std::collections::HashMap<u64, LiveConn> = std::collections::HashMap::new();
         let mut next_id = 0u64;
         let mut now = 0.0f64;
         let end = warmup + duration;

@@ -30,11 +30,9 @@ fn bench_algorithms_by_size(c: &mut Criterion) {
             Algorithm::Mva,
             Algorithm::Convolution,
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{alg}"), n),
-                &model,
-                |b, model| b.iter(|| black_box(solve(model, alg).unwrap().blocking(0))),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{alg}"), n), &model, |b, model| {
+                b.iter(|| black_box(solve(model, alg).unwrap().blocking(0)))
+            });
         }
         // Plain f64 only while it stays in range.
         if n <= 64 {
@@ -76,8 +74,7 @@ fn bench_multiclass_scaling(c: &mut Criterion) {
                 }
             })
             .collect();
-        let model =
-            Model::new(Dims::square(64), Workload::from_tilde(&tilde, 64)).unwrap();
+        let model = Model::new(Dims::square(64), Workload::from_tilde(&tilde, 64)).unwrap();
         g.bench_with_input(BenchmarkId::new("alg1_ext_n64", r), &model, |b, model| {
             b.iter(|| black_box(solve(model, Algorithm::Alg1Ext).unwrap().revenue()))
         });

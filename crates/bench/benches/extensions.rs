@@ -74,7 +74,13 @@ fn bench_policy_and_sensitivity(c: &mut Criterion) {
     });
     let small = table2_model(16);
     g.bench_function("sensitivity_matrix_n16", |b| {
-        b.iter(|| black_box(sensitivity(&small, Algorithm::Alg1F64).unwrap().revenue_by_rho[0]))
+        b.iter(|| {
+            black_box(
+                sensitivity(&small, Algorithm::Alg1F64)
+                    .unwrap()
+                    .revenue_by_rho[0],
+            )
+        })
     });
     g.finish();
 }

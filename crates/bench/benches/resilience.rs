@@ -1,0 +1,77 @@
+//! Overhead of the resilient solve pipeline versus calling the
+//! extended-range backend directly.
+//!
+//! The escalation chain tries the fastest backend first and only pays for
+//! the slower ones when the cheap ones underflow, so the interesting
+//! question is what the whole pipeline (escalation + guard validation +
+//! independent cross-check) costs relative to the single backend you would
+//! have hand-picked. At `N = 32` the f64 backend still wins outright; at
+//! `N = 128` and `N = 512` it underflows and the pipeline escalates, so
+//! the cross-check dominates the overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xbar_bench::table2_model;
+use xbar_core::{solve, solve_resilient, Algorithm, ResilientConfig};
+
+/// Same quick profile as the other benches: short windows, stable enough.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_resilient_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resilience");
+    for n in [32u32, 128, 512] {
+        let model = table2_model(n);
+        g.bench_with_input(
+            BenchmarkId::new("direct-alg1-ext", n),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    black_box(
+                        solve(model, Algorithm::Alg1Ext)
+                            .expect("solves")
+                            .blocking(0),
+                    )
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("resilient", n), &model, |b, model| {
+            let config = ResilientConfig::default();
+            b.iter(|| {
+                black_box(
+                    solve_resilient(model, &config)
+                        .expect("solves")
+                        .solution
+                        .blocking(0),
+                )
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("resilient-no-cross-check", n),
+            &model,
+            |b, model| {
+                let config = ResilientConfig::default().with_cross_check(false);
+                b.iter(|| {
+                    black_box(
+                        solve_resilient(model, &config)
+                            .expect("solves")
+                            .solution
+                            .blocking(0),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_resilient_overhead
+);
+criterion_main!(benches);

@@ -30,8 +30,7 @@ fn bench_crossbar_sim(c: &mut Criterion) {
         g.throughput(Throughput::Elements((duration * n as f64) as u64));
         g.bench_with_input(BenchmarkId::new("poisson", n), &n, |b, &n| {
             b.iter(|| {
-                let cfg =
-                    SimConfig::new(n, n).with_exp_class(TrafficClass::poisson(lambda));
+                let cfg = SimConfig::new(n, n).with_exp_class(TrafficClass::poisson(lambda));
                 let mut sim = CrossbarSim::new(cfg, 1);
                 black_box(
                     sim.run(RunConfig {

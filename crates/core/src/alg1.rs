@@ -305,12 +305,10 @@ impl ScaledQLattice {
         qhat[0] = 1.0;
         for i1 in 0..=n1 as i64 {
             for i2 in 0..=n2 as i64 {
-                let mut j = 0usize;
-                for t in terms.iter().filter(|t| !t.poisson) {
+                for (j, t) in terms.iter().filter(|t| !t.poisson).enumerate() {
                     v[j][at(i1, i2)] = t.c2a
                         * (get(&qhat, i1 - t.a, i2 - t.a)
                             + t.beta_over_mu * get(&v[j], i1 - t.a, i2 - t.a));
-                    j += 1;
                 }
                 if i1 == 0 && i2 == 0 {
                     continue;

@@ -156,12 +156,7 @@ impl Mva {
             }
         }
 
-        Mva {
-            dims,
-            cols,
-            f1,
-            f2,
-        }
+        Mva { dims, cols, f1, f2 }
     }
 
     /// `F_1(n1, n2) = Q(n1−1, n2)/Q(n1, n2)` (0 on the `n1 = 0` column).
@@ -235,18 +230,10 @@ mod tests {
         for i1 in 0..=7i64 {
             for i2 in 0..=6i64 {
                 if i1 >= 1 {
-                    close(
-                        mva.f1(i1, i2),
-                        lat.q_ratio((i1 - 1, i2), (i1, i2)),
-                        1e-10,
-                    );
+                    close(mva.f1(i1, i2), lat.q_ratio((i1 - 1, i2), (i1, i2)), 1e-10);
                 }
                 if i2 >= 1 {
-                    close(
-                        mva.f2(i1, i2),
-                        lat.q_ratio((i1, i2 - 1), (i1, i2)),
-                        1e-10,
-                    );
+                    close(mva.f2(i1, i2), lat.q_ratio((i1, i2 - 1), (i1, i2)), 1e-10);
                 }
             }
         }

@@ -80,9 +80,7 @@ impl Convolution {
             let mut w = ExtFloat::ONE;
             series.push(w);
             for j in 1..=jmax {
-                w = w * ExtFloat::from_f64(
-                    class.lambda((j - 1) as u64) / (j as f64 * class.mu),
-                );
+                w *= ExtFloat::from_f64(class.lambda((j - 1) as u64) / (j as f64 * class.mu));
                 series.push(w);
             }
             phi.push(series);
@@ -127,8 +125,7 @@ impl Convolution {
         if m > n1 || m > n2 {
             return ExtFloat::ZERO;
         }
-        let ln = ln_factorial(n1 as u64) - ln_factorial((n1 - m) as u64)
-            + ln_factorial(n2 as u64)
+        let ln = ln_factorial(n1 as u64) - ln_factorial((n1 - m) as u64) + ln_factorial(n2 as u64)
             - ln_factorial((n2 - m) as u64);
         ExtFloat::exp(ln)
     }
@@ -230,8 +227,16 @@ mod tests {
         let w = Workload::new()
             .with(TrafficClass::poisson(0.3).with_weight(1.0))
             .with(TrafficClass::bpp(0.2, 0.08, 1.0).with_weight(0.5))
-            .with(TrafficClass::poisson(0.15).with_bandwidth(2).with_weight(0.3))
-            .with(TrafficClass::bpp(0.8, -0.1, 2.0).with_bandwidth(2).with_weight(0.1));
+            .with(
+                TrafficClass::poisson(0.15)
+                    .with_bandwidth(2)
+                    .with_weight(0.3),
+            )
+            .with(
+                TrafficClass::bpp(0.8, -0.1, 2.0)
+                    .with_bandwidth(2)
+                    .with_weight(0.1),
+            );
         Model::new(Dims::new(n1, n2), w).unwrap()
     }
 

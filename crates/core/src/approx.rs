@@ -182,8 +182,7 @@ mod tests {
         let exact = solve(&m, Algorithm::Auto).unwrap();
         let rel = (fp.blocking(0) - exact.blocking(0)).abs() / exact.blocking(0);
         assert!(rel < 0.05, "rel err {rel}");
-        let rel_e =
-            (fp.concurrency[0] - exact.concurrency(0)).abs() / exact.concurrency(0);
+        let rel_e = (fp.concurrency[0] - exact.concurrency(0)).abs() / exact.concurrency(0);
         assert!(rel_e < 0.01, "rel err {rel_e}");
     }
 
@@ -216,8 +215,7 @@ mod tests {
         let exact = solve(&m, Algorithm::Auto).unwrap();
         for r in 0..3 {
             // Mean-field level agreement only — generous bound.
-            let rel = (fp.blocking(r) - exact.blocking(r)).abs()
-                / exact.blocking(r).max(1e-9);
+            let rel = (fp.blocking(r) - exact.blocking(r)).abs() / exact.blocking(r).max(1e-9);
             assert!(rel < 0.5, "class {r}: rel err {rel}");
         }
         // Wider class still blocks more under the approximation.

@@ -45,7 +45,7 @@ impl<'m> Brute<'m> {
     fn phi(class: &TrafficClass, k: u32) -> ExtFloat {
         let mut acc = ExtFloat::ONE;
         for l in 1..=k {
-            acc = acc * ExtFloat::from_f64(class.lambda((l - 1) as u64) / (l as f64 * class.mu));
+            acc *= ExtFloat::from_f64(class.lambda((l - 1) as u64) / (l as f64 * class.mu));
         }
         acc
     }

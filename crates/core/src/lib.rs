@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! Product-form performance analysis of an `N1 × N2` **asynchronous
 //! multi-rate crossbar** with bursty (BPP) traffic — a full reproduction of
@@ -40,7 +42,10 @@
 //!   doesn't — §4).
 //! * [`solver`] — a front-end that picks the right algorithm/backend for
 //!   the requested size, following the paper's own guidance (Algorithm 1
-//!   for `N ≤ 32`, Algorithm 2 / extended-range beyond).
+//!   for `N ≤ 32`, Algorithm 2 / extended-range beyond); its
+//!   [`solver::resilient`] submodule adds a fault-tolerant pipeline that
+//!   escalates through backends on failure and cross-checks the winner
+//!   against an independent algorithm.
 //! * [`approx`] — the classical reduced-load (Erlang fixed-point)
 //!   approximation, as the cheap baseline the exact analysis improves on.
 //! * [`transient`] — uniformisation-based transient analysis `π(t)` for
@@ -86,5 +91,6 @@ pub mod transient;
 
 pub use measures::{ClassMeasures, SwitchMeasures};
 pub use model::{Dims, Model, ModelError};
-pub use solver::{solve, Algorithm, Solution};
+pub use solver::resilient::{solve_resilient, ResilientConfig, ResilientSolution, SolveReport};
+pub use solver::{solve, Algorithm, Solution, SolveError};
 pub use state::StateIter;

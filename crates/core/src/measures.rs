@@ -23,6 +23,7 @@
 //!   `acceptance = μ_r·E_r / [P(N1,a_r)·P(N2,a_r)·(α_r + β_r·E_r)]`;
 //!   for Poisson classes this equals `B_r` exactly.
 
+use xbar_numeric::guard::{checked_nonneg, checked_prob, finite_or_err, GuardError};
 use xbar_numeric::permutation;
 
 use crate::alg1::QRatio;
@@ -57,6 +58,28 @@ pub struct SwitchMeasures {
     pub revenue: f64,
     /// Unweighted total throughput `Σ_r μ_r·E_r` (the `γ_r = 1` revenue).
     pub total_throughput: f64,
+}
+
+impl SwitchMeasures {
+    /// Run every measure through the numeric guards: probabilities must be
+    /// finite and in `[0, 1]` (up to round-off slack), concurrencies and
+    /// throughputs finite and non-negative, revenue finite. A violation
+    /// identifies the quantity and value, so the resilient solver can
+    /// classify the backend failure and escalate.
+    pub fn validate(&self) -> Result<(), GuardError> {
+        for (r, c) in self.classes.iter().enumerate() {
+            checked_prob(&format!("nonblocking[{r}]"), c.nonblocking)?;
+            checked_prob(&format!("blocking[{r}]"), c.blocking)?;
+            checked_prob(&format!("call_acceptance[{r}]"), c.call_acceptance)?;
+            checked_nonneg(&format!("concurrency[{r}]"), c.concurrency)?;
+            checked_nonneg(&format!("throughput[{r}]"), c.throughput)?;
+        }
+        // Weights are user-chosen and may in principle be negative, so
+        // revenue is only required to be finite.
+        finite_or_err("revenue", self.revenue)?;
+        checked_nonneg("total_throughput", self.total_throughput)?;
+        Ok(())
+    }
 }
 
 /// Evaluate all measures at the lattice's own dims.
@@ -189,7 +212,11 @@ mod tests {
         let w = Workload::new()
             .with(TrafficClass::poisson(0.4).with_weight(1.0))
             .with(TrafficClass::bpp(0.3, 0.1, 1.0).with_weight(0.2))
-            .with(TrafficClass::poisson(0.2).with_bandwidth(2).with_weight(0.5))
+            .with(
+                TrafficClass::poisson(0.2)
+                    .with_bandwidth(2)
+                    .with_weight(0.5),
+            )
             .with(
                 TrafficClass::bpp(0.8, -0.1, 2.0) // S = 8 Bernoulli
                     .with_bandwidth(2)
@@ -256,7 +283,9 @@ mod tests {
         let n2 = 1u32;
         let w = Workload::new()
             .with(TrafficClass::poisson(0.0012 / n2 as f64).with_weight(1.0))
-            .with(TrafficClass::bpp(0.0012 / n2 as f64, 0.0012 / n2 as f64, 1.0).with_weight(0.0001));
+            .with(
+                TrafficClass::bpp(0.0012 / n2 as f64, 0.0012 / n2 as f64, 1.0).with_weight(0.0001),
+            );
         let m = Model::new(Dims::square(1), w).unwrap();
         let lat = solve_f64(&m);
         let got = measures(&m, &lat);
@@ -269,7 +298,9 @@ mod tests {
         let n2 = 2u32;
         let w = Workload::new()
             .with(TrafficClass::poisson(0.0012 / n2 as f64).with_weight(1.0))
-            .with(TrafficClass::bpp(0.0012 / n2 as f64, 0.0012 / n2 as f64, 1.0).with_weight(0.0001));
+            .with(
+                TrafficClass::bpp(0.0012 / n2 as f64, 0.0012 / n2 as f64, 1.0).with_weight(0.0001),
+            );
         let m = Model::new(Dims::square(2), w).unwrap();
         let lat = solve_f64(&m);
         let got = measures(&m, &lat);
@@ -308,7 +339,11 @@ mod tests {
         let mk = |rho1: f64| {
             let w = Workload::new()
                 .with(TrafficClass::poisson(rho1).with_weight(1.0))
-                .with(TrafficClass::poisson(0.05).with_bandwidth(2).with_weight(0.3));
+                .with(
+                    TrafficClass::poisson(0.05)
+                        .with_bandwidth(2)
+                        .with_weight(0.3),
+                );
             Model::new(Dims::square(6), w).unwrap()
         };
         let m = mk(0.08);

@@ -103,11 +103,7 @@ pub fn solve_policy(model: &Model, thresholds: &[u32]) -> PolicyMeasures {
                 next[j] += pi[i] * rate / lambda_u;
             }
         }
-        let delta: f64 = next
-            .iter()
-            .zip(&pi)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
         pi = next;
         if delta < 1e-14 || iterations >= 2_000_000 {
             break;
@@ -128,8 +124,8 @@ pub fn solve_policy(model: &Model, thresholds: &[u32]) -> PolicyMeasures {
         let ka = StateIter::occupancy(&bw, k);
         for (r, class) in classes.iter().enumerate() {
             let a = class.bandwidth;
-            let tuples = permutation(dims.n1 as u64, a as u64)
-                * permutation(dims.n2 as u64, a as u64);
+            let tuples =
+                permutation(dims.n1 as u64, a as u64) * permutation(dims.n2 as u64, a as u64);
             let off = tuples * class.lambda(k[r] as u64);
             offered[r] += p * off;
             let admitted = cap - ka >= a + thresholds[r];

@@ -128,7 +128,11 @@ mod tests {
     fn model() -> Model {
         let w = Workload::new()
             .with(TrafficClass::poisson(0.08).with_weight(1.0))
-            .with(TrafficClass::poisson(0.03).with_bandwidth(2).with_weight(0.4));
+            .with(
+                TrafficClass::poisson(0.03)
+                    .with_bandwidth(2)
+                    .with_weight(0.4),
+            );
         Model::new(Dims::square(8), w).unwrap()
     }
 

@@ -1,10 +1,18 @@
 //! Front-end solver: pick an algorithm/backend, run it, and expose every
 //! performance measure (including the §4 revenue gradients) behind one
 //! [`Solution`] type.
+//!
+//! For fault tolerance across backends — automatic escalation when a
+//! fixed-precision backend fails, plus cross-algorithm self-verification —
+//! see the [`resilient`] submodule.
+
+pub mod resilient;
 
 use std::fmt;
 
-use xbar_numeric::{forward_diff, ExtFloat};
+use xbar_numeric::{forward_diff, ExtFloat, GuardError};
+
+use self::resilient::{CrossCheckFailure, SolveReport};
 
 use crate::alg1::{QLattice, QRatio, ScaledQLattice};
 use crate::alg2::Mva;
@@ -61,6 +69,20 @@ pub enum SolveError {
     /// The chosen fixed-precision backend under- or overflowed; re-run with
     /// [`Algorithm::Alg1Ext`] or [`Algorithm::Mva`].
     Underflow(Algorithm),
+    /// The backend ran to completion but produced a measure the numeric
+    /// guards reject (`NaN`/∞, or a probability outside `[0, 1]`).
+    Guard {
+        /// The backend that produced the rejected value.
+        algorithm: Algorithm,
+        /// Which quantity was rejected and why.
+        source: GuardError,
+    },
+    /// Every backend in a resilient escalation chain failed; the report
+    /// records each attempt and its cause.
+    Exhausted(SolveReport),
+    /// The winning backend and the independent cross-check algorithm
+    /// disagree beyond tolerance; the payload carries both answers.
+    CrossCheckFailed(Box<CrossCheckFailure>),
 }
 
 impl fmt::Display for SolveError {
@@ -71,6 +93,16 @@ impl fmt::Display for SolveError {
                 f,
                 "backend {a} under/overflowed on this instance; use alg1-ext or alg2-mva"
             ),
+            SolveError::Guard { algorithm, source } => {
+                write!(
+                    f,
+                    "backend {algorithm} produced an invalid measure: {source}"
+                )
+            }
+            SolveError::Exhausted(report) => {
+                write!(f, "all backends failed: {}", report.summary())
+            }
+            SolveError::CrossCheckFailed(failure) => write!(f, "{failure}"),
         }
     }
 }
@@ -154,6 +186,10 @@ pub fn solve(model: &Model, algorithm: Algorithm) -> Result<Solution, SolveError
         Algorithm::Auto => unreachable!(),
     };
     let m = measures(model, &backend);
+    m.validate().map_err(|source| SolveError::Guard {
+        algorithm: effective,
+        source,
+    })?;
     Ok(Solution {
         model: model.clone(),
         algorithm,
@@ -166,6 +202,12 @@ impl Solution {
     /// The solved model.
     pub fn model(&self) -> &Model {
         &self.model
+    }
+
+    /// The algorithm this solution was requested with (as passed to
+    /// [`solve`], so [`Algorithm::Auto`] stays `Auto`).
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
     }
 
     /// All measures at the full dims.
@@ -306,7 +348,11 @@ mod tests {
         let w = Workload::new()
             .with(TrafficClass::poisson(0.3).with_weight(1.0))
             .with(TrafficClass::bpp(0.2, 0.08, 1.0).with_weight(0.5))
-            .with(TrafficClass::poisson(0.1).with_bandwidth(2).with_weight(0.25));
+            .with(
+                TrafficClass::poisson(0.1)
+                    .with_bandwidth(2)
+                    .with_weight(0.25),
+            );
         Model::new(Dims::square(n), w).unwrap()
     }
 
@@ -352,9 +398,7 @@ mod tests {
     fn large_switch_backends_agree() {
         let w = Workload::new()
             .with(TrafficClass::poisson(0.0012 / 128.0).with_weight(1.0))
-            .with(
-                TrafficClass::bpp(0.0012 / 128.0, 0.0012 / 128.0, 1.0).with_weight(0.0001),
-            );
+            .with(TrafficClass::bpp(0.0012 / 128.0, 0.0012 / 128.0, 1.0).with_weight(0.0001));
         let m = Model::new(Dims::square(128), w).unwrap();
         let ext = solve(&m, Algorithm::Alg1Ext).unwrap();
         let scaled = solve(&m, Algorithm::Alg1Scaled).unwrap();
@@ -375,7 +419,11 @@ mod tests {
     fn gradients_closed_vs_fd_pure_poisson() {
         let w = Workload::new()
             .with(TrafficClass::poisson(0.1).with_weight(1.0))
-            .with(TrafficClass::poisson(0.05).with_bandwidth(2).with_weight(0.3));
+            .with(
+                TrafficClass::poisson(0.05)
+                    .with_bandwidth(2)
+                    .with_weight(0.3),
+            );
         let m = Model::new(Dims::square(8), w).unwrap();
         let sol = solve(&m, Algorithm::Alg1F64).unwrap();
         for r in 0..2 {
@@ -392,9 +440,7 @@ mod tests {
         let n = 16u32;
         let w = Workload::new()
             .with(TrafficClass::poisson(0.0012 / n as f64).with_weight(1.0))
-            .with(
-                TrafficClass::bpp(0.0012 / n as f64, 0.0012 / n as f64, 1.0).with_weight(0.0001),
-            );
+            .with(TrafficClass::bpp(0.0012 / n as f64, 0.0012 / n as f64, 1.0).with_weight(0.0001));
         let m = Model::new(Dims::square(n), w).unwrap();
         let sol = solve(&m, Algorithm::Alg1F64).unwrap();
         let g = sol.revenue_gradient_beta_fd(1).unwrap();
@@ -408,7 +454,11 @@ mod tests {
         for r in 0..3 {
             close(sol.blocking(r), 1.0 - sol.nonblocking(r), 1e-15);
             let c = &sol.measures().classes[r];
-            close(sol.throughput(r), c.concurrency * m.workload().classes()[r].mu, 1e-15);
+            close(
+                sol.throughput(r),
+                c.concurrency * m.workload().classes()[r].mu,
+                1e-15,
+            );
         }
         let sub = sol.measures_at(Dims::square(3));
         assert!(sub.revenue < sol.revenue());

@@ -1,0 +1,552 @@
+//! Fault-tolerant solve pipeline: backend escalation plus cross-algorithm
+//! self-verification.
+//!
+//! The paper's algorithms trade range for speed: plain-`f64` Algorithm 1 is
+//! fastest but underflows beyond `N ≈ 32–64`, the §6 dynamically-scaled
+//! variant reaches further, and the extended-range and MVA backends are
+//! robust at any size. [`solve_resilient`] encodes that trade-off as an
+//! *escalation chain*: it tries each backend in order, records every
+//! failure (underflow, non-finite measure, out-of-range probability) in a
+//! [`SolveReport`], and stops at the first backend whose measures pass the
+//! numeric guards.
+//!
+//! Passing the guards proves the numbers are *plausible*, not *right* — a
+//! scaled lattice can lose precision and still land in `[0, 1]`. So the
+//! winner is then **cross-checked** against an algorithm from a different
+//! family (occupancy convolution for enumerable sizes, MVA otherwise): two
+//! independent recursions agreeing to a tight relative tolerance is strong
+//! evidence neither is corrupt. Disagreement is a first-class error,
+//! [`SolveError::CrossCheckFailed`], carrying both answers so the caller
+//! can inspect which measures diverged.
+
+use std::fmt;
+
+use xbar_numeric::guard::{relative_gap, GuardError};
+
+use super::{solve, Algorithm, Solution, SolveError};
+use crate::measures::SwitchMeasures;
+use crate::model::Model;
+
+/// Configuration for [`solve_resilient`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilientConfig {
+    /// Backends to try, in order. Defaults to fastest-first:
+    /// `Alg1F64 → Alg1Scaled → Alg1Ext → Mva`.
+    pub chain: Vec<Algorithm>,
+    /// Whether to verify the winner against an independent algorithm.
+    pub cross_check: bool,
+    /// Maximum admissible [`relative_gap`] between winner and checker on
+    /// any compared measure.
+    pub cross_check_tol: f64,
+    /// Largest `max(N1, N2)` for which the occupancy-convolution backend
+    /// (Algorithm 3) is used as the checker; larger switches use MVA.
+    pub enumerable_limit: u32,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            chain: vec![
+                Algorithm::Alg1F64,
+                Algorithm::Alg1Scaled,
+                Algorithm::Alg1Ext,
+                Algorithm::Mva,
+            ],
+            cross_check: true,
+            cross_check_tol: 1e-9,
+            enumerable_limit: 64,
+        }
+    }
+}
+
+impl ResilientConfig {
+    /// The default chain and tolerances.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the escalation chain.
+    pub fn with_chain(mut self, chain: Vec<Algorithm>) -> Self {
+        self.chain = chain;
+        self
+    }
+
+    /// Enable or disable the cross-check stage.
+    pub fn with_cross_check(mut self, on: bool) -> Self {
+        self.cross_check = on;
+        self
+    }
+
+    /// Set the cross-check tolerance.
+    pub fn with_cross_check_tol(mut self, tol: f64) -> Self {
+        self.cross_check_tol = tol;
+        self
+    }
+}
+
+/// Why one backend in the chain failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailureCause {
+    /// The lattice under- or overflowed (unhealthy cells).
+    Underflow,
+    /// A computed measure failed the numeric guards (`NaN`/∞ or an
+    /// out-of-range probability); the payload names the quantity.
+    Guard(GuardError),
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Underflow => write!(f, "under/overflow"),
+            FailureCause::Guard(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One backend's outcome within the escalation chain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attempt {
+    /// Which backend ran.
+    pub algorithm: Algorithm,
+    /// `None` if it succeeded (always the last attempt), otherwise why it
+    /// failed.
+    pub failure: Option<FailureCause>,
+}
+
+/// Result of comparing the winner against the independent checker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossCheck {
+    /// The independent algorithm used for verification.
+    pub checker: Algorithm,
+    /// The tolerance the comparison ran with.
+    pub tol: f64,
+    /// What the comparison found.
+    pub outcome: CrossCheckOutcome,
+}
+
+/// Outcome of the cross-check stage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrossCheckOutcome {
+    /// Winner and checker agree on every compared measure.
+    Agreed {
+        /// Worst [`relative_gap`] observed across all compared measures.
+        max_rel_gap: f64,
+    },
+    /// Winner and checker disagree beyond tolerance (the pipeline also
+    /// returns [`SolveError::CrossCheckFailed`] in this case).
+    Disagreed {
+        /// Worst [`relative_gap`] observed across all compared measures.
+        max_rel_gap: f64,
+    },
+    /// The checker itself failed to produce guard-clean measures, so the
+    /// winner stands unverified.
+    CheckerFailed(FailureCause),
+}
+
+/// Full record of a resilient solve: every backend attempted with its
+/// failure cause, the winner, and the cross-check verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveReport {
+    /// Backends tried, in order; the last entry is the winner iff
+    /// `winner.is_some()`.
+    pub attempts: Vec<Attempt>,
+    /// The backend whose solution was accepted, if any.
+    pub winner: Option<Algorithm>,
+    /// Cross-check record (`None` when disabled or when no backend won).
+    pub cross_check: Option<CrossCheck>,
+}
+
+impl SolveReport {
+    /// One-line human-readable account of the pipeline run, e.g.
+    /// `alg1-f64: under/overflow -> alg1-scaled: ok; cross-check alg2-mva:
+    /// agreed (max rel gap 3.1e-13 <= 1.0e-9)`.
+    pub fn summary(&self) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(self.attempts.len());
+        for a in &self.attempts {
+            match &a.failure {
+                None => parts.push(format!("{}: ok", a.algorithm)),
+                Some(cause) => parts.push(format!("{}: {cause}", a.algorithm)),
+            }
+        }
+        let mut s = parts.join(" -> ");
+        match &self.cross_check {
+            None => {}
+            Some(c) => {
+                let verdict = match &c.outcome {
+                    CrossCheckOutcome::Agreed { max_rel_gap } => {
+                        format!("agreed (max rel gap {max_rel_gap:.1e} <= {:.1e})", c.tol)
+                    }
+                    CrossCheckOutcome::Disagreed { max_rel_gap } => {
+                        format!("DISAGREED (max rel gap {max_rel_gap:.1e} > {:.1e})", c.tol)
+                    }
+                    CrossCheckOutcome::CheckerFailed(cause) => {
+                        format!("checker failed ({cause})")
+                    }
+                };
+                s.push_str(&format!("; cross-check {}: {verdict}", c.checker));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+/// Payload of [`SolveError::CrossCheckFailed`]: both answers plus the full
+/// pipeline report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossCheckFailure {
+    /// The backend whose solution was being verified.
+    pub winner: Algorithm,
+    /// The independent algorithm it was verified against.
+    pub checker: Algorithm,
+    /// The winner's measures.
+    pub winner_measures: SwitchMeasures,
+    /// The checker's measures.
+    pub checker_measures: SwitchMeasures,
+    /// Worst [`relative_gap`] across all compared measures.
+    pub max_rel_gap: f64,
+    /// The tolerance that was exceeded.
+    pub tol: f64,
+    /// The full pipeline report (attempts + cross-check record).
+    pub report: SolveReport,
+}
+
+impl fmt::Display for CrossCheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cross-check failed: {} and {} disagree (max rel gap {:.3e} > tol {:.1e})",
+            self.winner, self.checker, self.max_rel_gap, self.tol
+        )
+    }
+}
+
+/// A [`Solution`] together with the [`SolveReport`] describing how it was
+/// obtained and verified.
+pub struct ResilientSolution {
+    /// The accepted solution (from the first backend to pass the guards).
+    pub solution: Solution,
+    /// The pipeline record.
+    pub report: SolveReport,
+}
+
+impl fmt::Debug for ResilientSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `Solution` holds a solved lattice and is deliberately opaque;
+        // show the pipeline trace and the measures instead.
+        f.debug_struct("ResilientSolution")
+            .field("report", &self.report)
+            .field("measures", self.solution.measures())
+            .finish()
+    }
+}
+
+/// Broad algorithm family, used to pick a checker *independent* of the
+/// winner: all three Algorithm-1 backends share one recursion, so agreeing
+/// with each other proves little.
+fn family(alg: Algorithm) -> u8 {
+    match alg {
+        Algorithm::Auto | Algorithm::Alg1F64 | Algorithm::Alg1Scaled | Algorithm::Alg1Ext => 1,
+        Algorithm::Mva => 2,
+        Algorithm::Convolution => 3,
+    }
+}
+
+fn pick_checker(winner: Algorithm, max_n: u32, config: &ResilientConfig) -> Algorithm {
+    let preferred = if max_n <= config.enumerable_limit {
+        Algorithm::Convolution
+    } else {
+        Algorithm::Mva
+    };
+    if family(preferred) != family(winner) {
+        return preferred;
+    }
+    // The winner is already from the preferred family (e.g. the chain was
+    // MVA-first); fall back to the next independent one.
+    if max_n <= config.enumerable_limit && family(winner) != family(Algorithm::Convolution) {
+        Algorithm::Convolution
+    } else if family(winner) != family(Algorithm::Mva) {
+        Algorithm::Mva
+    } else {
+        Algorithm::Alg1Ext
+    }
+}
+
+/// Worst [`relative_gap`] between two measure sets, over every per-class
+/// probability/concurrency/throughput plus revenue and total throughput.
+fn max_measure_gap(a: &SwitchMeasures, b: &SwitchMeasures) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (ca, cb) in a.classes.iter().zip(&b.classes) {
+        worst = worst
+            .max(relative_gap(ca.nonblocking, cb.nonblocking))
+            .max(relative_gap(ca.concurrency, cb.concurrency))
+            .max(relative_gap(ca.throughput, cb.throughput))
+            .max(relative_gap(ca.call_acceptance, cb.call_acceptance));
+    }
+    worst
+        .max(relative_gap(a.revenue, b.revenue))
+        .max(relative_gap(a.total_throughput, b.total_throughput))
+}
+
+fn cause_of(err: SolveError) -> Result<FailureCause, SolveError> {
+    match err {
+        SolveError::Underflow(_) => Ok(FailureCause::Underflow),
+        SolveError::Guard { source, .. } => Ok(FailureCause::Guard(source)),
+        // Model errors (and pipeline-level errors, which plain `solve`
+        // never returns) are not backend failures: escalation cannot fix
+        // them, so they abort the pipeline.
+        other => Err(other),
+    }
+}
+
+/// Solve `model` through the escalation chain in `config`, then cross-check
+/// the winner against an independent algorithm.
+///
+/// Every attempted backend and its failure cause is recorded in the
+/// returned [`SolveReport`] (also embedded in the error cases):
+///
+/// * all backends fail → [`SolveError::Exhausted`];
+/// * winner and checker disagree beyond `config.cross_check_tol` →
+///   [`SolveError::CrossCheckFailed`] carrying both sets of measures;
+/// * the model itself is invalid → [`SolveError::Model`] immediately (no
+///   backend can fix a bad model).
+pub fn solve_resilient(
+    model: &Model,
+    config: &ResilientConfig,
+) -> Result<ResilientSolution, SolveError> {
+    let mut attempts = Vec::with_capacity(config.chain.len());
+    let mut won: Option<(Algorithm, Solution)> = None;
+    for &alg in &config.chain {
+        match solve(model, alg) {
+            Ok(sol) => {
+                attempts.push(Attempt {
+                    algorithm: alg,
+                    failure: None,
+                });
+                won = Some((alg, sol));
+                break;
+            }
+            Err(e) => {
+                let cause = cause_of(e)?;
+                attempts.push(Attempt {
+                    algorithm: alg,
+                    failure: Some(cause),
+                });
+            }
+        }
+    }
+
+    let Some((winner_alg, solution)) = won else {
+        return Err(SolveError::Exhausted(SolveReport {
+            attempts,
+            winner: None,
+            cross_check: None,
+        }));
+    };
+
+    let mut report = SolveReport {
+        attempts,
+        winner: Some(winner_alg),
+        cross_check: None,
+    };
+
+    if config.cross_check {
+        let checker = pick_checker(winner_alg, model.dims().max_n(), config);
+        let tol = config.cross_check_tol;
+        match solve(model, checker) {
+            Err(e) => {
+                let cause = cause_of(e)?;
+                report.cross_check = Some(CrossCheck {
+                    checker,
+                    tol,
+                    outcome: CrossCheckOutcome::CheckerFailed(cause),
+                });
+            }
+            Ok(check_sol) => {
+                let gap = max_measure_gap(solution.measures(), check_sol.measures());
+                if gap <= tol {
+                    report.cross_check = Some(CrossCheck {
+                        checker,
+                        tol,
+                        outcome: CrossCheckOutcome::Agreed { max_rel_gap: gap },
+                    });
+                } else {
+                    report.cross_check = Some(CrossCheck {
+                        checker,
+                        tol,
+                        outcome: CrossCheckOutcome::Disagreed { max_rel_gap: gap },
+                    });
+                    return Err(SolveError::CrossCheckFailed(Box::new(CrossCheckFailure {
+                        winner: winner_alg,
+                        checker,
+                        winner_measures: solution.measures().clone(),
+                        checker_measures: check_sol.measures().clone(),
+                        max_rel_gap: gap,
+                        tol,
+                        report,
+                    })));
+                }
+            }
+        }
+    }
+
+    Ok(ResilientSolution { solution, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Dims;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn big_poisson(n: u32) -> Model {
+        let w = Workload::new().with(TrafficClass::poisson(1e-5));
+        Model::new(Dims::square(n), w).expect("valid model")
+    }
+
+    #[test]
+    fn small_switch_wins_first_try_and_cross_checks() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.3))
+            .with(TrafficClass::bpp(0.2, 0.08, 1.0));
+        let m = Model::new(Dims::square(8), w).expect("valid model");
+        let r = solve_resilient(&m, &ResilientConfig::default()).expect("solves");
+        assert_eq!(r.report.winner, Some(Algorithm::Alg1F64));
+        assert_eq!(r.report.attempts.len(), 1);
+        assert!(r.report.attempts[0].failure.is_none());
+        let check = r.report.cross_check.as_ref().expect("cross-checked");
+        // 8 <= enumerable_limit -> convolution checker.
+        assert_eq!(check.checker, Algorithm::Convolution);
+        assert!(matches!(check.outcome, CrossCheckOutcome::Agreed { .. }));
+    }
+
+    #[test]
+    fn underflow_at_n200_escalates_and_cross_checks_vs_mva() {
+        // The ISSUE's acceptance scenario: plain f64 underflows at N = 200,
+        // the pipeline must escalate, and the winner must agree with MVA to
+        // 1e-9.
+        let m = big_poisson(200);
+        let r = solve_resilient(&m, &ResilientConfig::default()).expect("escalates");
+        assert_eq!(
+            r.report.attempts[0],
+            Attempt {
+                algorithm: Algorithm::Alg1F64,
+                failure: Some(FailureCause::Underflow),
+            }
+        );
+        let winner = r.report.winner.expect("has winner");
+        assert_ne!(winner, Algorithm::Alg1F64);
+        let check = r.report.cross_check.as_ref().expect("cross-checked");
+        assert_eq!(check.checker, Algorithm::Mva);
+        assert_eq!(check.tol, 1e-9);
+        match check.outcome {
+            CrossCheckOutcome::Agreed { max_rel_gap } => assert!(max_rel_gap <= 1e-9),
+            ref other => panic!("expected agreement, got {other:?}"),
+        }
+        assert!(r.solution.blocking(0).is_finite());
+    }
+
+    #[test]
+    fn exhausted_chain_reports_every_cause() {
+        let m = big_poisson(200);
+        // A chain of only the fixed-precision backend must exhaust.
+        let cfg = ResilientConfig::default().with_chain(vec![Algorithm::Alg1F64]);
+        match solve_resilient(&m, &cfg) {
+            Err(SolveError::Exhausted(report)) => {
+                assert_eq!(report.winner, None);
+                assert_eq!(report.attempts.len(), 1);
+                assert_eq!(report.attempts[0].failure, Some(FailureCause::Underflow));
+                assert!(report.summary().contains("alg1-f64"));
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checker_is_independent_of_winner_family() {
+        let cfg = ResilientConfig::default();
+        // Alg1-family winner: convolution when enumerable, MVA beyond.
+        assert_eq!(
+            pick_checker(Algorithm::Alg1F64, 8, &cfg),
+            Algorithm::Convolution
+        );
+        assert_eq!(pick_checker(Algorithm::Alg1Ext, 200, &cfg), Algorithm::Mva);
+        // MVA winner must not be checked against itself.
+        assert_eq!(
+            pick_checker(Algorithm::Mva, 8, &cfg),
+            Algorithm::Convolution
+        );
+        assert_eq!(pick_checker(Algorithm::Mva, 200, &cfg), Algorithm::Alg1Ext);
+        // Convolution winner gets MVA.
+        assert_eq!(
+            pick_checker(Algorithm::Convolution, 8, &cfg),
+            Algorithm::Mva
+        );
+    }
+
+    #[test]
+    fn impossible_tolerance_fails_cross_check_with_both_answers() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.3))
+            .with(TrafficClass::bpp(0.2, 0.08, 1.0));
+        let m = Model::new(Dims::square(12), w).expect("valid model");
+        // No two floating-point backends agree to 1e-18.
+        let cfg = ResilientConfig::default().with_cross_check_tol(1e-18);
+        match solve_resilient(&m, &cfg) {
+            Err(SolveError::CrossCheckFailed(fail)) => {
+                assert_eq!(fail.winner, Algorithm::Alg1F64);
+                assert_eq!(fail.checker, Algorithm::Convolution);
+                assert!(fail.max_rel_gap > 1e-18);
+                assert_eq!(fail.winner_measures.classes.len(), 2);
+                assert_eq!(fail.checker_measures.classes.len(), 2);
+                assert!(matches!(
+                    fail.report.cross_check.as_ref().map(|c| &c.outcome),
+                    Some(CrossCheckOutcome::Disagreed { .. })
+                ));
+                // And both answers are still sane probabilities.
+                assert!(fail.winner_measures.validate().is_ok());
+                assert!(fail.checker_measures.validate().is_ok());
+            }
+            other => panic!("expected CrossCheckFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_check_can_be_disabled() {
+        let m = big_poisson(48);
+        let cfg = ResilientConfig::default().with_cross_check(false);
+        let r = solve_resilient(&m, &cfg).expect("solves");
+        assert!(r.report.cross_check.is_none());
+    }
+
+    #[test]
+    fn model_errors_abort_instead_of_escalating() {
+        // Bandwidth exceeding the switch is a modelling error; trying more
+        // backends cannot help, so the pipeline must return it directly.
+        let w = Workload::new().with(TrafficClass::poisson(0.1).with_bandwidth(9));
+        let err = Model::new(Dims::square(4), w).expect_err("invalid model");
+        // Reproduce through a perturbation path instead: build valid, then
+        // perturb into invalid territory is not expressible here, so just
+        // assert the constructor error type matches what the pipeline
+        // forwards.
+        assert!(matches!(
+            SolveError::from(err.clone()),
+            SolveError::Model(_)
+        ));
+    }
+
+    #[test]
+    fn summary_reads_like_a_pipeline_trace() {
+        let m = big_poisson(200);
+        let r = solve_resilient(&m, &ResilientConfig::default()).expect("solves");
+        let s = r.report.summary();
+        assert!(s.contains("alg1-f64"), "{s}");
+        assert!(s.contains("->"), "{s}");
+        assert!(s.contains("cross-check alg2-mva: agreed"), "{s}");
+    }
+}

@@ -49,10 +49,7 @@ impl StateIter {
 
     /// Total weighted occupancy `k·A` of a state.
     pub fn occupancy(bandwidths: &[u32], k: &[u32]) -> u32 {
-        k.iter()
-            .zip(bandwidths)
-            .map(|(&kr, &ar)| kr * ar)
-            .sum()
+        k.iter().zip(bandwidths).map(|(&kr, &ar)| kr * ar).sum()
     }
 }
 

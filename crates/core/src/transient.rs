@@ -108,8 +108,8 @@ impl Transient {
                     exit += rate;
                 }
                 // Availability of this class in this state.
-                let tuples = permutation(dims.n1 as u64, a as u64)
-                    * permutation(dims.n2 as u64, a as u64);
+                let tuples =
+                    permutation(dims.n1 as u64, a as u64) * permutation(dims.n2 as u64, a as u64);
                 row_avail.push(
                     permutation((dims.n1 - ka) as u64, a as u64)
                         * permutation((dims.n2 - ka) as u64, a as u64)
@@ -201,10 +201,7 @@ impl Transient {
             if cumulative > 1.0 - 1e-12 && n as f64 > lt {
                 break;
             }
-            assert!(
-                n < 1_000_000,
-                "uniformisation did not converge (Λt = {lt})"
-            );
+            assert!(n < 1_000_000, "uniformisation did not converge (Λt = {lt})");
             v = self.step(&v);
             n += 1;
         }
@@ -230,10 +227,7 @@ impl Transient {
     /// `π(t)` — transient availability (from empty).
     pub fn availability_at(&self, t: f64, r: usize) -> f64 {
         let pi = self.distribution(t);
-        pi.iter()
-            .zip(&self.avail)
-            .map(|(p, row)| p * row[r])
-            .sum()
+        pi.iter().zip(&self.avail).map(|(p, row)| p * row[r]).sum()
     }
 
     /// Smallest `t` (by doubling, then bisection) such that
@@ -246,10 +240,7 @@ impl Transient {
         };
         let dist = |t: f64| -> f64 {
             let pi = self.distribution(t);
-            pi.iter()
-                .zip(&stationary)
-                .map(|(a, b)| (a - b).abs())
-                .sum()
+            pi.iter().zip(&stationary).map(|(a, b)| (a - b).abs()).sum()
         };
         let mut hi = 1.0 / self.model.workload().classes()[0].mu;
         while dist(hi) > eps {
@@ -342,9 +333,7 @@ mod tests {
         let classes = m.workload().classes();
         let expect: f64 = classes
             .iter()
-            .map(|c| {
-                permutation(3, c.bandwidth as u64).powi(2) * c.lambda(0)
-            })
+            .map(|c| permutation(3, c.bandwidth as u64).powi(2) * c.lambda(0))
             .sum();
         let growth = (tr.concurrency_at(dt, 0) + tr.concurrency_at(dt, 1)) / dt;
         close(growth, expect, 1e-2);

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use xbar_core::brute::Brute;
-use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_core::{solve, solve_resilient, Algorithm, Dims, Model, ResilientConfig};
 use xbar_traffic::{TrafficClass, Workload};
 
 fn close(a: f64, b: f64, tol: f64) -> bool {
@@ -18,13 +18,19 @@ fn close(a: f64, b: f64, tol: f64) -> bool {
 
 /// A random valid traffic class for a switch with `max_n` ports.
 fn arb_class(max_n: u32) -> impl Strategy<Value = TrafficClass> {
-    let poisson = (0.001f64..2.0, 0.2f64..3.0, 1u32..3, 0.01f64..2.0)
-        .prop_map(|(rho, mu, a, w)| {
+    let poisson =
+        (0.001f64..2.0, 0.2f64..3.0, 1u32..3, 0.01f64..2.0).prop_map(|(rho, mu, a, w)| {
             TrafficClass::bpp(rho * mu, 0.0, mu)
                 .with_bandwidth(a)
                 .with_weight(w)
         });
-    let pascal = (0.001f64..1.5, 0.05f64..0.9, 0.5f64..2.0, 1u32..3, 0.01f64..2.0)
+    let pascal = (
+        0.001f64..1.5,
+        0.05f64..0.9,
+        0.5f64..2.0,
+        1u32..3,
+        0.01f64..2.0,
+    )
         .prop_map(|(alpha, frac, mu, a, w)| {
             // β = frac·μ keeps the class stable.
             TrafficClass::bpp(alpha, frac * mu, mu)
@@ -223,6 +229,52 @@ proptest! {
         let b1 = solve(&m1, Algorithm::Alg1F64).unwrap().blocking(0);
         let b2 = solve(&m2, Algorithm::Alg1F64).unwrap().blocking(0);
         prop_assert!(b2 >= b1 - 1e-12, "a=2 {b2} < a=1 {b1}");
+    }
+
+    #[test]
+    fn resilient_pipeline_matches_alg1_ext(model in arb_model()) {
+        // Whatever backend the escalation chain settles on, the resilient
+        // pipeline's answer must agree with the always-correct
+        // extended-range backend — and the report must name a winner that
+        // actually appears in the attempt list.
+        let res = solve_resilient(&model, &ResilientConfig::default()).unwrap();
+        let reference = solve(&model, Algorithm::Alg1Ext).unwrap();
+        for r in 0..model.num_classes() {
+            prop_assert!(
+                close(res.solution.nonblocking(r), reference.nonblocking(r), 1e-8),
+                "nonblocking class {r}: {} vs {}",
+                res.solution.nonblocking(r), reference.nonblocking(r)
+            );
+            prop_assert!(
+                close(res.solution.concurrency(r), reference.concurrency(r), 1e-8),
+                "concurrency class {r}: {} vs {}",
+                res.solution.concurrency(r), reference.concurrency(r)
+            );
+        }
+        prop_assert!(close(res.solution.revenue(), reference.revenue(), 1e-8));
+        let winner = res.report.winner.expect("pipeline succeeded");
+        prop_assert!(
+            res.report.attempts.iter().any(|a| a.algorithm == winner && a.failure.is_none()),
+            "winner {winner} missing from attempts: {}",
+            res.report.summary()
+        );
+    }
+
+    #[test]
+    fn resilient_pipeline_matches_brute_force_escalating(model in arb_model()) {
+        // Force the chain to *start* from a backend that can fail (f64) and
+        // verify the final answer against exact enumeration.
+        let config = ResilientConfig::new()
+            .with_chain(vec![Algorithm::Alg1F64, Algorithm::Alg1Ext]);
+        let res = solve_resilient(&model, &config).unwrap();
+        let brute = Brute::new(&model);
+        for r in 0..model.num_classes() {
+            prop_assert!(
+                close(res.solution.nonblocking(r), brute.nonblocking(r), 1e-8),
+                "class {r}: {} vs {}",
+                res.solution.nonblocking(r), brute.nonblocking(r)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+#![warn(missing_docs)]
+
+//! Offline drop-in replacement for the subset of the `crossbeam` API this
+//! workspace uses: [`thread::scope`] + [`thread::Scope::spawn`] and
+//! [`queue::SegQueue`]. Built entirely on `std` (scoped threads landed in
+//! Rust 1.63), so no external dependency is needed.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's calling convention (the spawn
+    //! closure receives the scope, and `scope` returns a `Result` that is
+    //! `Err` when a child panicked).
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scoped-thread region: `Err` holds a child panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning further threads inside a scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// (crossbeam convention), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before returning. Returns `Err` with the
+    /// first panic payload if any child (or `f` itself) panicked.
+    pub fn scope<'env, F, T>(f: F) -> Result<T>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue. The real crate is lock-free; this shim
+    /// is a mutexed `VecDeque`, which is plenty for the coarse-grained
+    /// work-stealing in this workspace.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push to the back.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Pop from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// `true` iff no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns_value() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap_or(0)
+        })
+        .expect("no panic");
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn segqueue_fifo_across_threads() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        let drained = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut got = Vec::new();
+                        while let Some(v) = q.pop() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_default())
+                .collect::<Vec<i32>>()
+        })
+        .expect("no panic");
+        let mut sorted = drained;
+        sorted.sort();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+}

@@ -41,7 +41,9 @@ pub fn row(n: u32, load: f64) -> Row {
         Workload::new().with(TrafficClass::poisson(rho)),
     )
     .expect("valid model");
-    let exact = solve(&model, Algorithm::Auto).expect("solvable").blocking(0);
+    let exact = solve(&model, Algorithm::Auto)
+        .expect("solvable")
+        .blocking(0);
     let approx = reduced_load(&model).blocking(0);
     Row {
         n,

@@ -5,19 +5,31 @@ fn main() {
     println!("=== Figure 1 ===");
     let r = fig1::rows();
     write_csv("fig1.csv", &fig1::table(&r).to_csv()).unwrap();
-    let sparse: Vec<_> = r.iter().filter(|x| x.n.is_power_of_two()).cloned().collect();
+    let sparse: Vec<_> = r
+        .iter()
+        .filter(|x| x.n.is_power_of_two())
+        .cloned()
+        .collect();
     println!("{}", fig1::table(&sparse).to_text());
 
     println!("=== Figure 2 ===");
     let r = fig2::rows();
     write_csv("fig2.csv", &fig2::table(&r).to_csv()).unwrap();
-    let sparse: Vec<_> = r.iter().filter(|x| x.n.is_power_of_two()).cloned().collect();
+    let sparse: Vec<_> = r
+        .iter()
+        .filter(|x| x.n.is_power_of_two())
+        .cloned()
+        .collect();
     println!("{}", fig2::table(&sparse).to_text());
 
     println!("=== Figure 3 ===");
     let r = fig3::rows();
     write_csv("fig3.csv", &fig3::table(&r).to_csv()).unwrap();
-    let sparse: Vec<_> = r.iter().filter(|x| x.n.is_power_of_two()).cloned().collect();
+    let sparse: Vec<_> = r
+        .iter()
+        .filter(|x| x.n.is_power_of_two())
+        .cloned()
+        .collect();
     println!("{}", fig3::table(&sparse).to_text());
 
     println!("=== Figure 4 / Table 1 ===");

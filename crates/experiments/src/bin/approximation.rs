@@ -5,6 +5,7 @@ fn main() {
     let rows = approximation::rows();
     println!("Validation D — exact vs reduced-load (Erlang fixed-point)\n");
     println!("{}", approximation::table(&rows).to_text());
-    let path = write_csv("approximation.csv", &approximation::table(&rows).to_csv()).expect("write CSV");
+    let path =
+        write_csv("approximation.csv", &approximation::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
 }

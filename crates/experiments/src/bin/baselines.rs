@@ -3,8 +3,12 @@ use xbar_experiments::{compare_baselines, write_csv};
 
 fn main() {
     let rows = compare_baselines::rows(11);
-    println!("Validation C — crossbar vs slotted vs Omega MIN at N = {}\n", compare_baselines::N);
+    println!(
+        "Validation C — crossbar vs slotted vs Omega MIN at N = {}\n",
+        compare_baselines::N
+    );
     println!("{}", compare_baselines::table(&rows).to_text());
-    let path = write_csv("baselines.csv", &compare_baselines::table(&rows).to_csv()).expect("write CSV");
+    let path =
+        write_csv("baselines.csv", &compare_baselines::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
 }

@@ -5,9 +5,17 @@ fn main() {
     let rows = fig1::rows();
     let t = fig1::table(&rows);
     println!("Figure 1 — blocking vs N, smooth (Bernoulli) traffic");
-    println!("alpha_tilde = {}, mu = 1, beta_tilde in {:?}\n", fig1::ALPHA_TILDE, fig1::BETA_TILDES);
+    println!(
+        "alpha_tilde = {}, mu = 1, beta_tilde in {:?}\n",
+        fig1::ALPHA_TILDE,
+        fig1::BETA_TILDES
+    );
     // Print the sparse view (powers of two); full grid goes to CSV.
-    let sparse: Vec<_> = rows.iter().filter(|r| r.n.is_power_of_two()).cloned().collect();
+    let sparse: Vec<_> = rows
+        .iter()
+        .filter(|r| r.n.is_power_of_two())
+        .cloned()
+        .collect();
     println!("{}", fig1::table(&sparse).to_text());
     let path = write_csv("fig1.csv", &t.to_csv()).expect("write CSV");
     println!("full grid written to {}", path.display());

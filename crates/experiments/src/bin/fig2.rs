@@ -4,9 +4,17 @@ use xbar_experiments::{fig2, write_csv};
 fn main() {
     let rows = fig2::rows();
     println!("Figure 2 — blocking vs N, peaky (Pascal) traffic");
-    println!("alpha_tilde = {}, fixed-beta series {:?}, fixed-Z series {:?}\n",
-        xbar_experiments::fig1::ALPHA_TILDE, fig2::BETA_TILDES, fig2::Z_FACTORS);
-    let sparse: Vec<_> = rows.iter().filter(|r| r.n.is_power_of_two()).cloned().collect();
+    println!(
+        "alpha_tilde = {}, fixed-beta series {:?}, fixed-Z series {:?}\n",
+        xbar_experiments::fig1::ALPHA_TILDE,
+        fig2::BETA_TILDES,
+        fig2::Z_FACTORS
+    );
+    let sparse: Vec<_> = rows
+        .iter()
+        .filter(|r| r.n.is_power_of_two())
+        .cloned()
+        .collect();
     println!("{}", fig2::table(&sparse).to_text());
     let path = write_csv("fig2.csv", &fig2::table(&rows).to_csv()).expect("write CSV");
     println!("full grid written to {}", path.display());

@@ -4,8 +4,16 @@ use xbar_experiments::{fig3, write_csv};
 fn main() {
     let rows = fig3::rows();
     println!("Figure 3 — two classes (R1=1, R2=1) vs one class (R2=1)");
-    println!("alpha_tilde per class = {}, beta_tilde in {:?}\n", fig3::ALPHA_TILDE, fig3::BETA_TILDES);
-    let sparse: Vec<_> = rows.iter().filter(|r| r.n.is_power_of_two()).cloned().collect();
+    println!(
+        "alpha_tilde per class = {}, beta_tilde in {:?}\n",
+        fig3::ALPHA_TILDE,
+        fig3::BETA_TILDES
+    );
+    let sparse: Vec<_> = rows
+        .iter()
+        .filter(|r| r.n.is_power_of_two())
+        .cloned()
+        .collect();
     println!("{}", fig3::table(&sparse).to_text());
     let path = write_csv("fig3.csv", &fig3::table(&rows).to_csv()).expect("write CSV");
     println!("full grid written to {}", path.display());

@@ -3,7 +3,10 @@ use xbar_experiments::{fig4, write_csv};
 
 fn main() {
     let rows = fig4::rows();
-    println!("Figure 4 — a=1 vs a=2 Poisson traffic at total load tau = {}\n", fig4::TAU);
+    println!(
+        "Figure 4 — a=1 vs a=2 Poisson traffic at total load tau = {}\n",
+        fig4::TAU
+    );
     println!("{}", fig4::table(&rows).to_text());
     let path = write_csv("fig4.csv", &fig4::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());

@@ -3,7 +3,10 @@ use xbar_experiments::{hotspot_sweep, write_csv};
 
 fn main() {
     let rows = hotspot_sweep::rows(100_000.0, 33);
-    println!("Validation J — hot-spot traffic on a {0}x{0} crossbar\n", hotspot_sweep::N);
+    println!(
+        "Validation J — hot-spot traffic on a {0}x{0} crossbar\n",
+        hotspot_sweep::N
+    );
     println!("{}", hotspot_sweep::table(&rows).to_text());
     let path = write_csv("hotspot.csv", &hotspot_sweep::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());

@@ -5,6 +5,7 @@ fn main() {
     let rows = insensitivity::rows(200_000.0, 77);
     println!("Validation B — insensitivity to service distribution (mean fixed)\n");
     println!("{}", insensitivity::table(&rows).to_text());
-    let path = write_csv("insensitivity.csv", &insensitivity::table(&rows).to_csv()).expect("write CSV");
+    let path =
+        write_csv("insensitivity.csv", &insensitivity::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
 }

@@ -5,6 +5,7 @@ fn main() {
     let rows = min_analysis::rows(17);
     println!("Validation H — Omega MIN: simulation vs reduced-load fixed point vs crossbar\n");
     println!("{}", min_analysis::table(&rows).to_text());
-    let path = write_csv("min_analysis.csv", &min_analysis::table(&rows).to_csv()).expect("write CSV");
+    let path =
+        write_csv("min_analysis.csv", &min_analysis::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
 }

@@ -3,8 +3,12 @@ use xbar_experiments::{rectangular, write_csv};
 
 fn main() {
     let rows = rectangular::rows();
-    println!("Validation E — rectangular switches, N1 + N2 = {}\n", rectangular::PORT_BUDGET);
+    println!(
+        "Validation E — rectangular switches, N1 + N2 = {}\n",
+        rectangular::PORT_BUDGET
+    );
     println!("{}", rectangular::table(&rows).to_text());
-    let path = write_csv("rectangular.csv", &rectangular::table(&rows).to_csv()).expect("write CSV");
+    let path =
+        write_csv("rectangular.csv", &rectangular::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
 }

@@ -3,12 +3,22 @@ use xbar_experiments::{reservation, write_csv};
 
 fn main() {
     let rows = reservation::rows();
-    println!("Validation I — trunk reservation on a {0}x{0} switch\n", xbar_experiments::reservation::N);
+    println!(
+        "Validation I — trunk reservation on a {0}x{0} switch\n",
+        xbar_experiments::reservation::N
+    );
     println!("{}", reservation::table(&rows).to_text());
-    for mix in [xbar_experiments::reservation::Mix::Skewed, xbar_experiments::reservation::Mix::Balanced] {
+    for mix in [
+        xbar_experiments::reservation::Mix::Skewed,
+        xbar_experiments::reservation::Mix::Balanced,
+    ] {
         let best = reservation::best(&rows, mix);
-        println!("{mix:?}: revenue-optimal threshold = {} (W = {:.6})", best.threshold, best.revenue);
+        println!(
+            "{mix:?}: revenue-optimal threshold = {} (W = {:.6})",
+            best.threshold, best.revenue
+        );
     }
-    let path = write_csv("reservation.csv", &reservation::table(&rows).to_csv()).expect("write CSV");
+    let path =
+        write_csv("reservation.csv", &reservation::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
 }

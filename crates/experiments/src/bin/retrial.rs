@@ -3,7 +3,11 @@ use xbar_experiments::{retrial_impact, write_csv};
 
 fn main() {
     let rows = retrial_impact::rows(200_000.0, 7);
-    println!("Validation G — retrial impact at N = {}, rho = {}\n", retrial_impact::N, retrial_impact::RHO);
+    println!(
+        "Validation G — retrial impact at N = {}, rho = {}\n",
+        retrial_impact::N,
+        retrial_impact::RHO
+    );
     println!("{}", retrial_impact::table(&rows).to_text());
     let path = write_csv("retrial.csv", &retrial_impact::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());

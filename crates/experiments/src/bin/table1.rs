@@ -3,7 +3,10 @@ use xbar_experiments::{fig4, write_csv};
 
 fn main() {
     let rows = fig4::rows();
-    println!("Table 1 — input parameters, tau = {} (rho1 as printed: tau/(2N))\n", fig4::TAU);
+    println!(
+        "Table 1 — input parameters, tau = {} (rho1 as printed: tau/(2N))\n",
+        fig4::TAU
+    );
     println!("{}", fig4::table1(&rows).to_text());
     let path = write_csv("table1.csv", &fig4::table1(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());

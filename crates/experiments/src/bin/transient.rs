@@ -5,6 +5,7 @@ fn main() {
     let rows = transient_warmup::rows();
     println!("Validation F — transient availability from a cold start\n");
     println!("{}", transient_warmup::table(&rows).to_text());
-    let path = write_csv("transient.csv", &transient_warmup::table(&rows).to_csv()).expect("write CSV");
+    let path =
+        write_csv("transient.csv", &transient_warmup::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
 }

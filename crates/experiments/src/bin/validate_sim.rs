@@ -5,6 +5,7 @@ fn main() {
     let rows = validate_sim::rows(200_000.0, 2024);
     println!("Validation A — analytic vs simulation (95% CIs)\n");
     println!("{}", validate_sim::table(&rows).to_text());
-    let path = write_csv("validate_sim.csv", &validate_sim::table(&rows).to_csv()).expect("write CSV");
+    let path =
+        write_csv("validate_sim.csv", &validate_sim::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
 }

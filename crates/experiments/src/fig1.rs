@@ -39,7 +39,9 @@ pub struct Row {
 pub fn blocking_at(n: u32, beta_tilde: f64) -> f64 {
     let workload = Workload::from_tilde(&[TildeClass::bpp(ALPHA_TILDE, beta_tilde, 1.0)], n);
     let model = Model::new(Dims::square(n), workload).expect("valid Fig 1 model");
-    solve(&model, Algorithm::Auto).expect("solvable").blocking(0)
+    solve(&model, Algorithm::Auto)
+        .expect("solvable")
+        .blocking(0)
 }
 
 /// All points: every `N ∈ 1..=128` for each `β̃`.

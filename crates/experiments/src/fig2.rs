@@ -56,7 +56,9 @@ pub struct Row {
 pub fn blocking_fixed_beta(n: u32, beta_tilde: f64) -> f64 {
     let workload = Workload::from_tilde(&[TildeClass::bpp(ALPHA_TILDE, beta_tilde, 1.0)], n);
     let model = Model::new(Dims::square(n), workload).expect("valid Fig 2 model");
-    solve(&model, Algorithm::Auto).expect("solvable").blocking(0)
+    solve(&model, Algorithm::Auto)
+        .expect("solvable")
+        .blocking(0)
 }
 
 /// Blocking for the fixed-`Z` series at one cell: per-pair
@@ -64,9 +66,11 @@ pub fn blocking_fixed_beta(n: u32, beta_tilde: f64) -> f64 {
 pub fn blocking_fixed_z(n: u32, z: f64) -> f64 {
     let beta = 1.0 - 1.0 / z; // mu = 1
     let class = TrafficClass::bpp(ALPHA_TILDE / n as f64, beta, 1.0);
-    let model = Model::new(Dims::square(n), Workload::new().with(class))
-        .expect("valid fixed-Z model");
-    solve(&model, Algorithm::Auto).expect("solvable").blocking(0)
+    let model =
+        Model::new(Dims::square(n), Workload::new().with(class)).expect("valid fixed-Z model");
+    solve(&model, Algorithm::Auto)
+        .expect("solvable")
+        .blocking(0)
 }
 
 /// All points of both series, every `N ∈ 1..=128`.
@@ -162,7 +166,12 @@ mod tests {
             let p = blocking_fixed_beta(n, 0.0);
             (blocking_fixed_beta(n, 2.4e-3) - p) / p
         };
-        assert!(rel_gap(64) > rel_gap(4), "{} vs {}", rel_gap(64), rel_gap(4));
+        assert!(
+            rel_gap(64) > rel_gap(4),
+            "{} vs {}",
+            rel_gap(64),
+            rel_gap(4)
+        );
     }
 
     #[test]

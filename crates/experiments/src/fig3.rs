@@ -47,9 +47,11 @@ pub fn blocking_at(mixed: bool, n: u32, beta_tilde: f64) -> f64 {
     if mixed {
         tilde.push(TildeClass::poisson(ALPHA_TILDE));
     }
-    let model = Model::new(Dims::square(n), Workload::from_tilde(&tilde, n))
-        .expect("valid Fig 3 model");
-    solve(&model, Algorithm::Auto).expect("solvable").blocking(0)
+    let model =
+        Model::new(Dims::square(n), Workload::from_tilde(&tilde, n)).expect("valid Fig 3 model");
+    solve(&model, Algorithm::Auto)
+        .expect("solvable")
+        .blocking(0)
 }
 
 /// All points.
@@ -109,9 +111,7 @@ mod tests {
         // nearly unchanged (so the percentage-point change is the same,
         // while the relative change halves).
         for &n in &[16u32, 64, 128] {
-            let delta = |mixed: bool| {
-                blocking_at(mixed, n, 1.2e-3) - blocking_at(mixed, n, 0.0)
-            };
+            let delta = |mixed: bool| blocking_at(mixed, n, 1.2e-3) - blocking_at(mixed, n, 0.0);
             let (ds, dm) = (delta(false), delta(true));
             assert!(
                 (ds - dm).abs() <= 0.20 * ds.abs().max(dm.abs()),

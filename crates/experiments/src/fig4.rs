@@ -42,19 +42,18 @@ pub struct Row {
 
 /// The printed Table 1 loads for a given `N`.
 pub fn table1_loads(n: u32) -> (f64, f64) {
-    (
-        TAU / (2.0 * n as f64),
-        TAU / binomial(n as u64, 2),
-    )
+    (TAU / (2.0 * n as f64), TAU / binomial(n as u64, 2))
 }
 
 /// Blocking of a single class with bandwidth `a` and aggregated load
 /// `ρ̃` on an `N × N` switch.
 pub fn blocking_single_class(n: u32, a: u32, rho_tilde: f64) -> f64 {
     let tilde = TildeClass::poisson(rho_tilde).with_bandwidth(a);
-    let model = Model::new(Dims::square(n), Workload::from_tilde(&[tilde], n))
-        .expect("valid Fig 4 model");
-    solve(&model, Algorithm::Auto).expect("solvable").blocking(0)
+    let model =
+        Model::new(Dims::square(n), Workload::from_tilde(&[tilde], n)).expect("valid Fig 4 model");
+    solve(&model, Algorithm::Auto)
+        .expect("solvable")
+        .blocking(0)
 }
 
 /// All rows.

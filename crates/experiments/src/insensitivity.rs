@@ -26,10 +26,28 @@ pub fn menu() -> Vec<(&'static str, ServiceDist)> {
         ("exponential", ServiceDist::Exponential { mean: 1.0 }),
         ("deterministic", ServiceDist::Deterministic { mean: 1.0 }),
         ("erlang-4", ServiceDist::Erlang { mean: 1.0, k: 4 }),
-        ("hyperexp-cv4", ServiceDist::HyperExp { mean: 1.0, cv2: 4.0 }),
+        (
+            "hyperexp-cv4",
+            ServiceDist::HyperExp {
+                mean: 1.0,
+                cv2: 4.0,
+            },
+        ),
         ("uniform", ServiceDist::Uniform { mean: 1.0 }),
-        ("lognormal-cv2", ServiceDist::LogNormal { mean: 1.0, cv2: 2.0 }),
-        ("pareto-2.5", ServiceDist::Pareto { mean: 1.0, shape: 2.5 }),
+        (
+            "lognormal-cv2",
+            ServiceDist::LogNormal {
+                mean: 1.0,
+                cv2: 2.0,
+            },
+        ),
+        (
+            "pareto-2.5",
+            ServiceDist::Pareto {
+                mean: 1.0,
+                shape: 2.5,
+            },
+        ),
     ]
 }
 

@@ -132,9 +132,7 @@ pub fn solve_cell(set: ParamSet, n: u32) -> Solution {
     let nf = n as f64;
     let workload = Workload::new()
         .with(TrafficClass::poisson(set.rho1_tilde / nf).with_weight(W1))
-        .with(
-            TrafficClass::bpp(set.rho2_tilde / nf, set.beta2_tilde / nf, 1.0).with_weight(W2),
-        );
+        .with(TrafficClass::bpp(set.rho2_tilde / nf, set.beta2_tilde / nf, 1.0).with_weight(W2));
     let model = Model::new(Dims::square(n), workload).expect("valid Table 2 model");
     solve(&model, Algorithm::Alg1Ext).expect("solvable")
 }
@@ -154,10 +152,7 @@ pub fn row(set: ParamSet, n: u32) -> Row {
 
 /// All rows for all three sets.
 pub fn rows() -> Vec<Row> {
-    let cells: Vec<(ParamSet, u32)> = SETS
-        .iter()
-        .flat_map(|&s| NS.map(move |n| (s, n)))
-        .collect();
+    let cells: Vec<(ParamSet, u32)> = SETS.iter().flat_map(|&s| NS.map(move |n| (s, n))).collect();
     par_map(cells, |(s, n)| row(s, n))
 }
 
@@ -208,7 +203,12 @@ mod tests {
         for &set in &SETS {
             let r = row(set, 1);
             let (pg, _, pblk, pw) = paper_row(set.label, 1);
-            assert!(rel(r.revenue, pw) < 3e-5, "{}: W {} vs {pw}", set.label, r.revenue);
+            assert!(
+                rel(r.revenue, pw) < 3e-5,
+                "{}: W {} vs {pw}",
+                set.label,
+                r.revenue
+            );
             assert!(
                 (r.blocking - pblk).abs() < 1e-7,
                 "{}: blocking {} vs {pblk}",
@@ -229,7 +229,11 @@ mod tests {
             for &n in &[2u32, 8, 64, 256] {
                 let r = row(set, n);
                 let (_, _, _, pw) = paper_row(set.label, n);
-                let bound = if set.label == "set2" && n == 256 { 1.5e-2 } else { 2e-3 };
+                let bound = if set.label == "set2" && n == 256 {
+                    1.5e-2
+                } else {
+                    2e-3
+                };
                 assert!(
                     rel(r.revenue, pw) < bound,
                     "{} N={n}: W {} vs paper {pw}",

@@ -63,11 +63,8 @@ pub struct Row {
 /// Compute all rows.
 pub fn rows() -> Vec<Row> {
     par_map(scenarios(), |sc| {
-        let model = Model::new(
-            Dims::square(sc.n),
-            Workload::new().with(sc.class.clone()),
-        )
-        .expect("valid scenario");
+        let model = Model::new(Dims::square(sc.n), Workload::new().with(sc.class.clone()))
+            .expect("valid scenario");
         let tr = Transient::new(&model);
         let availability = TIMES.iter().map(|&t| tr.availability_at(t, 0)).collect();
         let stationary = solve(&model, Algorithm::Auto).unwrap().nonblocking(0);

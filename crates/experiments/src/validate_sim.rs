@@ -74,11 +74,8 @@ pub struct Row {
 /// Run all scenarios. `duration` is the measured sim-time per scenario.
 pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
     par_map(scenarios(), move |sc| {
-        let model = Model::new(
-            Dims::square(sc.n),
-            Workload::new().with(sc.class.clone()),
-        )
-        .expect("valid scenario");
+        let model = Model::new(Dims::square(sc.n), Workload::new().with(sc.class.clone()))
+            .expect("valid scenario");
         let sol = solve(&model, Algorithm::Auto).expect("solvable");
 
         let cfg = SimConfig::new(sc.n, sc.n).with_exp_class(sc.class.clone());
@@ -89,9 +86,7 @@ pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
             batches: 20,
         });
         let c = &rep.classes[0];
-        let agrees = c
-            .availability
-            .covers_with_slack(sol.nonblocking(0), 0.01)
+        let agrees = c.availability.covers_with_slack(sol.nonblocking(0), 0.01)
             && c.concurrency
                 .covers_with_slack(sol.concurrency(0), 0.02 * (1.0 + sol.concurrency(0)));
         Row {

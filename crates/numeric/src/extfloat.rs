@@ -360,11 +360,7 @@ impl PartialOrd for ExtFloat {
         };
         // For negatives with differing exponents the mantissa comparison is
         // already handled above; exponent ordering was flipped.
-        Some(if sa > 0 || self.e == other.e {
-            ord
-        } else {
-            ord
-        })
+        Some(ord)
     }
 }
 
@@ -435,7 +431,7 @@ mod tests {
         // Compute 1/500! step by step — raw value ~ 1e-1134, far below f64.
         let mut q = ExtFloat::ONE;
         for n in 1..=500u64 {
-            q = q / ExtFloat::from_f64(n as f64);
+            q /= ExtFloat::from_f64(n as f64);
         }
         // ln(1/500!) = -ln_gamma(501)
         let expect = -crate::special::ln_gamma(501.0);
@@ -450,10 +446,10 @@ mod tests {
         let mut a = ExtFloat::ONE;
         let mut b = ExtFloat::ONE;
         for n in 1..=300u64 {
-            a = a / ExtFloat::from_f64(n as f64);
-            b = b / ExtFloat::from_f64(n as f64);
+            a /= ExtFloat::from_f64(n as f64);
+            b /= ExtFloat::from_f64(n as f64);
         }
-        b = b / ExtFloat::from_f64(301.0);
+        b /= ExtFloat::from_f64(301.0);
         close(a.ratio(b), 301.0, 1e-13);
     }
 
@@ -502,7 +498,7 @@ mod tests {
     fn display_uses_decimal_exponent() {
         let mut q = ExtFloat::ONE;
         for n in 1..=300u64 {
-            q = q / ExtFloat::from_f64(n as f64);
+            q /= ExtFloat::from_f64(n as f64);
         }
         let s = format!("{q}");
         assert!(s.contains('e'), "{s}");

@@ -16,16 +16,23 @@
 //!   other backends.
 //!
 //! It also provides compensated summation ([`sum`]), exact and floating
-//! combinatorics ([`special`]), and finite-difference helpers ([`diff`]) used
-//! for the paper's numerically-approximated revenue gradients (§4).
+//! combinatorics ([`special`]), finite-difference helpers ([`diff`]) used
+//! for the paper's numerically-approximated revenue gradients (§4), and
+//! numeric guards ([`guard`]) that classify the characteristic failure
+//! modes of fixed-precision backends (underflow, `NaN` ratios, probability
+//! drift) for the resilient solve pipeline.
 
 pub mod diff;
 pub mod extfloat;
+pub mod guard;
 pub mod special;
 pub mod sum;
 
 pub use diff::{central_diff, forward_diff};
 pub use extfloat::ExtFloat;
+pub use guard::{
+    checked_nonneg, checked_prob, finite_or_err, relative_gap, within_rel, GuardError,
+};
 pub use special::{
     binomial, binomial_exact, binomial_real, falling_factorial, ln_binomial, ln_factorial,
     ln_gamma, ln_permutation, permutation, permutation_exact,

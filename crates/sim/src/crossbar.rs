@@ -1,14 +1,16 @@
 //! The asynchronous crossbar discrete-event simulator.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use xbar_numeric::permutation;
-use xbar_traffic::TrafficClass;
+use xbar_traffic::{TrafficClass, TrafficError};
 
 use crate::events::{Calendar, EventKind};
+use crate::faults::{FaultConfig, FaultLayer, FaultReport, Side};
 use crate::service::{sample_exp, ServiceDist};
 use crate::stats::{BatchMeans, Estimate};
 
@@ -24,6 +26,8 @@ pub struct SimConfig {
     /// the *rate* bookkeeping; the distribution's mean should equal `1/μ`
     /// (checked at construction).
     pub classes: Vec<(TrafficClass, ServiceDist)>,
+    /// Port-failure injection (off by default; see [`FaultConfig`]).
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -33,6 +37,7 @@ impl SimConfig {
             n1,
             n2,
             classes: Vec::new(),
+            faults: FaultConfig::none(),
         }
     }
 
@@ -47,7 +52,88 @@ impl SimConfig {
         let mu = class.mu;
         self.with_class(class, ServiceDist::exponential(mu))
     }
+
+    /// Enable port-failure injection (builder style).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
 }
+
+/// Why a simulator could not be constructed from a [`SimConfig`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// `n1` or `n2` is zero.
+    NoPorts,
+    /// The config has no traffic classes.
+    NoClasses,
+    /// A class failed BPP validation for this geometry.
+    InvalidClass {
+        /// Index of the offending class in config order.
+        index: usize,
+        /// The underlying validation failure.
+        source: TrafficError,
+    },
+    /// A class's bandwidth exceeds `min(n1, n2)`.
+    BandwidthExceedsSwitch {
+        /// Index of the offending class in config order.
+        index: usize,
+    },
+    /// A service distribution's mean disagrees with the class's `1/μ`.
+    ServiceMeanMismatch {
+        /// Index of the offending class in config order.
+        index: usize,
+        /// The distribution's mean.
+        got: f64,
+        /// The class's `1/μ`.
+        want: f64,
+    },
+    /// A fault rate is negative or non-finite.
+    BadFaultRate {
+        /// Which rate (`"fail_rate"` / `"repair_rate"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// More static port failures than ports on that side.
+    TooManyFailedPorts {
+        /// Which side overflows.
+        side: Side,
+        /// Statically failed ports requested.
+        requested: u32,
+        /// Ports available on that side.
+        available: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoPorts => write!(f, "switch must have at least one input and one output"),
+            SimError::NoClasses => write!(f, "need at least one traffic class"),
+            SimError::InvalidClass { index, source } => write!(f, "class {index}: {source}"),
+            SimError::BandwidthExceedsSwitch { index } => {
+                write!(f, "class {index}: bandwidth exceeds switch")
+            }
+            SimError::ServiceMeanMismatch { index, got, want } => {
+                write!(f, "class {index}: service mean {got} != 1/mu = {want}")
+            }
+            SimError::BadFaultRate { what, value } => {
+                write!(f, "fault {what} must be finite and >= 0, got {value}")
+            }
+            SimError::TooManyFailedPorts {
+                side,
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot statically fail {requested} {side:?} ports of {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Run-length parameters.
 #[derive(Clone, Copy, Debug)]
@@ -77,15 +163,23 @@ pub struct ClassReport {
     pub offered: u64,
     /// Requests that found all their ports idle.
     pub accepted: u64,
-    /// Requests cleared.
+    /// Requests cleared (congestion *and* fault blocking).
     pub blocked: u64,
+    /// Requests cleared solely because their drawn tuple touched a failed
+    /// port (a subset of `blocked`; always `0` without fault injection).
+    pub fault_blocked: u64,
     /// Call-level blocking ratio (blocked/offered) with CI.
     pub blocking: Estimate,
+    /// Blocking ratio among *viable* requests — those whose drawn tuple
+    /// avoided every failed port. Equals `blocking` without fault
+    /// injection; with static failures it matches the blocking of the
+    /// shrunken `(N1−f1) × (N2−f2)` crossbar.
+    pub viable_blocking: Estimate,
     /// Time-average number of connections in progress with CI.
     pub concurrency: Estimate,
     /// Time-average probability that a uniformly-chosen port tuple for this
-    /// class is entirely idle — the simulation analogue of the paper's
-    /// `B_r` (eq. 4), with CI.
+    /// class is entirely idle *and working* — the simulation analogue of
+    /// the paper's `B_r` (eq. 4), with CI.
     pub availability: Estimate,
 }
 
@@ -103,6 +197,8 @@ pub struct SimReport {
     /// Time-weighted distribution of the total port occupancy `k·A`
     /// (index = busy input count), normalised.
     pub occupancy: Vec<f64>,
+    /// Fault statistics — `Some` iff fault injection was enabled.
+    pub faults: Option<FaultReport>,
 }
 
 struct LiveConn {
@@ -116,8 +212,9 @@ struct LiveConn {
 struct ClassBatch {
     offered: u64,
     blocked: u64,
-    k_time: f64,    // ∫ k_r dt
-    avail_time: f64, // ∫ P(tuple idle) dt
+    fault_blocked: u64,
+    k_time: f64,     // ∫ k_r dt
+    avail_time: f64, // ∫ P(tuple idle ∧ working) dt
 }
 
 /// The simulator.
@@ -137,32 +234,66 @@ pub struct CrossbarSim {
     /// `P(N1,a_r)·P(N2,a_r)` per class: the ordered-tuple count the
     /// aggregate arrival rate is proportional to (see crate docs).
     tuple_count: Vec<f64>,
+    faults: FaultLayer,
+    /// Circuits torn down by port failures (whole run, incl. warmup).
+    torn_down: u64,
 }
 
 impl CrossbarSim {
     /// Build a simulator from a config and an RNG seed.
     ///
     /// # Panics
-    /// Panics if a class is invalid for the geometry or a service
-    /// distribution's mean disagrees with the class's `1/μ`.
+    /// Panics if the config is invalid (see [`CrossbarSim::try_new`] for
+    /// the panic-free variant and [`SimError`] for the cases).
     pub fn new(cfg: SimConfig, seed: u64) -> Self {
-        assert!(cfg.n1 >= 1 && cfg.n2 >= 1, "switch must have ports");
-        assert!(!cfg.classes.is_empty(), "need at least one class");
+        Self::try_new(cfg, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a simulator from a config and an RNG seed, rejecting invalid
+    /// configs with a typed error instead of panicking.
+    pub fn try_new(cfg: SimConfig, seed: u64) -> Result<Self, SimError> {
+        if cfg.n1 < 1 || cfg.n2 < 1 {
+            return Err(SimError::NoPorts);
+        }
+        if cfg.classes.is_empty() {
+            return Err(SimError::NoClasses);
+        }
         let max_n = cfg.n1.max(cfg.n2);
-        for (i, (class, service)) in cfg.classes.iter().enumerate() {
+        for (index, (class, service)) in cfg.classes.iter().enumerate() {
             class
                 .validate(max_n)
-                .unwrap_or_else(|e| panic!("class {i}: {e}"));
-            assert!(
-                class.bandwidth <= cfg.n1.min(cfg.n2),
-                "class {i}: bandwidth exceeds switch"
-            );
+                .map_err(|source| SimError::InvalidClass { index, source })?;
+            if class.bandwidth > cfg.n1.min(cfg.n2) {
+                return Err(SimError::BandwidthExceedsSwitch { index });
+            }
             let want = 1.0 / class.mu;
-            assert!(
-                (service.mean() - want).abs() <= 1e-9 * want,
-                "class {i}: service mean {} != 1/mu = {want}",
-                service.mean()
-            );
+            if (service.mean() - want).abs() > 1e-9 * want {
+                return Err(SimError::ServiceMeanMismatch {
+                    index,
+                    got: service.mean(),
+                    want,
+                });
+            }
+        }
+        for (what, value) in [
+            ("fail_rate", cfg.faults.fail_rate),
+            ("repair_rate", cfg.faults.repair_rate),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(SimError::BadFaultRate { what, value });
+            }
+        }
+        for (side, requested, available) in [
+            (Side::Input, cfg.faults.fail_inputs, cfg.n1),
+            (Side::Output, cfg.faults.fail_outputs, cfg.n2),
+        ] {
+            if requested > available {
+                return Err(SimError::TooManyFailedPorts {
+                    side,
+                    requested,
+                    available,
+                });
+            }
         }
         let tuple_count = cfg
             .classes
@@ -173,7 +304,7 @@ impl CrossbarSim {
             })
             .collect();
         let r = cfg.classes.len();
-        CrossbarSim {
+        Ok(CrossbarSim {
             busy_in: vec![false; cfg.n1 as usize],
             busy_out: vec![false; cfg.n2 as usize],
             occupancy: 0,
@@ -184,8 +315,10 @@ impl CrossbarSim {
             rng: StdRng::seed_from_u64(seed),
             now: 0.0,
             tuple_count,
+            faults: FaultLayer::new(cfg.faults.clone(), cfg.n1, cfg.n2),
+            torn_down: 0,
             cfg,
-        }
+        })
     }
 
     /// Current per-class connection counts (diagnostic).
@@ -198,23 +331,32 @@ impl CrossbarSim {
         self.tuple_count[r] * self.cfg.classes[r].0.lambda(self.k[r])
     }
 
-    /// Probability a uniformly-chosen class-`r` port tuple is fully idle in
-    /// the current state.
+    /// Probability a uniformly-chosen class-`r` port tuple is fully idle
+    /// *and working* in the current state. Busy and failed port sets are
+    /// disjoint (a failing port's circuit is torn down), so the free count
+    /// subtracts both.
     fn availability(&self, r: usize) -> f64 {
         let a = self.cfg.classes[r].0.bandwidth as u64;
-        let free1 = (self.cfg.n1 - self.occupancy) as u64;
-        let free2 = (self.cfg.n2 - self.occupancy) as u64;
+        let free1 = (self.cfg.n1 - self.occupancy - self.faults.failed_in_count) as u64;
+        let free2 = (self.cfg.n2 - self.occupancy - self.faults.failed_out_count) as u64;
         permutation(free1, a) * permutation(free2, a) / self.tuple_count[r]
     }
 
     /// Draw `count` distinct indices in `0..n`, reporting whether all were
-    /// idle in `busy`.
-    fn draw_ports(rng: &mut StdRng, busy: &[bool], count: u32) -> (Vec<u32>, bool) {
+    /// idle in `busy` and whether all were working per `failed`. The
+    /// drawing consumes the same RNG stream regardless of fault state.
+    fn draw_ports(
+        rng: &mut StdRng,
+        busy: &[bool],
+        failed: &[bool],
+        count: u32,
+    ) -> (Vec<u32>, bool, bool) {
         let n = busy.len();
         // Partial Fisher–Yates over a scratch index list is O(n); for the
         // small port counts here that is cheaper than fancier sampling.
         let mut picked = Vec::with_capacity(count as usize);
         let mut all_free = true;
+        let mut all_working = true;
         while picked.len() < count as usize {
             let cand = rng.gen_range(0..n) as u32;
             if picked.contains(&cand) {
@@ -223,9 +365,12 @@ impl CrossbarSim {
             if busy[cand as usize] {
                 all_free = false;
             }
+            if failed[cand as usize] {
+                all_working = false;
+            }
             picked.push(cand);
         }
-        (picked, all_free)
+        (picked, all_free, all_working)
     }
 
     /// Run for `run.warmup + run.duration` sim-time and report measures
@@ -245,14 +390,19 @@ impl CrossbarSim {
             vec![vec![ClassBatch::default(); r_count]; run.batches];
         let mut occupancy_time = vec![0.0f64; self.cfg.n1.min(self.cfg.n2) as usize + 1];
         let mut events = 0u64;
+        // Fault accounting: window-only deltas via snapshots, plus
+        // time-integrals of the failed-port counts.
+        let failures0 = self.faults.failures;
+        let repairs0 = self.faults.repairs;
+        let torn_down0 = self.torn_down;
+        let mut failed_in_time = 0.0f64;
+        let mut failed_out_time = 0.0f64;
 
         // The recorder distributes elapsed time (and counts) into batches;
         // state snapshots arrive through the callback argument so the
         // closure doesn't alias `self`.
         let end = t0 + run.duration;
-        let batch_of = |t: f64| -> usize {
-            (((t - t0) / batch_len) as usize).min(run.batches - 1)
-        };
+        let batch_of = |t: f64| -> usize { (((t - t0) / batch_len) as usize).min(run.batches - 1) };
 
         self.advance_until(end, &mut |rec: Record| match rec {
             Record::Elapse {
@@ -261,7 +411,11 @@ impl CrossbarSim {
                 k,
                 avail,
                 occ,
+                failed_in,
+                failed_out,
             } => {
+                failed_in_time += failed_in as f64 * (to - from);
+                failed_out_time += failed_out as f64 * (to - from);
                 // Split [from, to) across batch boundaries.
                 let mut cur = from;
                 while cur < to {
@@ -276,11 +430,19 @@ impl CrossbarSim {
                     cur = stop;
                 }
             }
-            Record::Offered { class, at, blocked } => {
+            Record::Offered {
+                class,
+                at,
+                blocked,
+                fault_blocked,
+            } => {
                 let b = batch_of(at);
                 batches[b][class].offered += 1;
                 if blocked {
                     batches[b][class].blocked += 1;
+                }
+                if fault_blocked {
+                    batches[b][class].fault_blocked += 1;
                 }
             }
             Record::Event => events += 1,
@@ -289,29 +451,40 @@ impl CrossbarSim {
         // Aggregate.
         let mut classes = Vec::with_capacity(r_count);
         let mut revenue = 0.0;
+        let mut fault_blocked_total = 0u64;
         for r in 0..r_count {
             let mut offered = 0u64;
             let mut blocked = 0u64;
+            let mut fault_blocked = 0u64;
             let mut blocking_batches = Vec::new();
+            let mut viable_batches = Vec::new();
             let mut conc_batches = Vec::new();
             let mut avail_batches = Vec::new();
             for b in batches.iter() {
                 let cb = &b[r];
                 offered += cb.offered;
                 blocked += cb.blocked;
+                fault_blocked += cb.fault_blocked;
                 if cb.offered > 0 {
                     blocking_batches.push(cb.blocked as f64 / cb.offered as f64);
+                }
+                let viable = cb.offered - cb.fault_blocked;
+                if viable > 0 {
+                    viable_batches.push((cb.blocked - cb.fault_blocked) as f64 / viable as f64);
                 }
                 conc_batches.push(cb.k_time / batch_len);
                 avail_batches.push(cb.avail_time / batch_len);
             }
+            fault_blocked_total += fault_blocked;
             let concurrency = BatchMeans::from_batches(conc_batches).estimate();
             revenue += self.cfg.classes[r].0.weight * concurrency.mean;
             classes.push(ClassReport {
                 offered,
                 accepted: offered - blocked,
                 blocked,
+                fault_blocked,
                 blocking: BatchMeans::from_batches(blocking_batches).estimate(),
+                viable_blocking: BatchMeans::from_batches(viable_batches).estimate(),
                 concurrency,
                 availability: BatchMeans::from_batches(avail_batches).estimate(),
             });
@@ -319,12 +492,47 @@ impl CrossbarSim {
         let total_occ: f64 = occupancy_time.iter().sum();
         let occupancy = occupancy_time.iter().map(|t| t / total_occ).collect();
 
+        let faults = self.faults.enabled().then(|| FaultReport {
+            failures: self.faults.failures - failures0,
+            repairs: self.faults.repairs - repairs0,
+            torn_down: self.torn_down - torn_down0,
+            fault_blocked: fault_blocked_total,
+            mean_failed_inputs: failed_in_time / run.duration,
+            mean_failed_outputs: failed_out_time / run.duration,
+        });
+
         SimReport {
             duration: run.duration,
             events,
             classes,
             revenue,
             occupancy,
+            faults,
+        }
+    }
+
+    /// Tear down the (at most one — ports are held exclusively) live
+    /// circuit occupying the just-failed port. Its scheduled departure
+    /// stays in the calendar as a stale entry the event loop skips.
+    fn tear_down_port(&mut self, side: Side, port: u32) {
+        let victim = self.live.iter().find_map(|(&id, conn)| {
+            let ports = match side {
+                Side::Input => &conn.inputs,
+                Side::Output => &conn.outputs,
+            };
+            ports.contains(&port).then_some(id)
+        });
+        if let Some(id) = victim {
+            let conn = self.live.remove(&id).expect("id came from live");
+            for &i in &conn.inputs {
+                self.busy_in[i as usize] = false;
+            }
+            for &o in &conn.outputs {
+                self.busy_out[o as usize] = false;
+            }
+            self.occupancy -= self.cfg.classes[conn.class].0.bandwidth;
+            self.k[conn.class] -= 1;
+            self.torn_down += 1;
         }
     }
 
@@ -347,8 +555,22 @@ impl CrossbarSim {
             } else {
                 f64::INFINITY
             };
+            // Candidate next fault transition — same resampling argument
+            // (the fail/repair clocks are exponential too). The branch is
+            // guarded by `dynamic()` so fault-free runs consume the exact
+            // same RNG stream as before the fault layer existed.
+            let t_fault = if self.faults.dynamic() {
+                let rate = self.faults.transition_rate();
+                if rate > 0.0 {
+                    self.now + sample_exp(&mut self.rng, 1.0 / rate)
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                f64::INFINITY
+            };
             let t_departure = self.cal.peek_time().unwrap_or(f64::INFINITY);
-            let t_next = t_arrival.min(t_departure).min(end);
+            let t_next = t_arrival.min(t_departure).min(t_fault).min(end);
 
             // Record the elapsed interval in the *current* state.
             let avail: Vec<f64> = (0..r_count).map(|r| self.availability(r)).collect();
@@ -358,6 +580,8 @@ impl CrossbarSim {
                 k: self.k.clone(),
                 avail,
                 occ: self.occupancy,
+                failed_in: self.faults.failed_in_count,
+                failed_out: self.faults.failed_out_count,
             });
 
             if t_next >= end {
@@ -367,20 +591,28 @@ impl CrossbarSim {
             self.now = t_next;
             record(Record::Event);
 
-            if t_departure <= t_arrival {
-                // Departure.
+            if t_fault < t_departure && t_fault < t_arrival {
+                // Port fail/repair transition.
+                let tr = self.faults.sample_transition(&mut self.rng);
+                if tr.is_failure {
+                    self.tear_down_port(tr.side, tr.port);
+                }
+            } else if t_departure <= t_arrival {
+                // Departure. A circuit torn down by a port failure leaves
+                // its departure behind as a stale calendar entry — skip it.
                 let ev = self.cal.pop().expect("peeked");
                 let EventKind::Departure { class, connection } = ev.kind;
-                let conn = self.live.remove(&connection).expect("live connection");
-                debug_assert_eq!(conn.class, class);
-                for &i in &conn.inputs {
-                    self.busy_in[i as usize] = false;
+                if let Some(conn) = self.live.remove(&connection) {
+                    debug_assert_eq!(conn.class, class);
+                    for &i in &conn.inputs {
+                        self.busy_in[i as usize] = false;
+                    }
+                    for &o in &conn.outputs {
+                        self.busy_out[o as usize] = false;
+                    }
+                    self.occupancy -= self.cfg.classes[class].0.bandwidth;
+                    self.k[class] -= 1;
                 }
-                for &o in &conn.outputs {
-                    self.busy_out[o as usize] = false;
-                }
-                self.occupancy -= self.cfg.classes[class].0.bandwidth;
-                self.k[class] -= 1;
             } else {
                 // Arrival: pick the class proportional to its rate.
                 let mut pick = self.rng.gen::<f64>() * total_rate;
@@ -393,13 +625,17 @@ impl CrossbarSim {
                     pick -= rate;
                 }
                 let a = self.cfg.classes[class].0.bandwidth;
-                let (inputs, in_free) = Self::draw_ports(&mut self.rng, &self.busy_in, a);
-                let (outputs, out_free) = Self::draw_ports(&mut self.rng, &self.busy_out, a);
-                let accepted = in_free && out_free;
+                let (inputs, in_free, in_working) =
+                    Self::draw_ports(&mut self.rng, &self.busy_in, &self.faults.failed_in, a);
+                let (outputs, out_free, out_working) =
+                    Self::draw_ports(&mut self.rng, &self.busy_out, &self.faults.failed_out, a);
+                let working = in_working && out_working;
+                let accepted = in_free && out_free && working;
                 record(Record::Offered {
                     class,
                     at: self.now,
                     blocked: !accepted,
+                    fault_blocked: !working,
                 });
                 if accepted {
                     for &i in &inputs {
@@ -445,11 +681,14 @@ mod record {
             k: Vec<u64>,
             avail: Vec<f64>,
             occ: u32,
+            failed_in: u32,
+            failed_out: u32,
         },
         Offered {
             class: usize,
             at: f64,
             blocked: bool,
+            fault_blocked: bool,
         },
         Event,
     }
@@ -537,8 +776,8 @@ mod tests {
 
     #[test]
     fn multirate_class_occupies_multiple_ports() {
-        let cfg = SimConfig::new(4, 4)
-            .with_exp_class(TrafficClass::poisson(0.05).with_bandwidth(2));
+        let cfg =
+            SimConfig::new(4, 4).with_exp_class(TrafficClass::poisson(0.05).with_bandwidth(2));
         let mut sim = CrossbarSim::new(cfg, 5);
         let rep = sim.run(RunConfig {
             warmup: 10.0,
@@ -563,9 +802,191 @@ mod tests {
     #[test]
     #[should_panic(expected = "bandwidth exceeds switch")]
     fn rejects_oversized_bandwidth() {
-        let cfg = SimConfig::new(2, 2)
-            .with_exp_class(TrafficClass::poisson(0.1).with_bandwidth(3));
+        let cfg = SimConfig::new(2, 2).with_exp_class(TrafficClass::poisson(0.1).with_bandwidth(3));
         let _ = CrossbarSim::new(cfg, 0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_with_typed_errors() {
+        let base = || poisson_cfg(4, 0.1);
+        assert_eq!(
+            CrossbarSim::try_new(SimConfig::new(0, 4), 0).err(),
+            Some(SimError::NoPorts)
+        );
+        assert_eq!(
+            CrossbarSim::try_new(SimConfig::new(4, 4), 0).err(),
+            Some(SimError::NoClasses)
+        );
+        assert_eq!(
+            CrossbarSim::try_new(
+                base().with_faults(FaultConfig {
+                    fail_rate: -1.0,
+                    ..FaultConfig::none()
+                }),
+                0
+            )
+            .err(),
+            Some(SimError::BadFaultRate {
+                what: "fail_rate",
+                value: -1.0
+            })
+        );
+        assert_eq!(
+            CrossbarSim::try_new(
+                base().with_faults(FaultConfig::none().with_static_failures(0, 5)),
+                0
+            )
+            .err(),
+            Some(SimError::TooManyFailedPorts {
+                side: Side::Output,
+                requested: 5,
+                available: 4
+            })
+        );
+        assert!(CrossbarSim::try_new(base(), 0).is_ok());
+    }
+
+    #[test]
+    fn zero_fault_rate_is_bit_for_bit_identical_to_no_faults() {
+        // A config with the fault layer present but every mechanism off
+        // must consume the exact same RNG stream as the plain config:
+        // identical reports at equal seed, field for field.
+        let run = RunConfig {
+            warmup: 50.0,
+            duration: 5_000.0,
+            batches: 10,
+        };
+        let plain = CrossbarSim::new(poisson_cfg(4, 0.3), 99).run(run);
+        let faulted = CrossbarSim::new(
+            poisson_cfg(4, 0.3).with_faults(FaultConfig::from_mtbf_mttr(f64::INFINITY, 1.0)),
+            99,
+        )
+        .run(run);
+        assert_eq!(plain.events, faulted.events);
+        assert_eq!(plain.occupancy, faulted.occupancy);
+        assert_eq!(plain.revenue.to_bits(), faulted.revenue.to_bits());
+        for (a, b) in plain.classes.iter().zip(faulted.classes.iter()) {
+            assert_eq!(a.offered, b.offered);
+            assert_eq!(a.blocked, b.blocked);
+            assert_eq!(a.fault_blocked, 0);
+            assert_eq!(b.fault_blocked, 0);
+            assert_eq!(a.blocking.mean.to_bits(), b.blocking.mean.to_bits());
+            assert_eq!(
+                a.viable_blocking.mean.to_bits(),
+                b.viable_blocking.mean.to_bits()
+            );
+            assert_eq!(a.concurrency.mean.to_bits(), b.concurrency.mean.to_bits());
+            assert_eq!(a.availability.mean.to_bits(), b.availability.mean.to_bits());
+        }
+        assert_eq!(plain.faults, None);
+        assert_eq!(faulted.faults, None);
+    }
+
+    #[test]
+    fn static_failures_match_shrunken_switch_erlang() {
+        // 3×3 with 2 inputs and 2 outputs statically failed carries its
+        // viable traffic like a 1×1 switch: an M/M/1/1 loss system with
+        // viable blocking ρ/(1+ρ).
+        let rho = 0.5;
+        let cfg = poisson_cfg(3, rho).with_faults(FaultConfig::none().with_static_failures(2, 2));
+        let mut sim = CrossbarSim::new(cfg, 13);
+        let rep = sim.run(RunConfig {
+            warmup: 100.0,
+            duration: 200_000.0,
+            batches: 20,
+        });
+        let want = rho / (1.0 + rho);
+        let got = &rep.classes[0].viable_blocking;
+        assert!(
+            got.covers_with_slack(want, 0.01),
+            "viable blocking {got:?}, want {want}"
+        );
+        // Fault metadata: static failures never transition, every blocked
+        // request that touched a dead port is fault-blocked, and the
+        // time-average failed counts are exactly the static counts.
+        let faults = rep.faults.expect("faults enabled");
+        assert_eq!(faults.failures, 0);
+        assert_eq!(faults.repairs, 0);
+        assert_eq!(faults.torn_down, 0);
+        assert_eq!(faults.fault_blocked, rep.classes[0].fault_blocked);
+        assert!((faults.mean_failed_inputs - 2.0).abs() < 1e-9);
+        assert!((faults.mean_failed_outputs - 2.0).abs() < 1e-9);
+        // 8/9 of tuples touch a dead port, so most offers are fault-blocked.
+        let frac = faults.fault_blocked as f64 / rep.classes[0].offered as f64;
+        assert!((frac - 8.0 / 9.0).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn static_failures_match_shrunken_switch_analytic() {
+        // 6×6 minus 2 inputs / 1 output ≡ 4×5 fault-free crossbar: the
+        // faulted simulator's viable blocking must cover the analytic
+        // solver's blocking for the shrunken geometry.
+        use xbar_core::{solve, Algorithm, Dims, Model};
+        use xbar_traffic::Workload;
+
+        let class = TrafficClass::poisson(0.4);
+        let cfg = SimConfig::new(6, 6)
+            .with_exp_class(class.clone())
+            .with_faults(FaultConfig::none().with_static_failures(2, 1));
+        let mut sim = CrossbarSim::new(cfg, 21);
+        let rep = sim.run(RunConfig {
+            warmup: 200.0,
+            duration: 150_000.0,
+            batches: 20,
+        });
+
+        let model = Model::new(Dims::new(4, 5), Workload::new().with(class)).expect("valid model");
+        let want = solve(&model, Algorithm::Auto)
+            .expect("solvable")
+            .blocking(0);
+        let got = &rep.classes[0].viable_blocking;
+        assert!(
+            got.covers_with_slack(want, 0.005),
+            "viable blocking {got:?}, analytic 4×5 blocking {want}"
+        );
+        // Availability integrates P(tuple idle ∧ working); its analogue in
+        // the shrunken switch is the paper's B_r.
+        let avail_scale = (4.0 * 5.0) / (6.0 * 6.0);
+        let b = solve(&model, Algorithm::Auto)
+            .expect("solvable")
+            .nonblocking(0);
+        assert!(
+            rep.classes[0]
+                .availability
+                .covers_with_slack(b * avail_scale, 0.005),
+            "availability {:?}, want {}",
+            rep.classes[0].availability,
+            b * avail_scale
+        );
+    }
+
+    #[test]
+    fn dynamic_faults_degrade_and_repair() {
+        // Fast fail/repair on a lightly-loaded switch: transitions happen,
+        // circuits get torn down, and the switch keeps carrying traffic.
+        let cfg = poisson_cfg(4, 0.5).with_faults(FaultConfig::from_mtbf_mttr(50.0, 10.0));
+        let mut sim = CrossbarSim::new(cfg, 17);
+        let rep = sim.run(RunConfig {
+            warmup: 100.0,
+            duration: 50_000.0,
+            batches: 10,
+        });
+        let faults = rep.faults.expect("faults enabled");
+        assert!(faults.failures > 100, "{}", faults.failures);
+        assert!(faults.repairs > 100, "{}", faults.repairs);
+        assert!(faults.torn_down > 0);
+        assert!(faults.fault_blocked > 0);
+        // Per-port equilibrium failed fraction = fail/(fail+repair) = 1/6.
+        let mean_failed = faults.mean_failed_inputs + faults.mean_failed_outputs;
+        assert!(
+            (mean_failed / 8.0 - 1.0 / 6.0).abs() < 0.03,
+            "{mean_failed}"
+        );
+        // Conservation still holds and the switch still accepts calls.
+        let c = &rep.classes[0];
+        assert_eq!(c.offered, c.accepted + c.blocked);
+        assert!(c.fault_blocked <= c.blocked);
+        assert!(c.accepted > 0);
     }
 
     #[test]

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! Discrete-event simulation of the asynchronous `N1 × N2` circuit-switched
 //! crossbar with state-dependent (BPP) arrivals and general service times.
@@ -18,7 +20,11 @@
 //!    subject of the authors' companion paper \[28\]) and end-point retrial
 //!    behaviour (probing the blocked-calls-cleared assumption) have no
 //!    closed form; the simulators in [`hotspot`] and [`retrial`] cover
-//!    them.
+//!    them. Port-failure injection ([`faults`]) degrades the switch at
+//!    runtime — something the perfect-switch product form cannot model,
+//!    but whose static special case it *can* price (a switch with `f1`
+//!    inputs and `f2` outputs down behaves like a fault-free
+//!    `(N1−f1) × (N2−f2)` crossbar for its surviving traffic).
 //!
 //! # Semantics (matching the product form exactly)
 //!
@@ -51,12 +57,14 @@
 
 pub mod crossbar;
 pub mod events;
+pub mod faults;
 pub mod hotspot;
 pub mod retrial;
 pub mod service;
 pub mod stats;
 
-pub use crossbar::{ClassReport, CrossbarSim, RunConfig, SimConfig, SimReport};
+pub use crossbar::{ClassReport, CrossbarSim, RunConfig, SimConfig, SimError, SimReport};
+pub use faults::{FaultConfig, FaultReport};
 pub use hotspot::HotspotSim;
 pub use retrial::{RetrialConfig, RetrialReport, RetrialSim};
 pub use service::ServiceDist;

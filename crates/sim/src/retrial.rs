@@ -103,7 +103,9 @@ impl RetrialSim {
         }
         impl Ord for Ev {
             fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-                o.0.partial_cmp(&self.0).unwrap().then(o.1.cmp(&self.1))
+                // Event times are always finite, so total_cmp agrees with
+                // the numeric order while staying total (no unwrap).
+                o.0.total_cmp(&self.0).then(o.1.cmp(&self.1))
             }
         }
         let mut seq = 0u64;
@@ -142,13 +144,13 @@ impl RetrialSim {
             // Attempt-execution helper runs inline below; both fresh calls
             // and retries go through the same port draw.
             let attempt = |rng: &mut StdRng,
-                               busy_in: &mut Vec<bool>,
-                               busy_out: &mut Vec<bool>,
-                               live: &mut Vec<Option<(Vec<usize>, Vec<usize>)>>,
-                               events: &mut std::collections::BinaryHeap<Ev>,
-                               seq: &mut u64,
-                               k_live: &mut u64,
-                               now: f64|
+                           busy_in: &mut Vec<bool>,
+                           busy_out: &mut Vec<bool>,
+                           live: &mut Vec<Option<(Vec<usize>, Vec<usize>)>>,
+                           events: &mut std::collections::BinaryHeap<Ev>,
+                           seq: &mut u64,
+                           k_live: &mut u64,
+                           now: f64|
              -> bool {
                 let draw = |rng: &mut StdRng, busy: &[bool], count: usize| {
                     let mut picked: Vec<usize> = Vec::with_capacity(count);
@@ -187,7 +189,7 @@ impl RetrialSim {
             };
 
             if t_ev <= t_arr {
-                let Ev(_, _, pending) = events.pop().unwrap();
+                let Ev(_, _, pending) = events.pop().expect("t_ev finite implies a peeked event");
                 match pending {
                     Pending::Departure { live_slot } => {
                         let (ins, outs) = live[live_slot].take().expect("live");
@@ -221,7 +223,7 @@ impl RetrialSim {
                         }
                         if ok {
                             call_batch.remove(&id);
-                        } else if n_try + 1 <= cfg.max_attempts {
+                        } else if n_try < cfg.max_attempts {
                             let backoff =
                                 sample_exp(&mut self.rng, cfg.backoff_mean / cfg.class.mu);
                             seq += 1;
@@ -375,9 +377,18 @@ mod tests {
 
     #[test]
     fn more_attempts_monotonically_less_loss() {
-        let l1 = RetrialSim::new(cfg(1), 3).run(100.0, 30_000.0, 10).loss.mean;
-        let l2 = RetrialSim::new(cfg(2), 3).run(100.0, 30_000.0, 10).loss.mean;
-        let l5 = RetrialSim::new(cfg(5), 3).run(100.0, 30_000.0, 10).loss.mean;
+        let l1 = RetrialSim::new(cfg(1), 3)
+            .run(100.0, 30_000.0, 10)
+            .loss
+            .mean;
+        let l2 = RetrialSim::new(cfg(2), 3)
+            .run(100.0, 30_000.0, 10)
+            .loss
+            .mean;
+        let l5 = RetrialSim::new(cfg(5), 3)
+            .run(100.0, 30_000.0, 10)
+            .loss
+            .mean;
         assert!(l2 < l1 && l5 < l2, "{l1} {l2} {l5}");
     }
 

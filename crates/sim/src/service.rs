@@ -168,10 +168,19 @@ mod tests {
             ServiceDist::Exponential { mean: 2.0 },
             ServiceDist::Deterministic { mean: 2.0 },
             ServiceDist::Erlang { mean: 2.0, k: 4 },
-            ServiceDist::HyperExp { mean: 2.0, cv2: 4.0 },
+            ServiceDist::HyperExp {
+                mean: 2.0,
+                cv2: 4.0,
+            },
             ServiceDist::Uniform { mean: 2.0 },
-            ServiceDist::LogNormal { mean: 2.0, cv2: 2.0 },
-            ServiceDist::Pareto { mean: 2.0, shape: 3.5 },
+            ServiceDist::LogNormal {
+                mean: 2.0,
+                cv2: 2.0,
+            },
+            ServiceDist::Pareto {
+                mean: 2.0,
+                shape: 3.5,
+            },
         ];
         for d in dists {
             let (mean, _) = sample_stats(d, 400_000);
@@ -190,9 +199,15 @@ mod tests {
             ServiceDist::Exponential { mean: 1.0 },
             ServiceDist::Deterministic { mean: 1.0 },
             ServiceDist::Erlang { mean: 1.0, k: 3 },
-            ServiceDist::HyperExp { mean: 1.0, cv2: 5.0 },
+            ServiceDist::HyperExp {
+                mean: 1.0,
+                cv2: 5.0,
+            },
             ServiceDist::Uniform { mean: 1.0 },
-            ServiceDist::LogNormal { mean: 1.0, cv2: 1.5 },
+            ServiceDist::LogNormal {
+                mean: 1.0,
+                cv2: 1.5,
+            },
         ];
         for d in dists {
             let (mean, var) = sample_stats(d, 600_000);

@@ -21,18 +21,10 @@ fn poisson_class_matches_analytics() {
     let n = 6u32;
     let rho = 0.08;
     let class = TrafficClass::poisson(rho);
-    let model = Model::new(
-        Dims::square(n),
-        Workload::new().with(class.clone()),
-    )
-    .unwrap();
+    let model = Model::new(Dims::square(n), Workload::new().with(class.clone())).unwrap();
     let sol = solve(&model, Algorithm::Alg1F64).unwrap();
 
-    let rep = run(
-        SimConfig::new(n, n).with_exp_class(class),
-        42,
-        60_000.0,
-    );
+    let rep = run(SimConfig::new(n, n).with_exp_class(class), 42, 60_000.0);
     let c = &rep.classes[0];
     // Call blocking for Poisson arrivals equals 1 − B_r (PASTA).
     assert!(
@@ -118,11 +110,7 @@ fn mixed_multirate_workload_matches_brute_force() {
         TrafficClass::bpp(0.04, 0.15, 1.0),
         TrafficClass::poisson(0.02).with_bandwidth(2),
     ];
-    let model = Model::new(
-        Dims::new(5, 6),
-        Workload::from_classes(classes.clone()),
-    )
-    .unwrap();
+    let model = Model::new(Dims::new(5, 6), Workload::from_classes(classes.clone())).unwrap();
     let brute = Brute::new(&model);
 
     let mut cfg = SimConfig::new(5, 6);
@@ -172,10 +160,19 @@ fn insensitivity_to_service_distribution() {
         ServiceDist::Exponential { mean: 1.0 },
         ServiceDist::Deterministic { mean: 1.0 },
         ServiceDist::Erlang { mean: 1.0, k: 4 },
-        ServiceDist::HyperExp { mean: 1.0, cv2: 4.0 },
+        ServiceDist::HyperExp {
+            mean: 1.0,
+            cv2: 4.0,
+        },
         ServiceDist::Uniform { mean: 1.0 },
-        ServiceDist::LogNormal { mean: 1.0, cv2: 2.0 },
-        ServiceDist::Pareto { mean: 1.0, shape: 2.5 },
+        ServiceDist::LogNormal {
+            mean: 1.0,
+            cv2: 2.0,
+        },
+        ServiceDist::Pareto {
+            mean: 1.0,
+            shape: 2.5,
+        },
     ];
     for (i, dist) in menu.into_iter().enumerate() {
         let rep = run(

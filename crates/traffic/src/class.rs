@@ -248,10 +248,7 @@ impl TrafficClass {
                 }
                 // α + β·n ≥ 0 for n ≤ max_n  ⇔  S ≥ max_n (β < 0).
                 if s + 1e-9 < max_n as f64 {
-                    return Err(TrafficError::BernoulliRateNegative {
-                        sources: s,
-                        max_n,
-                    });
+                    return Err(TrafficError::BernoulliRateNegative { sources: s, max_n });
                 }
                 Ok(())
             }
@@ -575,10 +572,7 @@ mod tests {
     #[test]
     fn display_impls() {
         assert!(format!("{}", Burstiness::Peaky).contains("Pascal"));
-        let e = TrafficError::PascalUnstable {
-            beta: 2.0,
-            mu: 1.0,
-        };
+        let e = TrafficError::PascalUnstable { beta: 2.0, mu: 1.0 };
         assert!(format!("{e}").contains("unstable"));
     }
 }

@@ -71,7 +71,9 @@ pub fn closed_form_pmf(class: &TrafficClass, k: usize) -> f64 {
                 return 0.0;
             }
             let p = -class.beta / (class.mu - class.beta);
-            xbar_numeric::binomial(s, k as u64) * p.powi(k as i32) * (1.0 - p).powi((s - k as u64) as i32)
+            xbar_numeric::binomial(s, k as u64)
+                * p.powi(k as i32)
+                * (1.0 - p).powi((s - k as u64) as i32)
         }
         Burstiness::Peaky => {
             // NegBinomial(r, q): C(r−1+k, k) q^k (1−q)^r
@@ -112,8 +114,8 @@ mod tests {
     fn poisson_matches_closed_form() {
         let class = TrafficClass::poisson(1.7);
         let pmf = occupancy_pmf(&class, 80);
-        for k in 0..30 {
-            close(pmf[k], closed_form_pmf(&class, k), 1e-10);
+        for (k, &p) in pmf.iter().enumerate().take(30) {
+            close(p, closed_form_pmf(&class, k), 1e-10);
         }
     }
 
@@ -122,8 +124,8 @@ mod tests {
         // S = 8 sources.
         let class = TrafficClass::bpp(2.0, -0.25, 1.0);
         let pmf = occupancy_pmf(&class, 20);
-        for k in 0..=12 {
-            close(pmf[k], closed_form_pmf(&class, k), 1e-10);
+        for (k, &p) in pmf.iter().enumerate().take(13) {
+            close(p, closed_form_pmf(&class, k), 1e-10);
         }
         // Support ends at S.
         assert_eq!(pmf[9], 0.0);
@@ -134,8 +136,8 @@ mod tests {
     fn pascal_matches_negative_binomial() {
         let class = TrafficClass::bpp(1.2, 0.4, 1.0); // r = 3, q = 0.4
         let pmf = occupancy_pmf(&class, 400);
-        for k in 0..40 {
-            close(pmf[k], closed_form_pmf(&class, k), 1e-9);
+        for (k, &p) in pmf.iter().enumerate().take(40) {
+            close(p, closed_form_pmf(&class, k), 1e-9);
         }
     }
 

@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let w: Workload = (1..=3).map(|i| TrafficClass::poisson(i as f64 * 0.1)).collect();
+        let w: Workload = (1..=3)
+            .map(|i| TrafficClass::poisson(i as f64 * 0.1))
+            .collect();
         assert_eq!(w.len(), 3);
     }
 }

@@ -11,7 +11,8 @@ fn close(a: f64, b: f64, tol: f64) -> bool {
 
 /// A random stable BPP class (any regime).
 fn arb_class() -> impl Strategy<Value = TrafficClass> {
-    let poisson = (1e-4f64..5.0, 0.1f64..4.0).prop_map(|(rho, mu)| TrafficClass::bpp(rho * mu, 0.0, mu));
+    let poisson =
+        (1e-4f64..5.0, 0.1f64..4.0).prop_map(|(rho, mu)| TrafficClass::bpp(rho * mu, 0.0, mu));
     let pascal = (1e-4f64..3.0, 0.01f64..0.95, 0.1f64..4.0)
         .prop_map(|(a, frac, mu)| TrafficClass::bpp(a, frac * mu, mu));
     let bernoulli = (2u64..200, 1e-4f64..0.5, 0.1f64..4.0)

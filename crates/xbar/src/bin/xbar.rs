@@ -3,377 +3,26 @@
 //!
 //! ```text
 //! xbar solve --n 32 --class poisson:rho=0.0012,tilde --class bpp:alpha=0.0012,beta=0.0012,tilde,w=0.0001
-//! xbar solve --n1 16 --n2 24 --algorithm alg2-mva --class poisson:rho=0.01,a=2
+//! xbar solve --n 200 --resilient --cross-check-tol 1e-9 --class poisson:rho=1e-5
 //! xbar sim   --n 16 --class bpp:alpha=0.02,beta=0.01 --duration 50000 --seed 7
+//! xbar sim   --n 8 --class poisson:rho=0.1 --port-mtbf 500 --port-mttr 50
 //! ```
 //!
-//! Class specs are `kind:key=value,...`:
-//! * `poisson:rho=<f64>` — Poisson class with offered load ρ;
-//! * `bpp:alpha=<f64>,beta=<f64>` — general BPP class;
-//! * optional keys on either: `mu=<f64>` (default 1), `a=<u32>` bandwidth
-//!   (default 1), `w=<f64>` revenue weight (default 1), and the flag
-//!   `tilde` marking the rates as aggregated over output sets (the
-//!   paper's `α̃/β̃/ρ̃` convention; they are divided by `C(N2, a)`).
+//! All the parsing and execution logic lives in [`xbar::cli`] so it can be
+//! tested (including property tests asserting it never panics). This
+//! binary only maps [`xbar::cli::CliError`] onto process exit codes:
+//! 0 success, 2 usage/model error, 3 solve failure, 4 cross-check failure,
+//! 5 simulator configuration error.
 
 use std::process::ExitCode;
 
-use xbar::{
-    solve, Algorithm, CrossbarSim, Dims, Model, RunConfig, SimConfig, TildeClass, TrafficClass,
-    Workload,
-};
-
-fn usage() -> String {
-    "usage:\n  xbar solve --n <N> | --n1 <N1> --n2 <N2> \
-     [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext|alg2-mva|alg3-convolution] \
-     --class <spec> [--class <spec> ...]\n  \
-     xbar sim   --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
-     [--duration <t>] [--warmup <t>] [--seed <u64>]\n\n\
-     class spec: poisson:rho=0.0012[,mu=1][,a=1][,w=1][,tilde]\n                 \
-     bpp:alpha=0.001,beta=0.0005[,mu=1][,a=1][,w=1][,tilde]"
-        .to_string()
-}
-
-/// A parsed class spec, before tilde resolution.
-#[derive(Debug, Clone, PartialEq)]
-struct ClassSpec {
-    alpha: f64,
-    beta: f64,
-    mu: f64,
-    a: u32,
-    w: f64,
-    tilde: bool,
-}
-
-fn parse_class(spec: &str) -> Result<ClassSpec, String> {
-    let (kind, rest) = spec
-        .split_once(':')
-        .ok_or_else(|| format!("class spec '{spec}' missing ':'"))?;
-    let mut alpha = None;
-    let mut beta = 0.0f64;
-    let mut rho = None;
-    let mut mu = 1.0f64;
-    let mut a = 1u32;
-    let mut w = 1.0f64;
-    let mut tilde = false;
-    for part in rest.split(',').filter(|p| !p.is_empty()) {
-        if part == "tilde" {
-            tilde = true;
-            continue;
-        }
-        let (key, value) = part
-            .split_once('=')
-            .ok_or_else(|| format!("bad key=value '{part}' in '{spec}'"))?;
-        let v: f64 = value
-            .parse()
-            .map_err(|_| format!("bad number '{value}' in '{spec}'"))?;
-        match key {
-            "alpha" => alpha = Some(v),
-            "beta" => beta = v,
-            "rho" => rho = Some(v),
-            "mu" => mu = v,
-            "a" => a = v as u32,
-            "w" => w = v,
-            other => return Err(format!("unknown key '{other}' in '{spec}'")),
-        }
-    }
-    let alpha = match kind {
-        "poisson" => {
-            if beta != 0.0 {
-                return Err("poisson class cannot set beta".into());
-            }
-            rho.ok_or("poisson class needs rho=")? * mu
-        }
-        "bpp" => alpha.ok_or("bpp class needs alpha=")?,
-        other => return Err(format!("unknown class kind '{other}'")),
-    };
-    Ok(ClassSpec {
-        alpha,
-        beta,
-        mu,
-        a,
-        w,
-        tilde,
-    })
-}
-
-struct Args {
-    command: String,
-    n1: u32,
-    n2: u32,
-    algorithm: Algorithm,
-    classes: Vec<ClassSpec>,
-    duration: f64,
-    warmup: f64,
-    seed: u64,
-}
-
-fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
-    Ok(match s {
-        "auto" => Algorithm::Auto,
-        "alg1-f64" => Algorithm::Alg1F64,
-        "alg1-scaled" => Algorithm::Alg1Scaled,
-        "alg1-ext" => Algorithm::Alg1Ext,
-        "alg2-mva" => Algorithm::Mva,
-        "alg3-convolution" => Algorithm::Convolution,
-        other => return Err(format!("unknown algorithm '{other}'")),
-    })
-}
-
-fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut it = argv.iter();
-    let command = it.next().ok_or_else(usage)?.clone();
-    if command != "solve" && command != "sim" {
-        return Err(format!("unknown command '{command}'\n{}", usage()));
-    }
-    let mut n1 = None;
-    let mut n2 = None;
-    let mut algorithm = Algorithm::Auto;
-    let mut classes = Vec::new();
-    let mut duration = 100_000.0;
-    let mut warmup = 1_000.0;
-    let mut seed = 42u64;
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("flag {flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--n" => {
-                let v: u32 = value()?.parse().map_err(|e| format!("--n: {e}"))?;
-                n1 = Some(v);
-                n2 = Some(v);
-            }
-            "--n1" => n1 = Some(value()?.parse().map_err(|e| format!("--n1: {e}"))?),
-            "--n2" => n2 = Some(value()?.parse().map_err(|e| format!("--n2: {e}"))?),
-            "--algorithm" => algorithm = parse_algorithm(&value()?)?,
-            "--class" => classes.push(parse_class(&value()?)?),
-            "--duration" => duration = value()?.parse().map_err(|e| format!("--duration: {e}"))?,
-            "--warmup" => warmup = value()?.parse().map_err(|e| format!("--warmup: {e}"))?,
-            "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
-        }
-    }
-    let n1 = n1.ok_or("missing --n or --n1")?;
-    let n2 = n2.ok_or("missing --n or --n2")?;
-    if classes.is_empty() {
-        return Err("need at least one --class".into());
-    }
-    Ok(Args {
-        command,
-        n1,
-        n2,
-        algorithm,
-        classes,
-        duration,
-        warmup,
-        seed,
-    })
-}
-
-fn build_model(args: &Args) -> Result<Model, String> {
-    let mut workload = Workload::new();
-    for spec in &args.classes {
-        let class = if spec.tilde {
-            TildeClass {
-                alpha_tilde: spec.alpha,
-                beta_tilde: spec.beta,
-                mu: spec.mu,
-                bandwidth: spec.a,
-                weight: spec.w,
-            }
-            .resolve(args.n2)
-        } else {
-            TrafficClass {
-                alpha: spec.alpha,
-                beta: spec.beta,
-                mu: spec.mu,
-                bandwidth: spec.a,
-                weight: spec.w,
-            }
-        };
-        workload = workload.with(class);
-    }
-    Model::new(Dims::new(args.n1, args.n2), workload).map_err(|e| e.to_string())
-}
-
-fn run_solve(args: &Args) -> Result<(), String> {
-    let model = build_model(args)?;
-    let sol = solve(&model, args.algorithm).map_err(|e| e.to_string())?;
-    println!(
-        "solved {}x{} with {} classes (algorithm: {})",
-        args.n1,
-        args.n2,
-        model.num_classes(),
-        args.algorithm
-    );
-    println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "class", "blocking", "B_r", "E_r", "throughput", "acceptance"
-    );
-    for r in 0..model.num_classes() {
-        println!(
-            "{r:>6} {:>12.6} {:>12.6} {:>12.4} {:>12.4} {:>12.6}",
-            sol.blocking(r),
-            sol.nonblocking(r),
-            sol.concurrency(r),
-            sol.throughput(r),
-            sol.call_acceptance(r),
-        );
-    }
-    println!(
-        "revenue W = {:.6}   total throughput = {:.4}",
-        sol.revenue(),
-        sol.total_throughput()
-    );
-    for r in 0..model.num_classes() {
-        println!(
-            "class {r}: shadow cost = {:.6}, dW/drho = {:+.4}",
-            sol.shadow_cost(r),
-            sol.revenue_gradient_rho(r)
-        );
-    }
-    Ok(())
-}
-
-fn run_sim(args: &Args) -> Result<(), String> {
-    let model = build_model(args)?;
-    let mut cfg = SimConfig::new(args.n1, args.n2);
-    for class in model.workload().classes() {
-        cfg = cfg.with_exp_class(class.clone());
-    }
-    let mut sim = CrossbarSim::new(cfg, args.seed);
-    let rep = sim.run(RunConfig {
-        warmup: args.warmup,
-        duration: args.duration,
-        batches: 20,
-    });
-    println!(
-        "simulated {}x{} for t = {} ({} events, seed {})",
-        args.n1, args.n2, args.duration, rep.events, args.seed
-    );
-    println!(
-        "{:>6} {:>10} {:>10} {:>22} {:>22}",
-        "class", "offered", "blocked", "blocking (95% CI)", "availability (95% CI)"
-    );
-    for (r, c) in rep.classes.iter().enumerate() {
-        println!(
-            "{r:>6} {:>10} {:>10} {:>14.6} ±{:.6} {:>14.6} ±{:.6}",
-            c.offered,
-            c.blocked,
-            c.blocking.mean,
-            c.blocking.half_width,
-            c.availability.mean,
-            c.availability.half_width,
-        );
-    }
-    println!("revenue rate = {:.6}", rep.revenue);
-    Ok(())
-}
-
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match args.command.as_str() {
-        "solve" => run_solve(&args),
-        "sim" => run_sim(&args),
-        _ => unreachable!("validated in parse_args"),
-    };
-    match result {
+    match xbar::cli::run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn argv(s: &str) -> Vec<String> {
-        s.split_whitespace().map(String::from).collect()
-    }
-
-    #[test]
-    fn parses_poisson_class() {
-        let c = parse_class("poisson:rho=0.5,mu=2,a=2,w=0.3").unwrap();
-        assert_eq!(c.alpha, 1.0); // alpha = rho·mu
-        assert_eq!(c.beta, 0.0);
-        assert_eq!(c.a, 2);
-        assert_eq!(c.w, 0.3);
-        assert!(!c.tilde);
-    }
-
-    #[test]
-    fn parses_bpp_class_with_tilde() {
-        let c = parse_class("bpp:alpha=0.0012,beta=0.0012,tilde,w=0.0001").unwrap();
-        assert_eq!(c.alpha, 0.0012);
-        assert_eq!(c.beta, 0.0012);
-        assert!(c.tilde);
-    }
-
-    #[test]
-    fn rejects_bad_specs() {
-        assert!(parse_class("nope:rho=1").is_err());
-        assert!(parse_class("poisson:").is_err());
-        assert!(parse_class("poisson:rho=x").is_err());
-        assert!(parse_class("poisson:rho=1,beta=2").is_err());
-        assert!(parse_class("bpp:beta=0.1").is_err());
-        assert!(parse_class("poisson:rho=1,bogus=2").is_err());
-        assert!(parse_class("poisson").is_err());
-    }
-
-    #[test]
-    fn parses_full_solve_command() {
-        let a = parse_args(&argv(
-            "solve --n 16 --algorithm alg2-mva --class poisson:rho=0.01",
-        ))
-        .unwrap();
-        assert_eq!(a.command, "solve");
-        assert_eq!((a.n1, a.n2), (16, 16));
-        assert_eq!(a.algorithm, Algorithm::Mva);
-        assert_eq!(a.classes.len(), 1);
-    }
-
-    #[test]
-    fn parses_rectangular_sim_command() {
-        let a = parse_args(&argv(
-            "sim --n1 8 --n2 12 --class poisson:rho=0.01 --duration 500 --warmup 10 --seed 9",
-        ))
-        .unwrap();
-        assert_eq!((a.n1, a.n2), (8, 12));
-        assert_eq!(a.duration, 500.0);
-        assert_eq!(a.seed, 9);
-    }
-
-    #[test]
-    fn rejects_malformed_commands() {
-        assert!(parse_args(&argv("bogus --n 4")).is_err());
-        assert!(parse_args(&argv("solve --n 4")).is_err()); // no class
-        assert!(parse_args(&argv("solve --class poisson:rho=1")).is_err()); // no size
-        assert!(parse_args(&argv("solve --n 4 --algorithm nope --class poisson:rho=1")).is_err());
-        assert!(parse_args(&argv("solve --n")).is_err());
-    }
-
-    #[test]
-    fn solve_round_trip_matches_library() {
-        let a = parse_args(&argv(
-            "solve --n 8 --class poisson:rho=0.0024,tilde --class bpp:alpha=0.0012,beta=0.0012,tilde",
-        ))
-        .unwrap();
-        let model = build_model(&a).unwrap();
-        // Tilde resolution happened: per-set rho = 0.0024/8.
-        let c0 = &model.workload().classes()[0];
-        assert!((c0.alpha - 0.0003).abs() < 1e-12);
-        let sol = solve(&model, Algorithm::Auto).unwrap();
-        assert!(sol.blocking(0) > 0.0 && sol.blocking(0) < 0.01);
     }
 }

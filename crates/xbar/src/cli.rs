@@ -1,0 +1,606 @@
+//! Command-line parsing and execution for the `xbar` binary.
+//!
+//! Lives in the library (rather than the binary) so the parser can be
+//! unit- and property-tested: malformed argument vectors must always come
+//! back as [`CliError`] values — never panics — and every failure maps to
+//! a documented exit code:
+//!
+//! | code | meaning                                           |
+//! |------|---------------------------------------------------|
+//! | 0    | success                                           |
+//! | 2    | usage or model error (bad flags, invalid classes) |
+//! | 3    | solve failure (all backends exhausted, …)         |
+//! | 4    | cross-check failure (backends disagree)           |
+//! | 5    | simulator configuration error                     |
+
+use xbar_core::solver::resilient::{solve_resilient, ResilientConfig};
+use xbar_core::{solve, Algorithm, Dims, Model, SolveError};
+use xbar_sim::{CrossbarSim, FaultConfig, RunConfig, SimConfig};
+use xbar_traffic::{TildeClass, TrafficClass, Workload};
+
+/// A CLI failure, carrying the process exit code it maps to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliError {
+    /// Bad flags / malformed specs / invalid model (exit 2).
+    Usage(String),
+    /// The analytic solve failed (exit 3).
+    Solve(String),
+    /// The resilient pipeline's cross-check disagreed (exit 4).
+    CrossCheck(String),
+    /// The simulator rejected its configuration (exit 5).
+    SimConfig(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Solve(_) => 3,
+            CliError::CrossCheck(_) => 4,
+            CliError::SimConfig(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Solve(m) => write!(f, "solve failed: {m}"),
+            CliError::CrossCheck(m) => write!(f, "{m}"),
+            CliError::SimConfig(m) => write!(f, "invalid simulation config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage() -> String {
+    "usage:\n  xbar solve --n <N> | --n1 <N1> --n2 <N2> \
+     [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext|alg2-mva|alg3-convolution] \
+     [--resilient] [--cross-check-tol <tol>] \
+     --class <spec> [--class <spec> ...]\n  \
+     xbar sim   --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
+     [--duration <t>] [--warmup <t>] [--seed <u64>] \
+     [--port-mtbf <t> --port-mttr <t>] [--fail-inputs <k>] [--fail-outputs <k>]\n\n\
+     class spec: poisson:rho=0.0012[,mu=1][,a=1][,w=1][,tilde]\n                 \
+     bpp:alpha=0.001,beta=0.0005[,mu=1][,a=1][,w=1][,tilde]"
+        .to_string()
+}
+
+/// A parsed class spec, before tilde resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Arrival-rate intercept `α` (already multiplied out for `rho=`).
+    pub alpha: f64,
+    /// Arrival-rate slope `β`.
+    pub beta: f64,
+    /// Service rate `μ`.
+    pub mu: f64,
+    /// Bandwidth `a` (ports per connection).
+    pub a: u32,
+    /// Revenue weight `w`.
+    pub w: f64,
+    /// Whether the rates are tilde-aggregated (divided by `C(N2, a)`).
+    pub tilde: bool,
+}
+
+/// Parse one `kind:key=value,...` class spec.
+pub fn parse_class(spec: &str) -> Result<ClassSpec, String> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("class spec '{spec}' missing ':'"))?;
+    let mut alpha = None;
+    let mut beta = 0.0f64;
+    let mut rho = None;
+    let mut mu = 1.0f64;
+    let mut a = 1u32;
+    let mut w = 1.0f64;
+    let mut tilde = false;
+    for part in rest.split(',').filter(|p| !p.is_empty()) {
+        if part == "tilde" {
+            tilde = true;
+            continue;
+        }
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad key=value '{part}' in '{spec}'"))?;
+        let v: f64 = value
+            .parse()
+            .map_err(|_| format!("bad number '{value}' in '{spec}'"))?;
+        match key {
+            "alpha" => alpha = Some(v),
+            "beta" => beta = v,
+            "rho" => rho = Some(v),
+            "mu" => mu = v,
+            "a" => {
+                if !(v.is_finite() && v >= 0.0 && v <= u32::MAX as f64 && v.fract() == 0.0) {
+                    return Err(format!("bandwidth a={value} must be a small integer"));
+                }
+                a = v as u32;
+            }
+            "w" => w = v,
+            other => return Err(format!("unknown key '{other}' in '{spec}'")),
+        }
+    }
+    let alpha = match kind {
+        "poisson" => {
+            if beta != 0.0 {
+                return Err("poisson class cannot set beta".into());
+            }
+            rho.ok_or("poisson class needs rho=")? * mu
+        }
+        "bpp" => alpha.ok_or("bpp class needs alpha=")?,
+        other => return Err(format!("unknown class kind '{other}'")),
+    };
+    Ok(ClassSpec {
+        alpha,
+        beta,
+        mu,
+        a,
+        w,
+        tilde,
+    })
+}
+
+/// Fully parsed command line.
+pub struct Args {
+    /// `solve` or `sim`.
+    pub command: String,
+    /// Inputs `N1`.
+    pub n1: u32,
+    /// Outputs `N2`.
+    pub n2: u32,
+    /// Analytic algorithm (for plain `solve`).
+    pub algorithm: Algorithm,
+    /// Use the resilient escalation + cross-check pipeline.
+    pub resilient: bool,
+    /// Cross-check relative tolerance override (resilient mode).
+    pub cross_check_tol: Option<f64>,
+    /// Parsed class specs.
+    pub classes: Vec<ClassSpec>,
+    /// Measured simulation time.
+    pub duration: f64,
+    /// Warmup time discarded before measurement.
+    pub warmup: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Mean time between failures per working port (`0`/absent = never).
+    pub port_mtbf: f64,
+    /// Mean time to repair per failed port (`0`/absent = never).
+    pub port_mttr: f64,
+    /// Input ports statically failed from `t = 0`.
+    pub fail_inputs: u32,
+    /// Output ports statically failed from `t = 0`.
+    pub fail_outputs: u32,
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    Ok(match s {
+        "auto" => Algorithm::Auto,
+        "alg1-f64" => Algorithm::Alg1F64,
+        "alg1-scaled" => Algorithm::Alg1Scaled,
+        "alg1-ext" => Algorithm::Alg1Ext,
+        "alg2-mva" => Algorithm::Mva,
+        "alg3-convolution" => Algorithm::Convolution,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+/// Parse an argument vector (without the program name). All failures are
+/// `Err` strings — this function never panics, whatever the input.
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    let command = it.next().ok_or_else(usage)?.clone();
+    if command != "solve" && command != "sim" {
+        return Err(format!("unknown command '{command}'\n{}", usage()));
+    }
+    let mut n1 = None;
+    let mut n2 = None;
+    let mut algorithm = Algorithm::Auto;
+    let mut resilient = false;
+    let mut cross_check_tol = None;
+    let mut classes = Vec::new();
+    let mut duration = 100_000.0f64;
+    let mut warmup = 1_000.0f64;
+    let mut seed = 42u64;
+    let mut port_mtbf = 0.0f64;
+    let mut port_mttr = 0.0f64;
+    let mut fail_inputs = 0u32;
+    let mut fail_outputs = 0u32;
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--n" => {
+                let v: u32 = value()?.parse().map_err(|e| format!("--n: {e}"))?;
+                n1 = Some(v);
+                n2 = Some(v);
+            }
+            "--n1" => n1 = Some(value()?.parse().map_err(|e| format!("--n1: {e}"))?),
+            "--n2" => n2 = Some(value()?.parse().map_err(|e| format!("--n2: {e}"))?),
+            "--algorithm" => algorithm = parse_algorithm(&value()?)?,
+            "--resilient" => resilient = true,
+            "--cross-check-tol" => {
+                let v: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--cross-check-tol: {e}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("--cross-check-tol must be finite and > 0, got {v}"));
+                }
+                cross_check_tol = Some(v);
+            }
+            "--class" => classes.push(parse_class(&value()?)?),
+            "--duration" => {
+                duration = value()?.parse().map_err(|e| format!("--duration: {e}"))?;
+                if !(duration.is_finite() && duration > 0.0) {
+                    return Err(format!("--duration must be finite and > 0, got {duration}"));
+                }
+            }
+            "--warmup" => {
+                warmup = value()?.parse().map_err(|e| format!("--warmup: {e}"))?;
+                if !(warmup.is_finite() && warmup >= 0.0) {
+                    return Err(format!("--warmup must be finite and >= 0, got {warmup}"));
+                }
+            }
+            "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--port-mtbf" => {
+                port_mtbf = value()?.parse().map_err(|e| format!("--port-mtbf: {e}"))?;
+                if port_mtbf.is_nan() || port_mtbf < 0.0 {
+                    return Err(format!("--port-mtbf must be >= 0, got {port_mtbf}"));
+                }
+            }
+            "--port-mttr" => {
+                port_mttr = value()?.parse().map_err(|e| format!("--port-mttr: {e}"))?;
+                if port_mttr.is_nan() || port_mttr < 0.0 {
+                    return Err(format!("--port-mttr must be >= 0, got {port_mttr}"));
+                }
+            }
+            "--fail-inputs" => {
+                fail_inputs = value()?
+                    .parse()
+                    .map_err(|e| format!("--fail-inputs: {e}"))?
+            }
+            "--fail-outputs" => {
+                fail_outputs = value()?
+                    .parse()
+                    .map_err(|e| format!("--fail-outputs: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    let n1 = n1.ok_or("missing --n or --n1")?;
+    let n2 = n2.ok_or("missing --n or --n2")?;
+    if classes.is_empty() {
+        return Err("need at least one --class".into());
+    }
+    Ok(Args {
+        command,
+        n1,
+        n2,
+        algorithm,
+        resilient,
+        cross_check_tol,
+        classes,
+        duration,
+        warmup,
+        seed,
+        port_mtbf,
+        port_mttr,
+        fail_inputs,
+        fail_outputs,
+    })
+}
+
+/// Build the analytic model from parsed args.
+pub fn build_model(args: &Args) -> Result<Model, String> {
+    let mut workload = Workload::new();
+    for spec in &args.classes {
+        let class = if spec.tilde {
+            TildeClass {
+                alpha_tilde: spec.alpha,
+                beta_tilde: spec.beta,
+                mu: spec.mu,
+                bandwidth: spec.a,
+                weight: spec.w,
+            }
+            .resolve(args.n2)
+        } else {
+            TrafficClass {
+                alpha: spec.alpha,
+                beta: spec.beta,
+                mu: spec.mu,
+                bandwidth: spec.a,
+                weight: spec.w,
+            }
+        };
+        workload = workload.with(class);
+    }
+    Model::new(Dims::new(args.n1, args.n2), workload).map_err(|e| e.to_string())
+}
+
+fn print_solution_table(args: &Args, model: &Model, sol: &xbar_core::Solution) {
+    println!(
+        "solved {}x{} with {} classes (algorithm: {})",
+        args.n1,
+        args.n2,
+        model.num_classes(),
+        sol.algorithm()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "class", "blocking", "B_r", "E_r", "throughput", "acceptance"
+    );
+    for r in 0..model.num_classes() {
+        println!(
+            "{r:>6} {:>12.6} {:>12.6} {:>12.4} {:>12.4} {:>12.6}",
+            sol.blocking(r),
+            sol.nonblocking(r),
+            sol.concurrency(r),
+            sol.throughput(r),
+            sol.call_acceptance(r),
+        );
+    }
+    println!(
+        "revenue W = {:.6}   total throughput = {:.4}",
+        sol.revenue(),
+        sol.total_throughput()
+    );
+    for r in 0..model.num_classes() {
+        println!(
+            "class {r}: shadow cost = {:.6}, dW/drho = {:+.4}",
+            sol.shadow_cost(r),
+            sol.revenue_gradient_rho(r)
+        );
+    }
+}
+
+/// Execute the `solve` command.
+pub fn run_solve(args: &Args) -> Result<(), CliError> {
+    let model = build_model(args).map_err(CliError::Usage)?;
+    if args.resilient {
+        let mut config = ResilientConfig::new();
+        if let Some(tol) = args.cross_check_tol {
+            config = config.with_cross_check_tol(tol);
+        }
+        let resilient = solve_resilient(&model, &config).map_err(|e| match &e {
+            SolveError::CrossCheckFailed(_) => CliError::CrossCheck(e.to_string()),
+            SolveError::Model(_) => CliError::Usage(e.to_string()),
+            _ => CliError::Solve(e.to_string()),
+        })?;
+        println!("pipeline: {}", resilient.report.summary());
+        print_solution_table(args, &model, &resilient.solution);
+    } else {
+        let sol = solve(&model, args.algorithm).map_err(|e| match &e {
+            SolveError::Model(_) => CliError::Usage(e.to_string()),
+            _ => CliError::Solve(e.to_string()),
+        })?;
+        print_solution_table(args, &model, &sol);
+    }
+    Ok(())
+}
+
+/// Execute the `sim` command.
+pub fn run_sim(args: &Args) -> Result<(), CliError> {
+    let model = build_model(args).map_err(CliError::Usage)?;
+    let faults = FaultConfig::from_mtbf_mttr(
+        if args.port_mtbf > 0.0 {
+            args.port_mtbf
+        } else {
+            f64::INFINITY
+        },
+        if args.port_mttr > 0.0 {
+            args.port_mttr
+        } else {
+            f64::INFINITY
+        },
+    )
+    .with_static_failures(args.fail_inputs, args.fail_outputs);
+    let mut cfg = SimConfig::new(args.n1, args.n2).with_faults(faults);
+    for class in model.workload().classes() {
+        cfg = cfg.with_exp_class(class.clone());
+    }
+    let mut sim =
+        CrossbarSim::try_new(cfg, args.seed).map_err(|e| CliError::SimConfig(e.to_string()))?;
+    let rep = sim.run(RunConfig {
+        warmup: args.warmup,
+        duration: args.duration,
+        batches: 20,
+    });
+    println!(
+        "simulated {}x{} for t = {} ({} events, seed {})",
+        args.n1, args.n2, args.duration, rep.events, args.seed
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>22} {:>22}",
+        "class", "offered", "blocked", "blocking (95% CI)", "availability (95% CI)"
+    );
+    for (r, c) in rep.classes.iter().enumerate() {
+        println!(
+            "{r:>6} {:>10} {:>10} {:>14.6} ±{:.6} {:>14.6} ±{:.6}",
+            c.offered,
+            c.blocked,
+            c.blocking.mean,
+            c.blocking.half_width,
+            c.availability.mean,
+            c.availability.half_width,
+        );
+    }
+    if let Some(faults) = &rep.faults {
+        println!(
+            "faults: {} failures, {} repairs, {} circuits torn down, {} requests fault-blocked",
+            faults.failures, faults.repairs, faults.torn_down, faults.fault_blocked
+        );
+        println!(
+            "mean failed ports: {:.3} inputs, {:.3} outputs",
+            faults.mean_failed_inputs, faults.mean_failed_outputs
+        );
+        for (r, c) in rep.classes.iter().enumerate() {
+            println!(
+                "class {r}: viable blocking = {:.6} ±{:.6} (degraded-switch congestion only)",
+                c.viable_blocking.mean, c.viable_blocking.half_width
+            );
+        }
+    }
+    println!("revenue rate = {:.6}", rep.revenue);
+    Ok(())
+}
+
+/// Parse and execute; the returned error carries its exit code.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = parse_args(argv).map_err(CliError::Usage)?;
+    match args.command.as_str() {
+        "solve" => run_solve(&args),
+        "sim" => run_sim(&args),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_poisson_class() {
+        let c = parse_class("poisson:rho=0.5,mu=2,a=2,w=0.3").unwrap();
+        assert_eq!(c.alpha, 1.0); // alpha = rho·mu
+        assert_eq!(c.beta, 0.0);
+        assert_eq!(c.a, 2);
+        assert_eq!(c.w, 0.3);
+        assert!(!c.tilde);
+    }
+
+    #[test]
+    fn parses_bpp_class_with_tilde() {
+        let c = parse_class("bpp:alpha=0.0012,beta=0.0012,tilde,w=0.0001").unwrap();
+        assert_eq!(c.alpha, 0.0012);
+        assert_eq!(c.beta, 0.0012);
+        assert!(c.tilde);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_class("nope:rho=1").is_err());
+        assert!(parse_class("poisson:").is_err());
+        assert!(parse_class("poisson:rho=x").is_err());
+        assert!(parse_class("poisson:rho=1,beta=2").is_err());
+        assert!(parse_class("bpp:beta=0.1").is_err());
+        assert!(parse_class("poisson:rho=1,bogus=2").is_err());
+        assert!(parse_class("poisson").is_err());
+        assert!(parse_class("poisson:rho=1,a=1.5").is_err());
+        assert!(parse_class("poisson:rho=1,a=-2").is_err());
+        assert!(parse_class("poisson:rho=1,a=inf").is_err());
+    }
+
+    #[test]
+    fn parses_full_solve_command() {
+        let a = parse_args(&argv(
+            "solve --n 16 --algorithm alg2-mva --class poisson:rho=0.01",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!((a.n1, a.n2), (16, 16));
+        assert_eq!(a.algorithm, Algorithm::Mva);
+        assert_eq!(a.classes.len(), 1);
+        assert!(!a.resilient);
+    }
+
+    #[test]
+    fn parses_resilient_flags() {
+        let a = parse_args(&argv(
+            "solve --n 200 --resilient --cross-check-tol 1e-9 --class poisson:rho=1e-5",
+        ))
+        .unwrap();
+        assert!(a.resilient);
+        assert_eq!(a.cross_check_tol, Some(1e-9));
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let a = parse_args(&argv(
+            "sim --n 8 --class poisson:rho=0.1 --port-mtbf 100 --port-mttr 10 \
+             --fail-inputs 2 --fail-outputs 1",
+        ))
+        .unwrap();
+        assert_eq!(a.port_mtbf, 100.0);
+        assert_eq!(a.port_mttr, 10.0);
+        assert_eq!((a.fail_inputs, a.fail_outputs), (2, 1));
+    }
+
+    #[test]
+    fn parses_rectangular_sim_command() {
+        let a = parse_args(&argv(
+            "sim --n1 8 --n2 12 --class poisson:rho=0.01 --duration 500 --warmup 10 --seed 9",
+        ))
+        .unwrap();
+        assert_eq!((a.n1, a.n2), (8, 12));
+        assert_eq!(a.duration, 500.0);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        assert!(parse_args(&argv("bogus --n 4")).is_err());
+        assert!(parse_args(&argv("solve --n 4")).is_err()); // no class
+        assert!(parse_args(&argv("solve --class poisson:rho=1")).is_err()); // no size
+        assert!(parse_args(&argv("solve --n 4 --algorithm nope --class poisson:rho=1")).is_err());
+        assert!(parse_args(&argv("solve --n")).is_err());
+        assert!(parse_args(&argv("sim --n 4 --class poisson:rho=1 --duration 0")).is_err());
+        assert!(parse_args(&argv("sim --n 4 --class poisson:rho=1 --duration nan")).is_err());
+        assert!(parse_args(&argv("sim --n 4 --class poisson:rho=1 --warmup -5")).is_err());
+        assert!(parse_args(&argv("sim --n 4 --class poisson:rho=1 --port-mtbf -1")).is_err());
+        assert!(parse_args(&argv(
+            "solve --n 4 --cross-check-tol 0 --class poisson:rho=1"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn solve_round_trip_matches_library() {
+        let a = parse_args(&argv(
+            "solve --n 8 --class poisson:rho=0.0024,tilde --class bpp:alpha=0.0012,beta=0.0012,tilde",
+        ))
+        .unwrap();
+        let model = build_model(&a).unwrap();
+        // Tilde resolution happened: per-set rho = 0.0024/8.
+        let c0 = &model.workload().classes()[0];
+        assert!((c0.alpha - 0.0003).abs() < 1e-12);
+        let sol = solve(&model, Algorithm::Auto).unwrap();
+        assert!(sol.blocking(0) > 0.0 && sol.blocking(0) < 0.01);
+    }
+
+    #[test]
+    fn resilient_solve_runs_end_to_end() {
+        // N = 200 forces the f64 backend to underflow; the pipeline must
+        // escalate and still succeed (exit path: Ok).
+        let a = parse_args(&argv(
+            "solve --n 200 --resilient --cross-check-tol 1e-9 --class poisson:rho=1e-5",
+        ))
+        .unwrap();
+        assert!(run_solve(&a).is_ok());
+    }
+
+    #[test]
+    fn sim_config_errors_map_to_exit_5() {
+        let a = parse_args(&argv(
+            "sim --n 4 --class poisson:rho=0.1 --fail-inputs 9 --duration 10",
+        ))
+        .unwrap();
+        let err = run_sim(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn usage_errors_map_to_exit_2() {
+        let err = run(&argv("solve --n 4")).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+}

@@ -37,12 +37,17 @@
 //! assert!(sol.blocking(1) > sol.blocking(0)); // wide+peaky blocks more
 //! ```
 
+pub mod cli;
+
 pub use xbar_baselines as baselines;
 pub use xbar_core as analytic;
 pub use xbar_numeric as numeric;
 pub use xbar_sim as sim;
 pub use xbar_traffic as traffic;
 
-pub use xbar_core::{solve, Algorithm, Dims, Model, ModelError, Solution, SwitchMeasures};
-pub use xbar_sim::{CrossbarSim, RunConfig, ServiceDist, SimConfig};
+pub use xbar_core::{
+    solve, solve_resilient, Algorithm, Dims, Model, ModelError, ResilientConfig, ResilientSolution,
+    Solution, SolveReport, SwitchMeasures,
+};
+pub use xbar_sim::{CrossbarSim, FaultConfig, RunConfig, ServiceDist, SimConfig, SimError};
 pub use xbar_traffic::{Burstiness, TildeClass, TrafficClass, Workload};

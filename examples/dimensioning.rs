@@ -17,7 +17,9 @@ fn blocking(n: u32, alpha_tilde: f64, z: f64) -> f64 {
     let beta = 1.0 - 1.0 / z;
     let class = TrafficClass::bpp(alpha_tilde / n as f64, beta, 1.0);
     let model = Model::new(Dims::square(n), Workload::new().with(class)).expect("valid");
-    solve(&model, Algorithm::Auto).expect("solvable").blocking(0)
+    solve(&model, Algorithm::Auto)
+        .expect("solvable")
+        .blocking(0)
 }
 
 /// Smooth case: Bernoulli with a finite source population (S = 4N, a
@@ -27,7 +29,9 @@ fn blocking_smooth(n: u32, alpha_tilde: f64) -> f64 {
     let p = alpha_tilde / n as f64 / s; // per-source rate so that α = α̃/N
     let class = TrafficClass::bpp(s * p, -p, 1.0);
     let model = Model::new(Dims::square(n), Workload::new().with(class)).expect("valid");
-    solve(&model, Algorithm::Auto).expect("solvable").blocking(0)
+    solve(&model, Algorithm::Auto)
+        .expect("solvable")
+        .blocking(0)
 }
 
 /// Bisect `α̃` to the blocking target.

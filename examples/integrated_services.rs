@@ -75,8 +75,12 @@ fn main() {
     // Voice turning bursty displaces everyone, so that gradient must be
     // negative; video's own burstiness can *help* W because video is the
     // top earner — the sign flip is exactly the shadow-price economics.
-    let g_voice = sol.revenue_gradient_beta_fd(0).expect("gradient computable");
-    let g_video = sol.revenue_gradient_beta_fd(2).expect("gradient computable");
+    let g_voice = sol
+        .revenue_gradient_beta_fd(0)
+        .expect("gradient computable");
+    let g_video = sol
+        .revenue_gradient_beta_fd(2)
+        .expect("gradient computable");
     println!(
         "\nsensitivity of revenue to burstiness: voice dW/d(beta/mu) = {g_voice:+.3}, \
          video dW/d(beta/mu) = {g_video:+.3}"

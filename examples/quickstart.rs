@@ -4,8 +4,7 @@
 //! Run with: `cargo run --release -p xbar --example quickstart`
 
 use xbar::{
-    solve, Algorithm, CrossbarSim, Dims, Model, RunConfig, SimConfig, TildeClass, TrafficClass,
-    Workload,
+    solve, Algorithm, CrossbarSim, Dims, Model, RunConfig, SimConfig, TildeClass, Workload,
 };
 
 fn main() {
@@ -72,8 +71,7 @@ fn main() {
             sol.concurrency(r),
         );
         assert!(
-            c.availability
-                .covers_with_slack(sol.nonblocking(r), 0.01),
+            c.availability.covers_with_slack(sol.nonblocking(r), 0.01),
             "simulation drifted from analytics"
         );
     }
