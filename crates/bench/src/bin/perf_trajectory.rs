@@ -1,0 +1,83 @@
+//! Machine-readable perf trajectory: times the hot solve path at the
+//! paper's benchmark sizes and writes `BENCH_2.json` (median ns per bench,
+//! switch size, backend, thread count) so the speedup story is trackable
+//! across PRs without parsing Criterion's console output.
+//!
+//! Run from the repo root: `cargo run --release -p xbar-bench --bin
+//! perf_trajectory [-- <output-path>]`.
+
+use std::time::Instant;
+
+use xbar_bench::{table2_model, BenchRecord, BenchReport};
+use xbar_core::alg1::{QLattice, ScaledQLattice};
+use xbar_core::parallel;
+use xbar_core::Model;
+use xbar_numeric::ExtFloat;
+
+/// Median wall-clock ns of `runs` invocations of `f`.
+fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_backend(name: &str, n: u32, threads: usize, model: &Model, runs: usize) -> BenchRecord {
+    let median = match name {
+        "alg1-ext" => median_ns(runs, || {
+            std::hint::black_box(QLattice::<ExtFloat>::solve_with_threads(model, threads));
+        }),
+        "alg1-scaled" => median_ns(runs, || {
+            std::hint::black_box(ScaledQLattice::solve_with_threads(model, threads));
+        }),
+        "alg1-f64" => median_ns(runs, || {
+            std::hint::black_box(QLattice::<f64>::solve_with_threads(model, threads));
+        }),
+        other => unreachable!("unknown backend {other}"),
+    };
+    println!("  {name:<12} N={n:<4} threads={threads:<2} median {median} ns");
+    BenchRecord {
+        name: format!("{name}/solve/{n}/t{threads}"),
+        n,
+        backend: name.to_string(),
+        threads,
+        median_ns: median,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
+    let auto = parallel::effective_threads();
+    println!("perf_trajectory: auto thread count = {auto}");
+
+    let mut records = Vec::new();
+    for &(n, runs) in &[(32u32, 40usize), (128, 15), (512, 5)] {
+        let model = table2_model(n);
+        // Plain f64 underflows past N ~ 64; only time it in range.
+        if n <= 64 {
+            records.push(time_backend("alg1-f64", n, 1, &model, runs));
+        }
+        for backend in ["alg1-ext", "alg1-scaled"] {
+            records.push(time_backend(backend, n, 1, &model, runs));
+            if auto > 1 {
+                records.push(time_backend(backend, n, auto, &model, runs));
+            }
+        }
+    }
+
+    let report = BenchReport {
+        pr: 2,
+        host_threads: auto,
+        records,
+    };
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write BENCH_2.json");
+    println!("wrote {out_path}");
+}

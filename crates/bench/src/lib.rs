@@ -2,10 +2,82 @@
 
 //! Shared fixtures for the Criterion benchmarks: canonical models at the
 //! paper's operating points, so every bench target measures the same
-//! objects the experiments use.
+//! objects the experiments use — plus the machine-readable
+//! [`BenchReport`] format the `perf_trajectory` binary writes to
+//! `BENCH_N.json`, so the perf story is trackable across PRs without
+//! parsing Criterion console output.
 
 use xbar_core::{Dims, Model};
 use xbar_traffic::{TildeClass, Workload};
+
+/// One timed benchmark point for the machine-readable trajectory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Fully-qualified label, e.g. `alg1-ext/solve/512/t4`.
+    pub name: String,
+    /// Square switch size `N`.
+    pub n: u32,
+    /// Backend identifier (`alg1-f64` / `alg1-scaled` / `alg1-ext`).
+    pub backend: String,
+    /// Wavefront thread count the solve ran with.
+    pub threads: usize,
+    /// Median wall-clock nanoseconds per solve.
+    pub median_ns: u64,
+}
+
+/// A full `BENCH_N.json` payload: every record plus enough host context to
+/// interpret the numbers (a 1-core host cannot show parallel speedup, and
+/// the JSON must say so rather than imply a regression).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Which PR produced the report (the `N` in `BENCH_N.json`).
+    pub pr: u32,
+    /// Auto-detected thread count on the measuring host.
+    pub host_threads: usize,
+    /// All timed points.
+    pub records: Vec<BenchRecord>,
+}
+
+/// Minimal JSON string escaping (labels are ASCII identifiers, but be
+/// correct anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchReport {
+    /// Serialise to pretty-printed JSON (hand-rolled: the build environment
+    /// has no serde, and the schema is four scalar fields per record).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"pr\": {},\n", self.pr));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"n\": {}, \"backend\": \"{}\", \
+                 \"threads\": {}, \"median_ns\": {}}}{comma}\n",
+                json_escape(&r.name),
+                r.n,
+                json_escape(&r.backend),
+                r.threads,
+                r.median_ns,
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
 
 /// The Table 2 (set 1) model at size `n`: one Poisson class and one Pascal
 /// class at `ρ̃ = β̃ = .0012`, `w = (1, 10⁻⁴)`.
@@ -55,5 +127,44 @@ mod tests {
     #[test]
     fn fixtures_scale_to_large_sizes() {
         assert!(solve(&table2_model(256), Algorithm::Alg1Ext).is_ok());
+    }
+
+    #[test]
+    fn bench_report_serialises_to_well_formed_json() {
+        let report = BenchReport {
+            pr: 2,
+            host_threads: 4,
+            records: vec![
+                BenchRecord {
+                    name: "alg1-ext/solve/512/t1".into(),
+                    n: 512,
+                    backend: "alg1-ext".into(),
+                    threads: 1,
+                    median_ns: 28_000_000,
+                },
+                BenchRecord {
+                    name: "alg1-ext/solve/512/t4".into(),
+                    n: 512,
+                    backend: "alg1-ext".into(),
+                    threads: 4,
+                    median_ns: 9_000_000,
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"pr\": 2"));
+        assert!(json.contains("\"host_threads\": 4"));
+        assert!(json.contains("\"median_ns\": 28000000"));
+        // Balanced braces/brackets and exactly one trailing record without
+        // a comma — a cheap well-formedness check without a JSON parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"threads\": 4, \"median_ns\": 9000000}\n"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
     }
 }

@@ -3,8 +3,8 @@
 //! auxiliary `V`-recursion (eq. 9) folding the geometric tail of each bursty
 //! class into constant work per lattice point.
 //!
-//! Sweeping the lattice row-major and applying the `i = 1` recurrence (and
-//! the `i = 2` recurrence along the `n1 = 0` column):
+//! Sweeping the lattice and applying the `i = 1` recurrence (and the
+//! `i = 2` recurrence along the `n1 = 0` column):
 //!
 //! ```text
 //! Q(n1, n2) = [ Q(n1−1, n2)
@@ -14,6 +14,22 @@
 //! ```
 //!
 //! with `Q(0,0) = 1` and `Q ≡ 0` at any negative coordinate.
+//!
+//! # Wavefront parallelism
+//!
+//! Every term on the right-hand side reads a cell with strictly smaller
+//! coordinate sum: `Q(n1−1, n2)` and `Q(n1, n2−1)` sit on anti-diagonal
+//! `d − 1` and the `(n1−a_r, n2−a_r)` terms on `d − 2a_r`, where
+//! `d = n1 + n2`. Cells sharing an anti-diagonal are therefore mutually
+//! independent, so the recursion admits an exact *wavefront* schedule:
+//! sweep `d` from 0 to `N1 + N2`, computing each diagonal's cells in
+//! parallel. [`QLattice::solve`] (all backends) runs this schedule over the
+//! flat row-major buffer with scoped threads and one barrier per diagonal;
+//! per-cell arithmetic is shared with the sequential path (one kernel), so
+//! the parallel result is **bit-for-bit identical** to the serial one.
+//! Short diagonals (below [`PAR_MIN_DIAG_LEN`]) are computed by a single
+//! worker, and small lattices (below [`PAR_MIN_DIM`]) skip the thread pool
+//! entirely — see [`crate::parallel`] for how the thread count is chosen.
 //!
 //! # Numeric backends
 //!
@@ -40,9 +56,24 @@
 //!   "constant factor" §6 mentions. Ratios of `Q̂` cells recover ratios of
 //!   `Q` exactly, so the measures are unaffected, which is §6's point.
 
+use std::marker::PhantomData;
+use std::sync::Barrier;
+
 use xbar_numeric::ExtFloat;
 
 use crate::model::{Dims, Model};
+use crate::parallel;
+
+/// Smallest `min(N1, N2) + 1` (= longest anti-diagonal) for which the
+/// automatic thread-count resolution engages the parallel wavefront; below
+/// this the per-diagonal barrier costs more than the cells. An explicit
+/// [`QLattice::solve_with_threads`] call bypasses this gate.
+pub const PAR_MIN_DIM: usize = 96;
+
+/// Anti-diagonals shorter than this are computed by one worker inside the
+/// parallel sweep (the triangular corners of the lattice), avoiding
+/// splitting a handful of cells across threads.
+pub const PAR_MIN_DIAG_LEN: usize = 16;
 
 /// Scalar arithmetic needed by the `Q`-recursion.
 pub trait QScalar: Copy {
@@ -114,6 +145,233 @@ pub trait QRatio {
     fn q_ratio(&self, num: (i64, i64), den: (i64, i64)) -> f64;
 }
 
+// ---------------------------------------------------------------------------
+// Wavefront engine (shared by all three backends)
+// ---------------------------------------------------------------------------
+
+/// Raw shared view of one row-major lattice buffer, letting wavefront
+/// workers write disjoint cells of the current anti-diagonal while reading
+/// completed cells from earlier diagonals.
+///
+/// All access goes through raw pointers (no `&`/`&mut` aliasing to prove),
+/// so soundness rests entirely on the sweep discipline documented on
+/// [`CellKernel::cell`].
+struct Cells<'a, S> {
+    ptr: *mut S,
+    cols: usize,
+    _buffer: PhantomData<&'a mut [S]>,
+}
+
+// Safety: the wavefront schedule guarantees data-race freedom (disjoint
+// writes within a diagonal, reads only of cells completed before the last
+// barrier), so sharing the view across worker threads is sound.
+unsafe impl<S: Send> Send for Cells<'_, S> {}
+unsafe impl<S: Send> Sync for Cells<'_, S> {}
+
+impl<'a, S: QScalar> Cells<'a, S> {
+    fn new(buffer: &'a mut [S], cols: usize) -> Self {
+        Cells {
+            ptr: buffer.as_mut_ptr(),
+            cols,
+            _buffer: PhantomData,
+        }
+    }
+
+    /// Read `(i1, i2)`; zero outside the non-negative quadrant.
+    ///
+    /// # Safety
+    /// `(i1, i2)` must lie inside the allocated lattice whenever both are
+    /// non-negative, and the cell must not be concurrently written.
+    #[inline(always)]
+    unsafe fn get(&self, i1: i64, i2: i64) -> S {
+        if i1 < 0 || i2 < 0 {
+            S::zero()
+        } else {
+            *self.ptr.add(i1 as usize * self.cols + i2 as usize)
+        }
+    }
+
+    /// Write `(i1, i2)`.
+    ///
+    /// # Safety
+    /// `(i1, i2)` must be in range and owned exclusively by the caller for
+    /// the duration of the current diagonal.
+    #[inline(always)]
+    unsafe fn set(&self, i1: i64, i2: i64, value: S) {
+        *self.ptr.add(i1 as usize * self.cols + i2 as usize) = value;
+    }
+}
+
+/// The per-cell recurrence of one backend: computes `V_r(i1, i2)` for every
+/// bursty class and `Q(i1, i2)`, and stores them. Exactly one invocation
+/// owns a cell, in both the serial and the parallel schedule, so serial and
+/// parallel lattices are bit-for-bit identical.
+trait CellKernel<S: QScalar>: Sync {
+    /// # Safety
+    /// The caller must guarantee exclusive access to cell `(i1, i2)` of `q`
+    /// and every `v` lattice, and that every cell with smaller coordinate
+    /// sum `i1 + i2` is complete and no longer being written.
+    unsafe fn cell(&self, q: &Cells<'_, S>, v: &[Cells<'_, S>], i1: i64, i2: i64);
+}
+
+/// Run a kernel over the whole lattice. `threads <= 1` sweeps row-major
+/// (cache-friendly; the dependency structure admits any order that computes
+/// smaller coordinate sums first, and row-major does). `threads > 1` runs
+/// the anti-diagonal wavefront with one barrier per diagonal.
+fn sweep<S, K>(n1: usize, n2: usize, q: &mut [S], v: &mut [Vec<S>], kernel: &K, threads: usize)
+where
+    S: QScalar + Send,
+    K: CellKernel<S>,
+{
+    let cols = n2 + 1;
+    let q_cells = Cells::new(q, cols);
+    let v_cells: Vec<Cells<'_, S>> = v.iter_mut().map(|b| Cells::new(b, cols)).collect();
+
+    let threads = threads.max(1).min(n1.min(n2) + 1);
+    if threads <= 1 {
+        for i1 in 0..=n1 as i64 {
+            for i2 in 0..=n2 as i64 {
+                // Safety: single-threaded; cells with smaller coordinate
+                // sums precede (i1, i2) in row-major order.
+                unsafe { kernel.cell(&q_cells, &v_cells, i1, i2) };
+            }
+        }
+        return;
+    }
+
+    let barrier = Barrier::new(threads);
+    let last_diag = (n1 + n2) as i64;
+    crossbeam::thread::scope(|s| {
+        for w in 0..threads {
+            let q_cells = &q_cells;
+            let v_cells = &v_cells[..];
+            let barrier = &barrier;
+            s.spawn(move |_| {
+                for d in 0..=last_diag {
+                    // The diagonal's i1 range: i2 = d − i1 must fit [0, n2].
+                    let lo = (d - n2 as i64).max(0);
+                    let hi = (n1 as i64).min(d);
+                    let len = (hi - lo + 1) as usize;
+                    if len < PAR_MIN_DIAG_LEN {
+                        if w == 0 {
+                            for i1 in lo..=hi {
+                                // Safety: worker 0 alone owns the whole
+                                // diagonal; earlier diagonals completed
+                                // before the previous barrier.
+                                unsafe { kernel.cell(q_cells, v_cells, i1, d - i1) };
+                            }
+                        }
+                    } else {
+                        let chunk = len.div_ceil(threads) as i64;
+                        let start = lo + w as i64 * chunk;
+                        let end = (start + chunk - 1).min(hi);
+                        for i1 in start..=end {
+                            // Safety: workers own disjoint i1 ranges of the
+                            // current diagonal; reads target older
+                            // diagonals, sequenced by the barrier below.
+                            unsafe { kernel.cell(q_cells, v_cells, i1, d - i1) };
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    })
+    .expect("wavefront worker panicked");
+}
+
+/// Resolve the thread count for an automatic (non-explicit) solve: the
+/// configured count, gated so small lattices stay serial.
+fn auto_threads(dims: Dims) -> usize {
+    if (dims.min_n() as usize + 1) < PAR_MIN_DIM {
+        1
+    } else {
+        parallel::effective_threads()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain backend (f64 / ExtFloat)
+// ---------------------------------------------------------------------------
+
+/// Structure-of-arrays coefficient table for the plain recurrence, hoisted
+/// out of the sweep: per Poisson class `a_r` and `a_r·ρ_r`, per bursty
+/// class additionally `β_r/μ_r`.
+struct PlainCoeffs {
+    poisson_a: Vec<i64>,
+    poisson_a_rho: Vec<f64>,
+    bursty_a: Vec<i64>,
+    bursty_a_rho: Vec<f64>,
+    bursty_beta_over_mu: Vec<f64>,
+}
+
+impl PlainCoeffs {
+    fn of(model: &Model) -> Self {
+        let mut co = PlainCoeffs {
+            poisson_a: Vec::new(),
+            poisson_a_rho: Vec::new(),
+            bursty_a: Vec::new(),
+            bursty_a_rho: Vec::new(),
+            bursty_beta_over_mu: Vec::new(),
+        };
+        for c in model.workload().classes() {
+            let a = c.bandwidth as i64;
+            let a_rho = a as f64 * c.rho();
+            if c.is_poisson() {
+                co.poisson_a.push(a);
+                co.poisson_a_rho.push(a_rho);
+            } else {
+                co.bursty_a.push(a);
+                co.bursty_a_rho.push(a_rho);
+                co.bursty_beta_over_mu.push(c.beta / c.mu);
+            }
+        }
+        co
+    }
+}
+
+struct PlainKernel {
+    co: PlainCoeffs,
+}
+
+impl<S: QScalar + Send> CellKernel<S> for PlainKernel {
+    #[inline(always)]
+    unsafe fn cell(&self, q: &Cells<'_, S>, v: &[Cells<'_, S>], i1: i64, i2: i64) {
+        let co = &self.co;
+        // V_r(i1, i2) first — it only reads strictly smaller points.
+        for ((&a, &beta_over_mu), vj) in co
+            .bursty_a
+            .iter()
+            .zip(&co.bursty_beta_over_mu)
+            .zip(v.iter())
+        {
+            let val = q
+                .get(i1 - a, i2 - a)
+                .add(vj.get(i1 - a, i2 - a).scale(beta_over_mu));
+            vj.set(i1, i2, val);
+        }
+        if i1 == 0 && i2 == 0 {
+            return; // Q(0,0) = 1 is seeded before the sweep.
+        }
+        // The i = 1 recurrence when possible, i = 2 on the n1 = 0 column
+        // (both derive from paper eq. 8; a consistency test below checks
+        // they agree).
+        let (prev, divisor) = if i1 >= 1 {
+            (q.get(i1 - 1, i2), i1 as f64)
+        } else {
+            (q.get(i1, i2 - 1), i2 as f64)
+        };
+        let mut acc = prev;
+        for (&a, &a_rho) in co.poisson_a.iter().zip(&co.poisson_a_rho) {
+            acc = acc.add(q.get(i1 - a, i2 - a).scale(a_rho));
+        }
+        for (&a_rho, vj) in co.bursty_a_rho.iter().zip(v.iter()) {
+            acc = acc.add(vj.get(i1, i2).scale(a_rho));
+        }
+        q.set(i1, i2, acc.scale(1.0 / divisor));
+    }
+}
+
 /// Solved `Q` lattice over `[0..=N1] × [0..=N2]` in scalar type `S`.
 #[derive(Clone, Debug)]
 pub struct QLattice<S> {
@@ -122,86 +380,33 @@ pub struct QLattice<S> {
     q: Vec<S>,
 }
 
-impl<S: QScalar> QLattice<S> {
-    /// Run Algorithm 1 for `model`.
+impl<S: QScalar + Send> QLattice<S> {
+    /// Run Algorithm 1 for `model`, choosing the thread count
+    /// automatically (see [`crate::parallel`]; small lattices stay serial).
     pub fn solve(model: &Model) -> Self {
-        let dims = model.dims();
-        let (n1, n2) = (dims.n1 as usize, dims.n2 as usize);
-        let cols = n2 + 1;
-        let classes = model.workload().classes();
-
-        struct PoissonTerm {
-            a: i64,
-            a_rho: f64,
-        }
-        struct BurstyTerm {
-            a: i64,
-            a_rho: f64,
-            beta_over_mu: f64,
-        }
-        let mut poisson = Vec::new();
-        let mut bursty = Vec::new();
-        for c in classes {
-            let a = c.bandwidth as i64;
-            let a_rho = a as f64 * c.rho();
-            if c.is_poisson() {
-                poisson.push(PoissonTerm { a, a_rho });
-            } else {
-                bursty.push(BurstyTerm {
-                    a,
-                    a_rho,
-                    beta_over_mu: c.beta / c.mu,
-                });
-            }
-        }
-
-        let mut q = vec![S::zero(); (n1 + 1) * cols];
-        // One V lattice per bursty class.
-        let mut v: Vec<Vec<S>> = vec![vec![S::zero(); (n1 + 1) * cols]; bursty.len()];
-
-        let at = |i1: i64, i2: i64| -> usize { i1 as usize * cols + i2 as usize };
-        let get = |buf: &[S], i1: i64, i2: i64| -> S {
-            if i1 < 0 || i2 < 0 {
-                S::zero()
-            } else {
-                buf[i1 as usize * cols + i2 as usize]
-            }
-        };
-
-        q[0] = S::one();
-        for i1 in 0..=n1 as i64 {
-            for i2 in 0..=n2 as i64 {
-                // V_r(i1, i2) first — it only reads strictly smaller points.
-                for (j, b) in bursty.iter().enumerate() {
-                    let val = get(&q, i1 - b.a, i2 - b.a)
-                        .add(get(&v[j], i1 - b.a, i2 - b.a).scale(b.beta_over_mu));
-                    v[j][at(i1, i2)] = val;
-                }
-                if i1 == 0 && i2 == 0 {
-                    continue;
-                }
-                // The i = 1 recurrence when possible, i = 2 on the n1 = 0
-                // column (both derive from paper eq. 8; a consistency test
-                // below checks they agree).
-                let (prev, divisor) = if i1 >= 1 {
-                    (get(&q, i1 - 1, i2), i1 as f64)
-                } else {
-                    (get(&q, i1, i2 - 1), i2 as f64)
-                };
-                let mut acc = prev;
-                for p in &poisson {
-                    acc = acc.add(get(&q, i1 - p.a, i2 - p.a).scale(p.a_rho));
-                }
-                for (j, b) in bursty.iter().enumerate() {
-                    acc = acc.add(v[j][at(i1, i2)].scale(b.a_rho));
-                }
-                q[at(i1, i2)] = acc.scale(1.0 / divisor);
-            }
-        }
-
-        QLattice { dims, q }
+        Self::solve_with_threads(model, auto_threads(model.dims()))
     }
 
+    /// Run Algorithm 1 with an explicit thread count (`<= 1` forces the
+    /// sequential sweep; `> 1` forces the wavefront even below the
+    /// automatic size gate — the result is bit-for-bit identical).
+    pub fn solve_with_threads(model: &Model, threads: usize) -> Self {
+        let dims = model.dims();
+        let (n1, n2) = (dims.n1 as usize, dims.n2 as usize);
+        let kernel = PlainKernel {
+            co: PlainCoeffs::of(model),
+        };
+        let cells = (n1 + 1) * (n2 + 1);
+        let mut q = vec![S::zero(); cells];
+        // One V lattice per bursty class.
+        let mut v: Vec<Vec<S>> = vec![vec![S::zero(); cells]; kernel.co.bursty_a.len()];
+        q[0] = S::one();
+        sweep(n1, n2, &mut q, &mut v, &kernel, threads);
+        QLattice { dims, q }
+    }
+}
+
+impl<S: QScalar> QLattice<S> {
     /// Raw `Q(i1, i2)` (zero outside the non-negative quadrant).
     pub fn q(&self, i1: i64, i2: i64) -> S {
         if i1 < 0 || i2 < 0 {
@@ -237,6 +442,96 @@ impl<S: QScalar> QRatio for QLattice<S> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scaled backend
+// ---------------------------------------------------------------------------
+
+/// Structure-of-arrays coefficient table for the scaled recurrence, in
+/// original class order (the scaled accumulation interleaves Poisson and
+/// bursty terms exactly as the workload lists them). `v_slot[r]` is the
+/// bursty class's `V`-lattice index, or `usize::MAX` for Poisson classes.
+struct ScaledCoeffs {
+    a: Vec<i64>,
+    a_rho: Vec<f64>,
+    c2a: Vec<f64>,
+    beta_over_mu: Vec<f64>,
+    v_slot: Vec<usize>,
+    n_bursty: usize,
+    /// The per-coordinate scale `c` itself.
+    c: f64,
+}
+
+impl ScaledCoeffs {
+    fn of(model: &Model, ln_c: f64) -> Self {
+        let classes = model.workload().classes();
+        let mut co = ScaledCoeffs {
+            a: Vec::with_capacity(classes.len()),
+            a_rho: Vec::with_capacity(classes.len()),
+            c2a: Vec::with_capacity(classes.len()),
+            beta_over_mu: Vec::with_capacity(classes.len()),
+            v_slot: Vec::with_capacity(classes.len()),
+            n_bursty: 0,
+            c: ln_c.exp(),
+        };
+        for cl in classes {
+            let a = cl.bandwidth as i64;
+            co.a.push(a);
+            co.a_rho.push(a as f64 * cl.rho());
+            co.c2a.push((2.0 * a as f64 * ln_c).exp());
+            co.beta_over_mu.push(cl.beta / cl.mu);
+            if cl.is_poisson() {
+                co.v_slot.push(usize::MAX);
+            } else {
+                co.v_slot.push(co.n_bursty);
+                co.n_bursty += 1;
+            }
+        }
+        co
+    }
+}
+
+struct ScaledKernel {
+    co: ScaledCoeffs,
+}
+
+impl CellKernel<f64> for ScaledKernel {
+    #[inline(always)]
+    unsafe fn cell(&self, q: &Cells<'_, f64>, v: &[Cells<'_, f64>], i1: i64, i2: i64) {
+        let co = &self.co;
+        for (((&slot, &a), &c2a), &beta_over_mu) in co
+            .v_slot
+            .iter()
+            .zip(&co.a)
+            .zip(&co.c2a)
+            .zip(&co.beta_over_mu)
+        {
+            if slot == usize::MAX {
+                continue;
+            }
+            let val = c2a * (q.get(i1 - a, i2 - a) + beta_over_mu * v[slot].get(i1 - a, i2 - a));
+            v[slot].set(i1, i2, val);
+        }
+        if i1 == 0 && i2 == 0 {
+            return;
+        }
+        let (prev, divisor) = if i1 >= 1 {
+            (q.get(i1 - 1, i2) * co.c, i1 as f64)
+        } else {
+            (q.get(i1, i2 - 1) * co.c, i2 as f64)
+        };
+        let mut acc = prev;
+        for (((&slot, &a), &c2a), &a_rho) in co.v_slot.iter().zip(&co.a).zip(&co.c2a).zip(&co.a_rho)
+        {
+            if slot == usize::MAX {
+                acc += a_rho * c2a * q.get(i1 - a, i2 - a);
+            } else {
+                acc += a_rho * v[slot].get(i1, i2);
+            }
+        }
+        q.set(i1, i2, acc / divisor);
+    }
+}
+
 /// Algorithm 1 under the paper's §6 dynamic scaling, realised as the
 /// deterministic geometric schedule described in the module docs:
 /// each stored cell is `Q̂(n) = Q(n)·c^(n1+n2)`.
@@ -257,81 +552,27 @@ pub struct ScaledQLattice {
 }
 
 impl ScaledQLattice {
-    /// Run Algorithm 1 with scaling for `model`.
+    /// Run Algorithm 1 with scaling for `model` (automatic thread count,
+    /// as [`QLattice::solve`]).
     pub fn solve(model: &Model) -> Self {
+        Self::solve_with_threads(model, auto_threads(model.dims()))
+    }
+
+    /// Run Algorithm 1 with scaling and an explicit thread count.
+    pub fn solve_with_threads(model: &Model, threads: usize) -> Self {
         let dims = model.dims();
         let (n1, n2) = (dims.n1 as usize, dims.n2 as usize);
-        let cols = n2 + 1;
         // ln c = ln(Nmax) − 1 flattens the factorial decay (Stirling);
         // clamp at 0 so tiny switches are simply unscaled.
         let ln_c = ((dims.max_n() as f64).ln() - 1.0).max(0.0);
-        let c = ln_c.exp();
-
-        struct Term {
-            a: i64,
-            a_rho: f64,
-            c2a: f64,
-            beta_over_mu: f64,
-            poisson: bool,
-        }
-        let terms: Vec<Term> = model
-            .workload()
-            .classes()
-            .iter()
-            .map(|cl| {
-                let a = cl.bandwidth as i64;
-                Term {
-                    a,
-                    a_rho: a as f64 * cl.rho(),
-                    c2a: (2.0 * a as f64 * ln_c).exp(),
-                    beta_over_mu: cl.beta / cl.mu,
-                    poisson: cl.is_poisson(),
-                }
-            })
-            .collect();
-        let n_bursty = terms.iter().filter(|t| !t.poisson).count();
-
-        let mut qhat = vec![0.0f64; (n1 + 1) * cols];
-        let mut v: Vec<Vec<f64>> = vec![vec![0.0; (n1 + 1) * cols]; n_bursty];
-        let at = |i1: i64, i2: i64| -> usize { i1 as usize * cols + i2 as usize };
-        let get = |buf: &[f64], i1: i64, i2: i64| -> f64 {
-            if i1 < 0 || i2 < 0 {
-                0.0
-            } else {
-                buf[i1 as usize * cols + i2 as usize]
-            }
+        let kernel = ScaledKernel {
+            co: ScaledCoeffs::of(model, ln_c),
         };
-
+        let cells = (n1 + 1) * (n2 + 1);
+        let mut qhat = vec![0.0f64; cells];
+        let mut v: Vec<Vec<f64>> = vec![vec![0.0; cells]; kernel.co.n_bursty];
         qhat[0] = 1.0;
-        for i1 in 0..=n1 as i64 {
-            for i2 in 0..=n2 as i64 {
-                for (j, t) in terms.iter().filter(|t| !t.poisson).enumerate() {
-                    v[j][at(i1, i2)] = t.c2a
-                        * (get(&qhat, i1 - t.a, i2 - t.a)
-                            + t.beta_over_mu * get(&v[j], i1 - t.a, i2 - t.a));
-                }
-                if i1 == 0 && i2 == 0 {
-                    continue;
-                }
-                let (prev, divisor) = if i1 >= 1 {
-                    (get(&qhat, i1 - 1, i2) * c, i1 as f64)
-                } else {
-                    (get(&qhat, i1, i2 - 1) * c, i2 as f64)
-                };
-                let mut acc = prev;
-                let mut j = 0usize;
-                for t in &terms {
-                    if t.poisson {
-                        acc += t.a_rho * t.c2a * get(&qhat, i1 - t.a, i2 - t.a);
-                    } else {
-                        acc += t.a_rho * v[j][at(i1, i2)];
-                        j += 1;
-                    }
-                }
-                qhat[at(i1, i2)] = acc / divisor;
-            }
-        }
-
+        sweep(n1, n2, &mut qhat, &mut v, &kernel, threads);
         ScaledQLattice { dims, ln_c, qhat }
     }
 
@@ -502,6 +743,55 @@ mod tests {
         for i1 in 0..=6i64 {
             for i2 in 0..=4i64 {
                 close(a.q(i1, i2), b.q(i2, i1), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_wavefront_is_bit_identical_to_serial() {
+        // The tentpole invariant: forcing the wavefront (any thread count)
+        // must reproduce the sequential lattice exactly, including on
+        // rectangular switches and below the automatic size gate.
+        for (n1, n2) in [(9u32, 6u32), (6, 9), (17, 17)] {
+            let m = mixed_model(n1, n2);
+            let serial: QLattice<f64> = QLattice::solve_with_threads(&m, 1);
+            let ext_serial: QLattice<ExtFloat> = QLattice::solve_with_threads(&m, 1);
+            let scaled_serial = ScaledQLattice::solve_with_threads(&m, 1);
+            for threads in [2usize, 3, 5] {
+                let par: QLattice<f64> = QLattice::solve_with_threads(&m, threads);
+                let ext_par: QLattice<ExtFloat> = QLattice::solve_with_threads(&m, threads);
+                let scaled_par = ScaledQLattice::solve_with_threads(&m, threads);
+                for i1 in 0..=n1 as i64 {
+                    for i2 in 0..=n2 as i64 {
+                        assert_eq!(
+                            serial.q(i1, i2).to_bits(),
+                            par.q(i1, i2).to_bits(),
+                            "f64 cell ({i1},{i2}) differs at {threads} threads"
+                        );
+                        assert_eq!(
+                            ext_serial.q(i1, i2),
+                            ext_par.q(i1, i2),
+                            "ExtFloat cell ({i1},{i2}) differs at {threads} threads"
+                        );
+                        assert_eq!(
+                            scaled_serial.qhat(i1, i2).to_bits(),
+                            scaled_par.qhat(i1, i2).to_bits(),
+                            "scaled cell ({i1},{i2}) differs at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_larger_than_diagonal_is_clamped() {
+        let m = mixed_model(3, 3);
+        let a: QLattice<f64> = QLattice::solve_with_threads(&m, 64);
+        let b: QLattice<f64> = QLattice::solve_with_threads(&m, 1);
+        for i1 in 0..=3i64 {
+            for i2 in 0..=3i64 {
+                assert_eq!(a.q(i1, i2).to_bits(), b.q(i1, i2).to_bits());
             }
         }
     }

@@ -83,6 +83,7 @@ pub mod approx;
 pub mod brute;
 pub mod measures;
 pub mod model;
+pub mod parallel;
 pub mod policy;
 pub mod sensitivity;
 pub mod solver;
@@ -92,5 +93,5 @@ pub mod transient;
 pub use measures::{ClassMeasures, SwitchMeasures};
 pub use model::{Dims, Model, ModelError};
 pub use solver::resilient::{solve_resilient, ResilientConfig, ResilientSolution, SolveReport};
-pub use solver::{solve, Algorithm, Solution, SolveError};
+pub use solver::{solve, solve_batch, solve_cached, Algorithm, Solution, SolveCache, SolveError};
 pub use state::StateIter;

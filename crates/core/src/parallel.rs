@@ -1,0 +1,106 @@
+//! Thread-count plumbing for the parallel solve paths (the wavefront
+//! lattice sweep in [`crate::alg1`] and [`crate::solver::solve_batch`]).
+//!
+//! Resolution order for the effective thread count:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by the
+//!    batch work pool to keep its per-model solves single-threaded, and by
+//!    tests to force the parallel path on small lattices);
+//! 2. the process-wide setting from [`set_threads`] (the CLI's
+//!    `--threads N` lands here; `0` means "auto");
+//! 3. the `XBAR_THREADS` environment variable (how CI exercises both code
+//!    paths without touching flags);
+//! 4. `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide configured thread count; `0` = auto.
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Thread-local override; `0` = no override.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Set the process-wide solver thread count. `0` restores auto detection
+/// (`available_parallelism`, or `XBAR_THREADS` when set).
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide setting last passed to [`set_threads`] (`0` = auto).
+pub fn configured_threads() -> usize {
+    CONFIGURED.load(Ordering::Relaxed)
+}
+
+/// Resolve the thread count the parallel paths should use right now, per
+/// the module-level precedence. Always at least 1.
+pub fn effective_threads() -> usize {
+    let tls = OVERRIDE.with(Cell::get);
+    if tls != 0 {
+        return tls;
+    }
+    let configured = configured_threads();
+    if configured != 0 {
+        return configured;
+    }
+    if let Ok(var) = std::env::var("XBAR_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n != 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` with the effective thread count pinned to `n` on this thread
+/// (restored on exit, panic included). `n = 0` clears any override.
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(n);
+        Restore(prev)
+    });
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = effective_threads();
+        let inner = with_threads(3, effective_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(effective_threads(), outer);
+        // Nested overrides unwind correctly.
+        let (a, b) = with_threads(2, || {
+            (effective_threads(), with_threads(5, effective_threads))
+        });
+        assert_eq!((a, b), (2, 5));
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = OVERRIDE.with(Cell::get);
+        let result = std::panic::catch_unwind(|| with_threads(7, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(OVERRIDE.with(Cell::get), before);
+    }
+
+    #[test]
+    fn effective_is_at_least_one() {
+        assert!(effective_threads() >= 1);
+    }
+}

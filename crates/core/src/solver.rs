@@ -6,7 +6,10 @@
 //! fixed-precision backend fails, plus cross-algorithm self-verification —
 //! see the [`resilient`] submodule.
 
+pub mod cache;
 pub mod resilient;
+
+pub use cache::{solve_batch, solve_cached, SolveCache};
 
 use std::fmt;
 

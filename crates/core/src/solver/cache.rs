@@ -1,0 +1,390 @@
+//! Memoizing solve engine: a keyed LRU of finished [`Solution`]s plus a
+//! work-stealing batch front-end.
+//!
+//! Algorithm 1 is the hot path behind every figure, sweep, and resilient
+//! escalation, and many callers re-solve the *same* model: forward-difference
+//! gradients solve the base point twice, `solve_resilient` cross-checks
+//! re-enter `solve`, and experiment drivers anchor several series on one
+//! shared configuration. [`SolveCache`] memoizes by a canonicalised model
+//! fingerprint so those repeats cost a hash lookup instead of an
+//! `O(N1·N2·R)` sweep; [`solve_batch`] fans a slice of models out over a
+//! [`crossbeam::queue::SegQueue`] work pool (work-stealing, so unbalanced
+//! sweeps with large-`N` tails no longer serialise on the slowest chunk).
+//!
+//! # Cache-key canonicalisation
+//!
+//! Two models must share a cache entry iff a solve cannot tell them apart.
+//! The fingerprint therefore covers the *requested* algorithm (so an
+//! [`Algorithm::Auto`] solution, whose [`Solution::algorithm`] reports
+//! `Auto`, is never returned for an explicit `Alg1F64` request even when
+//! auto would resolve to the same backend), the dims, and every class's
+//! `(α, β, μ, a, w)` tuple in workload order. Floats are compared by bit
+//! pattern with `-0.0` normalised to `+0.0` — the one bit-level distinction
+//! IEEE arithmetic cannot observe here — so no tolerance is involved:
+//! models differing in the last ulp are (correctly) distinct entries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crossbeam::queue::SegQueue;
+
+use super::{solve, Algorithm, Solution, SolveError};
+use crate::model::Model;
+use crate::parallel;
+
+/// Canonical fingerprint of one `(Model, Algorithm)` solve request.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    algorithm: Algorithm,
+    n1: u32,
+    n2: u32,
+    /// Per class: `[α, β, μ, weight]` as canonical bit patterns plus the
+    /// bandwidth, flattened in workload order.
+    classes: Vec<u64>,
+}
+
+/// `f64` → canonical bit pattern (`-0.0` folds onto `+0.0`).
+fn canon_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0u64
+    } else {
+        x.to_bits()
+    }
+}
+
+fn fingerprint(model: &Model, algorithm: Algorithm) -> Key {
+    let dims = model.dims();
+    let classes = model.workload().classes();
+    let mut flat = Vec::with_capacity(classes.len() * 5);
+    for c in classes {
+        flat.push(canon_bits(c.alpha));
+        flat.push(canon_bits(c.beta));
+        flat.push(canon_bits(c.mu));
+        flat.push(canon_bits(c.weight));
+        flat.push(c.bandwidth as u64);
+    }
+    Key {
+        algorithm,
+        n1: dims.n1,
+        n2: dims.n2,
+        classes: flat,
+    }
+}
+
+/// Hit/miss counters of a [`SolveCache`] (monotonic since construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that ran a fresh solve.
+    pub misses: u64,
+}
+
+/// A bounded, thread-safe LRU of finished solutions keyed by the
+/// canonicalised model fingerprint (see the module docs).
+///
+/// Entries are `Arc<Solution>`, so a hit is a pointer clone — callers on
+/// different threads share one lattice. Failed solves are *not* cached:
+/// errors are cheap to reproduce and callers typically escalate to a
+/// different backend immediately anyway.
+///
+/// The store is a mutexed most-recently-used-first vector rather than a
+/// hash map: capacities are small (tens of entries — each large lattice is
+/// megabytes), so a linear scan of inline keys beats hashing, and eviction
+/// is `pop()`. Solves run *outside* the lock; concurrent misses on the same
+/// key may both solve, and the loser's entry is simply dropped.
+pub struct SolveCache {
+    capacity: usize,
+    /// MRU first.
+    entries: Mutex<Vec<(Key, Arc<Solution>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// An empty cache holding at most `capacity` solutions (`capacity` is
+    /// clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        SolveCache {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Serve `solve(model, algorithm)` from the cache, running (and
+    /// memoizing) a fresh solve on miss.
+    pub fn get_or_solve(
+        &self,
+        model: &Model,
+        algorithm: Algorithm,
+    ) -> Result<Arc<Solution>, SolveError> {
+        let key = fingerprint(model, algorithm);
+        {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+                let hit = entries.remove(pos);
+                let sol = Arc::clone(&hit.1);
+                entries.insert(0, hit);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(sol);
+            }
+        }
+        // Miss: solve without holding the lock (a solve can take seconds at
+        // N = 512; serialising misses would defeat solve_batch entirely).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let sol = Arc::new(solve(model, algorithm)?);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if !entries.iter().any(|(k, _)| *k == key) {
+            entries.insert(0, (key, Arc::clone(&sol)));
+            entries.truncate(self.capacity);
+        }
+        Ok(sol)
+    }
+
+    /// Number of cached solutions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` iff the cache holds no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached solution (counters keep running).
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Capacity of the process-wide cache behind [`solve_cached`]. Sized for
+/// sweep working sets (escalation chains, gradients, repeated anchors)
+/// while bounding worst-case memory: a `513 × 513` extended-range lattice
+/// is ~4 MB, so the ceiling is a few hundred MB of solutions even if every
+/// entry is maximal.
+pub const GLOBAL_CACHE_CAPACITY: usize = 64;
+
+/// The process-wide [`SolveCache`] used by [`solve_cached`],
+/// [`solve_batch`], and the resilient pipeline.
+pub fn global_cache() -> &'static SolveCache {
+    static GLOBAL: OnceLock<SolveCache> = OnceLock::new();
+    GLOBAL.get_or_init(|| SolveCache::new(GLOBAL_CACHE_CAPACITY))
+}
+
+/// [`solve`], memoized through the process-wide cache. Semantically
+/// identical to `solve` (same measures, same `Solution::algorithm`); the
+/// only observable difference is sharing: repeated calls return the same
+/// `Arc`.
+pub fn solve_cached(model: &Model, algorithm: Algorithm) -> Result<Arc<Solution>, SolveError> {
+    global_cache().get_or_solve(model, algorithm)
+}
+
+/// One batch result slot: filled by whichever worker claimed the index.
+type BatchSlot = Mutex<Option<Result<Arc<Solution>, SolveError>>>;
+
+/// Solve every model in `models`, fanning out over a work-stealing pool of
+/// [`parallel::effective_threads`] workers, and return the results in input
+/// order.
+///
+/// Workers pull indices from a shared [`SegQueue`] in small batches
+/// ([`SegQueue::pop_batch`], amortising the shim's lock over several sweep
+/// points), so an unbalanced mix — a few large-`N` tail points among many
+/// cheap ones — keeps every worker busy until the queue drains, unlike a
+/// static chunked split. Each worker pins its per-model solves to one
+/// thread ([`parallel::with_threads`]): with whole models to hand out,
+/// across-model parallelism strictly dominates nested wavefront
+/// parallelism. Solves go through the process-wide cache, so duplicate
+/// models in one batch (or across batches) are solved once.
+pub fn solve_batch(
+    models: &[Model],
+    algorithm: Algorithm,
+) -> Vec<Result<Arc<Solution>, SolveError>> {
+    let n = models.len();
+    let threads = parallel::effective_threads().min(n.max(1));
+    if threads <= 1 {
+        // Serial batch: let each solve use the wavefront's own auto gate.
+        return models.iter().map(|m| solve_cached(m, algorithm)).collect();
+    }
+
+    let queue = SegQueue::new();
+    for i in 0..n {
+        queue.push(i);
+    }
+    // Batch size: enough to amortise the queue lock, small enough that the
+    // tail stays balanced across workers.
+    let batch = (n / (threads * 4)).clamp(1, 16);
+
+    let mut slots: Vec<BatchSlot> = Vec::new();
+    slots.resize_with(n, || Mutex::new(None));
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let taken = queue.pop_batch(batch);
+                if taken.is_empty() {
+                    break;
+                }
+                for i in taken {
+                    let r = parallel::with_threads(1, || solve_cached(&models[i], algorithm));
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                }
+            });
+        }
+    })
+    .expect("solve_batch worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("solve_batch drained the queue but left a slot empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Dims;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn mixed_model(n1: u32, n2: u32) -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.3))
+            .with(TrafficClass::bpp(0.2, 0.08, 1.0));
+        Model::new(Dims::new(n1, n2), w).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_same_arc_and_identical_measures() {
+        let cache = SolveCache::new(8);
+        let m = mixed_model(6, 6);
+        let a = cache.get_or_solve(&m, Algorithm::Auto).unwrap();
+        let b = cache.get_or_solve(&m, Algorithm::Auto).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.measures(), b.measures());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // An equal-but-distinct Model value hits too (value keying).
+        let m2 = mixed_model(6, 6);
+        let c = cache.get_or_solve(&m2, Algorithm::Auto).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn requested_algorithm_is_part_of_the_key() {
+        let cache = SolveCache::new(8);
+        let m = mixed_model(6, 6);
+        // Auto resolves to Alg1F64 at this size, but the two requests must
+        // stay distinct entries so Solution::algorithm() is preserved.
+        let auto = cache.get_or_solve(&m, Algorithm::Auto).unwrap();
+        let f64_ = cache.get_or_solve(&m, Algorithm::Alg1F64).unwrap();
+        assert!(!Arc::ptr_eq(&auto, &f64_));
+        assert_eq!(auto.algorithm(), Algorithm::Auto);
+        assert_eq!(f64_.algorithm(), Algorithm::Alg1F64);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_models_are_distinct_entries() {
+        let cache = SolveCache::new(8);
+        let a = cache
+            .get_or_solve(&mixed_model(6, 6), Algorithm::Auto)
+            .unwrap();
+        let b = cache
+            .get_or_solve(&mixed_model(6, 5), Algorithm::Auto)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = SolveCache::new(2);
+        let m1 = mixed_model(4, 4);
+        let m2 = mixed_model(5, 5);
+        let m3 = mixed_model(6, 6);
+        cache.get_or_solve(&m1, Algorithm::Auto).unwrap();
+        cache.get_or_solve(&m2, Algorithm::Auto).unwrap();
+        // Touch m1 so m2 is now least recently used.
+        cache.get_or_solve(&m1, Algorithm::Auto).unwrap();
+        cache.get_or_solve(&m3, Algorithm::Auto).unwrap();
+        assert_eq!(cache.len(), 2);
+        let before = cache.stats();
+        cache.get_or_solve(&m1, Algorithm::Auto).unwrap();
+        assert_eq!(cache.stats().hits, before.hits + 1, "m1 was evicted");
+        cache.get_or_solve(&m2, Algorithm::Auto).unwrap();
+        assert_eq!(cache.stats().misses, before.misses + 1, "m2 survived");
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SolveCache::new(8);
+        let w = Workload::new().with(TrafficClass::poisson(1e-5));
+        let big = Model::new(Dims::square(200), w).unwrap();
+        for _ in 0..2 {
+            assert!(matches!(
+                cache.get_or_solve(&big, Algorithm::Alg1F64),
+                Err(SolveError::Underflow(_))
+            ));
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn negative_zero_canonicalises() {
+        // β = -0.0 and β = 0.0 describe the same (Poisson) class.
+        assert_eq!(canon_bits(-0.0), canon_bits(0.0));
+        assert_ne!(canon_bits(1.0), canon_bits(-1.0));
+    }
+
+    #[test]
+    fn batch_matches_individual_solves_in_order() {
+        let models: Vec<Model> = (3..11).map(|n| mixed_model(n, n + 1)).collect();
+        let batch = solve_batch(&models, Algorithm::Auto);
+        assert_eq!(batch.len(), models.len());
+        for (m, r) in models.iter().zip(&batch) {
+            let sol = r.as_ref().expect("solves");
+            assert_eq!(sol.model(), m);
+            let direct = solve(m, Algorithm::Auto).unwrap();
+            assert_eq!(sol.measures(), direct.measures());
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_model_errors_in_place() {
+        let w = Workload::new().with(TrafficClass::poisson(1e-5));
+        let big = Model::new(Dims::square(200), w).unwrap();
+        let models = vec![mixed_model(5, 5), big, mixed_model(6, 6)];
+        let batch = solve_batch(&models, Algorithm::Alg1F64);
+        assert!(batch[0].is_ok());
+        assert!(matches!(batch[1], Err(SolveError::Underflow(_))));
+        assert!(batch[2].is_ok());
+    }
+
+    #[test]
+    fn batch_deduplicates_repeated_models_via_cache() {
+        let m = mixed_model(7, 7);
+        let models = vec![m.clone(), m.clone(), m];
+        let batch = solve_batch(&models, Algorithm::Auto);
+        let a = batch[0].as_ref().unwrap();
+        let b = batch[2].as_ref().unwrap();
+        // All three served from one cached solve (possibly racing on the
+        // first fill, but at least the later ones share).
+        assert_eq!(a.measures(), b.measures());
+    }
+}

@@ -20,10 +20,12 @@
 //! can inspect which measures diverged.
 
 use std::fmt;
+use std::sync::Arc;
 
 use xbar_numeric::guard::{relative_gap, GuardError};
 
-use super::{solve, Algorithm, Solution, SolveError};
+use super::cache::solve_cached;
+use super::{Algorithm, Solution, SolveError};
 use crate::measures::SwitchMeasures;
 use crate::model::Model;
 
@@ -229,8 +231,11 @@ impl fmt::Display for CrossCheckFailure {
 /// A [`Solution`] together with the [`SolveReport`] describing how it was
 /// obtained and verified.
 pub struct ResilientSolution {
-    /// The accepted solution (from the first backend to pass the guards).
-    pub solution: Solution,
+    /// The accepted solution (from the first backend to pass the guards),
+    /// shared with the process-wide [`super::cache`] — repeated resilient
+    /// solves of one model (e.g. forward-difference gradients) reuse the
+    /// finished lattice instead of re-running the escalation's winner.
+    pub solution: Arc<Solution>,
     /// The pipeline record.
     pub report: SolveReport,
 }
@@ -320,9 +325,9 @@ pub fn solve_resilient(
     config: &ResilientConfig,
 ) -> Result<ResilientSolution, SolveError> {
     let mut attempts = Vec::with_capacity(config.chain.len());
-    let mut won: Option<(Algorithm, Solution)> = None;
+    let mut won: Option<(Algorithm, Arc<Solution>)> = None;
     for &alg in &config.chain {
-        match solve(model, alg) {
+        match solve_cached(model, alg) {
             Ok(sol) => {
                 attempts.push(Attempt {
                     algorithm: alg,
@@ -358,7 +363,7 @@ pub fn solve_resilient(
     if config.cross_check {
         let checker = pick_checker(winner_alg, model.dims().max_n(), config);
         let tol = config.cross_check_tol;
-        match solve(model, checker) {
+        match solve_cached(model, checker) {
             Err(e) => {
                 let cause = cause_of(e)?;
                 report.cross_check = Some(CrossCheck {

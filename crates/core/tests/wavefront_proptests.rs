@@ -1,0 +1,158 @@
+//! Property-based checks for the wavefront-parallel lattice sweep and the
+//! memoizing solve cache.
+//!
+//! The tentpole invariant: forcing the anti-diagonal wavefront (any thread
+//! count) must reproduce the sequential lattice **bit-for-bit** for the
+//! `f64` and `ExtFloat` backends — the per-cell arithmetic is shared code,
+//! only the schedule changes — and the scaled backend's ratios must agree
+//! to ≤ 1e-12 relative gap (they are bit-identical too, but the public
+//! surface is the ratio, so that is what's asserted).
+
+use proptest::prelude::*;
+
+use xbar_core::alg1::{QLattice, QRatio, ScaledQLattice};
+use xbar_core::{solve, Algorithm, Dims, Model, SolveCache};
+use xbar_numeric::guard::relative_gap;
+use xbar_numeric::ExtFloat;
+use xbar_traffic::{TrafficClass, Workload};
+
+/// A random valid traffic class (Poisson / Pascal / Bernoulli) for a
+/// switch with `max_n` ports, with bandwidths up to 3.
+fn arb_class(max_n: u32) -> impl Strategy<Value = TrafficClass> {
+    let poisson =
+        (0.001f64..2.0, 0.2f64..3.0, 1u32..4, 0.01f64..2.0).prop_map(|(rho, mu, a, w)| {
+            TrafficClass::bpp(rho * mu, 0.0, mu)
+                .with_bandwidth(a)
+                .with_weight(w)
+        });
+    let pascal = (
+        0.001f64..1.5,
+        0.05f64..0.9,
+        0.5f64..2.0,
+        1u32..4,
+        0.01f64..2.0,
+    )
+        .prop_map(|(alpha, frac, mu, a, w)| {
+            TrafficClass::bpp(alpha, frac * mu, mu)
+                .with_bandwidth(a)
+                .with_weight(w)
+        });
+    let bernoulli = (1u64..6, 0.01f64..0.5, 0.5f64..2.0, 0.01f64..2.0).prop_map(
+        move |(extra, p_rate, mu, w)| {
+            let s = (max_n as u64 + extra) as f64;
+            TrafficClass::bpp(s * p_rate, -p_rate, mu).with_weight(w)
+        },
+    );
+    prop_oneof![poisson, pascal, bernoulli]
+}
+
+/// Random models with deliberately rectangular dims (`N1 ≠ N2` most of the
+/// time) large enough for several anti-diagonals of interesting length.
+fn arb_model() -> impl Strategy<Value = Model> {
+    (2u32..20, 2u32..20).prop_flat_map(|(n1, n2)| {
+        let max_n = n1.max(n2);
+        prop::collection::vec(arb_class(max_n), 1..4).prop_filter_map(
+            "classes must fit switch",
+            move |classes| {
+                let min_n = n1.min(n2);
+                if classes.iter().any(|c| c.bandwidth > min_n) {
+                    return None;
+                }
+                Model::new(Dims::new(n1, n2), Workload::from_classes(classes)).ok()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn f64_wavefront_is_bit_identical_to_serial(
+        model in arb_model(),
+        threads in 2usize..9,
+    ) {
+        let serial: QLattice<f64> = QLattice::solve_with_threads(&model, 1);
+        let par: QLattice<f64> = QLattice::solve_with_threads(&model, threads);
+        let d = model.dims();
+        for i1 in 0..=d.n1 as i64 {
+            for i2 in 0..=d.n2 as i64 {
+                prop_assert_eq!(
+                    serial.q(i1, i2).to_bits(),
+                    par.q(i1, i2).to_bits(),
+                    "f64 Q({},{}) differs at {} threads on {}",
+                    i1, i2, threads, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extfloat_wavefront_is_bit_identical_to_serial(
+        model in arb_model(),
+        threads in 2usize..9,
+    ) {
+        let serial: QLattice<ExtFloat> = QLattice::solve_with_threads(&model, 1);
+        let par: QLattice<ExtFloat> = QLattice::solve_with_threads(&model, threads);
+        let d = model.dims();
+        for i1 in 0..=d.n1 as i64 {
+            for i2 in 0..=d.n2 as i64 {
+                // ExtFloat is (mantissa, exponent) in canonical form;
+                // PartialEq is exact.
+                prop_assert_eq!(
+                    serial.q(i1, i2),
+                    par.q(i1, i2),
+                    "ExtFloat Q({},{}) differs at {} threads on {}",
+                    i1, i2, threads, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_wavefront_ratios_match_serial(
+        model in arb_model(),
+        threads in 2usize..9,
+    ) {
+        let serial = ScaledQLattice::solve_with_threads(&model, 1);
+        let par = ScaledQLattice::solve_with_threads(&model, threads);
+        let d = model.dims();
+        let den = (d.n1 as i64, d.n2 as i64);
+        for i1 in 0..=d.n1 as i64 {
+            for i2 in 0..=d.n2 as i64 {
+                let gap = relative_gap(
+                    serial.q_ratio((i1, i2), den),
+                    par.q_ratio((i1, i2), den),
+                );
+                prop_assert!(
+                    gap <= 1e-12,
+                    "scaled ratio ({},{})/{:?} gap {} at {} threads on {}",
+                    i1, i2, den, gap, threads, d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_measures(
+        model in arb_model(),
+        algorithm in prop_oneof![
+            Just(Algorithm::Auto),
+            Just(Algorithm::Alg1F64),
+            Just(Algorithm::Alg1Ext),
+            Just(Algorithm::Alg1Scaled),
+        ],
+    ) {
+        let cache = SolveCache::new(4);
+        let cold = solve(&model, algorithm).unwrap();
+        let miss = cache.get_or_solve(&model, algorithm).unwrap();
+        let hit = cache.get_or_solve(&model, algorithm).unwrap();
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(cache.stats().misses, 1);
+        // The hit shares the miss's lattice, and both equal a cold solve
+        // exactly (same code path; memoization must not perturb results).
+        prop_assert!(std::sync::Arc::ptr_eq(&miss, &hit));
+        prop_assert_eq!(hit.measures(), cold.measures());
+        prop_assert_eq!(hit.algorithm(), algorithm);
+    }
+}

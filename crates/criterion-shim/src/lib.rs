@@ -15,12 +15,22 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// `true` when the bench binary was invoked in smoke mode
+/// (`cargo bench -- --smoke`, or `XBAR_BENCH_SMOKE=1`): every benchmark
+/// body runs exactly once, so CI can catch panics/regressions in the bench
+/// harnesses themselves in seconds instead of minutes.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("XBAR_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
 /// Top-level benchmark driver (a configuration holder in this shim).
 #[derive(Clone, Debug)]
 pub struct Criterion {
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
@@ -29,6 +39,7 @@ impl Default for Criterion {
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(1),
             sample_size: 100,
+            smoke: smoke_mode(),
         }
     }
 }
@@ -67,7 +78,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(self.warm_up, self.measurement, id, f);
+        run_one(self.warm_up, self.measurement, self.smoke, id, f);
         self
     }
 }
@@ -112,6 +123,7 @@ impl BenchmarkGroup<'_> {
         run_one(
             self.criterion.warm_up,
             self.criterion.measurement,
+            self.criterion.smoke,
             &label,
             f,
         );
@@ -132,6 +144,7 @@ impl BenchmarkGroup<'_> {
         run_one(
             self.criterion.warm_up,
             self.criterion.measurement,
+            self.criterion.smoke,
             &label,
             |b| f(b, input),
         );
@@ -173,13 +186,21 @@ impl BenchmarkId {
 pub struct Bencher {
     warm_up: Duration,
     measurement: Duration,
+    smoke: bool,
     /// Filled in by `iter`: (iterations, total elapsed).
     result: Option<(u64, Duration)>,
 }
 
 impl Bencher {
-    /// Time `f`, repeatedly, for the configured window.
+    /// Time `f`, repeatedly, for the configured window (once, in smoke
+    /// mode).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            let t0 = Instant::now();
+            black_box(f());
+            self.result = Some((1, t0.elapsed()));
+            return;
+        }
         // Warm-up, and discover a batch size targeting ~1ms per batch so
         // the Instant overhead stays negligible for fast bodies.
         let warm_end = Instant::now() + self.warm_up;
@@ -208,16 +229,22 @@ impl Bencher {
 fn run_one<F: FnMut(&mut Bencher)>(
     warm_up: Duration,
     measurement: Duration,
+    smoke: bool,
     label: &str,
     mut f: F,
 ) {
     let mut b = Bencher {
         warm_up,
         measurement,
+        smoke,
         result: None,
     };
     f(&mut b);
     match b.result {
+        Some((iters, elapsed)) if smoke => {
+            let mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+            println!("{label:<60} {:>14} (smoke: ran once)", fmt_ns(mean_ns));
+        }
         Some((iters, elapsed)) => {
             let mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
             println!(
@@ -273,6 +300,19 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn smoke_runs_body_exactly_once() {
+        let mut count = 0u32;
+        run_one(
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+            true,
+            "smoke-test",
+            |b| b.iter(|| count += 1),
+        );
+        assert_eq!(count, 1);
+    }
 
     #[test]
     fn bench_runs_and_reports() {

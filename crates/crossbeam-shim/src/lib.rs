@@ -85,6 +85,17 @@ pub mod queue {
                 .pop_front()
         }
 
+        /// Pop up to `n` items from the front under a single lock
+        /// acquisition. Returns an empty vector when the queue is empty
+        /// (or `n == 0`). With a mutexed queue, batching amortises the
+        /// lock cost over several items, which matters when many workers
+        /// drain fine-grained work units (e.g. sweep points).
+        pub fn pop_batch(&self, n: usize) -> Vec<T> {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let take = n.min(inner.len());
+            inner.drain(..take).collect()
+        }
+
         /// Number of queued items.
         pub fn len(&self) -> usize {
             self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
@@ -119,6 +130,19 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn pop_batch_preserves_fifo_and_handles_underflow() {
+        let q = SegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.pop_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(q.pop_batch(0), Vec::<i32>::new());
+        assert_eq!(q.pop_batch(100), vec![4, 5, 6, 7, 8, 9]);
+        assert!(q.pop_batch(1).is_empty());
+        assert!(q.is_empty());
     }
 
     #[test]

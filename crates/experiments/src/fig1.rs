@@ -8,10 +8,10 @@
 //! bound; smooth traffic lies below it, by ≈0.1% of the blocking at
 //! `N = 128` for the strongest smoothing.
 
-use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
 use xbar_traffic::{TildeClass, Workload};
 
-use crate::{par_map, Table};
+use crate::Table;
 
 /// `α̃` used throughout Figures 1–3 (chosen by the paper to put blocking
 /// near the 0.5% operating point).
@@ -35,26 +35,37 @@ pub struct Row {
     pub blocking: f64,
 }
 
+/// The model for one `(N, β̃)` cell at `α̃ = ALPHA_TILDE`.
+pub fn model_at(n: u32, beta_tilde: f64) -> Model {
+    let workload = Workload::from_tilde(&[TildeClass::bpp(ALPHA_TILDE, beta_tilde, 1.0)], n);
+    Model::new(Dims::square(n), workload).expect("valid Fig 1 model")
+}
+
 /// Compute the blocking for one `(N, β̃)` cell at `α̃ = ALPHA_TILDE`.
 pub fn blocking_at(n: u32, beta_tilde: f64) -> f64 {
-    let workload = Workload::from_tilde(&[TildeClass::bpp(ALPHA_TILDE, beta_tilde, 1.0)], n);
-    let model = Model::new(Dims::square(n), workload).expect("valid Fig 1 model");
-    solve(&model, Algorithm::Auto)
+    solve(&model_at(n, beta_tilde), Algorithm::Auto)
         .expect("solvable")
         .blocking(0)
 }
 
-/// All points: every `N ∈ 1..=128` for each `β̃`.
+/// All points: every `N ∈ 1..=128` for each `β̃`, solved through the
+/// work-stealing [`solve_batch`] pool (the large-`N` tail of one series no
+/// longer serialises behind a static chunk split).
 pub fn rows() -> Vec<Row> {
     let cells: Vec<(u32, f64)> = BETA_TILDES
         .iter()
         .flat_map(|&b| (1..=MAX_N).map(move |n| (n, b)))
         .collect();
-    par_map(cells, |(n, beta_tilde)| Row {
-        n,
-        beta_tilde,
-        blocking: blocking_at(n, beta_tilde),
-    })
+    let models: Vec<Model> = cells.iter().map(|&(n, b)| model_at(n, b)).collect();
+    solve_batch(&models, Algorithm::Auto)
+        .into_iter()
+        .zip(cells)
+        .map(|(sol, (n, beta_tilde))| Row {
+            n,
+            beta_tilde,
+            blocking: sol.expect("solvable").blocking(0),
+        })
+        .collect()
 }
 
 /// Render rows as a table (one line per `(N, β̃)`).
@@ -73,6 +84,7 @@ pub fn table(rows: &[Row]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::par_map;
 
     fn grid() -> Vec<Row> {
         // Sparse grid for test speed.

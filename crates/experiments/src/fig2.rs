@@ -15,11 +15,11 @@
 //!   "peaky traffic" stays peaky at every size and the dramatic impact the
 //!   paper describes is fully visible.
 
-use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
 use xbar_traffic::{TildeClass, TrafficClass, Workload};
 
 use crate::fig1::ALPHA_TILDE;
-use crate::{par_map, Table};
+use crate::Table;
 
 /// Fixed-`β̃` series values (0 = the Poisson baseline).
 pub const BETA_TILDES: [f64; 4] = [0.0, 6.0e-4, 1.2e-3, 2.4e-3];
@@ -52,28 +52,36 @@ pub struct Row {
     pub blocking: f64,
 }
 
+/// The model for the fixed-`β̃` series at one cell.
+pub fn model_fixed_beta(n: u32, beta_tilde: f64) -> Model {
+    let workload = Workload::from_tilde(&[TildeClass::bpp(ALPHA_TILDE, beta_tilde, 1.0)], n);
+    Model::new(Dims::square(n), workload).expect("valid Fig 2 model")
+}
+
 /// Blocking for the fixed-`β̃` series at one cell.
 pub fn blocking_fixed_beta(n: u32, beta_tilde: f64) -> f64 {
-    let workload = Workload::from_tilde(&[TildeClass::bpp(ALPHA_TILDE, beta_tilde, 1.0)], n);
-    let model = Model::new(Dims::square(n), workload).expect("valid Fig 2 model");
-    solve(&model, Algorithm::Auto)
+    solve(&model_fixed_beta(n, beta_tilde), Algorithm::Auto)
         .expect("solvable")
         .blocking(0)
 }
 
-/// Blocking for the fixed-`Z` series at one cell: per-pair
+/// The model for the fixed-`Z` series at one cell: per-pair
 /// `β = μ(1 − 1/Z)`, per-pair `α = α̃/N` as in the other series.
-pub fn blocking_fixed_z(n: u32, z: f64) -> f64 {
+pub fn model_fixed_z(n: u32, z: f64) -> Model {
     let beta = 1.0 - 1.0 / z; // mu = 1
     let class = TrafficClass::bpp(ALPHA_TILDE / n as f64, beta, 1.0);
-    let model =
-        Model::new(Dims::square(n), Workload::new().with(class)).expect("valid fixed-Z model");
-    solve(&model, Algorithm::Auto)
+    Model::new(Dims::square(n), Workload::new().with(class)).expect("valid fixed-Z model")
+}
+
+/// Blocking for the fixed-`Z` series at one cell.
+pub fn blocking_fixed_z(n: u32, z: f64) -> f64 {
+    solve(&model_fixed_z(n, z), Algorithm::Auto)
         .expect("solvable")
         .blocking(0)
 }
 
-/// All points of both series, every `N ∈ 1..=128`.
+/// All points of both series, every `N ∈ 1..=128`, through the
+/// work-stealing [`solve_batch`] pool.
 pub fn rows() -> Vec<Row> {
     let mut cells: Vec<(Series, f64, u32)> = Vec::new();
     for &b in &BETA_TILDES {
@@ -86,18 +94,23 @@ pub fn rows() -> Vec<Row> {
             cells.push((Series::FixedZ, z, n));
         }
     }
-    par_map(cells, |(series, param, n)| {
-        let blocking = match series {
-            Series::FixedBetaTilde => blocking_fixed_beta(n, param),
-            Series::FixedZ => blocking_fixed_z(n, param),
-        };
-        Row {
+    let models: Vec<Model> = cells
+        .iter()
+        .map(|&(series, param, n)| match series {
+            Series::FixedBetaTilde => model_fixed_beta(n, param),
+            Series::FixedZ => model_fixed_z(n, param),
+        })
+        .collect();
+    solve_batch(&models, Algorithm::Auto)
+        .into_iter()
+        .zip(cells)
+        .map(|(sol, (series, param, n))| Row {
             series,
             param,
             n,
-            blocking,
-        }
-    })
+            blocking: sol.expect("solvable").blocking(0),
+        })
+        .collect()
 }
 
 /// Render rows as a table.

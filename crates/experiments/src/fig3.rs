@@ -12,10 +12,10 @@
 //! matching Figures 1–2) vs. the single class at `α̃ = .0012`;
 //! `β̃2 ∈ {0, 6e−4, 1.2e−3}` (the Table 2 magnitudes).
 
-use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
 use xbar_traffic::{TildeClass, Workload};
 
-use crate::{par_map, Table};
+use crate::Table;
 
 /// Per-class aggregated load (`α̃1 = α̃2`).
 pub const ALPHA_TILDE: f64 = 0.0012;
@@ -41,20 +41,23 @@ pub struct Row {
     pub blocking: f64,
 }
 
-/// Blocking for one cell.
-pub fn blocking_at(mixed: bool, n: u32, beta_tilde: f64) -> f64 {
+/// The model for one cell.
+pub fn model_at(mixed: bool, n: u32, beta_tilde: f64) -> Model {
     let mut tilde = vec![TildeClass::bpp(ALPHA_TILDE, beta_tilde, 1.0)];
     if mixed {
         tilde.push(TildeClass::poisson(ALPHA_TILDE));
     }
-    let model =
-        Model::new(Dims::square(n), Workload::from_tilde(&tilde, n)).expect("valid Fig 3 model");
-    solve(&model, Algorithm::Auto)
+    Model::new(Dims::square(n), Workload::from_tilde(&tilde, n)).expect("valid Fig 3 model")
+}
+
+/// Blocking for one cell.
+pub fn blocking_at(mixed: bool, n: u32, beta_tilde: f64) -> f64 {
+    solve(&model_at(mixed, n, beta_tilde), Algorithm::Auto)
         .expect("solvable")
         .blocking(0)
 }
 
-/// All points.
+/// All points, through the work-stealing [`solve_batch`] pool.
 pub fn rows() -> Vec<Row> {
     let mut cells = Vec::new();
     for &mixed in &[false, true] {
@@ -64,12 +67,20 @@ pub fn rows() -> Vec<Row> {
             }
         }
     }
-    par_map(cells, |(mixed, beta_tilde, n)| Row {
-        mixed,
-        beta_tilde,
-        n,
-        blocking: blocking_at(mixed, n, beta_tilde),
-    })
+    let models: Vec<Model> = cells
+        .iter()
+        .map(|&(mixed, b, n)| model_at(mixed, n, b))
+        .collect();
+    solve_batch(&models, Algorithm::Auto)
+        .into_iter()
+        .zip(cells)
+        .map(|(sol, (mixed, beta_tilde, n))| Row {
+            mixed,
+            beta_tilde,
+            n,
+            blocking: sol.expect("solvable").blocking(0),
+        })
+        .collect()
 }
 
 /// Render rows as a table.

@@ -13,11 +13,11 @@
 //! Each class is analysed on its own switch (the paper: "considering each
 //! traffic type separately").
 
-use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
 use xbar_numeric::binomial;
 use xbar_traffic::{TildeClass, Workload};
 
-use crate::{par_map, Table};
+use crate::Table;
 
 /// Total load `τ` (paper §7).
 pub const TAU: f64 = 0.0048;
@@ -45,29 +45,52 @@ pub fn table1_loads(n: u32) -> (f64, f64) {
     (TAU / (2.0 * n as f64), TAU / binomial(n as u64, 2))
 }
 
+/// The model of a single class with bandwidth `a` and aggregated load
+/// `ρ̃` on an `N × N` switch.
+pub fn model_single_class(n: u32, a: u32, rho_tilde: f64) -> Model {
+    let tilde = TildeClass::poisson(rho_tilde).with_bandwidth(a);
+    Model::new(Dims::square(n), Workload::from_tilde(&[tilde], n)).expect("valid Fig 4 model")
+}
+
 /// Blocking of a single class with bandwidth `a` and aggregated load
 /// `ρ̃` on an `N × N` switch.
 pub fn blocking_single_class(n: u32, a: u32, rho_tilde: f64) -> f64 {
-    let tilde = TildeClass::poisson(rho_tilde).with_bandwidth(a);
-    let model =
-        Model::new(Dims::square(n), Workload::from_tilde(&[tilde], n)).expect("valid Fig 4 model");
-    solve(&model, Algorithm::Auto)
+    solve(&model_single_class(n, a, rho_tilde), Algorithm::Auto)
         .expect("solvable")
         .blocking(0)
 }
 
-/// All rows.
+/// All rows: both per-class solves of every switch size go through one
+/// work-stealing [`solve_batch`] call.
 pub fn rows() -> Vec<Row> {
-    par_map(NS.to_vec(), |n| {
-        let (rho1, rho2) = table1_loads(n);
-        Row {
+    let loads: Vec<(u32, f64, f64)> = NS
+        .iter()
+        .map(|&n| {
+            let (rho1, rho2) = table1_loads(n);
+            (n, rho1, rho2)
+        })
+        .collect();
+    let models: Vec<Model> = loads
+        .iter()
+        .flat_map(|&(n, rho1, rho2)| {
+            [
+                model_single_class(n, 1, rho1),
+                model_single_class(n, 2, rho2),
+            ]
+        })
+        .collect();
+    let solved = solve_batch(&models, Algorithm::Auto);
+    loads
+        .iter()
+        .zip(solved.chunks(2))
+        .map(|(&(n, rho1, rho2), pair)| Row {
             n,
             rho1_tilde: rho1,
             rho2_tilde: rho2,
-            blocking_a1: blocking_single_class(n, 1, rho1),
-            blocking_a2: blocking_single_class(n, 2, rho2),
-        }
-    })
+            blocking_a1: pair[0].as_ref().expect("solvable").blocking(0),
+            blocking_a2: pair[1].as_ref().expect("solvable").blocking(0),
+        })
+        .collect()
 }
 
 /// Table 1 as printed (loads only).

@@ -5,7 +5,7 @@
 //! switch, and how far the uniform analysis (the `h = 0` anchor, which the
 //! simulator must reproduce exactly) remains a useful lower bound.
 
-use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_core::{solve_cached, Algorithm, Dims, Model};
 use xbar_sim::hotspot::{HotspotConfig, HotspotSim};
 use xbar_sim::ServiceDist;
 use xbar_traffic::{TrafficClass, Workload};
@@ -47,7 +47,10 @@ pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
         Workload::new().with(TrafficClass::poisson(LAMBDA)),
     )
     .expect("valid uniform model");
-    let uniform_analytic = solve(&model, Algorithm::Auto).unwrap().blocking(0);
+    // The analytic anchor is shared by every sweep (and re-requested when
+    // callers re-run at other durations/seeds) — serve it from the
+    // process-wide solve cache.
+    let uniform_analytic = solve_cached(&model, Algorithm::Auto).unwrap().blocking(0);
     par_map(HOT_FRACTIONS.to_vec(), move |h| {
         let rep = HotspotSim::new(
             HotspotConfig {

@@ -53,21 +53,28 @@ use crossbeam::thread;
 /// Parallel ordered map over owned items using crossbeam scoped threads —
 /// the parameter sweeps (N × parameter-set × algorithm) are embarrassingly
 /// parallel and dominate regeneration wall-clock.
+///
+/// The thread count follows [`xbar_core::parallel::effective_threads`]
+/// (so the CLI's `--threads` and `XBAR_THREADS` apply here too), workers
+/// drain the queue in small batches ([`SegQueue::pop_batch`]) to amortise
+/// the shim's lock, and each item runs with the solver pinned to one
+/// thread — with whole sweep points to hand out, across-item parallelism
+/// dominates nested wavefront parallelism.
+///
+/// [`SegQueue::pop_batch`]: crossbeam::queue::SegQueue::pop_batch
 pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
+    let threads = xbar_core::parallel::effective_threads().min(items.len().max(1));
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
     let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
+    let batch = (items.len() / (threads * 4)).clamp(1, 16);
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = crossbeam::queue::SegQueue::new();
     for w in work {
@@ -76,9 +83,13 @@ where
     let slot_refs: Vec<_> = slots.iter_mut().map(std::sync::Mutex::new).collect();
     thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| {
-                while let Some((i, item)) = queue.pop() {
-                    let out = f(item);
+            s.spawn(|_| loop {
+                let taken = queue.pop_batch(batch);
+                if taken.is_empty() {
+                    break;
+                }
+                for (i, item) in taken {
+                    let out = xbar_core::parallel::with_threads(1, || f(item));
                     **slot_refs[i].lock().unwrap() = Some(out);
                 }
             });

@@ -7,10 +7,10 @@
 //! the same load regardless of shape), so the comparison isolates the
 //! geometry.
 
-use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
 use xbar_traffic::{TrafficClass, Workload};
 
-use crate::{par_map, Table};
+use crate::Table;
 
 /// Total port budget `N1 + N2`.
 pub const PORT_BUDGET: u32 = 64;
@@ -31,26 +31,45 @@ pub struct Row {
     pub throughput: f64,
 }
 
-/// Compute one row.
-pub fn row(n1: u32) -> Row {
+/// The model for one aspect ratio.
+pub fn model_for(n1: u32) -> Model {
     let n2 = PORT_BUDGET - n1;
-    let model = Model::new(
+    Model::new(
         Dims::new(n1, n2),
         Workload::new().with(TrafficClass::poisson(RHO)),
     )
-    .expect("valid model");
-    let sol = solve(&model, Algorithm::Auto).expect("solvable");
+    .expect("valid model")
+}
+
+/// Compute one row.
+pub fn row(n1: u32) -> Row {
+    let sol = solve(&model_for(n1), Algorithm::Auto).expect("solvable");
     Row {
         n1,
-        n2,
+        n2: PORT_BUDGET - n1,
         blocking: sol.blocking(0),
         throughput: sol.total_throughput(),
     }
 }
 
-/// All rows (`N1` from 2 to budget−2).
+/// All rows (`N1` from 2 to budget−2), through the work-stealing
+/// [`solve_batch`] pool.
 pub fn rows() -> Vec<Row> {
-    par_map((2..=PORT_BUDGET - 2).collect(), row)
+    let n1s: Vec<u32> = (2..=PORT_BUDGET - 2).collect();
+    let models: Vec<Model> = n1s.iter().map(|&n1| model_for(n1)).collect();
+    solve_batch(&models, Algorithm::Auto)
+        .into_iter()
+        .zip(n1s)
+        .map(|(sol, n1)| {
+            let sol = sol.expect("solvable");
+            Row {
+                n1,
+                n2: PORT_BUDGET - n1,
+                blocking: sol.blocking(0),
+                throughput: sol.total_throughput(),
+            }
+        })
+        .collect()
 }
 
 /// Render as a table.

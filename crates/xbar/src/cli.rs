@@ -59,11 +59,12 @@ impl std::error::Error for CliError {}
 fn usage() -> String {
     "usage:\n  xbar solve --n <N> | --n1 <N1> --n2 <N2> \
      [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext|alg2-mva|alg3-convolution] \
-     [--resilient] [--cross-check-tol <tol>] \
+     [--resilient] [--cross-check-tol <tol>] [--threads <N>] \
      --class <spec> [--class <spec> ...]\n  \
      xbar sim   --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
      [--duration <t>] [--warmup <t>] [--seed <u64>] \
      [--port-mtbf <t> --port-mttr <t>] [--fail-inputs <k>] [--fail-outputs <k>]\n\n\
+     --threads 0 (default) auto-detects via available_parallelism\n\n\
      class spec: poisson:rho=0.0012[,mu=1][,a=1][,w=1][,tilde]\n                 \
      bpp:alpha=0.001,beta=0.0005[,mu=1][,a=1][,w=1][,tilde]"
         .to_string()
@@ -158,6 +159,8 @@ pub struct Args {
     pub resilient: bool,
     /// Cross-check relative tolerance override (resilient mode).
     pub cross_check_tol: Option<f64>,
+    /// Solver thread count (`0` = auto via `available_parallelism`).
+    pub threads: usize,
     /// Parsed class specs.
     pub classes: Vec<ClassSpec>,
     /// Measured simulation time.
@@ -201,6 +204,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut algorithm = Algorithm::Auto;
     let mut resilient = false;
     let mut cross_check_tol = None;
+    let mut threads = 0usize;
     let mut classes = Vec::new();
     let mut duration = 100_000.0f64;
     let mut warmup = 1_000.0f64;
@@ -233,6 +237,9 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err(format!("--cross-check-tol must be finite and > 0, got {v}"));
                 }
                 cross_check_tol = Some(v);
+            }
+            "--threads" => {
+                threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
             }
             "--class" => classes.push(parse_class(&value()?)?),
             "--duration" => {
@@ -285,6 +292,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         algorithm,
         resilient,
         cross_check_tol,
+        threads,
         classes,
         duration,
         warmup,
@@ -453,6 +461,9 @@ pub fn run_sim(args: &Args) -> Result<(), CliError> {
 /// Parse and execute; the returned error carries its exit code.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = parse_args(argv).map_err(CliError::Usage)?;
+    // 0 = auto (available_parallelism / XBAR_THREADS); the wavefront solver
+    // and solve_batch read this process-wide setting.
+    xbar_core::parallel::set_threads(args.threads);
     match args.command.as_str() {
         "solve" => run_solve(&args),
         "sim" => run_sim(&args),
@@ -521,6 +532,18 @@ mod tests {
         .unwrap();
         assert!(a.resilient);
         assert_eq!(a.cross_check_tol, Some(1e-9));
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let a = parse_args(&argv("solve --n 16 --threads 4 --class poisson:rho=0.01")).unwrap();
+        assert_eq!(a.threads, 4);
+        // Default is 0 = auto.
+        let d = parse_args(&argv("solve --n 16 --class poisson:rho=0.01")).unwrap();
+        assert_eq!(d.threads, 0);
+        // Malformed values are usage errors, not panics.
+        assert!(parse_args(&argv("solve --n 16 --threads x --class poisson:rho=0.01")).is_err());
+        assert!(parse_args(&argv("solve --n 16 --threads --class poisson:rho=0.01")).is_err());
     }
 
     #[test]
