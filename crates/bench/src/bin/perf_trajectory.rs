@@ -1,7 +1,13 @@
 //! Machine-readable perf trajectory: times the hot solve path at the
-//! paper's benchmark sizes and writes `BENCH_2.json` (median ns per bench,
+//! paper's benchmark sizes and writes `BENCH_3.json` (median ns per bench,
 //! switch size, backend, thread count) so the speedup story is trackable
 //! across PRs without parsing Criterion's console output.
+//!
+//! Timed runs execute with metrics off — the medians must stay comparable
+//! with earlier `BENCH_N.json` files, and the obs layer's disabled-mode
+//! cost is part of what they verify. A separate instrumented reference
+//! solve captures an [`xbar_obs`] snapshot into the report's `"obs"` key
+//! (escalation counters, sweep-mode splits, cache traffic).
 //!
 //! Run from the repo root: `cargo run --release -p xbar-bench --bin
 //! perf_trajectory [-- <output-path>]`.
@@ -50,10 +56,26 @@ fn time_backend(name: &str, n: u32, threads: usize, model: &Model, runs: usize) 
     }
 }
 
+/// One instrumented reference pass: solve the Table 2 fixture resiliently
+/// under a scoped registry and return the snapshot JSON. Scoped (not
+/// global) so it cannot leak recording into the timed runs.
+fn obs_reference_snapshot() -> String {
+    let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+    {
+        let _g = xbar_obs::scope(&reg);
+        for &n in &[32u32, 128] {
+            let model = table2_model(n);
+            xbar_core::solve_resilient(&model, &xbar_core::ResilientConfig::default())
+                .expect("reference solve succeeds");
+        }
+    }
+    reg.snapshot().to_json()
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
     let auto = parallel::effective_threads();
     println!("perf_trajectory: auto thread count = {auto}");
 
@@ -73,11 +95,12 @@ fn main() {
     }
 
     let report = BenchReport {
-        pr: 2,
+        pr: 3,
         host_threads: auto,
         records,
+        obs_snapshot: Some(obs_reference_snapshot()),
     };
     let json = report.to_json();
-    std::fs::write(&out_path, &json).expect("write BENCH_2.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_3.json");
     println!("wrote {out_path}");
 }

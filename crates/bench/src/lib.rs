@@ -36,6 +36,11 @@ pub struct BenchReport {
     pub host_threads: usize,
     /// All timed points.
     pub records: Vec<BenchRecord>,
+    /// Optional observability snapshot (the [`xbar_obs`] JSON document,
+    /// embedded verbatim under an `"obs"` key) captured from one
+    /// instrumented reference solve — the timed records themselves always
+    /// run with metrics off so medians stay comparable across PRs.
+    pub obs_snapshot: Option<String>,
 }
 
 /// Minimal JSON string escaping (labels are ASCII identifiers, but be
@@ -74,7 +79,15 @@ impl BenchReport {
                 r.median_ns,
             ));
         }
-        s.push_str("  ]\n}\n");
+        match &self.obs_snapshot {
+            // The snapshot is already a JSON document; embed it raw.
+            Some(obs) => {
+                s.push_str("  ],\n");
+                s.push_str(&format!("  \"obs\": {}\n", obs.trim_end()));
+            }
+            None => s.push_str("  ]\n"),
+        }
+        s.push_str("}\n");
         s
     }
 }
@@ -150,6 +163,7 @@ mod tests {
                     median_ns: 9_000_000,
                 },
             ],
+            obs_snapshot: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"pr\": 2"));
@@ -160,6 +174,24 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"threads\": 4, \"median_ns\": 9000000}\n"));
+    }
+
+    #[test]
+    fn bench_report_embeds_obs_snapshot_verbatim() {
+        let reg = xbar_obs::Registry::new();
+        reg.counter("bench.reference_solves").add(1);
+        let report = BenchReport {
+            pr: 3,
+            host_threads: 1,
+            records: vec![],
+            obs_snapshot: Some(reg.snapshot().to_json()),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"obs\": {"));
+        assert!(json.contains("\"bench.reference_solves\": 1"));
+        assert!(json.contains(&format!("\"schema\": {}", xbar_obs::SNAPSHOT_SCHEMA)));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -58,6 +58,7 @@
 
 use std::marker::PhantomData;
 use std::sync::Barrier;
+use std::time::Instant;
 
 use xbar_numeric::ExtFloat;
 
@@ -228,7 +229,10 @@ where
     let v_cells: Vec<Cells<'_, S>> = v.iter_mut().map(|b| Cells::new(b, cols)).collect();
 
     let threads = threads.max(1).min(n1.min(n2) + 1);
+    let cells = ((n1 + 1) * (n2 + 1)) as u64;
     if threads <= 1 {
+        xbar_obs::inc("alg1.sweep.serial");
+        xbar_obs::add("alg1.cells", cells);
         for i1 in 0..=n1 as i64 {
             for i2 in 0..=n2 as i64 {
                 // Safety: single-threaded; cells with smaller coordinate
@@ -239,6 +243,13 @@ where
         return;
     }
 
+    xbar_obs::inc("alg1.sweep.parallel");
+    xbar_obs::add("alg1.cells", cells);
+    // Workers run on fresh threads, so the spawner's scoped registry (if
+    // any) must be re-installed by hand; the same flag gates the
+    // per-diagonal clock reads so a disabled run never touches Instant.
+    let obs_scope = xbar_obs::current_scope();
+    let record_diag = xbar_obs::enabled();
     let barrier = Barrier::new(threads);
     let last_diag = (n1 + n2) as i64;
     crossbeam::thread::scope(|s| {
@@ -246,8 +257,18 @@ where
             let q_cells = &q_cells;
             let v_cells = &v_cells[..];
             let barrier = &barrier;
+            let obs_scope = obs_scope.clone();
             s.spawn(move |_| {
+                let _obs = obs_scope.enter();
                 for d in 0..=last_diag {
+                    // Worker 0 times each diagonal (the wavefront's unit of
+                    // work); barrier-to-barrier, so it includes the
+                    // stragglers this worker waited on.
+                    let t0 = if record_diag && w == 0 {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
                     // The diagonal's i1 range: i2 = d − i1 must fit [0, n2].
                     let lo = (d - n2 as i64).max(0);
                     let hi = (n1 as i64).min(d);
@@ -273,6 +294,9 @@ where
                         }
                     }
                     barrier.wait();
+                    if let Some(t0) = t0 {
+                        xbar_obs::record_duration("alg1.diag_ns", t0.elapsed());
+                    }
                 }
             });
         }

@@ -168,10 +168,15 @@ pub fn solve(model: &Model, algorithm: Algorithm) -> Result<Solution, SolveError
         }
         a => a,
     };
+    xbar_obs::inc("solver.solve");
+    if xbar_obs::enabled() {
+        xbar_obs::inc(&format!("solver.solve.{effective}"));
+    }
     let backend = match effective {
         Algorithm::Alg1F64 => {
             let lat: QLattice<f64> = QLattice::solve(model);
             if !lat.is_healthy() {
+                xbar_obs::inc("solver.reject.underflow");
                 return Err(SolveError::Underflow(effective));
             }
             Backend::F64(lat)
@@ -179,6 +184,7 @@ pub fn solve(model: &Model, algorithm: Algorithm) -> Result<Solution, SolveError
         Algorithm::Alg1Scaled => {
             let lat = ScaledQLattice::solve(model);
             if !lat.is_healthy() {
+                xbar_obs::inc("solver.reject.underflow");
                 return Err(SolveError::Underflow(effective));
             }
             Backend::Scaled(lat)
@@ -189,9 +195,12 @@ pub fn solve(model: &Model, algorithm: Algorithm) -> Result<Solution, SolveError
         Algorithm::Auto => unreachable!(),
     };
     let m = measures(model, &backend);
-    m.validate().map_err(|source| SolveError::Guard {
-        algorithm: effective,
-        source,
+    m.validate().map_err(|source| {
+        xbar_obs::inc("solver.reject.guard");
+        SolveError::Guard {
+            algorithm: effective,
+            source,
+        }
     })?;
     Ok(Solution {
         model: model.clone(),

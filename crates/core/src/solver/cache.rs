@@ -56,12 +56,18 @@ fn fingerprint(model: &Model, algorithm: Algorithm) -> Key {
     let dims = model.dims();
     let classes = model.workload().classes();
     let mut flat = Vec::with_capacity(classes.len() * 5);
+    let mut canonicalised = 0u64;
     for c in classes {
-        flat.push(canon_bits(c.alpha));
-        flat.push(canon_bits(c.beta));
-        flat.push(canon_bits(c.mu));
-        flat.push(canon_bits(c.weight));
+        for x in [c.alpha, c.beta, c.mu, c.weight] {
+            if x == 0.0 && x.is_sign_negative() {
+                canonicalised += 1;
+            }
+            flat.push(canon_bits(x));
+        }
         flat.push(c.bandwidth as u64);
+    }
+    if canonicalised > 0 {
+        xbar_obs::add("cache.canonicalised", canonicalised);
     }
     Key {
         algorithm,
@@ -128,17 +134,25 @@ impl SolveCache {
                 let sol = Arc::clone(&hit.1);
                 entries.insert(0, hit);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                xbar_obs::inc("cache.hits");
                 return Ok(sol);
             }
         }
         // Miss: solve without holding the lock (a solve can take seconds at
         // N = 512; serialising misses would defeat solve_batch entirely).
         self.misses.fetch_add(1, Ordering::Relaxed);
+        xbar_obs::inc("cache.misses");
         let sol = Arc::new(solve(model, algorithm)?);
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if !entries.iter().any(|(k, _)| *k == key) {
+        if entries.iter().any(|(k, _)| *k == key) {
+            xbar_obs::inc("cache.insert_races");
+        } else {
             entries.insert(0, (key, Arc::clone(&sol)));
-            entries.truncate(self.capacity);
+            let evicted = entries.len().saturating_sub(self.capacity);
+            if evicted > 0 {
+                entries.truncate(self.capacity);
+                xbar_obs::add("cache.evictions", evicted as u64);
+            }
         }
         Ok(sol)
     }
@@ -230,16 +244,26 @@ pub fn solve_batch(
     let mut slots: Vec<BatchSlot> = Vec::new();
     slots.resize_with(n, || Mutex::new(None));
 
+    // Re-install the spawner's scoped obs registry (if any) inside each
+    // worker so cache/solver counters from batch solves land with the
+    // caller's metrics instead of vanishing.
+    let obs_scope = xbar_obs::current_scope();
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let taken = queue.pop_batch(batch);
-                if taken.is_empty() {
-                    break;
-                }
-                for i in taken {
-                    let r = parallel::with_threads(1, || solve_cached(&models[i], algorithm));
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            let obs_scope = obs_scope.clone();
+            let queue = &queue;
+            let slots = &slots;
+            s.spawn(move |_| {
+                let _obs = obs_scope.enter();
+                loop {
+                    let taken = queue.pop_batch(batch);
+                    if taken.is_empty() {
+                        break;
+                    }
+                    for i in taken {
+                        let r = parallel::with_threads(1, || solve_cached(&models[i], algorithm));
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                    }
                 }
             });
         }

@@ -327,7 +327,16 @@ pub fn solve_resilient(
     let mut attempts = Vec::with_capacity(config.chain.len());
     let mut won: Option<(Algorithm, Arc<Solution>)> = None;
     for &alg in &config.chain {
-        match solve_cached(model, alg) {
+        // Per-attempt span (the format! only runs with obs on).
+        let result = if xbar_obs::enabled() {
+            xbar_obs::time(&format!("solver.attempt.{alg}"), || {
+                solve_cached(model, alg)
+            })
+        } else {
+            solve_cached(model, alg)
+        };
+        xbar_obs::inc("solver.attempts");
+        match result {
             Ok(sol) => {
                 attempts.push(Attempt {
                     algorithm: alg,
@@ -338,6 +347,11 @@ pub fn solve_resilient(
             }
             Err(e) => {
                 let cause = cause_of(e)?;
+                xbar_obs::inc("solver.escalations");
+                xbar_obs::inc(match cause {
+                    FailureCause::Underflow => "solver.failure.underflow",
+                    FailureCause::Guard(_) => "solver.failure.guard",
+                });
                 attempts.push(Attempt {
                     algorithm: alg,
                     failure: Some(cause),
@@ -347,6 +361,7 @@ pub fn solve_resilient(
     }
 
     let Some((winner_alg, solution)) = won else {
+        xbar_obs::inc("solver.exhausted");
         return Err(SolveError::Exhausted(SolveReport {
             attempts,
             winner: None,
@@ -366,6 +381,7 @@ pub fn solve_resilient(
         match solve_cached(model, checker) {
             Err(e) => {
                 let cause = cause_of(e)?;
+                xbar_obs::inc("solver.cross_check.checker_failed");
                 report.cross_check = Some(CrossCheck {
                     checker,
                     tol,
@@ -374,13 +390,16 @@ pub fn solve_resilient(
             }
             Ok(check_sol) => {
                 let gap = max_measure_gap(solution.measures(), check_sol.measures());
+                xbar_obs::record("solver.cross_check.gap", gap);
                 if gap <= tol {
+                    xbar_obs::inc("solver.cross_check.agreed");
                     report.cross_check = Some(CrossCheck {
                         checker,
                         tol,
                         outcome: CrossCheckOutcome::Agreed { max_rel_gap: gap },
                     });
                 } else {
+                    xbar_obs::inc("solver.cross_check.disagreed");
                     report.cross_check = Some(CrossCheck {
                         checker,
                         tol,

@@ -2,6 +2,7 @@
 use xbar_experiments::*;
 
 fn main() {
+    metrics::enable_from_env();
     println!("=== Figure 1 ===");
     let r = fig1::rows();
     write_csv("fig1.csv", &fig1::table(&r).to_csv()).unwrap();
@@ -95,4 +96,5 @@ fn main() {
     println!("{}", hotspot_sweep::table(&r).to_text());
 
     println!("All CSV artefacts written to out/");
+    metrics::finish();
 }

@@ -1,7 +1,8 @@
 //! Regenerate Figure 1 (smooth/Bernoulli traffic vs Poisson bound).
-use xbar_experiments::{fig1, write_csv};
+use xbar_experiments::{fig1, metrics, write_csv};
 
 fn main() {
+    metrics::enable_from_env();
     let rows = fig1::rows();
     let t = fig1::table(&rows);
     println!("Figure 1 — blocking vs N, smooth (Bernoulli) traffic");
@@ -19,4 +20,5 @@ fn main() {
     println!("{}", fig1::table(&sparse).to_text());
     let path = write_csv("fig1.csv", &t.to_csv()).expect("write CSV");
     println!("full grid written to {}", path.display());
+    metrics::finish();
 }

@@ -1,7 +1,8 @@
 //! Regenerate Figure 2 (peaky/Pascal traffic vs Poisson baseline).
-use xbar_experiments::{fig2, write_csv};
+use xbar_experiments::{fig2, metrics, write_csv};
 
 fn main() {
+    metrics::enable_from_env();
     let rows = fig2::rows();
     println!("Figure 2 — blocking vs N, peaky (Pascal) traffic");
     println!(
@@ -18,4 +19,5 @@ fn main() {
     println!("{}", fig2::table(&sparse).to_text());
     let path = write_csv("fig2.csv", &fig2::table(&rows).to_csv()).expect("write CSV");
     println!("full grid written to {}", path.display());
+    metrics::finish();
 }

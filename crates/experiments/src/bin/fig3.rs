@@ -1,7 +1,8 @@
 //! Regenerate Figure 3 (mixed R1+R2 vs R2-only workloads).
-use xbar_experiments::{fig3, write_csv};
+use xbar_experiments::{fig3, metrics, write_csv};
 
 fn main() {
+    metrics::enable_from_env();
     let rows = fig3::rows();
     println!("Figure 3 — two classes (R1=1, R2=1) vs one class (R2=1)");
     println!(
@@ -17,4 +18,5 @@ fn main() {
     println!("{}", fig3::table(&sparse).to_text());
     let path = write_csv("fig3.csv", &fig3::table(&rows).to_csv()).expect("write CSV");
     println!("full grid written to {}", path.display());
+    metrics::finish();
 }

@@ -1,7 +1,8 @@
 //! Regenerate Figure 4 (multi-rate a=1 vs a=2 blocking comparison).
-use xbar_experiments::{fig4, write_csv};
+use xbar_experiments::{fig4, metrics, write_csv};
 
 fn main() {
+    metrics::enable_from_env();
     let rows = fig4::rows();
     println!(
         "Figure 4 — a=1 vs a=2 Poisson traffic at total load tau = {}\n",
@@ -10,4 +11,5 @@ fn main() {
     println!("{}", fig4::table(&rows).to_text());
     let path = write_csv("fig4.csv", &fig4::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
+    metrics::finish();
 }

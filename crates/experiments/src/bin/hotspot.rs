@@ -1,7 +1,8 @@
 //! Validation J: hot-spot output sweep (the companion-paper scenario).
-use xbar_experiments::{hotspot_sweep, write_csv};
+use xbar_experiments::{hotspot_sweep, metrics, write_csv};
 
 fn main() {
+    metrics::enable_from_env();
     let rows = hotspot_sweep::rows(100_000.0, 33);
     println!(
         "Validation J — hot-spot traffic on a {0}x{0} crossbar\n",
@@ -10,4 +11,5 @@ fn main() {
     println!("{}", hotspot_sweep::table(&rows).to_text());
     let path = write_csv("hotspot.csv", &hotspot_sweep::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
+    metrics::finish();
 }

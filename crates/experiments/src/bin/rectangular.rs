@@ -1,7 +1,8 @@
 //! Validation E: aspect-ratio sweep at a fixed port budget.
-use xbar_experiments::{rectangular, write_csv};
+use xbar_experiments::{metrics, rectangular, write_csv};
 
 fn main() {
+    metrics::enable_from_env();
     let rows = rectangular::rows();
     println!(
         "Validation E — rectangular switches, N1 + N2 = {}\n",
@@ -11,4 +12,5 @@ fn main() {
     let path =
         write_csv("rectangular.csv", &rectangular::table(&rows).to_csv()).expect("write CSV");
     println!("written to {}", path.display());
+    metrics::finish();
 }

@@ -52,20 +52,22 @@ pub fn blocking_at(n: u32, beta_tilde: f64) -> f64 {
 /// work-stealing [`solve_batch`] pool (the large-`N` tail of one series no
 /// longer serialises behind a static chunk split).
 pub fn rows() -> Vec<Row> {
-    let cells: Vec<(u32, f64)> = BETA_TILDES
-        .iter()
-        .flat_map(|&b| (1..=MAX_N).map(move |n| (n, b)))
-        .collect();
-    let models: Vec<Model> = cells.iter().map(|&(n, b)| model_at(n, b)).collect();
-    solve_batch(&models, Algorithm::Auto)
-        .into_iter()
-        .zip(cells)
-        .map(|(sol, (n, beta_tilde))| Row {
-            n,
-            beta_tilde,
-            blocking: sol.expect("solvable").blocking(0),
-        })
-        .collect()
+    xbar_obs::time("fig1.rows", || {
+        let cells: Vec<(u32, f64)> = BETA_TILDES
+            .iter()
+            .flat_map(|&b| (1..=MAX_N).map(move |n| (n, b)))
+            .collect();
+        let models: Vec<Model> = cells.iter().map(|&(n, b)| model_at(n, b)).collect();
+        xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto))
+            .into_iter()
+            .zip(cells)
+            .map(|(sol, (n, beta_tilde))| Row {
+                n,
+                beta_tilde,
+                blocking: sol.expect("solvable").blocking(0),
+            })
+            .collect()
+    })
 }
 
 /// Render rows as a table (one line per `(N, β̃)`).

@@ -83,34 +83,36 @@ pub fn blocking_fixed_z(n: u32, z: f64) -> f64 {
 /// All points of both series, every `N ∈ 1..=128`, through the
 /// work-stealing [`solve_batch`] pool.
 pub fn rows() -> Vec<Row> {
-    let mut cells: Vec<(Series, f64, u32)> = Vec::new();
-    for &b in &BETA_TILDES {
-        for n in 1..=MAX_N {
-            cells.push((Series::FixedBetaTilde, b, n));
+    xbar_obs::time("fig2.rows", || {
+        let mut cells: Vec<(Series, f64, u32)> = Vec::new();
+        for &b in &BETA_TILDES {
+            for n in 1..=MAX_N {
+                cells.push((Series::FixedBetaTilde, b, n));
+            }
         }
-    }
-    for &z in &Z_FACTORS {
-        for n in 1..=MAX_N {
-            cells.push((Series::FixedZ, z, n));
+        for &z in &Z_FACTORS {
+            for n in 1..=MAX_N {
+                cells.push((Series::FixedZ, z, n));
+            }
         }
-    }
-    let models: Vec<Model> = cells
-        .iter()
-        .map(|&(series, param, n)| match series {
-            Series::FixedBetaTilde => model_fixed_beta(n, param),
-            Series::FixedZ => model_fixed_z(n, param),
-        })
-        .collect();
-    solve_batch(&models, Algorithm::Auto)
-        .into_iter()
-        .zip(cells)
-        .map(|(sol, (series, param, n))| Row {
-            series,
-            param,
-            n,
-            blocking: sol.expect("solvable").blocking(0),
-        })
-        .collect()
+        let models: Vec<Model> = cells
+            .iter()
+            .map(|&(series, param, n)| match series {
+                Series::FixedBetaTilde => model_fixed_beta(n, param),
+                Series::FixedZ => model_fixed_z(n, param),
+            })
+            .collect();
+        xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto))
+            .into_iter()
+            .zip(cells)
+            .map(|(sol, (series, param, n))| Row {
+                series,
+                param,
+                n,
+                blocking: sol.expect("solvable").blocking(0),
+            })
+            .collect()
+    })
 }
 
 /// Render rows as a table.

@@ -59,28 +59,30 @@ pub fn blocking_at(mixed: bool, n: u32, beta_tilde: f64) -> f64 {
 
 /// All points, through the work-stealing [`solve_batch`] pool.
 pub fn rows() -> Vec<Row> {
-    let mut cells = Vec::new();
-    for &mixed in &[false, true] {
-        for &b in &BETA_TILDES {
-            for n in 1..=MAX_N {
-                cells.push((mixed, b, n));
+    xbar_obs::time("fig3.rows", || {
+        let mut cells = Vec::new();
+        for &mixed in &[false, true] {
+            for &b in &BETA_TILDES {
+                for n in 1..=MAX_N {
+                    cells.push((mixed, b, n));
+                }
             }
         }
-    }
-    let models: Vec<Model> = cells
-        .iter()
-        .map(|&(mixed, b, n)| model_at(mixed, n, b))
-        .collect();
-    solve_batch(&models, Algorithm::Auto)
-        .into_iter()
-        .zip(cells)
-        .map(|(sol, (mixed, beta_tilde, n))| Row {
-            mixed,
-            beta_tilde,
-            n,
-            blocking: sol.expect("solvable").blocking(0),
-        })
-        .collect()
+        let models: Vec<Model> = cells
+            .iter()
+            .map(|&(mixed, b, n)| model_at(mixed, n, b))
+            .collect();
+        xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto))
+            .into_iter()
+            .zip(cells)
+            .map(|(sol, (mixed, beta_tilde, n))| Row {
+                mixed,
+                beta_tilde,
+                n,
+                blocking: sol.expect("solvable").blocking(0),
+            })
+            .collect()
+    })
 }
 
 /// Render rows as a table.

@@ -63,6 +63,10 @@ pub fn blocking_single_class(n: u32, a: u32, rho_tilde: f64) -> f64 {
 /// All rows: both per-class solves of every switch size go through one
 /// work-stealing [`solve_batch`] call.
 pub fn rows() -> Vec<Row> {
+    xbar_obs::time("fig4.rows", rows_inner)
+}
+
+fn rows_inner() -> Vec<Row> {
     let loads: Vec<(u32, f64, f64)> = NS
         .iter()
         .map(|&n| {
@@ -79,7 +83,7 @@ pub fn rows() -> Vec<Row> {
             ]
         })
         .collect();
-    let solved = solve_batch(&models, Algorithm::Auto);
+    let solved = xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto));
     loads
         .iter()
         .zip(solved.chunks(2))

@@ -42,36 +42,42 @@ pub struct Row {
 
 /// Compute all rows.
 pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
-    let model = Model::new(
-        Dims::square(N),
-        Workload::new().with(TrafficClass::poisson(LAMBDA)),
-    )
-    .expect("valid uniform model");
-    // The analytic anchor is shared by every sweep (and re-requested when
-    // callers re-run at other durations/seeds) — serve it from the
-    // process-wide solve cache.
-    let uniform_analytic = solve_cached(&model, Algorithm::Auto).unwrap().blocking(0);
-    par_map(HOT_FRACTIONS.to_vec(), move |h| {
-        let rep = HotspotSim::new(
-            HotspotConfig {
-                n1: N,
-                n2: N,
-                lambda: LAMBDA,
-                hot_fraction: h,
-                service: ServiceDist::Exponential { mean: 1.0 },
-            },
-            seed,
+    xbar_obs::time("hotspot.rows", || {
+        let model = Model::new(
+            Dims::square(N),
+            Workload::new().with(TrafficClass::poisson(LAMBDA)),
         )
-        .run(duration / 50.0, duration, 20);
-        Row {
-            hot_fraction: h,
-            blocking: rep.blocking.mean,
-            hot_blocking: rep.hot_blocking.mean,
-            cold_blocking: rep.cold_blocking.mean,
-            hot_utilisation: rep.hot_utilisation,
-            cold_utilisation: rep.cold_utilisation,
-            uniform_analytic,
-        }
+        .expect("valid uniform model");
+        // The analytic anchor is shared by every sweep (and re-requested when
+        // callers re-run at other durations/seeds) — serve it from the
+        // process-wide solve cache.
+        let uniform_analytic = xbar_obs::time("solve", || {
+            solve_cached(&model, Algorithm::Auto).unwrap().blocking(0)
+        });
+        xbar_obs::time("sim", || {
+            par_map(HOT_FRACTIONS.to_vec(), move |h| {
+                let rep = HotspotSim::new(
+                    HotspotConfig {
+                        n1: N,
+                        n2: N,
+                        lambda: LAMBDA,
+                        hot_fraction: h,
+                        service: ServiceDist::Exponential { mean: 1.0 },
+                    },
+                    seed,
+                )
+                .run(duration / 50.0, duration, 20);
+                Row {
+                    hot_fraction: h,
+                    blocking: rep.blocking.mean,
+                    hot_blocking: rep.hot_blocking.mean,
+                    cold_blocking: rep.cold_blocking.mean,
+                    hot_utilisation: rep.hot_utilisation,
+                    cold_utilisation: rep.cold_utilisation,
+                    uniform_analytic,
+                }
+            })
+        })
     })
 }
 

@@ -37,6 +37,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod hotspot_sweep;
 pub mod insensitivity;
+pub mod metrics;
 pub mod min_analysis;
 pub mod rectangular;
 pub mod reservation;
@@ -81,16 +82,26 @@ where
         queue.push(w);
     }
     let slot_refs: Vec<_> = slots.iter_mut().map(std::sync::Mutex::new).collect();
+    // Re-install the caller's scoped obs registry (if any) in each worker
+    // so instrumented solves/sims keep feeding the caller's metrics.
+    let obs_scope = xbar_obs::current_scope();
     thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let taken = queue.pop_batch(batch);
-                if taken.is_empty() {
-                    break;
-                }
-                for (i, item) in taken {
-                    let out = xbar_core::parallel::with_threads(1, || f(item));
-                    **slot_refs[i].lock().unwrap() = Some(out);
+            let obs_scope = obs_scope.clone();
+            let queue = &queue;
+            let slot_refs = &slot_refs;
+            let f = &f;
+            s.spawn(move |_| {
+                let _obs = obs_scope.enter();
+                loop {
+                    let taken = queue.pop_batch(batch);
+                    if taken.is_empty() {
+                        break;
+                    }
+                    for (i, item) in taken {
+                        let out = xbar_core::parallel::with_threads(1, || f(item));
+                        **slot_refs[i].lock().unwrap() = Some(out);
+                    }
                 }
             });
         }

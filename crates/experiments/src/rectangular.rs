@@ -55,21 +55,23 @@ pub fn row(n1: u32) -> Row {
 /// All rows (`N1` from 2 to budget−2), through the work-stealing
 /// [`solve_batch`] pool.
 pub fn rows() -> Vec<Row> {
-    let n1s: Vec<u32> = (2..=PORT_BUDGET - 2).collect();
-    let models: Vec<Model> = n1s.iter().map(|&n1| model_for(n1)).collect();
-    solve_batch(&models, Algorithm::Auto)
-        .into_iter()
-        .zip(n1s)
-        .map(|(sol, n1)| {
-            let sol = sol.expect("solvable");
-            Row {
-                n1,
-                n2: PORT_BUDGET - n1,
-                blocking: sol.blocking(0),
-                throughput: sol.total_throughput(),
-            }
-        })
-        .collect()
+    xbar_obs::time("rectangular.rows", || {
+        let n1s: Vec<u32> = (2..=PORT_BUDGET - 2).collect();
+        let models: Vec<Model> = n1s.iter().map(|&n1| model_for(n1)).collect();
+        xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto))
+            .into_iter()
+            .zip(n1s)
+            .map(|(sol, n1)| {
+                let sol = sol.expect("solvable");
+                Row {
+                    n1,
+                    n2: PORT_BUDGET - n1,
+                    blocking: sol.blocking(0),
+                    throughput: sol.total_throughput(),
+                }
+            })
+            .collect()
+    })
 }
 
 /// Render as a table.

@@ -1,0 +1,137 @@
+//! Property tests for the merge semantics the observability layer relies
+//! on: registries recorded on different threads and merged in any order or
+//! grouping must agree on every exact statistic (counter values, histogram
+//! counts, buckets, min, max). The floating-point `sum` is the one
+//! order-dependent field, so it is checked to a relative tolerance only.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xbar_obs::{Histogram, Registry};
+
+/// Exact (order-independent) part of a histogram snapshot. `min`/`max`
+/// compare bitwise: `fetch_min`/`fetch_max` keep exact recorded values.
+fn exact_parts(h: &Histogram) -> (u64, Vec<(i32, u64)>, u64, u64) {
+    let s = h.snapshot();
+    (s.count, s.buckets, s.min.to_bits(), s.max.to_bits())
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging k partial histograms gives the same exact statistics as
+    /// recording everything into one, regardless of how the values are
+    /// partitioned.
+    #[test]
+    fn histogram_merge_is_partition_independent(
+        values in proptest::collection::vec(
+            prop_oneof![
+                -1.0e12..1.0e12f64,
+                0.0..1.0e-12f64,
+                Just(0.0f64),
+            ],
+            1..200,
+        ),
+        parts in 1usize..8,
+    ) {
+        let whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+
+        // Partition the value list round-robin into `parts` shards.
+        let partials: Vec<Histogram> = (0..parts).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            partials[i % parts].record(v);
+        }
+        let merged = Histogram::new();
+        for p in &partials {
+            merged.merge(p);
+        }
+
+        prop_assert_eq!(exact_parts(&merged), exact_parts(&whole));
+        prop_assert!(close(merged.snapshot().sum, whole.snapshot().sum));
+    }
+
+    /// Merge is associative on the exact statistics: (a + b) + c equals
+    /// a + (b + c) equals any other grouping.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(-1.0e6..1.0e6f64, 0..50),
+        b in proptest::collection::vec(-1.0e6..1.0e6f64, 0..50),
+        c in proptest::collection::vec(-1.0e6..1.0e6f64, 0..50),
+    ) {
+        let mk = |vals: &[f64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // ((a ∪ b) ∪ c)
+        let left = mk(&a);
+        left.merge(&mk(&b));
+        left.merge(&mk(&c));
+        // (a ∪ (b ∪ c)) — and in swapped order.
+        let bc = mk(&c);
+        bc.merge(&mk(&b));
+        let right = mk(&a);
+        right.merge(&bc);
+        prop_assert_eq!(exact_parts(&left), exact_parts(&right));
+    }
+
+    /// Registry counters merged in any order equal the serial total, and
+    /// concurrent recording from several threads agrees with the same
+    /// values recorded serially.
+    #[test]
+    fn registry_merge_across_threads_matches_serial(
+        deltas in proptest::collection::vec(0u64..1000, 1..120),
+        threads in 2usize..5,
+    ) {
+        // Serial reference.
+        let serial = Registry::new();
+        for (i, &d) in deltas.iter().enumerate() {
+            serial.counter(if i % 2 == 0 { "even" } else { "odd" }).add(d);
+            serial.histogram("h").record(d as f64);
+        }
+
+        // Each thread records its share into its own registry; the shards
+        // are merged in reverse order (order must not matter).
+        let shards: Vec<Arc<Registry>> =
+            (0..threads).map(|_| Arc::new(Registry::new())).collect();
+        crossbeam::thread::scope(|s| {
+            for (t, shard) in shards.iter().enumerate() {
+                let deltas = &deltas;
+                s.spawn(move |_| {
+                    for (i, &d) in deltas.iter().enumerate() {
+                        if i % threads == t {
+                            shard
+                                .counter(if i % 2 == 0 { "even" } else { "odd" })
+                                .add(d);
+                            shard.histogram("h").record(d as f64);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let merged = Registry::new();
+        for shard in shards.iter().rev() {
+            merged.merge(shard);
+        }
+
+        let want = serial.snapshot();
+        let got = merged.snapshot();
+        prop_assert_eq!(&got.counters, &want.counters);
+        let (wh, gh) = (want.histogram("h").unwrap(), got.histogram("h").unwrap());
+        prop_assert_eq!(gh.count, wh.count);
+        prop_assert_eq!(&gh.buckets, &wh.buckets);
+        prop_assert_eq!(gh.min, wh.min);
+        prop_assert_eq!(gh.max, wh.max);
+        prop_assert!(close(gh.sum, wh.sum));
+    }
+}

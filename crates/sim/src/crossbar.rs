@@ -170,6 +170,10 @@ pub struct ClassReport {
     pub fault_blocked: u64,
     /// Call-level blocking ratio (blocked/offered) with CI.
     pub blocking: Estimate,
+    /// Same point estimate with a 99% CI (wider quantile over the same
+    /// batch means) — what the statistical sim-vs-analytic regression
+    /// tests assert against.
+    pub blocking_99: Estimate,
     /// Blocking ratio among *viable* requests — those whose drawn tuple
     /// avoided every failed port. Equals `blocking` without fault
     /// injection; with static failures it matches the blocking of the
@@ -483,7 +487,8 @@ impl CrossbarSim {
                 accepted: offered - blocked,
                 blocked,
                 fault_blocked,
-                blocking: BatchMeans::from_batches(blocking_batches).estimate(),
+                blocking: BatchMeans::from_batches(blocking_batches.clone()).estimate(),
+                blocking_99: BatchMeans::from_batches(blocking_batches).estimate_99(),
                 viable_blocking: BatchMeans::from_batches(viable_batches).estimate(),
                 concurrency,
                 availability: BatchMeans::from_batches(avail_batches).estimate(),
@@ -491,6 +496,24 @@ impl CrossbarSim {
         }
         let total_occ: f64 = occupancy_time.iter().sum();
         let occupancy = occupancy_time.iter().map(|t| t / total_occ).collect();
+
+        // Flush aggregate obs counters once, after the event loop: the hot
+        // loop and the RNG stream stay untouched, and the totals are
+        // deterministic for a fixed seed regardless of whether metrics are
+        // being collected.
+        if xbar_obs::enabled() {
+            let offered: u64 = classes.iter().map(|c| c.offered).sum();
+            let blocked: u64 = classes.iter().map(|c| c.blocked).sum();
+            xbar_obs::inc("sim.runs");
+            xbar_obs::add("sim.offers", offered);
+            xbar_obs::add("sim.admitted", offered - blocked);
+            xbar_obs::add("sim.blocked.capacity", blocked - fault_blocked_total);
+            xbar_obs::add("sim.blocked.fault", fault_blocked_total);
+            xbar_obs::add("sim.events", events);
+            xbar_obs::add("sim.port_failures", self.faults.failures - failures0);
+            xbar_obs::add("sim.port_repairs", self.faults.repairs - repairs0);
+            xbar_obs::add("sim.teardowns", self.torn_down - torn_down0);
+        }
 
         let faults = self.faults.enabled().then(|| FaultReport {
             failures: self.faults.failures - failures0,

@@ -64,6 +64,23 @@ pub fn t_975(df: u64) -> f64 {
     }
 }
 
+/// Two-sided 99.5% Student-t quantile (for 99% confidence intervals) with
+/// `df` degrees of freedom; normal approximation beyond the table.
+pub fn t_995(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+        2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+        2.771, 2.763, 2.756, 2.750,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=60 => 2.66,
+        61..=120 => 2.62,
+        _ => 2.576,
+    }
+}
+
 /// A point estimate with a 95% confidence half-width.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Estimate {
@@ -83,6 +100,31 @@ impl Estimate {
     /// absolute); useful for asserting agreement in tests without flaking.
     pub fn covers_with_slack(&self, x: f64, slack: f64) -> bool {
         (x - self.mean).abs() <= self.half_width + slack
+    }
+}
+
+impl BatchMeans {
+    /// Point estimate plus 99% CI (same batch-means construction as
+    /// [`BatchMeans::estimate`], wider quantile) — what the statistical
+    /// sim-vs-analytic regression tests assert against.
+    pub fn estimate_99(&self) -> Estimate {
+        let n = self.batch_values.len();
+        if n == 0 {
+            return Estimate::default();
+        }
+        let mut w = Welford::new();
+        for &v in &self.batch_values {
+            w.add(v);
+        }
+        let hw = if n >= 2 {
+            t_995(n as u64 - 1) * w.std_dev() / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Estimate {
+            mean: w.mean(),
+            half_width: hw,
+        }
     }
 }
 
@@ -160,6 +202,28 @@ mod tests {
         assert!(t_975(5) > t_975(30));
         assert_eq!(t_975(1_000_000), 1.96);
         assert_eq!(t_975(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn t_995_wider_than_t_975_everywhere() {
+        for df in [1u64, 2, 5, 10, 30, 45, 100, 1_000_000] {
+            assert!(t_995(df) > t_975(df), "df={df}");
+        }
+        assert_eq!(t_995(1_000_000), 2.576);
+        assert_eq!(t_995(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn estimate_99_is_wider_than_95_with_same_mean() {
+        let vals: Vec<f64> = (0..20)
+            .map(|i| 10.0 + ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5))
+            .collect();
+        let bm = BatchMeans::from_batches(vals);
+        let e95 = bm.estimate();
+        let e99 = bm.estimate_99();
+        assert_eq!(e95.mean, e99.mean);
+        assert!(e99.half_width > e95.half_width);
+        assert!(e99.covers(10.0));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | 3    | solve failure (all backends exhausted, …)         |
 //! | 4    | cross-check failure (backends disagree)           |
 //! | 5    | simulator configuration error                     |
+//! | 6    | metrics failure (broken invariant, unwritable)    |
 
 use xbar_core::solver::resilient::{solve_resilient, ResilientConfig};
 use xbar_core::{solve, Algorithm, Dims, Model, SolveError};
@@ -29,6 +30,9 @@ pub enum CliError {
     CrossCheck(String),
     /// The simulator rejected its configuration (exit 5).
     SimConfig(String),
+    /// Metrics emission failed: an obs counter invariant is broken, or the
+    /// snapshot could not be written (exit 6).
+    Metrics(String),
 }
 
 impl CliError {
@@ -39,6 +43,7 @@ impl CliError {
             CliError::Solve(_) => 3,
             CliError::CrossCheck(_) => 4,
             CliError::SimConfig(_) => 5,
+            CliError::Metrics(_) => 6,
         }
     }
 }
@@ -50,6 +55,7 @@ impl std::fmt::Display for CliError {
             CliError::Solve(m) => write!(f, "solve failed: {m}"),
             CliError::CrossCheck(m) => write!(f, "{m}"),
             CliError::SimConfig(m) => write!(f, "invalid simulation config: {m}"),
+            CliError::Metrics(m) => write!(f, "metrics error: {m}"),
         }
     }
 }
@@ -59,12 +65,14 @@ impl std::error::Error for CliError {}
 fn usage() -> String {
     "usage:\n  xbar solve --n <N> | --n1 <N1> --n2 <N2> \
      [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext|alg2-mva|alg3-convolution] \
-     [--resilient] [--cross-check-tol <tol>] [--threads <N>] \
+     [--resilient] [--cross-check-tol <tol>] [--threads <N>] [--metrics <path|->] \
      --class <spec> [--class <spec> ...]\n  \
      xbar sim   --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
-     [--duration <t>] [--warmup <t>] [--seed <u64>] \
+     [--duration <t>] [--warmup <t>] [--seed <u64>] [--metrics <path|->] \
      [--port-mtbf <t> --port-mttr <t>] [--fail-inputs <k>] [--fail-outputs <k>]\n\n\
-     --threads 0 (default) auto-detects via available_parallelism\n\n\
+     --threads 0 (default) auto-detects via available_parallelism\n\
+     --metrics writes an obs snapshot as JSON to <path> after the run \
+     (- prints a text table instead)\n\n\
      class spec: poisson:rho=0.0012[,mu=1][,a=1][,w=1][,tilde]\n                 \
      bpp:alpha=0.001,beta=0.0005[,mu=1][,a=1][,w=1][,tilde]"
         .to_string()
@@ -161,6 +169,9 @@ pub struct Args {
     pub cross_check_tol: Option<f64>,
     /// Solver thread count (`0` = auto via `available_parallelism`).
     pub threads: usize,
+    /// Where to emit the obs metrics snapshot (`-` = text table on stdout,
+    /// anything else = JSON file path; `None` = metrics disabled).
+    pub metrics: Option<String>,
     /// Parsed class specs.
     pub classes: Vec<ClassSpec>,
     /// Measured simulation time.
@@ -205,6 +216,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut resilient = false;
     let mut cross_check_tol = None;
     let mut threads = 0usize;
+    let mut metrics = None;
     let mut classes = Vec::new();
     let mut duration = 100_000.0f64;
     let mut warmup = 1_000.0f64;
@@ -241,6 +253,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threads" => {
                 threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
             }
+            "--metrics" => metrics = Some(value()?),
             "--class" => classes.push(parse_class(&value()?)?),
             "--duration" => {
                 duration = value()?.parse().map_err(|e| format!("--duration: {e}"))?;
@@ -293,6 +306,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         resilient,
         cross_check_tol,
         threads,
+        metrics,
         classes,
         duration,
         warmup,
@@ -458,17 +472,58 @@ pub fn run_sim(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Check the cross-cutting obs counter invariants a healthy run must
+/// satisfy. Today that is the simulator's offer accounting:
+/// `offers = admitted + capacity-blocked + fault-blocked` (checked only
+/// when a simulation actually ran).
+pub fn verify_metrics_invariants(snap: &xbar_obs::Snapshot) -> Result<(), CliError> {
+    if let Some(offers) = snap.counter("sim.offers") {
+        let admitted = snap.counter("sim.admitted").unwrap_or(0);
+        let capacity = snap.counter("sim.blocked.capacity").unwrap_or(0);
+        let fault = snap.counter("sim.blocked.fault").unwrap_or(0);
+        if offers != admitted + capacity + fault {
+            return Err(CliError::Metrics(format!(
+                "sim accounting invariant broken: offers ({offers}) != admitted ({admitted}) \
+                 + capacity-blocked ({capacity}) + fault-blocked ({fault})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Snapshot the global obs registry, verify invariants, and emit: `-`
+/// prints the human-readable table, anything else writes the JSON snapshot.
+fn emit_metrics(target: &str) -> Result<(), CliError> {
+    let snap = xbar_obs::global().snapshot();
+    verify_metrics_invariants(&snap)?;
+    if target == "-" {
+        print!("{}", snap.to_text());
+    } else {
+        std::fs::write(target, snap.to_json())
+            .map_err(|e| CliError::Metrics(format!("cannot write '{target}': {e}")))?;
+    }
+    Ok(())
+}
+
 /// Parse and execute; the returned error carries its exit code.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = parse_args(argv).map_err(CliError::Usage)?;
     // 0 = auto (available_parallelism / XBAR_THREADS); the wavefront solver
     // and solve_batch read this process-wide setting.
     xbar_core::parallel::set_threads(args.threads);
-    match args.command.as_str() {
+    if args.metrics.is_some() {
+        xbar_obs::set_global_enabled(true);
+    }
+    let result = match args.command.as_str() {
         "solve" => run_solve(&args),
         "sim" => run_sim(&args),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    };
+    result?;
+    if let Some(target) = &args.metrics {
+        emit_metrics(target)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -625,5 +680,40 @@ mod tests {
     fn usage_errors_map_to_exit_2() {
         let err = run(&argv("solve --n 4")).unwrap_err();
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn parses_metrics_flag() {
+        let a = parse_args(&argv(
+            "sim --n 4 --class poisson:rho=0.1 --metrics out.json",
+        ))
+        .unwrap();
+        assert_eq!(a.metrics.as_deref(), Some("out.json"));
+        let a = parse_args(&argv("solve --n 4 --class poisson:rho=0.1 --metrics -")).unwrap();
+        assert_eq!(a.metrics.as_deref(), Some("-"));
+        // Value required.
+        assert!(parse_args(&argv("solve --n 4 --class poisson:rho=0.1 --metrics")).is_err());
+    }
+
+    #[test]
+    fn metrics_invariant_accepts_balanced_and_rejects_broken_accounting() {
+        // Balanced: offers = admitted + capacity + fault.
+        let reg = xbar_obs::Registry::new();
+        reg.counter("sim.offers").add(100);
+        reg.counter("sim.admitted").add(90);
+        reg.counter("sim.blocked.capacity").add(7);
+        reg.counter("sim.blocked.fault").add(3);
+        assert!(verify_metrics_invariants(&reg.snapshot()).is_ok());
+
+        // No sim counters at all (solve-only run): trivially fine.
+        assert!(verify_metrics_invariants(&xbar_obs::Registry::new().snapshot()).is_ok());
+
+        // Broken accounting maps to the metrics exit code (6).
+        let broken = xbar_obs::Registry::new();
+        broken.counter("sim.offers").add(100);
+        broken.counter("sim.admitted").add(90);
+        let err = verify_metrics_invariants(&broken.snapshot()).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("invariant"));
     }
 }

@@ -42,6 +42,7 @@ pub mod cli;
 pub use xbar_baselines as baselines;
 pub use xbar_core as analytic;
 pub use xbar_numeric as numeric;
+pub use xbar_obs as obs;
 pub use xbar_sim as sim;
 pub use xbar_traffic as traffic;
 

@@ -1,0 +1,76 @@
+//! Golden-file regression tests: the CSV artefacts of the batched
+//! experiment drivers are snapshotted under `tests/golden/` and must match
+//! byte-for-byte. Every solve is deterministic (the wavefront sweep is
+//! bit-for-bit identical at any thread count) and the simulated sweep runs
+//! at a fixed seed, so any diff is a real behaviour change.
+//!
+//! To refresh after an intentional change:
+//! `XBAR_UPDATE_GOLDEN=1 cargo test -p xbar --test golden`.
+
+use std::path::PathBuf;
+
+use xbar_experiments::{fig1, fig2, fig3, fig4, hotspot_sweep, rectangular};
+
+/// Short, fixed-seed hot-spot sweep (the 100k-duration CLI default would
+/// dominate test wall-clock without changing what is being locked down).
+const HOTSPOT_DURATION: f64 = 20_000.0;
+const HOTSPOT_SEED: u64 = 33;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("XBAR_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert!(
+        expected == actual,
+        "{name} drifted from its golden snapshot \
+         (XBAR_UPDATE_GOLDEN=1 refreshes after an intentional change); \
+         expected {} bytes, got {} bytes",
+        expected.len(),
+        actual.len()
+    );
+}
+
+#[test]
+fn fig1_csv_matches_golden() {
+    check("fig1.csv", &fig1::table(&fig1::rows()).to_csv());
+}
+
+#[test]
+fn fig2_csv_matches_golden() {
+    check("fig2.csv", &fig2::table(&fig2::rows()).to_csv());
+}
+
+#[test]
+fn fig3_csv_matches_golden() {
+    check("fig3.csv", &fig3::table(&fig3::rows()).to_csv());
+}
+
+#[test]
+fn fig4_csv_matches_golden() {
+    let rows = fig4::rows();
+    check("fig4.csv", &fig4::table(&rows).to_csv());
+    check("table1.csv", &fig4::table1(&rows).to_csv());
+}
+
+#[test]
+fn rectangular_csv_matches_golden() {
+    check(
+        "rectangular.csv",
+        &rectangular::table(&rectangular::rows()).to_csv(),
+    );
+}
+
+#[test]
+fn hotspot_csv_matches_golden() {
+    let rows = hotspot_sweep::rows(HOTSPOT_DURATION, HOTSPOT_SEED);
+    check("hotspot.csv", &hotspot_sweep::table(&rows).to_csv());
+}

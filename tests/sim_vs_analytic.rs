@@ -1,0 +1,146 @@
+//! Statistical regression harness: the discrete-event simulator must
+//! reproduce the analytic call-blocking of small BPP models within a 99%
+//! confidence interval, at fixed seeds, for every burstiness regime — and
+//! the observability layer's offer/block accounting must balance exactly
+//! against the simulator's own report.
+//!
+//! The analytic reference is the *call-average* acceptance (the paper's
+//! time-average `B_r` corrected by the arrival theorem), which is what a
+//! blocked/offered ratio estimates; for the non-Poisson classes the two
+//! differ measurably, so covering the right one is itself a regression
+//! check on the measure plumbing.
+
+use std::sync::Arc;
+
+use xbar::{
+    solve, Algorithm, CrossbarSim, Dims, Model, RunConfig, SimConfig, TrafficClass, Workload,
+};
+
+struct Scenario {
+    label: &'static str,
+    n1: u32,
+    n2: u32,
+    class: TrafficClass,
+    seed: u64,
+}
+
+/// Three small models spanning the burstiness regimes; the smooth one is
+/// rectangular (`N1 != N2`) so the non-square code path is exercised too.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "smooth-bernoulli-rect",
+            n1: 4,
+            n2: 8,
+            // Z < 1: finite source population S = alpha/|beta| = 16.
+            class: TrafficClass::bpp(0.64, -0.04, 1.0),
+            seed: 7001,
+        },
+        Scenario {
+            label: "poisson-square",
+            n1: 8,
+            n2: 8,
+            class: TrafficClass::poisson(0.05),
+            seed: 7002,
+        },
+        Scenario {
+            label: "peaky-pascal-square",
+            n1: 8,
+            n2: 8,
+            // Z = 2 peakedness.
+            class: TrafficClass::bpp(0.025, 0.5, 1.0),
+            seed: 7003,
+        },
+    ]
+}
+
+fn run_scenario(sc: &Scenario, duration: f64) -> (f64, xbar::sim::SimReport) {
+    let model = Model::new(
+        Dims::new(sc.n1, sc.n2),
+        Workload::new().with(sc.class.clone()),
+    )
+    .expect("valid scenario model");
+    let sol = solve(&model, Algorithm::Auto).expect("solvable");
+    let analytic_call_blocking = 1.0 - sol.call_acceptance(0);
+
+    let cfg = SimConfig::new(sc.n1, sc.n2).with_exp_class(sc.class.clone());
+    let mut sim = CrossbarSim::new(cfg, sc.seed);
+    let rep = sim.run(RunConfig {
+        warmup: duration / 50.0,
+        duration,
+        batches: 20,
+    });
+    (analytic_call_blocking, rep)
+}
+
+#[test]
+fn per_class_blocking_lands_in_the_99_percent_ci() {
+    for sc in scenarios() {
+        let (analytic, rep) = run_scenario(&sc, 60_000.0);
+        let est = &rep.classes[0].blocking_99;
+        assert!(
+            est.covers(analytic),
+            "{}: analytic {analytic} outside sim 99% CI {} ± {}",
+            sc.label,
+            est.mean,
+            est.half_width
+        );
+        // The 99% interval must really be the wider one.
+        assert!(est.half_width >= rep.classes[0].blocking.half_width);
+    }
+}
+
+#[test]
+fn obs_accounting_balances_exactly_against_the_report() {
+    for sc in scenarios() {
+        // Scoped registry: parallel tests share the global one.
+        let reg = Arc::new(xbar::obs::Registry::new());
+        let rep = {
+            let _g = xbar::obs::scope(&reg);
+            run_scenario(&sc, 10_000.0).1
+        };
+        let snap = reg.snapshot();
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+
+        let offered: u64 = rep.classes.iter().map(|c| c.offered).sum();
+        let accepted: u64 = rep.classes.iter().map(|c| c.accepted).sum();
+        let blocked: u64 = rep.classes.iter().map(|c| c.blocked).sum();
+        assert_eq!(counter("sim.offers"), offered, "{}", sc.label);
+        assert_eq!(counter("sim.admitted"), accepted, "{}", sc.label);
+        assert_eq!(
+            counter("sim.blocked.capacity") + counter("sim.blocked.fault"),
+            blocked,
+            "{}",
+            sc.label
+        );
+        // The invariant the CLI enforces on every --metrics run.
+        assert_eq!(
+            counter("sim.offers"),
+            counter("sim.admitted")
+                + counter("sim.blocked.capacity")
+                + counter("sim.blocked.fault"),
+            "{}",
+            sc.label
+        );
+        // No fault injection configured, so no fault blocking.
+        assert_eq!(counter("sim.blocked.fault"), 0, "{}", sc.label);
+        assert_eq!(counter("sim.runs"), 1, "{}", sc.label);
+        assert!(counter("sim.events") > 0, "{}", sc.label);
+    }
+}
+
+#[test]
+fn poisson_call_blocking_equals_time_blocking_but_bpp_does_not() {
+    // PASTA: for the Poisson class the call-average and time-average
+    // blocking coincide; for the Pascal (peaky) class the arrival theorem
+    // makes call blocking strictly worse than `1 - B_r`.
+    let mk = |class: TrafficClass| {
+        let model = Model::new(Dims::square(8), Workload::new().with(class)).unwrap();
+        let sol = solve(&model, Algorithm::Auto).unwrap();
+        (1.0 - sol.call_acceptance(0), sol.blocking(0))
+    };
+    let (call, time) = mk(TrafficClass::poisson(0.05));
+    assert!((call - time).abs() < 1e-12, "{call} vs {time}");
+    let (call, time) = mk(TrafficClass::bpp(0.025, 0.5, 1.0));
+    assert!(call > time, "peaky call blocking {call} !> time {time}");
+}
