@@ -1,0 +1,712 @@
+//! The online admission engine: `O(R)` admit/deny per event over
+//! incrementally maintained product-form state.
+
+use std::sync::Arc;
+
+use xbar_core::{solve_cached, Algorithm, Model, Solution, SolveError};
+use xbar_numeric::permutation;
+
+use crate::policy::PolicySpec;
+
+/// One call-level event offered to the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A class-`class` call requests admission.
+    Arrival {
+        /// Class index in model order.
+        class: usize,
+    },
+    /// A previously admitted class-`class` call completes.
+    Departure {
+        /// Class index in model order.
+        class: usize,
+    },
+}
+
+/// The engine's answer to an arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The call is admitted (and the engine state was advanced).
+    Admit,
+    /// The call is denied.
+    Deny(DenyReason),
+}
+
+/// Why an arrival was denied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DenyReason {
+    /// The ports do not fit: `k·A + a_r > min(N1,N2)` (or the drawn
+    /// port tuple was busy, for callers that model tuple selection).
+    Capacity,
+    /// The ports fit but the policy's reservation threshold forbids the
+    /// admission: `min(N1,N2) − k·A < a_r + t_r`.
+    Policy,
+}
+
+/// A typed admission-engine failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdmissionError {
+    /// The anchor solve failed.
+    Solve(SolveError),
+    /// A class index outside `0..R`.
+    UnknownClass {
+        /// The offending index.
+        class: usize,
+        /// Number of classes in the model.
+        classes: usize,
+    },
+    /// A departure for a class with no connection in progress.
+    NoConnection {
+        /// The offending class.
+        class: usize,
+    },
+    /// A trunk-reservation threshold vector of the wrong arity.
+    ThresholdArity {
+        /// Thresholds supplied.
+        got: usize,
+        /// Classes in the model.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Solve(e) => write!(f, "anchor solve failed: {e}"),
+            AdmissionError::UnknownClass { class, classes } => {
+                write!(f, "unknown class {class} (model has {classes})")
+            }
+            AdmissionError::NoConnection { class } => {
+                write!(
+                    f,
+                    "departure for class {class} with no connection in progress"
+                )
+            }
+            AdmissionError::ThresholdArity { got, want } => {
+                write!(
+                    f,
+                    "policy needs one threshold per class: got {got}, want {want}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdmissionError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The admission policy.
+    pub policy: PolicySpec,
+    /// Algorithm for the anchor solve (Alg2/MVA by default — one lattice
+    /// pass seeds every per-class measure the policies consult).
+    pub algorithm: Algorithm,
+    /// Events between exact drift checks of the incremental log-weight
+    /// (`0` disables periodic checks; [`AdmissionEngine::re_anchor`]
+    /// remains available).
+    pub check_interval: u64,
+    /// Relative drift tolerance: the engine re-anchors when
+    /// `|inc − exact| > drift_tol · max(1, |exact|)`.
+    pub drift_tol: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: PolicySpec::CompleteSharing,
+            algorithm: Algorithm::Mva,
+            check_interval: 4096,
+            drift_tol: 1e-9,
+        }
+    }
+}
+
+/// Per-class decision counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Arrivals offered.
+    pub offered: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals denied for capacity (ports don't fit / tuple busy).
+    pub denied_capacity: u64,
+    /// Arrivals denied by the reservation policy.
+    pub denied_policy: u64,
+}
+
+/// Whole-engine counters.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Events processed (arrivals, external blocks and departures).
+    pub events: u64,
+    /// Departures processed.
+    pub departures: u64,
+    /// Times the engine re-anchored from the solve cache.
+    pub re_anchors: u64,
+    /// Per-class decision split.
+    pub per_class: Vec<ClassStats>,
+}
+
+impl EngineStats {
+    /// Total arrivals offered.
+    pub fn offered(&self) -> u64 {
+        self.per_class.iter().map(|c| c.offered).sum()
+    }
+
+    /// Total arrivals admitted.
+    pub fn admitted(&self) -> u64 {
+        self.per_class.iter().map(|c| c.admitted).sum()
+    }
+
+    /// Total capacity denials.
+    pub fn denied_capacity(&self) -> u64 {
+        self.per_class.iter().map(|c| c.denied_capacity).sum()
+    }
+
+    /// Total policy denials.
+    pub fn denied_policy(&self) -> u64 {
+        self.per_class.iter().map(|c| c.denied_policy).sum()
+    }
+}
+
+/// The online admission-control engine. See the crate docs for the
+/// incremental state it maintains and the re-anchoring contract.
+pub struct AdmissionEngine {
+    model: Model,
+    cfg: EngineConfig,
+    /// `min(N1, N2)` — the connection-slot capacity.
+    cap: u32,
+    /// Per-class bandwidth `a_r`.
+    bw: Vec<u32>,
+    /// `P(N1,a_r)·P(N2,a_r)` per class (availability denominator).
+    tuple_count: Vec<f64>,
+    /// Effective spare-slot thresholds (resolved from the policy).
+    thresholds: Vec<u32>,
+    /// Occupancy vector `k`.
+    k: Vec<u32>,
+    /// Port occupancy `k·A`.
+    ka: u32,
+    /// Incremental `ln(π(k)/π(0))`.
+    log_weight: f64,
+    /// The anchor solution (refreshed on re-anchor).
+    anchor: Arc<Solution>,
+    stats: EngineStats,
+}
+
+impl AdmissionEngine {
+    /// Build an engine for `model`, seeding the per-class non-blocking
+    /// state from one cached analytic solve.
+    pub fn new(model: &Model, cfg: EngineConfig) -> Result<Self, AdmissionError> {
+        let anchor = solve_cached(model, cfg.algorithm).map_err(AdmissionError::Solve)?;
+        let thresholds = cfg.policy.thresholds(model, cfg.algorithm, &anchor)?;
+        let dims = model.dims();
+        let classes = model.workload().classes();
+        let bw: Vec<u32> = classes.iter().map(|c| c.bandwidth).collect();
+        let tuple_count = bw
+            .iter()
+            .map(|&a| permutation(dims.n1 as u64, a as u64) * permutation(dims.n2 as u64, a as u64))
+            .collect();
+        let r_count = classes.len();
+        Ok(AdmissionEngine {
+            model: model.clone(),
+            cap: dims.min_n(),
+            bw,
+            tuple_count,
+            thresholds,
+            k: vec![0; r_count],
+            ka: 0,
+            log_weight: 0.0,
+            anchor,
+            stats: EngineStats {
+                per_class: vec![ClassStats::default(); r_count],
+                ..EngineStats::default()
+            },
+            cfg,
+        })
+    }
+
+    fn check_class(&self, class: usize) -> Result<(), AdmissionError> {
+        if class >= self.k.len() {
+            return Err(AdmissionError::UnknownClass {
+                class,
+                classes: self.k.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The pure policy decision for a class-`class` arrival in the
+    /// current state — no state change, no accounting.
+    pub fn decide(&self, class: usize) -> Result<Decision, AdmissionError> {
+        self.check_class(class)?;
+        let a = self.bw[class];
+        if self.ka + a > self.cap {
+            return Ok(Decision::Deny(DenyReason::Capacity));
+        }
+        if self.cap - self.ka < a + self.thresholds[class] {
+            return Ok(Decision::Deny(DenyReason::Policy));
+        }
+        Ok(Decision::Admit)
+    }
+
+    /// Offer a class-`class` arrival: decide, advance the state if
+    /// admitted, and account the outcome.
+    pub fn offer(&mut self, class: usize) -> Result<Decision, AdmissionError> {
+        let decision = self.decide(class)?;
+        self.stats.per_class[class].offered += 1;
+        match decision {
+            Decision::Admit => {
+                self.stats.per_class[class].admitted += 1;
+                self.apply_arrival(class);
+            }
+            Decision::Deny(DenyReason::Capacity) => {
+                self.stats.per_class[class].denied_capacity += 1
+            }
+            Decision::Deny(DenyReason::Policy) => self.stats.per_class[class].denied_policy += 1,
+        }
+        self.tick()?;
+        Ok(decision)
+    }
+
+    /// Account a class-`class` arrival blocked *outside* the engine — a
+    /// caller that models port-tuple selection found the drawn tuple
+    /// busy. Counted as a capacity denial; no state change.
+    pub fn record_blocked(&mut self, class: usize) -> Result<(), AdmissionError> {
+        self.check_class(class)?;
+        self.stats.per_class[class].offered += 1;
+        self.stats.per_class[class].denied_capacity += 1;
+        self.tick()
+    }
+
+    /// A previously admitted class-`class` call completes.
+    pub fn depart(&mut self, class: usize) -> Result<(), AdmissionError> {
+        self.check_class(class)?;
+        if self.k[class] == 0 {
+            return Err(AdmissionError::NoConnection { class });
+        }
+        self.apply_departure(class);
+        self.stats.departures += 1;
+        self.tick()
+    }
+
+    /// Apply one event; arrivals return the decision.
+    pub fn apply(&mut self, event: Event) -> Result<Option<Decision>, AdmissionError> {
+        match event {
+            Event::Arrival { class } => self.offer(class).map(Some),
+            Event::Departure { class } => self.depart(class).map(|()| None),
+        }
+    }
+
+    /// The product-form log ratio for the transition `k → k + 1_class`
+    /// taken from a state with `k_before` class connections and `ka_before`
+    /// busy ports: `ln Ψ(k+1)/Ψ(k) + ln λ(k_before) − ln((k_before+1)μ)`.
+    fn delta_log(&self, class: usize, k_before: u32, ka_before: u32) -> f64 {
+        let dims = self.model.dims();
+        let a = self.bw[class];
+        let c = &self.model.workload().classes()[class];
+        let mut d = 0.0f64;
+        for j in ka_before..ka_before + a {
+            d += ((dims.n1 - j) as f64).ln() + ((dims.n2 - j) as f64).ln();
+        }
+        d + c.lambda(k_before as u64).ln() - ((k_before + 1) as f64 * c.mu).ln()
+    }
+
+    fn apply_arrival(&mut self, class: usize) {
+        let d = self.delta_log(class, self.k[class], self.ka);
+        self.k[class] += 1;
+        self.ka += self.bw[class];
+        if d.is_finite() && self.log_weight.is_finite() {
+            self.log_weight += d;
+        } else {
+            // λ = 0 transitions land in zero-probability states
+            // (ln π = −∞); resolve exactly rather than propagating NaN.
+            self.log_weight = self.exact_log_weight();
+        }
+    }
+
+    fn apply_departure(&mut self, class: usize) {
+        self.k[class] -= 1;
+        self.ka -= self.bw[class];
+        let d = self.delta_log(class, self.k[class], self.ka);
+        if d.is_finite() && self.log_weight.is_finite() {
+            self.log_weight -= d;
+        } else {
+            self.log_weight = self.exact_log_weight();
+        }
+    }
+
+    /// Per-event bookkeeping: periodic exact drift check.
+    fn tick(&mut self) -> Result<(), AdmissionError> {
+        self.stats.events += 1;
+        if self.cfg.check_interval > 0 && self.stats.events.is_multiple_of(self.cfg.check_interval)
+        {
+            let exact = self.exact_log_weight();
+            let drift = (self.log_weight - exact).abs();
+            // Negated so NaN drift (incomparable) also re-anchors.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(drift <= self.cfg.drift_tol * exact.abs().max(1.0)) {
+                self.re_anchor()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reset the incremental state from an exact recomputation and
+    /// refresh the analytic anchor through the solve cache.
+    pub fn re_anchor(&mut self) -> Result<(), AdmissionError> {
+        self.anchor =
+            solve_cached(&self.model, self.cfg.algorithm).map_err(AdmissionError::Solve)?;
+        self.thresholds =
+            self.cfg
+                .policy
+                .thresholds(&self.model, self.cfg.algorithm, &self.anchor)?;
+        self.log_weight = self.exact_log_weight();
+        self.stats.re_anchors += 1;
+        Ok(())
+    }
+
+    /// `ln(π(k)/π(0))` recomputed from scratch (`O(k·A + Σ_r k_r)`):
+    /// `ln Ψ(k) + Σ_r Σ_{l=1..k_r} [ln λ_r(l−1) − ln(l·μ_r)]`.
+    pub fn exact_log_weight(&self) -> f64 {
+        let dims = self.model.dims();
+        let mut s = 0.0f64;
+        for j in 0..self.ka {
+            s += ((dims.n1 - j) as f64).ln() + ((dims.n2 - j) as f64).ln();
+        }
+        for (r, c) in self.model.workload().classes().iter().enumerate() {
+            for l in 1..=self.k[r] {
+                s += c.lambda((l - 1) as u64).ln() - (l as f64 * c.mu).ln();
+            }
+        }
+        s
+    }
+
+    /// The incrementally maintained `ln(π(k)/π(0))`.
+    pub fn log_weight(&self) -> f64 {
+        self.log_weight
+    }
+
+    /// Probability that a uniformly drawn class-`class` port tuple is
+    /// fully idle in the current state —
+    /// `P(N1−k·A, a)·P(N2−k·A, a) / (P(N1,a)·P(N2,a))`, the state-wise
+    /// integrand of the paper's `B_r`.
+    pub fn availability(&self, class: usize) -> f64 {
+        let dims = self.model.dims();
+        let a = self.bw[class] as u64;
+        permutation((dims.n1 - self.ka) as u64, a) * permutation((dims.n2 - self.ka) as u64, a)
+            / self.tuple_count[class]
+    }
+
+    /// The anchor's analytic call acceptance for `class` (the
+    /// arrival-theorem-corrected `1 − B_r^{call}` a complete-sharing
+    /// replay should reproduce).
+    pub fn analytic_acceptance(&self, class: usize) -> f64 {
+        self.anchor.call_acceptance(class)
+    }
+
+    /// Current occupancy vector `k`.
+    pub fn state(&self) -> &[u32] {
+        &self.k
+    }
+
+    /// Current port occupancy `k·A`.
+    pub fn occupancy(&self) -> u32 {
+        self.ka
+    }
+
+    /// Connection-slot capacity `min(N1, N2)`.
+    pub fn capacity(&self) -> u32 {
+        self.cap
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The anchor solution.
+    pub fn anchor(&self) -> &Solution {
+        &self.anchor
+    }
+
+    /// Effective per-class spare-slot thresholds.
+    pub fn thresholds(&self) -> &[u32] {
+        &self.thresholds
+    }
+
+    /// Decision and event counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Flush the decision counters into the active observability sink
+    /// (aggregate totals plus the per-class admit/deny split). Call once
+    /// per run, like the simulator does — the hot path stays untouched.
+    pub fn flush_obs(&self) {
+        if !xbar_obs::enabled() {
+            return;
+        }
+        xbar_obs::add("admission.events", self.stats.events);
+        xbar_obs::add("admission.offers", self.stats.offered());
+        xbar_obs::add("admission.admitted", self.stats.admitted());
+        xbar_obs::add("admission.denied.capacity", self.stats.denied_capacity());
+        xbar_obs::add("admission.denied.policy", self.stats.denied_policy());
+        xbar_obs::add("admission.departures", self.stats.departures);
+        xbar_obs::add("admission.reanchors", self.stats.re_anchors);
+        for (r, c) in self.stats.per_class.iter().enumerate() {
+            xbar_obs::add(&format!("admission.admit.class{r}"), c.admitted);
+            xbar_obs::add(
+                &format!("admission.deny.capacity.class{r}"),
+                c.denied_capacity,
+            );
+            xbar_obs::add(&format!("admission.deny.policy.class{r}"), c.denied_policy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_core::brute::Brute;
+    use xbar_core::Dims;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn two_class_model() -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.15).with_weight(1.0))
+            .with(TrafficClass::bpp(0.1, 0.05, 1.0).with_weight(0.1));
+        Model::new(Dims::square(5), w).unwrap()
+    }
+
+    fn engine(model: &Model, policy: PolicySpec) -> AdmissionEngine {
+        AdmissionEngine::new(
+            model,
+            EngineConfig {
+                policy,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn complete_sharing_admits_to_capacity_then_denies() {
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        for i in 0..5 {
+            assert_eq!(e.offer(0).unwrap(), Decision::Admit, "call {i}");
+        }
+        assert_eq!(e.occupancy(), 5);
+        assert_eq!(e.offer(0).unwrap(), Decision::Deny(DenyReason::Capacity));
+        assert_eq!(e.offer(1).unwrap(), Decision::Deny(DenyReason::Capacity));
+        e.depart(0).unwrap();
+        assert_eq!(e.offer(1).unwrap(), Decision::Admit);
+        let s = e.stats();
+        assert_eq!(s.offered(), 8);
+        assert_eq!(s.admitted(), 6);
+        assert_eq!(s.denied_capacity(), 2);
+        assert_eq!(s.denied_policy(), 0);
+        assert_eq!(s.departures, 1);
+    }
+
+    #[test]
+    fn trunk_reservation_denies_with_policy_reason() {
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::TrunkReservation(vec![0, 2]));
+        // Fill to cap − 2: class 1 still fits by capacity but not policy.
+        for _ in 0..3 {
+            assert_eq!(e.offer(0).unwrap(), Decision::Admit);
+        }
+        assert_eq!(e.offer(1).unwrap(), Decision::Deny(DenyReason::Policy));
+        assert_eq!(e.offer(0).unwrap(), Decision::Admit);
+        // Now ka = 4, cap = 5: class 1 fits by neither; capacity wins the
+        // classification only when the ports genuinely don't fit.
+        assert_eq!(e.offer(0).unwrap(), Decision::Admit);
+        assert_eq!(e.offer(1).unwrap(), Decision::Deny(DenyReason::Capacity));
+    }
+
+    #[test]
+    fn boundary_state_at_full_occupancy_denies_everything() {
+        // k·A = min(N1,N2) exactly: every class must be denied Capacity.
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        while e.occupancy() < e.capacity() {
+            e.offer(0).unwrap();
+        }
+        for r in 0..2 {
+            assert_eq!(e.decide(r).unwrap(), Decision::Deny(DenyReason::Capacity));
+            assert_eq!(e.availability(r), 0.0);
+        }
+    }
+
+    #[test]
+    fn log_weight_matches_brute_force_ratio() {
+        let m = two_class_model();
+        let brute = Brute::new(&m);
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        let seq: [(bool, usize); 9] = [
+            (true, 0),
+            (true, 1),
+            (true, 0),
+            (false, 0),
+            (true, 1),
+            (true, 0),
+            (false, 1),
+            (true, 0),
+            (true, 1),
+        ];
+        for &(arrival, class) in &seq {
+            if arrival {
+                e.offer(class).unwrap();
+            } else {
+                e.depart(class).unwrap();
+            }
+        }
+        let pi0 = brute.pi(&[0, 0]);
+        let pik = brute.pi(e.state());
+        let want = (pik / pi0).ln();
+        assert!(
+            (e.log_weight() - want).abs() < 1e-10,
+            "{} vs {}",
+            e.log_weight(),
+            want
+        );
+        assert!((e.log_weight() - e.exact_log_weight()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        assert_eq!(
+            e.decide(7),
+            Err(AdmissionError::UnknownClass {
+                class: 7,
+                classes: 2
+            })
+        );
+        assert_eq!(e.depart(0), Err(AdmissionError::NoConnection { class: 0 }));
+        assert_eq!(
+            AdmissionEngine::new(
+                &m,
+                EngineConfig {
+                    policy: PolicySpec::TrunkReservation(vec![0]),
+                    ..EngineConfig::default()
+                }
+            )
+            .err(),
+            Some(AdmissionError::ThresholdArity { got: 1, want: 2 })
+        );
+    }
+
+    #[test]
+    fn shadow_policy_throttles_only_unprofitable_classes() {
+        // A cheap, hungry class next to a valuable one: the §4 gradient is
+        // negative for the cheap class, so the shadow policy must assign
+        // it (and only it) the reserve threshold.
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.25).with_weight(1.0))
+            .with(TrafficClass::poisson(0.5).with_weight(0.01));
+        let m = Model::new(Dims::square(4), w).unwrap();
+        let e = engine(&m, PolicySpec::ShadowPrice { reserve: 2 });
+        assert_eq!(e.thresholds(), &[0, 2]);
+    }
+
+    #[test]
+    fn re_anchor_resets_weight_and_counts() {
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        e.offer(0).unwrap();
+        e.offer(1).unwrap();
+        e.re_anchor().unwrap();
+        assert_eq!(e.stats().re_anchors, 1);
+        assert_eq!(e.log_weight(), e.exact_log_weight());
+    }
+
+    #[test]
+    fn drift_check_re_anchors_automatically() {
+        // check_interval 1 + zero tolerance: any representable drift
+        // between the incremental sum and the exact recomputation forces
+        // a re-anchor; after enough events under an inexact λ some must
+        // fire, and the state stays exactly consistent.
+        let m = two_class_model();
+        let mut e = AdmissionEngine::new(
+            &m,
+            EngineConfig {
+                check_interval: 1,
+                drift_tol: 0.0,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..200u32 {
+            let class = (i % 2) as usize;
+            if e.decide(class).unwrap() == Decision::Admit && i % 3 != 2 {
+                e.offer(class).unwrap();
+            } else if e.state()[class] > 0 {
+                e.depart(class).unwrap();
+            }
+        }
+        assert_eq!(e.log_weight(), e.exact_log_weight());
+        assert!(e.stats().re_anchors > 0, "no drift in 200 events");
+    }
+
+    #[test]
+    fn bernoulli_fill_drain_cycle_returns_to_zero_weight() {
+        // S = 5 sources saturating a 5×5 switch: the last admitted call
+        // uses the smallest λ the model permits (λ(4) = β·1). A full
+        // fill/drain cycle must retrace the weight back to ln π̃(0) = 0
+        // without accumulating error.
+        let w = Workload::new().with(TrafficClass::bpp(0.5, -0.1, 1.0));
+        let m = Model::new(Dims::square(5), w).unwrap();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        for _ in 0..5 {
+            assert_eq!(e.offer(0).unwrap(), Decision::Admit);
+        }
+        assert_eq!(e.offer(0).unwrap(), Decision::Deny(DenyReason::Capacity));
+        assert!((e.log_weight() - e.exact_log_weight()).abs() < 1e-10);
+        for _ in 0..5 {
+            e.depart(0).unwrap();
+        }
+        assert!(e.log_weight().abs() < 1e-10, "{}", e.log_weight());
+    }
+
+    #[test]
+    fn flush_obs_exports_the_decision_split() {
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let m = two_class_model();
+        {
+            let _g = xbar_obs::scope(&reg);
+            let mut e = engine(&m, PolicySpec::TrunkReservation(vec![0, 2]));
+            for _ in 0..4 {
+                e.offer(0).unwrap();
+            }
+            e.offer(1).unwrap(); // policy deny at ka = 4
+            e.offer(0).unwrap(); // admit (ka 4 → 5)
+            e.offer(0).unwrap(); // capacity deny
+            e.re_anchor().unwrap();
+            e.flush_obs();
+        }
+        let snap = reg.snapshot();
+        let c = |n: &str| snap.counter(n).unwrap_or(0);
+        assert_eq!(c("admission.offers"), 7);
+        assert_eq!(c("admission.admitted"), 5);
+        assert_eq!(c("admission.denied.capacity"), 1);
+        assert_eq!(c("admission.denied.policy"), 1);
+        assert_eq!(c("admission.reanchors"), 1);
+        assert_eq!(c("admission.admit.class0"), 5);
+        assert_eq!(c("admission.deny.policy.class1"), 1);
+        assert_eq!(
+            c("admission.offers"),
+            c("admission.admitted") + c("admission.denied.capacity") + c("admission.denied.policy"),
+        );
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+//! Online admission control for the asynchronous multi-rate crossbar.
+//!
+//! The paper evaluates its measures — the non-blocking probabilities
+//! `B_r`, the MVA ratios `F_i(N) = Q(N−1_i)/Q(N)` and the §4 shadow
+//! prices — in offline batch sweeps. This crate turns them into the
+//! quantities a switch controller consults *at call-setup time*: an
+//! [`AdmissionEngine`] ingests a stream of per-class arrival/departure
+//! events and answers admit/deny in `O(R)` work per event.
+//!
+//! The engine is **seeded** from one analytic solve (Alg2/MVA by
+//! default, fetched through the process-wide
+//! [`SolveCache`](xbar_core::SolveCache)) which provides the per-class
+//! non-blocking state (`B_r`, call acceptance, shadow costs). Between
+//! events it maintains, incrementally:
+//!
+//! - the occupancy vector `k` and the port occupancy `k·A`;
+//! - the log stationary weight `ln π̃(k) = ln(π(k)/π(0))` of the current
+//!   state, updated with one `O(a_r)` delta per event (the product-form
+//!   birth/death ratio `Ψ(k+1_r)/Ψ(k) · λ_r(k_r)/((k_r+1)μ_r)`);
+//! - per-class instantaneous tuple availability, derivable in `O(a_r)`
+//!   from `k·A` alone.
+//!
+//! The incremental log-weight is a long sum of floating-point deltas, so
+//! it drifts. Every `check_interval` events the engine recomputes the
+//! weight exactly (an `O(N)` scan) and, when the gap exceeds
+//! `drift_tol`, **re-anchors**: the incremental state is reset from the
+//! exact recomputation and the analytic anchor is refreshed through the
+//! solve cache (a cache hit unless the cache was evicted under pressure).
+//!
+//! Three [`PolicySpec`]s are pluggable: complete sharing (the paper's
+//! model), per-class trunk reservation (the semantics of
+//! [`xbar_core::policy::solve_policy`]), and revenue-aware shadow-price
+//! thresholding derived from [`xbar_core::sensitivity`].
+
+pub mod engine;
+pub mod policy;
+
+pub use engine::{
+    AdmissionEngine, AdmissionError, ClassStats, Decision, DenyReason, EngineConfig, EngineStats,
+    Event,
+};
+pub use policy::PolicySpec;

@@ -1,7 +1,9 @@
 //! Machine-readable perf trajectory: times the hot solve path at the
-//! paper's benchmark sizes and writes `BENCH_3.json` (median ns per bench,
+//! paper's benchmark sizes and writes `BENCH_4.json` (median ns per bench,
 //! switch size, backend, thread count) so the speedup story is trackable
-//! across PRs without parsing Criterion's console output.
+//! across PRs without parsing Criterion's console output. Since PR 4 it
+//! also times the admission-engine replay loop (events/sec is
+//! `1e9 * EVENTS / median_ns`).
 //!
 //! Timed runs execute with metrics off — the medians must stay comparable
 //! with earlier `BENCH_N.json` files, and the obs layer's disabled-mode
@@ -14,11 +16,14 @@
 
 use std::time::Instant;
 
+use xbar_admission::{EngineConfig, PolicySpec};
 use xbar_bench::{table2_model, BenchRecord, BenchReport};
 use xbar_core::alg1::{QLattice, ScaledQLattice};
 use xbar_core::parallel;
-use xbar_core::Model;
+use xbar_core::{Dims, Model};
 use xbar_numeric::ExtFloat;
+use xbar_sim::{replay, ReplayConfig};
+use xbar_traffic::{TrafficClass, Workload};
 
 /// Median wall-clock ns of `runs` invocations of `f`.
 fn median_ns<F: FnMut()>(runs: usize, mut f: F) -> u64 {
@@ -56,6 +61,38 @@ fn time_backend(name: &str, n: u32, threads: usize, model: &Model, runs: usize) 
     }
 }
 
+/// Time the admission-engine replay loop (PR 4's events/sec number):
+/// a 100k-event jump chain through the engine under `policy`.
+fn time_admission_replay(name: &str, policy: PolicySpec, runs: usize) -> BenchRecord {
+    const EVENTS: u64 = 100_000;
+    const N: u32 = 16;
+    let w = Workload::new()
+        .with(TrafficClass::poisson(0.15).with_weight(1.0))
+        .with(TrafficClass::bpp(0.1, 0.05, 1.0).with_weight(0.1));
+    let model = Model::new(Dims::square(N), w).expect("valid model");
+    let cfg = ReplayConfig {
+        events: EVENTS,
+        seed: 7,
+        batches: 20,
+        engine: EngineConfig {
+            policy,
+            ..EngineConfig::default()
+        },
+    };
+    let median = median_ns(runs, || {
+        std::hint::black_box(replay(&model, &cfg).expect("replay succeeds").events);
+    });
+    let events_per_sec = 1e9 * EVENTS as f64 / median as f64;
+    println!("  admission-{name:<6} N={N:<4} threads=1  median {median} ns ({events_per_sec:.0} events/s)");
+    BenchRecord {
+        name: format!("admission-{name}/replay100k/{N}/t1"),
+        n: N,
+        backend: format!("admission-{name}"),
+        threads: 1,
+        median_ns: median,
+    }
+}
+
 /// One instrumented reference pass: solve the Table 2 fixture resiliently
 /// under a scoped registry and return the snapshot JSON. Scoped (not
 /// global) so it cannot leak recording into the timed runs.
@@ -75,7 +112,7 @@ fn obs_reference_snapshot() -> String {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
     let auto = parallel::effective_threads();
     println!("perf_trajectory: auto thread count = {auto}");
 
@@ -94,13 +131,25 @@ fn main() {
         }
     }
 
+    records.push(time_admission_replay("cs", PolicySpec::CompleteSharing, 15));
+    records.push(time_admission_replay(
+        "trunk",
+        PolicySpec::TrunkReservation(vec![0, 2]),
+        15,
+    ));
+    records.push(time_admission_replay(
+        "shadow",
+        PolicySpec::ShadowPrice { reserve: 2 },
+        15,
+    ));
+
     let report = BenchReport {
-        pr: 3,
+        pr: 4,
         host_threads: auto,
         records,
         obs_snapshot: Some(obs_reference_snapshot()),
     };
     let json = report.to_json();
-    std::fs::write(&out_path, &json).expect("write BENCH_3.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_4.json");
     println!("wrote {out_path}");
 }

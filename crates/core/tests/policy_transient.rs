@@ -1,0 +1,168 @@
+//! Edge-case coverage for the trunk-reservation solver ([`solve_policy`])
+//! and the transient analyser: boundary states at `k·A = min(N1,N2)`,
+//! rectangular multirate mixes, and 2-class transient-vs-steady-state
+//! convergence.
+
+use xbar_core::brute::Brute;
+use xbar_core::policy::solve_policy;
+use xbar_core::transient::Transient;
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_traffic::{TrafficClass, Workload};
+
+fn close(a: f64, b: f64, tol: f64) {
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    assert!((a - b).abs() / scale < tol, "{a} vs {b} (tol {tol})");
+}
+
+// ---------------------------------------------------------------------------
+// solve_policy boundary behaviour
+// ---------------------------------------------------------------------------
+
+/// `t_r = cap − a_r` is the tightest threshold that still admits anything:
+/// class `r` gets in only from the empty switch. The chain collapses to a
+/// two-state birth/death process whose measures are computable by hand:
+/// with Poisson rate `λ` per tuple and `P(N,1)² = N²` tuples,
+/// `π₁/π₀ = N²λ/μ`, acceptance `= π₀`, concurrency `= π₁`.
+#[test]
+fn threshold_at_cap_minus_bandwidth_admits_only_from_empty() {
+    let rho = 0.05;
+    let n = 4u32;
+    let w = Workload::new().with(TrafficClass::poisson(rho));
+    let m = Model::new(Dims::square(n), w).unwrap();
+    let cap = m.dims().min_n();
+    let pol = solve_policy(&m, &[cap - 1]);
+    let ratio = (n * n) as f64 * rho; // λ = ρ·μ, μ = 1
+    close(pol.acceptance[0], 1.0 / (1.0 + ratio), 1e-10);
+    close(pol.concurrency[0], ratio / (1.0 + ratio), 1e-10);
+    close(pol.blocking[0], ratio / (1.0 + ratio), 1e-10);
+}
+
+/// One step past the boundary (`t_r = cap − a_r + 1`) the admission
+/// condition `cap − k·A ≥ a_r + t_r` is unsatisfiable even at `k = 0`:
+/// the class is shut off entirely — same as the existing full-reservation
+/// test but at the exact off-by-one boundary.
+#[test]
+fn threshold_beyond_cap_minus_bandwidth_shuts_the_class_off() {
+    let w = Workload::new().with(TrafficClass::poisson(0.3));
+    let m = Model::new(Dims::square(4), w).unwrap();
+    let cap = m.dims().min_n();
+    let pol = solve_policy(&m, &[cap]);
+    assert!(pol.acceptance[0] < 1e-9, "{}", pol.acceptance[0]);
+    assert!(pol.concurrency[0].abs() < 1e-10);
+}
+
+/// Rectangular switch, wideband class: with `a = 2` on a 4×6 fabric
+/// (cap = 4) a threshold of 1 leaves room for exactly one connection —
+/// after one admission `cap − k·A = 2 < a + t = 3`. Concurrency is that
+/// of an M/M/1/1 loss system on the wideband tuple rate.
+#[test]
+fn rectangular_wideband_reservation_caps_at_one_connection() {
+    let rho = 0.03;
+    let w = Workload::new().with(TrafficClass::poisson(rho).with_bandwidth(2));
+    let m = Model::new(Dims::new(4, 6), w).unwrap();
+    let pol = solve_policy(&m, &[1]);
+    // P(4,2)·P(6,2) = 12·30 ordered tuples.
+    let ratio = 12.0 * 30.0 * rho;
+    close(pol.concurrency[0], ratio / (1.0 + ratio), 1e-10);
+    // Sanity: zero threshold on the same model recovers the product form
+    // (rectangular + multirate complement of the square unit test).
+    let free = solve_policy(&m, &[0]);
+    let brute = Brute::new(&m);
+    close(free.concurrency[0], brute.concurrency(0), 1e-8);
+    let sol = solve(&m, Algorithm::Auto).unwrap();
+    close(free.acceptance[0], sol.call_acceptance(0), 1e-8);
+}
+
+/// A Bernoulli class whose source population equals `max(N1,N2)` hits
+/// `λ(k) = 0` inside the enumerated state space (all sources busy).
+/// `solve_policy` must skip those zero-rate rows, and its zero-threshold
+/// answer must still match exact enumeration.
+#[test]
+fn bernoulli_zero_rate_rows_are_handled() {
+    let p = 0.2;
+    let s = 5.0; // = max_n on a 4×5 switch
+    let w = Workload::new()
+        .with(TrafficClass::bpp(s * p, -p, 1.0))
+        .with(TrafficClass::poisson(0.1));
+    let m = Model::new(Dims::new(4, 5), w).unwrap();
+    let pol = solve_policy(&m, &[0, 0]);
+    let brute = Brute::new(&m);
+    for r in 0..2 {
+        close(pol.concurrency[r], brute.concurrency(r), 1e-8);
+        assert!((0.0..=1.0).contains(&pol.acceptance[r]));
+    }
+    // Reservation against the smooth class still throttles it.
+    let reserved = solve_policy(&m, &[2, 0]);
+    assert!(reserved.acceptance[0] < pol.acceptance[0]);
+}
+
+// ---------------------------------------------------------------------------
+// transient convergence (2-class)
+// ---------------------------------------------------------------------------
+
+fn two_class_model() -> Model {
+    let w = Workload::new()
+        .with(TrafficClass::poisson(0.15).with_weight(1.0))
+        .with(TrafficClass::bpp(0.1, 0.05, 1.0).with_weight(0.1));
+    Model::new(Dims::square(4), w).unwrap()
+}
+
+/// Starting from empty, the transient concurrency and availability of
+/// both classes must converge to the stationary (brute-force) values.
+#[test]
+fn two_class_transient_converges_to_steady_state() {
+    let m = two_class_model();
+    let tr = Transient::new(&m);
+    let brute = Brute::new(&m);
+    let t_inf = 200.0; // ≫ 1/μ for both classes
+    for r in 0..2 {
+        close(tr.concurrency_at(t_inf, r), brute.concurrency(r), 1e-6);
+        close(tr.availability_at(t_inf, r), brute.nonblocking(r), 1e-6);
+    }
+}
+
+/// From the empty switch, concurrency rises towards the steady state and
+/// availability falls from the perfect-switch value 1. The approach is
+/// *not* monotone all the way (the Poisson class overshoots its
+/// stationary concurrency by ~0.3% around `t ≈ 2/μ` before relaxing), so
+/// the assertions are ordered ramp-up plus closeness at `t = 5/μ`.
+#[test]
+fn transient_approach_from_empty_is_ordered() {
+    let m = two_class_model();
+    let tr = Transient::new(&m);
+    let brute = Brute::new(&m);
+    for r in 0..2 {
+        assert_eq!(tr.concurrency_at(0.0, r), 0.0);
+        close(tr.availability_at(0.0, r), 1.0, 1e-12);
+        let (early, late) = (tr.concurrency_at(0.5, r), tr.concurrency_at(5.0, r));
+        assert!(0.0 < early && early < late, "class {r}: {early} !< {late}");
+        close(late, brute.concurrency(r), 5e-2);
+        // Availability decays towards (but not below) the stationary B_r.
+        let (a_early, a_late) = (tr.availability_at(0.5, r), tr.availability_at(5.0, r));
+        assert!(a_early > a_late, "class {r}: {a_early} !> {a_late}");
+        assert!(a_late >= brute.nonblocking(r) - 1e-9);
+    }
+}
+
+/// The relaxation time is finite, positive, and consistent with direct
+/// evaluation: at `t = relaxation_time(eps)` the distribution is within
+/// `eps` of stationary (in L1), and at a tenth of it it is not.
+#[test]
+fn two_class_relaxation_time_brackets_convergence() {
+    let m = two_class_model();
+    let tr = Transient::new(&m);
+    let brute = Brute::new(&m);
+    let stationary: Vec<f64> = brute.distribution().into_iter().map(|(_, p)| p).collect();
+    let l1 = |t: f64| -> f64 {
+        tr.distribution(t)
+            .iter()
+            .zip(&stationary)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    };
+    let eps = 1e-6;
+    let t_relax = tr.relaxation_time(eps);
+    assert!(t_relax.is_finite() && t_relax > 0.0);
+    assert!(l1(t_relax) <= eps * (1.0 + 1e-6), "{}", l1(t_relax));
+    assert!(l1(t_relax / 10.0) > eps, "{}", l1(t_relax / 10.0));
+}

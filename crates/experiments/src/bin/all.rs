@@ -95,6 +95,11 @@ fn main() {
     write_csv("hotspot.csv", &hotspot_sweep::table(&r).to_csv()).unwrap();
     println!("{}", hotspot_sweep::table(&r).to_text());
 
+    println!("=== Validation K: admission-control replay ===");
+    let r = replay::rows(replay::EVENTS, replay::SEED);
+    write_csv("replay.csv", &replay::table(&r).to_csv()).unwrap();
+    println!("{}", replay::table(&r).to_text());
+
     println!("All CSV artefacts written to out/");
     metrics::finish();
 }

@@ -1,0 +1,16 @@
+//! Validation K: online admission control under policy replay.
+use xbar_experiments::{metrics, replay, write_csv};
+
+fn main() {
+    metrics::enable_from_env();
+    let rows = replay::rows(replay::EVENTS, replay::SEED);
+    println!(
+        "Validation K — admission-control replay ({} events, seed {})\n",
+        replay::EVENTS,
+        replay::SEED
+    );
+    println!("{}", replay::table(&rows).to_text());
+    let path = write_csv("replay.csv", &replay::table(&rows).to_csv()).expect("write CSV");
+    println!("written to {}", path.display());
+    metrics::finish();
+}

@@ -25,6 +25,7 @@
 //! | (ours) multistage-network analysis (paper future work) | [`min_analysis`] | `min_analysis` |
 //! | (ours) trunk-reservation revenue control | [`reservation`] | `reservation` |
 //! | (ours) hot-spot output traffic (companion paper) | [`hotspot_sweep`] | `hotspot` |
+//! | (ours) admission-control policy replay | [`replay`] | `replay` |
 //!
 //! Run everything: `cargo run --release -p xbar-experiments --bin all`
 //! (CSV lands in `out/`).
@@ -40,6 +41,7 @@ pub mod insensitivity;
 pub mod metrics;
 pub mod min_analysis;
 pub mod rectangular;
+pub mod replay;
 pub mod reservation;
 pub mod retrial_impact;
 pub mod table;

@@ -12,7 +12,7 @@ use xbar_traffic::{TrafficClass, TrafficError};
 use crate::events::{Calendar, EventKind};
 use crate::faults::{FaultConfig, FaultLayer, FaultReport, Side};
 use crate::service::{sample_exp, ServiceDist};
-use crate::stats::{BatchMeans, Estimate};
+use crate::stats::{BatchMeans, Confidence, Estimate};
 
 /// Static simulation configuration: switch geometry plus one
 /// (traffic class, holding-time distribution) pair per class.
@@ -487,8 +487,10 @@ impl CrossbarSim {
                 accepted: offered - blocked,
                 blocked,
                 fault_blocked,
-                blocking: BatchMeans::from_batches(blocking_batches.clone()).estimate(),
-                blocking_99: BatchMeans::from_batches(blocking_batches).estimate_99(),
+                blocking: BatchMeans::from_batches(blocking_batches.clone())
+                    .estimate_at(Confidence::P95),
+                blocking_99: BatchMeans::from_batches(blocking_batches)
+                    .estimate_at(Confidence::P99),
                 viable_blocking: BatchMeans::from_batches(viable_batches).estimate(),
                 concurrency,
                 availability: BatchMeans::from_batches(avail_batches).estimate(),

@@ -59,6 +59,7 @@ pub mod crossbar;
 pub mod events;
 pub mod faults;
 pub mod hotspot;
+pub mod replay;
 pub mod retrial;
 pub mod service;
 pub mod stats;
@@ -66,6 +67,7 @@ pub mod stats;
 pub use crossbar::{ClassReport, CrossbarSim, RunConfig, SimConfig, SimError, SimReport};
 pub use faults::{FaultConfig, FaultReport};
 pub use hotspot::HotspotSim;
+pub use replay::{replay, ClassReplay, ReplayConfig, ReplayReport};
 pub use retrial::{RetrialConfig, RetrialReport, RetrialSim};
 pub use service::ServiceDist;
-pub use stats::{BatchMeans, Estimate, Welford};
+pub use stats::{BatchMeans, Confidence, Estimate, Welford};

@@ -1,0 +1,275 @@
+//! Trace-replay driver for the online admission engine.
+//!
+//! Generates a synthetic BPP call-event stream with the Gillespie jump
+//! chain of the loss network — in state `k`, class-`r` arrivals fire at
+//! total rate `P(N1,a_r)·P(N2,a_r)·λ_r(k_r)` and departures at `k_r·μ_r`,
+//! exactly the transition structure behind the product form — and feeds
+//! every event to an [`AdmissionEngine`]. Port-tuple selection is modelled
+//! by a Bernoulli coin with the engine's instantaneous availability, so a
+//! complete-sharing replay experiences the *call* blocking of the paper
+//! (§3's `B_r` corrected by the arrival theorem), which the per-class
+//! admitted fraction is then cross-checked against.
+//!
+//! The admitted fraction is estimated with batch means
+//! ([`BatchMeans`](crate::stats::BatchMeans), 99% CI by default): jump
+//! chains are autocorrelated, so per-event binomial CIs would be
+//! dishonestly narrow.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xbar_admission::{AdmissionEngine, AdmissionError, Decision, EngineConfig};
+use xbar_core::Model;
+use xbar_numeric::permutation;
+
+use crate::stats::{BatchMeans, Confidence, Estimate};
+
+/// Replay parameters.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// Events to generate (arrivals + departures).
+    pub events: u64,
+    /// RNG seed for the jump chain and the tuple coin.
+    pub seed: u64,
+    /// Batches for the acceptance-fraction confidence interval.
+    pub batches: usize,
+    /// Engine construction parameters (policy, anchor algorithm, drift).
+    pub engine: EngineConfig,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            events: 1_000_000,
+            seed: 1,
+            batches: 20,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Per-class replay outcome.
+#[derive(Clone, Debug)]
+pub struct ClassReplay {
+    /// Arrivals offered (including tuple-coin blocks).
+    pub offered: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Capacity denials (ports don't fit, or the drawn tuple was busy).
+    pub denied_capacity: u64,
+    /// Policy denials (reservation threshold).
+    pub denied_policy: u64,
+    /// Batch-means estimate of the admitted fraction (99% CI).
+    pub acceptance: Estimate,
+    /// The anchor's analytic call acceptance `1 − B_r^{call}` that a
+    /// complete-sharing replay should reproduce.
+    pub analytic_acceptance: f64,
+}
+
+/// Outcome of one replay run.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Events actually generated.
+    pub events: u64,
+    /// Arrival events (the rest are departures).
+    pub arrivals: u64,
+    /// Departure events.
+    pub departures: u64,
+    /// Times the engine re-anchored from the solve cache.
+    pub re_anchors: u64,
+    /// Per-class decision split and acceptance estimate.
+    pub classes: Vec<ClassReplay>,
+}
+
+/// Generate `cfg.events` synthetic call events for `model` and replay them
+/// through a fresh [`AdmissionEngine`].
+pub fn replay(model: &Model, cfg: &ReplayConfig) -> Result<ReplayReport, AdmissionError> {
+    let mut engine = AdmissionEngine::new(model, cfg.engine.clone())?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dims = model.dims();
+    let classes = model.workload().classes();
+    let r_count = classes.len();
+    let tuple_count: Vec<f64> = classes
+        .iter()
+        .map(|c| {
+            permutation(dims.n1 as u64, c.bandwidth as u64)
+                * permutation(dims.n2 as u64, c.bandwidth as u64)
+        })
+        .collect();
+    let batches = cfg.batches.max(1);
+    // Per-batch, per-class (offered, admitted) for the batch-means CI.
+    let mut batch_counts = vec![vec![(0u64, 0u64); r_count]; batches];
+    let mut rates = vec![0.0f64; 2 * r_count];
+    let mut arrivals = 0u64;
+    let mut departures = 0u64;
+    let obs = xbar_obs::enabled();
+
+    for i in 0..cfg.events {
+        let k = engine.state();
+        let mut total = 0.0;
+        for r in 0..r_count {
+            let arr = tuple_count[r] * classes[r].lambda(k[r] as u64);
+            let dep = k[r] as f64 * classes[r].mu;
+            rates[2 * r] = arr;
+            rates[2 * r + 1] = dep;
+            total += arr + dep;
+        }
+        // Negated so a NaN total (incomparable) also stops the replay.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(total > 0.0) {
+            // Absorbing state (all rates zero) — nothing left to replay.
+            break;
+        }
+        let mut pick = rng.gen::<f64>() * total;
+        let mut chosen = 2 * r_count - 1;
+        for (j, &rate) in rates.iter().enumerate() {
+            if pick < rate {
+                chosen = j;
+                break;
+            }
+            pick -= rate;
+        }
+        let (r, is_arrival) = (chosen / 2, chosen.is_multiple_of(2));
+        let batch = ((i * batches as u64) / cfg.events) as usize;
+        if is_arrival {
+            arrivals += 1;
+            batch_counts[batch][r].0 += 1;
+            // The jump chain fires per *tuple-scaled* rate; whether the
+            // drawn ordered tuple is idle is a Bernoulli coin with the
+            // engine's instantaneous availability.
+            let tuple_idle = rng.gen::<f64>() < engine.availability(r);
+            let timer = (obs && i.is_multiple_of(64)).then(Instant::now);
+            let admitted = if tuple_idle {
+                engine.offer(r)? == Decision::Admit
+            } else {
+                engine.record_blocked(r)?;
+                false
+            };
+            if let Some(t) = timer {
+                xbar_obs::record_duration("admission.decision", t.elapsed());
+            }
+            if admitted {
+                batch_counts[batch][r].1 += 1;
+            }
+        } else {
+            departures += 1;
+            let timer = (obs && i.is_multiple_of(64)).then(Instant::now);
+            engine.depart(r)?;
+            if let Some(t) = timer {
+                xbar_obs::record_duration("admission.decision", t.elapsed());
+            }
+        }
+    }
+
+    engine.flush_obs();
+    if obs {
+        xbar_obs::add("replay.events", arrivals + departures);
+    }
+
+    let stats = engine.stats();
+    let classes_out = (0..r_count)
+        .map(|r| {
+            let fractions: Vec<f64> = batch_counts
+                .iter()
+                .filter(|b| b[r].0 > 0)
+                .map(|b| b[r].1 as f64 / b[r].0 as f64)
+                .collect();
+            let cs = &stats.per_class[r];
+            ClassReplay {
+                offered: cs.offered,
+                admitted: cs.admitted,
+                denied_capacity: cs.denied_capacity,
+                denied_policy: cs.denied_policy,
+                acceptance: BatchMeans::from_batches(fractions).estimate_at(Confidence::P99),
+                analytic_acceptance: engine.analytic_acceptance(r),
+            }
+        })
+        .collect();
+
+    Ok(ReplayReport {
+        events: arrivals + departures,
+        arrivals,
+        departures,
+        re_anchors: stats.re_anchors,
+        classes: classes_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_admission::PolicySpec;
+    use xbar_core::Dims;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn model() -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.1))
+            .with(TrafficClass::bpp(0.08, 0.04, 1.0));
+        Model::new(Dims::new(6, 8), w).unwrap()
+    }
+
+    fn run(events: u64, seed: u64, policy: PolicySpec) -> ReplayReport {
+        replay(
+            &model(),
+            &ReplayConfig {
+                events,
+                seed,
+                batches: 20,
+                engine: EngineConfig {
+                    policy,
+                    ..EngineConfig::default()
+                },
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replay_is_deterministic_for_a_seed() {
+        let a = run(20_000, 9, PolicySpec::CompleteSharing);
+        let b = run(20_000, 9, PolicySpec::CompleteSharing);
+        for (x, y) in a.classes.iter().zip(&b.classes) {
+            assert_eq!(x.offered, y.offered);
+            assert_eq!(x.admitted, y.admitted);
+            assert_eq!(x.acceptance, y.acceptance);
+        }
+        assert_eq!(a.arrivals, b.arrivals);
+    }
+
+    #[test]
+    fn complete_sharing_acceptance_brackets_the_analytic_value() {
+        let rep = run(400_000, 4001, PolicySpec::CompleteSharing);
+        assert_eq!(rep.events, 400_000);
+        for (r, c) in rep.classes.iter().enumerate() {
+            assert_eq!(c.denied_policy, 0, "CS never denies by policy");
+            assert_eq!(c.offered, c.admitted + c.denied_capacity);
+            assert!(
+                c.acceptance.covers_with_slack(c.analytic_acceptance, 5e-3),
+                "class {r}: {:?} vs {}",
+                c.acceptance,
+                c.analytic_acceptance
+            );
+        }
+    }
+
+    #[test]
+    fn trunk_reservation_only_throttles_the_reserved_class() {
+        let rep = run(100_000, 77, PolicySpec::TrunkReservation(vec![0, 3]));
+        assert_eq!(rep.classes[0].denied_policy, 0);
+        assert!(rep.classes[1].denied_policy > 0);
+        // The throttled class must accept strictly less than its CS run.
+        let cs = run(100_000, 77, PolicySpec::CompleteSharing);
+        assert!(rep.classes[1].acceptance.mean < cs.classes[1].acceptance.mean);
+    }
+
+    #[test]
+    fn event_budget_splits_into_arrivals_and_departures() {
+        let rep = run(10_000, 5, PolicySpec::CompleteSharing);
+        assert_eq!(rep.arrivals + rep.departures, rep.events);
+        assert!(rep.arrivals > 0 && rep.departures > 0);
+        let offered: u64 = rep.classes.iter().map(|c| c.offered).sum();
+        assert_eq!(offered, rep.arrivals);
+    }
+}

@@ -81,6 +81,39 @@ pub fn t_995(df: u64) -> f64 {
     }
 }
 
+/// Confidence level for an interval estimate.
+///
+/// Centralises the t-vs-z quantile selection that used to be duplicated
+/// across `estimate`/`estimate_99` and the sim-vs-analytic assertions:
+/// Student-t below 121 degrees of freedom (exact table through 30, banded
+/// approximations to 120), the normal quantile beyond.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Confidence {
+    /// 95% two-sided interval (97.5% quantile).
+    #[default]
+    P95,
+    /// 99% two-sided interval (99.5% quantile).
+    P99,
+}
+
+impl Confidence {
+    /// The two-sided Student-t quantile for `df` degrees of freedom.
+    pub fn t_quantile(self, df: u64) -> f64 {
+        match self {
+            Confidence::P95 => t_975(df),
+            Confidence::P99 => t_995(df),
+        }
+    }
+
+    /// The large-sample (normal) limit of [`Confidence::t_quantile`].
+    pub fn z_quantile(self) -> f64 {
+        match self {
+            Confidence::P95 => 1.96,
+            Confidence::P99 => 2.576,
+        }
+    }
+}
+
 /// A point estimate with a 95% confidence half-width.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Estimate {
@@ -103,31 +136,6 @@ impl Estimate {
     }
 }
 
-impl BatchMeans {
-    /// Point estimate plus 99% CI (same batch-means construction as
-    /// [`BatchMeans::estimate`], wider quantile) — what the statistical
-    /// sim-vs-analytic regression tests assert against.
-    pub fn estimate_99(&self) -> Estimate {
-        let n = self.batch_values.len();
-        if n == 0 {
-            return Estimate::default();
-        }
-        let mut w = Welford::new();
-        for &v in &self.batch_values {
-            w.add(v);
-        }
-        let hw = if n >= 2 {
-            t_995(n as u64 - 1) * w.std_dev() / (n as f64).sqrt()
-        } else {
-            0.0
-        };
-        Estimate {
-            mean: w.mean(),
-            half_width: hw,
-        }
-    }
-}
-
 /// Batch-means estimator: observations are grouped into fixed batches and
 /// the CI is computed over batch averages (the standard way to get a CI out
 /// of one long, autocorrelated simulation run).
@@ -147,8 +155,9 @@ impl BatchMeans {
         self.batch_values.len()
     }
 
-    /// Point estimate plus 95% CI.
-    pub fn estimate(&self) -> Estimate {
+    /// Point estimate plus CI half-width at the requested confidence
+    /// level (half-width 0 with fewer than 2 batches).
+    pub fn estimate_at(&self, conf: Confidence) -> Estimate {
         let n = self.batch_values.len();
         if n == 0 {
             return Estimate::default();
@@ -158,7 +167,7 @@ impl BatchMeans {
             w.add(v);
         }
         let hw = if n >= 2 {
-            t_975(n as u64 - 1) * w.std_dev() / (n as f64).sqrt()
+            conf.t_quantile(n as u64 - 1) * w.std_dev() / (n as f64).sqrt()
         } else {
             0.0
         };
@@ -166,6 +175,18 @@ impl BatchMeans {
             mean: w.mean(),
             half_width: hw,
         }
+    }
+
+    /// Point estimate plus 95% CI.
+    pub fn estimate(&self) -> Estimate {
+        self.estimate_at(Confidence::P95)
+    }
+
+    /// Point estimate plus 99% CI (same batch-means construction, wider
+    /// quantile) — what the statistical sim-vs-analytic regression tests
+    /// assert against.
+    pub fn estimate_99(&self) -> Estimate {
+        self.estimate_at(Confidence::P99)
     }
 }
 
@@ -211,6 +232,41 @@ mod tests {
         }
         assert_eq!(t_995(1_000_000), 2.576);
         assert_eq!(t_995(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn confidence_selects_t_below_121_df_and_z_beyond() {
+        for conf in [Confidence::P95, Confidence::P99] {
+            // Small df: exact table entries, strictly above the z limit.
+            assert_eq!(conf.t_quantile(1), conf.t_quantile(1));
+            for df in [1u64, 5, 19, 30, 31, 60, 61, 120] {
+                assert!(conf.t_quantile(df) > conf.z_quantile(), "df={df}");
+            }
+            // Beyond 120 df the t quantile collapses to z exactly.
+            for df in [121u64, 500, 1_000_000] {
+                assert_eq!(conf.t_quantile(df), conf.z_quantile(), "df={df}");
+            }
+            assert_eq!(conf.t_quantile(0), f64::INFINITY);
+        }
+        // The enum routes to the right underlying table.
+        assert_eq!(Confidence::P95.t_quantile(4), t_975(4));
+        assert_eq!(Confidence::P99.t_quantile(4), t_995(4));
+        assert_eq!(Confidence::default(), Confidence::P95);
+    }
+
+    #[test]
+    fn estimate_at_matches_hand_computed_half_width() {
+        // 5 batches ⇒ df = 4; mean 3, std-dev of {1..5} is sqrt(2.5).
+        let bm = BatchMeans::from_batches(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let sd = 2.5f64.sqrt();
+        for conf in [Confidence::P95, Confidence::P99] {
+            let e = bm.estimate_at(conf);
+            assert!((e.mean - 3.0).abs() < 1e-12);
+            let want = conf.t_quantile(4) * sd / 5f64.sqrt();
+            assert!((e.half_width - want).abs() < 1e-12, "{conf:?}");
+        }
+        assert_eq!(bm.estimate(), bm.estimate_at(Confidence::P95));
+        assert_eq!(bm.estimate_99(), bm.estimate_at(Confidence::P99));
     }
 
     #[test]

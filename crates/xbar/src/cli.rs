@@ -14,9 +14,10 @@
 //! | 5    | simulator configuration error                     |
 //! | 6    | metrics failure (broken invariant, unwritable)    |
 
+use xbar_admission::{AdmissionEngine, AdmissionError, EngineConfig, PolicySpec};
 use xbar_core::solver::resilient::{solve_resilient, ResilientConfig};
 use xbar_core::{solve, Algorithm, Dims, Model, SolveError};
-use xbar_sim::{CrossbarSim, FaultConfig, RunConfig, SimConfig};
+use xbar_sim::{replay, CrossbarSim, FaultConfig, ReplayConfig, RunConfig, SimConfig};
 use xbar_traffic::{TildeClass, TrafficClass, Workload};
 
 /// A CLI failure, carrying the process exit code it maps to.
@@ -69,7 +70,13 @@ fn usage() -> String {
      --class <spec> [--class <spec> ...]\n  \
      xbar sim   --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
      [--duration <t>] [--warmup <t>] [--seed <u64>] [--metrics <path|->] \
-     [--port-mtbf <t> --port-mttr <t>] [--fail-inputs <k>] [--fail-outputs <k>]\n\n\
+     [--port-mtbf <t> --port-mttr <t>] [--fail-inputs <k>] [--fail-outputs <k>]\n  \
+     xbar admit --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
+     [--policy cs|trunk:t0,t1,...|shadow[:reserve=N]] [--replay-events <n>] \
+     [--trace <path>] [--cross-check] [--seed <u64>] [--metrics <path|->]\n\n\
+     admit replays synthetic BPP call events (or an 'a <class>'/'d <class>' \
+     trace file) through the online admission engine; --cross-check asserts \
+     the admitted fraction against the analytic acceptance (CS policy only)\n\
      --threads 0 (default) auto-detects via available_parallelism\n\
      --metrics writes an obs snapshot as JSON to <path> after the run \
      (- prints a text table instead)\n\n\
@@ -155,7 +162,7 @@ pub fn parse_class(spec: &str) -> Result<ClassSpec, String> {
 
 /// Fully parsed command line.
 pub struct Args {
-    /// `solve` or `sim`.
+    /// `solve`, `sim` or `admit`.
     pub command: String,
     /// Inputs `N1`.
     pub n1: u32,
@@ -188,6 +195,15 @@ pub struct Args {
     pub fail_inputs: u32,
     /// Output ports statically failed from `t = 0`.
     pub fail_outputs: u32,
+    /// Admission policy spec (for `admit`).
+    pub policy: String,
+    /// Trace file to replay instead of synthetic events (for `admit`).
+    pub trace: Option<String>,
+    /// Synthetic events to generate (for `admit` without `--trace`).
+    pub replay_events: u64,
+    /// Assert replay acceptance against the analytic value (exit 4 on
+    /// disagreement; complete-sharing policy only).
+    pub cross_check: bool,
 }
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
@@ -207,7 +223,7 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
 pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     let command = it.next().ok_or_else(usage)?.clone();
-    if command != "solve" && command != "sim" {
+    if command != "solve" && command != "sim" && command != "admit" {
         return Err(format!("unknown command '{command}'\n{}", usage()));
     }
     let mut n1 = None;
@@ -225,6 +241,10 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut port_mttr = 0.0f64;
     let mut fail_inputs = 0u32;
     let mut fail_outputs = 0u32;
+    let mut policy = "cs".to_string();
+    let mut trace = None;
+    let mut replay_events = 1_000_000u64;
+    let mut cross_check = false;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -290,6 +310,21 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--fail-outputs: {e}"))?
             }
+            "--policy" => {
+                policy = value()?;
+                // Validate eagerly so a typo is a parse-time usage error.
+                PolicySpec::parse(&policy)?;
+            }
+            "--trace" => trace = Some(value()?),
+            "--replay-events" => {
+                replay_events = value()?
+                    .parse()
+                    .map_err(|e| format!("--replay-events: {e}"))?;
+                if replay_events == 0 {
+                    return Err("--replay-events must be > 0".into());
+                }
+            }
+            "--cross-check" => cross_check = true,
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -315,6 +350,10 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         port_mttr,
         fail_inputs,
         fail_outputs,
+        policy,
+        trace,
+        replay_events,
+        cross_check,
     })
 }
 
@@ -472,10 +511,143 @@ pub fn run_sim(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+fn admission_err(e: AdmissionError) -> CliError {
+    match e {
+        AdmissionError::Solve(_) => CliError::Solve(e.to_string()),
+        _ => CliError::Usage(e.to_string()),
+    }
+}
+
+/// Replay a trace file of `a <class>` / `d <class>` lines (with `#`
+/// comments) through a fresh engine; errors carry the 1-based line number.
+fn replay_trace(model: &Model, cfg: EngineConfig, path: &str) -> Result<AdmissionEngine, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read trace '{path}': {e}")))?;
+    let mut engine = AdmissionEngine::new(model, cfg).map_err(admission_err)?;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |m: String| CliError::Usage(format!("{path}:{}: {m}", i + 1));
+        let mut parts = line.split_whitespace();
+        let op = parts.next().unwrap_or("");
+        let class: usize = parts
+            .next()
+            .ok_or_else(|| at(format!("expected 'a <class>' or 'd <class>', got '{line}'")))?
+            .parse()
+            .map_err(|e| at(format!("bad class index: {e}")))?;
+        if parts.next().is_some() {
+            return Err(at(format!("trailing tokens in '{line}'")));
+        }
+        let step = match op {
+            "a" => engine.offer(class).map(|_| ()),
+            "d" => engine.depart(class),
+            other => return Err(at(format!("unknown op '{other}' (expected 'a' or 'd')"))),
+        };
+        step.map(|_| ()).map_err(|e| at(e.to_string()))?;
+    }
+    Ok(engine)
+}
+
+/// Execute the `admit` command: replay a trace file or a synthetic BPP
+/// event stream through the online admission engine.
+pub fn run_admit(args: &Args) -> Result<(), CliError> {
+    let model = build_model(args).map_err(CliError::Usage)?;
+    let policy = PolicySpec::parse(&args.policy).map_err(CliError::Usage)?;
+    if args.cross_check && policy != PolicySpec::CompleteSharing {
+        return Err(CliError::Usage(
+            "--cross-check compares against the paper's complete-sharing analytics; \
+             it requires --policy cs"
+                .into(),
+        ));
+    }
+    let engine_cfg = EngineConfig {
+        policy: policy.clone(),
+        algorithm: args.algorithm,
+        ..EngineConfig::default()
+    };
+
+    if let Some(path) = &args.trace {
+        let engine = replay_trace(&model, engine_cfg, path)?;
+        let stats = engine.stats();
+        println!(
+            "replayed trace '{path}' on {}x{} (policy {policy}): {} events, {} re-anchors",
+            args.n1, args.n2, stats.events, stats.re_anchors
+        );
+        println!(
+            "{:>6} {:>10} {:>10} {:>12} {:>12}",
+            "class", "offered", "admitted", "deny(cap)", "deny(policy)"
+        );
+        for (r, c) in stats.per_class.iter().enumerate() {
+            println!(
+                "{r:>6} {:>10} {:>10} {:>12} {:>12}",
+                c.offered, c.admitted, c.denied_capacity, c.denied_policy
+            );
+        }
+        println!("final occupancy k = {:?}", engine.state());
+        engine.flush_obs();
+        return Ok(());
+    }
+
+    let rep = replay(
+        &model,
+        &ReplayConfig {
+            events: args.replay_events,
+            seed: args.seed,
+            batches: 20,
+            engine: engine_cfg,
+        },
+    )
+    .map_err(admission_err)?;
+    println!(
+        "replayed {} synthetic events on {}x{} (policy {policy}, seed {}): \
+         {} arrivals, {} departures, {} re-anchors",
+        rep.events, args.n1, args.n2, args.seed, rep.arrivals, rep.departures, rep.re_anchors
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>22} {:>10}",
+        "class",
+        "offered",
+        "admitted",
+        "deny(cap)",
+        "deny(policy)",
+        "acceptance (99% CI)",
+        "analytic"
+    );
+    for (r, c) in rep.classes.iter().enumerate() {
+        println!(
+            "{r:>6} {:>10} {:>10} {:>12} {:>12} {:>14.6} ±{:.6} {:>10.6}",
+            c.offered,
+            c.admitted,
+            c.denied_capacity,
+            c.denied_policy,
+            c.acceptance.mean,
+            c.acceptance.half_width,
+            c.analytic_acceptance,
+        );
+    }
+    if args.cross_check {
+        for (r, c) in rep.classes.iter().enumerate() {
+            if !c.acceptance.covers(c.analytic_acceptance) {
+                return Err(CliError::CrossCheck(format!(
+                    "replay acceptance for class {r} ({:.6} ± {:.6}) excludes the analytic \
+                     value {:.6}",
+                    c.acceptance.mean, c.acceptance.half_width, c.analytic_acceptance
+                )));
+            }
+        }
+        println!("cross-check: replay acceptance covers the analytic value for every class");
+    }
+    Ok(())
+}
+
 /// Check the cross-cutting obs counter invariants a healthy run must
-/// satisfy. Today that is the simulator's offer accounting:
-/// `offers = admitted + capacity-blocked + fault-blocked` (checked only
-/// when a simulation actually ran).
+/// satisfy: the simulator's offer accounting
+/// (`offers = admitted + capacity-blocked + fault-blocked`) and the
+/// admission engine's decision split
+/// (`offers = admitted + capacity-denied + policy-denied`), each checked
+/// only when the corresponding run actually happened.
 pub fn verify_metrics_invariants(snap: &xbar_obs::Snapshot) -> Result<(), CliError> {
     if let Some(offers) = snap.counter("sim.offers") {
         let admitted = snap.counter("sim.admitted").unwrap_or(0);
@@ -485,6 +657,17 @@ pub fn verify_metrics_invariants(snap: &xbar_obs::Snapshot) -> Result<(), CliErr
             return Err(CliError::Metrics(format!(
                 "sim accounting invariant broken: offers ({offers}) != admitted ({admitted}) \
                  + capacity-blocked ({capacity}) + fault-blocked ({fault})"
+            )));
+        }
+    }
+    if let Some(offers) = snap.counter("admission.offers") {
+        let admitted = snap.counter("admission.admitted").unwrap_or(0);
+        let capacity = snap.counter("admission.denied.capacity").unwrap_or(0);
+        let policy = snap.counter("admission.denied.policy").unwrap_or(0);
+        if offers != admitted + capacity + policy {
+            return Err(CliError::Metrics(format!(
+                "admission accounting invariant broken: offers ({offers}) != admitted \
+                 ({admitted}) + capacity-denied ({capacity}) + policy-denied ({policy})"
             )));
         }
     }
@@ -517,6 +700,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let result = match args.command.as_str() {
         "solve" => run_solve(&args),
         "sim" => run_sim(&args),
+        "admit" => run_admit(&args),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     result?;
@@ -696,6 +880,90 @@ mod tests {
     }
 
     #[test]
+    fn parses_admit_command() {
+        let a = parse_args(&argv(
+            "admit --n 8 --class poisson:rho=0.1 --policy trunk:2 \
+             --replay-events 5000 --seed 3 --cross-check",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "admit");
+        assert_eq!(a.policy, "trunk:2");
+        assert_eq!(a.replay_events, 5000);
+        assert!(a.cross_check);
+        assert_eq!(a.trace, None);
+        // Defaults.
+        let d = parse_args(&argv("admit --n 8 --class poisson:rho=0.1")).unwrap();
+        assert_eq!(d.policy, "cs");
+        assert_eq!(d.replay_events, 1_000_000);
+        assert!(!d.cross_check);
+    }
+
+    #[test]
+    fn rejects_malformed_admit_flags() {
+        assert!(parse_args(&argv("admit --n 8 --class poisson:rho=0.1 --policy nope")).is_err());
+        assert!(parse_args(&argv(
+            "admit --n 8 --class poisson:rho=0.1 --replay-events 0"
+        ))
+        .is_err());
+        assert!(parse_args(&argv(
+            "admit --n 8 --class poisson:rho=0.1 --replay-events x"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn admit_cross_check_needs_complete_sharing() {
+        let a = parse_args(&argv(
+            "admit --n 6 --class poisson:rho=0.1 --policy trunk:1 --cross-check",
+        ))
+        .unwrap();
+        let err = run_admit(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn admit_replay_cross_check_passes_end_to_end() {
+        let a = parse_args(&argv(
+            "admit --n 6 --class poisson:rho=0.1 --replay-events 200000 --seed 11 --cross-check",
+        ))
+        .unwrap();
+        run_admit(&a).unwrap();
+    }
+
+    #[test]
+    fn admit_trace_file_round_trip_and_errors() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("xbar_cli_trace_good.txt");
+        std::fs::write(&good, "# demo trace\na 0\na 0\nd 0\na 0 # inline\n").unwrap();
+        let a = parse_args(&argv(&format!(
+            "admit --n 6 --class poisson:rho=0.1 --trace {}",
+            good.display()
+        )))
+        .unwrap();
+        run_admit(&a).unwrap();
+
+        // A departure with nothing in progress is a usage error carrying
+        // the line number.
+        let bad = dir.join("xbar_cli_trace_bad.txt");
+        std::fs::write(&bad, "d 0\n").unwrap();
+        let a = parse_args(&argv(&format!(
+            "admit --n 6 --class poisson:rho=0.1 --trace {}",
+            bad.display()
+        )))
+        .unwrap();
+        let err = run_admit(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains(":1:"), "{err}");
+
+        // Missing file is a usage error, not a panic.
+        let a = parse_args(&argv(
+            "admit --n 6 --class poisson:rho=0.1 --trace /nonexistent/trace.txt",
+        ))
+        .unwrap();
+        assert_eq!(run_admit(&a).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
     fn metrics_invariant_accepts_balanced_and_rejects_broken_accounting() {
         // Balanced: offers = admitted + capacity + fault.
         let reg = xbar_obs::Registry::new();
@@ -715,5 +983,19 @@ mod tests {
         let err = verify_metrics_invariants(&broken.snapshot()).unwrap_err();
         assert_eq!(err.exit_code(), 6);
         assert!(err.to_string().contains("invariant"));
+
+        // Admission accounting: balanced passes, broken maps to exit 6.
+        let adm = xbar_obs::Registry::new();
+        adm.counter("admission.offers").add(50);
+        adm.counter("admission.admitted").add(40);
+        adm.counter("admission.denied.capacity").add(6);
+        adm.counter("admission.denied.policy").add(4);
+        assert!(verify_metrics_invariants(&adm.snapshot()).is_ok());
+        let broken = xbar_obs::Registry::new();
+        broken.counter("admission.offers").add(50);
+        broken.counter("admission.admitted").add(49);
+        let err = verify_metrics_invariants(&broken.snapshot()).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("admission"));
     }
 }

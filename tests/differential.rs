@@ -1,0 +1,237 @@
+//! Cross-backend differential battery.
+//!
+//! Property-generated models (N1, N2 ≤ 12, up to 4 classes mixing smooth
+//! Bernoulli, Poisson and peaky Pascal traffic) must produce the *same*
+//! answers from every layer of the stack:
+//!
+//! 1. brute-force enumeration of the product form,
+//! 2. Algorithm 1 (all numeric backends) and Algorithm 2 / MVA,
+//! 3. the online admission engine's incrementally maintained state after
+//!    replaying a random event sequence.
+//!
+//! Tolerances are tiered by the numeric quality of each pair: extended-
+//! range and MVA backends agree with enumeration to 1e-9; the plain f64
+//! backend is allowed 1e-7 on the largest switches (its recursion loses a
+//! couple of digits near underflow); the engine's incremental log-weight
+//! is a pure running sum, checked to 1e-8 absolute-relative.
+//!
+//! The case budget reads `PROPTEST_CASES` (CI pins it for reproducible
+//! runtime); default is 48 cases per property.
+
+use proptest::prelude::*;
+
+use xbar_admission::{AdmissionEngine, Decision, EngineConfig, PolicySpec};
+use xbar_core::brute::Brute;
+use xbar_core::policy::solve_policy;
+use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_numeric::permutation;
+use xbar_sim::{replay, ReplayConfig};
+use xbar_traffic::{TrafficClass, Workload};
+
+/// Per-property case budget: `PROPTEST_CASES` env override, else 48.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    (a - b).abs() / scale < tol
+}
+
+/// A random valid traffic class for a switch with `max_n` ports: smooth
+/// (Bernoulli, β < 0), Poisson (β = 0) or peaky (Pascal, β > 0).
+fn arb_class(max_n: u32) -> impl Strategy<Value = TrafficClass> {
+    let poisson =
+        (0.001f64..2.0, 0.2f64..3.0, 1u32..3, 0.01f64..2.0).prop_map(|(rho, mu, a, w)| {
+            TrafficClass::bpp(rho * mu, 0.0, mu)
+                .with_bandwidth(a)
+                .with_weight(w)
+        });
+    let pascal = (
+        0.001f64..1.5,
+        0.05f64..0.9,
+        0.5f64..2.0,
+        1u32..3,
+        0.01f64..2.0,
+    )
+        .prop_map(|(alpha, frac, mu, a, w)| {
+            TrafficClass::bpp(alpha, frac * mu, mu)
+                .with_bandwidth(a)
+                .with_weight(w)
+        });
+    let bernoulli = (1u64..6, 0.01f64..0.5, 0.5f64..2.0, 0.01f64..2.0).prop_map(
+        move |(extra, p_rate, mu, w)| {
+            // S = max_n + extra sources ⇒ λ stays positive in-state.
+            let s = (max_n as u64 + extra) as f64;
+            TrafficClass::bpp(s * p_rate, -p_rate, mu).with_weight(w)
+        },
+    );
+    prop_oneof![poisson, pascal, bernoulli]
+}
+
+/// Models up to the issue's differential envelope: N1, N2 ≤ 12, R ≤ 4.
+fn arb_model() -> impl Strategy<Value = Model> {
+    (2u32..=12, 2u32..=12).prop_flat_map(|(n1, n2)| {
+        let max_n = n1.max(n2);
+        prop::collection::vec(arb_class(max_n), 1..=4).prop_filter_map(
+            "classes must fit switch",
+            move |classes| {
+                let min_n = n1.min(n2);
+                if classes.iter().any(|c| c.bandwidth > min_n) {
+                    return None;
+                }
+                Model::new(Dims::new(n1, n2), Workload::from_classes(classes)).ok()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Tier 1 of the battery: every analytic backend against exact
+    /// enumeration, with per-pair tolerances.
+    #[test]
+    fn backends_agree_with_enumeration_tiered(model in arb_model()) {
+        let brute = Brute::new(&model);
+        let r_count = model.num_classes();
+        // (algorithm, tolerance vs brute): f64 recursions get the loose
+        // tier, extended-range/MVA the tight one.
+        let tiers = [
+            (Algorithm::Alg1F64, 1e-7),
+            (Algorithm::Alg1Scaled, 1e-8),
+            (Algorithm::Alg1Ext, 1e-9),
+            (Algorithm::Mva, 1e-9),
+            (Algorithm::Convolution, 1e-7),
+        ];
+        for (alg, tol) in tiers {
+            let sol = solve(&model, alg).unwrap();
+            for r in 0..r_count {
+                prop_assert!(
+                    close(sol.nonblocking(r), brute.nonblocking(r), tol),
+                    "alg {alg} B_{r}: {} vs {} (tol {tol})",
+                    sol.nonblocking(r), brute.nonblocking(r)
+                );
+                prop_assert!(
+                    close(sol.concurrency(r), brute.concurrency(r), tol),
+                    "alg {alg} E_{r}: {} vs {} (tol {tol})",
+                    sol.concurrency(r), brute.concurrency(r)
+                );
+            }
+            prop_assert!(close(sol.revenue(), brute.revenue(), tol));
+        }
+        // The tight backends must also agree with *each other* at 1e-9
+        // (a failure here with brute agreement points at the comparison,
+        // not the solvers).
+        let mva = solve(&model, Algorithm::Mva).unwrap();
+        let ext = solve(&model, Algorithm::Alg1Ext).unwrap();
+        for r in 0..r_count {
+            prop_assert!(close(mva.nonblocking(r), ext.nonblocking(r), 1e-9));
+        }
+    }
+
+    /// Tier 2: the admission engine's incremental state after a random
+    /// event sequence must equal (a) the capacity rule's reference
+    /// occupancy, (b) brute-force `ln(π(k)/π(0))`, and (c) the closed-form
+    /// tuple availability — all without a single re-anchor being *needed*
+    /// (drift checks run but the running sum stays within 1e-8).
+    #[test]
+    fn engine_replay_matches_enumeration(
+        model in arb_model(),
+        events in prop::collection::vec((prop::bool::ANY, 0u8..4), 1..200),
+    ) {
+        let r_count = model.num_classes();
+        let dims = model.dims();
+        let cap = dims.min_n();
+        let bw: Vec<u32> = model.workload().classes().iter().map(|c| c.bandwidth).collect();
+        let mut engine = AdmissionEngine::new(&model, EngineConfig::default()).unwrap();
+        let mut k_ref = vec![0u32; r_count];
+        let mut ka_ref = 0u32;
+        for &(arrival, pick) in &events {
+            let r = pick as usize % r_count;
+            if arrival {
+                let fits = ka_ref + bw[r] <= cap;
+                let decision = engine.offer(r).unwrap();
+                prop_assert_eq!(
+                    decision == Decision::Admit,
+                    fits,
+                    "class {} at k·A = {}: {:?}",
+                    r, ka_ref, decision
+                );
+                if fits {
+                    k_ref[r] += 1;
+                    ka_ref += bw[r];
+                }
+            } else if k_ref[r] > 0 {
+                engine.depart(r).unwrap();
+                k_ref[r] -= 1;
+                ka_ref -= bw[r];
+            } else {
+                prop_assert!(engine.depart(r).is_err());
+            }
+        }
+        prop_assert_eq!(engine.state(), &k_ref[..]);
+        prop_assert_eq!(engine.occupancy(), ka_ref);
+
+        let brute = Brute::new(&model);
+        let want = (brute.pi(&k_ref) / brute.pi(&vec![0; r_count])).ln();
+        let tol = 1e-8 * (1.0 + want.abs());
+        prop_assert!(
+            (engine.log_weight() - want).abs() < tol,
+            "incremental {} vs brute {}",
+            engine.log_weight(), want
+        );
+        prop_assert!((engine.log_weight() - engine.exact_log_weight()).abs() < tol);
+
+        for (r, &b) in bw.iter().enumerate() {
+            let a = b as u64;
+            let want = permutation((dims.n1 - ka_ref) as u64, a)
+                * permutation((dims.n2 - ka_ref) as u64, a)
+                / (permutation(dims.n1 as u64, a) * permutation(dims.n2 as u64, a));
+            prop_assert!(
+                (engine.availability(r) - want).abs() < 1e-12,
+                "availability class {r}: {} vs {want}",
+                engine.availability(r)
+            );
+        }
+    }
+}
+
+/// Tier 3: a *policy-constrained* replay against the numerically solved
+/// reservation chain — the trunk-reservation engine must reproduce the
+/// per-class acceptance of [`solve_policy`] within its 99% CI.
+#[test]
+fn trunk_replay_acceptance_matches_solved_reservation_chain() {
+    let w = Workload::new()
+        .with(TrafficClass::poisson(0.2))
+        .with(TrafficClass::bpp(0.15, 0.05, 1.0));
+    let model = Model::new(Dims::square(4), w).unwrap();
+    let thresholds = vec![0u32, 1];
+    let analytic = solve_policy(&model, &thresholds);
+    let rep = replay(
+        &model,
+        &ReplayConfig {
+            events: 400_000,
+            seed: 20_260_807,
+            batches: 20,
+            engine: EngineConfig {
+                policy: PolicySpec::TrunkReservation(thresholds),
+                ..EngineConfig::default()
+            },
+        },
+    )
+    .unwrap();
+    for (r, c) in rep.classes.iter().enumerate() {
+        assert!(
+            c.acceptance.covers_with_slack(analytic.acceptance[r], 2e-3),
+            "class {r}: replay {:?} vs solve_policy {}",
+            c.acceptance,
+            analytic.acceptance[r]
+        );
+    }
+    // The throttled class really was throttled.
+    assert!(rep.classes[1].denied_policy > 0);
+}

@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use xbar_experiments::{fig1, fig2, fig3, fig4, hotspot_sweep, rectangular};
+use xbar_experiments::{fig1, fig2, fig3, fig4, hotspot_sweep, rectangular, replay};
 
 /// Short, fixed-seed hot-spot sweep (the 100k-duration CLI default would
 /// dominate test wall-clock without changing what is being locked down).
@@ -73,4 +73,13 @@ fn rectangular_csv_matches_golden() {
 fn hotspot_csv_matches_golden() {
     let rows = hotspot_sweep::rows(HOTSPOT_DURATION, HOTSPOT_SEED);
     check("hotspot.csv", &hotspot_sweep::table(&rows).to_csv());
+}
+
+/// Admission-replay summary: the event stream is a fixed-seed jump chain
+/// and every anchor solve is deterministic, so the per-policy decision
+/// split must be byte-identical run to run (and across `XBAR_THREADS`).
+#[test]
+fn replay_csv_matches_golden() {
+    let rows = replay::rows(replay::EVENTS, replay::SEED);
+    check("replay.csv", &replay::table(&rows).to_csv());
 }
