@@ -1,9 +1,12 @@
 //! Machine-readable perf trajectory: times the hot solve path at the
-//! paper's benchmark sizes and writes `BENCH_4.json` (median ns per bench,
+//! paper's benchmark sizes and writes `BENCH_5.json` (median ns per bench,
 //! switch size, backend, thread count) so the speedup story is trackable
 //! across PRs without parsing Criterion's console output. Since PR 4 it
 //! also times the admission-engine replay loop (events/sec is
-//! `1e9 * EVENTS / median_ns`).
+//! `1e9 * EVENTS / median_ns`); since PR 5 it times the incremental
+//! sweep solver against fresh full solves (`sweep/fig2-points-per-sec`,
+//! the headline per-point speedup) and the exact analytic sensitivity
+//! against its finite-difference oracle (`sensitivity/exact-vs-fd`).
 //!
 //! Timed runs execute with metrics off — the medians must stay comparable
 //! with earlier `BENCH_N.json` files, and the obs layer's disabled-mode
@@ -17,10 +20,11 @@
 use std::time::Instant;
 
 use xbar_admission::{EngineConfig, PolicySpec};
-use xbar_bench::{table2_model, BenchRecord, BenchReport};
+use xbar_bench::{fig2_sweep_model, sensitivity_model, table2_model, BenchRecord, BenchReport};
 use xbar_core::alg1::{QLattice, ScaledQLattice};
 use xbar_core::parallel;
-use xbar_core::{Dims, Model};
+use xbar_core::sensitivity::{sensitivity, sensitivity_fd};
+use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
 use xbar_numeric::ExtFloat;
 use xbar_sim::{replay, ReplayConfig};
 use xbar_traffic::{TrafficClass, Workload};
@@ -93,6 +97,90 @@ fn time_admission_replay(name: &str, policy: PolicySpec, runs: usize) -> BenchRe
     }
 }
 
+/// Time one fig2-style sweep point on the `R = 4` fixture at size `n`,
+/// both ways: through the cached [`SweepSolver`] (one `O(N)`
+/// recombination) and as a fresh full solve of the edited model.
+/// `points_per_sec = 1e9 / median_ns`. The thread count is applied
+/// process-wide so the full solve's wavefront uses it; the recombination
+/// itself is serial either way.
+fn time_sweep_points(n: u32, threads: usize, runs: usize) -> Vec<BenchRecord> {
+    let model = fig2_sweep_model(n);
+    parallel::set_threads(threads);
+    let sweep = SweepSolver::new(&model, Algorithm::Auto).expect("sweep precompute");
+    let base_rho = model.workload().classes()[1].rho();
+    let mut step = 0u32;
+    let mut next_rho = || {
+        step += 1;
+        base_rho * (1.0 + 0.1 * (step % 7) as f64)
+    };
+    let sweep_median = median_ns(runs, || {
+        std::hint::black_box(
+            sweep
+                .solve_with_rho(1, next_rho())
+                .expect("sweep point")
+                .blocking(1),
+        );
+    });
+    let mut step = 0u32;
+    let mut next_rho = || {
+        step += 1;
+        base_rho * (1.0 + 0.1 * (step % 7) as f64)
+    };
+    let full_median = median_ns(runs, || {
+        let edited = model.with_rho(1, next_rho()).expect("in range");
+        std::hint::black_box(
+            solve(&edited, Algorithm::Auto)
+                .expect("full solve")
+                .blocking(1),
+        );
+    });
+    let speedup = full_median as f64 / sweep_median as f64;
+    println!(
+        "  sweep        N={n:<4} threads={threads:<2} point {sweep_median} ns vs full \
+         {full_median} ns ({speedup:.1}x, {:.0} points/s)",
+        1e9 / sweep_median as f64
+    );
+    let record = |backend: &str, median_ns: u64| BenchRecord {
+        name: format!("sweep/fig2-points-per-sec/{n}/t{threads}/{backend}"),
+        n,
+        backend: backend.to_string(),
+        threads,
+        median_ns,
+    };
+    vec![
+        record("sweep", sweep_median),
+        record("full-solve", full_median),
+    ]
+}
+
+/// Time the full sensitivity assembly at size `n`: the exact
+/// sweep-partial path vs the finite-difference oracle. Uses the per-set
+/// load fixture — on the tilde fixtures the FD step leaves the valid
+/// load range at large `N` (see [`xbar_bench::sensitivity_model`]).
+fn time_sensitivity(n: u32, threads: usize, runs: usize) -> Vec<BenchRecord> {
+    let model = sensitivity_model(n);
+    parallel::set_threads(threads);
+    let exact_median = median_ns(runs, || {
+        std::hint::black_box(sensitivity(&model, Algorithm::Alg1Ext).expect("exact sensitivity"));
+    });
+    let fd_median = median_ns(runs, || {
+        std::hint::black_box(sensitivity_fd(&model, Algorithm::Alg1Ext).expect("fd sensitivity"));
+    });
+    let speedup = fd_median as f64 / exact_median as f64;
+    println!(
+        "  sensitivity  N={n:<4} threads={threads:<2} exact {exact_median} ns vs fd \
+         {fd_median} ns ({speedup:.1}x)"
+    );
+    let record = |backend: &str, median_ns: u64| BenchRecord {
+        name: format!("sensitivity/exact-vs-fd/{n}/t{threads}/{backend}"),
+        n,
+        backend: backend.to_string(),
+        threads,
+        median_ns,
+    };
+    vec![record("exact", exact_median), record("fd", fd_median)]
+}
+
 /// One instrumented reference pass: solve the Table 2 fixture resiliently
 /// under a scoped registry and return the snapshot JSON. Scoped (not
 /// global) so it cannot leak recording into the timed runs.
@@ -112,7 +200,7 @@ fn obs_reference_snapshot() -> String {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
     let auto = parallel::effective_threads();
     println!("perf_trajectory: auto thread count = {auto}");
 
@@ -131,6 +219,21 @@ fn main() {
         }
     }
 
+    // PR 5: the incremental sweep solver vs fresh solves, and the exact
+    // sensitivity vs the FD oracle, at both ends of the thread matrix.
+    // (FD at N = 512 pays dozens of full ExtFloat solves — one run.)
+    for &(n, runs) in &[(32u32, 40usize), (128, 15), (512, 5)] {
+        for &threads in &[1usize, 4] {
+            records.extend(time_sweep_points(n, threads, runs));
+            records.extend(time_sensitivity(
+                n,
+                threads,
+                if n >= 512 { 1 } else { runs },
+            ));
+        }
+    }
+    parallel::set_threads(0);
+
     records.push(time_admission_replay("cs", PolicySpec::CompleteSharing, 15));
     records.push(time_admission_replay(
         "trunk",
@@ -144,12 +247,12 @@ fn main() {
     ));
 
     let report = BenchReport {
-        pr: 4,
+        pr: 5,
         host_threads: auto,
         records,
         obs_snapshot: Some(obs_reference_snapshot()),
     };
     let json = report.to_json();
-    std::fs::write(&out_path, &json).expect("write BENCH_4.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_5.json");
     println!("wrote {out_path}");
 }

@@ -111,6 +111,41 @@ pub fn fig1_model(n: u32, beta_tilde: f64) -> Model {
     Model::new(Dims::square(n), workload).expect("valid fixture")
 }
 
+/// The fig2-flavoured sweep fixture: four classes (Poisson baseline,
+/// peaky Pascal, and a two-rate pair at `a = 2`) with `/N`-scaled per-set
+/// loads, sized so extended range solves it at any `N`. This is the
+/// `R ≥ 4` model the `sweep/fig2-points-per-sec` trajectory records are
+/// measured on.
+pub fn fig2_sweep_model(n: u32) -> Model {
+    let workload = Workload::from_tilde(
+        &[
+            TildeClass::poisson(0.0024).with_weight(1.0),
+            TildeClass::bpp(0.0024, 0.0012, 1.0).with_weight(0.5),
+            TildeClass::poisson(0.0012)
+                .with_bandwidth(2)
+                .with_weight(0.8),
+            TildeClass::bpp(0.0012, 0.0006, 1.0)
+                .with_bandwidth(2)
+                .with_weight(0.2),
+        ],
+        n,
+    );
+    Model::new(Dims::square(n), workload).expect("valid fixture")
+}
+
+/// The sensitivity-timing fixture: *per-set* (not `/N`-scaled) loads so
+/// the finite-difference oracle's curvature-scaled step
+/// (`ε^⅓·max(|ρ|, 1) ≈ 6e-6`) stays inside the valid load range at every
+/// `N`. On the paper's tilde fixtures the per-set load at `N = 512` is
+/// `≈ 2e-6`, so the FD step drives `ρ` negative and the oracle cannot
+/// run at all — one more reason the exact sweep-partial gradients exist.
+pub fn sensitivity_model(n: u32) -> Model {
+    let workload = Workload::new()
+        .with(xbar_traffic::TrafficClass::poisson(0.02).with_weight(1.0))
+        .with(xbar_traffic::TrafficClass::bpp(0.01, 0.004, 1.0).with_weight(0.1));
+    Model::new(Dims::square(n), workload).expect("valid fixture")
+}
+
 /// A heavier mixed multi-rate fixture exercising all recursion paths.
 pub fn mixed_model(n: u32) -> Model {
     let workload = Workload::from_tilde(
@@ -135,6 +170,9 @@ mod tests {
         assert!(solve(&table2_model(8), Algorithm::Auto).is_ok());
         assert!(solve(&fig1_model(16, -2.0e-6), Algorithm::Auto).is_ok());
         assert!(solve(&mixed_model(8), Algorithm::Auto).is_ok());
+        assert!(solve(&fig2_sweep_model(8), Algorithm::Auto).is_ok());
+        assert_eq!(fig2_sweep_model(8).num_classes(), 4);
+        assert!(solve(&sensitivity_model(8), Algorithm::Auto).is_ok());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Counting-allocator proof of the `LatticeArena` contract: once warmed
+//! to a geometry, serial re-solves perform **zero** heap allocations.
+//!
+//! The whole file is one `#[test]` on purpose — the counting
+//! `#[global_allocator]` is process-wide, and a second test running
+//! concurrently would race the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xbar_core::alg1::LatticeArena;
+use xbar_core::{Dims, Model};
+use xbar_numeric::ExtFloat;
+use xbar_traffic::{TrafficClass, Workload};
+
+/// [`System`] plus a relaxed allocation counter. Deallocations are not
+/// counted: the contract under test is "no new memory", and frees of
+/// warm-up storage would only mask missed allocations.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn model(n: u32) -> Model {
+    let w = Workload::new()
+        .with(TrafficClass::poisson(0.02))
+        .with(TrafficClass::bpp(0.01, 0.004, 1.0).with_bandwidth(2));
+    Model::new(Dims::square(n), w).unwrap()
+}
+
+/// Count allocations across `steady` invocations of `f` after two warm-up
+/// invocations. Takes the minimum over three measurement batches: the
+/// counter is process-wide, so the libtest harness thread can add
+/// sporadic noise, but an allocation made by `f` itself is deterministic
+/// and shows up in every batch.
+fn steady_state_allocs<F: FnMut()>(steady: usize, mut f: F) -> u64 {
+    f();
+    f();
+    (0..3)
+        .map(|_| {
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            for _ in 0..steady {
+                f();
+            }
+            ALLOCATIONS.load(Ordering::Relaxed) - before
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn warm_arena_serial_solves_allocate_nothing() {
+    let m = model(12);
+
+    // Plain f64 lattice through a warm arena.
+    let mut f64_arena = LatticeArena::<f64>::new();
+    let allocs = steady_state_allocs(10, || {
+        let lattice = f64_arena.solve_with_threads(&m, 1);
+        std::hint::black_box(lattice.is_healthy());
+    });
+    assert_eq!(allocs, 0, "f64 arena allocated in steady state");
+
+    // Scaled-f64 lattice (separate coefficient table, same buffers).
+    let mut scaled_arena = LatticeArena::<f64>::new();
+    let allocs = steady_state_allocs(10, || {
+        let lattice = scaled_arena.solve_scaled_with_threads(&m, 1);
+        std::hint::black_box(lattice.is_healthy());
+    });
+    assert_eq!(allocs, 0, "scaled arena allocated in steady state");
+
+    // Extended-range lattice.
+    let mut ext_arena = LatticeArena::<ExtFloat>::new();
+    let allocs = steady_state_allocs(10, || {
+        let lattice = ext_arena.solve_with_threads(&m, 1);
+        std::hint::black_box(lattice.is_healthy());
+    });
+    assert_eq!(allocs, 0, "ExtFloat arena allocated in steady state");
+
+    // Re-warming to a *smaller* geometry must also stay allocation-free:
+    // clear()+resize() shrinks logically without releasing capacity.
+    let small = model(6);
+    let allocs = steady_state_allocs(10, || {
+        let lattice = f64_arena.solve_with_threads(&small, 1);
+        std::hint::black_box(lattice.is_healthy());
+    });
+    assert_eq!(allocs, 0, "shrunk-geometry arena allocated in steady state");
+}

@@ -203,6 +203,63 @@ impl<'a, S: QScalar> Cells<'a, S> {
     }
 }
 
+/// Raw shared view of the `V`-recursion storage: one flat buffer holding
+/// `lanes` row-major lattices back to back (lane `j` is bursty class
+/// `j`'s `V` lattice). A single allocation instead of a `Vec` of buffers
+/// lets [`LatticeArena`] reuse it across solves with zero steady-state
+/// allocation; the same wavefront discipline as [`Cells`] makes the raw
+/// pointer sharing sound.
+struct VCells<'a, S> {
+    ptr: *mut S,
+    cols: usize,
+    /// Cells per lane (`(N1+1)·(N2+1)`).
+    stride: usize,
+    _buffer: PhantomData<&'a mut [S]>,
+}
+
+// Safety: as for `Cells` — the wavefront schedule guarantees data-race
+// freedom across worker threads.
+unsafe impl<S: Send> Send for VCells<'_, S> {}
+unsafe impl<S: Send> Sync for VCells<'_, S> {}
+
+impl<'a, S: QScalar> VCells<'a, S> {
+    fn new(buffer: &'a mut [S], cols: usize, stride: usize) -> Self {
+        VCells {
+            ptr: buffer.as_mut_ptr(),
+            cols,
+            stride,
+            _buffer: PhantomData,
+        }
+    }
+
+    /// Read lane `lane` at `(i1, i2)`; zero outside the non-negative
+    /// quadrant.
+    ///
+    /// # Safety
+    /// As [`Cells::get`], and `lane` must be within the buffer's lanes.
+    #[inline(always)]
+    unsafe fn get(&self, lane: usize, i1: i64, i2: i64) -> S {
+        if i1 < 0 || i2 < 0 {
+            S::zero()
+        } else {
+            *self
+                .ptr
+                .add(lane * self.stride + i1 as usize * self.cols + i2 as usize)
+        }
+    }
+
+    /// Write lane `lane` at `(i1, i2)`.
+    ///
+    /// # Safety
+    /// As [`Cells::set`], and `lane` must be within the buffer's lanes.
+    #[inline(always)]
+    unsafe fn set(&self, lane: usize, i1: i64, i2: i64, value: S) {
+        *self
+            .ptr
+            .add(lane * self.stride + i1 as usize * self.cols + i2 as usize) = value;
+    }
+}
+
 /// The per-cell recurrence of one backend: computes `V_r(i1, i2)` for every
 /// bursty class and `Q(i1, i2)`, and stores them. Exactly one invocation
 /// owns a cell, in both the serial and the parallel schedule, so serial and
@@ -210,23 +267,26 @@ impl<'a, S: QScalar> Cells<'a, S> {
 trait CellKernel<S: QScalar>: Sync {
     /// # Safety
     /// The caller must guarantee exclusive access to cell `(i1, i2)` of `q`
-    /// and every `v` lattice, and that every cell with smaller coordinate
+    /// and every `v` lane, and that every cell with smaller coordinate
     /// sum `i1 + i2` is complete and no longer being written.
-    unsafe fn cell(&self, q: &Cells<'_, S>, v: &[Cells<'_, S>], i1: i64, i2: i64);
+    unsafe fn cell(&self, q: &Cells<'_, S>, v: &VCells<'_, S>, i1: i64, i2: i64);
 }
 
 /// Run a kernel over the whole lattice. `threads <= 1` sweeps row-major
 /// (cache-friendly; the dependency structure admits any order that computes
 /// smaller coordinate sums first, and row-major does). `threads > 1` runs
 /// the anti-diagonal wavefront with one barrier per diagonal.
-fn sweep<S, K>(n1: usize, n2: usize, q: &mut [S], v: &mut [Vec<S>], kernel: &K, threads: usize)
+///
+/// `v` is the flat `V`-recursion storage: one lane of `(n1+1)·(n2+1)`
+/// cells per bursty class, back to back.
+fn sweep<S, K>(n1: usize, n2: usize, q: &mut [S], v: &mut [S], kernel: &K, threads: usize)
 where
     S: QScalar + Send,
     K: CellKernel<S>,
 {
     let cols = n2 + 1;
     let q_cells = Cells::new(q, cols);
-    let v_cells: Vec<Cells<'_, S>> = v.iter_mut().map(|b| Cells::new(b, cols)).collect();
+    let v_cells = VCells::new(v, cols, (n1 + 1) * cols);
 
     let threads = threads.max(1).min(n1.min(n2) + 1);
     let cells = ((n1 + 1) * (n2 + 1)) as u64;
@@ -255,7 +315,7 @@ where
     crossbeam::thread::scope(|s| {
         for w in 0..threads {
             let q_cells = &q_cells;
-            let v_cells = &v_cells[..];
+            let v_cells = &v_cells;
             let barrier = &barrier;
             let obs_scope = obs_scope.clone();
             s.spawn(move |_| {
@@ -330,49 +390,60 @@ struct PlainCoeffs {
 }
 
 impl PlainCoeffs {
-    fn of(model: &Model) -> Self {
-        let mut co = PlainCoeffs {
+    fn new() -> Self {
+        PlainCoeffs {
             poisson_a: Vec::new(),
             poisson_a_rho: Vec::new(),
             bursty_a: Vec::new(),
             bursty_a_rho: Vec::new(),
             bursty_beta_over_mu: Vec::new(),
-        };
+        }
+    }
+
+    /// Recompute the table for `model` in place (clear + push: free of
+    /// allocation once the vectors have grown to the workload size).
+    fn fill(&mut self, model: &Model) {
+        self.poisson_a.clear();
+        self.poisson_a_rho.clear();
+        self.bursty_a.clear();
+        self.bursty_a_rho.clear();
+        self.bursty_beta_over_mu.clear();
         for c in model.workload().classes() {
             let a = c.bandwidth as i64;
             let a_rho = a as f64 * c.rho();
             if c.is_poisson() {
-                co.poisson_a.push(a);
-                co.poisson_a_rho.push(a_rho);
+                self.poisson_a.push(a);
+                self.poisson_a_rho.push(a_rho);
             } else {
-                co.bursty_a.push(a);
-                co.bursty_a_rho.push(a_rho);
-                co.bursty_beta_over_mu.push(c.beta / c.mu);
+                self.bursty_a.push(a);
+                self.bursty_a_rho.push(a_rho);
+                self.bursty_beta_over_mu.push(c.beta / c.mu);
             }
         }
+    }
+
+    fn of(model: &Model) -> Self {
+        let mut co = Self::new();
+        co.fill(model);
         co
     }
 }
 
-struct PlainKernel {
-    co: PlainCoeffs,
+struct PlainKernel<'c> {
+    co: &'c PlainCoeffs,
 }
 
-impl<S: QScalar + Send> CellKernel<S> for PlainKernel {
+impl<S: QScalar + Send> CellKernel<S> for PlainKernel<'_> {
     #[inline(always)]
-    unsafe fn cell(&self, q: &Cells<'_, S>, v: &[Cells<'_, S>], i1: i64, i2: i64) {
-        let co = &self.co;
+    unsafe fn cell(&self, q: &Cells<'_, S>, v: &VCells<'_, S>, i1: i64, i2: i64) {
+        let co = self.co;
         // V_r(i1, i2) first — it only reads strictly smaller points.
-        for ((&a, &beta_over_mu), vj) in co
-            .bursty_a
-            .iter()
-            .zip(&co.bursty_beta_over_mu)
-            .zip(v.iter())
+        for (j, (&a, &beta_over_mu)) in co.bursty_a.iter().zip(&co.bursty_beta_over_mu).enumerate()
         {
             let val = q
                 .get(i1 - a, i2 - a)
-                .add(vj.get(i1 - a, i2 - a).scale(beta_over_mu));
-            vj.set(i1, i2, val);
+                .add(v.get(j, i1 - a, i2 - a).scale(beta_over_mu));
+            v.set(j, i1, i2, val);
         }
         if i1 == 0 && i2 == 0 {
             return; // Q(0,0) = 1 is seeded before the sweep.
@@ -389,8 +460,8 @@ impl<S: QScalar + Send> CellKernel<S> for PlainKernel {
         for (&a, &a_rho) in co.poisson_a.iter().zip(&co.poisson_a_rho) {
             acc = acc.add(q.get(i1 - a, i2 - a).scale(a_rho));
         }
-        for (&a_rho, vj) in co.bursty_a_rho.iter().zip(v.iter()) {
-            acc = acc.add(vj.get(i1, i2).scale(a_rho));
+        for (j, &a_rho) in co.bursty_a_rho.iter().enumerate() {
+            acc = acc.add(v.get(j, i1, i2).scale(a_rho));
         }
         q.set(i1, i2, acc.scale(1.0 / divisor));
     }
@@ -417,15 +488,13 @@ impl<S: QScalar + Send> QLattice<S> {
     pub fn solve_with_threads(model: &Model, threads: usize) -> Self {
         let dims = model.dims();
         let (n1, n2) = (dims.n1 as usize, dims.n2 as usize);
-        let kernel = PlainKernel {
-            co: PlainCoeffs::of(model),
-        };
+        let co = PlainCoeffs::of(model);
         let cells = (n1 + 1) * (n2 + 1);
         let mut q = vec![S::zero(); cells];
-        // One V lattice per bursty class.
-        let mut v: Vec<Vec<S>> = vec![vec![S::zero(); cells]; kernel.co.bursty_a.len()];
+        // One V lane per bursty class, in one flat buffer.
+        let mut v = vec![S::zero(); cells * co.bursty_a.len()];
         q[0] = S::one();
-        sweep(n1, n2, &mut q, &mut v, &kernel, threads);
+        sweep(n1, n2, &mut q, &mut v, &PlainKernel { co: &co }, threads);
         QLattice { dims, q }
     }
 }
@@ -486,42 +555,58 @@ struct ScaledCoeffs {
 }
 
 impl ScaledCoeffs {
-    fn of(model: &Model, ln_c: f64) -> Self {
-        let classes = model.workload().classes();
-        let mut co = ScaledCoeffs {
-            a: Vec::with_capacity(classes.len()),
-            a_rho: Vec::with_capacity(classes.len()),
-            c2a: Vec::with_capacity(classes.len()),
-            beta_over_mu: Vec::with_capacity(classes.len()),
-            v_slot: Vec::with_capacity(classes.len()),
+    fn new() -> Self {
+        ScaledCoeffs {
+            a: Vec::new(),
+            a_rho: Vec::new(),
+            c2a: Vec::new(),
+            beta_over_mu: Vec::new(),
+            v_slot: Vec::new(),
             n_bursty: 0,
-            c: ln_c.exp(),
-        };
-        for cl in classes {
+            c: 1.0,
+        }
+    }
+
+    /// Recompute the table for `model` in place (allocation-free at
+    /// steady state, as [`PlainCoeffs::fill`]).
+    fn fill(&mut self, model: &Model, ln_c: f64) {
+        self.a.clear();
+        self.a_rho.clear();
+        self.c2a.clear();
+        self.beta_over_mu.clear();
+        self.v_slot.clear();
+        self.n_bursty = 0;
+        self.c = ln_c.exp();
+        for cl in model.workload().classes() {
             let a = cl.bandwidth as i64;
-            co.a.push(a);
-            co.a_rho.push(a as f64 * cl.rho());
-            co.c2a.push((2.0 * a as f64 * ln_c).exp());
-            co.beta_over_mu.push(cl.beta / cl.mu);
+            self.a.push(a);
+            self.a_rho.push(a as f64 * cl.rho());
+            self.c2a.push((2.0 * a as f64 * ln_c).exp());
+            self.beta_over_mu.push(cl.beta / cl.mu);
             if cl.is_poisson() {
-                co.v_slot.push(usize::MAX);
+                self.v_slot.push(usize::MAX);
             } else {
-                co.v_slot.push(co.n_bursty);
-                co.n_bursty += 1;
+                self.v_slot.push(self.n_bursty);
+                self.n_bursty += 1;
             }
         }
+    }
+
+    fn of(model: &Model, ln_c: f64) -> Self {
+        let mut co = Self::new();
+        co.fill(model, ln_c);
         co
     }
 }
 
-struct ScaledKernel {
-    co: ScaledCoeffs,
+struct ScaledKernel<'c> {
+    co: &'c ScaledCoeffs,
 }
 
-impl CellKernel<f64> for ScaledKernel {
+impl CellKernel<f64> for ScaledKernel<'_> {
     #[inline(always)]
-    unsafe fn cell(&self, q: &Cells<'_, f64>, v: &[Cells<'_, f64>], i1: i64, i2: i64) {
-        let co = &self.co;
+    unsafe fn cell(&self, q: &Cells<'_, f64>, v: &VCells<'_, f64>, i1: i64, i2: i64) {
+        let co = self.co;
         for (((&slot, &a), &c2a), &beta_over_mu) in co
             .v_slot
             .iter()
@@ -532,8 +617,8 @@ impl CellKernel<f64> for ScaledKernel {
             if slot == usize::MAX {
                 continue;
             }
-            let val = c2a * (q.get(i1 - a, i2 - a) + beta_over_mu * v[slot].get(i1 - a, i2 - a));
-            v[slot].set(i1, i2, val);
+            let val = c2a * (q.get(i1 - a, i2 - a) + beta_over_mu * v.get(slot, i1 - a, i2 - a));
+            v.set(slot, i1, i2, val);
         }
         if i1 == 0 && i2 == 0 {
             return;
@@ -549,7 +634,7 @@ impl CellKernel<f64> for ScaledKernel {
             if slot == usize::MAX {
                 acc += a_rho * c2a * q.get(i1 - a, i2 - a);
             } else {
-                acc += a_rho * v[slot].get(i1, i2);
+                acc += a_rho * v.get(slot, i1, i2);
             }
         }
         q.set(i1, i2, acc / divisor);
@@ -589,14 +674,19 @@ impl ScaledQLattice {
         // ln c = ln(Nmax) − 1 flattens the factorial decay (Stirling);
         // clamp at 0 so tiny switches are simply unscaled.
         let ln_c = ((dims.max_n() as f64).ln() - 1.0).max(0.0);
-        let kernel = ScaledKernel {
-            co: ScaledCoeffs::of(model, ln_c),
-        };
+        let co = ScaledCoeffs::of(model, ln_c);
         let cells = (n1 + 1) * (n2 + 1);
         let mut qhat = vec![0.0f64; cells];
-        let mut v: Vec<Vec<f64>> = vec![vec![0.0; cells]; kernel.co.n_bursty];
+        let mut v = vec![0.0f64; cells * co.n_bursty];
         qhat[0] = 1.0;
-        sweep(n1, n2, &mut qhat, &mut v, &kernel, threads);
+        sweep(
+            n1,
+            n2,
+            &mut qhat,
+            &mut v,
+            &ScaledKernel { co: &co },
+            threads,
+        );
         ScaledQLattice { dims, ln_c, qhat }
     }
 
@@ -634,6 +724,197 @@ impl QRatio for ScaledQLattice {
             return 0.0;
         }
         // Q(num)/Q(den) = Q̂(num)/Q̂(den) · c^{(den1+den2) − (num1+num2)}.
+        let shift = (den.0 + den.1 - num.0 - num.1) as f64;
+        self.qhat(num.0, num.1) / self.qhat(den.0, den.1) * (shift * self.ln_c).exp()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arena-backed solves
+// ---------------------------------------------------------------------------
+
+/// Reusable flat storage for repeated Algorithm-1 solves: the `Q` buffer,
+/// the `V` lanes and both coefficient tables live in one arena that is
+/// cleared and refilled per solve instead of reallocated. After a warm-up
+/// solve at the largest dims in play, further solves perform **zero**
+/// allocations (asserted by a counting-allocator test in `crates/bench`).
+///
+/// ```
+/// use xbar_core::alg1::LatticeArena;
+/// use xbar_core::{Dims, Model};
+/// use xbar_traffic::{TrafficClass, Workload};
+///
+/// let w = Workload::new().with(TrafficClass::bpp(0.1, 0.05, 1.0));
+/// let model = Model::new(Dims::square(16), w).unwrap();
+/// let mut arena = LatticeArena::<f64>::new();
+/// for i in 0..4 {
+///     let m = model.with_rho(0, 0.1 + 0.02 * i as f64).unwrap();
+///     let lat = arena.solve(&m); // no allocation after the first pass
+///     assert!(lat.is_healthy());
+/// }
+/// ```
+pub struct LatticeArena<S> {
+    q: Vec<S>,
+    v: Vec<S>,
+    plain: PlainCoeffs,
+    scaled: ScaledCoeffs,
+}
+
+impl<S: QScalar + Send> LatticeArena<S> {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        LatticeArena {
+            q: Vec::new(),
+            v: Vec::new(),
+            plain: PlainCoeffs::new(),
+            scaled: ScaledCoeffs::new(),
+        }
+    }
+
+    /// Run Algorithm 1 for `model` in this arena (automatic thread
+    /// count, as [`QLattice::solve`]). The returned view borrows the
+    /// arena; values are bit-for-bit identical to [`QLattice`]'s.
+    pub fn solve(&mut self, model: &Model) -> ArenaLattice<'_, S> {
+        self.solve_with_threads(model, auto_threads(model.dims()))
+    }
+
+    /// As [`LatticeArena::solve`] with an explicit thread count. Only
+    /// `threads <= 1` (the serial sweep) is allocation-free at steady
+    /// state — the wavefront spawns scoped worker threads.
+    pub fn solve_with_threads(&mut self, model: &Model, threads: usize) -> ArenaLattice<'_, S> {
+        let dims = model.dims();
+        let (n1, n2) = (dims.n1 as usize, dims.n2 as usize);
+        self.plain.fill(model);
+        let cells = (n1 + 1) * (n2 + 1);
+        self.q.clear();
+        self.q.resize(cells, S::zero());
+        self.v.clear();
+        self.v.resize(cells * self.plain.bursty_a.len(), S::zero());
+        self.q[0] = S::one();
+        let kernel = PlainKernel { co: &self.plain };
+        sweep(n1, n2, &mut self.q, &mut self.v, &kernel, threads);
+        ArenaLattice { dims, q: &self.q }
+    }
+}
+
+impl LatticeArena<f64> {
+    /// Run the §6 scaled Algorithm 1 in this arena (automatic thread
+    /// count); values are bit-for-bit identical to [`ScaledQLattice`]'s.
+    pub fn solve_scaled(&mut self, model: &Model) -> ScaledArenaLattice<'_> {
+        self.solve_scaled_with_threads(model, auto_threads(model.dims()))
+    }
+
+    /// As [`LatticeArena::solve_scaled`] with an explicit thread count.
+    pub fn solve_scaled_with_threads(
+        &mut self,
+        model: &Model,
+        threads: usize,
+    ) -> ScaledArenaLattice<'_> {
+        let dims = model.dims();
+        let (n1, n2) = (dims.n1 as usize, dims.n2 as usize);
+        let ln_c = ((dims.max_n() as f64).ln() - 1.0).max(0.0);
+        self.scaled.fill(model, ln_c);
+        let cells = (n1 + 1) * (n2 + 1);
+        self.q.clear();
+        self.q.resize(cells, 0.0);
+        self.v.clear();
+        self.v.resize(cells * self.scaled.n_bursty, 0.0);
+        self.q[0] = 1.0;
+        let kernel = ScaledKernel { co: &self.scaled };
+        sweep(n1, n2, &mut self.q, &mut self.v, &kernel, threads);
+        ScaledArenaLattice {
+            dims,
+            ln_c,
+            qhat: &self.q,
+        }
+    }
+}
+
+impl<S: QScalar + Send> Default for LatticeArena<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A plain-backend lattice borrowed from a [`LatticeArena`] — the same
+/// read interface as [`QLattice`], valid until the arena's next solve.
+pub struct ArenaLattice<'a, S> {
+    dims: Dims,
+    q: &'a [S],
+}
+
+impl<S: QScalar> ArenaLattice<'_, S> {
+    /// Raw `Q(i1, i2)` (zero outside the non-negative quadrant).
+    pub fn q(&self, i1: i64, i2: i64) -> S {
+        if i1 < 0 || i2 < 0 {
+            S::zero()
+        } else {
+            assert!(
+                i1 <= self.dims.n1 as i64 && i2 <= self.dims.n2 as i64,
+                "Q({i1},{i2}) outside solved lattice {}",
+                self.dims
+            );
+            self.q[i1 as usize * (self.dims.n2 as usize + 1) + i2 as usize]
+        }
+    }
+
+    /// As [`QLattice::is_healthy`].
+    pub fn is_healthy(&self) -> bool {
+        !self.q.iter().any(|x| x.is_zero())
+    }
+}
+
+impl<S: QScalar> QRatio for ArenaLattice<'_, S> {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn q_ratio(&self, num: (i64, i64), den: (i64, i64)) -> f64 {
+        if num.0 < 0 || num.1 < 0 {
+            return 0.0;
+        }
+        self.q(num.0, num.1).ratio_to(self.q(den.0, den.1))
+    }
+}
+
+/// A scaled-backend lattice borrowed from a [`LatticeArena`] — the same
+/// read interface as [`ScaledQLattice`], valid until the arena's next
+/// solve.
+pub struct ScaledArenaLattice<'a> {
+    dims: Dims,
+    ln_c: f64,
+    qhat: &'a [f64],
+}
+
+impl ScaledArenaLattice<'_> {
+    fn qhat(&self, i1: i64, i2: i64) -> f64 {
+        if i1 < 0 || i2 < 0 {
+            0.0
+        } else {
+            assert!(
+                i1 <= self.dims.n1 as i64 && i2 <= self.dims.n2 as i64,
+                "Q({i1},{i2}) outside solved lattice {}",
+                self.dims
+            );
+            self.qhat[i1 as usize * (self.dims.n2 as usize + 1) + i2 as usize]
+        }
+    }
+
+    /// As [`ScaledQLattice::is_healthy`].
+    pub fn is_healthy(&self) -> bool {
+        self.qhat.iter().all(|x| x.is_finite() && *x > 0.0)
+    }
+}
+
+impl QRatio for ScaledArenaLattice<'_> {
+    fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    fn q_ratio(&self, num: (i64, i64), den: (i64, i64)) -> f64 {
+        if num.0 < 0 || num.1 < 0 {
+            return 0.0;
+        }
         let shift = (den.0 + den.1 - num.0 - num.1) as f64;
         self.qhat(num.0, num.1) / self.qhat(den.0, den.1) * (shift * self.ln_c).exp()
     }
@@ -826,5 +1107,83 @@ mod tests {
         let m = mixed_model(3, 3);
         let lat: QLattice<f64> = QLattice::solve(&m);
         let _ = lat.q(4, 0);
+    }
+
+    #[test]
+    fn arena_solves_are_bit_identical_to_fresh_lattices() {
+        let mut arena = LatticeArena::<f64>::new();
+        // Reuse the same arena across different dims and workloads — the
+        // buffers must be fully re-initialised each time.
+        for (n1, n2) in [(8u32, 5u32), (5, 8), (12, 12), (3, 3)] {
+            let m = mixed_model(n1, n2);
+            let fresh: QLattice<f64> = QLattice::solve_with_threads(&m, 1);
+            let lat = arena.solve_with_threads(&m, 1);
+            for i1 in 0..=n1 as i64 {
+                for i2 in 0..=n2 as i64 {
+                    assert_eq!(
+                        lat.q(i1, i2).to_bits(),
+                        fresh.q(i1, i2).to_bits(),
+                        "arena cell ({i1},{i2}) differs at {n1}x{n2}"
+                    );
+                }
+            }
+            assert_eq!(lat.is_healthy(), fresh.is_healthy());
+        }
+    }
+
+    #[test]
+    fn scaled_arena_solves_are_bit_identical_to_fresh_lattices() {
+        let mut arena = LatticeArena::<f64>::new();
+        for (n1, n2) in [(9u32, 6u32), (17, 17), (4, 4)] {
+            let m = mixed_model(n1, n2);
+            let fresh = ScaledQLattice::solve_with_threads(&m, 1);
+            let lat = arena.solve_scaled_with_threads(&m, 1);
+            for i1 in 0..=n1 as i64 {
+                for i2 in 0..=n2 as i64 {
+                    assert_eq!(
+                        lat.qhat(i1, i2).to_bits(),
+                        fresh.qhat(i1, i2).to_bits(),
+                        "scaled arena cell ({i1},{i2}) differs at {n1}x{n2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_wavefront_matches_serial_arena() {
+        let m = mixed_model(11, 7);
+        let mut serial = LatticeArena::<ExtFloat>::new();
+        let mut par = LatticeArena::<ExtFloat>::new();
+        // Two arenas (the borrows would otherwise overlap), same cells.
+        let a = serial.solve_with_threads(&m, 1);
+        let b = par.solve_with_threads(&m, 4);
+        for i1 in 0..=11i64 {
+            for i2 in 0..=7i64 {
+                assert_eq!(a.q(i1, i2), b.q(i1, i2));
+            }
+        }
+    }
+
+    #[test]
+    fn arena_lattice_feeds_measures_like_a_fresh_solve() {
+        let m = mixed_model(10, 10);
+        let mut arena = LatticeArena::<f64>::new();
+        let lat = arena.solve(&m);
+        let from_arena = crate::measures::measures(&m, &lat);
+        let fresh: QLattice<f64> = QLattice::solve(&m);
+        let reference = crate::measures::measures(&m, &fresh);
+        for r in 0..4 {
+            close(
+                from_arena.classes[r].nonblocking,
+                reference.classes[r].nonblocking,
+                1e-15,
+            );
+            close(
+                from_arena.classes[r].concurrency,
+                reference.classes[r].concurrency,
+                1e-15,
+            );
+        }
     }
 }

@@ -54,7 +54,13 @@
 //!   shadow-price diagnosis into an enforceable policy (numerical chain
 //!   solve; no product form).
 //! * [`sensitivity`] — full cross-class Jacobians `∂B_r/∂ρ_s`,
-//!   `∂E_r/∂ρ_s`, `∂W/∂·` (the matrix version of §4's gradients).
+//!   `∂E_r/∂ρ_s`, `∂W/∂·` (the matrix version of §4's gradients),
+//!   computed exactly from the sweep partials (finite differences kept
+//!   as a test oracle).
+//! * [`sweep`] — the incremental sweep solver: per-class leave-one-out
+//!   partial convolutions on the diagonal ray, answering one-class
+//!   parameter edits in `O(C²/a)` instead of a full lattice solve, plus
+//!   exact §4 gradients.
 //!
 //! # Quick example
 //!
@@ -88,6 +94,7 @@ pub mod policy;
 pub mod sensitivity;
 pub mod solver;
 pub mod state;
+pub mod sweep;
 pub mod transient;
 
 pub use measures::{ClassMeasures, SwitchMeasures};
@@ -95,3 +102,4 @@ pub use model::{Dims, Model, ModelError};
 pub use solver::resilient::{solve_resilient, ResilientConfig, ResilientSolution, SolveReport};
 pub use solver::{solve, solve_batch, solve_cached, Algorithm, Solution, SolveCache, SolveError};
 pub use state::StateIter;
+pub use sweep::{SweepGradients, SweepSolution, SweepSolver};

@@ -9,16 +9,23 @@
 //! J_B[r][s] = ∂B_r/∂ρ_s        J_E[r][s] = ∂E_r/∂ρ_s
 //! ```
 //!
-//! by central differences on re-solved models (two solves per column), plus
-//! the analogous columns in `β_s/μ_s` for bursty classes. Central rather
-//! than the paper's forward differences: the Jacobian entries are used for
-//! comparisons between columns, where the extra order of accuracy is worth
-//! the second solve.
+//! **exactly**, by differentiating the product form itself: one
+//! [`SweepSolver`] precompute per model, then each column `s` falls out
+//! of the cached leave-one-out partials via
+//! [`SweepSolver::gradients`] — no re-solves, no step-size error.
+//!
+//! The previous finite-difference assembly (two full solves per column,
+//! central differences on re-solved models) is kept as
+//! [`sensitivity_fd`]: it is the test oracle the exact path is verified
+//! against (unit tests here, a proptest battery in
+//! `tests/differential.rs`), and a fallback for backends the sweep
+//! solver does not model.
 
 use xbar_numeric::central_diff;
 
 use crate::model::Model;
 use crate::solver::{solve, Algorithm, SolveError};
+use crate::sweep::SweepSolver;
 
 /// The assembled sensitivity matrices (rows = affected class, columns =
 /// perturbed class).
@@ -36,9 +43,41 @@ pub struct Sensitivity {
     pub revenue_by_beta: Vec<f64>,
 }
 
-/// Assemble all sensitivities for `model` using `algorithm` for each
-/// internal solve.
+/// Assemble all sensitivities for `model` exactly from the sweep
+/// partials — one `O(R²·C²)` precompute and `R` gradient passes, zero
+/// full solves (the old finite-difference assembly paid `2R·(2R + 2)`
+/// of them).
+///
+/// `algorithm` picks the numeric backend of the partials, with the same
+/// policy as [`SweepSolver::new`].
 pub fn sensitivity(model: &Model, algorithm: Algorithm) -> Result<Sensitivity, SolveError> {
+    let r_count = model.num_classes();
+    let sweep = SweepSolver::new(model, algorithm)?;
+    let mut nonblocking_by_rho = vec![vec![0.0; r_count]; r_count];
+    let mut concurrency_by_rho = vec![vec![0.0; r_count]; r_count];
+    let mut revenue_by_rho = vec![0.0; r_count];
+    let mut revenue_by_beta = vec![0.0; r_count];
+    for s in 0..r_count {
+        let g = sweep.gradients(s);
+        for r in 0..r_count {
+            nonblocking_by_rho[r][s] = g.nonblocking_by_rho[r];
+            concurrency_by_rho[r][s] = g.concurrency_by_rho[r];
+        }
+        revenue_by_rho[s] = g.revenue_by_rho;
+        revenue_by_beta[s] = g.revenue_by_beta;
+    }
+    Ok(Sensitivity {
+        nonblocking_by_rho,
+        concurrency_by_rho,
+        revenue_by_rho,
+        revenue_by_beta,
+    })
+}
+
+/// The finite-difference oracle: the original central-difference
+/// assembly on re-solved models (two solves per column and output).
+/// Slower and step-size-limited — kept to cross-check [`sensitivity`].
+pub fn sensitivity_fd(model: &Model, algorithm: Algorithm) -> Result<Sensitivity, SolveError> {
     let r_count = model.num_classes();
     let mut nonblocking_by_rho = vec![vec![0.0; r_count]; r_count];
     let mut concurrency_by_rho = vec![vec![0.0; r_count]; r_count];
@@ -162,7 +201,7 @@ mod tests {
     #[test]
     fn revenue_row_matches_solution_gradient() {
         // For a pure-Poisson workload the closed form (paper §4) is exact,
-        // so the central-difference row must match it.
+        // so the exact sweep-based row must match it.
         let m = model();
         let sens = sensitivity(&m, Algorithm::Alg1F64).unwrap();
         let sol = solve(&m, Algorithm::Alg1F64).unwrap();
@@ -179,5 +218,46 @@ mod tests {
         let m = Model::new(Dims::square(6), w).unwrap();
         let sens = sensitivity(&m, Algorithm::Alg1F64).unwrap();
         assert!(sens.revenue_by_beta[1] < 0.0, "{:?}", sens.revenue_by_beta);
+    }
+
+    #[test]
+    fn exact_matrices_match_finite_difference_oracle() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.12).with_weight(1.0))
+            .with(TrafficClass::bpp(0.06, 0.15, 1.0).with_weight(0.3))
+            .with(
+                TrafficClass::bpp(0.3, -0.03, 0.7)
+                    .with_bandwidth(2)
+                    .with_weight(0.8),
+            );
+        let m = Model::new(Dims::square(10), w).unwrap();
+        let exact = sensitivity(&m, Algorithm::Alg1Ext).unwrap();
+        let fd = sensitivity_fd(&m, Algorithm::Alg1Ext).unwrap();
+        for s in 0..3 {
+            for r in 0..3 {
+                close(
+                    exact.nonblocking_by_rho[r][s],
+                    fd.nonblocking_by_rho[r][s],
+                    1e-6,
+                );
+                close(
+                    exact.concurrency_by_rho[r][s],
+                    fd.concurrency_by_rho[r][s],
+                    1e-6,
+                );
+            }
+            close(exact.revenue_by_rho[s], fd.revenue_by_rho[s], 1e-6);
+            close(exact.revenue_by_beta[s], fd.revenue_by_beta[s], 1e-6);
+        }
+    }
+
+    #[test]
+    fn exact_path_performs_no_full_solves() {
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let _g = xbar_obs::scope(&reg);
+        sensitivity(&model(), Algorithm::Auto).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("solver.solve"), None, "exact path re-solved");
+        assert_eq!(snap.counter("sweep.gradients"), Some(2));
     }
 }

@@ -156,11 +156,16 @@ pub struct Solution {
     measures: SwitchMeasures,
 }
 
+/// `Auto`'s plain-`f64` ceiling: the largest `max N` the paper's "small
+/// switch" regime covers before `Auto` moves to extended range. Shared
+/// with [`crate::sweep::SweepSolver`]'s backend policy.
+pub(crate) const AUTO_F64_MAX_N: u32 = 64;
+
 /// Solve `model` with the requested algorithm.
 pub fn solve(model: &Model, algorithm: Algorithm) -> Result<Solution, SolveError> {
     let effective = match algorithm {
         Algorithm::Auto => {
-            if model.dims().max_n() <= 64 {
+            if model.dims().max_n() <= AUTO_F64_MAX_N {
                 Algorithm::Alg1F64
             } else {
                 Algorithm::Alg1Ext

@@ -8,7 +8,7 @@
 //! bound; smooth traffic lies below it, by ≈0.1% of the blocking at
 //! `N = 128` for the strongest smoothing.
 
-use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
+use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
 use xbar_traffic::{TildeClass, Workload};
 
 use crate::Table;
@@ -48,23 +48,37 @@ pub fn blocking_at(n: u32, beta_tilde: f64) -> f64 {
         .blocking(0)
 }
 
-/// All points: every `N ∈ 1..=128` for each `β̃`, solved through the
-/// work-stealing [`solve_batch`] pool (the large-`N` tail of one series no
-/// longer serialises behind a static chunk split).
+/// All points: every `N ∈ 1..=128` for each `β̃`. The four series share
+/// everything but class 0's smoothing, so each size is one
+/// [`SweepSolver`] precompute plus four `O(N)` recombinations (the
+/// `β̃ = 0` base reuses the cached ray outright) instead of four full
+/// lattice solves; sizes fan out over [`crate::par_map`].
 pub fn rows() -> Vec<Row> {
     xbar_obs::time("fig1.rows", || {
-        let cells: Vec<(u32, f64)> = BETA_TILDES
+        let per_n: Vec<Vec<f64>> = xbar_obs::time("solve", || {
+            crate::par_map((1..=MAX_N).collect(), |n| {
+                let sweep = SweepSolver::new(&model_at(n, 0.0), Algorithm::Auto).expect("solvable");
+                BETA_TILDES
+                    .iter()
+                    .map(|&b| {
+                        let class = model_at(n, b).workload().classes()[0].clone();
+                        sweep
+                            .solve_with_class(0, class)
+                            .expect("solvable")
+                            .blocking(0)
+                    })
+                    .collect()
+            })
+        });
+        BETA_TILDES
             .iter()
-            .flat_map(|&b| (1..=MAX_N).map(move |n| (n, b)))
-            .collect();
-        let models: Vec<Model> = cells.iter().map(|&(n, b)| model_at(n, b)).collect();
-        xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto))
-            .into_iter()
-            .zip(cells)
-            .map(|(sol, (n, beta_tilde))| Row {
-                n,
-                beta_tilde,
-                blocking: sol.expect("solvable").blocking(0),
+            .enumerate()
+            .flat_map(|(bi, &beta_tilde)| {
+                per_n.iter().zip(1..=MAX_N).map(move |(vals, n)| Row {
+                    n,
+                    beta_tilde,
+                    blocking: vals[bi],
+                })
             })
             .collect()
     })

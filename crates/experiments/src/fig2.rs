@@ -15,7 +15,7 @@
 //!   "peaky traffic" stays peaky at every size and the dramatic impact the
 //!   paper describes is fully visible.
 
-use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
+use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
 use xbar_traffic::{TildeClass, TrafficClass, Workload};
 
 use crate::fig1::ALPHA_TILDE;
@@ -80,38 +80,53 @@ pub fn blocking_fixed_z(n: u32, z: f64) -> f64 {
         .blocking(0)
 }
 
-/// All points of both series, every `N ∈ 1..=128`, through the
-/// work-stealing [`solve_batch`] pool.
+/// All points of both series, every `N ∈ 1..=128`. All seven curves at
+/// one size share everything but class 0's BPP parameters, so each size
+/// is one [`SweepSolver`] precompute plus seven `O(N)` recombinations
+/// (the Poisson baseline reuses the cached ray) instead of seven full
+/// lattice solves; sizes fan out over [`crate::par_map`].
 pub fn rows() -> Vec<Row> {
     xbar_obs::time("fig2.rows", || {
-        let mut cells: Vec<(Series, f64, u32)> = Vec::new();
-        for &b in &BETA_TILDES {
-            for n in 1..=MAX_N {
-                cells.push((Series::FixedBetaTilde, b, n));
+        let per_n: Vec<Vec<f64>> = xbar_obs::time("solve", || {
+            crate::par_map((1..=MAX_N).collect(), |n| {
+                let sweep =
+                    SweepSolver::new(&model_fixed_beta(n, 0.0), Algorithm::Auto).expect("solvable");
+                let solve_class = |m: Model| {
+                    let class = m.workload().classes()[0].clone();
+                    sweep
+                        .solve_with_class(0, class)
+                        .expect("solvable")
+                        .blocking(0)
+                };
+                BETA_TILDES
+                    .iter()
+                    .map(|&b| solve_class(model_fixed_beta(n, b)))
+                    .chain(Z_FACTORS.iter().map(|&z| solve_class(model_fixed_z(n, z))))
+                    .collect()
+            })
+        });
+        let mut rows = Vec::new();
+        for (bi, &b) in BETA_TILDES.iter().enumerate() {
+            for (vals, n) in per_n.iter().zip(1..=MAX_N) {
+                rows.push(Row {
+                    series: Series::FixedBetaTilde,
+                    param: b,
+                    n,
+                    blocking: vals[bi],
+                });
             }
         }
-        for &z in &Z_FACTORS {
-            for n in 1..=MAX_N {
-                cells.push((Series::FixedZ, z, n));
+        for (zi, &z) in Z_FACTORS.iter().enumerate() {
+            for (vals, n) in per_n.iter().zip(1..=MAX_N) {
+                rows.push(Row {
+                    series: Series::FixedZ,
+                    param: z,
+                    n,
+                    blocking: vals[BETA_TILDES.len() + zi],
+                });
             }
         }
-        let models: Vec<Model> = cells
-            .iter()
-            .map(|&(series, param, n)| match series {
-                Series::FixedBetaTilde => model_fixed_beta(n, param),
-                Series::FixedZ => model_fixed_z(n, param),
-            })
-            .collect();
-        xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto))
-            .into_iter()
-            .zip(cells)
-            .map(|(sol, (series, param, n))| Row {
-                series,
-                param,
-                n,
-                blocking: sol.expect("solvable").blocking(0),
-            })
-            .collect()
+        rows
     })
 }
 

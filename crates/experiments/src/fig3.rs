@@ -12,7 +12,7 @@
 //! matching Figures 1–2) vs. the single class at `α̃ = .0012`;
 //! `β̃2 ∈ {0, 6e−4, 1.2e−3}` (the Table 2 magnitudes).
 
-use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
+use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
 use xbar_traffic::{TildeClass, Workload};
 
 use crate::Table;
@@ -57,31 +57,48 @@ pub fn blocking_at(mixed: bool, n: u32, beta_tilde: f64) -> f64 {
         .blocking(0)
 }
 
-/// All points, through the work-stealing [`solve_batch`] pool.
+/// All points. The three `β̃` curves of each case differ only in class
+/// 0's burstiness, so every `(case, N)` pair is one [`SweepSolver`]
+/// precompute plus three `O(N)` recombinations; the `(case, N)` grid
+/// fans out over [`crate::par_map`].
 pub fn rows() -> Vec<Row> {
     xbar_obs::time("fig3.rows", || {
-        let mut cells = Vec::new();
-        for &mixed in &[false, true] {
-            for &b in &BETA_TILDES {
+        let cells: Vec<(bool, u32)> = [false, true]
+            .iter()
+            .flat_map(|&mixed| (1..=MAX_N).map(move |n| (mixed, n)))
+            .collect();
+        let per_cell: Vec<Vec<f64>> = xbar_obs::time("solve", || {
+            crate::par_map(cells.clone(), |(mixed, n)| {
+                let sweep =
+                    SweepSolver::new(&model_at(mixed, n, 0.0), Algorithm::Auto).expect("solvable");
+                BETA_TILDES
+                    .iter()
+                    .map(|&b| {
+                        let class = model_at(mixed, n, b).workload().classes()[0].clone();
+                        sweep
+                            .solve_with_class(0, class)
+                            .expect("solvable")
+                            .blocking(0)
+                    })
+                    .collect()
+            })
+        });
+        let mut rows = Vec::new();
+        for (ci, &mixed) in [false, true].iter().enumerate() {
+            for (bi, &beta_tilde) in BETA_TILDES.iter().enumerate() {
                 for n in 1..=MAX_N {
-                    cells.push((mixed, b, n));
+                    let cell = ci * MAX_N as usize + (n - 1) as usize;
+                    debug_assert_eq!(cells[cell], (mixed, n));
+                    rows.push(Row {
+                        mixed,
+                        beta_tilde,
+                        n,
+                        blocking: per_cell[cell][bi],
+                    });
                 }
             }
         }
-        let models: Vec<Model> = cells
-            .iter()
-            .map(|&(mixed, b, n)| model_at(mixed, n, b))
-            .collect();
-        xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto))
-            .into_iter()
-            .zip(cells)
-            .map(|(sol, (mixed, beta_tilde, n))| Row {
-                mixed,
-                beta_tilde,
-                n,
-                blocking: sol.expect("solvable").blocking(0),
-            })
-            .collect()
+        rows
     })
 }
 

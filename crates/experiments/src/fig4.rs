@@ -13,7 +13,7 @@
 //! Each class is analysed on its own switch (the paper: "considering each
 //! traffic type separately").
 
-use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
+use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
 use xbar_numeric::binomial;
 use xbar_traffic::{TildeClass, Workload};
 
@@ -60,8 +60,10 @@ pub fn blocking_single_class(n: u32, a: u32, rho_tilde: f64) -> f64 {
         .blocking(0)
 }
 
-/// All rows: both per-class solves of every switch size go through one
-/// work-stealing [`solve_batch`] call.
+/// All rows. The two per-size curves differ only in class 0 (its
+/// bandwidth *and* load), so each size is one [`SweepSolver`] precompute
+/// at `a = 1` plus a bandwidth-changing recombination for `a = 2`; sizes
+/// fan out over [`crate::par_map`].
 pub fn rows() -> Vec<Row> {
     xbar_obs::time("fig4.rows", rows_inner)
 }
@@ -74,27 +76,23 @@ fn rows_inner() -> Vec<Row> {
             (n, rho1, rho2)
         })
         .collect();
-    let models: Vec<Model> = loads
-        .iter()
-        .flat_map(|&(n, rho1, rho2)| {
-            [
-                model_single_class(n, 1, rho1),
-                model_single_class(n, 2, rho2),
-            ]
+    xbar_obs::time("solve", || {
+        crate::par_map(loads, |(n, rho1, rho2)| {
+            let sweep = SweepSolver::new(&model_single_class(n, 1, rho1), Algorithm::Auto)
+                .expect("solvable");
+            let wide = model_single_class(n, 2, rho2).workload().classes()[0].clone();
+            Row {
+                n,
+                rho1_tilde: rho1,
+                rho2_tilde: rho2,
+                blocking_a1: sweep.solve_base().expect("solvable").blocking(0),
+                blocking_a2: sweep
+                    .solve_with_class(0, wide)
+                    .expect("solvable")
+                    .blocking(0),
+            }
         })
-        .collect();
-    let solved = xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto));
-    loads
-        .iter()
-        .zip(solved.chunks(2))
-        .map(|(&(n, rho1, rho2), pair)| Row {
-            n,
-            rho1_tilde: rho1,
-            rho2_tilde: rho2,
-            blocking_a1: pair[0].as_ref().expect("solvable").blocking(0),
-            blocking_a2: pair[1].as_ref().expect("solvable").blocking(0),
-        })
-        .collect()
+    })
 }
 
 /// Table 1 as printed (loads only).

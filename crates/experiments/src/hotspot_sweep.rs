@@ -5,7 +5,7 @@
 //! switch, and how far the uniform analysis (the `h = 0` anchor, which the
 //! simulator must reproduce exactly) remains a useful lower bound.
 
-use xbar_core::{solve_cached, Algorithm, Dims, Model};
+use xbar_core::{Algorithm, Dims, Model, SweepSolver};
 use xbar_sim::hotspot::{HotspotConfig, HotspotSim};
 use xbar_sim::ServiceDist;
 use xbar_traffic::{TrafficClass, Workload};
@@ -48,11 +48,13 @@ pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
             Workload::new().with(TrafficClass::poisson(LAMBDA)),
         )
         .expect("valid uniform model");
-        // The analytic anchor is shared by every sweep (and re-requested when
-        // callers re-run at other durations/seeds) — serve it from the
-        // process-wide solve cache.
+        // The analytic anchor is one point shared by every sweep row — a
+        // one-shot ray build is cheaper than a full lattice solve.
         let uniform_analytic = xbar_obs::time("solve", || {
-            solve_cached(&model, Algorithm::Auto).unwrap().blocking(0)
+            SweepSolver::new(&model, Algorithm::Auto)
+                .and_then(|s| s.solve_base())
+                .expect("solvable")
+                .blocking(0)
         });
         xbar_obs::time("sim", || {
             par_map(HOT_FRACTIONS.to_vec(), move |h| {

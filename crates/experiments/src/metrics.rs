@@ -89,15 +89,17 @@ mod tests {
             assert!(!rows.is_empty());
         }
         let snap = reg.snapshot();
-        // Every fig1 cell misses a cold scoped cache view... the cache is
-        // process-global, so hits vs misses depend on test order; what must
-        // hold is that the batch actually consulted it for every cell.
-        let hits = snap.counter("cache.hits").unwrap_or(0);
-        let misses = snap.counter("cache.misses").unwrap_or(0);
+        // fig1 goes through the sweep solver: every cell is either a base-ray
+        // reuse (the β̃ = 0 column) or an O(N) recombination — never a full
+        // re-solve.
+        let reuse = snap.counter("sweep.reuse").unwrap_or(0);
+        let recombine = snap.counter("sweep.recombine").unwrap_or(0);
         assert_eq!(
-            hits + misses,
+            reuse + recombine,
             (crate::fig1::BETA_TILDES.len() * crate::fig1::MAX_N as usize) as u64
         );
+        assert_eq!(reuse, crate::fig1::MAX_N as u64, "β̃ = 0 reuses the base");
+        assert_eq!(snap.counter("solver.solve"), None, "no full solves");
         // The stage spans recorded: one rows() call, one solve stage.
         let rows_span = snap.histogram("span.fig1.rows").expect("rows span");
         assert_eq!(rows_span.count, 1);

@@ -7,7 +7,7 @@
 //! the same load regardless of shape), so the comparison isolates the
 //! geometry.
 
-use xbar_core::{solve, solve_batch, Algorithm, Dims, Model};
+use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
 use xbar_traffic::{TrafficClass, Workload};
 
 use crate::Table;
@@ -52,17 +52,18 @@ pub fn row(n1: u32) -> Row {
     }
 }
 
-/// All rows (`N1` from 2 to budget−2), through the work-stealing
-/// [`solve_batch`] pool.
+/// All rows (`N1` from 2 to budget−2). Every aspect ratio is its own
+/// geometry, so each is a one-shot [`SweepSolver`] ray build (`O(C)`
+/// state instead of a full lattice) read through
+/// [`SweepSolver::solve_base`]; ratios fan out over [`crate::par_map`].
 pub fn rows() -> Vec<Row> {
     xbar_obs::time("rectangular.rows", || {
         let n1s: Vec<u32> = (2..=PORT_BUDGET - 2).collect();
-        let models: Vec<Model> = n1s.iter().map(|&n1| model_for(n1)).collect();
-        xbar_obs::time("solve", || solve_batch(&models, Algorithm::Auto))
-            .into_iter()
-            .zip(n1s)
-            .map(|(sol, n1)| {
-                let sol = sol.expect("solvable");
+        xbar_obs::time("solve", || {
+            crate::par_map(n1s, |n1| {
+                let sol = SweepSolver::new(&model_for(n1), Algorithm::Auto)
+                    .and_then(|s| s.solve_base())
+                    .expect("solvable");
                 Row {
                     n1,
                     n2: PORT_BUDGET - n1,
@@ -70,7 +71,7 @@ pub fn rows() -> Vec<Row> {
                     throughput: sol.total_throughput(),
                 }
             })
-            .collect()
+        })
     })
 }
 

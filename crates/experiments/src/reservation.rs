@@ -9,7 +9,7 @@
 //! inequality `w_r ≷ ΔW` predicts.
 
 use xbar_core::policy::solve_policy;
-use xbar_core::{Dims, Model};
+use xbar_core::{Algorithm, Dims, Model, SweepSolver};
 use xbar_traffic::{TrafficClass, Workload};
 
 use crate::{par_map, Table};
@@ -76,6 +76,18 @@ pub fn rows() -> Vec<Row> {
     })
 }
 
+/// The complete-sharing (`t = 0`) anchor of one mix, computed from the
+/// paper's product form via a one-shot [`SweepSolver`] ray build: with no
+/// reservation the policy chain *is* the product-form model, so this pins
+/// the numeric [`solve_policy`] chain at the start of every sweep.
+/// Returns `(blocking_class1, blocking_class2, revenue)`.
+pub fn complete_sharing_anchor(mix: Mix) -> (f64, f64, f64) {
+    let sol = SweepSolver::new(&model(mix), Algorithm::Auto)
+        .and_then(|s| s.solve_base())
+        .expect("solvable");
+    (sol.blocking(0), sol.blocking(1), sol.revenue())
+}
+
 /// The revenue-maximising row of one mix.
 pub fn best(rows: &[Row], mix: Mix) -> Row {
     *rows
@@ -119,6 +131,24 @@ mod tests {
                 assert!(pair[1].blocking_valuable <= pair[0].blocking_valuable + 1e-9);
                 assert!(pair[1].blocking_second >= pair[0].blocking_second - 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn threshold_zero_matches_the_product_form_anchor() {
+        // With no reservation the truncated chain solve_policy computes is
+        // exactly the paper's product form, so the t = 0 row must agree
+        // with the sweep-solver anchor to numeric precision.
+        let rows = rows();
+        for mix in [Mix::Skewed, Mix::Balanced] {
+            let t0 = rows
+                .iter()
+                .find(|r| r.mix == mix && r.threshold == 0)
+                .unwrap();
+            let (b1, b2, w) = complete_sharing_anchor(mix);
+            assert!((t0.blocking_valuable - b1).abs() < 1e-9, "{mix:?} class 1");
+            assert!((t0.blocking_second - b2).abs() < 1e-9, "{mix:?} class 2");
+            assert!((t0.revenue - w).abs() < 1e-9, "{mix:?} revenue");
         }
     }
 

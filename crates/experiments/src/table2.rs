@@ -2,10 +2,11 @@
 //! worth `w1 = 1.0` per connection, bursty class 2 worth `w2 = .0001`),
 //! across three parameter sets and `N ∈ {1, 2, 4, …, 256}`.
 //!
-//! Columns: the closed-form `∂W/∂ρ1` (paper §4), the forward-difference
-//! `∂W/∂(β2/μ2)` (the paper's numerical approximation, taken with respect
-//! to the *per-set* `β2/μ2` — the convention that reproduces the printed
-//! magnitudes), the class blocking probability, and the revenue `W`.
+//! Columns: the closed-form `∂W/∂ρ1` (paper §4), the exact analytic
+//! `∂W/∂(β2/μ2)` (the paper used a numerical approximation; we
+//! differentiate the product form itself, with respect to the *per-set*
+//! `β2/μ2` — the convention that reproduces the printed magnitudes), the
+//! class blocking probability, and the revenue `W`.
 //!
 //! The paper's printed values ride along in every row so the harness
 //! reports `ours`, `paper`, and the delta. The `β`-insensitive entries
@@ -19,7 +20,7 @@
 //! `β`-dependence at `N = 2` — in the stated model `G` does depend on `β`
 //! there, making the true gradient negative.
 
-use xbar_core::{solve, Algorithm, Dims, Model, Solution};
+use xbar_core::{solve, Algorithm, Dims, Model, Solution, SweepSolver};
 use xbar_traffic::{TrafficClass, Workload};
 
 use crate::{par_map, Table};
@@ -119,7 +120,7 @@ pub struct Row {
     pub n: u32,
     /// Closed-form `∂W/∂ρ1`.
     pub grad_rho1: f64,
-    /// Forward-difference `∂W/∂(β2/μ2)` (per-set `x`).
+    /// Exact analytic `∂W/∂(β2/μ2)` (per-set `x`).
     pub grad_beta2: f64,
     /// Class blocking probability `1 − B_r` (equal for both classes here).
     pub blocking: f64,
@@ -127,24 +128,34 @@ pub struct Row {
     pub revenue: f64,
 }
 
-/// Build and solve the model for one cell.
-pub fn solve_cell(set: ParamSet, n: u32) -> Solution {
+/// Build the model for one cell.
+pub fn model_cell(set: ParamSet, n: u32) -> Model {
     let nf = n as f64;
     let workload = Workload::new()
         .with(TrafficClass::poisson(set.rho1_tilde / nf).with_weight(W1))
         .with(TrafficClass::bpp(set.rho2_tilde / nf, set.beta2_tilde / nf, 1.0).with_weight(W2));
-    let model = Model::new(Dims::square(n), workload).expect("valid Table 2 model");
-    solve(&model, Algorithm::Alg1Ext).expect("solvable")
+    Model::new(Dims::square(n), workload).expect("valid Table 2 model")
 }
 
-/// Compute one row.
+/// Build and solve the model for one cell (full lattice solve — kept as
+/// the cross-check against the [`SweepSolver`] path used by [`row`]).
+pub fn solve_cell(set: ParamSet, n: u32) -> Solution {
+    solve(&model_cell(set, n), Algorithm::Alg1Ext).expect("solvable")
+}
+
+/// Compute one row: one [`SweepSolver`] ray build serves the blocking,
+/// revenue, and closed-form `∂W/∂ρ1` columns through the cached base
+/// ray, and the `∂W/∂(β2/μ2)` column comes from the exact analytic
+/// gradient ([`SweepSolver::gradients`]) instead of the old
+/// forward-difference re-solve.
 pub fn row(set: ParamSet, n: u32) -> Row {
-    let sol = solve_cell(set, n);
+    let sweep = SweepSolver::new(&model_cell(set, n), Algorithm::Alg1Ext).expect("solvable");
+    let sol = sweep.solve_base().expect("solvable");
     Row {
         set: set.label,
         n,
         grad_rho1: sol.revenue_gradient_rho(0),
-        grad_beta2: sol.revenue_gradient_beta_fd(1).expect("fd solvable"),
+        grad_beta2: sweep.gradients(1).revenue_by_beta,
         blocking: sol.blocking(0),
         revenue: sol.revenue(),
     }

@@ -16,7 +16,7 @@
 
 use xbar_admission::{AdmissionEngine, AdmissionError, EngineConfig, PolicySpec};
 use xbar_core::solver::resilient::{solve_resilient, ResilientConfig};
-use xbar_core::{solve, Algorithm, Dims, Model, SolveError};
+use xbar_core::{solve, Algorithm, Dims, Model, SolveError, SweepSolver};
 use xbar_sim::{replay, CrossbarSim, FaultConfig, ReplayConfig, RunConfig, SimConfig};
 use xbar_traffic::{TildeClass, TrafficClass, Workload};
 
@@ -73,7 +73,14 @@ fn usage() -> String {
      [--port-mtbf <t> --port-mttr <t>] [--fail-inputs <k>] [--fail-outputs <k>]\n  \
      xbar admit --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
      [--policy cs|trunk:t0,t1,...|shadow[:reserve=N]] [--replay-events <n>] \
-     [--trace <path>] [--cross-check] [--seed <u64>] [--metrics <path|->]\n\n\
+     [--trace <path>] [--cross-check] [--seed <u64>] [--metrics <path|->]\n  \
+     xbar sweep --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
+     --alpha <a0:a1:steps> [--sweep-class <r>] \
+     [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext] [--threads <N>] \
+     [--metrics <path|->]\n\n\
+     sweep varies class r's per-set arrival intercept alpha across the grid \
+     through one cached SweepSolver precompute (each point is an O(N) \
+     recombination, not a fresh solve)\n\
      admit replays synthetic BPP call events (or an 'a <class>'/'d <class>' \
      trace file) through the online admission engine; --cross-check asserts \
      the admitted fraction against the analytic acceptance (CS policy only)\n\
@@ -204,6 +211,30 @@ pub struct Args {
     /// Assert replay acceptance against the analytic value (exit 4 on
     /// disagreement; complete-sharing policy only).
     pub cross_check: bool,
+    /// Which class the `sweep` command varies.
+    pub sweep_class: usize,
+    /// The `sweep` command's `α` grid as `(a0, a1, steps)`.
+    pub alpha_range: Option<(f64, f64, u32)>,
+}
+
+/// Parse an `a0:a1:steps` grid spec.
+fn parse_alpha_range(s: &str) -> Result<(f64, f64, u32), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [a0, a1, steps] = parts.as_slice() else {
+        return Err(format!("--alpha grid '{s}' must be a0:a1:steps"));
+    };
+    let a0: f64 = a0.parse().map_err(|_| format!("bad a0 '{a0}' in '{s}'"))?;
+    let a1: f64 = a1.parse().map_err(|_| format!("bad a1 '{a1}' in '{s}'"))?;
+    let steps: u32 = steps
+        .parse()
+        .map_err(|_| format!("bad steps '{steps}' in '{s}'"))?;
+    if !(a0.is_finite() && a1.is_finite()) {
+        return Err(format!("--alpha endpoints must be finite in '{s}'"));
+    }
+    if steps == 0 {
+        return Err("--alpha needs steps >= 1".into());
+    }
+    Ok((a0, a1, steps))
 }
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
@@ -223,7 +254,7 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
 pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     let command = it.next().ok_or_else(usage)?.clone();
-    if command != "solve" && command != "sim" && command != "admit" {
+    if !["solve", "sim", "admit", "sweep"].contains(&command.as_str()) {
         return Err(format!("unknown command '{command}'\n{}", usage()));
     }
     let mut n1 = None;
@@ -245,6 +276,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut trace = None;
     let mut replay_events = 1_000_000u64;
     let mut cross_check = false;
+    let mut sweep_class = 0usize;
+    let mut alpha_range = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -325,6 +358,12 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--cross-check" => cross_check = true,
+            "--sweep-class" => {
+                sweep_class = value()?
+                    .parse()
+                    .map_err(|e| format!("--sweep-class: {e}"))?
+            }
+            "--alpha" => alpha_range = Some(parse_alpha_range(&value()?)?),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -332,6 +371,17 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let n2 = n2.ok_or("missing --n or --n2")?;
     if classes.is_empty() {
         return Err("need at least one --class".into());
+    }
+    if command == "sweep" {
+        if alpha_range.is_none() {
+            return Err("sweep needs --alpha a0:a1:steps".into());
+        }
+        if sweep_class >= classes.len() {
+            return Err(format!(
+                "--sweep-class {sweep_class} out of range: only {} class(es)",
+                classes.len()
+            ));
+        }
     }
     Ok(Args {
         command,
@@ -354,6 +404,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace,
         replay_events,
         cross_check,
+        sweep_class,
+        alpha_range,
     })
 }
 
@@ -441,6 +493,50 @@ pub fn run_solve(args: &Args) -> Result<(), CliError> {
             _ => CliError::Solve(e.to_string()),
         })?;
         print_solution_table(args, &model, &sol);
+    }
+    Ok(())
+}
+
+/// Execute the `sweep` command: one [`SweepSolver`] precompute, then one
+/// `O(N)` recombination per grid point of class `r`'s arrival intercept
+/// `α` (analytically continued like [`Model::with_rho`], so smooth
+/// Bernoulli grids work too).
+pub fn run_sweep(args: &Args) -> Result<(), CliError> {
+    let model = build_model(args).map_err(CliError::Usage)?;
+    let r = args.sweep_class;
+    let (a0, a1, steps) = args.alpha_range.expect("parse_args requires --alpha");
+    let sweep = SweepSolver::new(&model, args.algorithm).map_err(|e| match &e {
+        SolveError::Model(_) => CliError::Usage(e.to_string()),
+        _ => CliError::Solve(e.to_string()),
+    })?;
+    let mu = model.workload().classes()[r].mu;
+    println!(
+        "sweeping class {r} alpha over [{a0}, {a1}] in {steps} step(s) on {}x{} \
+         (backend: {})",
+        args.n1,
+        args.n2,
+        sweep.algorithm()
+    );
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>12}",
+        "alpha", "blocking", "B_r", "revenue", "throughput"
+    );
+    for i in 0..steps {
+        let alpha = if steps == 1 {
+            a0
+        } else {
+            a0 + (a1 - a0) * i as f64 / (steps - 1) as f64
+        };
+        let point = sweep
+            .solve_with_rho(r, alpha / mu)
+            .map_err(|e| CliError::Solve(e.to_string()))?;
+        println!(
+            "{alpha:>14.8} {:>12.6} {:>12.6} {:>12.6} {:>12.4}",
+            point.blocking(r),
+            point.nonblocking(r),
+            point.revenue(),
+            point.total_throughput(),
+        );
     }
     Ok(())
 }
@@ -701,6 +797,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "solve" => run_solve(&args),
         "sim" => run_sim(&args),
         "admit" => run_admit(&args),
+        "sweep" => run_sweep(&args),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     result?;
@@ -961,6 +1058,60 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(run_admit(&a).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn parses_sweep_command() {
+        let a = parse_args(&argv(
+            "sweep --n 12 --class poisson:rho=0.01 --class bpp:alpha=0.005,beta=0.002 \
+             --sweep-class 1 --alpha 0.001:0.01:10",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "sweep");
+        assert_eq!(a.sweep_class, 1);
+        assert_eq!(a.alpha_range, Some((0.001, 0.01, 10)));
+        // Defaults to class 0.
+        let d = parse_args(&argv(
+            "sweep --n 8 --class poisson:rho=0.01 --alpha 0:0.1:5",
+        ))
+        .unwrap();
+        assert_eq!(d.sweep_class, 0);
+    }
+
+    #[test]
+    fn rejects_malformed_sweep_flags() {
+        // Missing --alpha.
+        assert!(parse_args(&argv("sweep --n 8 --class poisson:rho=0.01")).is_err());
+        // Bad grid specs.
+        assert!(parse_args(&argv("sweep --n 8 --class poisson:rho=0.01 --alpha 1:2")).is_err());
+        assert!(parse_args(&argv("sweep --n 8 --class poisson:rho=0.01 --alpha 1:2:0")).is_err());
+        assert!(parse_args(&argv("sweep --n 8 --class poisson:rho=0.01 --alpha x:2:3")).is_err());
+        assert!(parse_args(&argv(
+            "sweep --n 8 --class poisson:rho=0.01 --alpha 1:inf:3"
+        ))
+        .is_err());
+        // Sweep class out of range.
+        assert!(parse_args(&argv(
+            "sweep --n 8 --class poisson:rho=0.01 --sweep-class 1 --alpha 0:1:3"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_points_match_fresh_solves() {
+        let a = parse_args(&argv(
+            "sweep --n 10 --class poisson:rho=0.02 --class bpp:alpha=0.01,beta=0.004 \
+             --sweep-class 1 --alpha 0.002:0.02:7",
+        ))
+        .unwrap();
+        assert!(run_sweep(&a).is_ok());
+        // Cross-check one interior grid point against a fresh full solve.
+        let model = build_model(&a).unwrap();
+        let sweep = SweepSolver::new(&model, Algorithm::Auto).unwrap();
+        let alpha = 0.002 + (0.02 - 0.002) * 3.0 / 6.0;
+        let point = sweep.solve_with_rho(1, alpha).unwrap();
+        let full = solve(&model.with_rho(1, alpha).unwrap(), Algorithm::Auto).unwrap();
+        assert!((point.blocking(1) - full.blocking(1)).abs() < 1e-9);
     }
 
     #[test]

@@ -23,7 +23,8 @@ use proptest::prelude::*;
 use xbar_admission::{AdmissionEngine, Decision, EngineConfig, PolicySpec};
 use xbar_core::brute::Brute;
 use xbar_core::policy::solve_policy;
-use xbar_core::{solve, Algorithm, Dims, Model};
+use xbar_core::sensitivity::{sensitivity, sensitivity_fd};
+use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
 use xbar_numeric::permutation;
 use xbar_sim::{replay, ReplayConfig};
 use xbar_traffic::{TrafficClass, Workload};
@@ -195,6 +196,108 @@ proptest! {
                 (engine.availability(r) - want).abs() < 1e-12,
                 "availability class {r}: {} vs {want}",
                 engine.availability(r)
+            );
+        }
+    }
+
+    /// Tier 4: the incremental sweep solver against fresh full solves.
+    /// A random base model takes a random sequence of single-class edits
+    /// (new `α`, `β`, `μ`, `a_r`, weight — including `a_r` changes and
+    /// `β_r → 0` crossings, since the replacement class is drawn from the
+    /// same smooth/Poisson/peaky mix as the base); each recombined point
+    /// must match a fresh solve of the edited model. ExtFloat rays follow
+    /// the exact same recurrence as the full lattice but associate the
+    /// convolution differently, so agreement is to rounding (1e-11), not
+    /// bit-for-bit; scaled-f64 rays get 1e-9.
+    #[test]
+    fn sweep_class_edits_match_fresh_full_solves(
+        (model, edits) in arb_model().prop_flat_map(|m| {
+            let max_n = m.dims().max_n();
+            let r_count = m.num_classes();
+            (
+                Just(m),
+                prop::collection::vec(
+                    ((0..r_count), arb_class(max_n)),
+                    1..6,
+                ),
+            )
+        })
+    ) {
+        let ext = SweepSolver::new(&model, Algorithm::Alg1Ext).unwrap();
+        // The scaled backend can refuse (operating envelope); skip it then.
+        let scaled = SweepSolver::new(&model, Algorithm::Alg1Scaled).ok();
+        let min_n = model.dims().min_n();
+        for (r, class) in edits {
+            if class.bandwidth > min_n {
+                continue; // the edited model would be invalid
+            }
+            let mut classes = model.workload().classes().to_vec();
+            classes[r] = class.clone();
+            let edited = Model::new(model.dims(), Workload::from_classes(classes)).unwrap();
+
+            let full = solve(&edited, Algorithm::Alg1Ext).unwrap();
+            let point = ext.solve_with_class(r, class.clone()).unwrap();
+            for q in 0..edited.num_classes() {
+                prop_assert!(
+                    close(point.nonblocking(q), full.nonblocking(q), 1e-11),
+                    "ext B_{q}: sweep {} vs full {}",
+                    point.nonblocking(q), full.nonblocking(q)
+                );
+                prop_assert!(
+                    close(point.concurrency(q), full.concurrency(q), 1e-11),
+                    "ext E_{q}: sweep {} vs full {}",
+                    point.concurrency(q), full.concurrency(q)
+                );
+            }
+            prop_assert!(close(point.revenue(), full.revenue(), 1e-11));
+
+            if let Some(scaled) = &scaled {
+                if let Ok(point) = scaled.solve_with_class(r, class) {
+                    for q in 0..edited.num_classes() {
+                        prop_assert!(
+                            close(point.nonblocking(q), full.nonblocking(q), 1e-9),
+                            "scaled B_{q}: sweep {} vs full {}",
+                            point.nonblocking(q), full.nonblocking(q)
+                        );
+                    }
+                    prop_assert!(close(point.revenue(), full.revenue(), 1e-9));
+                }
+            }
+        }
+    }
+
+    /// Tier 5: the exact analytic sensitivity against the retained
+    /// finite-difference oracle, across random BPP mixes. Central
+    /// differences carry step-size error, so the tolerance is
+    /// `1e-9 + 1e-6·scale` per entry.
+    #[test]
+    fn sweep_exact_sensitivity_matches_fd_oracle(model in arb_model()) {
+        let fd_close = |a: f64, b: f64| (a - b).abs() <= 1e-9 + 1e-6 * a.abs().max(b.abs());
+        let exact = sensitivity(&model, Algorithm::Alg1Ext).unwrap();
+        let fd = sensitivity_fd(&model, Algorithm::Alg1Ext).unwrap();
+        let r_count = model.num_classes();
+        for s in 0..r_count {
+            for r in 0..r_count {
+                prop_assert!(
+                    fd_close(exact.nonblocking_by_rho[r][s], fd.nonblocking_by_rho[r][s]),
+                    "dB_{r}/drho_{s}: exact {} vs fd {}",
+                    exact.nonblocking_by_rho[r][s], fd.nonblocking_by_rho[r][s]
+                );
+                prop_assert!(
+                    fd_close(exact.concurrency_by_rho[r][s], fd.concurrency_by_rho[r][s]),
+                    "dE_{r}/drho_{s}: exact {} vs fd {}",
+                    exact.concurrency_by_rho[r][s], fd.concurrency_by_rho[r][s]
+                );
+            }
+            prop_assert!(
+                fd_close(exact.revenue_by_rho[s], fd.revenue_by_rho[s]),
+                "dW/drho_{s}: exact {} vs fd {}",
+                exact.revenue_by_rho[s], fd.revenue_by_rho[s]
+            );
+            prop_assert!(
+                fd_close(exact.revenue_by_beta[s], fd.revenue_by_beta[s]),
+                "dW/dbeta_{s}: exact {} vs fd {}",
+                exact.revenue_by_beta[s], fd.revenue_by_beta[s]
             );
         }
     }
