@@ -67,6 +67,20 @@ pub enum AdmissionError {
         /// Classes in the model.
         want: usize,
     },
+    /// A restored occupancy vector of the wrong arity.
+    StateArity {
+        /// Classes in the restored state.
+        got: usize,
+        /// Classes in the model.
+        want: usize,
+    },
+    /// A restored occupancy vector whose port usage exceeds capacity.
+    StateOverCapacity {
+        /// Restored port occupancy `k·A`.
+        ka: u64,
+        /// Connection-slot capacity `min(N1, N2)`.
+        cap: u32,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -86,6 +100,18 @@ impl std::fmt::Display for AdmissionError {
                 write!(
                     f,
                     "policy needs one threshold per class: got {got}, want {want}"
+                )
+            }
+            AdmissionError::StateArity { got, want } => {
+                write!(
+                    f,
+                    "restored state needs one occupancy per class: got {got}, want {want}"
+                )
+            }
+            AdmissionError::StateOverCapacity { ka, cap } => {
+                write!(
+                    f,
+                    "restored state occupies {ka} ports but capacity is {cap}"
                 )
             }
         }
@@ -143,7 +169,7 @@ pub struct ClassStats {
 }
 
 /// Whole-engine counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Events processed (arrivals, external blocks and departures).
     pub events: u64,
@@ -151,6 +177,14 @@ pub struct EngineStats {
     pub departures: u64,
     /// Times the engine re-anchored from the solve cache.
     pub re_anchors: u64,
+    /// Times a non-finite incremental delta forced an exact snap-back
+    /// recomputation of the log-weight (λ = 0 transitions, propagated
+    /// non-finite state). Silent before PR 6; see `admission.reanchor.*`.
+    pub snap_backs: u64,
+    /// Re-anchor attempts that failed (anchor solve or policy resolution
+    /// error) — the engine surfaces the error but also counts it, so a
+    /// supervisor can watch the failure rate without parsing errors.
+    pub re_anchor_failures: u64,
     /// Per-class decision split.
     pub per_class: Vec<ClassStats>,
 }
@@ -175,6 +209,25 @@ impl EngineStats {
     pub fn denied_policy(&self) -> u64 {
         self.per_class.iter().map(|c| c.denied_policy).sum()
     }
+}
+
+/// A portable capture of everything an [`AdmissionEngine`] accumulates at
+/// runtime — the occupancy vector, the incremental log-weight (bit-exact),
+/// and the decision counters. Everything *else* an engine holds (anchor
+/// solution, thresholds, capacities) is a pure function of the model and
+/// [`EngineConfig`], so `new` + [`AdmissionEngine::restore_state`]
+/// reconstructs an engine that behaves identically to the captured one —
+/// the durability contract `xbar-serve` snapshots rely on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineState {
+    /// Occupancy vector `k` (one entry per class).
+    pub k: Vec<u32>,
+    /// The incrementally maintained `ln(π(k)/π(0))`, bit-exact: restoring
+    /// it (rather than recomputing) reproduces the original engine's
+    /// subsequent drift checks event-for-event.
+    pub log_weight: f64,
+    /// Decision and event counters.
+    pub stats: EngineStats,
 }
 
 /// The online admission-control engine. See the crate docs for the
@@ -328,6 +381,7 @@ impl AdmissionEngine {
         } else {
             // λ = 0 transitions land in zero-probability states
             // (ln π = −∞); resolve exactly rather than propagating NaN.
+            self.stats.snap_backs += 1;
             self.log_weight = self.exact_log_weight();
         }
     }
@@ -339,6 +393,7 @@ impl AdmissionEngine {
         if d.is_finite() && self.log_weight.is_finite() {
             self.log_weight -= d;
         } else {
+            self.stats.snap_backs += 1;
             self.log_weight = self.exact_log_weight();
         }
     }
@@ -360,17 +415,41 @@ impl AdmissionEngine {
     }
 
     /// Reset the incremental state from an exact recomputation and
-    /// refresh the analytic anchor through the solve cache.
+    /// refresh the analytic anchor through the solve cache. Failures
+    /// (anchor solve, policy resolution) are returned *and* counted in
+    /// [`EngineStats::re_anchor_failures`], so a supervisor watching the
+    /// counters sees the failure rate without parsing errors.
     pub fn re_anchor(&mut self) -> Result<(), AdmissionError> {
-        self.anchor =
-            solve_cached(&self.model, self.cfg.algorithm).map_err(AdmissionError::Solve)?;
-        self.thresholds =
-            self.cfg
-                .policy
-                .thresholds(&self.model, self.cfg.algorithm, &self.anchor)?;
+        let refreshed = solve_cached(&self.model, self.cfg.algorithm)
+            .map_err(AdmissionError::Solve)
+            .and_then(|anchor| {
+                self.cfg
+                    .policy
+                    .thresholds(&self.model, self.cfg.algorithm, &anchor)
+                    .map(|thresholds| (anchor, thresholds))
+            });
+        match refreshed {
+            Ok((anchor, thresholds)) => {
+                self.anchor = anchor;
+                self.thresholds = thresholds;
+                self.log_weight = self.exact_log_weight();
+                self.stats.re_anchors += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.re_anchor_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Reset only the incremental log-weight from an exact recomputation,
+    /// *without* refreshing the analytic anchor. This is the cheap
+    /// degraded-mode fallback a deadline-bound supervisor uses when a full
+    /// [`AdmissionEngine::re_anchor`] has blown its latency budget: drift
+    /// is corrected, the (stale) anchor keeps serving.
+    pub fn reset_weight(&mut self) {
         self.log_weight = self.exact_log_weight();
-        self.stats.re_anchors += 1;
-        Ok(())
     }
 
     /// `ln(π(k)/π(0))` recomputed from scratch (`O(k·A + Σ_r k_r)`):
@@ -447,6 +526,45 @@ impl AdmissionEngine {
         &self.stats
     }
 
+    /// Capture the engine's runtime state for durable snapshots.
+    pub fn export_state(&self) -> EngineState {
+        EngineState {
+            k: self.k.clone(),
+            log_weight: self.log_weight,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restore a previously [exported](AdmissionEngine::export_state)
+    /// runtime state into this engine (built with the *same* model and
+    /// config). The occupancy vector is validated against the model —
+    /// wrong arity or over-capacity port usage is a typed error and leaves
+    /// the engine untouched. The log-weight is restored bit-exactly, not
+    /// recomputed, so replaying the same events afterwards reproduces the
+    /// original run's drift checks and counters exactly.
+    pub fn restore_state(&mut self, state: &EngineState) -> Result<(), AdmissionError> {
+        if state.k.len() != self.k.len() || state.stats.per_class.len() != self.k.len() {
+            return Err(AdmissionError::StateArity {
+                got: state.k.len(),
+                want: self.k.len(),
+            });
+        }
+        let ka: u64 = state
+            .k
+            .iter()
+            .zip(&self.bw)
+            .map(|(&k, &a)| k as u64 * a as u64)
+            .sum();
+        if ka > self.cap as u64 {
+            return Err(AdmissionError::StateOverCapacity { ka, cap: self.cap });
+        }
+        self.k = state.k.clone();
+        self.ka = ka as u32;
+        self.log_weight = state.log_weight;
+        self.stats = state.stats.clone();
+        Ok(())
+    }
+
     /// Flush the decision counters into the active observability sink
     /// (aggregate totals plus the per-class admit/deny split). Call once
     /// per run, like the simulator does — the hot path stays untouched.
@@ -461,6 +579,9 @@ impl AdmissionEngine {
         xbar_obs::add("admission.denied.policy", self.stats.denied_policy());
         xbar_obs::add("admission.departures", self.stats.departures);
         xbar_obs::add("admission.reanchors", self.stats.re_anchors);
+        xbar_obs::add("admission.reanchor.count", self.stats.re_anchors);
+        xbar_obs::add("admission.reanchor.snap_backs", self.stats.snap_backs);
+        xbar_obs::add("admission.reanchor.failures", self.stats.re_anchor_failures);
         for (r, c) in self.stats.per_class.iter().enumerate() {
             xbar_obs::add(&format!("admission.admit.class{r}"), c.admitted);
             xbar_obs::add(
@@ -677,6 +798,96 @@ mod tests {
             e.depart(0).unwrap();
         }
         assert!(e.log_weight().abs() < 1e-10, "{}", e.log_weight());
+    }
+
+    #[test]
+    fn export_restore_round_trips_bit_exactly() {
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        for i in 0..7u32 {
+            let class = (i % 2) as usize;
+            if e.decide(class).unwrap() == Decision::Admit {
+                e.offer(class).unwrap();
+            }
+        }
+        e.depart(0).unwrap();
+        let state = e.export_state();
+        // Restore into a fresh engine and drive both through the same
+        // suffix: decisions, counters and the weight must stay identical.
+        let mut f = engine(&m, PolicySpec::CompleteSharing);
+        f.restore_state(&state).unwrap();
+        assert_eq!(f.state(), e.state());
+        assert_eq!(f.occupancy(), e.occupancy());
+        assert_eq!(f.log_weight().to_bits(), e.log_weight().to_bits());
+        assert_eq!(f.stats(), e.stats());
+        for i in 0..20u32 {
+            let class = (i % 2) as usize;
+            assert_eq!(e.decide(class).unwrap(), f.decide(class).unwrap());
+            if e.decide(class).unwrap() == Decision::Admit {
+                e.offer(class).unwrap();
+                f.offer(class).unwrap();
+            } else if e.state()[class] > 0 {
+                e.depart(class).unwrap();
+                f.depart(class).unwrap();
+            }
+        }
+        assert_eq!(f.log_weight().to_bits(), e.log_weight().to_bits());
+        assert_eq!(f.stats(), e.stats());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_arity_and_over_capacity() {
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        let mut bad = e.export_state();
+        bad.k = vec![0; 3];
+        bad.stats.per_class = vec![ClassStats::default(); 3];
+        assert_eq!(
+            e.restore_state(&bad),
+            Err(AdmissionError::StateArity { got: 3, want: 2 })
+        );
+        let mut over = e.export_state();
+        over.k = vec![9, 0]; // 9 ports > cap 5
+        assert_eq!(
+            e.restore_state(&over),
+            Err(AdmissionError::StateOverCapacity { ka: 9, cap: 5 })
+        );
+        // Failed restores leave the engine untouched.
+        assert_eq!(e.state(), &[0, 0]);
+    }
+
+    #[test]
+    fn snap_backs_are_counted_not_silent() {
+        // Model validation keeps λ positive inside the lattice, so the
+        // non-finite guard's reachable trigger is a poisoned *weight* —
+        // e.g. a corrupted snapshot restored into a healthy engine. The
+        // next event must snap back to the exact recomputation (healing
+        // the state) and count it instead of doing so silently.
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        e.offer(0).unwrap();
+        let mut poisoned = e.export_state();
+        poisoned.log_weight = f64::NAN;
+        e.restore_state(&poisoned).unwrap();
+        assert_eq!(e.stats().snap_backs, 0);
+        assert_eq!(e.offer(0).unwrap(), Decision::Admit);
+        assert_eq!(e.stats().snap_backs, 1, "snap-back not counted");
+        assert_eq!(e.log_weight(), e.exact_log_weight());
+        // Healed: subsequent events are finite and do not snap back again.
+        e.offer(1).unwrap();
+        assert_eq!(e.stats().snap_backs, 1);
+    }
+
+    #[test]
+    fn reset_weight_corrects_drift_without_touching_the_anchor() {
+        let m = two_class_model();
+        let mut e = engine(&m, PolicySpec::CompleteSharing);
+        e.offer(0).unwrap();
+        e.offer(1).unwrap();
+        let anchors_before = e.stats().re_anchors;
+        e.reset_weight();
+        assert_eq!(e.log_weight(), e.exact_log_weight());
+        assert_eq!(e.stats().re_anchors, anchors_before, "anchor refreshed");
     }
 
     #[test]

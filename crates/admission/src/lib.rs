@@ -40,7 +40,7 @@ pub mod engine;
 pub mod policy;
 
 pub use engine::{
-    AdmissionEngine, AdmissionError, ClassStats, Decision, DenyReason, EngineConfig, EngineStats,
-    Event,
+    AdmissionEngine, AdmissionError, ClassStats, Decision, DenyReason, EngineConfig, EngineState,
+    EngineStats, Event,
 };
 pub use policy::PolicySpec;

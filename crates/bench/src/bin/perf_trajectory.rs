@@ -1,12 +1,14 @@
 //! Machine-readable perf trajectory: times the hot solve path at the
-//! paper's benchmark sizes and writes `BENCH_5.json` (median ns per bench,
+//! paper's benchmark sizes and writes `BENCH_6.json` (median ns per bench,
 //! switch size, backend, thread count) so the speedup story is trackable
 //! across PRs without parsing Criterion's console output. Since PR 4 it
 //! also times the admission-engine replay loop (events/sec is
 //! `1e9 * EVENTS / median_ns`); since PR 5 it times the incremental
 //! sweep solver against fresh full solves (`sweep/fig2-points-per-sec`,
 //! the headline per-point speedup) and the exact analytic sensitivity
-//! against its finite-difference oracle (`sensitivity/exact-vs-fd`).
+//! against its finite-difference oracle (`sensitivity/exact-vs-fd`);
+//! since PR 6 it times the serve daemon's sustained ingest throughput
+//! over a 100-tenant WAL-durable fleet (`serve/ingest`, events/sec).
 //!
 //! Timed runs execute with metrics off — the medians must stay comparable
 //! with earlier `BENCH_N.json` files, and the obs layer's disabled-mode
@@ -181,6 +183,70 @@ fn time_sensitivity(n: u32, threads: usize, runs: usize) -> Vec<BenchRecord> {
     vec![record("exact", exact_median), record("fd", fd_median)]
 }
 
+/// Time the serve daemon's sustained ingest rate over a WAL-durable
+/// fleet of `tenants` tenants: parse + dedupe + engine decision + durable
+/// append for every line, snapshots on cadence, queues unbounded (the
+/// bench measures the absorb path, not shedding). Each run starts from a
+/// fresh data directory so recovery cost is not mixed into the medians.
+/// `events_per_sec = 1e9 * LINES / median_ns`.
+fn time_serve_ingest(tenants: usize, runs: usize) -> BenchRecord {
+    const LINES: usize = 50_000;
+    let model = Model::new(
+        Dims::square(16),
+        Workload::new()
+            .with(TrafficClass::poisson(0.15).with_weight(1.0))
+            .with(TrafficClass::bpp(0.1, 0.05, 1.0).with_weight(0.1)),
+    )
+    .expect("valid model");
+    let lines = xbar_serve::chaos::StreamPlan {
+        seed: 6,
+        tenants,
+        classes: 2,
+        lines: LINES,
+        malformed_p: 0.0,
+        ..xbar_serve::chaos::StreamPlan::default()
+    }
+    .generate_lines();
+    let base = std::env::temp_dir().join(format!("xbar_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut round = 0u32;
+    let median = median_ns(runs, || {
+        round += 1;
+        let dir = base.join(format!("r{round}"));
+        let (mut daemon, _) = xbar_serve::Daemon::open(
+            &dir,
+            &model,
+            xbar_serve::DaemonConfig {
+                tenant: xbar_serve::TenantConfig {
+                    snapshot_interval: 4096,
+                    ..xbar_serve::TenantConfig::default()
+                },
+                ..xbar_serve::DaemonConfig::default()
+            },
+        )
+        .expect("daemon opens");
+        for line in &lines {
+            daemon.ingest_line(line).expect("ingest");
+        }
+        std::hint::black_box(daemon.drain().expect("drain"));
+        let acc = daemon.accounting();
+        assert!(acc.holds(), "bench run broke the accounting invariant");
+    });
+    let _ = std::fs::remove_dir_all(&base);
+    let events_per_sec = 1e9 * LINES as f64 / median as f64;
+    println!(
+        "  serve        tenants={tenants:<4} threads=1  median {median} ns \
+         ({events_per_sec:.0} events/s durable)"
+    );
+    BenchRecord {
+        name: format!("serve/ingest50k/{tenants}tenants/t1"),
+        n: 16,
+        backend: "serve".to_string(),
+        threads: 1,
+        median_ns: median,
+    }
+}
+
 /// One instrumented reference pass: solve the Table 2 fixture resiliently
 /// under a scoped registry and return the snapshot JSON. Scoped (not
 /// global) so it cannot leak recording into the timed runs.
@@ -200,7 +266,7 @@ fn obs_reference_snapshot() -> String {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let auto = parallel::effective_threads();
     println!("perf_trajectory: auto thread count = {auto}");
 
@@ -246,13 +312,16 @@ fn main() {
         15,
     ));
 
+    // PR 6: the serve daemon's durable multi-tenant ingest path.
+    records.push(time_serve_ingest(100, 5));
+
     let report = BenchReport {
-        pr: 5,
+        pr: 6,
         host_threads: auto,
         records,
         obs_snapshot: Some(obs_reference_snapshot()),
     };
     let json = report.to_json();
-    std::fs::write(&out_path, &json).expect("write BENCH_5.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_6.json");
     println!("wrote {out_path}");
 }

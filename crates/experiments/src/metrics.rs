@@ -39,6 +39,16 @@ pub fn summary() -> String {
             snap.counter("cache.evictions").unwrap_or(0),
         );
     }
+    let re_anchors = snap.counter("admission.reanchor.count").unwrap_or(0);
+    let snap_backs = snap.counter("admission.reanchor.snap_backs").unwrap_or(0);
+    let re_anchor_failures = snap.counter("admission.reanchor.failures").unwrap_or(0);
+    if re_anchors + snap_backs + re_anchor_failures > 0 {
+        let _ = writeln!(
+            s,
+            "admission re-anchors: {re_anchors} ({re_anchor_failures} failed), \
+             {snap_backs} non-finite snap-backs",
+        );
+    }
     for (name, h) in &snap.histograms {
         if let Some(stage) = name.strip_prefix("span.") {
             let _ = writeln!(

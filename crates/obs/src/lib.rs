@@ -62,7 +62,9 @@ use std::time::{Duration, Instant};
 ///
 /// Bump when the JSON shape changes incompatibly; consumers (CI artifact
 /// checks, `BENCH_N.json` readers) match on it.
-pub const SNAPSHOT_SCHEMA: u32 = 1;
+///
+/// History: 1 = counters + histograms; 2 = adds the `"gauges"` object.
+pub const SNAPSHOT_SCHEMA: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Primitives
@@ -93,6 +95,39 @@ impl Counter {
     /// Fold another counter into this one (used by [`Registry::merge`]).
     pub fn merge(&self, other: &Counter) {
         self.add(other.get());
+    }
+}
+
+/// A last-writer-wins `u64` level (queue depths, stale-tenant counts):
+/// unlike a [`Counter`] it moves both ways, and a snapshot reports the
+/// *current* level, not an accumulation.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the current level.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Fold another gauge into this one (used by [`Registry::merge`]): the
+    /// merged level is the **max** of the two — merging per-thread or
+    /// per-shard registries should report the worst level seen, and max is
+    /// associative and commutative so merge order cannot matter.
+    pub fn merge(&self, other: &Gauge) {
+        self.value.fetch_max(other.get(), Ordering::Relaxed);
     }
 }
 
@@ -285,6 +320,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -309,6 +345,17 @@ impl Registry {
         c
     }
 
+    /// The gauge named `name`, created zeroed on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock(&self.gauges);
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
     /// The histogram named `name`, created empty on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = lock(&self.histograms);
@@ -328,6 +375,9 @@ impl Registry {
         for (name, c) in lock(&other.counters).iter() {
             self.counter(name).merge(c);
         }
+        for (name, g) in lock(&other.gauges).iter() {
+            self.gauge(name).merge(g);
+        }
         for (name, h) in lock(&other.histograms).iter() {
             self.histogram(name).merge(h);
         }
@@ -336,6 +386,7 @@ impl Registry {
     /// Reset every metric to zero (names are forgotten too).
     pub fn reset(&self) {
         lock(&self.counters).clear();
+        lock(&self.gauges).clear();
         lock(&self.histograms).clear();
     }
 
@@ -345,12 +396,17 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        let gauges = lock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
         let histograms = lock(&self.histograms)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -461,6 +517,13 @@ pub fn inc(name: &str) {
     add(name, 1);
 }
 
+/// Set gauge `name` to `value` in the current sink (no-op when disabled).
+pub fn set_gauge(name: &str, value: u64) {
+    if let Some(reg) = sink() {
+        reg.gauge(name).set(value);
+    }
+}
+
 /// Record `value` into histogram `name` (no-op when disabled).
 pub fn record(name: &str, value: f64) {
     if let Some(reg) = sink() {
@@ -540,6 +603,8 @@ impl HistogramSnapshot {
 pub struct Snapshot {
     /// `(name, value)` pairs, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, level)` pairs, sorted by name.
+    pub gauges: Vec<(String, u64)>,
     /// `(name, aggregates)` pairs, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
@@ -578,6 +643,11 @@ impl Snapshot {
             .map(|&(_, v)| v)
     }
 
+    /// Level of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
     /// Aggregates of histogram `name`, if present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms
@@ -611,6 +681,15 @@ impl Snapshot {
             s.push_str(&format!("\n    \"{}\": {value}{comma}", json_escape(name)));
         }
         if !self.counters.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("},\n");
+        s.push_str("  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 < self.gauges.len() { "," } else { "" };
+            s.push_str(&format!("\n    \"{}\": {value}{comma}", json_escape(name)));
+        }
+        if !self.gauges.is_empty() {
             s.push_str("\n  ");
         }
         s.push_str("},\n");
@@ -663,6 +742,13 @@ impl Snapshot {
                 .max()
                 .unwrap_or(0);
             for (name, value) in &self.counters {
+                s.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("gauges:\n");
+            let width = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
                 s.push_str(&format!("  {name:<width$}  {value}\n"));
             }
         }
@@ -721,6 +807,33 @@ mod tests {
         assert_eq!(snap.counter("a"), Some(3));
         assert_eq!(snap.histogram("h").map(|h| h.count), Some(1));
         assert_eq!(global().snapshot().counter("a"), None);
+    }
+
+    #[test]
+    fn gauges_are_last_writer_wins_and_merge_by_max() {
+        let reg = Arc::new(Registry::new());
+        {
+            let _g = scope(&reg);
+            set_gauge("depth", 5);
+            set_gauge("depth", 2); // moves down, unlike a counter
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("depth"), Some(2));
+        assert_eq!(snap.gauge("missing"), None);
+        // Merge takes the worst (max) level, in any order.
+        let a = Registry::new();
+        let b = Registry::new();
+        a.gauge("stale").set(1);
+        b.gauge("stale").set(4);
+        a.merge(&b);
+        assert_eq!(a.snapshot().gauge("stale"), Some(4));
+        // Serialisation: gauges appear in JSON and text renderings.
+        assert!(snap.to_json().contains("\"gauges\""));
+        assert!(snap.to_json().contains("\"depth\": 2"));
+        assert!(snap.to_text().contains("gauges:"));
+        // Disabled recording is a no-op.
+        set_gauge("nowhere", 9);
+        assert_eq!(global().snapshot().gauge("nowhere"), None);
     }
 
     #[test]

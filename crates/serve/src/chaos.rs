@@ -1,0 +1,275 @@
+//! Deterministic chaos plans for the fault-injection battery.
+//!
+//! Everything here is a pure function of a seed: the same
+//! [`StreamPlan`]/[`BurstPlan`] always generates the same protocol lines
+//! and the same fault schedule, so a chaos test that fails replays
+//! exactly from its seed. Three generators:
+//!
+//! - [`StreamPlan`] — a multi-tenant event stream with configurable rates
+//!   of invalid departures (semantic failures), malformed lines, and
+//!   clock-skewed batches. The generator tracks per-tenant in-flight
+//!   approximations so departures are valid except where the plan
+//!   *chooses* to inject an invalid one.
+//! - [`BurstPlan`] — port-failure bursts reusing the simulator's fault
+//!   layer ([`xbar_sim::faults`]): each sampled port failure tears down
+//!   the circuits holding it, which at the admission daemon appears as a
+//!   synchronized **departure burst**; each repair is followed by a
+//!   re-offered **arrival burst** (the retry wave after an outage).
+//! - [`FaultAction`] — the kill/corruption schedule: at which applied
+//!   event to kill the daemon, how many bytes to tear off a WAL tail, or
+//!   which byte to flip.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xbar_sim::faults::{FaultConfig, FaultLayer};
+
+/// A seeded multi-tenant stream generator.
+#[derive(Clone, Debug)]
+pub struct StreamPlan {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Number of tenants (`t0`, `t1`, ...).
+    pub tenants: usize,
+    /// Number of classes per tenant.
+    pub classes: usize,
+    /// Total protocol lines to generate.
+    pub lines: usize,
+    /// Probability a generated event is a departure (valid when the
+    /// tenant has calls in flight).
+    pub departure_p: f64,
+    /// Probability of an *invalid* departure injection (nothing in
+    /// flight, or an unknown class) — exercises durable rejection.
+    pub invalid_p: f64,
+    /// Probability of a malformed line.
+    pub malformed_p: f64,
+    /// Probability a timestamp runs backwards (clock-skewed batch).
+    pub skew_p: f64,
+}
+
+impl Default for StreamPlan {
+    fn default() -> Self {
+        StreamPlan {
+            seed: 0xC805,
+            tenants: 4,
+            classes: 2,
+            lines: 1000,
+            departure_p: 0.35,
+            invalid_p: 0.01,
+            malformed_p: 0.01,
+            skew_p: 0.02,
+        }
+    }
+}
+
+impl StreamPlan {
+    /// Generate the protocol lines. Deterministic in `self`.
+    ///
+    /// The in-flight tracker is an *upper bound* (it counts generated
+    /// arrivals, not admitted ones), so a nominally "valid" departure can
+    /// still be rejected by the engine when the matching arrival was
+    /// denied — which is exactly the kind of data a robust daemon must
+    /// absorb. Deliberately invalid departures and malformed lines are
+    /// injected on top at the configured rates.
+    pub fn generate_lines(&self) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut in_flight = vec![vec![0u64; self.classes]; self.tenants];
+        let mut clock = vec![0.0f64; self.tenants];
+        let mut out = Vec::with_capacity(self.lines);
+        for _ in 0..self.lines {
+            let tenant = rng.gen_range(0..self.tenants);
+            if rng.gen_bool(self.malformed_p) {
+                out.push(match rng.gen_range(0..4u32) {
+                    0 => format!("t{tenant} x 0"),
+                    1 => format!("t{tenant} a"),
+                    2 => format!("t{tenant} a zero"),
+                    _ => "%%garbage%%".to_string(),
+                });
+                continue;
+            }
+            clock[tenant] += 0.01;
+            let t = if rng.gen_bool(self.skew_p) {
+                // A batch stamped before the tenant's high-water mark.
+                (clock[tenant] - 1.0).max(0.0)
+            } else {
+                clock[tenant]
+            };
+            if rng.gen_bool(self.invalid_p) {
+                // Unknown class or impossible departure.
+                if rng.gen_bool(0.5) {
+                    out.push(format!("t{tenant} a {} @{t}", self.classes + 7));
+                } else {
+                    out.push(format!(
+                        "t{tenant} d {} @{t}",
+                        rng.gen_range(0..self.classes)
+                    ));
+                }
+                continue;
+            }
+            let class = rng.gen_range(0..self.classes);
+            let departures_possible = in_flight[tenant][class] > 0;
+            if departures_possible && rng.gen_bool(self.departure_p) {
+                in_flight[tenant][class] -= 1;
+                out.push(format!("t{tenant} d {class} @{t}"));
+            } else {
+                in_flight[tenant][class] += 1;
+                out.push(format!("t{tenant} a {class} @{t}"));
+            }
+        }
+        out
+    }
+}
+
+/// A port-failure burst schedule derived from the simulator's fault
+/// layer. Failures tear down the circuits that held the failed port
+/// (departure bursts); repairs trigger retry waves (arrival bursts).
+#[derive(Clone, Debug)]
+pub struct BurstPlan {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Mean time between failures per port (drives the fault layer).
+    pub mtbf: f64,
+    /// Mean time to repair per port.
+    pub mttr: f64,
+    /// Switch geometry the fault process runs over.
+    pub n1: u32,
+    /// Output ports.
+    pub n2: u32,
+    /// Fault transitions to sample.
+    pub transitions: usize,
+    /// Tenant the bursts land on.
+    pub tenant: usize,
+    /// Events per burst.
+    pub burst: usize,
+    /// Classes in the tenant's model.
+    pub classes: usize,
+}
+
+impl BurstPlan {
+    /// Generate the burst lines by sampling the simulator's fault
+    /// process: each failure emits a departure burst, each repair an
+    /// arrival burst. Deterministic in `self`.
+    pub fn generate_lines(&self) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cfg = FaultConfig::from_mtbf_mttr(self.mtbf, self.mttr);
+        let mut layer = FaultLayer::new(cfg, self.n1, self.n2);
+        let mut out = Vec::new();
+        let mut clock = 0.0f64;
+        for _ in 0..self.transitions {
+            if layer.transition_rate() <= 0.0 {
+                break;
+            }
+            let transition = layer.sample_transition(&mut rng);
+            clock += 1.0;
+            let class = rng.gen_range(0..self.classes);
+            let op = if transition.is_failure { "d" } else { "a" };
+            for i in 0..self.burst {
+                out.push(format!(
+                    "t{} {op} {class} @{}",
+                    self.tenant,
+                    clock + i as f64 * 1e-6
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// One scheduled fault against the daemon or its durable files.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Abort the process after exactly this many applied events
+    /// (wire into [`crate::daemon::DaemonConfig::kill_after`]).
+    KillAfter(u64),
+    /// Tear this many bytes off the end of a tenant's WAL (torn write).
+    TruncateWalTail(u64),
+    /// XOR a WAL byte at this offset-from-end with `0xFF` (bit rot).
+    CorruptWalByte(u64),
+}
+
+/// A seeded schedule of fault actions for a multi-round chaos run.
+pub fn fault_schedule(seed: u64, rounds: usize, events_per_round: u64) -> Vec<FaultAction> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+    (0..rounds)
+        .map(|_| match rng.gen_range(0..3u32) {
+            0 => FaultAction::KillAfter(rng.gen_range(1..events_per_round.max(2))),
+            1 => FaultAction::TruncateWalTail(rng.gen_range(1..64u64)),
+            _ => FaultAction::CorruptWalByte(rng.gen_range(0..256u64)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_plan_is_deterministic_in_its_seed() {
+        let plan = StreamPlan::default();
+        assert_eq!(plan.generate_lines(), plan.generate_lines());
+        let other = StreamPlan {
+            seed: 99,
+            ..StreamPlan::default()
+        };
+        assert_ne!(plan.generate_lines(), other.generate_lines());
+    }
+
+    #[test]
+    fn stream_plan_injects_each_fault_kind() {
+        let plan = StreamPlan {
+            lines: 5000,
+            ..StreamPlan::default()
+        };
+        let lines = plan.generate_lines();
+        assert_eq!(lines.len(), 5000);
+        let malformed = lines
+            .iter()
+            .filter(|l| crate::daemon::parse_line(l).is_err())
+            .count();
+        assert!(malformed > 0, "malformed lines present");
+        let unknown_class = lines
+            .iter()
+            .filter(|l| l.split_whitespace().nth(2) == Some("9"))
+            .count();
+        assert!(unknown_class > 0, "unknown-class injections present");
+    }
+
+    #[test]
+    fn burst_plan_reuses_the_sim_fault_layer_deterministically() {
+        let plan = BurstPlan {
+            seed: 7,
+            mtbf: 10.0,
+            mttr: 2.0,
+            n1: 8,
+            n2: 8,
+            transitions: 20,
+            tenant: 0,
+            burst: 5,
+            classes: 2,
+        };
+        let lines = plan.generate_lines();
+        assert_eq!(lines, plan.generate_lines());
+        assert_eq!(lines.len(), 20 * 5);
+        // Bursts contain both failure (departure) and repair (arrival)
+        // waves over 20 transitions of a fast-failing process.
+        assert!(lines.iter().any(|l| l.contains(" d ")));
+        assert!(lines.iter().any(|l| l.contains(" a ")));
+        // Every generated line parses (bursts are protocol-valid; the
+        // *semantic* invalidity of departing more than is in flight is the
+        // point).
+        for l in &lines {
+            assert!(crate::daemon::parse_line(l).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_varied() {
+        let s = fault_schedule(1, 50, 1000);
+        assert_eq!(s, fault_schedule(1, 50, 1000));
+        assert_ne!(s, fault_schedule(2, 50, 1000));
+        let kills = s
+            .iter()
+            .filter(|a| matches!(a, FaultAction::KillAfter(_)))
+            .count();
+        assert!(kills > 0 && kills < 50, "mix of fault kinds");
+    }
+}

@@ -1,0 +1,633 @@
+//! The multi-tenant daemon: line-protocol ingest, bounded per-tenant
+//! queues with durable load shedding, the apply pump, and the fleet-wide
+//! accounting that the exit-6 metrics invariant checks.
+//!
+//! # Line protocol
+//!
+//! One event per line:
+//!
+//! ```text
+//! <tenant> a|d <class> [@<t>]
+//! ```
+//!
+//! `a` = arrival, `d` = departure, `<class>` a 0-based class index,
+//! `@<t>` an optional monotone batch timestamp — a line whose `t` runs
+//! *backwards* within its tenant's stream is flagged clock-skewed (it is
+//! still applied; the skew is counted durably so operators see upstream
+//! batchers misbehaving). Blank lines and `#` comments are skipped.
+//! Every raw line — including blanks, comments, and malformed input —
+//! consumes one sequence number, so sequence numbers are stable across
+//! re-reads of the same file and crash-resume deduplication works by
+//! construction.
+//!
+//! # Degradation
+//!
+//! Each tenant has a bounded ingest queue. When it is full the event is
+//! **shed, durably**: a `Shed` WAL record is appended and the arrival is
+//! counted as an offer denied for overload — so
+//! `offers = admitted + denied(capacity) + denied(policy) + shed` holds
+//! exactly even while the daemon is drowning. Malformed lines cannot be
+//! attributed to a tenant reliably, so they are counted
+//! (`serve.malformed`) but not durable.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+
+use xbar_admission::Event;
+use xbar_core::Model;
+
+use crate::tenant::{Outcome, RecoveryReport, ServeCounters, Tenant, TenantConfig};
+use crate::ServeError;
+
+/// A parsed event, pre-queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParsedEvent {
+    /// The engine event.
+    pub event: Event,
+    /// Optional batch timestamp (`@t`).
+    pub t: Option<f64>,
+}
+
+/// A parsed protocol line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedLine {
+    /// Tenant name.
+    pub tenant: String,
+    /// The event.
+    pub event: ParsedEvent,
+}
+
+/// Parse one protocol line. `Ok(None)` = blank or comment;
+/// `Err` = malformed, with a reason.
+pub fn parse_line(raw: &str) -> Result<Option<ParsedLine>, String> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let tenant = parts.next().ok_or("missing tenant")?.to_string();
+    if !tenant
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(format!("bad tenant name '{tenant}'"));
+    }
+    let op = parts.next().ok_or("missing op (a|d)")?;
+    let class_s = parts.next().ok_or("missing class index")?;
+    let class: usize = class_s
+        .parse()
+        .map_err(|_| format!("bad class index '{class_s}'"))?;
+    if class > u16::MAX as usize {
+        return Err(format!("class index {class} out of range"));
+    }
+    let mut t = None;
+    if let Some(tok) = parts.next() {
+        let ts = tok
+            .strip_prefix('@')
+            .ok_or_else(|| format!("unexpected token '{tok}'"))?;
+        let v: f64 = ts.parse().map_err(|_| format!("bad timestamp '{ts}'"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite timestamp '{ts}'"));
+        }
+        t = Some(v);
+    }
+    if let Some(extra) = parts.next() {
+        return Err(format!("trailing token '{extra}'"));
+    }
+    let event = match op {
+        "a" => Event::Arrival { class },
+        "d" => Event::Departure { class },
+        _ => return Err(format!("bad op '{op}' (expected a|d)")),
+    };
+    Ok(Some(ParsedLine {
+        tenant,
+        event: ParsedEvent { event, t },
+    }))
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Per-tenant supervision config.
+    pub tenant: TenantConfig,
+    /// Per-tenant ingest queue bound (0 = unbounded; overflow sheds
+    /// durably).
+    pub queue_cap: usize,
+    /// Events applied per [`Daemon::pump`] call from the file/socket
+    /// runtime (`u64::MAX` = keep up with ingest synchronously).
+    pub pump_budget: u64,
+    /// Chaos hook: `std::process::abort()` after exactly this many events
+    /// applied by this process — a deterministic `kill -9`.
+    pub kill_after: Option<u64>,
+    /// Honour restart backoffs with real sleeps (CLI mode). Tests leave
+    /// this off and read the recorded backoff total instead.
+    pub sleep_on_backoff: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            tenant: TenantConfig::default(),
+            queue_cap: 0,
+            pump_budget: u64::MAX,
+            kill_after: None,
+            sleep_on_backoff: false,
+        }
+    }
+}
+
+/// Fleet-level (non-durable) counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonCounters {
+    /// Raw lines ingested (including blanks/comments/malformed).
+    pub lines: u64,
+    /// Malformed lines (counted, not durable — no reliable tenant).
+    pub malformed: u64,
+    /// Events applied by the pump in this process's lifetime.
+    pub applied: u64,
+    /// Events skipped as duplicates of durable state (crash resume).
+    pub duplicates: u64,
+    /// Total restart backoff accumulated (nanoseconds), whether or not it
+    /// was slept.
+    pub backoff_ns: u64,
+}
+
+/// The fleet-wide accounting the exit-6 metrics invariant checks:
+/// `offers = admitted + denied_capacity + denied_policy + shed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Accounting {
+    /// Arrivals offered (engine offers + durable sheds).
+    pub offers: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals denied for capacity.
+    pub denied_capacity: u64,
+    /// Arrivals denied by policy.
+    pub denied_policy: u64,
+    /// Arrivals shed (overload or quarantine), durably recorded.
+    pub shed: u64,
+    /// Departures applied.
+    pub departures: u64,
+    /// Invalid events durably rejected (outside the offers identity).
+    pub rejected: u64,
+}
+
+impl Accounting {
+    /// Whether the offers identity holds exactly.
+    pub fn holds(&self) -> bool {
+        self.offers == self.admitted + self.denied_capacity + self.denied_policy + self.shed
+    }
+}
+
+struct Queued {
+    seq: u64,
+    event: Event,
+    skewed: bool,
+}
+
+/// The multi-tenant admission daemon.
+pub struct Daemon {
+    dir: PathBuf,
+    model: Model,
+    cfg: DaemonConfig,
+    tenants: BTreeMap<String, Tenant>,
+    queues: BTreeMap<String, VecDeque<Queued>>,
+    last_t: BTreeMap<String, f64>,
+    next_line: u64,
+    counters: DaemonCounters,
+}
+
+impl Daemon {
+    /// Open a daemon over `dir`, recovering every tenant that left durable
+    /// state there (`<tenant>.wal`). Returns per-tenant recovery reports.
+    pub fn open(
+        dir: &Path,
+        model: &Model,
+        cfg: DaemonConfig,
+    ) -> Result<(Daemon, Vec<(String, RecoveryReport)>), ServeError> {
+        std::fs::create_dir_all(dir).map_err(|e| ServeError::io(dir, &e))?;
+        let mut daemon = Daemon {
+            dir: dir.to_path_buf(),
+            model: model.clone(),
+            cfg,
+            tenants: BTreeMap::new(),
+            queues: BTreeMap::new(),
+            last_t: BTreeMap::new(),
+            next_line: 0,
+            counters: DaemonCounters::default(),
+        };
+        let mut reports = Vec::new();
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| ServeError::io(dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| ServeError::io(dir, &e))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("wal") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        for name in names {
+            let report = daemon.open_tenant(&name)?;
+            reports.push((name, report));
+        }
+        Ok((daemon, reports))
+    }
+
+    fn open_tenant(&mut self, name: &str) -> Result<RecoveryReport, ServeError> {
+        let (tenant, report) = Tenant::open(name, &self.dir, &self.model, self.cfg.tenant.clone())?;
+        self.tenants.insert(name.to_string(), tenant);
+        self.queues.insert(name.to_string(), VecDeque::new());
+        Ok(report)
+    }
+
+    /// Ingest one raw protocol line. The line consumes a sequence number
+    /// whatever it contains; valid events are enqueued (or durably shed on
+    /// overflow), malformed lines are counted.
+    pub fn ingest_line(&mut self, raw: &str) -> Result<(), ServeError> {
+        self.next_line += 1;
+        let seq = self.next_line;
+        self.counters.lines += 1;
+        let parsed = match parse_line(raw) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()),
+            Err(_) => {
+                self.counters.malformed += 1;
+                xbar_obs::inc("serve.malformed");
+                return Ok(());
+            }
+        };
+        if !self.tenants.contains_key(&parsed.tenant) {
+            self.open_tenant(&parsed.tenant)?;
+        }
+        // Clock-skew detection: a timestamp that runs backwards within the
+        // tenant's stream flags the event (last_t only advances).
+        let mut skewed = false;
+        if let Some(t) = parsed.event.t {
+            match self.last_t.get_mut(&parsed.tenant) {
+                Some(last) if t < *last => skewed = true,
+                Some(last) => *last = t,
+                None => {
+                    self.last_t.insert(parsed.tenant.clone(), t);
+                }
+            }
+        }
+        let tenant = self
+            .tenants
+            .get_mut(&parsed.tenant)
+            .expect("tenant opened above");
+        // Crash-resume dedupe: durable before this process started — skip
+        // before it costs queue space.
+        if seq <= tenant.resume_seq() {
+            self.counters.duplicates += 1;
+            return Ok(());
+        }
+        let queue = self
+            .queues
+            .get_mut(&parsed.tenant)
+            .expect("queue exists with tenant");
+        if self.cfg.queue_cap > 0 && queue.len() >= self.cfg.queue_cap {
+            // Bounded queue full: deny-with-reason, durably. Departures
+            // are never shed (dropping one would wedge the occupancy
+            // vector forever); they get rejected durably instead.
+            let class = match parsed.event.event {
+                Event::Arrival { class } | Event::Departure { class } => class,
+            };
+            match parsed.event.event {
+                Event::Arrival { .. } => {
+                    tenant.shed(seq, class as u16, skewed)?;
+                    xbar_obs::inc("serve.shed");
+                }
+                Event::Departure { .. } => {
+                    queue.push_back(Queued {
+                        seq,
+                        event: parsed.event.event,
+                        skewed,
+                    });
+                }
+            }
+            return Ok(());
+        }
+        queue.push_back(Queued {
+            seq,
+            event: parsed.event.event,
+            skewed,
+        });
+        Ok(())
+    }
+
+    /// Apply up to `budget` queued events, round-robin across tenants.
+    /// Returns how many were applied. Honours the chaos `kill_after` hook
+    /// and per-tenant restart backoffs.
+    pub fn pump(&mut self, budget: u64) -> Result<u64, ServeError> {
+        let mut applied = 0u64;
+        while applied < budget {
+            let mut progressed = false;
+            for (name, queue) in self.queues.iter_mut() {
+                if applied >= budget {
+                    break;
+                }
+                let Some(q) = queue.pop_front() else { continue };
+                let tenant = self.tenants.get_mut(name).expect("tenant exists");
+                let outcome = tenant.apply(q.seq, q.event, q.skewed)?;
+                if outcome == Outcome::Duplicate {
+                    self.counters.duplicates += 1;
+                } else {
+                    applied += 1;
+                    self.counters.applied += 1;
+                    if let Some(kill_after) = self.cfg.kill_after {
+                        if self.counters.applied >= kill_after {
+                            // Deterministic kill -9: no unwinding, no
+                            // drop glue, no flushes.
+                            std::process::abort();
+                        }
+                    }
+                }
+                if let Some(backoff) = tenant.take_backoff() {
+                    self.counters.backoff_ns += backoff.as_nanos() as u64;
+                    if self.cfg.sleep_on_backoff {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Apply everything queued.
+    pub fn drain(&mut self) -> Result<u64, ServeError> {
+        self.pump(u64::MAX)
+    }
+
+    /// Drain, snapshot, and sync every tenant (clean shutdown).
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.drain()?;
+        for tenant in self.tenants.values_mut() {
+            tenant.shutdown()?;
+        }
+        Ok(())
+    }
+
+    /// Fleet-wide accounting (sums every tenant).
+    pub fn accounting(&self) -> Accounting {
+        let mut acc = Accounting::default();
+        for t in self.tenants.values() {
+            let s = t.engine().stats();
+            acc.offers += t.offers();
+            acc.admitted += s.admitted();
+            acc.denied_capacity += s.denied_capacity();
+            acc.denied_policy += s.denied_policy();
+            acc.shed += t.counters().shed;
+            acc.departures += s.departures;
+            acc.rejected += t.counters().rejected;
+        }
+        acc
+    }
+
+    /// Sum of serve counters across tenants.
+    pub fn serve_counters(&self) -> ServeCounters {
+        let mut out = ServeCounters::default();
+        for t in self.tenants.values() {
+            let c = t.counters();
+            out.shed += c.shed;
+            out.rejected += c.rejected;
+            out.skewed += c.skewed;
+            out.restarts += c.restarts;
+            out.stale_reanchors += c.stale_reanchors;
+            out.snapshots += c.snapshots;
+        }
+        out
+    }
+
+    /// Number of quarantined tenants.
+    pub fn quarantined_tenants(&self) -> usize {
+        self.tenants.values().filter(|t| t.quarantined()).count()
+    }
+
+    /// Flush fleet counters into the active observability sink, including
+    /// the `serve.anchor_stale` gauge (tenants currently serving off a
+    /// stale anchor).
+    pub fn flush_obs(&self) {
+        if !xbar_obs::enabled() {
+            return;
+        }
+        let acc = self.accounting();
+        let c = self.serve_counters();
+        xbar_obs::add("serve.offers", acc.offers);
+        xbar_obs::add("serve.admitted", acc.admitted);
+        xbar_obs::add("serve.denied.capacity", acc.denied_capacity);
+        xbar_obs::add("serve.denied.policy", acc.denied_policy);
+        xbar_obs::add("serve.departures", acc.departures);
+        xbar_obs::add("serve.shed.total", c.shed);
+        xbar_obs::add("serve.rejected", c.rejected);
+        xbar_obs::add("serve.skewed", c.skewed);
+        xbar_obs::add("serve.restarts.total", c.restarts);
+        xbar_obs::add("serve.reanchor.stale.total", c.stale_reanchors);
+        xbar_obs::add("serve.snapshots", c.snapshots);
+        xbar_obs::add("serve.lines", self.counters.lines);
+        xbar_obs::add("serve.malformed.total", self.counters.malformed);
+        xbar_obs::add("serve.duplicates", self.counters.duplicates);
+        xbar_obs::add("serve.tenants", self.tenants.len() as u64);
+        xbar_obs::add("serve.quarantined", self.quarantined_tenants() as u64);
+        let stale = self.tenants.values().filter(|t| t.anchor_stale()).count();
+        xbar_obs::set_gauge("serve.anchor_stale", stale as u64);
+        for t in self.tenants.values() {
+            t.engine().flush_obs();
+        }
+    }
+
+    /// Fleet counters.
+    pub fn counters(&self) -> &DaemonCounters {
+        &self.counters
+    }
+
+    /// The configured per-line pump budget.
+    pub fn pump_budget(&self) -> u64 {
+        self.cfg.pump_budget
+    }
+
+    /// The tenants, by name (read access).
+    pub fn tenants(&self) -> impl Iterator<Item = (&String, &Tenant)> {
+        self.tenants.iter()
+    }
+
+    /// Look up one tenant.
+    pub fn tenant(&self, name: &str) -> Option<&Tenant> {
+        self.tenants.get(name)
+    }
+
+    /// Queued (not yet applied) events across all tenants.
+    pub fn queued(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// The durable-state directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_core::Dims;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn model() -> Model {
+        Model::new(
+            Dims::square(4),
+            Workload::new().with(TrafficClass::poisson(0.7)),
+        )
+        .unwrap()
+    }
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("xbar_daemon_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn parse_accepts_the_protocol_and_rejects_garbage() {
+        let p = parse_line("tenant-1 a 0 @1.5").unwrap().unwrap();
+        assert_eq!(p.tenant, "tenant-1");
+        assert_eq!(p.event.event, Event::Arrival { class: 0 });
+        assert_eq!(p.event.t, Some(1.5));
+        assert_eq!(
+            parse_line("t d 3").unwrap().unwrap().event.event,
+            Event::Departure { class: 3 }
+        );
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("  # comment").unwrap(), None);
+        for bad in [
+            "t x 0",
+            "t a",
+            "t a notanum",
+            "t a 0 extra",
+            "t a 0 @nan",
+            "t a 0 @inf",
+            "t a 99999999",
+            "bad/name a 0",
+            "t a 0 1.5", // timestamp without @
+        ] {
+            assert!(parse_line(bad).is_err(), "{bad:?} should be malformed");
+        }
+    }
+
+    #[test]
+    fn accounting_identity_holds_with_shedding() {
+        let d = dir("identity");
+        let m = model();
+        let cfg = DaemonConfig {
+            queue_cap: 4,
+            ..DaemonConfig::default()
+        };
+        let (mut daemon, _) = Daemon::open(&d, &m, cfg).unwrap();
+        // Burst far past the queue bound without pumping: overflow sheds.
+        for i in 0..50 {
+            daemon
+                .ingest_line(&format!("t1 a 0 @{}", i as f64))
+                .unwrap();
+        }
+        assert!(daemon.queued() <= 4);
+        daemon.drain().unwrap();
+        let acc = daemon.accounting();
+        assert_eq!(acc.offers, 50);
+        assert!(acc.shed >= 46, "everything past the bound shed durably");
+        assert!(acc.holds(), "offers identity: {acc:?}");
+    }
+
+    #[test]
+    fn departures_are_never_shed_by_the_bounded_queue() {
+        let d = dir("dep_not_shed");
+        let m = model();
+        let cfg = DaemonConfig {
+            queue_cap: 2,
+            ..DaemonConfig::default()
+        };
+        let (mut daemon, _) = Daemon::open(&d, &m, cfg).unwrap();
+        daemon.ingest_line("t1 a 0").unwrap();
+        daemon.ingest_line("t1 a 0").unwrap();
+        // Queue is now full; a departure must still be queued, an arrival
+        // must shed.
+        daemon.ingest_line("t1 d 0").unwrap();
+        daemon.ingest_line("t1 a 0").unwrap();
+        assert_eq!(daemon.queued(), 3);
+        daemon.drain().unwrap();
+        let acc = daemon.accounting();
+        assert_eq!(acc.shed, 1);
+        assert_eq!(acc.departures, 1);
+        assert!(acc.holds());
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_and_consume_sequence_numbers() {
+        let d = dir("malformed");
+        let m = model();
+        let (mut daemon, _) = Daemon::open(&d, &m, DaemonConfig::default()).unwrap();
+        daemon.ingest_line("t1 a 0").unwrap();
+        daemon.ingest_line("this is not the protocol").unwrap();
+        daemon.ingest_line("# a comment").unwrap();
+        daemon.ingest_line("t1 a 0").unwrap();
+        daemon.drain().unwrap();
+        assert_eq!(daemon.counters().malformed, 1);
+        assert_eq!(daemon.counters().lines, 4);
+        // Seq numbers 1 and 4 were used for the two valid events.
+        assert_eq!(daemon.tenant("t1").unwrap().durable_seq(), 4);
+    }
+
+    #[test]
+    fn clock_skew_is_flagged_per_tenant() {
+        let d = dir("skew");
+        let m = model();
+        let (mut daemon, _) = Daemon::open(&d, &m, DaemonConfig::default()).unwrap();
+        daemon.ingest_line("t1 a 0 @1.0").unwrap();
+        daemon.ingest_line("t1 a 0 @2.0").unwrap();
+        daemon.ingest_line("t1 a 0 @1.5").unwrap(); // backwards: skewed
+        daemon.ingest_line("t2 a 0 @0.5").unwrap(); // different tenant: fine
+        daemon.drain().unwrap();
+        assert_eq!(daemon.serve_counters().skewed, 1);
+    }
+
+    #[test]
+    fn reopen_resumes_and_deduplicates_the_same_stream() {
+        let d = dir("resume");
+        let m = model();
+        let lines: Vec<String> = (0..30)
+            .map(|i| {
+                if i % 3 == 2 {
+                    format!("t1 d 0 @{i}")
+                } else {
+                    format!("t1 a 0 @{i}")
+                }
+            })
+            .collect();
+        {
+            let (mut daemon, _) = Daemon::open(&d, &m, DaemonConfig::default()).unwrap();
+            for line in &lines[..20] {
+                daemon.ingest_line(line).unwrap();
+            }
+            daemon.drain().unwrap();
+            // Crash: no shutdown.
+        }
+        // Restart and re-feed the whole stream from the top, as a resumed
+        // tailer would: the durable prefix deduplicates, the tail applies.
+        let (mut daemon, reports) = Daemon::open(&d, &m, DaemonConfig::default()).unwrap();
+        assert_eq!(reports.len(), 1);
+        for line in &lines {
+            daemon.ingest_line(line).unwrap();
+        }
+        daemon.drain().unwrap();
+        assert_eq!(daemon.counters().duplicates, 20);
+        let acc = daemon.accounting();
+        assert_eq!(acc.offers + acc.departures + acc.rejected, 30);
+        assert!(acc.holds());
+    }
+}

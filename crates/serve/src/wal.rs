@@ -1,0 +1,406 @@
+//! The append-only event WAL.
+//!
+//! One WAL file per tenant records every event that *durably happened* to
+//! that tenant — applied arrivals and departures, load-shed arrivals, and
+//! rejected (semantically invalid) events — as CRC-framed fixed-layout
+//! records. The WAL, not the snapshot, is the source of truth: a snapshot
+//! only accelerates recovery by letting replay start mid-file, and a
+//! corrupt or missing snapshot degrades to a full-WAL replay with no data
+//! loss.
+//!
+//! # Frame format
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! payload = seq: u64 LE | kind: u8 | flags: u8 | class: u16 LE
+//! ```
+//!
+//! `crc32` is IEEE CRC-32 over the payload. A reader accepts frames until
+//! the first violation — short header, implausible length, short payload,
+//! or CRC mismatch — and reports the byte offset of the last good frame.
+//! [`Wal::open`] then **repairs** the file by truncating it there, so a
+//! `kill -9` mid-append (or a corrupted tail) costs at most the partially
+//! written suffix: every complete frame before it survives.
+//!
+//! Records are written in *apply order*: the engine applies an event
+//! first, then the WAL appends it. A crash between the two loses that one
+//! in-flight event (it was never durable), never corrupts state, and can
+//! never leave a poison record that re-fails on every recovery replay.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::ServeError;
+
+/// What a WAL record says happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// An arrival was offered to the engine (decision re-derivable by
+    /// replay: engine state is deterministic).
+    Arrival,
+    /// An admitted call completed.
+    Departure,
+    /// An arrival was load-shed (never reached the engine) — counted as a
+    /// denied-for-overload offer so accounting stays exact across crashes.
+    Shed,
+    /// A semantically invalid event (departure with nothing in progress,
+    /// unknown class) was rejected without touching the engine.
+    Rejected,
+}
+
+impl RecordKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            RecordKind::Arrival => 0,
+            RecordKind::Departure => 1,
+            RecordKind::Shed => 2,
+            RecordKind::Rejected => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => RecordKind::Arrival,
+            1 => RecordKind::Departure,
+            2 => RecordKind::Shed,
+            3 => RecordKind::Rejected,
+            _ => return None,
+        })
+    }
+}
+
+/// One durable event record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Global ingest sequence number (assigned by the daemon; strictly
+    /// increasing within a tenant's stream).
+    pub seq: u64,
+    /// What happened.
+    pub kind: RecordKind,
+    /// Class index (0 for [`RecordKind::Rejected`] records whose class
+    /// could not be parsed).
+    pub class: u16,
+    /// The event arrived in a clock-skewed batch (its timestamp ran
+    /// backwards); recorded durably so the skew counter survives crashes.
+    pub skewed: bool,
+}
+
+/// Payload bytes per record (fixed layout, see module docs).
+const PAYLOAD_LEN: usize = 12;
+/// Sanity bound on the frame length field: a larger value means the
+/// header itself is garbage (torn write), not a future format.
+const MAX_FRAME: u32 = 1024;
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), computed bitwise —
+/// WAL frames are tiny and this keeps the crate dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn encode_payload(rec: &WalRecord) -> [u8; PAYLOAD_LEN] {
+    let mut p = [0u8; PAYLOAD_LEN];
+    p[0..8].copy_from_slice(&rec.seq.to_le_bytes());
+    p[8] = rec.kind.to_byte();
+    p[9] = u8::from(rec.skewed);
+    p[10..12].copy_from_slice(&rec.class.to_le_bytes());
+    p
+}
+
+fn decode_payload(p: &[u8]) -> Option<WalRecord> {
+    if p.len() != PAYLOAD_LEN {
+        return None;
+    }
+    let seq = u64::from_le_bytes(p[0..8].try_into().ok()?);
+    let kind = RecordKind::from_byte(p[8])?;
+    let skewed = match p[9] {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let class = u16::from_le_bytes(p[10..12].try_into().ok()?);
+    Some(WalRecord {
+        seq,
+        kind,
+        class,
+        skewed,
+    })
+}
+
+/// Outcome of scanning a WAL file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Every record up to the first damaged frame, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix.
+    pub valid_bytes: u64,
+    /// `true` iff bytes past `valid_bytes` existed (truncated or corrupt
+    /// tail that [`Wal::open`] chops off).
+    pub damaged: bool,
+}
+
+/// Scan `path`, accepting frames until the first violation. A missing
+/// file recovers as empty and undamaged.
+pub fn recover(path: &Path) -> Result<WalRecovery, ServeError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalRecovery::default()),
+        Err(e) => return Err(ServeError::io(path, &e)),
+    };
+    let mut out = WalRecovery::default();
+    let mut at = 0usize;
+    while bytes.len() - at >= 8 {
+        let len = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        let crc = u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]);
+        if len > MAX_FRAME || bytes.len() - at - 8 < len as usize {
+            break;
+        }
+        let payload = &bytes[at + 8..at + 8 + len as usize];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(rec) = decode_payload(payload) else {
+            break;
+        };
+        out.records.push(rec);
+        at += 8 + len as usize;
+        out.valid_bytes = at as u64;
+    }
+    out.damaged = (at as u64) < bytes.len() as u64;
+    Ok(out)
+}
+
+/// An open, append-only WAL.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    records: u64,
+    appends_since_sync: u64,
+    /// `fsync` cadence: sync after every `sync_every` appends (0 = rely on
+    /// the OS page cache; process crashes still keep every write, only
+    /// whole-machine loss can drop the unsynced tail).
+    sync_every: u64,
+}
+
+impl Wal {
+    /// Recover `path` (truncating any damaged tail in place) and open it
+    /// for appending. Returns the WAL plus what survived.
+    pub fn open(path: &Path, sync_every: u64) -> Result<(Wal, WalRecovery), ServeError> {
+        let recovery = recover(path)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ServeError::io(path, &e))?;
+        if recovery.damaged {
+            // Repair: chop the torn tail so future scans are clean.
+            file.set_len(recovery.valid_bytes)
+                .map_err(|e| ServeError::io(path, &e))?;
+        }
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                len: recovery.valid_bytes,
+                records: recovery.records.len() as u64,
+                appends_since_sync: 0,
+                sync_every,
+            },
+            recovery,
+        ))
+    }
+
+    /// Append one record (frame + payload in a single `write_all`).
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), ServeError> {
+        let payload = encode_payload(rec);
+        let mut frame = [0u8; 8 + PAYLOAD_LEN];
+        frame[0..4].copy_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
+        frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        frame[8..].copy_from_slice(&payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| ServeError::io(&self.path, &e))?;
+        self.len += frame.len() as u64;
+        self.records += 1;
+        self.appends_since_sync += 1;
+        if self.sync_every > 0 && self.appends_since_sync >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force the file to stable storage.
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.appends_since_sync = 0;
+        self.file
+            .sync_data()
+            .map_err(|e| ServeError::io(&self.path, &e))
+    }
+
+    /// Bytes of valid WAL currently on disk.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Records on disk (recovered + appended) — the position snapshots
+    /// store so recovery replays by file position, not by sequence number
+    /// (durable appends need not be in sequence order: overflow sheds for
+    /// late events land before earlier queued events are applied).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// `true` iff no record has ever been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The file path this WAL appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-read the whole file (tests and audits; not on any hot path).
+    pub fn read_all(&self) -> Result<Vec<u8>, ServeError> {
+        let mut f = File::open(&self.path).map_err(|e| ServeError::io(&self.path, &e))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)
+            .map_err(|e| ServeError::io(&self.path, &e))?;
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xbar_wal_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.wal")
+    }
+
+    fn rec(seq: u64, kind: RecordKind, class: u16) -> WalRecord {
+        WalRecord {
+            seq,
+            kind,
+            class,
+            skewed: seq.is_multiple_of(3),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_records_across_reopen() {
+        let path = tmp("roundtrip");
+        let recs: Vec<WalRecord> = (0..50)
+            .map(|i| {
+                rec(
+                    i,
+                    match i % 4 {
+                        0 => RecordKind::Arrival,
+                        1 => RecordKind::Departure,
+                        2 => RecordKind::Shed,
+                        _ => RecordKind::Rejected,
+                    },
+                    (i % 5) as u16,
+                )
+            })
+            .collect();
+        {
+            let (mut wal, recovery) = Wal::open(&path, 0).unwrap();
+            assert!(recovery.records.is_empty() && !recovery.damaged);
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+        }
+        let (wal, recovery) = Wal::open(&path, 0).unwrap();
+        assert_eq!(recovery.records, recs);
+        assert!(!recovery.damaged);
+        assert_eq!(wal.len(), 50 * (8 + PAYLOAD_LEN) as u64);
+    }
+
+    #[test]
+    fn truncated_tail_recovers_the_prefix_and_repairs() {
+        let path = tmp("truncate");
+        {
+            let (mut wal, _) = Wal::open(&path, 0).unwrap();
+            for i in 0..10 {
+                wal.append(&rec(i, RecordKind::Arrival, 0)).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Chop mid-frame: 9 full frames plus half a frame.
+        let cut = 9 * (8 + PAYLOAD_LEN) + 5;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (wal, recovery) = Wal::open(&path, 0).unwrap();
+        assert_eq!(recovery.records.len(), 9);
+        assert!(recovery.damaged);
+        assert_eq!(recovery.valid_bytes, 9 * (8 + PAYLOAD_LEN) as u64);
+        // The file was repaired in place.
+        assert_eq!(
+            std::fs::metadata(wal.path()).unwrap().len(),
+            recovery.valid_bytes
+        );
+        let again = recover(&path).unwrap();
+        assert!(!again.damaged);
+    }
+
+    #[test]
+    fn corrupt_byte_stops_the_scan_at_the_frame_boundary() {
+        let path = tmp("corrupt");
+        {
+            let (mut wal, _) = Wal::open(&path, 0).unwrap();
+            for i in 0..10 {
+                wal.append(&rec(i, RecordKind::Departure, 1)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte inside frame 6 (0-based): CRC must catch it.
+        let off = 6 * (8 + PAYLOAD_LEN) + 8 + 3;
+        bytes[off] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovery = recover(&path).unwrap();
+        assert_eq!(recovery.records.len(), 6);
+        assert!(recovery.damaged);
+        for (i, r) in recovery.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn garbage_length_field_is_rejected_not_trusted() {
+        let path = tmp("garbage");
+        std::fs::write(&path, u32::MAX.to_le_bytes()).unwrap();
+        let recovery = recover(&path).unwrap();
+        assert!(recovery.records.is_empty());
+        assert!(recovery.damaged);
+        assert_eq!(recovery.valid_bytes, 0);
+    }
+
+    #[test]
+    fn missing_file_recovers_empty() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        let recovery = recover(&path).unwrap();
+        assert_eq!(recovery, WalRecovery::default());
+    }
+}

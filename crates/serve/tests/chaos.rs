@@ -1,0 +1,408 @@
+//! The chaos battery: deterministic fault plans against the daemon,
+//! asserting two invariants after every storm:
+//!
+//! 1. **Exact accounting** — `offers = admitted + denied(capacity) +
+//!    denied(policy) + shed` holds to the event (the exit-6 metrics
+//!    invariant), whatever was killed, truncated, corrupted, overloaded,
+//!    malformed, or clock-skewed.
+//! 2. **Byte-identical recovery** — with durable ordering intact (no
+//!    bounded-queue shedding racing the crash), a killed-and-recovered
+//!    daemon fed the same stream ends in exactly the state of an
+//!    uninterrupted run: same occupancy vectors, same decision counters,
+//!    same log-weight *bits*.
+//!
+//! Every plan is a pure function of its seed (see `xbar_serve::chaos`),
+//! so a failure here replays exactly.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xbar_core::{Dims, Model};
+use xbar_serve::chaos::{fault_schedule, BurstPlan, FaultAction, StreamPlan};
+use xbar_serve::tenant::Tenant;
+use xbar_serve::{Daemon, DaemonConfig, TenantConfig};
+use xbar_traffic::{TrafficClass, Workload};
+
+fn model() -> Model {
+    Model::new(
+        Dims::square(6),
+        Workload::new()
+            .with(TrafficClass::poisson(0.8))
+            .with(TrafficClass::bpp(0.5, 0.1, 1.0).with_bandwidth(2)),
+    )
+    .unwrap()
+}
+
+fn dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("xbar_chaos_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Deterministic config: frequent snapshots so kills land between them,
+/// drift checks off (their cadence is process-local, which would make the
+/// byte-identical comparison depend on where the kill landed — drift
+/// handling has its own tests).
+fn tenant_cfg() -> TenantConfig {
+    TenantConfig {
+        check_interval: 0,
+        snapshot_interval: 37,
+        ..TenantConfig::default()
+    }
+}
+
+fn daemon_cfg() -> DaemonConfig {
+    DaemonConfig {
+        tenant: tenant_cfg(),
+        ..DaemonConfig::default()
+    }
+}
+
+/// Collect the comparable end state: per-tenant engine state plus the
+/// durable serve counters (shed/rejected/skewed — process-local counters
+/// like snapshots-written are excluded).
+fn end_state(daemon: &Daemon) -> Vec<(String, String)> {
+    daemon
+        .tenants()
+        .map(|(name, t)| {
+            let s = t.engine().export_state();
+            let c = t.counters();
+            (
+                name.clone(),
+                format!(
+                    "k={:?} lw={:016x} stats={:?} shed={} rejected={} skewed={} q={}",
+                    s.k,
+                    s.log_weight.to_bits(),
+                    s.stats,
+                    c.shed,
+                    c.rejected,
+                    c.skewed,
+                    t.quarantined()
+                ),
+            )
+        })
+        .collect()
+}
+
+fn assert_accounting(daemon: &Daemon) {
+    let acc = daemon.accounting();
+    assert!(
+        acc.holds(),
+        "offers accounting violated: {} != {} + {} + {} + {} ({acc:?})",
+        acc.offers,
+        acc.admitted,
+        acc.denied_capacity,
+        acc.denied_policy,
+        acc.shed
+    );
+}
+
+/// The baseline storm: malformed lines, invalid departures, clock skew,
+/// multi-tenant interleaving — applied synchronously, accounting exact.
+#[test]
+fn seeded_stream_with_injected_faults_keeps_exact_accounting() {
+    let d = dir("stream");
+    let plan = StreamPlan {
+        lines: 3000,
+        ..StreamPlan::default()
+    };
+    let lines = plan.generate_lines();
+    let (mut daemon, _) = Daemon::open(&d, &model(), daemon_cfg()).unwrap();
+    for line in &lines {
+        daemon.ingest_line(line).unwrap();
+    }
+    daemon.drain().unwrap();
+    assert_accounting(&daemon);
+    let c = daemon.serve_counters();
+    assert!(c.skewed > 0, "plan injects clock skew");
+    assert!(c.rejected > 0, "plan injects invalid departures");
+    assert!(
+        daemon.counters().malformed > 0,
+        "plan injects malformed lines"
+    );
+    let acc = daemon.accounting();
+    assert!(acc.offers > 1000, "most lines were valid offers");
+}
+
+/// Kill -9 (drop without shutdown) at seeded points, then recover and
+/// re-feed the same stream from the top: the end state must be
+/// byte-identical to an uninterrupted run — occupancy, counters, and
+/// log-weight bits.
+#[test]
+fn kill_and_recover_is_byte_identical_to_uninterrupted_run() {
+    let plan = StreamPlan {
+        lines: 2000,
+        malformed_p: 0.02,
+        invalid_p: 0.02,
+        ..StreamPlan::default()
+    };
+    let lines = plan.generate_lines();
+
+    // Golden: one uninterrupted run.
+    let golden_dir = dir("kill_golden");
+    let (mut golden, _) = Daemon::open(&golden_dir, &model(), daemon_cfg()).unwrap();
+    for line in &lines {
+        golden.ingest_line(line).unwrap();
+    }
+    golden.drain().unwrap();
+    let want = end_state(&golden);
+
+    // Chaos: kill at 5 seeded points, recovering and resuming from the
+    // top each time (a resumed tailer re-reads the whole file; the resume
+    // watermark deduplicates the durable prefix).
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    let d = dir("kill_chaos");
+    let mut cuts: Vec<usize> = (0..5).map(|_| rng.gen_range(1..lines.len())).collect();
+    cuts.sort_unstable();
+    let mut killed = 0;
+    for &cut in &cuts {
+        let (mut daemon, _) = Daemon::open(&d, &model(), daemon_cfg()).unwrap();
+        for line in &lines[..cut] {
+            daemon.ingest_line(line).unwrap();
+        }
+        daemon.drain().unwrap();
+        // kill -9: drop with no shutdown, no final snapshot, queues lost.
+        drop(daemon);
+        killed += 1;
+    }
+    assert_eq!(killed, 5);
+    let (mut daemon, reports) = Daemon::open(&d, &model(), daemon_cfg()).unwrap();
+    assert!(!reports.is_empty(), "tenants recovered from durable state");
+    for line in &lines {
+        daemon.ingest_line(line).unwrap();
+    }
+    daemon.drain().unwrap();
+    assert_accounting(&daemon);
+    assert_eq!(end_state(&daemon), want, "recovery must be byte-identical");
+    assert!(
+        daemon.counters().duplicates > 0,
+        "the durable prefix deduplicated"
+    );
+}
+
+/// Crash with events still in the bounded queues: in-memory events die
+/// with the process, but the loss is bounded by the queue caps and the
+/// durable accounting stays exact.
+#[test]
+fn bounded_queue_crash_loses_at_most_the_queue_contents() {
+    const QUEUE_CAP: usize = 16;
+    let plan = StreamPlan {
+        lines: 1500,
+        malformed_p: 0.0,
+        ..StreamPlan::default()
+    };
+    let lines = plan.generate_lines();
+    let d = dir("bounded_loss");
+    let cfg = DaemonConfig {
+        queue_cap: QUEUE_CAP,
+        ..daemon_cfg()
+    };
+    let queued_at_crash;
+    {
+        let (mut daemon, _) = Daemon::open(&d, &model(), cfg.clone()).unwrap();
+        for line in &lines[..1000] {
+            daemon.ingest_line(line).unwrap();
+        }
+        // Pump only partially: queues still hold events at the "crash".
+        daemon.pump(100).unwrap();
+        queued_at_crash = daemon.queued();
+        assert!(queued_at_crash > 0, "crash must catch events in flight");
+        drop(daemon); // kill -9
+    }
+    let (mut daemon, _) = Daemon::open(&d, &model(), cfg).unwrap();
+    for line in &lines {
+        daemon.ingest_line(line).unwrap();
+    }
+    daemon.drain().unwrap();
+    assert_accounting(&daemon);
+    // Every line is a valid event here (malformed_p = 0). Each either
+    // landed durably (offer, departure, or rejection) or died in a queue
+    // at the crash — and the dead are bounded by what was queued.
+    let acc = daemon.accounting();
+    let absorbed = acc.offers + acc.departures + acc.rejected;
+    let total = lines.len() as u64;
+    assert!(
+        absorbed >= total - queued_at_crash as u64,
+        "lost more than the queues held: absorbed {absorbed} of {total}, \
+         {queued_at_crash} queued at crash"
+    );
+    assert!(absorbed <= total, "nothing double-applied");
+}
+
+/// Truncate and corrupt WAL tails between kills: recovery chops to the
+/// valid prefix, the re-fed stream heals the difference, and accounting
+/// stays exact. The schedule itself comes from the seeded fault plan.
+#[test]
+fn wal_truncation_and_corruption_between_kills_recovers() {
+    let plan = StreamPlan {
+        lines: 1200,
+        tenants: 3,
+        ..StreamPlan::default()
+    };
+    let lines = plan.generate_lines();
+    let schedule = fault_schedule(42, 6, 400);
+    let d = dir("wal_faults");
+    let mut fed = 0usize;
+    for action in &schedule {
+        let (mut daemon, _) = Daemon::open(&d, &model(), daemon_cfg()).unwrap();
+        // Feed a fresh slice of the stream each round (resume dedupes the
+        // durable prefix).
+        fed = (fed + lines.len() / 8).min(lines.len());
+        for line in &lines[..fed] {
+            daemon.ingest_line(line).unwrap();
+        }
+        daemon.drain().unwrap();
+        assert_accounting(&daemon);
+        drop(daemon); // kill
+                      // Damage a durable file per the schedule.
+        let victim = Tenant::wal_path(&d, "t1");
+        match action {
+            FaultAction::TruncateWalTail(n) => {
+                if let Ok(meta) = std::fs::metadata(&victim) {
+                    let keep = meta.len().saturating_sub(*n);
+                    let f = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&victim)
+                        .unwrap();
+                    f.set_len(keep).unwrap();
+                }
+            }
+            FaultAction::CorruptWalByte(off) => {
+                if let Ok(mut bytes) = std::fs::read(&victim) {
+                    if !bytes.is_empty() {
+                        let i = bytes.len() - 1 - (*off as usize % bytes.len());
+                        bytes[i] ^= 0xFF;
+                        std::fs::write(&victim, &bytes).unwrap();
+                    }
+                }
+            }
+            FaultAction::KillAfter(_) => {} // the drop above was the kill
+        }
+    }
+    // Final full feed: everything durable must reconcile exactly.
+    let (mut daemon, _) = Daemon::open(&d, &model(), daemon_cfg()).unwrap();
+    for line in &lines {
+        daemon.ingest_line(line).unwrap();
+    }
+    daemon.drain().unwrap();
+    assert_accounting(&daemon);
+    let acc = daemon.accounting();
+    assert!(acc.offers > 0 && acc.admitted > 0);
+}
+
+/// Port-failure bursts from the simulator's fault layer: failures appear
+/// as synchronized departure storms (torn-down circuits), repairs as
+/// retry waves. The daemon absorbs both; over-departing is rejected
+/// durably, accounting stays exact.
+#[test]
+fn port_failure_bursts_are_absorbed_with_exact_accounting() {
+    let d = dir("bursts");
+    let stream = StreamPlan {
+        lines: 800,
+        tenants: 1,
+        malformed_p: 0.0,
+        invalid_p: 0.0,
+        ..StreamPlan::default()
+    };
+    let bursts = BurstPlan {
+        seed: 11,
+        mtbf: 10.0,
+        mttr: 2.0,
+        n1: 6,
+        n2: 6,
+        transitions: 30,
+        tenant: 0,
+        burst: 8,
+        classes: 2,
+    };
+    let (mut daemon, _) = Daemon::open(&d, &model(), daemon_cfg()).unwrap();
+    for line in stream
+        .generate_lines()
+        .iter()
+        .chain(bursts.generate_lines().iter())
+    {
+        daemon.ingest_line(line).unwrap();
+    }
+    daemon.drain().unwrap();
+    assert_accounting(&daemon);
+    let c = daemon.serve_counters();
+    assert!(
+        c.rejected > 0,
+        "departure storms over-depart and must be rejected durably"
+    );
+}
+
+/// A tenant fed garbage until quarantine stops serving but keeps exact
+/// accounting — and the rest of the fleet is untouched.
+#[test]
+fn quarantined_tenant_is_isolated_from_the_fleet() {
+    let d = dir("quarantine");
+    let mut cfg = daemon_cfg();
+    cfg.tenant.max_failures = 4;
+    let (mut daemon, _) = Daemon::open(&d, &model(), cfg).unwrap();
+    // Healthy traffic on t0, poison on t1 (departures with nothing in
+    // flight, back to back).
+    for i in 0..40 {
+        daemon.ingest_line(&format!("t0 a {} @{i}", i % 2)).unwrap();
+        daemon.ingest_line(&format!("t1 d 0 @{i}")).unwrap();
+    }
+    daemon.drain().unwrap();
+    assert_eq!(daemon.quarantined_tenants(), 1);
+    assert!(daemon.tenant("t1").unwrap().quarantined());
+    assert!(!daemon.tenant("t0").unwrap().quarantined());
+    // t0 served everything; t1's garbage is all durably rejected.
+    assert_eq!(daemon.tenant("t0").unwrap().engine().stats().offered(), 40);
+    assert_eq!(daemon.tenant("t1").unwrap().counters().rejected, 40);
+    assert_accounting(&daemon);
+    // Quarantine survives a restart.
+    drop(daemon);
+    let mut cfg = daemon_cfg();
+    cfg.tenant.max_failures = 4;
+    let (daemon, _) = Daemon::open(&d, &model(), cfg).unwrap();
+    assert!(daemon.tenant("t1").unwrap().quarantined());
+    assert_accounting(&daemon);
+}
+
+/// The whole battery through the runtime's file source, including a clean
+/// shutdown — then a crash-recovery pass over the same trace file.
+#[test]
+fn file_source_end_to_end_with_recovery() {
+    let d = dir("file_e2e");
+    let trace = d.join("trace.txt");
+    let plan = StreamPlan {
+        lines: 1000,
+        ..StreamPlan::default()
+    };
+    let mut body = plan.generate_lines().join("\n");
+    body.push('\n');
+    std::fs::write(&trace, &body).unwrap();
+
+    let data = d.join("data");
+    let (mut daemon, _) = Daemon::open(&data, &model(), daemon_cfg()).unwrap();
+    let report = xbar_serve::run_source(
+        &mut daemon,
+        &xbar_serve::Source::File(trace.clone()),
+        Duration::ZERO,
+    )
+    .unwrap();
+    assert_eq!(report.lines, 1000);
+    assert_accounting(&daemon);
+    let want = end_state(&daemon);
+    drop(daemon);
+
+    // Run the same trace again against the same durable state: everything
+    // deduplicates, the end state is unchanged.
+    let (mut daemon, _) = Daemon::open(&data, &model(), daemon_cfg()).unwrap();
+    let report = xbar_serve::run_source(
+        &mut daemon,
+        &xbar_serve::Source::File(trace),
+        Duration::ZERO,
+    )
+    .unwrap();
+    assert_eq!(report.applied, 0, "every event deduplicated");
+    assert_eq!(end_state(&daemon), want);
+    assert_accounting(&daemon);
+}

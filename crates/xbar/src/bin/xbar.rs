@@ -6,13 +6,15 @@
 //! xbar solve --n 200 --resilient --cross-check-tol 1e-9 --class poisson:rho=1e-5
 //! xbar sim   --n 16 --class bpp:alpha=0.02,beta=0.01 --duration 50000 --seed 7
 //! xbar sim   --n 8 --class poisson:rho=0.1 --port-mtbf 500 --port-mttr 50
+//! xbar serve --n 16 --class poisson:rho=0.1 --data-dir /var/lib/xbar --tail events.log
 //! ```
 //!
 //! All the parsing and execution logic lives in [`xbar::cli`] so it can be
 //! tested (including property tests asserting it never panics). This
 //! binary only maps [`xbar::cli::CliError`] onto process exit codes:
 //! 0 success, 2 usage/model error, 3 solve failure, 4 cross-check failure,
-//! 5 simulator configuration error.
+//! 5 simulator configuration error, 6 metrics/invariant failure, 7 serve
+//! tenant(s) quarantined.
 
 use std::process::ExitCode;
 

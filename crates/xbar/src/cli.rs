@@ -13,6 +13,9 @@
 //! | 4    | cross-check failure (backends disagree)           |
 //! | 5    | simulator configuration error                     |
 //! | 6    | metrics failure (broken invariant, unwritable)    |
+//! | 7    | serve: tenant(s) quarantined after repeated faults|
+
+use std::time::Duration;
 
 use xbar_admission::{AdmissionEngine, AdmissionError, EngineConfig, PolicySpec};
 use xbar_core::solver::resilient::{solve_resilient, ResilientConfig};
@@ -34,6 +37,10 @@ pub enum CliError {
     /// Metrics emission failed: an obs counter invariant is broken, or the
     /// snapshot could not be written (exit 6).
     Metrics(String),
+    /// The serve daemon quarantined one or more tenants after repeated
+    /// supervised failures (exit 7). The fleet kept running; the exit code
+    /// flags the degradation for the operator.
+    Quarantine(String),
 }
 
 impl CliError {
@@ -45,6 +52,7 @@ impl CliError {
             CliError::CrossCheck(_) => 4,
             CliError::SimConfig(_) => 5,
             CliError::Metrics(_) => 6,
+            CliError::Quarantine(_) => 7,
         }
     }
 }
@@ -57,6 +65,7 @@ impl std::fmt::Display for CliError {
             CliError::CrossCheck(m) => write!(f, "{m}"),
             CliError::SimConfig(m) => write!(f, "invalid simulation config: {m}"),
             CliError::Metrics(m) => write!(f, "metrics error: {m}"),
+            CliError::Quarantine(m) => write!(f, "quarantine: {m}"),
         }
     }
 }
@@ -77,13 +86,21 @@ fn usage() -> String {
      xbar sweep --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
      --alpha <a0:a1:steps> [--sweep-class <r>] \
      [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext] [--threads <N>] \
-     [--metrics <path|->]\n\n\
+     [--metrics <path|->]\n  \
+     xbar serve --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
+     --data-dir <dir> --file <trace> | --tail <trace> | --socket <path> \
+     [--policy <spec>] [--queue-cap <n>] [--snapshot-interval <n>] \
+     [--max-failures <n>] [--reanchor-deadline-ms <ms>] [--sync-every <n>] \
+     [--idle-timeout-ms <ms>] [--kill-after <n>] [--metrics <path|->]\n\n\
      sweep varies class r's per-set arrival intercept alpha across the grid \
      through one cached SweepSolver precompute (each point is an O(N) \
      recombination, not a fresh solve)\n\
      admit replays synthetic BPP call events (or an 'a <class>'/'d <class>' \
      trace file) through the online admission engine; --cross-check asserts \
      the admitted fraction against the analytic acceptance (CS policy only)\n\
+     serve runs the fault-tolerant multi-tenant admission daemon over \
+     '<tenant> a|d <class> [@t]' lines with a WAL + snapshots under \
+     --data-dir; exit 7 means tenant(s) ended quarantined\n\
      --threads 0 (default) auto-detects via available_parallelism\n\
      --metrics writes an obs snapshot as JSON to <path> after the run \
      (- prints a text table instead)\n\n\
@@ -215,6 +232,35 @@ pub struct Args {
     pub sweep_class: usize,
     /// The `sweep` command's `α` grid as `(a0, a1, steps)`.
     pub alpha_range: Option<(f64, f64, u32)>,
+    /// Durable state directory (for `serve`).
+    pub data_dir: Option<String>,
+    /// Event source (for `serve`): exactly one of file/tail/socket.
+    pub serve_source: Option<ServeSource>,
+    /// Per-tenant bounded ingest queue (for `serve`; 0 = unbounded).
+    pub queue_cap: usize,
+    /// Applied events between durable snapshots (for `serve`).
+    pub snapshot_interval: u64,
+    /// Consecutive supervised failures before quarantine (for `serve`).
+    pub max_failures: u32,
+    /// Re-anchor latency budget in ms (for `serve`; absent = no deadline).
+    pub reanchor_deadline_ms: Option<u64>,
+    /// WAL fsync cadence in records (for `serve`; 0 = on snapshot only).
+    pub sync_every: u64,
+    /// Tail/socket idle shutdown in ms (for `serve`).
+    pub idle_timeout_ms: u64,
+    /// Chaos hook: abort after exactly this many applied events.
+    pub kill_after: Option<u64>,
+}
+
+/// Where the `serve` command reads its event stream from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeSource {
+    /// Read a trace file once, then shut down cleanly.
+    File(String),
+    /// Follow a growing file until `!stop` or the idle timeout.
+    Tail(String),
+    /// Accept line streams on a unix-domain socket until `!stop`.
+    Socket(String),
 }
 
 /// Parse an `a0:a1:steps` grid spec.
@@ -254,7 +300,7 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
 pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     let command = it.next().ok_or_else(usage)?.clone();
-    if !["solve", "sim", "admit", "sweep"].contains(&command.as_str()) {
+    if !["solve", "sim", "admit", "sweep", "serve"].contains(&command.as_str()) {
         return Err(format!("unknown command '{command}'\n{}", usage()));
     }
     let mut n1 = None;
@@ -278,6 +324,15 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut cross_check = false;
     let mut sweep_class = 0usize;
     let mut alpha_range = None;
+    let mut data_dir = None;
+    let mut serve_source: Option<ServeSource> = None;
+    let mut queue_cap = 0usize;
+    let mut snapshot_interval = 4096u64;
+    let mut max_failures = 5u32;
+    let mut reanchor_deadline_ms = None;
+    let mut sync_every = 0u64;
+    let mut idle_timeout_ms = 2_000u64;
+    let mut kill_after = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -364,6 +419,56 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--sweep-class: {e}"))?
             }
             "--alpha" => alpha_range = Some(parse_alpha_range(&value()?)?),
+            "--data-dir" => data_dir = Some(value()?),
+            "--file" | "--tail" | "--socket" => {
+                if serve_source.is_some() {
+                    return Err("serve takes exactly one of --file, --tail, --socket".into());
+                }
+                let path = value()?;
+                serve_source = Some(match flag.as_str() {
+                    "--file" => ServeSource::File(path),
+                    "--tail" => ServeSource::Tail(path),
+                    _ => ServeSource::Socket(path),
+                });
+            }
+            "--queue-cap" => {
+                queue_cap = value()?.parse().map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--snapshot-interval" => {
+                snapshot_interval = value()?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-interval: {e}"))?;
+            }
+            "--max-failures" => {
+                max_failures = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-failures: {e}"))?;
+                if max_failures == 0 {
+                    return Err("--max-failures must be > 0".into());
+                }
+            }
+            "--reanchor-deadline-ms" => {
+                reanchor_deadline_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--reanchor-deadline-ms: {e}"))?,
+                );
+            }
+            "--sync-every" => {
+                sync_every = value()?.parse().map_err(|e| format!("--sync-every: {e}"))?;
+            }
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+            }
+            "--kill-after" => {
+                let v: u64 = value()?.parse().map_err(|e| format!("--kill-after: {e}"))?;
+                if v == 0 {
+                    return Err("--kill-after must be > 0".into());
+                }
+                kill_after = Some(v);
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -381,6 +486,14 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 "--sweep-class {sweep_class} out of range: only {} class(es)",
                 classes.len()
             ));
+        }
+    }
+    if command == "serve" {
+        if data_dir.is_none() {
+            return Err("serve needs --data-dir <dir> for its WAL + snapshots".into());
+        }
+        if serve_source.is_none() {
+            return Err("serve needs an event source: --file, --tail, or --socket".into());
         }
     }
     Ok(Args {
@@ -406,6 +519,15 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         cross_check,
         sweep_class,
         alpha_range,
+        data_dir,
+        serve_source,
+        queue_cap,
+        snapshot_interval,
+        max_failures,
+        reanchor_deadline_ms,
+        sync_every,
+        idle_timeout_ms,
+        kill_after,
     })
 }
 
@@ -616,11 +738,21 @@ fn admission_err(e: AdmissionError) -> CliError {
 
 /// Replay a trace file of `a <class>` / `d <class>` lines (with `#`
 /// comments) through a fresh engine; errors carry the 1-based line number.
+///
+/// The file is read as raw bytes and decoded per line, so a stray
+/// non-UTF-8 byte is a usage error naming the offending line — not a
+/// whole-file refusal and never a panic. An empty file is a valid trace
+/// of zero events, and a partial final line (no trailing newline) is
+/// replayed like any other.
 fn replay_trace(model: &Model, cfg: EngineConfig, path: &str) -> Result<AdmissionEngine, CliError> {
-    let text = std::fs::read_to_string(path)
+    let bytes = std::fs::read(path)
         .map_err(|e| CliError::Usage(format!("cannot read trace '{path}': {e}")))?;
     let mut engine = AdmissionEngine::new(model, cfg).map_err(admission_err)?;
-    for (i, raw) in text.lines().enumerate() {
+    for (i, raw) in bytes.split(|&b| b == b'\n').enumerate() {
+        let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+        let raw = std::str::from_utf8(raw).map_err(|e| {
+            CliError::Usage(format!("{path}:{}: invalid UTF-8 in trace: {e}", i + 1))
+        })?;
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -738,6 +870,109 @@ pub fn run_admit(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+fn serve_err(e: xbar_serve::ServeError) -> CliError {
+    match &e {
+        xbar_serve::ServeError::Config(_) => CliError::Usage(e.to_string()),
+        xbar_serve::ServeError::Admission(_) => CliError::Solve(e.to_string()),
+        _ => CliError::Metrics(e.to_string()),
+    }
+}
+
+/// Execute the `serve` command: run the fault-tolerant multi-tenant
+/// admission daemon over a file, tailed file, or unix-socket event
+/// stream, with durable WAL + snapshot state under `--data-dir`.
+///
+/// The process exits 0 on a clean run and 7 ([`CliError::Quarantine`])
+/// when one or more tenants ended the run quarantined: the fleet kept
+/// serving, but an operator needs to look at the quarantined WALs.
+pub fn run_serve(args: &Args) -> Result<(), CliError> {
+    let model = build_model(args).map_err(CliError::Usage)?;
+    let policy = PolicySpec::parse(&args.policy).map_err(CliError::Usage)?;
+    let data_dir = args
+        .data_dir
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("serve needs --data-dir".into()))?;
+    let source = match args
+        .serve_source
+        .as_ref()
+        .ok_or_else(|| CliError::Usage("serve needs --file, --tail, or --socket".into()))?
+    {
+        ServeSource::File(p) => xbar_serve::Source::File(p.into()),
+        ServeSource::Tail(p) => xbar_serve::Source::Tail(p.into()),
+        ServeSource::Socket(p) => xbar_serve::Source::Socket(p.into()),
+    };
+    let cfg = xbar_serve::DaemonConfig {
+        tenant: xbar_serve::TenantConfig {
+            policy,
+            algorithm: args.algorithm,
+            snapshot_interval: args.snapshot_interval,
+            max_failures: args.max_failures,
+            reanchor_deadline: args.reanchor_deadline_ms.map(Duration::from_millis),
+            sync_every: args.sync_every,
+            ..xbar_serve::TenantConfig::default()
+        },
+        queue_cap: args.queue_cap,
+        kill_after: args.kill_after,
+        sleep_on_backoff: true,
+        ..xbar_serve::DaemonConfig::default()
+    };
+    let (mut daemon, reports) =
+        xbar_serve::Daemon::open(std::path::Path::new(data_dir), &model, cfg).map_err(serve_err)?;
+    for (name, report) in &reports {
+        println!(
+            "recovered tenant '{name}': snapshot={} replayed={} wal_damaged={} durable_seq={}",
+            report.snapshot_used, report.replayed, report.wal_damaged, report.durable_seq
+        );
+    }
+    let run = xbar_serve::run_source(
+        &mut daemon,
+        &source,
+        Duration::from_millis(args.idle_timeout_ms),
+    )
+    .map_err(serve_err)?;
+    let acc = daemon.accounting();
+    let counters = daemon.serve_counters();
+    println!(
+        "served {} line(s), {} event(s) applied{} ({} tenant(s))",
+        run.lines,
+        run.applied,
+        if run.stopped { " [stopped]" } else { "" },
+        daemon.tenants().count()
+    );
+    println!(
+        "offers {} = admitted {} + denied(cap) {} + denied(policy) {} + shed {}; \
+         departures {}, rejected {}, duplicates {}",
+        acc.offers,
+        acc.admitted,
+        acc.denied_capacity,
+        acc.denied_policy,
+        acc.shed,
+        acc.departures,
+        acc.rejected,
+        daemon.counters().duplicates,
+    );
+    if counters.restarts > 0 || counters.stale_reanchors > 0 {
+        println!(
+            "supervision: {} restart(s), {} stale re-anchor(s)",
+            counters.restarts, counters.stale_reanchors
+        );
+    }
+    daemon.flush_obs();
+    let quarantined = daemon.quarantined_tenants();
+    if quarantined > 0 {
+        let names: Vec<&str> = daemon
+            .tenants()
+            .filter(|(_, t)| t.quarantined())
+            .map(|(n, _)| n.as_str())
+            .collect();
+        return Err(CliError::Quarantine(format!(
+            "{quarantined} tenant(s) quarantined after repeated failures: {}",
+            names.join(", ")
+        )));
+    }
+    Ok(())
+}
+
 /// Check the cross-cutting obs counter invariants a healthy run must
 /// satisfy: the simulator's offer accounting
 /// (`offers = admitted + capacity-blocked + fault-blocked`) and the
@@ -764,6 +999,19 @@ pub fn verify_metrics_invariants(snap: &xbar_obs::Snapshot) -> Result<(), CliErr
             return Err(CliError::Metrics(format!(
                 "admission accounting invariant broken: offers ({offers}) != admitted \
                  ({admitted}) + capacity-denied ({capacity}) + policy-denied ({policy})"
+            )));
+        }
+    }
+    if let Some(offers) = snap.counter("serve.offers") {
+        let admitted = snap.counter("serve.admitted").unwrap_or(0);
+        let capacity = snap.counter("serve.denied.capacity").unwrap_or(0);
+        let policy = snap.counter("serve.denied.policy").unwrap_or(0);
+        let shed = snap.counter("serve.shed.total").unwrap_or(0);
+        if offers != admitted + capacity + policy + shed {
+            return Err(CliError::Metrics(format!(
+                "serve accounting invariant broken: offers ({offers}) != admitted \
+                 ({admitted}) + capacity-denied ({capacity}) + policy-denied ({policy}) \
+                 + shed ({shed})"
             )));
         }
     }
@@ -798,13 +1046,21 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "sim" => run_sim(&args),
         "admit" => run_admit(&args),
         "sweep" => run_sweep(&args),
+        "serve" => run_serve(&args),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
-    result?;
     if let Some(target) = &args.metrics {
-        emit_metrics(target)?;
+        // A quarantine exit is a *degraded* run, not an aborted one: the
+        // daemon finished serving and its counters are the evidence an
+        // operator needs, so the snapshot is still emitted (and its
+        // invariants still enforced — a broken ledger outranks a
+        // quarantine flag).
+        match &result {
+            Ok(()) | Err(CliError::Quarantine(_)) => emit_metrics(target)?,
+            Err(_) => {}
+        }
     }
-    Ok(())
+    result
 }
 
 #[cfg(test)]
@@ -1058,6 +1314,169 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(run_admit(&a).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn admit_trace_handles_empty_and_partial_and_non_utf8_files() {
+        let dir = std::env::temp_dir();
+
+        // An empty file is a valid trace of zero events.
+        let empty = dir.join("xbar_cli_trace_empty.txt");
+        std::fs::write(&empty, "").unwrap();
+        let a = parse_args(&argv(&format!(
+            "admit --n 6 --class poisson:rho=0.1 --trace {}",
+            empty.display()
+        )))
+        .unwrap();
+        run_admit(&a).unwrap();
+
+        // A partial final line (no trailing newline) is still replayed.
+        let partial = dir.join("xbar_cli_trace_partial.txt");
+        std::fs::write(&partial, "a 0\na 0").unwrap();
+        let a = parse_args(&argv(&format!(
+            "admit --n 6 --class poisson:rho=0.1 --trace {}",
+            partial.display()
+        )))
+        .unwrap();
+        run_admit(&a).unwrap();
+
+        // CRLF line endings are tolerated.
+        let crlf = dir.join("xbar_cli_trace_crlf.txt");
+        std::fs::write(&crlf, "a 0\r\nd 0\r\n").unwrap();
+        let a = parse_args(&argv(&format!(
+            "admit --n 6 --class poisson:rho=0.1 --trace {}",
+            crlf.display()
+        )))
+        .unwrap();
+        run_admit(&a).unwrap();
+
+        // A non-UTF-8 byte is a typed usage error naming the line — never
+        // a panic, and valid lines before it still parse.
+        let binary = dir.join("xbar_cli_trace_binary.txt");
+        std::fs::write(&binary, b"a 0\n\xFF\xFE garbage\n").unwrap();
+        let a = parse_args(&argv(&format!(
+            "admit --n 6 --class poisson:rho=0.1 --trace {}",
+            binary.display()
+        )))
+        .unwrap();
+        let err = run_admit(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains(":2:"), "{err}");
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        let a = parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir /tmp/xd --file trace.txt \
+             --queue-cap 64 --snapshot-interval 512 --max-failures 3 \
+             --reanchor-deadline-ms 5 --sync-every 16 --idle-timeout-ms 100 --kill-after 1000",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "serve");
+        assert_eq!(a.data_dir.as_deref(), Some("/tmp/xd"));
+        assert_eq!(a.serve_source, Some(ServeSource::File("trace.txt".into())));
+        assert_eq!(a.queue_cap, 64);
+        assert_eq!(a.snapshot_interval, 512);
+        assert_eq!(a.max_failures, 3);
+        assert_eq!(a.reanchor_deadline_ms, Some(5));
+        assert_eq!(a.sync_every, 16);
+        assert_eq!(a.idle_timeout_ms, 100);
+        assert_eq!(a.kill_after, Some(1000));
+        // Tail and socket sources parse too.
+        let t = parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir d --tail t.txt",
+        ))
+        .unwrap();
+        assert_eq!(t.serve_source, Some(ServeSource::Tail("t.txt".into())));
+        let s = parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir d --socket s.sock",
+        ))
+        .unwrap();
+        assert_eq!(s.serve_source, Some(ServeSource::Socket("s.sock".into())));
+    }
+
+    #[test]
+    fn rejects_malformed_serve_flags() {
+        // Missing data dir / source.
+        assert!(parse_args(&argv("serve --n 8 --class poisson:rho=0.1 --file t")).is_err());
+        assert!(parse_args(&argv("serve --n 8 --class poisson:rho=0.1 --data-dir d")).is_err());
+        // Two sources.
+        assert!(parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir d --file a --tail b"
+        ))
+        .is_err());
+        // Bad numbers.
+        assert!(parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir d --file t --kill-after 0"
+        ))
+        .is_err());
+        assert!(parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir d --file t --max-failures 0"
+        ))
+        .is_err());
+        assert!(parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir d --file t --queue-cap x"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_file_source_runs_and_recovers_end_to_end() {
+        let base = std::env::temp_dir().join(format!("xbar_cli_serve_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let trace = base.join("trace.txt");
+        std::fs::write(&trace, "t0 a 0\nt0 a 0\nt0 d 0\nt1 a 0\n# comment\n").unwrap();
+        let data = base.join("data");
+        let cmd = format!(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir {} --file {}",
+            data.display(),
+            trace.display()
+        );
+        let a = parse_args(&argv(&cmd)).unwrap();
+        run_serve(&a).unwrap();
+        // Run the same trace again against the surviving state: every
+        // event deduplicates against the WAL, still exit 0.
+        let a = parse_args(&argv(&cmd)).unwrap();
+        run_serve(&a).unwrap();
+    }
+
+    #[test]
+    fn serve_quarantine_maps_to_exit_7() {
+        let base = std::env::temp_dir().join(format!("xbar_cli_serve_q_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let trace = base.join("trace.txt");
+        // Departures with nothing in flight, past the failure threshold.
+        std::fs::write(&trace, "t0 d 0\n".repeat(6)).unwrap();
+        let a = parse_args(&argv(&format!(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir {} --file {} --max-failures 3",
+            base.join("data").display(),
+            trace.display()
+        )))
+        .unwrap();
+        let err = run_serve(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 7);
+        assert!(err.to_string().contains("t0"), "{err}");
+    }
+
+    #[test]
+    fn serve_metrics_invariant_accepts_balanced_and_rejects_broken_accounting() {
+        let reg = xbar_obs::Registry::new();
+        reg.counter("serve.offers").add(100);
+        reg.counter("serve.admitted").add(80);
+        reg.counter("serve.denied.capacity").add(9);
+        reg.counter("serve.denied.policy").add(1);
+        reg.counter("serve.shed.total").add(10);
+        assert!(verify_metrics_invariants(&reg.snapshot()).is_ok());
+
+        let broken = xbar_obs::Registry::new();
+        broken.counter("serve.offers").add(100);
+        broken.counter("serve.admitted").add(80);
+        let err = verify_metrics_invariants(&broken.snapshot()).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("serve"));
     }
 
     #[test]

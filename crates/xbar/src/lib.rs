@@ -15,6 +15,9 @@
 //!   service times and hot-spot traffic;
 //! * [`baselines`] — Erlang-B, the synchronous slotted crossbar, and an
 //!   Omega multistage network for comparison;
+//! * [`serve`] — a fault-tolerant multi-tenant admission daemon over the
+//!   online engine, with WAL + snapshot durability, supervised restarts,
+//!   and load shedding;
 //! * [`numeric`] — the extended-range floats and special functions
 //!   underpinning it all.
 //!
@@ -43,6 +46,7 @@ pub use xbar_baselines as baselines;
 pub use xbar_core as analytic;
 pub use xbar_numeric as numeric;
 pub use xbar_obs as obs;
+pub use xbar_serve as serve;
 pub use xbar_sim as sim;
 pub use xbar_traffic as traffic;
 
