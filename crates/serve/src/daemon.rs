@@ -17,17 +17,27 @@
 //! batchers misbehaving). Blank lines and `#` comments are skipped.
 //! Every raw line — including blanks, comments, and malformed input —
 //! consumes one sequence number, so sequence numbers are stable across
-//! re-reads of the same file and crash-resume deduplication works by
-//! construction.
+//! re-reads of the same file: a re-fed line whose sequence number already
+//! has a durable WAL record deduplicates, and one that was queued but
+//! lost at a crash re-applies. That numbering contract assumes the source
+//! re-feeds from the top after a restart (file, tail); a socket feeds
+//! only *fresh* events, so the socket runtime first seeks the counter
+//! past the durable watermark ([`Daemon::seek_past_durable`]) — otherwise
+//! the first events after a restart would collide with durable sequence
+//! numbers and be swallowed as duplicates.
 //!
 //! # Degradation
 //!
-//! Each tenant has a bounded ingest queue. When it is full the event is
+//! Each tenant has a bounded ingest queue. When it is full an arrival is
 //! **shed, durably**: a `Shed` WAL record is appended and the arrival is
 //! counted as an offer denied for overload — so
 //! `offers = admitted + denied(capacity) + denied(policy) + shed` holds
-//! exactly even while the daemon is drowning. Malformed lines cannot be
-//! attributed to a tenant reliably, so they are counted
+//! exactly even while the daemon is drowning. Departures are never shed
+//! (dropping one would wedge the occupancy vector); they keep queueing
+//! past the cap up to a hard bound of
+//! [`DEPARTURE_QUEUE_SLACK`]` * queue_cap`, past which they are durably
+//! *rejected* so a departure flood cannot exhaust memory. Malformed
+//! lines cannot be attributed to a tenant reliably, so they are counted
 //! (`serve.malformed`) but not durable.
 
 use std::collections::{BTreeMap, VecDeque};
@@ -179,6 +189,13 @@ impl Accounting {
     }
 }
 
+/// How far past `queue_cap` departures may stack up before they are
+/// durably rejected instead of queued. Departures are never *shed*
+/// (dropping one wedges the occupancy vector), but an unbounded pile-up
+/// against a stalled pump is a memory-exhaustion vector — this keeps the
+/// per-tenant queue hard-bounded at `queue_cap * DEPARTURE_QUEUE_SLACK`.
+pub const DEPARTURE_QUEUE_SLACK: usize = 4;
+
 struct Queued {
     seq: u64,
     event: Event,
@@ -243,6 +260,24 @@ impl Daemon {
         Ok(report)
     }
 
+    /// Advance the line counter past every recovered tenant's durable
+    /// watermark. Call this before feeding a source that does **not**
+    /// re-feed the stream from the top after a restart (the unix socket):
+    /// fresh events then take sequence numbers above every resume
+    /// watermark, so none can be misread as a duplicate of the durable
+    /// prefix. File and tail sources re-read from the top, where per-line
+    /// numbering must restart at 1 for dedupe to line up — do not call it
+    /// for those.
+    pub fn seek_past_durable(&mut self) {
+        let max = self
+            .tenants
+            .values()
+            .map(Tenant::resume_seq)
+            .max()
+            .unwrap_or(0);
+        self.next_line = self.next_line.max(max);
+    }
+
     /// Ingest one raw protocol line. The line consumes a sequence number
     /// whatever it contains; valid events are enqueued (or durably shed on
     /// overflow), malformed lines are counted.
@@ -278,9 +313,11 @@ impl Daemon {
             .tenants
             .get_mut(&parsed.tenant)
             .expect("tenant opened above");
-        // Crash-resume dedupe: durable before this process started — skip
-        // before it costs queue space.
-        if seq <= tenant.resume_seq() {
+        // Crash-resume dedupe: a durable record from before this process
+        // started — skip before it costs queue space. (A seq merely below
+        // the resume watermark with no record was queued-but-lost at the
+        // crash; it falls through and applies.)
+        if tenant.is_durable(seq) {
             self.counters.duplicates += 1;
             return Ok(());
         }
@@ -291,7 +328,12 @@ impl Daemon {
         if self.cfg.queue_cap > 0 && queue.len() >= self.cfg.queue_cap {
             // Bounded queue full: deny-with-reason, durably. Departures
             // are never shed (dropping one would wedge the occupancy
-            // vector forever); they get rejected durably instead.
+            // vector forever), so they may keep queueing past the cap —
+            // but only up to DEPARTURE_QUEUE_SLACK × the cap. Past that
+            // hard bound a departure flood against a stalled pump would
+            // exhaust memory, so the departure is durably *rejected*
+            // (counted outside the offers identity; the occupancy vector
+            // may stay overstated — the documented cost of staying alive).
             let class = match parsed.event.event {
                 Event::Arrival { class } | Event::Departure { class } => class,
             };
@@ -301,11 +343,17 @@ impl Daemon {
                     xbar_obs::inc("serve.shed");
                 }
                 Event::Departure { .. } => {
-                    queue.push_back(Queued {
-                        seq,
-                        event: parsed.event.event,
-                        skewed,
-                    });
+                    let hard_cap = self.cfg.queue_cap.saturating_mul(DEPARTURE_QUEUE_SLACK);
+                    if queue.len() >= hard_cap {
+                        tenant.reject(seq, class as u16, skewed)?;
+                        xbar_obs::inc("serve.departure_overflow");
+                    } else {
+                        queue.push_back(Queued {
+                            seq,
+                            event: parsed.event.event,
+                            skewed,
+                        });
+                    }
                 }
             }
             return Ok(());
@@ -594,6 +642,114 @@ mod tests {
         daemon.ingest_line("t2 a 0 @0.5").unwrap(); // different tenant: fine
         daemon.drain().unwrap();
         assert_eq!(daemon.serve_counters().skewed, 1);
+    }
+
+    #[test]
+    fn socket_style_resume_numbers_fresh_events_past_the_durable_prefix() {
+        let d = dir("socket_resume");
+        let m = model();
+        {
+            let (mut daemon, _) = Daemon::open(&d, &m, DaemonConfig::default()).unwrap();
+            for i in 0..10 {
+                daemon.ingest_line(&format!("t1 a 0 @{i}")).unwrap();
+            }
+            daemon.drain().unwrap();
+            // Crash: no shutdown.
+        }
+        // A socket feeds only fresh events after the restart — nothing
+        // re-feeds from the top. Without seeking past the durable prefix,
+        // the first 10 fresh events would collide with durable seqs 1..10
+        // and be swallowed as duplicates.
+        let (mut daemon, _) = Daemon::open(&d, &m, DaemonConfig::default()).unwrap();
+        daemon.seek_past_durable();
+        for i in 10..15 {
+            daemon.ingest_line(&format!("t1 a 0 @{i}")).unwrap();
+        }
+        daemon.drain().unwrap();
+        assert_eq!(
+            daemon.counters().duplicates,
+            0,
+            "fresh events are not duplicates"
+        );
+        let acc = daemon.accounting();
+        assert_eq!(acc.offers, 15, "10 recovered + 5 fresh");
+        assert!(acc.holds());
+    }
+
+    #[test]
+    fn crash_lost_queued_events_are_healed_on_refeed() {
+        let d = dir("healed");
+        let m = model();
+        let cfg = DaemonConfig {
+            queue_cap: 2,
+            ..DaemonConfig::default()
+        };
+        {
+            let (mut daemon, _) = Daemon::open(&d, &m, cfg.clone()).unwrap();
+            // Seqs 1 and 2 queue; 3..6 overflow and shed durably — durable
+            // appends jump the queue, so the WAL's max seq (6) exceeds the
+            // still-queued seqs 1 and 2.
+            for i in 0..6 {
+                daemon.ingest_line(&format!("t1 a 0 @{i}")).unwrap();
+            }
+            assert_eq!(daemon.queued(), 2);
+            drop(daemon); // kill -9: queued events die, sheds survive
+        }
+        let (mut daemon, _) = Daemon::open(&d, &m, cfg).unwrap();
+        assert_eq!(daemon.tenant("t1").unwrap().resume_seq(), 6);
+        // Re-feed from the top: seqs 3..6 have durable records and
+        // deduplicate; seqs 1 and 2 were lost in the queues and must
+        // re-apply — a blanket `seq <= resume_seq` watermark would have
+        // swallowed them forever.
+        for i in 0..6 {
+            daemon.ingest_line(&format!("t1 a 0 @{i}")).unwrap();
+        }
+        daemon.drain().unwrap();
+        assert_eq!(daemon.counters().duplicates, 4);
+        let acc = daemon.accounting();
+        assert_eq!(acc.offers, 6, "every event accounted exactly once");
+        assert!(acc.holds());
+    }
+
+    #[test]
+    fn departure_flood_past_the_hard_bound_is_rejected_durably() {
+        let d = dir("dep_flood");
+        let m = model();
+        let cfg = DaemonConfig {
+            queue_cap: 2,
+            ..DaemonConfig::default()
+        };
+        let (mut daemon, _) = Daemon::open(&d, &m, cfg).unwrap();
+        daemon.ingest_line("t1 a 0").unwrap();
+        daemon.ingest_line("t1 a 0").unwrap();
+        // The queue is full: departures may stack only up to the hard
+        // bound, the rest are durably rejected (memory stays bounded even
+        // with a stalled pump).
+        for _ in 0..30 {
+            daemon.ingest_line("t1 d 0").unwrap();
+        }
+        let hard_cap = 2 * DEPARTURE_QUEUE_SLACK;
+        assert_eq!(daemon.queued(), hard_cap);
+        assert_eq!(
+            daemon.serve_counters().rejected,
+            30 - (hard_cap - 2) as u64,
+            "overflow departures rejected durably at ingest"
+        );
+        daemon.drain().unwrap();
+        assert!(daemon.accounting().holds());
+        // The durable rejections survive a restart.
+        let total_rejected = daemon.serve_counters().rejected;
+        drop(daemon);
+        let (daemon, _) = Daemon::open(
+            &d,
+            &m,
+            DaemonConfig {
+                queue_cap: 2,
+                ..DaemonConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(daemon.serve_counters().rejected, total_rejected);
     }
 
     #[test]

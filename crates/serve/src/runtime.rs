@@ -12,6 +12,10 @@
 //!   `XBAR_THREADS` governs it like everything else) parses connections
 //!   and forwards lines over a channel to the single apply loop. Engines
 //!   stay single-owner: ingestion parallelism never races tenant state.
+//!   Unlike file/tail, a socket does not re-feed the durable prefix
+//!   after a restart, so sequence numbering resumes *past* the durable
+//!   watermark ([`Daemon::seek_past_durable`]) instead of relying on
+//!   re-feed deduplication.
 //!
 //! A line consisting of `!stop` cleanly shuts the daemon down from any
 //! source (drain, snapshot, sync).
@@ -80,7 +84,13 @@ pub fn run_source(
             }
         }
         Source::Tail(path) => tail_file(daemon, path, idle_timeout, &mut report)?,
-        Source::Socket(path) => serve_socket(daemon, path, idle_timeout, &mut report)?,
+        Source::Socket(path) => {
+            // A socket never re-feeds the durable prefix after a restart:
+            // number fresh events past it, or they would be misread as
+            // duplicates of the recovered stream.
+            daemon.seek_past_durable();
+            serve_socket(daemon, path, idle_timeout, &mut report)?;
+        }
     }
     report.applied += daemon.drain()?;
     daemon.shutdown()?;
@@ -284,6 +294,45 @@ mod tests {
         assert!(report.stopped);
         assert_eq!(report.lines, 20);
         assert_eq!(daemon.accounting().offers, 20);
+    }
+
+    #[test]
+    fn socket_restart_does_not_swallow_fresh_events() {
+        use std::os::unix::net::UnixStream;
+        let d = dir("socket_restart");
+        let data = d.join("data");
+        let run = |sock: PathBuf, range: std::ops::Range<u32>, data: &PathBuf| {
+            let sock_for_client = sock.clone();
+            let client = std::thread::spawn(move || {
+                let mut stream = loop {
+                    match UnixStream::connect(&sock_for_client) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                };
+                for i in range {
+                    writeln!(stream, "t1 a 0 @{i}").unwrap();
+                }
+                writeln!(stream, "{STOP_LINE}").unwrap();
+            });
+            let (mut daemon, _) = Daemon::open(data, &model(), DaemonConfig::default()).unwrap();
+            let report =
+                run_source(&mut daemon, &Source::Socket(sock), Duration::from_secs(30)).unwrap();
+            client.join().unwrap();
+            (daemon, report)
+        };
+        let (daemon, report) = run(d.join("a.sock"), 0..10, &data);
+        assert_eq!(report.applied, 10);
+        drop(daemon);
+        // Restart over the same durable state: a socket only delivers
+        // *fresh* events (no re-feed from the top), and every one of them
+        // must apply — not be mistaken for a duplicate of seqs 1..10.
+        let (daemon, report) = run(d.join("b.sock"), 10..25, &data);
+        assert_eq!(report.applied, 15, "every fresh event applied");
+        assert_eq!(daemon.counters().duplicates, 0);
+        let acc = daemon.accounting();
+        assert_eq!(acc.offers, 25, "10 recovered + 15 fresh");
+        assert!(acc.holds());
     }
 
     #[test]

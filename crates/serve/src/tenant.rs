@@ -135,7 +135,8 @@ pub enum Outcome {
     Departed,
     /// Arrival load-shed (quarantine or queue overflow), durably recorded.
     Shed,
-    /// Semantically invalid event, durably rejected.
+    /// Durably rejected without touching the engine: a semantically
+    /// invalid event, or a departure past the hard queue bound.
     Rejected,
     /// `seq` was already durable (replay after crash) — skipped.
     Duplicate,
@@ -156,14 +157,25 @@ pub struct Tenant {
     counters: ServeCounters,
     /// Highest sequence number ever durably absorbed (snapshot watermark).
     durable_seq: u64,
-    /// Crash-resume dedupe watermark, **fixed at open**: every event with
-    /// `seq <= resume_seq` was durable before this process started, so a
-    /// re-fed stream skips it. It deliberately does not advance with
-    /// `durable_seq`: durable appends are not in sequence order (an
-    /// overflow shed for a late event lands before earlier queued events
-    /// are applied), and a live high-water mark would wrongly swallow
-    /// those still-queued events.
+    /// Crash-resume dedupe watermark, **fixed at open**: the highest
+    /// sequence number durable before this process started. It
+    /// deliberately does not advance with `durable_seq`: durable appends
+    /// are not in sequence order (an overflow shed for a late event lands
+    /// before earlier queued events are applied), and a live high-water
+    /// mark would wrongly swallow those still-queued events.
+    ///
+    /// The watermark alone is NOT a durability proof: an event below it
+    /// may have been queued-but-lost at the crash (its shed neighbour
+    /// jumped the queue into the WAL). Dedupe therefore also consults
+    /// [`Tenant::is_durable`]'s per-record set — a re-fed event below the
+    /// watermark that has no durable record is *applied*, not swallowed.
     resume_seq: u64,
+    /// Sorted sequence numbers with a durable WAL record at or below
+    /// `resume_seq` (rebuilt at open; extended when a re-fed gap event
+    /// lands durably). Gaps are legitimate — blanks, comments, malformed
+    /// lines, and other tenants' lines all consume global sequence
+    /// numbers — so only a present record proves durability.
+    durable_below_resume: Vec<u64>,
     quarantined: bool,
     consecutive_failures: u32,
     events_since_check: u64,
@@ -216,6 +228,7 @@ impl Tenant {
             counters: ServeCounters::default(),
             durable_seq: 0,
             resume_seq: 0,
+            durable_below_resume: Vec::new(),
             quarantined: false,
             consecutive_failures: 0,
             events_since_check: 0,
@@ -247,10 +260,17 @@ impl Tenant {
             report.replayed += 1;
         }
         // The resume watermark covers *every* durable record, replayed or
-        // snapshot-covered.
+        // snapshot-covered — and the per-record set remembers exactly
+        // which sequence numbers below it actually landed, so a re-fed
+        // event that was queued-but-lost at the crash is re-applied
+        // rather than misread as a duplicate.
         let max_rec_seq = recovery.records.iter().map(|r| r.seq).max().unwrap_or(0);
         tenant.durable_seq = tenant.durable_seq.max(max_rec_seq);
         tenant.resume_seq = tenant.durable_seq;
+        let mut seqs: Vec<u64> = recovery.records.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        tenant.durable_below_resume = seqs;
         report.durable_seq = tenant.durable_seq;
         Ok((tenant, report))
     }
@@ -294,13 +314,29 @@ impl Tenant {
             skewed,
         })?;
         self.durable_seq = self.durable_seq.max(seq);
+        if seq <= self.resume_seq {
+            // A healed gap event (queued-but-lost at the crash, re-fed
+            // now): record it so the dedupe set stays exact.
+            if let Err(at) = self.durable_below_resume.binary_search(&seq) {
+                self.durable_below_resume.insert(at, seq);
+            }
+        }
         Ok(())
+    }
+
+    /// Whether `seq` already has a durable WAL record from before this
+    /// process started (crash-resume dedupe). A sequence number merely
+    /// *below* the resume watermark is not enough: it may have been
+    /// queued-but-lost at the crash while a later overflow shed jumped
+    /// the queue into the WAL — such an event must re-apply on re-feed.
+    pub fn is_durable(&self, seq: u64) -> bool {
+        seq <= self.resume_seq && self.durable_below_resume.binary_search(&seq).is_ok()
     }
 
     /// Durably shed an arrival that never reaches the engine (queue
     /// overflow, quarantine). Part of the offers accounting.
     pub fn shed(&mut self, seq: u64, class: u16, skewed: bool) -> Result<Outcome, ServeError> {
-        if seq <= self.resume_seq {
+        if self.is_durable(seq) {
             return Ok(Outcome::Duplicate);
         }
         self.append(seq, RecordKind::Shed, class, skewed)?;
@@ -311,7 +347,14 @@ impl Tenant {
         Ok(Outcome::Shed)
     }
 
-    fn reject(&mut self, seq: u64, class: u16, skewed: bool) -> Result<Outcome, ServeError> {
+    /// Durably reject an event without touching the engine: semantic
+    /// failures from the apply path, and departures past the hard queue
+    /// bound (see the daemon's degradation docs). Counted outside the
+    /// offers identity.
+    pub fn reject(&mut self, seq: u64, class: u16, skewed: bool) -> Result<Outcome, ServeError> {
+        if self.is_durable(seq) {
+            return Ok(Outcome::Duplicate);
+        }
         self.append(seq, RecordKind::Rejected, class, skewed)?;
         self.counters.rejected += 1;
         if skewed {
@@ -321,10 +364,11 @@ impl Tenant {
     }
 
     /// Apply one event under supervision. `seq` must be the stream
-    /// sequence number; events at or below the durable high-water mark are
-    /// deduplicated (crash-replay safety).
+    /// sequence number; events with a durable record from before this
+    /// process started are deduplicated (crash-replay safety, see
+    /// [`Tenant::is_durable`]).
     pub fn apply(&mut self, seq: u64, event: Event, skewed: bool) -> Result<Outcome, ServeError> {
-        if seq <= self.resume_seq {
+        if self.is_durable(seq) {
             return Ok(Outcome::Duplicate);
         }
         let (kind, class) = match event {
@@ -481,9 +525,9 @@ impl Tenant {
         }
         let max_rec_seq = recovery.records.iter().map(|r| r.seq).max().unwrap_or(0);
         self.durable_seq = self.durable_seq.max(max_rec_seq);
-        // resume_seq stays what open() computed: the in-memory queues
-        // survived this in-process restart, so events above the original
-        // watermark must still apply.
+        // resume_seq and the dedupe set stay what open() computed: the
+        // in-memory queues survived this in-process restart, so events
+        // above the original watermark must still apply.
         self.counters.restarts = restarts + 1;
         Ok(())
     }
@@ -545,8 +589,10 @@ impl Tenant {
         self.durable_seq
     }
 
-    /// The crash-resume dedupe watermark (fixed at open): events at or
-    /// below it were durable before this process started.
+    /// The crash-resume dedupe watermark (fixed at open): the highest
+    /// sequence number durable before this process started. Not every
+    /// sequence number below it was durable — use [`Tenant::is_durable`]
+    /// for the per-record answer.
     pub fn resume_seq(&self) -> u64 {
         self.resume_seq
     }

@@ -184,8 +184,10 @@ fn kill_and_recover_is_byte_identical_to_uninterrupted_run() {
 }
 
 /// Crash with events still in the bounded queues: in-memory events die
-/// with the process, but the loss is bounded by the queue caps and the
-/// durable accounting stays exact.
+/// with the process, but re-feeding the stream heals them exactly — the
+/// per-record dedupe set re-applies queued-but-lost events instead of
+/// swallowing everything below the resume watermark — and the durable
+/// accounting stays exact.
 #[test]
 fn bounded_queue_crash_loses_at_most_the_queue_contents() {
     const QUEUE_CAP: usize = 16;
@@ -219,17 +221,17 @@ fn bounded_queue_crash_loses_at_most_the_queue_contents() {
     daemon.drain().unwrap();
     assert_accounting(&daemon);
     // Every line is a valid event here (malformed_p = 0). Each either
-    // landed durably (offer, departure, or rejection) or died in a queue
-    // at the crash — and the dead are bounded by what was queued.
+    // landed durably before the crash (and deduplicates on re-feed) or
+    // died in a queue — and the re-feed re-applies exactly the dead ones,
+    // so the full stream reconciles: nothing lost, nothing doubled.
     let acc = daemon.accounting();
     let absorbed = acc.offers + acc.departures + acc.rejected;
     let total = lines.len() as u64;
-    assert!(
-        absorbed >= total - queued_at_crash as u64,
-        "lost more than the queues held: absorbed {absorbed} of {total}, \
-         {queued_at_crash} queued at crash"
+    assert!(queued_at_crash as u64 <= total);
+    assert_eq!(
+        absorbed, total,
+        "re-feed must heal the {queued_at_crash} events queued at crash"
     );
-    assert!(absorbed <= total, "nothing double-applied");
 }
 
 /// Truncate and corrupt WAL tails between kills: recovery chops to the
