@@ -1,5 +1,5 @@
 //! Machine-readable perf trajectory: times the hot solve path at the
-//! paper's benchmark sizes and writes `BENCH_6.json` (median ns per bench,
+//! paper's benchmark sizes and writes `BENCH_7.json` (median ns per bench,
 //! switch size, backend, thread count) so the speedup story is trackable
 //! across PRs without parsing Criterion's console output. Since PR 4 it
 //! also times the admission-engine replay loop (events/sec is
@@ -8,7 +8,14 @@
 //! the headline per-point speedup) and the exact analytic sensitivity
 //! against its finite-difference oracle (`sensitivity/exact-vs-fd`);
 //! since PR 6 it times the serve daemon's sustained ingest throughput
-//! over a 100-tenant WAL-durable fleet (`serve/ingest`, events/sec).
+//! over a 100-tenant WAL-durable fleet (`serve/ingest`, events/sec);
+//! since PR 7 it times batched fleet anchor solves
+//! (`fleet/anchor-solves-per-sec`, heterogeneous model batches sharded
+//! across the persistent worker pool) against the single-model baseline.
+//!
+//! `--fleet-only` skips everything but the fleet records — the CI
+//! artifact leg uses it to publish `BENCH_7.json` without paying for the
+//! full matrix.
 //!
 //! Timed runs execute with metrics off — the medians must stay comparable
 //! with earlier `BENCH_N.json` files, and the obs layer's disabled-mode
@@ -17,16 +24,18 @@
 //! (escalation counters, sweep-mode splits, cache traffic).
 //!
 //! Run from the repo root: `cargo run --release -p xbar-bench --bin
-//! perf_trajectory [-- <output-path>]`.
+//! perf_trajectory [-- <output-path>] [-- --fleet-only]`.
 
 use std::time::Instant;
 
 use xbar_admission::{EngineConfig, PolicySpec};
-use xbar_bench::{fig2_sweep_model, sensitivity_model, table2_model, BenchRecord, BenchReport};
+use xbar_bench::{
+    fig2_sweep_model, fleet_member_model, sensitivity_model, table2_model, BenchRecord, BenchReport,
+};
 use xbar_core::alg1::{QLattice, ScaledQLattice};
 use xbar_core::parallel;
 use xbar_core::sensitivity::{sensitivity, sensitivity_fd};
-use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
+use xbar_core::{solve, Algorithm, Dims, Model, SolveCache, SweepSolver};
 use xbar_numeric::ExtFloat;
 use xbar_sim::{replay, ReplayConfig};
 use xbar_traffic::{TrafficClass, Workload};
@@ -247,6 +256,54 @@ fn time_serve_ingest(tenants: usize, runs: usize) -> BenchRecord {
     }
 }
 
+/// Time batched fleet anchor solves (PR 7's headline number): `size`
+/// heterogeneous models solved through [`SolveCache::solve_fleet`], a
+/// fresh cache per run so every member is a real lattice solve rather
+/// than a memo hit. `anchor_solves_per_sec = 1e9 * size / median_ns`.
+fn time_fleet(size: usize, threads: usize, runs: usize) -> BenchRecord {
+    let models: Vec<Model> = (0..size).map(fleet_member_model).collect();
+    let n_max = models.iter().map(|m| m.dims().max_n()).max().unwrap_or(0);
+    parallel::set_threads(threads);
+    let median = median_ns(runs, || {
+        let cache = SolveCache::new(size.max(2));
+        for r in cache.solve_fleet(&models, Algorithm::Auto) {
+            std::hint::black_box(r.expect("fleet member solves"));
+        }
+    });
+    let solves_per_sec = 1e9 * size as f64 / median as f64;
+    println!(
+        "  fleet        size={size:<4} threads={threads:<2} median {median} ns \
+         ({solves_per_sec:.0} anchor solves/s)"
+    );
+    BenchRecord {
+        name: format!("fleet/anchor-solves-per-sec/{size}models/t{threads}"),
+        n: n_max,
+        backend: "fleet".to_string(),
+        threads,
+        median_ns: median,
+    }
+}
+
+/// The fleet-of-1 acceptance baseline: the same member model the
+/// `1models` record batches, solved directly (no cache, no batch) at one
+/// thread. `fleet/anchor-solves-per-sec/1models/t1` must land within
+/// ~10% of this.
+fn time_fleet_baseline(runs: usize) -> BenchRecord {
+    let model = fleet_member_model(0);
+    parallel::set_threads(1);
+    let median = median_ns(runs, || {
+        std::hint::black_box(solve(&model, Algorithm::Auto).expect("baseline solves"));
+    });
+    println!("  fleet        single-model baseline  median {median} ns");
+    BenchRecord {
+        name: "fleet/anchor-solves-per-sec/single-model/t1".to_string(),
+        n: model.dims().max_n(),
+        backend: "single-model".to_string(),
+        threads: 1,
+        median_ns: median,
+    }
+}
+
 /// One instrumented reference pass: solve the Table 2 fixture resiliently
 /// under a scoped registry and return the snapshot JSON. Scoped (not
 /// global) so it cannot leak recording into the timed runs.
@@ -264,64 +321,80 @@ fn obs_reference_snapshot() -> String {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fleet_only = args.iter().any(|a| a == "--fleet-only");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let auto = parallel::effective_threads();
     println!("perf_trajectory: auto thread count = {auto}");
 
     let mut records = Vec::new();
-    for &(n, runs) in &[(32u32, 40usize), (128, 15), (512, 5)] {
-        let model = table2_model(n);
-        // Plain f64 underflows past N ~ 64; only time it in range.
-        if n <= 64 {
-            records.push(time_backend("alg1-f64", n, 1, &model, runs));
-        }
-        for backend in ["alg1-ext", "alg1-scaled"] {
-            records.push(time_backend(backend, n, 1, &model, runs));
-            if auto > 1 {
-                records.push(time_backend(backend, n, auto, &model, runs));
+    if !fleet_only {
+        for &(n, runs) in &[(32u32, 40usize), (128, 15), (512, 5)] {
+            let model = table2_model(n);
+            // Plain f64 underflows past N ~ 64; only time it in range.
+            if n <= 64 {
+                records.push(time_backend("alg1-f64", n, 1, &model, runs));
+            }
+            for backend in ["alg1-ext", "alg1-scaled"] {
+                records.push(time_backend(backend, n, 1, &model, runs));
+                if auto > 1 {
+                    records.push(time_backend(backend, n, auto, &model, runs));
+                }
             }
         }
+
+        // PR 5: the incremental sweep solver vs fresh solves, and the exact
+        // sensitivity vs the FD oracle, at both ends of the thread matrix.
+        // (FD at N = 512 pays dozens of full ExtFloat solves — one run.)
+        for &(n, runs) in &[(32u32, 40usize), (128, 15), (512, 5)] {
+            for &threads in &[1usize, 4] {
+                records.extend(time_sweep_points(n, threads, runs));
+                records.extend(time_sensitivity(
+                    n,
+                    threads,
+                    if n >= 512 { 1 } else { runs },
+                ));
+            }
+        }
+        parallel::set_threads(0);
+
+        records.push(time_admission_replay("cs", PolicySpec::CompleteSharing, 15));
+        records.push(time_admission_replay(
+            "trunk",
+            PolicySpec::TrunkReservation(vec![0, 2]),
+            15,
+        ));
+        records.push(time_admission_replay(
+            "shadow",
+            PolicySpec::ShadowPrice { reserve: 2 },
+            15,
+        ));
+
+        // PR 6: the serve daemon's durable multi-tenant ingest path.
+        records.push(time_serve_ingest(100, 5));
     }
 
-    // PR 5: the incremental sweep solver vs fresh solves, and the exact
-    // sensitivity vs the FD oracle, at both ends of the thread matrix.
-    // (FD at N = 512 pays dozens of full ExtFloat solves — one run.)
-    for &(n, runs) in &[(32u32, 40usize), (128, 15), (512, 5)] {
+    // PR 7: batched fleet anchor solves across the thread matrix, plus
+    // the single-model baseline the fleet-of-1 record is held against.
+    for &(size, runs) in &[(1usize, 40usize), (16, 15), (100, 7)] {
         for &threads in &[1usize, 4] {
-            records.extend(time_sweep_points(n, threads, runs));
-            records.extend(time_sensitivity(
-                n,
-                threads,
-                if n >= 512 { 1 } else { runs },
-            ));
+            records.push(time_fleet(size, threads, runs));
         }
     }
+    records.push(time_fleet_baseline(40));
     parallel::set_threads(0);
 
-    records.push(time_admission_replay("cs", PolicySpec::CompleteSharing, 15));
-    records.push(time_admission_replay(
-        "trunk",
-        PolicySpec::TrunkReservation(vec![0, 2]),
-        15,
-    ));
-    records.push(time_admission_replay(
-        "shadow",
-        PolicySpec::ShadowPrice { reserve: 2 },
-        15,
-    ));
-
-    // PR 6: the serve daemon's durable multi-tenant ingest path.
-    records.push(time_serve_ingest(100, 5));
-
     let report = BenchReport {
-        pr: 6,
+        pr: 7,
         host_threads: auto,
         records,
         obs_snapshot: Some(obs_reference_snapshot()),
     };
     let json = report.to_json();
-    std::fs::write(&out_path, &json).expect("write BENCH_6.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_7.json");
     println!("wrote {out_path}");
 }

@@ -146,6 +146,24 @@ pub fn sensitivity_model(n: u32) -> Model {
     Model::new(Dims::square(n), workload).expect("valid fixture")
 }
 
+/// One member of the heterogeneous fleet fixture: sizes cycle through
+/// `24..=39` while the offered load drifts with the index, so every
+/// member carries a distinct canonical fingerprint (no two dedupe away
+/// inside `solve_fleet`) and a batch of `k` members really is `k`
+/// independent lattice solves.
+pub fn fleet_member_model(i: usize) -> Model {
+    let n = 24 + (i % 16) as u32;
+    let alpha = 0.0012 * (1.0 + 0.002 * i as f64);
+    let workload = Workload::from_tilde(
+        &[
+            TildeClass::poisson(alpha).with_weight(1.0),
+            TildeClass::bpp(alpha, alpha, 1.0).with_weight(0.0001),
+        ],
+        n,
+    );
+    Model::new(Dims::square(n), workload).expect("valid fixture")
+}
+
 /// A heavier mixed multi-rate fixture exercising all recursion paths.
 pub fn mixed_model(n: u32) -> Model {
     let workload = Workload::from_tilde(
@@ -178,6 +196,23 @@ mod tests {
     #[test]
     fn fixtures_scale_to_large_sizes() {
         assert!(solve(&table2_model(256), Algorithm::Alg1Ext).is_ok());
+    }
+
+    #[test]
+    fn fleet_members_are_solvable_and_pairwise_distinct() {
+        let models: Vec<_> = (0..100).map(fleet_member_model).collect();
+        assert!(solve(&models[0], Algorithm::Auto).is_ok());
+        assert!(solve(&models[99], Algorithm::Auto).is_ok());
+        // No two members may dedupe inside solve_fleet: every batch of k
+        // must cost k real solves for the trajectory numbers to mean
+        // anything.
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        {
+            let _g = xbar_obs::scope(&reg);
+            let results = xbar_core::SolveCache::new(128).solve_fleet(&models, Algorithm::Auto);
+            assert!(results.iter().all(|r| r.is_ok()));
+        }
+        assert_eq!(reg.snapshot().counter("fleet.deduped").unwrap_or(0), 0);
     }
 
     #[test]

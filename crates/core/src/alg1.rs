@@ -23,13 +23,14 @@
 //! `d = n1 + n2`. Cells sharing an anti-diagonal are therefore mutually
 //! independent, so the recursion admits an exact *wavefront* schedule:
 //! sweep `d` from 0 to `N1 + N2`, computing each diagonal's cells in
-//! parallel. [`QLattice::solve`] (all backends) runs this schedule over the
-//! flat row-major buffer with scoped threads and one barrier per diagonal;
-//! per-cell arithmetic is shared with the sequential path (one kernel), so
-//! the parallel result is **bit-for-bit identical** to the serial one.
-//! Short diagonals (below [`PAR_MIN_DIAG_LEN`]) are computed by a single
-//! worker, and small lattices (below [`PAR_MIN_DIM`]) skip the thread pool
-//! entirely — see [`crate::parallel`] for how the thread count is chosen.
+//! parallel. [`QLattice::solve`] (all backends) runs this schedule on the
+//! persistent worker pool ([`crate::parallel::run_scoped`]) with one
+//! barrier per diagonal; per-cell arithmetic is shared with the sequential
+//! path (one kernel), so the parallel result is **bit-for-bit identical**
+//! to the serial one. Short diagonals (below [`PAR_MIN_DIAG_LEN`]) are
+//! computed by a single worker, and automatic solves cap the thread count
+//! so each worker owns at least [`PAR_MIN_DIM`] cells of the longest
+//! diagonal — see [`crate::parallel`] for how the count is chosen.
 //!
 //! # Numeric backends
 //!
@@ -65,10 +66,13 @@ use xbar_numeric::ExtFloat;
 use crate::model::{Dims, Model};
 use crate::parallel;
 
-/// Smallest `min(N1, N2) + 1` (= longest anti-diagonal) for which the
-/// automatic thread-count resolution engages the parallel wavefront; below
-/// this the per-diagonal barrier costs more than the cells. An explicit
-/// [`QLattice::solve_with_threads`] call bypasses this gate.
+/// Minimum cells of the longest anti-diagonal (`min(N1, N2) + 1` cells)
+/// each worker must own before the automatic thread-count resolution adds
+/// it to the wavefront: `auto threads = min(effective, width / 96)`.
+/// Below one quantum per extra worker the per-diagonal barrier costs more
+/// than the cells it buys (BENCH_6 measured 4 threads 1.7× slower than
+/// serial at `N = 128`). An explicit [`QLattice::solve_with_threads`]
+/// call bypasses this gate.
 pub const PAR_MIN_DIM: usize = 96;
 
 /// Anti-diagonals shorter than this are computed by one worker inside the
@@ -312,66 +316,61 @@ where
     let record_diag = xbar_obs::enabled();
     let barrier = Barrier::new(threads);
     let last_diag = (n1 + n2) as i64;
-    crossbeam::thread::scope(|s| {
-        for w in 0..threads {
-            let q_cells = &q_cells;
-            let v_cells = &v_cells;
-            let barrier = &barrier;
-            let obs_scope = obs_scope.clone();
-            s.spawn(move |_| {
-                let _obs = obs_scope.enter();
-                for d in 0..=last_diag {
-                    // Worker 0 times each diagonal (the wavefront's unit of
-                    // work); barrier-to-barrier, so it includes the
-                    // stragglers this worker waited on.
-                    let t0 = if record_diag && w == 0 {
-                        Some(Instant::now())
-                    } else {
-                        None
-                    };
-                    // The diagonal's i1 range: i2 = d − i1 must fit [0, n2].
-                    let lo = (d - n2 as i64).max(0);
-                    let hi = (n1 as i64).min(d);
-                    let len = (hi - lo + 1) as usize;
-                    if len < PAR_MIN_DIAG_LEN {
-                        if w == 0 {
-                            for i1 in lo..=hi {
-                                // Safety: worker 0 alone owns the whole
-                                // diagonal; earlier diagonals completed
-                                // before the previous barrier.
-                                unsafe { kernel.cell(q_cells, v_cells, i1, d - i1) };
-                            }
-                        }
-                    } else {
-                        let chunk = len.div_ceil(threads) as i64;
-                        let start = lo + w as i64 * chunk;
-                        let end = (start + chunk - 1).min(hi);
-                        for i1 in start..=end {
-                            // Safety: workers own disjoint i1 ranges of the
-                            // current diagonal; reads target older
-                            // diagonals, sequenced by the barrier below.
-                            unsafe { kernel.cell(q_cells, v_cells, i1, d - i1) };
-                        }
-                    }
-                    barrier.wait();
-                    if let Some(t0) = t0 {
-                        xbar_obs::record_duration("alg1.diag_ns", t0.elapsed());
+    parallel::run_scoped(threads, |w| {
+        let _obs = obs_scope.enter();
+        for d in 0..=last_diag {
+            // Worker 0 times each diagonal (the wavefront's unit of
+            // work); barrier-to-barrier, so it includes the
+            // stragglers this worker waited on.
+            let t0 = if record_diag && w == 0 {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            // The diagonal's i1 range: i2 = d − i1 must fit [0, n2].
+            let lo = (d - n2 as i64).max(0);
+            let hi = (n1 as i64).min(d);
+            let len = (hi - lo + 1) as usize;
+            if len < PAR_MIN_DIAG_LEN {
+                if w == 0 {
+                    for i1 in lo..=hi {
+                        // Safety: worker 0 alone owns the whole
+                        // diagonal; earlier diagonals completed
+                        // before the previous barrier.
+                        unsafe { kernel.cell(&q_cells, &v_cells, i1, d - i1) };
                     }
                 }
-            });
+            } else {
+                let chunk = len.div_ceil(threads) as i64;
+                let start = lo + w as i64 * chunk;
+                let end = (start + chunk - 1).min(hi);
+                for i1 in start..=end {
+                    // Safety: workers own disjoint i1 ranges of the
+                    // current diagonal; reads target older
+                    // diagonals, sequenced by the barrier below.
+                    unsafe { kernel.cell(&q_cells, &v_cells, i1, d - i1) };
+                }
+            }
+            barrier.wait();
+            if let Some(t0) = t0 {
+                xbar_obs::record_duration("alg1.diag_ns", t0.elapsed());
+            }
         }
-    })
-    .expect("wavefront worker panicked");
+    });
 }
 
 /// Resolve the thread count for an automatic (non-explicit) solve: the
-/// configured count, gated so small lattices stay serial.
+/// configured count, capped so every worker owns at least
+/// [`PAR_MIN_DIM`] cells of the longest anti-diagonal (`min(N1,N2)+1`
+/// cells). Below one full quantum the sweep stays serial — BENCH_6
+/// showed the barrier overhead costing 4 threads 1.7× *more* wall time
+/// than 1 thread at `N = 128`; per-worker diagonal width, not lattice
+/// size alone, is what must clear the barrier cost.
 fn auto_threads(dims: Dims) -> usize {
-    if (dims.min_n() as usize + 1) < PAR_MIN_DIM {
-        1
-    } else {
-        parallel::effective_threads()
-    }
+    let width = dims.min_n() as usize + 1;
+    parallel::effective_threads()
+        .min(width / PAR_MIN_DIM)
+        .max(1)
 }
 
 // ---------------------------------------------------------------------------

@@ -61,6 +61,11 @@
 //!   partial convolutions on the diagonal ray, answering one-class
 //!   parameter edits in `O(C²/a)` instead of a full lattice solve, plus
 //!   exact §4 gradients.
+//! * [`simd`] — runtime-dispatched multi-lane recombination kernels for
+//!   the sweep hot loop (`strict` bit-for-bit / `fast` ≤ 1e-12 modes).
+//! * [`fleet`] — batched solves of many heterogeneous models over the
+//!   persistent worker pool, with work-stealing sharding and
+//!   structure-of-arrays ray storage.
 //!
 //! # Quick example
 //!
@@ -87,18 +92,22 @@ pub mod alg2;
 pub mod alg3;
 pub mod approx;
 pub mod brute;
+pub mod fleet;
 pub mod measures;
 pub mod model;
 pub mod parallel;
 pub mod policy;
 pub mod sensitivity;
+pub mod simd;
 pub mod solver;
 pub mod state;
 pub mod sweep;
 pub mod transient;
 
+pub use fleet::{solve_fleet, FleetSweep};
 pub use measures::{ClassMeasures, SwitchMeasures};
 pub use model::{Dims, Model, ModelError};
+pub use simd::{with_kernel_mode, KernelMode};
 pub use solver::resilient::{solve_resilient, ResilientConfig, ResilientSolution, SolveReport};
 pub use solver::{solve, solve_batch, solve_cached, Algorithm, Solution, SolveCache, SolveError};
 pub use state::StateIter;

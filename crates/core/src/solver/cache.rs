@@ -23,14 +23,12 @@
 //! IEEE arithmetic cannot observe here — so no tolerance is involved:
 //! models differing in the last ulp are (correctly) distinct entries.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crossbeam::queue::SegQueue;
-
 use super::{solve, Algorithm, Solution, SolveError};
 use crate::model::Model;
-use crate::parallel;
 
 /// Canonical fingerprint of one `(Model, Algorithm)` solve request.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -182,6 +180,53 @@ impl SolveCache {
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
+
+    /// Solve every model in `models` as one fleet batch, returning
+    /// results in input order.
+    ///
+    /// Models with identical canonical fingerprints are deduplicated
+    /// up front — one solve, one shared `Arc` (and one shared error:
+    /// [`SolveError`] is `Clone`). The unique models are sharded across
+    /// the persistent worker pool with work stealing, each inner solve
+    /// pinned to one thread; a fleet of one (or a one-thread
+    /// configuration) runs inline with the single model keeping its own
+    /// wavefront parallelism, so batching adds no overhead to the
+    /// single-model path.
+    pub fn solve_fleet(
+        &self,
+        models: &[Model],
+        algorithm: Algorithm,
+    ) -> Vec<Result<Arc<Solution>, SolveError>> {
+        xbar_obs::inc("fleet.solves");
+        xbar_obs::record("fleet.batch_size", models.len() as f64);
+        if models.is_empty() {
+            return Vec::new();
+        }
+        if models.len() == 1 {
+            return vec![self.get_or_solve(&models[0], algorithm)];
+        }
+
+        // Dedupe by fingerprint: `uniq` holds the first index per
+        // distinct key, `slot_of[i]` the uniq position serving model i.
+        let keys: Vec<Key> = models.iter().map(|m| fingerprint(m, algorithm)).collect();
+        let mut first_of: HashMap<&Key, usize> = HashMap::with_capacity(models.len());
+        let mut uniq: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(models.len());
+        for key in &keys {
+            let next = uniq.len();
+            let slot = *first_of.entry(key).or_insert(next);
+            if slot == next {
+                uniq.push(slot_of.len());
+            }
+            slot_of.push(slot);
+        }
+        xbar_obs::add("fleet.deduped", (models.len() - uniq.len()) as u64);
+
+        let solved = crate::fleet::shard_map(uniq.len(), |u| {
+            self.get_or_solve(&models[uniq[u]], algorithm)
+        });
+        slot_of.into_iter().map(|s| solved[s].clone()).collect()
+    }
 }
 
 /// Capacity of the process-wide cache behind [`solve_cached`]. Sized for
@@ -206,78 +251,19 @@ pub fn solve_cached(model: &Model, algorithm: Algorithm) -> Result<Arc<Solution>
     global_cache().get_or_solve(model, algorithm)
 }
 
-/// One batch result slot: filled by whichever worker claimed the index.
-type BatchSlot = Mutex<Option<Result<Arc<Solution>, SolveError>>>;
-
-/// Solve every model in `models`, fanning out over a work-stealing pool of
-/// [`parallel::effective_threads`] workers, and return the results in input
-/// order.
-///
-/// Workers pull indices from a shared [`SegQueue`] in small batches
-/// ([`SegQueue::pop_batch`], amortising the shim's lock over several sweep
-/// points), so an unbalanced mix — a few large-`N` tail points among many
-/// cheap ones — keeps every worker busy until the queue drains, unlike a
-/// static chunked split. Each worker pins its per-model solves to one
-/// thread ([`parallel::with_threads`]): with whole models to hand out,
-/// across-model parallelism strictly dominates nested wavefront
-/// parallelism. Solves go through the process-wide cache, so duplicate
-/// models in one batch (or across batches) are solved once.
+/// Solve every model in `models`, fanning out over the persistent
+/// worker pool with work stealing, and return the results in input
+/// order. Since PR 7 this is [`SolveCache::solve_fleet`] on the
+/// process-wide cache: duplicate models are deduplicated up front, the
+/// unique misses are stolen off a shared queue by persistent pool
+/// workers (each inner solve pinned to one thread — with whole models
+/// to hand out, across-model parallelism strictly dominates nested
+/// wavefront parallelism), and solves are memoized across batches.
 pub fn solve_batch(
     models: &[Model],
     algorithm: Algorithm,
 ) -> Vec<Result<Arc<Solution>, SolveError>> {
-    let n = models.len();
-    let threads = parallel::effective_threads().min(n.max(1));
-    if threads <= 1 {
-        // Serial batch: let each solve use the wavefront's own auto gate.
-        return models.iter().map(|m| solve_cached(m, algorithm)).collect();
-    }
-
-    let queue = SegQueue::new();
-    for i in 0..n {
-        queue.push(i);
-    }
-    // Batch size: enough to amortise the queue lock, small enough that the
-    // tail stays balanced across workers.
-    let batch = (n / (threads * 4)).clamp(1, 16);
-
-    let mut slots: Vec<BatchSlot> = Vec::new();
-    slots.resize_with(n, || Mutex::new(None));
-
-    // Re-install the spawner's scoped obs registry (if any) inside each
-    // worker so cache/solver counters from batch solves land with the
-    // caller's metrics instead of vanishing.
-    let obs_scope = xbar_obs::current_scope();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            let obs_scope = obs_scope.clone();
-            let queue = &queue;
-            let slots = &slots;
-            s.spawn(move |_| {
-                let _obs = obs_scope.enter();
-                loop {
-                    let taken = queue.pop_batch(batch);
-                    if taken.is_empty() {
-                        break;
-                    }
-                    for i in taken {
-                        let r = parallel::with_threads(1, || solve_cached(&models[i], algorithm));
-                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
-                    }
-                }
-            });
-        }
-    })
-    .expect("solve_batch worker panicked");
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("solve_batch drained the queue but left a slot empty")
-        })
-        .collect()
+    global_cache().solve_fleet(models, algorithm)
 }
 
 #[cfg(test)]

@@ -59,7 +59,7 @@ use crate::solver::{Algorithm, SolveError, AUTO_F64_MAX_N};
 /// Scalar abstraction for ray storage: plain (scaled) `f64` or
 /// extended-range. Mirrors `alg1::QScalar`, plus the constructors the
 /// ray builder needs.
-trait RayScalar: Copy + Send + Sync {
+pub(crate) trait RayScalar: Copy + Send + Sync {
     fn zero() -> Self;
     fn add(self, other: Self) -> Self;
     fn mul(self, other: Self) -> Self;
@@ -71,6 +71,29 @@ trait RayScalar: Copy + Send + Sync {
     /// In-range check: scaled `f64` must stay finite and positive;
     /// extended-range is always healthy.
     fn healthy(self) -> bool;
+
+    /// The recombination primitive shared by [`install_class`] and
+    /// [`derivative_ray`]:
+    /// `out[d] = (seed_base ? base[d] : 0) + Σ_{j≥1} coef[j]·base[d+j·a]`,
+    /// truncated at the ray end. The default is the reference scalar
+    /// loop; `f64` overrides it with the runtime-dispatched multi-lane
+    /// kernels in [`crate::simd`].
+    fn combine(base: &[Self], coef: &[Self], a: usize, seed_base: bool) -> Vec<Self> {
+        let len = base.len();
+        let mut out = Vec::with_capacity(len);
+        for d in 0..len {
+            let mut acc = if seed_base { base[d] } else { Self::zero() };
+            let mut j = 1;
+            let mut idx = d + a;
+            while idx < len {
+                acc = acc.add(coef[j].mul(base[idx]));
+                j += 1;
+                idx += a;
+            }
+            out.push(acc);
+        }
+        out
+    }
 }
 
 impl RayScalar for f64 {
@@ -94,6 +117,9 @@ impl RayScalar for f64 {
     }
     fn healthy(self) -> bool {
         self.is_finite() && self > 0.0
+    }
+    fn combine(base: &[f64], coef: &[f64], a: usize, seed_base: bool) -> Vec<f64> {
+        crate::simd::combine(base, coef, a, seed_base)
     }
 }
 
@@ -130,10 +156,10 @@ impl RayScalar for ExtFloat {
 /// extended-range backend). Ratios between ray points therefore need a
 /// `c^{2(d_num − d_den)}` correction, applied in [`QRatio::q_ratio`].
 #[derive(Clone, Debug)]
-struct Ray<S> {
-    dims: Dims,
-    ln_c: f64,
-    vals: Vec<S>,
+pub(crate) struct Ray<S> {
+    pub(crate) dims: Dims,
+    pub(crate) ln_c: f64,
+    pub(crate) vals: Vec<S>,
 }
 
 impl<S: RayScalar> Ray<S> {
@@ -200,22 +226,15 @@ fn phi_series<S: RayScalar>(len: usize, a: usize, rho: f64, y: f64, ln_c: f64) -
 /// *smaller* switches; indices past the ray end are outside the
 /// sub-switch and contribute zero — exact truncation, not an
 /// approximation).
-fn install_class<S: RayScalar>(base: &[S], a: usize, rho: f64, y: f64, ln_c: f64) -> Vec<S> {
-    let len = base.len();
-    let phi = phi_series::<S>(len, a, rho, y, ln_c);
-    let mut out = Vec::with_capacity(len);
-    for d in 0..len {
-        let mut acc = base[d];
-        let mut j = 1;
-        let mut idx = d + a;
-        while idx < len {
-            acc = acc.add(phi[j].mul(base[idx]));
-            j += 1;
-            idx += a;
-        }
-        out.push(acc);
-    }
-    out
+pub(crate) fn install_class<S: RayScalar>(
+    base: &[S],
+    a: usize,
+    rho: f64,
+    y: f64,
+    ln_c: f64,
+) -> Vec<S> {
+    let phi = phi_series::<S>(base.len(), a, rho, y, ln_c);
+    S::combine(base, &phi, a, true)
 }
 
 fn install_all<S: RayScalar>(mut ray: Vec<S>, classes: &[TrafficClass], ln_c: f64) -> Vec<S> {
@@ -254,7 +273,7 @@ fn build_rays<S: RayScalar>(model: &Model, ln_c: f64) -> (Vec<Vec<S>>, Vec<S>) {
     (loo, pre)
 }
 
-enum Repr {
+pub(crate) enum Repr {
     Scaled {
         full: Ray<f64>,
         loo: Vec<Vec<f64>>,
@@ -346,6 +365,20 @@ impl SweepSolver {
     /// The base model the partials were computed for.
     pub fn model(&self) -> &Model {
         &self.base
+    }
+
+    /// Decompose into the precomputed parts (for the fleet arena).
+    pub(crate) fn into_parts(self) -> (Model, Algorithm, Repr) {
+        (self.base, self.algorithm, self.repr)
+    }
+
+    /// Reassemble from parts produced by [`SweepSolver::into_parts`].
+    pub(crate) fn from_parts(base: Model, algorithm: Algorithm, repr: Repr) -> Self {
+        SweepSolver {
+            base,
+            algorithm,
+            repr,
+        }
     }
 
     /// The effective backend (`Alg1Scaled` or `Alg1Ext`).
@@ -525,20 +558,7 @@ fn dphi_series<S: RayScalar>(
 /// `Σ_{j≥1} dphi[j] · base[d + j·a]` for every ray point `d` — the
 /// derivative ray, at the same implicit scale as the full ray.
 fn derivative_ray<S: RayScalar>(base: &[S], dphi: &[S], a: usize) -> Vec<S> {
-    let len = base.len();
-    let mut out = Vec::with_capacity(len);
-    for d in 0..len {
-        let mut acc = S::zero();
-        let mut j = 1;
-        let mut idx = d + a;
-        while idx < len {
-            acc = acc.add(dphi[j].mul(base[idx]));
-            j += 1;
-            idx += a;
-        }
-        out.push(acc);
-    }
-    out
+    S::combine(base, dphi, a, false)
 }
 
 fn gradients_impl<S: RayScalar>(
@@ -641,7 +661,7 @@ pub struct SweepGradients {
     pub revenue_by_beta: f64,
 }
 
-enum RayRepr {
+pub(crate) enum RayRepr {
     Scaled(Ray<f64>),
     Ext(Ray<ExtFloat>),
 }
@@ -674,7 +694,11 @@ pub struct SweepSolution {
 }
 
 impl SweepSolution {
-    fn from_ray(model: Model, algorithm: Algorithm, ray: RayRepr) -> Result<Self, SolveError> {
+    pub(crate) fn from_ray(
+        model: Model,
+        algorithm: Algorithm,
+        ray: RayRepr,
+    ) -> Result<Self, SolveError> {
         let m = measures(&model, &ray);
         m.validate().map_err(|source| {
             xbar_obs::inc("solver.reject.guard");

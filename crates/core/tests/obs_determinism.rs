@@ -14,8 +14,10 @@ use xbar_traffic::{TildeClass, Workload};
 const SCHEDULE_PREFIXES: &[&str] = &["alg1.sweep."];
 
 fn big_model() -> Model {
-    // Above PAR_MIN_DIM (96) so the parallel path actually engages.
-    let n = 128;
+    // Wide enough that the per-worker diagonal-width gate (PAR_MIN_DIM
+    // cells per worker) grants at least two workers, so the parallel
+    // path actually engages under the automatic thread resolution.
+    let n = 192;
     let workload = Workload::from_tilde(&[TildeClass::bpp(0.0024, -2.0e-6, 1.0)], n);
     Model::new(Dims::square(n), workload).expect("valid model")
 }

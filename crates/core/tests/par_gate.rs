@@ -1,0 +1,86 @@
+//! The wavefront auto-gate must account for per-worker diagonal width.
+//!
+//! BENCH_6 exposed a regression: at `N = 128` the auto path engaged 4
+//! threads whose per-diagonal barrier cost 1.7× the serial sweep. The
+//! retuned gate grants one worker per [`xbar_core::alg1::PAR_MIN_DIM`]
+//! cells of the longest diagonal, so `N = 128` (width 129) stays
+//! serial and `N = 512` (width 513) gets up to 5 workers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use xbar_core::{parallel, solve, Algorithm, Dims, Model};
+use xbar_traffic::{TildeClass, Workload};
+
+fn fig2_model(n: u32) -> Model {
+    let workload = Workload::from_tilde(&[TildeClass::bpp(0.0024, 1.2e-3, 1.0)], n);
+    Model::new(Dims::square(n), workload).expect("valid model")
+}
+
+/// Which schedule the automatic resolution picks, observed through the
+/// sweep-mode markers.
+fn auto_schedule(n: u32, threads: usize) -> (Option<u64>, Option<u64>) {
+    let reg = Arc::new(xbar_obs::Registry::new());
+    {
+        let _g = xbar_obs::scope(&reg);
+        parallel::with_threads(threads, || {
+            solve(&fig2_model(n), Algorithm::Alg1Scaled).expect("solvable")
+        });
+    }
+    let snap = reg.snapshot();
+    (
+        snap.counter("alg1.sweep.serial"),
+        snap.counter("alg1.sweep.parallel"),
+    )
+}
+
+#[test]
+fn auto_gate_keeps_n128_serial_even_with_threads() {
+    // Width 129 < 2 × PAR_MIN_DIM: no second worker can own a full
+    // quantum, so the auto path must stay serial regardless of the
+    // configured thread count — this is the deterministic core of the
+    // BENCH_6 `128/t4` regression fix.
+    for threads in [2, 4, 16] {
+        let (serial, parallel_marker) = auto_schedule(128, threads);
+        assert_eq!(serial, Some(1), "threads={threads}");
+        assert_eq!(parallel_marker, None, "threads={threads}");
+    }
+}
+
+#[test]
+fn auto_gate_engages_on_wide_lattices() {
+    // Width 257 ≥ 2 × PAR_MIN_DIM: two workers each own ≥ 96 cells.
+    let (serial, parallel_marker) = auto_schedule(256, 4);
+    assert_eq!(serial, None);
+    assert_eq!(parallel_marker, Some(1));
+}
+
+#[test]
+fn n128_full_solve_no_slower_with_four_threads() {
+    // The BENCH_6 regression as a test: a full N = 128 auto solve with
+    // 4 configured threads must not be slower than with 1 (both now
+    // run the identical serial schedule; the 1.1× margin absorbs
+    // timer noise).
+    let model = fig2_model(128);
+    let median = |threads: usize| -> u128 {
+        let mut runs: Vec<u128> = (0..9)
+            .map(|_| {
+                let t0 = Instant::now();
+                parallel::with_threads(threads, || {
+                    solve(&model, Algorithm::Auto).expect("solvable")
+                });
+                t0.elapsed().as_nanos()
+            })
+            .collect();
+        runs.sort_unstable();
+        runs[runs.len() / 2]
+    };
+    // Warm up (pool spawn, page faults) before timing.
+    let _ = median(4);
+    let t1 = median(1);
+    let t4 = median(4);
+    assert!(
+        t4 as f64 <= 1.1 * t1 as f64,
+        "t4 {t4} ns vs t1 {t1} ns exceeds 1.1×"
+    );
+}

@@ -160,6 +160,12 @@ pub struct DaemonCounters {
     /// Total restart backoff accumulated (nanoseconds), whether or not it
     /// was slept.
     pub backoff_ns: u64,
+    /// Drift-triggered re-anchors completed through a coalesced fleet
+    /// batch (rather than inline, one solve at a time).
+    pub batched_reanchors: u64,
+    /// Fleet batches issued to complete pending re-anchors. Always
+    /// `<= batched_reanchors` (every batch completes at least one).
+    pub reanchor_batches: u64,
 }
 
 /// The fleet-wide accounting the exit-6 metrics invariant checks:
@@ -254,7 +260,11 @@ impl Daemon {
     }
 
     fn open_tenant(&mut self, name: &str) -> Result<RecoveryReport, ServeError> {
-        let (tenant, report) = Tenant::open(name, &self.dir, &self.model, self.cfg.tenant.clone())?;
+        // Daemon-owned tenants defer drift re-anchors so each pump pass
+        // can coalesce them into one fleet solve.
+        let mut tcfg = self.cfg.tenant.clone();
+        tcfg.coalesce_reanchors = true;
+        let (tenant, report) = Tenant::open(name, &self.dir, &self.model, tcfg)?;
         self.tenants.insert(name.to_string(), tenant);
         self.queues.insert(name.to_string(), VecDeque::new());
         Ok(report)
@@ -405,7 +415,46 @@ impl Daemon {
                 break;
             }
         }
+        self.complete_pending_reanchors()?;
         Ok(applied)
+    }
+
+    /// Complete every deferred drift re-anchor in one fleet batch: a
+    /// single [`xbar_core::solve_fleet`] call pre-warms the global solve
+    /// cache (deduped, sharded over the worker pool), so each tenant's
+    /// own `re_anchor` below is a cache hit instead of a fresh
+    /// sequential solve. Per-tenant failure supervision is untouched —
+    /// fleet errors are not consumed here; the tenant's re-anchor hits
+    /// the same error and walks its own restart/quarantine ladder.
+    fn complete_pending_reanchors(&mut self) -> Result<(), ServeError> {
+        let due: Vec<String> = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| t.reanchor_pending() && !t.quarantined())
+            .map(|(n, _)| n.clone())
+            .collect();
+        if due.is_empty() {
+            return Ok(());
+        }
+        let models: Vec<Model> = due
+            .iter()
+            .map(|n| self.tenants[n].model().clone())
+            .collect();
+        let _ = xbar_core::solve_fleet(&models, self.cfg.tenant.algorithm);
+        self.counters.batched_reanchors += due.len() as u64;
+        self.counters.reanchor_batches += 1;
+        xbar_obs::record("serve.reanchor.batch_size", due.len() as f64);
+        for name in due {
+            let tenant = self.tenants.get_mut(&name).expect("tenant exists");
+            tenant.complete_pending_reanchor()?;
+            if let Some(backoff) = tenant.take_backoff() {
+                self.counters.backoff_ns += backoff.as_nanos() as u64;
+                if self.cfg.sleep_on_backoff {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Apply everything queued.
@@ -477,6 +526,8 @@ impl Daemon {
         xbar_obs::add("serve.skewed", c.skewed);
         xbar_obs::add("serve.restarts.total", c.restarts);
         xbar_obs::add("serve.reanchor.stale.total", c.stale_reanchors);
+        xbar_obs::add("serve.reanchor.batched", self.counters.batched_reanchors);
+        xbar_obs::add("serve.reanchor.batches", self.counters.reanchor_batches);
         xbar_obs::add("serve.snapshots", c.snapshots);
         xbar_obs::add("serve.lines", self.counters.lines);
         xbar_obs::add("serve.malformed.total", self.counters.malformed);
@@ -785,5 +836,77 @@ mod tests {
         let acc = daemon.accounting();
         assert_eq!(acc.offers + acc.departures + acc.rejected, 30);
         assert!(acc.holds());
+    }
+
+    #[test]
+    fn drift_reanchors_coalesce_into_one_fleet_batch_per_pump() {
+        let d = dir("coalesce");
+        let m = model();
+        // A negative tolerance makes every drift check trip (drift >= 0
+        // can never be <= a negative bound), so each applied event
+        // requests a re-anchor deterministically.
+        let cfg = DaemonConfig {
+            tenant: TenantConfig {
+                drift_tol: -1.0,
+                check_interval: 1,
+                ..TenantConfig::default()
+            },
+            ..DaemonConfig::default()
+        };
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let (mut daemon, _) = Daemon::open(&d, &m, cfg).unwrap();
+        {
+            let _g = xbar_obs::scope(&reg);
+            for t in ["t1", "t2", "t3"] {
+                daemon.ingest_line(&format!("{t} a 0")).unwrap();
+            }
+            daemon.drain().unwrap();
+        }
+        // One batch completed all three pending re-anchors...
+        assert_eq!(daemon.counters().reanchor_batches, 1);
+        assert_eq!(daemon.counters().batched_reanchors, 3);
+        // ...through a single fleet solve (identical models dedupe), and
+        // each tenant re-anchored exactly once despite drifting on every
+        // event in the pass.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("fleet.solves"), Some(1));
+        for t in ["t1", "t2", "t3"] {
+            let tenant = daemon.tenant(t).unwrap();
+            assert!(!tenant.reanchor_pending());
+            assert_eq!(tenant.engine().stats().re_anchors, 1, "{t}");
+            assert!(!tenant.anchor_stale());
+        }
+    }
+
+    #[test]
+    fn coalesced_completion_still_honours_the_stale_deadline() {
+        let d = dir("coalesce_stale");
+        let m = model();
+        let cfg = DaemonConfig {
+            tenant: TenantConfig {
+                drift_tol: -1.0,
+                check_interval: 1,
+                reanchor_deadline: Some(std::time::Duration::ZERO),
+                ..TenantConfig::default()
+            },
+            ..DaemonConfig::default()
+        };
+        let (mut daemon, _) = Daemon::open(&d, &m, cfg).unwrap();
+        daemon.ingest_line("t1 a 0").unwrap();
+        daemon.ingest_line("t2 a 0").unwrap();
+        daemon.drain().unwrap();
+        // Completion went through the batch, but the per-tenant deadline
+        // ladder still forced the stale-anchor path for both.
+        assert_eq!(daemon.counters().batched_reanchors, 2);
+        assert_eq!(daemon.serve_counters().stale_reanchors, 2);
+        for t in ["t1", "t2"] {
+            let tenant = daemon.tenant(t).unwrap();
+            assert!(tenant.anchor_stale(), "{t}");
+            assert_eq!(tenant.engine().stats().re_anchors, 0, "{t}");
+        }
+        assert!(
+            daemon.counters().reanchor_batches <= daemon.counters().batched_reanchors,
+            "batches can never exceed batched re-anchors"
+        );
     }
 }

@@ -72,6 +72,13 @@ pub struct TenantConfig {
     pub reanchor_deadline: Option<Duration>,
     /// WAL fsync cadence (records per sync; 0 = OS page cache only).
     pub sync_every: u64,
+    /// Defer drift-triggered re-anchors instead of completing them
+    /// inline: `maintain` records the detection time and returns, and the
+    /// owner (the daemon) batches every pending re-anchor into one fleet
+    /// solve per pump pass via [`Tenant::complete_pending_reanchor`]. The
+    /// `reanchor_deadline` budget still measures from detection. Off by
+    /// default so a standalone tenant corrects drift immediately.
+    pub coalesce_reanchors: bool,
 }
 
 impl Default for TenantConfig {
@@ -87,6 +94,7 @@ impl Default for TenantConfig {
             backoff_cap: Duration::from_secs(5),
             reanchor_deadline: None,
             sync_every: 0,
+            coalesce_reanchors: false,
         }
     }
 }
@@ -182,6 +190,9 @@ pub struct Tenant {
     events_since_snapshot: u64,
     anchor_stale: bool,
     pending_backoff: Option<Duration>,
+    /// Detection time of a deferred re-anchor (coalescing mode); the
+    /// earliest detection wins so the deadline covers the worst case.
+    pending_reanchor: Option<Instant>,
 }
 
 fn engine_cfg(cfg: &TenantConfig) -> EngineConfig {
@@ -235,6 +246,7 @@ impl Tenant {
             events_since_snapshot: 0,
             anchor_stale: false,
             pending_backoff: None,
+            pending_reanchor: None,
         };
         let mut report = RecoveryReport {
             wal_damaged: recovery.damaged,
@@ -450,7 +462,9 @@ impl Tenant {
     /// within tolerance → nothing; drifted and inside the deadline →
     /// full re-anchor (restart supervision on failure); drifted but the
     /// deadline is already spent → correct the weight against the stale
-    /// anchor and report it. Returns `true` on quarantine.
+    /// anchor and report it. In coalescing mode a detected drift is
+    /// deferred to [`Tenant::complete_pending_reanchor`] instead of
+    /// corrected inline. Returns `true` on quarantine.
     fn maintain(&mut self) -> Result<bool, ServeError> {
         let start = Instant::now();
         let exact = self.engine.exact_log_weight();
@@ -458,22 +472,57 @@ impl Tenant {
         // Negated comparison so NaN drift also triggers correction.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(drift <= self.cfg.drift_tol * exact.abs().max(1.0)) {
-            let budget_spent = match self.cfg.reanchor_deadline {
-                Some(d) => start.elapsed() >= d,
-                None => false,
-            };
-            if budget_spent {
-                // Deadline blown before we could even start the solve:
-                // cheap exact weight reset, anchor stays stale.
-                self.engine.reset_weight();
-                self.counters.stale_reanchors += 1;
-                self.anchor_stale = true;
-                xbar_obs::inc("serve.reanchor.stale");
-            } else {
-                match self.engine.re_anchor() {
-                    Ok(()) => self.anchor_stale = false,
-                    Err(e) => return self.supervise_integrity_error(e).map(|()| self.quarantined),
-                }
+            if self.cfg.coalesce_reanchors {
+                // Defer: the daemon completes every pending re-anchor in
+                // one fleet batch after the pump pass. Keep the earliest
+                // detection so the deadline covers the worst case.
+                self.pending_reanchor.get_or_insert(start);
+                return Ok(false);
+            }
+            return self.finish_reanchor(start);
+        }
+        Ok(false)
+    }
+
+    /// Whether a deferred re-anchor is waiting for the owner to complete.
+    pub fn reanchor_pending(&self) -> bool {
+        self.pending_reanchor.is_some()
+    }
+
+    /// Complete a deferred re-anchor (coalescing mode). No-op when
+    /// nothing is pending or the tenant is quarantined. Returns `true`
+    /// when completion tripped the quarantine threshold.
+    pub fn complete_pending_reanchor(&mut self) -> Result<bool, ServeError> {
+        let Some(detected) = self.pending_reanchor.take() else {
+            return Ok(false);
+        };
+        if self.quarantined {
+            return Ok(false);
+        }
+        self.finish_reanchor(detected)
+    }
+
+    /// The degraded-mode tail of a drift correction, measured from the
+    /// drift-detection time: inside the deadline → full re-anchor
+    /// (restart supervision on failure); deadline already spent → correct
+    /// the weight against the stale anchor and report it. Returns `true`
+    /// on quarantine.
+    fn finish_reanchor(&mut self, detected: Instant) -> Result<bool, ServeError> {
+        let budget_spent = match self.cfg.reanchor_deadline {
+            Some(d) => detected.elapsed() >= d,
+            None => false,
+        };
+        if budget_spent {
+            // Deadline blown before we could even start the solve:
+            // cheap exact weight reset, anchor stays stale.
+            self.engine.reset_weight();
+            self.counters.stale_reanchors += 1;
+            self.anchor_stale = true;
+            xbar_obs::inc("serve.reanchor.stale");
+        } else {
+            match self.engine.re_anchor() {
+                Ok(()) => self.anchor_stale = false,
+                Err(e) => return self.supervise_integrity_error(e).map(|()| self.quarantined),
             }
         }
         Ok(false)
@@ -577,6 +626,11 @@ impl Tenant {
     /// The supervised engine (read access for audits and tests).
     pub fn engine(&self) -> &AdmissionEngine {
         &self.engine
+    }
+
+    /// The tenant's traffic model (read access for fleet batching).
+    pub fn model(&self) -> &Model {
+        &self.model
     }
 
     /// Serve-level counters.

@@ -91,7 +91,10 @@ fn usage() -> String {
      --data-dir <dir> --file <trace> | --tail <trace> | --socket <path> \
      [--policy <spec>] [--queue-cap <n>] [--snapshot-interval <n>] \
      [--max-failures <n>] [--reanchor-deadline-ms <ms>] [--sync-every <n>] \
-     [--idle-timeout-ms <ms>] [--kill-after <n>] [--metrics <path|->]\n\n\
+     [--idle-timeout-ms <ms>] [--kill-after <n>] [--metrics <path|->]\n  \
+     xbar fleet --models <path> \
+     [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext|alg2-mva|alg3-convolution] \
+     [--simd scalar|strict|fast] [--threads <N>] [--metrics <path|->]\n\n\
      sweep varies class r's per-set arrival intercept alpha across the grid \
      through one cached SweepSolver precompute (each point is an O(N) \
      recombination, not a fresh solve)\n\
@@ -101,6 +104,10 @@ fn usage() -> String {
      serve runs the fault-tolerant multi-tenant admission daemon over \
      '<tenant> a|d <class> [@t]' lines with a WAL + snapshots under \
      --data-dir; exit 7 means tenant(s) ended quarantined\n\
+     fleet batch-solves every model in --models (one per line: \
+     '<N>|<N1>x<N2> <class-spec> [<class-spec> ...]', # comments) as one \
+     deduped batch sharded over the worker pool; --simd picks the sweep \
+     recombination kernels (default strict: bit-for-bit scalar)\n\
      --threads 0 (default) auto-detects via available_parallelism\n\
      --metrics writes an obs snapshot as JSON to <path> after the run \
      (- prints a text table instead)\n\n\
@@ -250,6 +257,11 @@ pub struct Args {
     pub idle_timeout_ms: u64,
     /// Chaos hook: abort after exactly this many applied events.
     pub kill_after: Option<u64>,
+    /// Model spec file (for `fleet`): one model per line.
+    pub models_path: Option<String>,
+    /// Sweep recombination kernel selection (for `fleet`; absent = the
+    /// process default, `XBAR_SIMD` or strict).
+    pub simd_mode: Option<xbar_core::KernelMode>,
 }
 
 /// Where the `serve` command reads its event stream from.
@@ -300,7 +312,7 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
 pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     let command = it.next().ok_or_else(usage)?.clone();
-    if !["solve", "sim", "admit", "sweep", "serve"].contains(&command.as_str()) {
+    if !["solve", "sim", "admit", "sweep", "serve", "fleet"].contains(&command.as_str()) {
         return Err(format!("unknown command '{command}'\n{}", usage()));
     }
     let mut n1 = None;
@@ -333,6 +345,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut sync_every = 0u64;
     let mut idle_timeout_ms = 2_000u64;
     let mut kill_after = None;
+    let mut models_path = None;
+    let mut simd_mode = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -469,12 +483,38 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 kill_after = Some(v);
             }
+            "--models" => models_path = Some(value()?),
+            "--simd" => {
+                let v = value()?;
+                simd_mode = Some(
+                    xbar_core::KernelMode::parse(&v)
+                        .ok_or_else(|| format!("--simd must be scalar|strict|fast, got '{v}'"))?,
+                );
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
-    let n1 = n1.ok_or("missing --n or --n1")?;
-    let n2 = n2.ok_or("missing --n or --n2")?;
-    if classes.is_empty() {
+    // `fleet` takes its geometry and classes from the --models file, so
+    // the per-command --n/--class contract does not apply.
+    if command == "fleet" {
+        if models_path.is_none() {
+            return Err("fleet needs --models <path> (one model per line)".into());
+        }
+        if n1.is_some() || n2.is_some() || !classes.is_empty() {
+            return Err("fleet reads models from --models; drop --n/--n1/--n2/--class".into());
+        }
+    }
+    let n1 = match n1 {
+        Some(v) => v,
+        None if command == "fleet" => 0,
+        None => return Err("missing --n or --n1".into()),
+    };
+    let n2 = match n2 {
+        Some(v) => v,
+        None if command == "fleet" => 0,
+        None => return Err("missing --n or --n2".into()),
+    };
+    if classes.is_empty() && command != "fleet" {
         return Err("need at least one --class".into());
     }
     if command == "sweep" {
@@ -528,34 +568,85 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         sync_every,
         idle_timeout_ms,
         kill_after,
+        models_path,
+        simd_mode,
     })
+}
+
+/// Resolve a parsed class spec against the output-side dimension (tilde
+/// rates aggregate over `C(N2, a)` port sets).
+fn resolve_class(spec: &ClassSpec, n2: u32) -> TrafficClass {
+    if spec.tilde {
+        TildeClass {
+            alpha_tilde: spec.alpha,
+            beta_tilde: spec.beta,
+            mu: spec.mu,
+            bandwidth: spec.a,
+            weight: spec.w,
+        }
+        .resolve(n2)
+    } else {
+        TrafficClass {
+            alpha: spec.alpha,
+            beta: spec.beta,
+            mu: spec.mu,
+            bandwidth: spec.a,
+            weight: spec.w,
+        }
+    }
 }
 
 /// Build the analytic model from parsed args.
 pub fn build_model(args: &Args) -> Result<Model, String> {
     let mut workload = Workload::new();
     for spec in &args.classes {
-        let class = if spec.tilde {
-            TildeClass {
-                alpha_tilde: spec.alpha,
-                beta_tilde: spec.beta,
-                mu: spec.mu,
-                bandwidth: spec.a,
-                weight: spec.w,
-            }
-            .resolve(args.n2)
-        } else {
-            TrafficClass {
-                alpha: spec.alpha,
-                beta: spec.beta,
-                mu: spec.mu,
-                bandwidth: spec.a,
-                weight: spec.w,
-            }
-        };
-        workload = workload.with(class);
+        workload = workload.with(resolve_class(spec, args.n2));
     }
     Model::new(Dims::new(args.n1, args.n2), workload).map_err(|e| e.to_string())
+}
+
+/// Parse a fleet model-spec file: one model per non-comment line,
+/// `<N>|<N1>x<N2> <class-spec> [<class-spec> ...]` with the same class
+/// specs as `--class`; `#` starts a comment.
+pub fn parse_fleet_models(text: &str) -> Result<Vec<Model>, String> {
+    let mut models = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |m: String| format!("models line {}: {m}", i + 1);
+        let mut toks = line.split_whitespace();
+        let dims_tok = toks.next().expect("non-empty line has a token");
+        let (n1, n2) = match dims_tok.split_once('x') {
+            Some((a, b)) => (
+                a.parse()
+                    .map_err(|e| at(format!("bad N1 '{a}' in '{dims_tok}': {e}")))?,
+                b.parse()
+                    .map_err(|e| at(format!("bad N2 '{b}' in '{dims_tok}': {e}")))?,
+            ),
+            None => {
+                let n: u32 = dims_tok
+                    .parse()
+                    .map_err(|e| at(format!("bad dims '{dims_tok}' (want N or N1xN2): {e}")))?;
+                (n, n)
+            }
+        };
+        let mut workload = Workload::new();
+        let mut any = false;
+        for tok in toks {
+            workload = workload.with(resolve_class(&parse_class(tok).map_err(at)?, n2));
+            any = true;
+        }
+        if !any {
+            return Err(at("needs at least one class spec".into()));
+        }
+        models.push(Model::new(Dims::new(n1, n2), workload).map_err(|e| at(e.to_string()))?);
+    }
+    if models.is_empty() {
+        return Err("models file has no model lines".into());
+    }
+    Ok(models)
 }
 
 fn print_solution_table(args: &Args, model: &Model, sol: &xbar_core::Solution) {
@@ -659,6 +750,59 @@ pub fn run_sweep(args: &Args) -> Result<(), CliError> {
             point.revenue(),
             point.total_throughput(),
         );
+    }
+    Ok(())
+}
+
+/// Execute the `fleet` command: batch-solve every model in the spec
+/// file through [`xbar_core::solve_fleet`] — duplicates dedupe to one
+/// solve, distinct models shard over the persistent worker pool — and
+/// print one summary row per model. Any failed member exits 3 after the
+/// full table is printed.
+pub fn run_fleet(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .models_path
+        .as_deref()
+        .expect("parse_args requires --models");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read models file '{path}': {e}")))?;
+    let models = parse_fleet_models(&text).map_err(CliError::Usage)?;
+    if let Some(mode) = args.simd_mode {
+        xbar_core::simd::set_kernel_mode(mode);
+    }
+    let results = xbar_core::solve_fleet(&models, args.algorithm);
+    println!(
+        "fleet of {} model(s) (algorithm: {}, kernels: {})",
+        models.len(),
+        args.algorithm,
+        xbar_core::simd::kernel_mode()
+    );
+    println!(
+        "{:>5} {:>9} {:>7} {:>12} {:>12} {:>12}",
+        "model", "dims", "classes", "blocking", "revenue", "throughput"
+    );
+    let mut failed = 0usize;
+    for (i, (model, res)) in models.iter().zip(&results).enumerate() {
+        let dims = format!("{}x{}", model.dims().n1, model.dims().n2);
+        match res {
+            Ok(sol) => println!(
+                "{i:>5} {dims:>9} {:>7} {:>12.6} {:>12.6} {:>12.4}",
+                model.num_classes(),
+                sol.blocking(0),
+                sol.revenue(),
+                sol.total_throughput(),
+            ),
+            Err(e) => {
+                failed += 1;
+                println!("{i:>5} {dims:>9} {:>7} error: {e}", model.num_classes());
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(CliError::Solve(format!(
+            "{failed} of {} fleet member(s) failed",
+            models.len()
+        )));
     }
     Ok(())
 }
@@ -1015,6 +1159,15 @@ pub fn verify_metrics_invariants(snap: &xbar_obs::Snapshot) -> Result<(), CliErr
             )));
         }
     }
+    if let Some(batched) = snap.counter("serve.reanchor.batched") {
+        let batches = snap.counter("serve.reanchor.batches").unwrap_or(0);
+        if batches > batched {
+            return Err(CliError::Metrics(format!(
+                "serve re-anchor invariant broken: batches ({batches}) > batched \
+                 re-anchors ({batched}) — every batch must complete at least one"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -1047,6 +1200,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "admit" => run_admit(&args),
         "sweep" => run_sweep(&args),
         "serve" => run_serve(&args),
+        "fleet" => run_fleet(&args),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     if let Some(target) = &args.metrics {
@@ -1469,6 +1623,10 @@ mod tests {
         reg.counter("serve.denied.capacity").add(9);
         reg.counter("serve.denied.policy").add(1);
         reg.counter("serve.shed.total").add(10);
+        // Coalesced re-anchor accounting: 3 batched completions across 2
+        // fleet batches is consistent.
+        reg.counter("serve.reanchor.batched").add(3);
+        reg.counter("serve.reanchor.batches").add(2);
         assert!(verify_metrics_invariants(&reg.snapshot()).is_ok());
 
         let broken = xbar_obs::Registry::new();
@@ -1477,6 +1635,83 @@ mod tests {
         let err = verify_metrics_invariants(&broken.snapshot()).unwrap_err();
         assert_eq!(err.exit_code(), 6);
         assert!(err.to_string().contains("serve"));
+
+        // More batches than batched re-anchors is impossible (every batch
+        // completes at least one) and must fail the metrics gate.
+        let phantom = xbar_obs::Registry::new();
+        phantom.counter("serve.reanchor.batched").add(1);
+        phantom.counter("serve.reanchor.batches").add(2);
+        let err = verify_metrics_invariants(&phantom.snapshot()).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("re-anchor"));
+    }
+
+    #[test]
+    fn parses_fleet_command() {
+        let a = parse_args(&argv("fleet --models specs.txt --simd fast --threads 4")).unwrap();
+        assert_eq!(a.command, "fleet");
+        assert_eq!(a.models_path.as_deref(), Some("specs.txt"));
+        assert_eq!(a.simd_mode, Some(xbar_core::KernelMode::Fast));
+        assert_eq!(a.threads, 4);
+        // --models is mandatory; the per-command geometry flags are not
+        // meaningful and must be rejected rather than silently ignored.
+        assert!(parse_args(&argv("fleet")).is_err());
+        assert!(parse_args(&argv("fleet --models m.txt --n 8")).is_err());
+        assert!(parse_args(&argv("fleet --models m.txt --class poisson:rho=0.1")).is_err());
+        assert!(parse_args(&argv("fleet --models m.txt --simd turbo")).is_err());
+    }
+
+    #[test]
+    fn parses_fleet_model_specs_and_rejects_garbage() {
+        let text = "# a comment\n\
+                    8 poisson:rho=0.01\n\
+                    \n\
+                    6x10 bpp:alpha=0.005,beta=0.002 poisson:rho=0.02  # trailing comment\n";
+        let models = parse_fleet_models(text).unwrap();
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].dims(), Dims::square(8));
+        assert_eq!(models[0].num_classes(), 1);
+        assert_eq!(models[1].dims(), Dims::new(6, 10));
+        assert_eq!(models[1].num_classes(), 2);
+        for bad in [
+            "",
+            "# only comments\n",
+            "8\n",                   // no class specs
+            "8 nope:rho=1\n",        // bad class kind
+            "8x poisson:rho=0.1\n",  // malformed dims
+            "0x4 poisson:rho=0.1\n", // invalid model (zero inputs)
+        ] {
+            assert!(parse_fleet_models(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn fleet_results_match_independent_solves() {
+        let dir = std::env::temp_dir().join(format!("xbar_cli_fleet_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.txt");
+        let text = "6 poisson:rho=0.02\n\
+                    8 bpp:alpha=0.004,beta=0.002\n\
+                    6 poisson:rho=0.02\n"; // duplicate of line 1
+        std::fs::write(&path, text).unwrap();
+        let models = parse_fleet_models(text).unwrap();
+        let results = xbar_core::solve_fleet(&models, Algorithm::Auto);
+        assert_eq!(results.len(), 3);
+        for (model, res) in models.iter().zip(&results) {
+            let fleet_sol = res.as_ref().unwrap();
+            let solo = solve(model, Algorithm::Auto).unwrap();
+            for r in 0..model.num_classes() {
+                assert_eq!(
+                    fleet_sol.blocking(r).to_bits(),
+                    solo.blocking(r).to_bits(),
+                    "fleet and independent solves must agree bitwise"
+                );
+            }
+        }
+        // And the command end-to-end: exit clean on a good file.
+        let a = parse_args(&argv(&format!("fleet --models {}", path.display()))).unwrap();
+        run_fleet(&a).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
