@@ -2,8 +2,10 @@
 //! incrementally maintained product-form state.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use xbar_core::{solve_cached, Algorithm, Model, Solution, SolveError};
+use xbar_core::sensitivity::{sensitivity_from, Sensitivity};
+use xbar_core::{solve_cached, Algorithm, Model, Solution, SolveError, SweepSolver};
 use xbar_numeric::permutation;
 
 use crate::policy::PolicySpec;
@@ -81,6 +83,15 @@ pub enum AdmissionError {
         /// Connection-slot capacity `min(N1, N2)`.
         cap: u32,
     },
+    /// Repricing refused: the per-anchor pricing gradient is older than
+    /// the configured deadline, and the shadow policy must not price on
+    /// a stale gradient (re-anchor to refresh it).
+    StalePrices {
+        /// Age of the cached gradient when pricing was attempted, in ms.
+        age_ms: u64,
+        /// The configured staleness deadline, in ms.
+        deadline_ms: u64,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -114,6 +125,16 @@ impl std::fmt::Display for AdmissionError {
                     "restored state occupies {ka} ports but capacity is {cap}"
                 )
             }
+            AdmissionError::StalePrices {
+                age_ms,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "pricing gradient is stale: {age_ms} ms old, deadline {deadline_ms} ms \
+                     (re-anchor to refresh)"
+                )
+            }
         }
     }
 }
@@ -142,6 +163,20 @@ pub struct EngineConfig {
     /// Relative drift tolerance: the engine re-anchors when
     /// `|inc − exact| > drift_tol · max(1, |exact|)`.
     pub drift_tol: f64,
+    /// Events per online repricing batch: every `n` events the engine
+    /// re-derives the policy thresholds from the per-anchor pricing
+    /// state ([`AdmissionEngine::reprice_now`]). Event-count-driven so a
+    /// WAL replay reproduces the cadence exactly. `None` (or `Some(0)`)
+    /// disables repricing — thresholds refresh only at re-anchor, the
+    /// pre-repricing behaviour.
+    pub reprice_batch: Option<u64>,
+    /// Maximum age of the per-anchor pricing gradient: a reprice due
+    /// after this deadline refuses with
+    /// [`AdmissionError::StalePrices`] instead of silently pricing on
+    /// the stale gradient. `None` = no deadline (gradients only depend
+    /// on the model, so they never *drift* — the deadline bounds how
+    /// long a supervisor may serve prices without a fresh anchor).
+    pub price_deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -151,6 +186,8 @@ impl Default for EngineConfig {
             algorithm: Algorithm::Mva,
             check_interval: 4096,
             drift_tol: 1e-9,
+            reprice_batch: None,
+            price_deadline: None,
         }
     }
 }
@@ -185,6 +222,11 @@ pub struct EngineStats {
     /// error) — the engine surfaces the error but also counts it, so a
     /// supervisor can watch the failure rate without parsing errors.
     pub re_anchor_failures: u64,
+    /// Per-batch repricing passes attempted (successful or refused).
+    pub reprice_batches: u64,
+    /// Repricing passes that actually changed the threshold vector
+    /// (always `≤ reprice_batches` — the exit-6 metrics invariant).
+    pub reprice_updates: u64,
     /// Per-class decision split.
     pub per_class: Vec<ClassStats>,
 }
@@ -226,8 +268,30 @@ pub struct EngineState {
     /// it (rather than recomputing) reproduces the original engine's
     /// subsequent drift checks event-for-event.
     pub log_weight: f64,
+    /// The effective spare-slot thresholds at capture time — the
+    /// *pricing state*. Deterministic given the model and config, but
+    /// captured explicitly so a recovered engine provably serves the
+    /// same prices it served before the crash.
+    pub thresholds: Vec<u32>,
+    /// Events into the current repricing batch at capture time, so a
+    /// recovered engine's next reprice fires after exactly the same
+    /// event as the uninterrupted run's.
+    pub reprice_events: u64,
     /// Decision and event counters.
     pub stats: EngineStats,
+}
+
+/// The per-anchor pricing state: the sweep solver built at re-anchor
+/// time, the §4 gradients assembled from it, and when it was built (for
+/// the staleness deadline). Gradients depend only on the model, so the
+/// cached matrix stays exact until the next re-anchor; the solver is
+/// retained so future occupancy- or edit-aware pricing can recombine
+/// fresh gradients at `O(C²/a)` cost without a precompute.
+struct Pricer {
+    #[allow(dead_code)]
+    sweep: SweepSolver,
+    sens: Sensitivity,
+    built: Instant,
 }
 
 /// The online admission-control engine. See the crate docs for the
@@ -251,6 +315,11 @@ pub struct AdmissionEngine {
     log_weight: f64,
     /// The anchor solution (refreshed on re-anchor).
     anchor: Arc<Solution>,
+    /// Per-anchor pricing state (present iff repricing is enabled and
+    /// the policy consults gradients).
+    pricer: Option<Pricer>,
+    /// Events into the current repricing batch.
+    reprice_events: u64,
     stats: EngineStats,
 }
 
@@ -259,7 +328,7 @@ impl AdmissionEngine {
     /// state from one cached analytic solve.
     pub fn new(model: &Model, cfg: EngineConfig) -> Result<Self, AdmissionError> {
         let anchor = solve_cached(model, cfg.algorithm).map_err(AdmissionError::Solve)?;
-        let thresholds = cfg.policy.thresholds(model, cfg.algorithm, &anchor)?;
+        let (pricer, thresholds) = Self::build_pricing(model, &cfg, &anchor)?;
         let dims = model.dims();
         let classes = model.workload().classes();
         let bw: Vec<u32> = classes.iter().map(|c| c.bandwidth).collect();
@@ -278,12 +347,48 @@ impl AdmissionEngine {
             ka: 0,
             log_weight: 0.0,
             anchor,
+            pricer,
+            reprice_events: 0,
             stats: EngineStats {
                 per_class: vec![ClassStats::default(); r_count],
                 ..EngineStats::default()
             },
             cfg,
         })
+    }
+
+    /// Whether per-batch repricing is configured on.
+    fn reprice_enabled(cfg: &EngineConfig) -> bool {
+        matches!(cfg.reprice_batch, Some(n) if n > 0)
+    }
+
+    /// Resolve the policy thresholds for a (new or refreshed) anchor,
+    /// building the per-anchor pricing state when repricing is on and
+    /// the policy consults gradients. The thresholds come from the same
+    /// gradients either way — [`sensitivity_from`] on the held solver is
+    /// bit-identical to the fresh `sensitivity()` the plain path pays.
+    fn build_pricing(
+        model: &Model,
+        cfg: &EngineConfig,
+        anchor: &Solution,
+    ) -> Result<(Option<Pricer>, Vec<u32>), AdmissionError> {
+        if Self::reprice_enabled(cfg) && cfg.policy.needs_sensitivity() {
+            let sweep = SweepSolver::new(model, cfg.algorithm).map_err(AdmissionError::Solve)?;
+            let sens = sensitivity_from(&sweep);
+            let thresholds = cfg
+                .policy
+                .thresholds_from_sensitivity(model.num_classes(), &sens)?;
+            Ok((
+                Some(Pricer {
+                    sweep,
+                    sens,
+                    built: Instant::now(),
+                }),
+                thresholds,
+            ))
+        } else {
+            Ok((None, cfg.policy.thresholds(model, cfg.algorithm, anchor)?))
+        }
     }
 
     fn check_class(&self, class: usize) -> Result<(), AdmissionError> {
@@ -398,7 +503,11 @@ impl AdmissionEngine {
         }
     }
 
-    /// Per-event bookkeeping: periodic exact drift check.
+    /// Per-event bookkeeping: periodic exact drift check, then the
+    /// per-batch repricing pass. Repricing runs *last* so that when it
+    /// refuses ([`AdmissionError::StalePrices`]), the event itself has
+    /// already been fully applied and accounted — the caller only lost
+    /// the threshold refresh, not the event.
     fn tick(&mut self) -> Result<(), AdmissionError> {
         self.stats.events += 1;
         if self.cfg.check_interval > 0 && self.stats.events.is_multiple_of(self.cfg.check_interval)
@@ -411,7 +520,60 @@ impl AdmissionEngine {
                 self.re_anchor()?;
             }
         }
+        if let Some(batch) = self.cfg.reprice_batch {
+            if batch > 0 {
+                self.reprice_events += 1;
+                if self.reprice_events >= batch {
+                    // Reset *before* pricing so a refused reprice retries
+                    // after a full fresh batch, not on every event.
+                    self.reprice_events = 0;
+                    self.reprice_now()?;
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Re-derive the policy thresholds from the per-anchor pricing state
+    /// — the per-batch repricing pass. `O(R)` when the pricer holds
+    /// cached gradients (the [`SweepSolver`] + [`sensitivity_from`]
+    /// assembly already ran at anchor time); static policies just
+    /// re-resolve their threshold vector. Returns whether the thresholds
+    /// changed.
+    ///
+    /// If a [`EngineConfig::price_deadline`] is set and the cached
+    /// gradient is at least that old, the pass refuses with
+    /// [`AdmissionError::StalePrices`] rather than silently serving
+    /// prices from a gradient a supervisor should have refreshed —
+    /// the attempt is still counted in [`EngineStats::reprice_batches`].
+    pub fn reprice_now(&mut self) -> Result<bool, AdmissionError> {
+        self.stats.reprice_batches += 1;
+        let thresholds = match &self.pricer {
+            Some(p) => {
+                if let Some(deadline) = self.cfg.price_deadline {
+                    let age = p.built.elapsed();
+                    if age >= deadline {
+                        return Err(AdmissionError::StalePrices {
+                            age_ms: age.as_millis() as u64,
+                            deadline_ms: deadline.as_millis() as u64,
+                        });
+                    }
+                }
+                self.cfg
+                    .policy
+                    .thresholds_from_sensitivity(self.k.len(), &p.sens)?
+            }
+            None => self
+                .cfg
+                .policy
+                .thresholds(&self.model, self.cfg.algorithm, &self.anchor)?,
+        };
+        let changed = thresholds != self.thresholds;
+        if changed {
+            self.stats.reprice_updates += 1;
+            self.thresholds = thresholds;
+        }
+        Ok(changed)
     }
 
     /// Reset the incremental state from an exact recomputation and
@@ -423,17 +585,20 @@ impl AdmissionEngine {
         let refreshed = solve_cached(&self.model, self.cfg.algorithm)
             .map_err(AdmissionError::Solve)
             .and_then(|anchor| {
-                self.cfg
-                    .policy
-                    .thresholds(&self.model, self.cfg.algorithm, &anchor)
-                    .map(|thresholds| (anchor, thresholds))
+                Self::build_pricing(&self.model, &self.cfg, &anchor)
+                    .map(|(pricer, thresholds)| (anchor, pricer, thresholds))
             });
         match refreshed {
-            Ok((anchor, thresholds)) => {
+            Ok((anchor, pricer, thresholds)) => {
                 self.anchor = anchor;
+                self.pricer = pricer;
                 self.thresholds = thresholds;
                 self.log_weight = self.exact_log_weight();
                 self.stats.re_anchors += 1;
+                // Note: `reprice_events` is deliberately *not* reset — the
+                // repricing cadence is purely event-count-driven so a WAL
+                // replay reproduces it exactly regardless of when drift
+                // checks happened to re-anchor.
                 Ok(())
             }
             Err(e) => {
@@ -531,6 +696,8 @@ impl AdmissionEngine {
         EngineState {
             k: self.k.clone(),
             log_weight: self.log_weight,
+            thresholds: self.thresholds.clone(),
+            reprice_events: self.reprice_events,
             stats: self.stats.clone(),
         }
     }
@@ -549,6 +716,12 @@ impl AdmissionEngine {
                 want: self.k.len(),
             });
         }
+        if state.thresholds.len() != self.k.len() {
+            return Err(AdmissionError::ThresholdArity {
+                got: state.thresholds.len(),
+                want: self.k.len(),
+            });
+        }
         let ka: u64 = state
             .k
             .iter()
@@ -561,6 +734,8 @@ impl AdmissionEngine {
         self.k = state.k.clone();
         self.ka = ka as u32;
         self.log_weight = state.log_weight;
+        self.thresholds = state.thresholds.clone();
+        self.reprice_events = state.reprice_events;
         self.stats = state.stats.clone();
         Ok(())
     }
@@ -582,6 +757,8 @@ impl AdmissionEngine {
         xbar_obs::add("admission.reanchor.count", self.stats.re_anchors);
         xbar_obs::add("admission.reanchor.snap_backs", self.stats.snap_backs);
         xbar_obs::add("admission.reanchor.failures", self.stats.re_anchor_failures);
+        xbar_obs::add("admission.reprice.batches", self.stats.reprice_batches);
+        xbar_obs::add("admission.reprice.updates", self.stats.reprice_updates);
         for (r, c) in self.stats.per_class.iter().enumerate() {
             xbar_obs::add(&format!("admission.admit.class{r}"), c.admitted);
             xbar_obs::add(
@@ -919,5 +1096,217 @@ mod tests {
             c("admission.offers"),
             c("admission.admitted") + c("admission.denied.capacity") + c("admission.denied.policy"),
         );
+    }
+
+    fn shadow_model() -> Model {
+        // Same cheap-hungry vs valuable pair as the shadow-policy test,
+        // so the repriced thresholds are non-trivial ([0, reserve]).
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.25).with_weight(1.0))
+            .with(TrafficClass::poisson(0.5).with_weight(0.01));
+        Model::new(Dims::square(4), w).unwrap()
+    }
+
+    #[test]
+    fn repriced_thresholds_match_a_fresh_sensitivity_anchor() {
+        // Per-batch repricing must serve the *same* thresholds a fresh
+        // full sensitivity() anchor would — bit-identical, since the
+        // cached gradients depend only on the model.
+        let m = shadow_model();
+        let policy = PolicySpec::ShadowPrice { reserve: 2 };
+        let mut repriced = AdmissionEngine::new(
+            &m,
+            EngineConfig {
+                policy: policy.clone(),
+                reprice_batch: Some(3),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let fresh = engine(&m, policy);
+        assert_eq!(repriced.thresholds(), fresh.thresholds());
+        for i in 0..30u32 {
+            let class = (i % 2) as usize;
+            if repriced.decide(class).unwrap() == Decision::Admit && i % 3 != 2 {
+                repriced.offer(class).unwrap();
+            } else if repriced.state()[class] > 0 {
+                repriced.depart(class).unwrap();
+            } else {
+                repriced.record_blocked(class).unwrap();
+            }
+            assert_eq!(repriced.thresholds(), fresh.thresholds(), "event {i}");
+        }
+        let s = repriced.stats();
+        assert_eq!(s.reprice_batches, s.events / 3, "one pass per batch");
+        // The model never changes, so the prices never move.
+        assert_eq!(s.reprice_updates, 0);
+        assert!(s.reprice_updates <= s.reprice_batches);
+    }
+
+    #[test]
+    fn reprice_counters_respect_the_updates_le_batches_invariant() {
+        // Static policies reprice too (to the same static vector), so
+        // batches advance while updates stay at zero.
+        let m = two_class_model();
+        let mut e = AdmissionEngine::new(
+            &m,
+            EngineConfig {
+                policy: PolicySpec::TrunkReservation(vec![0, 2]),
+                reprice_batch: Some(2),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..8 {
+            e.offer(0).unwrap();
+        }
+        let s = e.stats();
+        assert_eq!(s.reprice_batches, 4);
+        assert_eq!(s.reprice_updates, 0);
+        assert!(s.reprice_updates <= s.reprice_batches);
+        assert!(e.reprice_now().is_ok());
+        assert_eq!(e.stats().reprice_batches, 5);
+    }
+
+    #[test]
+    fn stale_prices_are_refused_not_served() {
+        // Regression for the silent-staleness gap: with a zero deadline
+        // every reprice attempt finds the gradient already expired and
+        // must refuse with the typed error instead of pricing on it.
+        // The triggering event is still fully applied and accounted.
+        let m = shadow_model();
+        let mut e = AdmissionEngine::new(
+            &m,
+            EngineConfig {
+                policy: PolicySpec::ShadowPrice { reserve: 2 },
+                reprice_batch: Some(1),
+                price_deadline: Some(Duration::ZERO),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let err = e.offer(0).unwrap_err();
+        assert!(
+            matches!(err, AdmissionError::StalePrices { deadline_ms: 0, .. }),
+            "{err:?}"
+        );
+        // The arrival itself landed before the refusal.
+        assert_eq!(e.stats().per_class[0].offered, 1);
+        assert_eq!(e.stats().per_class[0].admitted, 1);
+        assert_eq!(e.state(), &[1, 0]);
+        assert_eq!(e.stats().reprice_batches, 1);
+        assert_eq!(e.stats().reprice_updates, 0);
+        // A fresh re-anchor rebuilds the pricer; without the deadline the
+        // same engine would price normally — prove the refusal is purely
+        // the deadline by relaxing it.
+        e.re_anchor().unwrap();
+        let mut relaxed = AdmissionEngine::new(
+            &m,
+            EngineConfig {
+                policy: PolicySpec::ShadowPrice { reserve: 2 },
+                reprice_batch: Some(1),
+                price_deadline: None,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(relaxed.offer(0).unwrap(), Decision::Admit);
+        assert_eq!(relaxed.stats().reprice_batches, 1);
+    }
+
+    #[test]
+    fn failed_reprice_retries_after_a_full_batch() {
+        // The batch counter resets before the pricing attempt, so a
+        // refused pass doesn't turn into a per-event refusal storm.
+        let m = shadow_model();
+        let mut e = AdmissionEngine::new(
+            &m,
+            EngineConfig {
+                policy: PolicySpec::ShadowPrice { reserve: 2 },
+                reprice_batch: Some(3),
+                price_deadline: Some(Duration::ZERO),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(e.offer(0).unwrap(), Decision::Admit);
+        assert_eq!(e.offer(1).unwrap(), Decision::Admit);
+        assert!(e.offer(0).is_err(), "batch boundary must refuse");
+        // Two more events pass quietly before the next refusal.
+        e.depart(0).unwrap();
+        e.depart(1).unwrap();
+        assert!(e.depart(0).is_err());
+        assert_eq!(e.stats().reprice_batches, 2);
+    }
+
+    #[test]
+    fn export_restore_round_trips_the_pricing_state() {
+        let m = shadow_model();
+        let cfg = EngineConfig {
+            policy: PolicySpec::ShadowPrice { reserve: 2 },
+            reprice_batch: Some(5),
+            ..EngineConfig::default()
+        };
+        let mut e = AdmissionEngine::new(&m, cfg.clone()).unwrap();
+        for i in 0..7u32 {
+            let class = (i % 2) as usize;
+            if e.decide(class).unwrap() == Decision::Admit {
+                e.offer(class).unwrap();
+            } else {
+                e.record_blocked(class).unwrap();
+            }
+        }
+        let state = e.export_state();
+        assert_eq!(state.thresholds, e.thresholds());
+        assert_eq!(state.reprice_events, 2, "7 events into batches of 5");
+        let mut f = AdmissionEngine::new(&m, cfg).unwrap();
+        f.restore_state(&state).unwrap();
+        // Drive both to the next batch boundary: the recovered engine's
+        // reprice must fire on exactly the same event.
+        for i in 0..6u32 {
+            let class = (i % 2) as usize;
+            if e.decide(class).unwrap() == Decision::Admit {
+                e.offer(class).unwrap();
+                f.offer(class).unwrap();
+            } else {
+                e.record_blocked(class).unwrap();
+                f.record_blocked(class).unwrap();
+            }
+        }
+        assert_eq!(f.stats(), e.stats());
+        assert_eq!(f.thresholds(), e.thresholds());
+        assert_eq!(f.export_state(), e.export_state());
+        // Arity of the restored thresholds is validated.
+        let mut bad = e.export_state();
+        bad.thresholds = vec![0; 3];
+        assert_eq!(
+            f.restore_state(&bad),
+            Err(AdmissionError::ThresholdArity { got: 3, want: 2 })
+        );
+    }
+
+    #[test]
+    fn flush_obs_exports_reprice_counters() {
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let m = shadow_model();
+        {
+            let _g = xbar_obs::scope(&reg);
+            let mut e = AdmissionEngine::new(
+                &m,
+                EngineConfig {
+                    policy: PolicySpec::ShadowPrice { reserve: 2 },
+                    reprice_batch: Some(2),
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            for _ in 0..6 {
+                let _ = e.offer(0).unwrap();
+            }
+            e.flush_obs();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("admission.reprice.batches"), Some(3));
+        assert_eq!(snap.counter("admission.reprice.updates"), Some(0));
     }
 }

@@ -7,7 +7,7 @@
 //! cross-checked against the numerically solved reservation chain, and
 //! `t ≡ 0` recovers the paper's complete-sharing model.
 
-use xbar_core::sensitivity::sensitivity;
+use xbar_core::sensitivity::{sensitivity, Sensitivity};
 use xbar_core::{Algorithm, Model, Solution};
 
 use crate::engine::AdmissionError;
@@ -68,16 +68,41 @@ impl PolicySpec {
         ))
     }
 
-    /// Resolve the policy to one spare-slot threshold per class for
-    /// `model`, consulting the anchor solve / sensitivity analysis where
-    /// the policy demands it.
-    pub(crate) fn thresholds(
+    /// Whether this policy prices its thresholds off the §4 sensitivity
+    /// gradients (and therefore needs a gradient source at re-anchor /
+    /// reprice time).
+    pub fn needs_sensitivity(&self) -> bool {
+        matches!(self, PolicySpec::ShadowPrice { .. })
+    }
+
+    /// Resolve the policy to one spare-slot threshold per class from an
+    /// already-computed sensitivity analysis.
+    ///
+    /// This is the pricing rule itself, factored out so the online
+    /// repricing path can apply it to the per-anchor *cached* gradients
+    /// ([`xbar_core::sensitivity_from`]) instead of paying a fresh
+    /// [`sensitivity`] solve per call — the two are bit-identical for
+    /// the same model.
+    pub fn thresholds_from_sensitivity(
         &self,
-        model: &Model,
-        algorithm: Algorithm,
-        _anchor: &Solution,
+        r_count: usize,
+        sens: &Sensitivity,
     ) -> Result<Vec<u32>, AdmissionError> {
-        let r_count = model.num_classes();
+        match self {
+            PolicySpec::CompleteSharing | PolicySpec::TrunkReservation(_) => {
+                self.thresholds_static(r_count)
+            }
+            PolicySpec::ShadowPrice { reserve } => Ok(sens
+                .revenue_by_rho
+                .iter()
+                .map(|&g| if g < 0.0 { *reserve } else { 0 })
+                .collect()),
+        }
+    }
+
+    /// Threshold resolution for the policies that never consult
+    /// gradients (complete sharing, trunk reservation).
+    fn thresholds_static(&self, r_count: usize) -> Result<Vec<u32>, AdmissionError> {
         match self {
             PolicySpec::CompleteSharing => Ok(vec![0; r_count]),
             PolicySpec::TrunkReservation(t) => {
@@ -89,14 +114,27 @@ impl PolicySpec {
                 }
                 Ok(t.clone())
             }
-            PolicySpec::ShadowPrice { reserve } => {
-                let sens = sensitivity(model, algorithm).map_err(AdmissionError::Solve)?;
-                Ok(sens
-                    .revenue_by_rho
-                    .iter()
-                    .map(|&g| if g < 0.0 { *reserve } else { 0 })
-                    .collect())
+            PolicySpec::ShadowPrice { .. } => {
+                unreachable!("shadow-price thresholds need a sensitivity source")
             }
+        }
+    }
+
+    /// Resolve the policy to one spare-slot threshold per class for
+    /// `model`, consulting the anchor solve / sensitivity analysis where
+    /// the policy demands it.
+    pub(crate) fn thresholds(
+        &self,
+        model: &Model,
+        algorithm: Algorithm,
+        _anchor: &Solution,
+    ) -> Result<Vec<u32>, AdmissionError> {
+        let r_count = model.num_classes();
+        if self.needs_sensitivity() {
+            let sens = sensitivity(model, algorithm).map_err(AdmissionError::Solve)?;
+            self.thresholds_from_sensitivity(r_count, &sens)
+        } else {
+            self.thresholds_static(r_count)
         }
     }
 }

@@ -1,5 +1,5 @@
 //! Machine-readable perf trajectory: times the hot solve path at the
-//! paper's benchmark sizes and writes `BENCH_7.json` (median ns per bench,
+//! paper's benchmark sizes and writes `BENCH_8.json` (median ns per bench,
 //! switch size, backend, thread count) so the speedup story is trackable
 //! across PRs without parsing Criterion's console output. Since PR 4 it
 //! also times the admission-engine replay loop (events/sec is
@@ -11,10 +11,15 @@
 //! over a 100-tenant WAL-durable fleet (`serve/ingest`, events/sec);
 //! since PR 7 it times batched fleet anchor solves
 //! (`fleet/anchor-solves-per-sec`, heterogeneous model batches sharded
-//! across the persistent worker pool) against the single-model baseline.
+//! across the persistent worker pool) against the single-model baseline;
+//! since PR 8 it times the admission engine's per-batch repricing pass
+//! (`reprice/*`, thresholds re-derived from the per-anchor cached
+//! gradients) against the full re-anchor `sensitivity()` solve it
+//! replaces — the online-repricing claim is that the former is ≥10×
+//! cheaper at N = 512.
 //!
 //! `--fleet-only` skips everything but the fleet records — the CI
-//! artifact leg uses it to publish `BENCH_7.json` without paying for the
+//! artifact leg uses it to publish `BENCH_8.json` without paying for the
 //! full matrix.
 //!
 //! Timed runs execute with metrics off — the medians must stay comparable
@@ -28,7 +33,7 @@
 
 use std::time::Instant;
 
-use xbar_admission::{EngineConfig, PolicySpec};
+use xbar_admission::{AdmissionEngine, EngineConfig, PolicySpec};
 use xbar_bench::{
     fig2_sweep_model, fleet_member_model, sensitivity_model, table2_model, BenchRecord, BenchReport,
 };
@@ -192,6 +197,60 @@ fn time_sensitivity(n: u32, threads: usize, runs: usize) -> Vec<BenchRecord> {
     vec![record("exact", exact_median), record("fd", fd_median)]
 }
 
+/// Time the online repricing pass against the full re-anchor solve it
+/// replaces (PR 8's headline number): a shadow-price engine with
+/// per-batch repricing holds the assembled sensitivity per anchor, so a
+/// pass is one O(R) threshold derivation — versus the fresh
+/// `sensitivity()` lattice solve plus the same derivation that a full
+/// re-anchor pays. A repricing pass is sub-microsecond, so each timed
+/// sample wraps `INNER` passes and reports the per-pass median.
+fn time_reprice(n: u32, threads: usize, full_runs: usize) -> Vec<BenchRecord> {
+    const INNER: u64 = 1_000;
+    let model = sensitivity_model(n);
+    let policy = PolicySpec::ShadowPrice { reserve: 2 };
+    parallel::set_threads(threads);
+    let mut engine = AdmissionEngine::new(
+        &model,
+        EngineConfig {
+            policy: policy.clone(),
+            algorithm: Algorithm::Alg1Ext,
+            reprice_batch: Some(u64::MAX), // pricer on; the bench drives passes itself
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine builds");
+    let reprice_median = median_ns(15, || {
+        for _ in 0..INNER {
+            std::hint::black_box(engine.reprice_now().expect("reprice"));
+        }
+    }) / INNER;
+    let r_count = model.num_classes();
+    let full_median = median_ns(full_runs, || {
+        let sens = sensitivity(&model, Algorithm::Alg1Ext).expect("fresh sensitivity");
+        std::hint::black_box(
+            policy
+                .thresholds_from_sensitivity(r_count, &sens)
+                .expect("thresholds"),
+        );
+    });
+    let speedup = full_median as f64 / reprice_median.max(1) as f64;
+    println!(
+        "  reprice      N={n:<4} threads={threads:<2} pass {reprice_median} ns vs full \
+         re-anchor {full_median} ns ({speedup:.0}x)"
+    );
+    let record = |backend: &str, median_ns: u64| BenchRecord {
+        name: format!("reprice/thresholds/{n}/t{threads}/{backend}"),
+        n,
+        backend: backend.to_string(),
+        threads,
+        median_ns,
+    };
+    vec![
+        record("reprice", reprice_median),
+        record("full-anchor", full_median),
+    ]
+}
+
 /// Time the serve daemon's sustained ingest rate over a WAL-durable
 /// fleet of `tenants` tenants: parse + dedupe + engine decision + durable
 /// append for every line, snapshots on cadence, queues unbounded (the
@@ -327,7 +386,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
     let auto = parallel::effective_threads();
     println!("perf_trajectory: auto thread count = {auto}");
 
@@ -376,6 +435,13 @@ fn main() {
 
         // PR 6: the serve daemon's durable multi-tenant ingest path.
         records.push(time_serve_ingest(100, 5));
+
+        // PR 8: the per-batch repricing pass vs the full re-anchor solve
+        // it replaces, at the acceptance size and both thread counts.
+        for &threads in &[1usize, 4] {
+            records.extend(time_reprice(512, threads, 3));
+        }
+        parallel::set_threads(0);
     }
 
     // PR 7: batched fleet anchor solves across the thread matrix, plus
@@ -389,12 +455,12 @@ fn main() {
     parallel::set_threads(0);
 
     let report = BenchReport {
-        pr: 7,
+        pr: 8,
         host_threads: auto,
         records,
         obs_snapshot: Some(obs_reference_snapshot()),
     };
     let json = report.to_json();
-    std::fs::write(&out_path, &json).expect("write BENCH_7.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_8.json");
     println!("wrote {out_path}");
 }

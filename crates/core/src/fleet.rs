@@ -95,6 +95,21 @@ pub fn solve_fleet(
     global_cache().solve_fleet(models, algorithm)
 }
 
+/// Build one owned [`SweepSolver`] precompute per model, sharded across
+/// the persistent worker pool with work stealing (results in input
+/// order, one `Result` per model).
+///
+/// This is the warm path for per-anchor repricing solvers and
+/// [`crate::SweepGrid`] batch builds: the `O(R²·C²)` precomputes
+/// amortise across the pool exactly like [`FleetSweep::new`], but each
+/// result stays an independent solver instead of packing into the
+/// shared arena. Counted as `fleet.sweep_warm` (one increment per
+/// model).
+pub fn sweep_many(models: &[Model], algorithm: Algorithm) -> Vec<Result<SweepSolver, SolveError>> {
+    xbar_obs::add("fleet.sweep_warm", models.len() as u64);
+    shard_map(models.len(), |i| SweepSolver::new(&models[i], algorithm))
+}
+
 // ---------------------------------------------------------------------------
 // FleetSweep
 // ---------------------------------------------------------------------------
@@ -444,6 +459,22 @@ mod tests {
             fleet.solve_base(1).unwrap().blocking(0).to_bits(),
             solo.solve_base().unwrap().blocking(0).to_bits()
         );
+    }
+
+    #[test]
+    fn sweep_many_matches_solo_solvers_in_order() {
+        let models = heterogeneous_fleet();
+        let many = sweep_many(&models, Algorithm::Auto);
+        assert_eq!(many.len(), models.len());
+        for (m, got) in models.iter().zip(many) {
+            let got = got.unwrap();
+            let solo = SweepSolver::new(m, Algorithm::Auto).unwrap();
+            assert_eq!(got.algorithm(), solo.algorithm());
+            assert_eq!(
+                got.solve_base().unwrap().blocking(0).to_bits(),
+                solo.solve_base().unwrap().blocking(0).to_bits()
+            );
+        }
     }
 
     #[test]

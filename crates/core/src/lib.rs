@@ -104,11 +104,12 @@ pub mod state;
 pub mod sweep;
 pub mod transient;
 
-pub use fleet::{solve_fleet, FleetSweep};
+pub use fleet::{solve_fleet, sweep_many, FleetSweep};
 pub use measures::{ClassMeasures, SwitchMeasures};
 pub use model::{Dims, Model, ModelError};
+pub use sensitivity::{sensitivity, sensitivity_from, Sensitivity};
 pub use simd::{with_kernel_mode, KernelMode};
 pub use solver::resilient::{solve_resilient, ResilientConfig, ResilientSolution, SolveReport};
 pub use solver::{solve, solve_batch, solve_cached, Algorithm, Solution, SolveCache, SolveError};
 pub use state::StateIter;
-pub use sweep::{SweepGradients, SweepSolution, SweepSolver};
+pub use sweep::{SweepGradients, SweepGrid, SweepSolution, SweepSolver};

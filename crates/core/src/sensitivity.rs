@@ -51,8 +51,20 @@ pub struct Sensitivity {
 /// `algorithm` picks the numeric backend of the partials, with the same
 /// policy as [`SweepSolver::new`].
 pub fn sensitivity(model: &Model, algorithm: Algorithm) -> Result<Sensitivity, SolveError> {
-    let r_count = model.num_classes();
     let sweep = SweepSolver::new(model, algorithm)?;
+    Ok(sensitivity_from(&sweep))
+}
+
+/// Assemble the sensitivity matrices from an already-built
+/// [`SweepSolver`], paying only the `R` gradient recombination passes.
+///
+/// This is the online-repricing entry point: an admission engine that
+/// holds one solver per anchor can refresh its shadow prices per event
+/// batch at recombination cost, and the result is bit-identical to
+/// [`sensitivity`] on the solver's model (the precompute is the only
+/// work skipped).
+pub fn sensitivity_from(sweep: &SweepSolver) -> Sensitivity {
+    let r_count = sweep.model().num_classes();
     let mut nonblocking_by_rho = vec![vec![0.0; r_count]; r_count];
     let mut concurrency_by_rho = vec![vec![0.0; r_count]; r_count];
     let mut revenue_by_rho = vec![0.0; r_count];
@@ -66,12 +78,12 @@ pub fn sensitivity(model: &Model, algorithm: Algorithm) -> Result<Sensitivity, S
         revenue_by_rho[s] = g.revenue_by_rho;
         revenue_by_beta[s] = g.revenue_by_beta;
     }
-    Ok(Sensitivity {
+    Sensitivity {
         nonblocking_by_rho,
         concurrency_by_rho,
         revenue_by_rho,
         revenue_by_beta,
-    })
+    }
 }
 
 /// The finite-difference oracle: the original central-difference
@@ -248,6 +260,41 @@ mod tests {
             }
             close(exact.revenue_by_rho[s], fd.revenue_by_rho[s], 1e-6);
             close(exact.revenue_by_beta[s], fd.revenue_by_beta[s], 1e-6);
+        }
+    }
+
+    #[test]
+    fn sensitivity_from_cached_solver_is_bit_identical_and_precompute_free() {
+        let m = model();
+        let sweep = SweepSolver::new(&m, Algorithm::Auto).unwrap();
+        let fresh = sensitivity(&m, Algorithm::Auto).unwrap();
+
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let _g = xbar_obs::scope(&reg);
+        let cached = sensitivity_from(&sweep);
+        let snap = reg.snapshot();
+        assert!(snap.histogram("span.sweep.precompute").is_none());
+        assert_eq!(snap.counter("sweep.gradients"), Some(2));
+
+        for s in 0..2 {
+            for r in 0..2 {
+                assert_eq!(
+                    cached.nonblocking_by_rho[r][s].to_bits(),
+                    fresh.nonblocking_by_rho[r][s].to_bits()
+                );
+                assert_eq!(
+                    cached.concurrency_by_rho[r][s].to_bits(),
+                    fresh.concurrency_by_rho[r][s].to_bits()
+                );
+            }
+            assert_eq!(
+                cached.revenue_by_rho[s].to_bits(),
+                fresh.revenue_by_rho[s].to_bits()
+            );
+            assert_eq!(
+                cached.revenue_by_beta[s].to_bits(),
+                fresh.revenue_by_beta[s].to_bits()
+            );
         }
     }
 

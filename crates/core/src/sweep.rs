@@ -641,6 +641,173 @@ fn gradients_impl<S: RayScalar>(
     out
 }
 
+/// FNV-1a fingerprint of everything a leave-one-out ray `G_{-r}`
+/// depends on: the dims, the backend, the swept slot `r`, and every
+/// *other* class's full parameter set (weights included — they feed the
+/// measures of later recombinations). Class `r`'s own parameters are
+/// deliberately excluded: that is exactly the sharing the grid exploits.
+fn loo_fingerprint(model: &Model, r: usize, algorithm: Algorithm) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&model.dims().n1.to_le_bytes());
+    eat(&model.dims().n2.to_le_bytes());
+    eat(format!("{algorithm:?}").as_bytes());
+    eat(&(r as u64).to_le_bytes());
+    for (s, c) in model.workload().classes().iter().enumerate() {
+        if s == r {
+            continue;
+        }
+        eat(&(s as u64).to_le_bytes());
+        eat(&c.alpha.to_bits().to_le_bytes());
+        eat(&c.beta.to_bits().to_le_bytes());
+        eat(&c.mu.to_bits().to_le_bytes());
+        eat(&c.bandwidth.to_le_bytes());
+        eat(&c.weight.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// A multi-dimensional sweep grid: `G_{-r}` cached **per class set**,
+/// not per solver.
+///
+/// A 2-D `(ρ_r, β_r)` sweep of class `r` needs only *one* leave-one-out
+/// precompute — every cell recombines against the same `G_{-r}` — and a
+/// geometry axis (different `Dims`) adds one precompute per geometry,
+/// not one per cell. [`SweepSolver`] alone cannot amortise this across
+/// rows whose *base* models differ only in class `r`; the grid keys its
+/// cache by [`loo_fingerprint`] (dims + backend + the classes other
+/// than `r`), so such rows share the cached partials.
+///
+/// Cache hits count as `sweep.grid.reuse`, misses as
+/// `sweep.grid.build`; batch warm-up of missing entries is sharded over
+/// the persistent worker pool (see [`SweepGrid::solve_batch`]).
+///
+/// ```
+/// use xbar_core::{Algorithm, Dims, Model, SweepGrid};
+/// use xbar_traffic::{TrafficClass, Workload};
+///
+/// let w = Workload::new()
+///     .with(TrafficClass::poisson(0.2))
+///     .with(TrafficClass::bpp(0.1, 0.05, 1.0));
+/// let model = Model::new(Dims::square(12), w).unwrap();
+/// let grid = SweepGrid::new(Algorithm::Auto);
+/// for i in 0..4 {
+///     for j in 0..4 {
+///         let class = TrafficClass::bpp(0.05 + 0.05 * i as f64, 0.02 * j as f64, 1.0);
+///         // 16 cells, one precompute.
+///         grid.solve_cell(&model, 1, class).unwrap();
+///     }
+/// }
+/// assert_eq!(grid.len(), 1);
+/// ```
+pub struct SweepGrid {
+    algorithm: Algorithm,
+    entries: std::sync::Mutex<Vec<(u64, std::sync::Arc<SweepSolver>)>>,
+}
+
+impl SweepGrid {
+    /// An empty grid cache with the given backend policy (per
+    /// [`SweepSolver::new`]).
+    pub fn new(algorithm: Algorithm) -> Self {
+        SweepGrid {
+            algorithm,
+            entries: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Distinct `G_{-r}` entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Get-or-build the solver whose leave-one-out ray `G_{-r}` matches
+    /// `(model, r)`. A hit counts `sweep.grid.reuse`; a miss builds the
+    /// full precompute and counts `sweep.grid.build`.
+    pub fn solver(
+        &self,
+        model: &Model,
+        r: usize,
+    ) -> Result<std::sync::Arc<SweepSolver>, SolveError> {
+        let key = loo_fingerprint(model, r, self.algorithm);
+        if let Some(found) = self.lookup(key) {
+            xbar_obs::inc("sweep.grid.reuse");
+            return Ok(found);
+        }
+        xbar_obs::inc("sweep.grid.build");
+        let built = std::sync::Arc::new(SweepSolver::new(model, self.algorithm)?);
+        self.insert(key, std::sync::Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Solve one grid cell: `model` with class `r` replaced by `class`,
+    /// through the shared `G_{-r}` entry (one `O(C²/a)` recombination on
+    /// a hit).
+    pub fn solve_cell(
+        &self,
+        model: &Model,
+        r: usize,
+        class: TrafficClass,
+    ) -> Result<SweepSolution, SolveError> {
+        self.solver(model, r)?.solve_with_class(r, class)
+    }
+
+    /// Solve a batch of cells `(model, r, class)`, building every
+    /// *distinct* missing `G_{-r}` entry in parallel over the persistent
+    /// worker pool first (via [`crate::fleet`]'s shards), then
+    /// recombining the cells in order. Results keep the input order.
+    pub fn solve_batch(
+        &self,
+        cells: &[(Model, usize, TrafficClass)],
+    ) -> Vec<Result<SweepSolution, SolveError>> {
+        // Collect the distinct missing keys (first occurrence wins).
+        let mut missing: Vec<(u64, usize)> = Vec::new();
+        for (i, (model, r, _)) in cells.iter().enumerate() {
+            let key = loo_fingerprint(model, *r, self.algorithm);
+            if self.lookup(key).is_none() && missing.iter().all(|&(k, _)| k != key) {
+                missing.push((key, i));
+            }
+        }
+        let models: Vec<Model> = missing.iter().map(|&(_, i)| cells[i].0.clone()).collect();
+        let built = crate::fleet::sweep_many(&models, self.algorithm);
+        for ((key, _), solver) in missing.iter().zip(built) {
+            if let Ok(s) = solver {
+                xbar_obs::inc("sweep.grid.build");
+                self.insert(*key, std::sync::Arc::new(s));
+            }
+        }
+        cells
+            .iter()
+            .map(|(model, r, class)| self.solve_cell(model, *r, class.clone()))
+            .collect()
+    }
+
+    fn lookup(&self, key: u64) -> Option<std::sync::Arc<SweepSolver>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, s)| std::sync::Arc::clone(s))
+    }
+
+    fn insert(&self, key: u64, solver: std::sync::Arc<SweepSolver>) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.iter().all(|(k, _)| *k != key) {
+            entries.push((key, solver));
+        }
+    }
+}
+
 /// Exact gradients of every measure of the base model with respect to
 /// *one* perturbed class `s` (see [`SweepSolver::gradients`]).
 ///
@@ -991,6 +1158,95 @@ mod tests {
                 close(g.revenue_by_rho, fd, 1e-5);
                 let fd = (up_y.revenue() - dn_y.revenue()) / (2.0 * h_y);
                 close(g.revenue_by_beta, fd, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_shares_one_loo_entry_across_rho_beta_cells() {
+        let model = mixed_model(8, 8);
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let _g = xbar_obs::scope(&reg);
+        let grid = SweepGrid::new(Algorithm::Auto);
+        let fresh = SweepSolver::new(&model, Algorithm::Auto).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let class = TrafficClass::bpp(0.05 + 0.1 * i as f64, 0.02 * j as f64, 1.0);
+                let cell = grid.solve_cell(&model, 1, class.clone()).unwrap();
+                let want = fresh.solve_with_class(1, class).unwrap();
+                for r in 0..model.num_classes() {
+                    assert_eq!(cell.nonblocking(r).to_bits(), want.nonblocking(r).to_bits());
+                    assert_eq!(cell.concurrency(r).to_bits(), want.concurrency(r).to_bits());
+                }
+            }
+        }
+        assert_eq!(grid.len(), 1);
+        let snap = reg.snapshot();
+        // One build for the first cell plus the uncached `fresh` solver's
+        // precompute do not show up as grid counters; 8 of the 9 cells hit.
+        assert_eq!(snap.counter("sweep.grid.build"), Some(1));
+        assert_eq!(snap.counter("sweep.grid.reuse"), Some(8));
+    }
+
+    #[test]
+    fn grid_rows_differing_only_in_the_swept_class_share_the_entry() {
+        // Two *base* models that differ only in class 0's parameters: a
+        // per-solver cache would precompute twice; the per-class-set grid
+        // reuses the first entry for the second row.
+        let w1 = Workload::new()
+            .with(TrafficClass::poisson(0.25))
+            .with(TrafficClass::bpp(0.1, 0.3, 1.0).with_weight(2.0));
+        let w2 = Workload::new()
+            .with(TrafficClass::poisson(0.7).with_weight(3.0))
+            .with(TrafficClass::bpp(0.1, 0.3, 1.0).with_weight(2.0));
+        let m1 = Model::new(Dims::square(8), w1).unwrap();
+        let m2 = Model::new(Dims::square(8), w2).unwrap();
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let _g = xbar_obs::scope(&reg);
+        let grid = SweepGrid::new(Algorithm::Auto);
+        let a = grid.solve_cell(&m1, 0, TrafficClass::poisson(0.4)).unwrap();
+        let b = grid.solve_cell(&m2, 0, TrafficClass::poisson(0.4)).unwrap();
+        assert_eq!(grid.len(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sweep.grid.build"), Some(1));
+        assert_eq!(snap.counter("sweep.grid.reuse"), Some(1));
+        // Identical cells (both bases collapse to the same edited model).
+        for r in 0..2 {
+            assert_eq!(a.nonblocking(r).to_bits(), b.nonblocking(r).to_bits());
+        }
+        // A geometry axis is a separate class set → second entry.
+        let m3 = Model::new(Dims::new(10, 6), m1.workload().clone()).unwrap();
+        grid.solve_cell(&m3, 0, TrafficClass::poisson(0.4)).unwrap();
+        assert_eq!(grid.len(), 2);
+    }
+
+    #[test]
+    fn grid_batch_warms_distinct_entries_and_matches_serial_cells() {
+        let cells: Vec<(Model, usize, TrafficClass)> = (0u32..4)
+            .flat_map(|g| {
+                let model = mixed_model(6 + g, 6 + g);
+                (0..3).map(move |i| {
+                    (
+                        model.clone(),
+                        1,
+                        TrafficClass::bpp(0.05 + 0.1 * i as f64, 0.01, 1.0),
+                    )
+                })
+            })
+            .collect();
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let _g = xbar_obs::scope(&reg);
+        let grid = SweepGrid::new(Algorithm::Auto);
+        let batch = grid.solve_batch(&cells);
+        assert_eq!(grid.len(), 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sweep.grid.build"), Some(4));
+        let serial = SweepGrid::new(Algorithm::Auto);
+        for (got, (model, r, class)) in batch.iter().zip(&cells) {
+            let got = got.as_ref().expect("batch cell failed");
+            let want = serial.solve_cell(model, *r, class.clone()).unwrap();
+            for k in 0..model.num_classes() {
+                assert_eq!(got.nonblocking(k).to_bits(), want.nonblocking(k).to_bits());
             }
         }
     }

@@ -101,6 +101,105 @@ pub fn rows(events: u64, seed: u64) -> Vec<Row> {
     out
 }
 
+/// Reprice batch length the golden repricing replay runs at.
+pub const REPRICE_BATCH: u64 = 256;
+
+/// One (mode, class) row of the repricing differential: the same shadow
+/// replay with thresholds priced once at anchor time versus re-priced
+/// every [`REPRICE_BATCH`] events from the cached gradients. The decision
+/// split must be identical — repricing changes *when* thresholds are
+/// derived, never what they are for an unchanged model — so the only
+/// columns that differ are the reprice counters.
+#[derive(Clone, Debug)]
+pub struct RepriceRow {
+    /// `anchor-once` or `reprice:<batch>`.
+    pub mode: String,
+    /// Class index.
+    pub class: usize,
+    /// Arrivals offered to the class.
+    pub offered: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Capacity denials.
+    pub denied_capacity: u64,
+    /// Policy denials.
+    pub denied_policy: u64,
+    /// Repricing passes the engine ran.
+    pub reprice_batches: u64,
+    /// Passes that changed the threshold vector.
+    pub reprice_updates: u64,
+}
+
+/// Replay the shadow policy with and without per-batch repricing over
+/// the same stream and flatten to rows.
+pub fn reprice_rows(events: u64, seed: u64) -> Vec<RepriceRow> {
+    let model = model();
+    let modes = vec![
+        ("anchor-once".to_string(), None),
+        (format!("reprice:{REPRICE_BATCH}"), Some(REPRICE_BATCH)),
+    ];
+    let per_mode = par_map(modes, |(mode, reprice_batch)| {
+        let rep = replay(
+            &model,
+            &ReplayConfig {
+                events,
+                seed,
+                batches: 20,
+                engine: EngineConfig {
+                    policy: PolicySpec::ShadowPrice { reserve: 2 },
+                    reprice_batch,
+                    ..EngineConfig::default()
+                },
+            },
+        )
+        .expect("replay succeeds");
+        (mode, rep)
+    });
+    let mut out = Vec::new();
+    for (mode, rep) in per_mode {
+        for (class, c) in rep.classes.iter().enumerate() {
+            out.push(RepriceRow {
+                mode: mode.clone(),
+                class,
+                offered: c.offered,
+                admitted: c.admitted,
+                denied_capacity: c.denied_capacity,
+                denied_policy: c.denied_policy,
+                reprice_batches: rep.reprice_batches,
+                reprice_updates: rep.reprice_updates,
+            });
+        }
+    }
+    out
+}
+
+/// Render the repricing differential as a table.
+pub fn reprice_table(rows: &[RepriceRow]) -> Table {
+    let mut t = Table::new([
+        "mode",
+        "class",
+        "offered",
+        "admitted",
+        "denied_capacity",
+        "denied_policy",
+        "reprice_batches",
+        "reprice_updates",
+    ]);
+    for r in rows {
+        t.push([
+            r.mode.clone(),
+            r.class.to_string(),
+            r.offered.to_string(),
+            r.admitted.to_string(),
+            r.denied_capacity.to_string(),
+            r.denied_policy.to_string(),
+            r.reprice_batches.to_string(),
+            r.reprice_updates.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Render as a table.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
@@ -177,6 +276,23 @@ mod tests {
                 find("trunk:0,2", class).admitted
             );
         }
+    }
+
+    #[test]
+    fn repricing_changes_counters_but_not_one_decision() {
+        let rows = reprice_rows(30_000, 7);
+        assert_eq!(rows.len(), 4);
+        let (plain, repriced) = rows.split_at(2);
+        for (p, r) in plain.iter().zip(repriced) {
+            assert_eq!(p.class, r.class);
+            assert_eq!(p.offered, r.offered);
+            assert_eq!(p.admitted, r.admitted);
+            assert_eq!(p.denied_capacity, r.denied_capacity);
+            assert_eq!(p.denied_policy, r.denied_policy);
+        }
+        assert!(plain.iter().all(|p| p.reprice_batches == 0));
+        assert!(repriced.iter().all(|r| r.reprice_batches > 0));
+        assert!(repriced.iter().all(|r| r.reprice_updates == 0));
     }
 
     #[test]

@@ -497,6 +497,7 @@ impl Daemon {
             out.skewed += c.skewed;
             out.restarts += c.restarts;
             out.stale_reanchors += c.stale_reanchors;
+            out.stale_reprices += c.stale_reprices;
             out.snapshots += c.snapshots;
         }
         out
@@ -526,6 +527,7 @@ impl Daemon {
         xbar_obs::add("serve.skewed", c.skewed);
         xbar_obs::add("serve.restarts.total", c.restarts);
         xbar_obs::add("serve.reanchor.stale.total", c.stale_reanchors);
+        xbar_obs::add("serve.reprice.stale.total", c.stale_reprices);
         xbar_obs::add("serve.reanchor.batched", self.counters.batched_reanchors);
         xbar_obs::add("serve.reanchor.batches", self.counters.reanchor_batches);
         xbar_obs::add("serve.snapshots", c.snapshots);

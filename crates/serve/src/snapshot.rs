@@ -37,8 +37,13 @@ use crate::ServeError;
 
 /// File magic.
 pub const MAGIC: &[u8; 4] = b"XSNP";
-/// Snapshot codec version.
-pub const VERSION: u32 = 1;
+/// Snapshot codec version. Version 2 added the engine's pricing state
+/// (threshold vector, repricing batch offset, reprice counters) and the
+/// serve-level stale-reprice counter; version-1 snapshots decode to
+/// `None` and recovery degrades to a full WAL replay — which rebuilds
+/// exactly that pricing state, so an upgrade is lossless, just slower
+/// on its first start.
+pub const VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash of everything that determines engine behaviour:
 /// switch geometry, every class's parameter bits, the policy, and the
@@ -132,7 +137,12 @@ fn encode_body(snap: &TenantSnapshot) -> Vec<u8> {
     for &k in &snap.engine.k {
         b.extend_from_slice(&k.to_le_bytes());
     }
+    b.extend_from_slice(&(snap.engine.thresholds.len() as u32).to_le_bytes());
+    for &t in &snap.engine.thresholds {
+        b.extend_from_slice(&t.to_le_bytes());
+    }
     b.extend_from_slice(&snap.engine.log_weight.to_bits().to_le_bytes());
+    b.extend_from_slice(&snap.engine.reprice_events.to_le_bytes());
     let s = &snap.engine.stats;
     for v in [
         s.events,
@@ -140,6 +150,8 @@ fn encode_body(snap: &TenantSnapshot) -> Vec<u8> {
         s.re_anchors,
         s.snap_backs,
         s.re_anchor_failures,
+        s.reprice_batches,
+        s.reprice_updates,
     ] {
         b.extend_from_slice(&v.to_le_bytes());
     }
@@ -156,6 +168,7 @@ fn encode_body(snap: &TenantSnapshot) -> Vec<u8> {
         c.skewed,
         c.restarts,
         c.stale_reanchors,
+        c.stale_reprices,
         c.snapshots,
     ] {
         b.extend_from_slice(&v.to_le_bytes());
@@ -179,13 +192,24 @@ fn decode_body(body: &[u8]) -> Option<TenantSnapshot> {
     for _ in 0..k_len {
         k.push(c.u32()?);
     }
+    let t_len = c.u32()? as usize;
+    if t_len > body.len() {
+        return None;
+    }
+    let mut thresholds = Vec::with_capacity(t_len);
+    for _ in 0..t_len {
+        thresholds.push(c.u32()?);
+    }
     let log_weight = c.f64_bits()?;
+    let reprice_events = c.u64()?;
     let mut stats = EngineStats {
         events: c.u64()?,
         departures: c.u64()?,
         re_anchors: c.u64()?,
         snap_backs: c.u64()?,
         re_anchor_failures: c.u64()?,
+        reprice_batches: c.u64()?,
+        reprice_updates: c.u64()?,
         per_class: Vec::new(),
     };
     let pc_len = c.u32()? as usize;
@@ -206,6 +230,7 @@ fn decode_body(body: &[u8]) -> Option<TenantSnapshot> {
         skewed: c.u64()?,
         restarts: c.u64()?,
         stale_reanchors: c.u64()?,
+        stale_reprices: c.u64()?,
         snapshots: c.u64()?,
     };
     let quarantined = match c.u8()? {
@@ -223,6 +248,8 @@ fn decode_body(body: &[u8]) -> Option<TenantSnapshot> {
         engine: EngineState {
             k,
             log_weight,
+            thresholds,
+            reprice_events,
             stats,
         },
         counters,
@@ -298,12 +325,16 @@ mod tests {
             engine: EngineState {
                 k: vec![3, 0, 7],
                 log_weight: -12.625_f64,
+                thresholds: vec![0, 2, 1],
+                reprice_events: 17,
                 stats: EngineStats {
                     events: 100,
                     departures: 40,
                     re_anchors: 2,
                     snap_backs: 1,
                     re_anchor_failures: 0,
+                    reprice_batches: 12,
+                    reprice_updates: 3,
                     per_class: vec![
                         ClassStats {
                             offered: 30,
@@ -327,6 +358,7 @@ mod tests {
                 skewed: 1,
                 restarts: 1,
                 stale_reanchors: 3,
+                stale_reprices: 4,
                 snapshots: 9,
             },
             quarantined: false,
@@ -367,6 +399,16 @@ mod tests {
         let mut long = bytes.clone();
         long.push(0);
         assert_eq!(decode(&long), None);
+    }
+
+    #[test]
+    fn older_codec_versions_degrade_to_full_replay() {
+        // A pre-repricing (version-1) snapshot must decode to `None`, not
+        // mis-read: its body lacks the pricing state, so recovery falls
+        // back to the WAL, which rebuilds exactly that state.
+        let mut bytes = encode(&sample());
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(decode(&bytes), None);
     }
 
     #[test]

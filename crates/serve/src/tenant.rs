@@ -79,6 +79,14 @@ pub struct TenantConfig {
     /// `reanchor_deadline` budget still measures from detection. Off by
     /// default so a standalone tenant corrects drift immediately.
     pub coalesce_reanchors: bool,
+    /// Applied events per online repricing batch (plumbed to
+    /// [`EngineConfig::reprice_batch`]): the engine re-derives the policy
+    /// thresholds from its per-anchor pricing state every `n` absorbed
+    /// events. The `reanchor_deadline` doubles as the engine's
+    /// `price_deadline`, so a gradient older than the deadline refuses to
+    /// price and is routed through the (possibly coalesced) re-anchor
+    /// path instead. `None` disables repricing.
+    pub reprice_batch: Option<u64>,
 }
 
 impl Default for TenantConfig {
@@ -95,6 +103,7 @@ impl Default for TenantConfig {
             reanchor_deadline: None,
             sync_every: 0,
             coalesce_reanchors: false,
+            reprice_batch: None,
         }
     }
 }
@@ -115,6 +124,10 @@ pub struct ServeCounters {
     /// Drift corrections that kept a stale anchor (re-anchor deadline
     /// exceeded).
     pub stale_reanchors: u64,
+    /// Repricing passes the engine refused because the pricing gradient
+    /// outlived the deadline ([`AdmissionError::StalePrices`]); each one
+    /// routes a re-anchor through the drift-correction path.
+    pub stale_reprices: u64,
     /// Snapshots written.
     pub snapshots: u64,
 }
@@ -203,6 +216,11 @@ fn engine_cfg(cfg: &TenantConfig) -> EngineConfig {
         // the engine's own periodic check must never fire mid-apply.
         check_interval: 0,
         drift_tol: cfg.drift_tol,
+        reprice_batch: cfg.reprice_batch,
+        // The re-anchor latency budget doubles as the pricing freshness
+        // deadline: a supervisor that bounds how stale an anchor may get
+        // bounds how stale the served prices may get by the same amount.
+        price_deadline: cfg.reanchor_deadline,
     }
 }
 
@@ -296,16 +314,19 @@ impl Tenant {
             self.counters.skewed += 1;
         }
         match rec.kind {
-            RecordKind::Arrival => {
-                if self.engine.offer(rec.class as usize).is_err() {
-                    self.counters.rejected += 1;
-                }
-            }
-            RecordKind::Departure => {
-                if self.engine.depart(rec.class as usize).is_err() {
-                    self.counters.rejected += 1;
-                }
-            }
+            RecordKind::Arrival => match self.engine.offer(rec.class as usize) {
+                Ok(_) => {}
+                // Repricing refusals absorb the event (the refusal is the
+                // tick's last step) — count them exactly as the live run
+                // did so recovery stays byte-identical.
+                Err(AdmissionError::StalePrices { .. }) => self.counters.stale_reprices += 1,
+                Err(_) => self.counters.rejected += 1,
+            },
+            RecordKind::Departure => match self.engine.depart(rec.class as usize) {
+                Ok(()) => {}
+                Err(AdmissionError::StalePrices { .. }) => self.counters.stale_reprices += 1,
+                Err(_) => self.counters.rejected += 1,
+            },
             RecordKind::Shed => self.counters.shed += 1,
             RecordKind::Rejected => self.counters.rejected += 1,
         }
@@ -394,6 +415,16 @@ impl Tenant {
                 _ => self.reject(seq, class16, skewed),
             };
         }
+        // Captured so a repricing refusal (which arrives *after* the event
+        // was fully applied) can reconstruct the decision from the
+        // counter delta.
+        let before = self
+            .engine
+            .stats()
+            .per_class
+            .get(class)
+            .copied()
+            .unwrap_or_default();
         match self.engine.apply(event) {
             Ok(decision) => {
                 // Apply-then-append: the record is written only for events
@@ -411,6 +442,49 @@ impl Tenant {
                         Some(Decision::Admit) => Outcome::Admitted,
                         Some(Decision::Deny(r)) => Outcome::Denied(r),
                         None => Outcome::Departed,
+                    }
+                })
+            }
+            Err(AdmissionError::StalePrices { .. }) => {
+                // Repricing runs last in the engine's tick, so the event
+                // itself was fully applied and accounted before the
+                // refusal — record it durably like any absorbed event.
+                // The refusal is a *freshness* problem, not an integrity
+                // one: count it and route a re-anchor through the
+                // (possibly coalesced) drift-correction path so the
+                // pricing gradient gets refreshed under the same deadline
+                // supervision as any other anchor work.
+                self.append(seq, kind, class16, skewed)?;
+                if skewed {
+                    self.counters.skewed += 1;
+                }
+                self.consecutive_failures = 0;
+                self.counters.stale_reprices += 1;
+                xbar_obs::inc("serve.reprice.stale");
+                let mut tripped = if self.cfg.coalesce_reanchors {
+                    self.pending_reanchor.get_or_insert(Instant::now());
+                    false
+                } else {
+                    self.finish_reanchor(Instant::now())?
+                };
+                if self.after_apply()? {
+                    tripped = true;
+                }
+                Ok(if tripped {
+                    Outcome::Quarantined
+                } else {
+                    match kind {
+                        RecordKind::Arrival => {
+                            let after = self.engine.stats().per_class[class];
+                            if after.admitted > before.admitted {
+                                Outcome::Admitted
+                            } else if after.denied_capacity > before.denied_capacity {
+                                Outcome::Denied(DenyReason::Capacity)
+                            } else {
+                                Outcome::Denied(DenyReason::Policy)
+                            }
+                        }
+                        _ => Outcome::Departed,
                     }
                 })
             }
@@ -893,6 +967,53 @@ mod tests {
         t.apply(3, Event::Arrival { class: 0 }, false).unwrap();
         assert!(!t.anchor_stale());
         assert_eq!(t.engine().stats().re_anchors, 1);
+    }
+
+    #[test]
+    fn stale_reprices_absorb_the_event_and_route_a_coalesced_reanchor() {
+        let d = dir("stale_reprice");
+        let m = model();
+        let mut c = cfg();
+        c.policy = PolicySpec::ShadowPrice { reserve: 1 };
+        c.reprice_batch = Some(1);
+        c.reanchor_deadline = Some(Duration::ZERO); // every reprice refuses
+        c.coalesce_reanchors = true;
+        let (mut t, _) = Tenant::open("t", &d, &m, c).unwrap();
+        // The refusal happens after the event landed: outcome, engine
+        // state, and the WAL all reflect the absorbed arrival.
+        assert_eq!(
+            t.apply(1, Event::Arrival { class: 0 }, false).unwrap(),
+            Outcome::Admitted
+        );
+        assert_eq!(t.counters().stale_reprices, 1);
+        assert_eq!(t.counters().rejected, 0, "not an integrity failure");
+        assert!(!t.quarantined());
+        assert_eq!(t.engine().stats().offered(), 1);
+        assert_eq!(t.engine().state(), &[1, 0]);
+        assert_eq!(t.durable_seq(), 1);
+        // The refusal routed a re-anchor through the coalesced path; the
+        // zero budget then takes the stale-anchor ladder.
+        assert!(t.reanchor_pending());
+        t.complete_pending_reanchor().unwrap();
+        assert_eq!(t.counters().stale_reanchors, 1);
+        // Departures reconstruct their outcome the same way.
+        assert_eq!(
+            t.apply(2, Event::Departure { class: 0 }, false).unwrap(),
+            Outcome::Departed
+        );
+        assert_eq!(t.counters().stale_reprices, 2);
+        assert_eq!(t.engine().stats().departures, 1);
+        // Replay counts refusals identically: reopen and compare.
+        drop(t);
+        let mut c2 = cfg();
+        c2.policy = PolicySpec::ShadowPrice { reserve: 1 };
+        c2.reprice_batch = Some(1);
+        c2.reanchor_deadline = Some(Duration::ZERO);
+        c2.coalesce_reanchors = true;
+        let (t2, report) = Tenant::open("t", &d, &m, c2).unwrap();
+        assert!(!report.snapshot_used, "no snapshot was due yet");
+        assert_eq!(t2.counters().stale_reprices, 2);
+        assert_eq!(t2.engine().stats().reprice_batches, 2);
     }
 
     #[test]

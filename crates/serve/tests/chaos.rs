@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use xbar_admission::PolicySpec;
 use xbar_core::{Dims, Model};
 use xbar_serve::chaos::{fault_schedule, BurstPlan, FaultAction, StreamPlan};
 use xbar_serve::tenant::Tenant;
@@ -73,13 +74,17 @@ fn end_state(daemon: &Daemon) -> Vec<(String, String)> {
             (
                 name.clone(),
                 format!(
-                    "k={:?} lw={:016x} stats={:?} shed={} rejected={} skewed={} q={}",
+                    "k={:?} thr={:?} re={} lw={:016x} stats={:?} shed={} rejected={} \
+                     skewed={} stale_rp={} q={}",
                     s.k,
+                    s.thresholds,
+                    s.reprice_events,
                     s.log_weight.to_bits(),
                     s.stats,
                     c.shed,
                     c.rejected,
                     c.skewed,
+                    c.stale_reprices,
                     t.quarantined()
                 ),
             )
@@ -180,6 +185,82 @@ fn kill_and_recover_is_byte_identical_to_uninterrupted_run() {
     assert!(
         daemon.counters().duplicates > 0,
         "the durable prefix deduplicated"
+    );
+}
+
+/// Kill -9 **mid-repricing-batch**: with per-batch shadow repricing on
+/// (batch length coprime to the snapshot interval, so every seeded kill
+/// lands with the batch phase partway through), a recovered daemon fed
+/// the same stream must end with byte-identical thresholds, batch phase
+/// (`reprice_events`), and `admission.reprice.*` counters — the pricing
+/// state round-trips through snapshot V2 and WAL replay like any other
+/// engine state.
+#[test]
+fn kill_mid_repricing_batch_recovers_byte_identical_thresholds_and_counters() {
+    let shadow_model = || {
+        Model::new(
+            Dims::square(4),
+            Workload::new()
+                .with(TrafficClass::poisson(0.25))
+                .with(TrafficClass::poisson(0.5).with_weight(0.01)),
+        )
+        .unwrap()
+    };
+    let plan = StreamPlan {
+        lines: 2000,
+        malformed_p: 0.02,
+        invalid_p: 0.02,
+        ..StreamPlan::default()
+    };
+    let lines = plan.generate_lines();
+    let mut cfg = daemon_cfg();
+    cfg.tenant.policy = PolicySpec::ShadowPrice { reserve: 1 };
+    cfg.tenant.reprice_batch = Some(23); // coprime to snapshot_interval 37
+
+    // Golden: one uninterrupted run, with the repricing path genuinely
+    // live (passes ran, and the shadow policy holds a nonzero reserve).
+    let golden_dir = dir("reprice_golden");
+    let (mut golden, _) = Daemon::open(&golden_dir, &shadow_model(), cfg.clone()).unwrap();
+    for line in &lines {
+        golden.ingest_line(line).unwrap();
+    }
+    golden.drain().unwrap();
+    let want = end_state(&golden);
+    assert!(golden
+        .tenants()
+        .any(|(_, t)| t.engine().stats().reprice_batches > 0));
+    assert!(
+        golden
+            .tenants()
+            .any(|(_, t)| t.engine().thresholds().iter().any(|&x| x > 0)),
+        "the shadow policy must actually reserve slots"
+    );
+
+    // Chaos: kill -9 at 5 seeded points (each almost surely mid-batch),
+    // recover, resume from the top.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let d = dir("reprice_chaos");
+    let mut cuts: Vec<usize> = (0..5).map(|_| rng.gen_range(1..lines.len())).collect();
+    cuts.sort_unstable();
+    for &cut in &cuts {
+        let (mut daemon, _) = Daemon::open(&d, &shadow_model(), cfg.clone()).unwrap();
+        for line in &lines[..cut] {
+            daemon.ingest_line(line).unwrap();
+        }
+        daemon.drain().unwrap();
+        drop(daemon); // kill -9: no shutdown, no final snapshot
+    }
+    let (mut daemon, reports) = Daemon::open(&d, &shadow_model(), cfg).unwrap();
+    assert!(!reports.is_empty(), "tenants recovered from durable state");
+    for line in &lines {
+        daemon.ingest_line(line).unwrap();
+    }
+    daemon.drain().unwrap();
+    assert_accounting(&daemon);
+    assert_eq!(
+        end_state(&daemon),
+        want,
+        "repriced recovery must be byte-identical (thresholds, phase, counters)"
     );
 }
 

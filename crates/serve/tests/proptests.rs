@@ -54,15 +54,20 @@ fn engine_state_strategy() -> impl Strategy<Value = EngineState> {
                     denied_policy: i as u64 * 7,
                 })
                 .collect();
+            let thresholds = k.iter().map(|&ki| ki % 5).collect();
             EngineState {
                 k,
                 log_weight,
+                thresholds,
+                reprice_events: events % 23,
                 stats: EngineStats {
                     events,
                     departures: events / 4,
                     re_anchors: events % 17,
                     snap_backs: events % 3,
                     re_anchor_failures: events % 2,
+                    reprice_batches: events % 13,
+                    reprice_updates: events % 7,
                     per_class,
                 },
             }
@@ -75,7 +80,7 @@ fn snapshot_strategy() -> impl Strategy<Value = TenantSnapshot> {
         0u64..1 << 30,
         0u64..u64::MAX,
         engine_state_strategy(),
-        proptest::collection::vec(0u64..1 << 40, 6),
+        proptest::collection::vec(0u64..1 << 40, 7),
         proptest::bool::ANY,
     )
         .prop_map(
@@ -90,7 +95,8 @@ fn snapshot_strategy() -> impl Strategy<Value = TenantSnapshot> {
                     skewed: c[2],
                     restarts: c[3],
                     stale_reanchors: c[4],
-                    snapshots: c[5],
+                    stale_reprices: c[5],
+                    snapshots: c[6],
                 },
                 quarantined,
             },
@@ -201,6 +207,8 @@ proptest! {
             snap.engine.log_weight.to_bits()
         );
         prop_assert_eq!(back.engine.k, snap.engine.k.clone());
+        prop_assert_eq!(back.engine.thresholds, snap.engine.thresholds.clone());
+        prop_assert_eq!(back.engine.reprice_events, snap.engine.reprice_events);
         prop_assert_eq!(back.engine.stats, snap.engine.stats.clone());
         prop_assert_eq!(back.counters, snap.counters);
         prop_assert_eq!(back.seq, snap.seq);

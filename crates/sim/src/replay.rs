@@ -78,6 +78,11 @@ pub struct ReplayReport {
     pub departures: u64,
     /// Times the engine re-anchored from the solve cache.
     pub re_anchors: u64,
+    /// Per-batch repricing passes the engine ran (0 unless
+    /// [`EngineConfig::reprice_batch`] is set).
+    pub reprice_batches: u64,
+    /// Repricing passes that changed the threshold vector.
+    pub reprice_updates: u64,
     /// Per-class decision split and acceptance estimate.
     pub classes: Vec<ClassReplay>,
 }
@@ -192,6 +197,8 @@ pub fn replay(model: &Model, cfg: &ReplayConfig) -> Result<ReplayReport, Admissi
         arrivals,
         departures,
         re_anchors: stats.re_anchors,
+        reprice_batches: stats.reprice_batches,
+        reprice_updates: stats.reprice_updates,
         classes: classes_out,
     })
 }
@@ -262,6 +269,37 @@ mod tests {
         // The throttled class must accept strictly less than its CS run.
         let cs = run(100_000, 77, PolicySpec::CompleteSharing);
         assert!(rep.classes[1].acceptance.mean < cs.classes[1].acceptance.mean);
+    }
+
+    #[test]
+    fn repricing_replay_matches_the_plain_run_decision_for_decision() {
+        // Per-batch repricing re-derives the same thresholds from the
+        // cached gradients, so a repriced replay must be event-identical
+        // to the plain run — only the reprice counters differ.
+        let plain = run(20_000, 11, PolicySpec::ShadowPrice { reserve: 1 });
+        let repriced = replay(
+            &model(),
+            &ReplayConfig {
+                events: 20_000,
+                seed: 11,
+                batches: 20,
+                engine: EngineConfig {
+                    policy: PolicySpec::ShadowPrice { reserve: 1 },
+                    reprice_batch: Some(64),
+                    ..EngineConfig::default()
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(repriced.reprice_batches, 20_000 / 64);
+        assert_eq!(repriced.reprice_updates, 0, "the model never changed");
+        assert_eq!(plain.reprice_batches, 0);
+        for (x, y) in plain.classes.iter().zip(&repriced.classes) {
+            assert_eq!(x.offered, y.offered);
+            assert_eq!(x.admitted, y.admitted);
+            assert_eq!(x.denied_capacity, y.denied_capacity);
+            assert_eq!(x.denied_policy, y.denied_policy);
+        }
     }
 
     #[test]

@@ -82,7 +82,8 @@ fn usage() -> String {
      [--port-mtbf <t> --port-mttr <t>] [--fail-inputs <k>] [--fail-outputs <k>]\n  \
      xbar admit --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
      [--policy cs|trunk:t0,t1,...|shadow[:reserve=N]] [--replay-events <n>] \
-     [--trace <path>] [--cross-check] [--seed <u64>] [--metrics <path|->]\n  \
+     [--reprice-batch <n>] [--trace <path>] [--cross-check] [--seed <u64>] \
+     [--metrics <path|->]\n  \
      xbar sweep --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
      --alpha <a0:a1:steps> [--sweep-class <r>] \
      [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext] [--threads <N>] \
@@ -90,8 +91,9 @@ fn usage() -> String {
      xbar serve --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
      --data-dir <dir> --file <trace> | --tail <trace> | --socket <path> \
      [--policy <spec>] [--queue-cap <n>] [--snapshot-interval <n>] \
-     [--max-failures <n>] [--reanchor-deadline-ms <ms>] [--sync-every <n>] \
-     [--idle-timeout-ms <ms>] [--kill-after <n>] [--metrics <path|->]\n  \
+     [--max-failures <n>] [--reanchor-deadline-ms <ms>] [--reprice-batch <n>] \
+     [--sync-every <n>] [--idle-timeout-ms <ms>] [--kill-after <n>] \
+     [--metrics <path|->]\n  \
      xbar fleet --models <path> \
      [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext|alg2-mva|alg3-convolution] \
      [--simd scalar|strict|fast] [--threads <N>] [--metrics <path|->]\n\n\
@@ -100,7 +102,9 @@ fn usage() -> String {
      recombination, not a fresh solve)\n\
      admit replays synthetic BPP call events (or an 'a <class>'/'d <class>' \
      trace file) through the online admission engine; --cross-check asserts \
-     the admitted fraction against the analytic acceptance (CS policy only)\n\
+     the admitted fraction against the analytic acceptance (CS policy only); \
+     --reprice-batch re-derives the policy thresholds from the per-anchor \
+     cached sensitivity gradients every <n> events (admit and serve)\n\
      serve runs the fault-tolerant multi-tenant admission daemon over \
      '<tenant> a|d <class> [@t]' lines with a WAL + snapshots under \
      --data-dir; exit 7 means tenant(s) ended quarantined\n\
@@ -251,6 +255,9 @@ pub struct Args {
     pub max_failures: u32,
     /// Re-anchor latency budget in ms (for `serve`; absent = no deadline).
     pub reanchor_deadline_ms: Option<u64>,
+    /// Events per online repricing batch (for `admit` and `serve`;
+    /// absent = thresholds refresh only at re-anchor).
+    pub reprice_batch: Option<u64>,
     /// WAL fsync cadence in records (for `serve`; 0 = on snapshot only).
     pub sync_every: u64,
     /// Tail/socket idle shutdown in ms (for `serve`).
@@ -342,6 +349,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut snapshot_interval = 4096u64;
     let mut max_failures = 5u32;
     let mut reanchor_deadline_ms = None;
+    let mut reprice_batch = None;
     let mut sync_every = 0u64;
     let mut idle_timeout_ms = 2_000u64;
     let mut kill_after = None;
@@ -468,6 +476,15 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("--reanchor-deadline-ms: {e}"))?,
                 );
             }
+            "--reprice-batch" => {
+                let v: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--reprice-batch: {e}"))?;
+                if v == 0 {
+                    return Err("--reprice-batch must be > 0".into());
+                }
+                reprice_batch = Some(v);
+            }
             "--sync-every" => {
                 sync_every = value()?.parse().map_err(|e| format!("--sync-every: {e}"))?;
             }
@@ -565,6 +582,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         snapshot_interval,
         max_failures,
         reanchor_deadline_ms,
+        reprice_batch,
         sync_every,
         idle_timeout_ms,
         kill_after,
@@ -937,6 +955,7 @@ pub fn run_admit(args: &Args) -> Result<(), CliError> {
     let engine_cfg = EngineConfig {
         policy: policy.clone(),
         algorithm: args.algorithm,
+        reprice_batch: args.reprice_batch,
         ..EngineConfig::default()
     };
 
@@ -977,6 +996,12 @@ pub fn run_admit(args: &Args) -> Result<(), CliError> {
          {} arrivals, {} departures, {} re-anchors",
         rep.events, args.n1, args.n2, args.seed, rep.arrivals, rep.departures, rep.re_anchors
     );
+    if let Some(batch) = args.reprice_batch {
+        println!(
+            "repricing: every {batch} events, {} pass(es), {} threshold update(s)",
+            rep.reprice_batches, rep.reprice_updates
+        );
+    }
     println!(
         "{:>6} {:>10} {:>10} {:>12} {:>12} {:>22} {:>10}",
         "class",
@@ -1052,6 +1077,7 @@ pub fn run_serve(args: &Args) -> Result<(), CliError> {
             snapshot_interval: args.snapshot_interval,
             max_failures: args.max_failures,
             reanchor_deadline: args.reanchor_deadline_ms.map(Duration::from_millis),
+            reprice_batch: args.reprice_batch,
             sync_every: args.sync_every,
             ..xbar_serve::TenantConfig::default()
         },
@@ -1156,6 +1182,15 @@ pub fn verify_metrics_invariants(snap: &xbar_obs::Snapshot) -> Result<(), CliErr
                 "serve accounting invariant broken: offers ({offers}) != admitted \
                  ({admitted}) + capacity-denied ({capacity}) + policy-denied ({policy}) \
                  + shed ({shed})"
+            )));
+        }
+    }
+    if let Some(batches) = snap.counter("admission.reprice.batches") {
+        let updates = snap.counter("admission.reprice.updates").unwrap_or(0);
+        if updates > batches {
+            return Err(CliError::Metrics(format!(
+                "repricing invariant broken: updates ({updates}) > batches ({batches}) — \
+                 a threshold can only change in a repricing pass"
             )));
         }
     }
@@ -1524,7 +1559,8 @@ mod tests {
         let a = parse_args(&argv(
             "serve --n 8 --class poisson:rho=0.1 --data-dir /tmp/xd --file trace.txt \
              --queue-cap 64 --snapshot-interval 512 --max-failures 3 \
-             --reanchor-deadline-ms 5 --sync-every 16 --idle-timeout-ms 100 --kill-after 1000",
+             --reanchor-deadline-ms 5 --reprice-batch 256 --sync-every 16 \
+             --idle-timeout-ms 100 --kill-after 1000",
         ))
         .unwrap();
         assert_eq!(a.command, "serve");
@@ -1534,6 +1570,7 @@ mod tests {
         assert_eq!(a.snapshot_interval, 512);
         assert_eq!(a.max_failures, 3);
         assert_eq!(a.reanchor_deadline_ms, Some(5));
+        assert_eq!(a.reprice_batch, Some(256));
         assert_eq!(a.sync_every, 16);
         assert_eq!(a.idle_timeout_ms, 100);
         assert_eq!(a.kill_after, Some(1000));
@@ -1571,6 +1608,14 @@ mod tests {
         .is_err());
         assert!(parse_args(&argv(
             "serve --n 8 --class poisson:rho=0.1 --data-dir d --file t --queue-cap x"
+        ))
+        .is_err());
+        assert!(parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir d --file t --reprice-batch 0"
+        ))
+        .is_err());
+        assert!(parse_args(&argv(
+            "serve --n 8 --class poisson:rho=0.1 --data-dir d --file t --reprice-batch x"
         ))
         .is_err());
     }
@@ -1644,6 +1689,37 @@ mod tests {
         let err = verify_metrics_invariants(&phantom.snapshot()).unwrap_err();
         assert_eq!(err.exit_code(), 6);
         assert!(err.to_string().contains("re-anchor"));
+    }
+
+    #[test]
+    fn reprice_metrics_invariant_requires_updates_le_batches() {
+        let ok = xbar_obs::Registry::new();
+        ok.counter("admission.reprice.batches").add(10);
+        ok.counter("admission.reprice.updates").add(3);
+        assert!(verify_metrics_invariants(&ok.snapshot()).is_ok());
+        // Zero batches with zero updates (repricing off) is fine too.
+        let off = xbar_obs::Registry::new();
+        off.counter("admission.reprice.batches").add(0);
+        assert!(verify_metrics_invariants(&off.snapshot()).is_ok());
+        // A threshold can only change inside a repricing pass: more
+        // updates than batches must fail the metrics gate (exit 6).
+        let broken = xbar_obs::Registry::new();
+        broken.counter("admission.reprice.batches").add(2);
+        broken.counter("admission.reprice.updates").add(3);
+        let err = verify_metrics_invariants(&broken.snapshot()).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("repricing"), "{err}");
+    }
+
+    #[test]
+    fn admit_reprice_batch_runs_end_to_end() {
+        let a = parse_args(&argv(
+            "admit --n 6 --class poisson:rho=0.25,w=1 --class poisson:rho=0.5,w=0.01 \
+             --policy shadow:reserve=2 --replay-events 2000 --reprice-batch 100",
+        ))
+        .unwrap();
+        assert_eq!(a.reprice_batch, Some(100));
+        run_admit(&a).unwrap();
     }
 
     #[test]

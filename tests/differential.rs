@@ -19,6 +19,8 @@
 //! runtime); default is 48 cases per property.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use xbar_admission::{AdmissionEngine, Decision, EngineConfig, PolicySpec};
 use xbar_core::brute::Brute;
@@ -299,6 +301,90 @@ proptest! {
                 "dW/dbeta_{s}: exact {} vs fd {}",
                 exact.revenue_by_beta[s], fd.revenue_by_beta[s]
             );
+        }
+    }
+
+    /// Tier 6: sweep-aware online repricing. A shadow-price engine with
+    /// per-batch repricing enabled must (a) make bit-identical admit/deny
+    /// decisions to a plain engine priced once at anchor time, across
+    /// ≥10k random events, and (b) finish every batch with a threshold
+    /// vector identical to one derived from a *fresh* full
+    /// [`sensitivity`] solve — the cached per-anchor gradients and the
+    /// fresh solve are the same extended-range rays, so the thresholds
+    /// are exact, not merely close. The backend tiers frame the margin
+    /// that exactness rides on: scaled-f64 gradients agree with the
+    /// extended-range ones to 1e-9 (ext is self-identical at 1e-11), so
+    /// integer thresholds can only diverge when a revenue gradient sits
+    /// inside that band around zero.
+    #[test]
+    fn repriced_engine_matches_fresh_sensitivity_pricing(
+        model in arb_model(),
+        seed in 0u64..1 << 48,
+        reserve in 1u32..4,
+        batch in 1u64..300,
+    ) {
+        let policy = PolicySpec::ShadowPrice { reserve };
+        let cfg = |reprice_batch| EngineConfig {
+            policy: policy.clone(),
+            algorithm: Algorithm::Alg1Ext,
+            reprice_batch,
+            ..EngineConfig::default()
+        };
+        let mut plain = AdmissionEngine::new(&model, cfg(None)).unwrap();
+        let mut repriced = AdmissionEngine::new(&model, cfg(Some(batch))).unwrap();
+        prop_assert_eq!(plain.thresholds(), repriced.thresholds());
+
+        let r_count = model.num_classes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..10_000u64 {
+            let r = rng.gen::<u64>() as usize % r_count;
+            if rng.gen::<f64>() < 0.55 {
+                let a = plain.offer(r).unwrap();
+                let b = repriced.offer(r).unwrap();
+                prop_assert_eq!(a, b, "event {i}: decisions diverged for class {r}");
+            } else if plain.state()[r] > 0 {
+                plain.depart(r).unwrap();
+                repriced.depart(r).unwrap();
+            } else {
+                prop_assert!(plain.depart(r).is_err());
+                prop_assert!(repriced.depart(r).is_err());
+            }
+            prop_assert_eq!(plain.state(), repriced.state());
+        }
+
+        // The model never changed, so every repricing pass re-derived the
+        // anchor thresholds: passes ran, none of them moved a threshold.
+        let stats = repriced.stats();
+        prop_assert!(stats.reprice_batches > 0);
+        prop_assert_eq!(stats.reprice_updates, 0);
+        prop_assert_eq!(plain.stats().reprice_batches, 0);
+
+        // (b): the repriced thresholds equal a fresh full solve's.
+        let fresh = sensitivity(&model, Algorithm::Alg1Ext).unwrap();
+        let want = policy.thresholds_from_sensitivity(r_count, &fresh).unwrap();
+        prop_assert_eq!(repriced.thresholds(), &want[..]);
+        prop_assert_eq!(plain.thresholds(), &want[..]);
+
+        // Backend tolerance tiers behind the integer exactness: scaled
+        // gradients within 1e-9 of ext, and equal thresholds whenever no
+        // revenue gradient sits inside that band around zero.
+        if let Ok(scaled) = sensitivity(&model, Algorithm::Alg1Scaled) {
+            let mut sign_safe = true;
+            for s in 0..r_count {
+                prop_assert!(
+                    close(scaled.revenue_by_rho[s], fresh.revenue_by_rho[s], 1e-9),
+                    "dW/drho_{s}: scaled {} vs ext {}",
+                    scaled.revenue_by_rho[s], fresh.revenue_by_rho[s]
+                );
+                let margin = 1e-9 * fresh.revenue_by_rho[s].abs().max(1e-12);
+                sign_safe &= fresh.revenue_by_rho[s].abs() > margin;
+            }
+            if sign_safe {
+                let scaled_t = policy
+                    .thresholds_from_sensitivity(r_count, &scaled)
+                    .unwrap();
+                prop_assert_eq!(&scaled_t[..], &want[..]);
+            }
         }
     }
 }

@@ -83,3 +83,14 @@ fn replay_csv_matches_golden() {
     let rows = replay::rows(replay::EVENTS, replay::SEED);
     check("replay.csv", &replay::table(&rows).to_csv());
 }
+
+/// Repricing differential: the anchor-once and per-batch-repriced shadow
+/// replays of the same fixed-seed stream. Byte-identical run to run and
+/// across `XBAR_THREADS` — repricing re-derives thresholds from the same
+/// extended-range gradients, so even the decision columns must match the
+/// anchor-once rows exactly.
+#[test]
+fn reprice_csv_matches_golden() {
+    let rows = replay::reprice_rows(replay::EVENTS, replay::SEED);
+    check("reprice.csv", &replay::reprice_table(&rows).to_csv());
+}
