@@ -1,5 +1,5 @@
 //! Machine-readable perf trajectory: times the hot solve path at the
-//! paper's benchmark sizes and writes `BENCH_8.json` (median ns per bench,
+//! paper's benchmark sizes and writes `BENCH_9.json` (median ns per bench,
 //! switch size, backend, thread count) so the speedup story is trackable
 //! across PRs without parsing Criterion's console output. Since PR 4 it
 //! also times the admission-engine replay loop (events/sec is
@@ -16,10 +16,12 @@
 //! (`reprice/*`, thresholds re-derived from the per-anchor cached
 //! gradients) against the full re-anchor `sensitivity()` solve it
 //! replaces — the online-repricing claim is that the former is ≥10×
-//! cheaper at N = 512.
+//! cheaper at N = 512; since PR 9 it times the capacity planner's
+//! exhaustive design-space search (`plan/candidates-per-sec`, every
+//! candidate scored through the shared fleet-warmed `SweepGrid`).
 //!
 //! `--fleet-only` skips everything but the fleet records — the CI
-//! artifact leg uses it to publish `BENCH_8.json` without paying for the
+//! artifact leg uses it to publish `BENCH_9.json` without paying for the
 //! full matrix.
 //!
 //! Timed runs execute with metrics off — the medians must stay comparable
@@ -379,6 +381,38 @@ fn obs_reference_snapshot() -> String {
     reg.snapshot().to_json()
 }
 
+/// PR 9: the capacity planner's exhaustive search over the demo design
+/// space — every candidate scored through the shared fleet-warmed
+/// `SweepGrid`, so the per-candidate cost is an `O(C²/a)` recombination,
+/// not a fresh solve.
+fn time_plan(threads: usize, runs: usize) -> BenchRecord {
+    let space = xbar_experiments::plan_frontier::space();
+    let candidates = space.num_candidates();
+    parallel::set_threads(threads);
+    let cfg = xbar_plan::PlanConfig {
+        strategy: xbar_plan::Strategy::Exhaustive {
+            prune: false,
+            batch: true,
+        },
+        ..Default::default()
+    };
+    let median = median_ns(runs, || {
+        std::hint::black_box(xbar_plan::plan(&space, &cfg).expect("demo space is feasible"));
+    });
+    let per_sec = 1e9 * candidates as f64 / median as f64;
+    println!(
+        "  plan         cand={candidates:<4} threads={threads:<2} median {median} ns \
+         ({per_sec:.0} candidates/s)"
+    );
+    BenchRecord {
+        name: format!("plan/candidates-per-sec/{candidates}cand/t{threads}"),
+        n: 8,
+        backend: "plan".to_string(),
+        threads,
+        median_ns: median,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fleet_only = args.iter().any(|a| a == "--fleet-only");
@@ -386,7 +420,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
     let auto = parallel::effective_threads();
     println!("perf_trajectory: auto thread count = {auto}");
 
@@ -442,6 +476,13 @@ fn main() {
             records.extend(time_reprice(512, threads, 3));
         }
         parallel::set_threads(0);
+
+        // PR 9: the capacity planner's exhaustive demo search at both
+        // ends of the thread matrix.
+        for &threads in &[1usize, 4] {
+            records.push(time_plan(threads, 10));
+        }
+        parallel::set_threads(0);
     }
 
     // PR 7: batched fleet anchor solves across the thread matrix, plus
@@ -455,12 +496,12 @@ fn main() {
     parallel::set_threads(0);
 
     let report = BenchReport {
-        pr: 8,
+        pr: 9,
         host_threads: auto,
         records,
         obs_snapshot: Some(obs_reference_snapshot()),
     };
     let json = report.to_json();
-    std::fs::write(&out_path, &json).expect("write BENCH_8.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_9.json");
     println!("wrote {out_path}");
 }

@@ -733,6 +733,13 @@ impl SweepGrid {
     /// Get-or-build the solver whose leave-one-out ray `G_{-r}` matches
     /// `(model, r)`. A hit counts `sweep.grid.reuse`; a miss builds the
     /// full precompute and counts `sweep.grid.build`.
+    ///
+    /// The accounting is race-free under concurrent callers: when two
+    /// threads miss on the same key simultaneously, both build, but only
+    /// the thread whose insert *wins* counts `sweep.grid.build` — the
+    /// loser adopts the canonical cached entry and counts
+    /// `sweep.grid.reuse` instead. The invariant `build == len()` and
+    /// `build + reuse == calls` therefore holds at any thread count.
     pub fn solver(
         &self,
         model: &Model,
@@ -743,10 +750,17 @@ impl SweepGrid {
             xbar_obs::inc("sweep.grid.reuse");
             return Ok(found);
         }
-        xbar_obs::inc("sweep.grid.build");
         let built = std::sync::Arc::new(SweepSolver::new(model, self.algorithm)?);
-        self.insert(key, std::sync::Arc::clone(&built));
-        Ok(built)
+        match self.insert(key, built) {
+            Inserted::Won(s) => {
+                xbar_obs::inc("sweep.grid.build");
+                Ok(s)
+            }
+            Inserted::Lost(s) => {
+                xbar_obs::inc("sweep.grid.reuse");
+                Ok(s)
+            }
+        }
     }
 
     /// Solve one grid cell: `model` with class `r` replaced by `class`,
@@ -761,30 +775,48 @@ impl SweepGrid {
         self.solver(model, r)?.solve_with_class(r, class)
     }
 
-    /// Solve a batch of cells `(model, r, class)`, building every
-    /// *distinct* missing `G_{-r}` entry in parallel over the persistent
-    /// worker pool first (via [`crate::fleet`]'s shards), then
-    /// recombining the cells in order. Results keep the input order.
-    pub fn solve_batch(
-        &self,
-        cells: &[(Model, usize, TrafficClass)],
-    ) -> Vec<Result<SweepSolution, SolveError>> {
+    /// Pre-build every *distinct* missing `G_{-r}` entry for the given
+    /// `(model, r)` pairs in parallel over the persistent worker pool
+    /// (via [`crate::fleet`]'s shards). Returns how many entries this
+    /// call actually built (races lost to concurrent inserters are not
+    /// counted, matching the `sweep.grid.build` counter). Build failures
+    /// are left out of the cache and resurface as per-cell errors on the
+    /// subsequent [`SweepGrid::solve_cell`].
+    pub fn warm(&self, pairs: &[(Model, usize)]) -> usize {
         // Collect the distinct missing keys (first occurrence wins).
         let mut missing: Vec<(u64, usize)> = Vec::new();
-        for (i, (model, r, _)) in cells.iter().enumerate() {
+        for (i, (model, r)) in pairs.iter().enumerate() {
             let key = loo_fingerprint(model, *r, self.algorithm);
             if self.lookup(key).is_none() && missing.iter().all(|&(k, _)| k != key) {
                 missing.push((key, i));
             }
         }
-        let models: Vec<Model> = missing.iter().map(|&(_, i)| cells[i].0.clone()).collect();
+        let models: Vec<Model> = missing.iter().map(|&(_, i)| pairs[i].0.clone()).collect();
         let built = crate::fleet::sweep_many(&models, self.algorithm);
+        let mut won = 0;
         for ((key, _), solver) in missing.iter().zip(built) {
             if let Ok(s) = solver {
-                xbar_obs::inc("sweep.grid.build");
-                self.insert(*key, std::sync::Arc::new(s));
+                // A concurrent caller may have inserted this key since the
+                // lookup above; only the winning insert is a `build`.
+                if let Inserted::Won(_) = self.insert(*key, std::sync::Arc::new(s)) {
+                    xbar_obs::inc("sweep.grid.build");
+                    won += 1;
+                }
             }
         }
+        won
+    }
+
+    /// Solve a batch of cells `(model, r, class)`, building every
+    /// *distinct* missing `G_{-r}` entry in parallel over the persistent
+    /// worker pool first (see [`SweepGrid::warm`]), then recombining the
+    /// cells in order. Results keep the input order.
+    pub fn solve_batch(
+        &self,
+        cells: &[(Model, usize, TrafficClass)],
+    ) -> Vec<Result<SweepSolution, SolveError>> {
+        let pairs: Vec<(Model, usize)> = cells.iter().map(|(m, r, _)| (m.clone(), *r)).collect();
+        self.warm(&pairs);
         cells
             .iter()
             .map(|(model, r, class)| self.solve_cell(model, *r, class.clone()))
@@ -800,12 +832,27 @@ impl SweepGrid {
             .map(|(_, s)| std::sync::Arc::clone(s))
     }
 
-    fn insert(&self, key: u64, solver: std::sync::Arc<SweepSolver>) {
+    /// Insert under the lock, deduping by key. Returns the *canonical*
+    /// entry for `key`: the given solver when this call won the insert,
+    /// or the previously-cached one when a concurrent caller got there
+    /// first (the race loser's build is discarded).
+    fn insert(&self, key: u64, solver: std::sync::Arc<SweepSolver>) -> Inserted {
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if entries.iter().all(|(k, _)| *k != key) {
-            entries.push((key, solver));
+        if let Some((_, existing)) = entries.iter().find(|(k, _)| *k == key) {
+            return Inserted::Lost(std::sync::Arc::clone(existing));
         }
+        entries.push((key, std::sync::Arc::clone(&solver)));
+        Inserted::Won(solver)
     }
+}
+
+/// Outcome of a [`SweepGrid`] insert race (both arms carry the canonical
+/// cached solver for the key).
+enum Inserted {
+    /// This call inserted the entry — count `sweep.grid.build`.
+    Won(std::sync::Arc<SweepSolver>),
+    /// A concurrent caller inserted first — count `sweep.grid.reuse`.
+    Lost(std::sync::Arc<SweepSolver>),
 }
 
 /// Exact gradients of every measure of the base model with respect to
@@ -1249,6 +1296,54 @@ mod tests {
                 assert_eq!(got.nonblocking(k).to_bits(), want.nonblocking(k).to_bits());
             }
         }
+    }
+
+    #[test]
+    fn grid_accounting_is_race_free_under_concurrent_misses() {
+        // Many threads hammer the same grid with cells spanning a handful
+        // of distinct class sets, all arriving at once so cold keys race
+        // their check-then-insert window. The fixed accounting credits
+        // `build` only to the thread whose insert wins; race losers (and
+        // plain hits) count `reuse`. Whatever the interleaving:
+        //   build == distinct entries,  build + reuse == total calls.
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let _g = xbar_obs::scope(&reg);
+        let grid = std::sync::Arc::new(SweepGrid::new(Algorithm::Auto));
+        let scope_handle = xbar_obs::current_scope();
+        const THREADS: usize = 8;
+        const CALLS_PER_THREAD: usize = 12;
+        const GEOMETRIES: u32 = 3;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let grid = std::sync::Arc::clone(&grid);
+                let barrier = std::sync::Arc::clone(&barrier);
+                let scope_handle = scope_handle.clone();
+                s.spawn(move || {
+                    let _g = scope_handle.enter();
+                    barrier.wait();
+                    for i in 0..CALLS_PER_THREAD {
+                        // Rotate geometries so every thread misses every
+                        // key early on; the swept class's own parameters
+                        // vary per call but never change the key.
+                        let g = ((t + i) as u32) % GEOMETRIES;
+                        let model = mixed_model(6 + g, 6 + g);
+                        let class = TrafficClass::bpp(0.05 + 0.01 * i as f64, 0.01, 1.0);
+                        grid.solve_cell(&model, 1, class).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(grid.len(), GEOMETRIES as usize);
+        let snap = reg.snapshot();
+        let build = snap.counter("sweep.grid.build").unwrap_or(0);
+        let reuse = snap.counter("sweep.grid.reuse").unwrap_or(0);
+        assert_eq!(build, GEOMETRIES as u64, "one build per distinct entry");
+        assert_eq!(
+            build + reuse,
+            (THREADS * CALLS_PER_THREAD) as u64,
+            "every solver() call counts exactly one of build/reuse"
+        );
     }
 
     #[test]

@@ -100,6 +100,22 @@ fn main() {
     write_csv("replay.csv", &replay::table(&r).to_csv()).unwrap();
     println!("{}", replay::table(&r).to_text());
 
+    println!("=== Validation L: capacity-planning frontier ===");
+    let report = plan_frontier::run();
+    let f = plan_frontier::frontier_rows(&report);
+    let c = plan_frontier::contour_rows(&report);
+    write_csv(
+        "plan_frontier.csv",
+        &plan_frontier::frontier_table(&f).to_csv(),
+    )
+    .unwrap();
+    write_csv(
+        "plan_contour.csv",
+        &plan_frontier::contour_table(&c).to_csv(),
+    )
+    .unwrap();
+    println!("{}", plan_frontier::frontier_table(&f).to_text());
+
     println!("All CSV artefacts written to out/");
     metrics::finish();
 }

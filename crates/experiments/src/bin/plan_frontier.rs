@@ -1,0 +1,21 @@
+//! Regenerate the capacity-planning frontier and contour artefacts.
+use xbar_experiments::{metrics, plan_frontier, write_csv};
+
+fn main() {
+    metrics::enable_from_env();
+    let report = plan_frontier::run();
+    let f = plan_frontier::frontier_rows(&report);
+    let c = plan_frontier::contour_rows(&report);
+    write_csv(
+        "plan_frontier.csv",
+        &plan_frontier::frontier_table(&f).to_csv(),
+    )
+    .unwrap();
+    write_csv(
+        "plan_contour.csv",
+        &plan_frontier::contour_table(&c).to_csv(),
+    )
+    .unwrap();
+    println!("{}", plan_frontier::frontier_table(&f).to_text());
+    metrics::finish();
+}

@@ -26,6 +26,7 @@
 //! | (ours) trunk-reservation revenue control | [`reservation`] | `reservation` |
 //! | (ours) hot-spot output traffic (companion paper) | [`hotspot_sweep`] | `hotspot` |
 //! | (ours) admission-control policy replay | [`replay`] | `replay` |
+//! | (ours) capacity-planning frontier/contour | [`plan_frontier`] | `plan_frontier` |
 //!
 //! Run everything: `cargo run --release -p xbar-experiments --bin all`
 //! (CSV lands in `out/`).
@@ -40,6 +41,7 @@ pub mod hotspot_sweep;
 pub mod insensitivity;
 pub mod metrics;
 pub mod min_analysis;
+pub mod plan_frontier;
 pub mod rectangular;
 pub mod replay;
 pub mod reservation;

@@ -1,0 +1,181 @@
+//! **Validation L (ours)** — capacity planning over a design space.
+//!
+//! The paper computes revenue and its §4 sensitivities for *one* switch;
+//! this experiment turns the analysis around and asks the dimensioning
+//! question: over candidate geometries × a grid of smooth-class offered
+//! loads, which design maximises weighted revenue while keeping the
+//! bursty class's call blocking under its SLO?
+//!
+//! Two artefacts flow through the golden-CSV pipeline:
+//!
+//! * `plan_frontier.csv` — the Pareto frontier (revenue vs worst SLO'd
+//!   blocking), richest row first, optimum flagged;
+//! * `plan_contour.csv` — every evaluated cell of the exhaustive search,
+//!   in canonical grid order, for contour plots of `W` over the space.
+//!
+//! Every cell is an analytic product-form solve, so both files are
+//! deterministic at any thread count — the golden test holds them to
+//! byte identity.
+
+use xbar_core::{Dims, Model};
+use xbar_plan::{
+    contour, frontier, plan, ContourRow, DesignSpace, FrontierRow, PlanConfig, PlanReport, RhoAxis,
+    Slo, Strategy, OFF_GRID,
+};
+use xbar_traffic::{TrafficClass, Workload};
+
+use crate::Table;
+
+/// The demo design space: 6×6 vs 8×8, smooth-class load from
+/// [`RHO_LO`] to [`RHO_HI`] in [`RHO_STEPS`] steps, bursty-class call
+/// blocking capped at [`SLO_MAX_BLOCKING`].
+pub fn space() -> DesignSpace {
+    let w = Workload::new()
+        .with(TrafficClass::poisson(0.02))
+        .with(TrafficClass::bpp(0.008, 0.004, 1.0).with_weight(2.0));
+    DesignSpace::new(Model::new(Dims::square(8), w).expect("valid model"))
+        .with_geometry(Dims::square(6))
+        .with_geometry(Dims::square(8))
+        .with_axis(RhoAxis {
+            class: 0,
+            lo: RHO_LO,
+            hi: RHO_HI,
+            steps: RHO_STEPS,
+        })
+        .with_slo(Slo {
+            class: 1,
+            max_blocking: SLO_MAX_BLOCKING,
+        })
+}
+
+/// Smooth-class per-pair offered load, low end.
+pub const RHO_LO: f64 = 0.002;
+/// Smooth-class per-pair offered load, high end.
+pub const RHO_HI: f64 = 0.08;
+/// Grid steps along the load axis.
+pub const RHO_STEPS: usize = 7;
+/// Bursty-class call-blocking SLO.
+pub const SLO_MAX_BLOCKING: f64 = 0.40;
+
+/// Run the exhaustive search (unpruned, fleet-warmed over the worker
+/// pool: the contour wants *every* cell, and the crate's proptests pin
+/// the warmed path bit-identical to the serial one).
+pub fn run() -> PlanReport {
+    plan(
+        &space(),
+        &PlanConfig {
+            strategy: Strategy::Exhaustive {
+                prune: false,
+                batch: true,
+            },
+            ..PlanConfig::default()
+        },
+    )
+    .expect("demo space is feasible")
+}
+
+fn index_cell(index: u64) -> String {
+    if index == OFF_GRID {
+        "-".to_string()
+    } else {
+        index.to_string()
+    }
+}
+
+fn rho_cell(rho: &[f64]) -> String {
+    rho.iter()
+        .map(|x| format!("{x:.6}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// The Pareto frontier as a table.
+pub fn frontier_table(rows: &[FrontierRow]) -> Table {
+    let mut t = Table::new([
+        "index",
+        "n1",
+        "n2",
+        "rho",
+        "objective",
+        "worst_blocking",
+        "optimal",
+    ]);
+    for r in rows {
+        t.push([
+            index_cell(r.index),
+            r.n1.to_string(),
+            r.n2.to_string(),
+            rho_cell(&r.rho),
+            format!("{:.9}", r.objective),
+            format!("{:.9}", r.worst_blocking),
+            r.optimal.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Every evaluated cell as a table.
+pub fn contour_table(rows: &[ContourRow]) -> Table {
+    let mut t = Table::new([
+        "index",
+        "n1",
+        "n2",
+        "rho",
+        "objective",
+        "worst_blocking",
+        "feasible",
+    ]);
+    for r in rows {
+        t.push([
+            index_cell(r.index),
+            r.n1.to_string(),
+            r.n2.to_string(),
+            rho_cell(&r.rho),
+            format!("{:.9}", r.objective),
+            format!("{:.9}", r.worst_blocking),
+            r.feasible.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Frontier rows for [`run`]'s report.
+pub fn frontier_rows(report: &PlanReport) -> Vec<FrontierRow> {
+    frontier(&space(), report)
+}
+
+/// Contour rows for [`run`]'s report.
+pub fn contour_rows(report: &PlanReport) -> Vec<ContourRow> {
+    contour(&space(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contour_covers_the_full_grid_and_frontier_flags_one_optimum() {
+        let report = run();
+        let c = contour_rows(&report);
+        // Unpruned exhaustive: 2 geometries × 7 load steps.
+        assert_eq!(c.len(), 2 * RHO_STEPS);
+        let f = frontier_rows(&report);
+        assert!(!f.is_empty());
+        assert_eq!(f.iter().filter(|r| r.optimal).count(), 1);
+        // The optimum heads the frontier.
+        assert!(f[0].optimal);
+        assert!((f[0].objective - report.optimum.objective).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tables_round_trip_row_counts() {
+        let report = run();
+        let f = frontier_rows(&report);
+        let c = contour_rows(&report);
+        assert_eq!(frontier_table(&f).len(), f.len());
+        assert_eq!(contour_table(&c).len(), c.len());
+        // Cells must stay comma-free for the CSV pipeline (the ρ vector
+        // is ;-joined).
+        assert!(!frontier_table(&f).to_csv().lines().any(|l| l.is_empty()));
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+//! Capacity planning and design-space exploration for the asynchronous
+//! multi-rate crossbar — the consumer the paper's §4 shadow prices were
+//! built for.
+//!
+//! Given a [`DesignSpace`] — candidate geometries, per-class
+//! offered-load axes and per-class blocking SLOs — [`plan`] finds the
+//! design maximising weighted revenue `W = Σ_r w_r·E_r` subject to
+//! every SLO:
+//!
+//! * [`Strategy::Exhaustive`] enumerates the grid in canonical order,
+//!   shares one leave-one-out precompute per scanline through
+//!   [`xbar_core::SweepGrid`] (optionally pre-warmed over the fleet
+//!   worker pool), and prunes ascending-`ρ` scanline tails after the
+//!   first SLO violation (blocking is monotone in offered load);
+//! * [`Strategy::GradientAscent`] runs projected gradient ascent on the
+//!   continuous `ρ` box using the exact `∂W/∂ρ_s` sweep gradients as
+//!   the ascent direction, with deterministic multi-starts and
+//!   backtracking line search.
+//!
+//! The optimum is the argmax over *everything the search evaluated*, so
+//! the optimizer's headline claims (SLO-feasible, unbeaten by any
+//! evaluated feasible candidate, canonical tie-break, gradient-restart
+//! fixed point) are structural; the crate's proptest battery plus
+//! differential tier 7 (brute-force argmax agreement) and a Gillespie
+//! replay cross-check keep them honest.
+//!
+//! An infeasible SLO set is a *typed* outcome ([`PlanError::Infeasible`]
+//! with the least-violating candidate as a diagnostic), distinct from
+//! solver failure — the CLI maps it to its own exit code.
+//!
+//! ```
+//! use xbar_core::{Dims, Model};
+//! use xbar_plan::{plan, DesignSpace, PlanConfig, RhoAxis, Slo};
+//! use xbar_traffic::{TrafficClass, Workload};
+//!
+//! let base = Model::new(
+//!     Dims::square(8),
+//!     Workload::new()
+//!         .with(TrafficClass::poisson(0.02))
+//!         .with(TrafficClass::bpp(0.008, 0.004, 1.0).with_weight(2.0)),
+//! )
+//! .unwrap();
+//! let space = DesignSpace::new(base)
+//!     .with_geometry(Dims::square(6))
+//!     .with_geometry(Dims::square(8))
+//!     .with_axis(RhoAxis { class: 0, lo: 0.002, hi: 0.08, steps: 7 })
+//!     .with_slo(Slo { class: 1, max_blocking: 0.40 });
+//! let report = plan(&space, &PlanConfig::default()).unwrap();
+//! assert!(report.optimum.feasible);
+//! ```
+
+pub mod frontier;
+pub mod objective;
+pub mod report;
+pub mod search;
+pub mod space;
+
+pub use frontier::{contour, frontier, ContourRow, FrontierRow};
+pub use objective::{evaluate, Evaluation, Objective};
+pub use report::{render_report, Analyzer, AnalyzerContext, BINDING_TOL};
+pub use search::{plan, PlanConfig, PlanError, PlanReport, Strategy};
+pub use space::{Candidate, DesignSpace, RhoAxis, Slo, SpaceError, OFF_GRID};

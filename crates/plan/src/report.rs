@@ -1,0 +1,282 @@
+//! Multi-analyzer text report for a finished plan.
+//!
+//! Modeled on busperf-style analyzer pipelines: each [`Analyzer`] owns
+//! one named section, renders independently from the same
+//! [`PlanReport`], and the report is the concatenation — so adding an
+//! analyzer never perturbs existing sections (the CLI's `--report`
+//! output stays diffable).
+//!
+//! Sections:
+//!
+//! * `frontier` — the Pareto rows (revenue vs worst SLO'd blocking);
+//! * `binding-slos` — per SLO, the optimum's margin and whether the
+//!   constraint is binding (margin within [`BINDING_TOL`]);
+//! * `marginal-prices` — §4 shadow prices at the optimum: `∂W/∂ρ_r` and
+//!   the blocking shadow cost per class;
+//! * `sensitivity-ranking` — classes ranked by `|∂W/∂ρ_r|`, the "where
+//!   does the next unit of load buy the most revenue" answer.
+
+use std::fmt::Write as _;
+
+use xbar_core::{SolveError, SweepSolver};
+
+use crate::frontier::frontier;
+use crate::search::{PlanConfig, PlanReport};
+use crate::space::DesignSpace;
+
+/// A constraint whose margin is within this fraction of its bound is
+/// reported as binding.
+pub const BINDING_TOL: f64 = 1e-6;
+
+/// Everything an analyzer may read.
+pub struct AnalyzerContext<'a> {
+    /// The searched space.
+    pub space: &'a DesignSpace,
+    /// The finished search.
+    pub report: &'a PlanReport,
+    /// Exact §4 gradients `∂W/∂ρ_r` at the optimum, one per class.
+    pub revenue_by_rho: Vec<f64>,
+    /// Shadow cost of blocking per class at the optimum.
+    pub shadow_cost: Vec<f64>,
+}
+
+/// One named report section.
+pub trait Analyzer {
+    /// Section name (the `== name ==` header).
+    fn name(&self) -> &'static str;
+    /// Render the section body (no trailing blank line).
+    fn render(&self, ctx: &AnalyzerContext<'_>) -> String;
+}
+
+struct FrontierAnalyzer;
+
+impl Analyzer for FrontierAnalyzer {
+    fn name(&self) -> &'static str {
+        "frontier"
+    }
+
+    fn render(&self, ctx: &AnalyzerContext<'_>) -> String {
+        let rows = frontier(ctx.space, ctx.report);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9} {:>14} {:>14}  rho",
+            "geo", "index", "revenue", "worst_block"
+        );
+        for r in &rows {
+            let rho = r
+                .rho
+                .iter()
+                .map(|x| format!("{x:.6}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "{:>6} {:>9} {:>14.9} {:>14.9}  {}{}",
+                format!("{}x{}", r.n1, r.n2),
+                index_label(r.index),
+                r.objective,
+                r.worst_blocking,
+                rho,
+                if r.optimal { "  <- optimum" } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "{} non-dominated of {} evaluated ({} pruned)",
+            rows.len(),
+            ctx.report.evaluations.len(),
+            ctx.report.pruned
+        );
+        out
+    }
+}
+
+struct BindingSlos;
+
+impl Analyzer for BindingSlos {
+    fn name(&self) -> &'static str {
+        "binding-slos"
+    }
+
+    fn render(&self, ctx: &AnalyzerContext<'_>) -> String {
+        if ctx.space.slos.is_empty() {
+            return "(no SLOs)".to_string();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>14} {:>14}  verdict",
+            "class", "limit", "blocking", "margin"
+        );
+        for (i, s) in ctx.space.slos.iter().enumerate() {
+            let b = ctx.report.optimum.call_blocking[s.class];
+            let margin = s.max_blocking - b;
+            let binding = margin <= BINDING_TOL * s.max_blocking.max(f64::MIN_POSITIVE);
+            let _ = writeln!(
+                out,
+                "{:>6} {:>12.6} {:>14.9} {:>14.3e}  {}",
+                s.class,
+                s.max_blocking,
+                b,
+                margin,
+                if binding { "BINDING" } else { "slack" }
+            );
+            if i + 1 == ctx.space.slos.len() {
+                out.pop();
+            }
+        }
+        out
+    }
+}
+
+struct MarginalPrices;
+
+impl Analyzer for MarginalPrices {
+    fn name(&self) -> &'static str {
+        "marginal-prices"
+    }
+
+    fn render(&self, ctx: &AnalyzerContext<'_>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>14} {:>14}",
+            "class", "dW/drho", "shadow_cost"
+        );
+        let n = ctx.revenue_by_rho.len();
+        for r in 0..n {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>14.9} {:>14.9}",
+                r, ctx.revenue_by_rho[r], ctx.shadow_cost[r]
+            );
+        }
+        out.pop();
+        out
+    }
+}
+
+struct SensitivityRanking;
+
+impl Analyzer for SensitivityRanking {
+    fn name(&self) -> &'static str {
+        "sensitivity-ranking"
+    }
+
+    fn render(&self, ctx: &AnalyzerContext<'_>) -> String {
+        let mut order: Vec<usize> = (0..ctx.revenue_by_rho.len()).collect();
+        order.sort_by(|&a, &b| {
+            ctx.revenue_by_rho[b]
+                .abs()
+                .partial_cmp(&ctx.revenue_by_rho[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut out = String::new();
+        for (rank, &r) in order.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "#{} class {} (|dW/drho| = {:.9})",
+                rank + 1,
+                r,
+                ctx.revenue_by_rho[r].abs()
+            );
+        }
+        out.pop();
+        out
+    }
+}
+
+fn index_label(index: u64) -> String {
+    if index == crate::space::OFF_GRID {
+        "-".to_string()
+    } else {
+        index.to_string()
+    }
+}
+
+/// Render the full multi-analyzer report for a finished plan. The
+/// marginal prices are recomputed exactly at the optimum (one extra
+/// sweep precompute).
+pub fn render_report(
+    space: &DesignSpace,
+    cfg: &PlanConfig,
+    report: &PlanReport,
+) -> Result<String, SolveError> {
+    let model = space
+        .model_for(&report.optimum.candidate)
+        .map_err(SolveError::Model)?;
+    let solver = SweepSolver::new(&model, cfg.algorithm)?;
+    let base = solver.solve_base()?;
+    let n = model.num_classes();
+    let ctx = AnalyzerContext {
+        space,
+        report,
+        revenue_by_rho: (0..n).map(|r| solver.gradients(r).revenue_by_rho).collect(),
+        shadow_cost: (0..n).map(|r| base.shadow_cost(r)).collect(),
+    };
+    let analyzers: [&dyn Analyzer; 4] = [
+        &FrontierAnalyzer,
+        &BindingSlos,
+        &MarginalPrices,
+        &SensitivityRanking,
+    ];
+    let mut out = String::new();
+    let opt = &report.optimum;
+    let _ = writeln!(
+        out,
+        "xbar plan: optimum {}x{} W = {:.9} ({} evaluated, {} pruned, {} grid entries)",
+        opt.candidate.geometry.n1,
+        opt.candidate.geometry.n2,
+        opt.objective,
+        report.evaluations.len(),
+        report.pruned,
+        report.grid_entries,
+    );
+    for a in analyzers {
+        let _ = writeln!(out, "\n== {} ==", a.name());
+        let _ = writeln!(out, "{}", a.render(&ctx));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::plan;
+    use crate::space::{RhoAxis, Slo};
+    use xbar_core::{Dims, Model};
+    use xbar_traffic::{TrafficClass, Workload};
+
+    #[test]
+    fn report_has_every_section_and_marks_the_optimum() {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.02))
+            .with(TrafficClass::bpp(0.008, 0.004, 1.0).with_weight(2.0));
+        let space = DesignSpace::new(Model::new(Dims::square(8), w).unwrap())
+            .with_axis(RhoAxis {
+                class: 0,
+                lo: 0.002,
+                hi: 0.08,
+                steps: 7,
+            })
+            .with_slo(Slo {
+                class: 1,
+                max_blocking: 0.40,
+            });
+        let cfg = PlanConfig::default();
+        let report = plan(&space, &cfg).unwrap();
+        let text = render_report(&space, &cfg, &report).unwrap();
+        for section in [
+            "== frontier ==",
+            "== binding-slos ==",
+            "== marginal-prices ==",
+            "== sensitivity-ranking ==",
+        ] {
+            assert!(text.contains(section), "missing {section}:\n{text}");
+        }
+        assert!(text.contains("<- optimum"));
+        assert!(text.contains("#1 class"));
+    }
+}

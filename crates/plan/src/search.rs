@@ -1,0 +1,515 @@
+//! The search driver: exhaustive enumeration with monotone SLO pruning,
+//! and projected gradient ascent steered by the §4 shadow prices.
+//!
+//! Both strategies share the same contract, proven by the crate's test
+//! battery:
+//!
+//! * the returned optimum is SLO-feasible;
+//! * no *evaluated* feasible candidate beats it (the optimum is the
+//!   argmax over everything the search actually scored, so the claim is
+//!   structural, not hoped-for);
+//! * ties are broken canonically — first in evaluation order, which for
+//!   the exhaustive grid is the lowest candidate index;
+//! * re-running the gradient strategy from the reported optimum is a
+//!   fixed point (the backtracking schedule restarts identically every
+//!   iteration, so a converged point stays converged).
+//!
+//! Exhaustive pruning leans on the model's monotonicity — every class's
+//! blocking is non-decreasing in any class's offered load `ρ_s` (the
+//! sign `∂B̄_r/∂ρ_s < 0` asserted by the sensitivity tests) — so once a
+//! scanline cell violates an SLO, the rest of the ascending-`ρ` scanline
+//! must too and is skipped (`plan.pruned`). Differential tier 7 replays
+//! random spaces both pruned and unpruned against a brute-force argmax
+//! to guard that soundness empirically.
+
+use xbar_core::{Algorithm, SolveError, SweepGrid, SweepSolver};
+
+use crate::objective::{evaluate, Evaluation, Objective};
+use crate::space::{Candidate, DesignSpace, SpaceError, OFF_GRID};
+
+/// How to walk the space.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Strategy {
+    /// Enumerate every grid candidate in canonical order.
+    Exhaustive {
+        /// Skip the tail of an innermost scanline after the first SLO
+        /// violation (sound under blocking-monotonicity; tier-7 guarded).
+        prune: bool,
+        /// Pre-build all leave-one-out entries over the fleet worker
+        /// pool before scanning (`SweepGrid::warm`) instead of building
+        /// lazily per cell. Byte-identical results either way.
+        batch: bool,
+    },
+    /// Projected gradient ascent on the continuous `ρ` box of each
+    /// geometry, using the exact `∂W/∂ρ_s` sweep gradients as the ascent
+    /// direction, with backtracking line search that rejects infeasible
+    /// or non-improving probes.
+    GradientAscent {
+        /// Ascent iterations per start (each with a fresh backtracking
+        /// schedule).
+        max_iters: usize,
+        /// Initial step scale (relative to each axis's box width).
+        step0: f64,
+        /// Extra deterministic starts (per-axis `ρ` vectors) evaluated
+        /// after the built-in center/corner starts — the fixed-point
+        /// test restarts the search from a reported optimum this way.
+        starts: Vec<Vec<f64>>,
+    },
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Exhaustive {
+            prune: true,
+            batch: false,
+        }
+    }
+}
+
+/// Full planner configuration.
+#[derive(Clone, Debug, Default)]
+pub struct PlanConfig {
+    /// Numeric backend for every solve.
+    pub algorithm: Algorithm,
+    /// Objective to maximise.
+    pub objective: Objective,
+    /// Search strategy.
+    pub strategy: Strategy,
+}
+
+/// Why a plan failed. `Infeasible` is a *successful* search with an
+/// empty feasible region — the CLI maps it to its own exit code,
+/// distinct from solver failure.
+#[derive(Debug)]
+pub enum PlanError {
+    /// The design space is structurally malformed.
+    Space(SpaceError),
+    /// A solve failed (numeric underflow, guard rejection, …).
+    Solve(SolveError),
+    /// Every evaluated candidate violates at least one SLO.
+    Infeasible {
+        /// How many candidates were scored before concluding.
+        evaluated: u64,
+        /// The least-violating candidate found (best diagnostic for
+        /// "which SLO do I have to relax?").
+        closest: Option<Evaluation>,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Space(e) => write!(f, "design space invalid: {e}"),
+            PlanError::Solve(e) => write!(f, "candidate solve failed: {e}"),
+            PlanError::Infeasible { evaluated, .. } => write!(
+                f,
+                "no feasible design: all {evaluated} evaluated candidates violate an SLO"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<SpaceError> for PlanError {
+    fn from(e: SpaceError) -> Self {
+        PlanError::Space(e)
+    }
+}
+
+impl From<SolveError> for PlanError {
+    fn from(e: SolveError) -> Self {
+        PlanError::Solve(e)
+    }
+}
+
+/// The search outcome: the optimum plus everything that was scored on
+/// the way (the frontier, the report and the optimizer-claim proptests
+/// all read `evaluations`).
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// The best feasible evaluation (argmax over `evaluations`,
+    /// first-in-order on ties).
+    pub optimum: Evaluation,
+    /// Every candidate that was actually scored, in evaluation order.
+    pub evaluations: Vec<Evaluation>,
+    /// Candidates skipped by monotone SLO pruning.
+    pub pruned: u64,
+    /// Distinct leave-one-out precomputes the shared grid ended up with.
+    pub grid_entries: usize,
+}
+
+/// Run the search. Counts `plan.candidates` (considered),
+/// `plan.evaluated` + `plan.pruned` (disposition) and
+/// `plan.feasible` + `plan.infeasible` (verdicts); the exit-6 metrics
+/// invariant ties them together.
+pub fn plan(space: &DesignSpace, cfg: &PlanConfig) -> Result<PlanReport, PlanError> {
+    space.validate()?;
+    let grid = SweepGrid::new(cfg.algorithm);
+    let (evaluations, pruned) = match &cfg.strategy {
+        Strategy::Exhaustive { prune, batch } => exhaustive(space, cfg, &grid, *prune, *batch)?,
+        Strategy::GradientAscent {
+            max_iters,
+            step0,
+            starts,
+        } => (
+            gradient_ascent(space, cfg, &grid, *max_iters, *step0, starts)?,
+            0,
+        ),
+    };
+    xbar_obs::add("plan.candidates", evaluations.len() as u64 + pruned);
+    xbar_obs::add("plan.pruned", pruned);
+    let best = evaluations
+        .iter()
+        .filter(|e| e.feasible)
+        .fold(None::<&Evaluation>, |best, e| match best {
+            Some(b) if b.objective >= e.objective => Some(b),
+            _ => Some(e),
+        });
+    match best {
+        Some(opt) => Ok(PlanReport {
+            optimum: opt.clone(),
+            pruned,
+            grid_entries: grid.len(),
+            evaluations,
+        }),
+        None => {
+            // Diagnose: the candidate with the smallest worst SLO excess.
+            let closest = evaluations
+                .iter()
+                .min_by(|a, b| {
+                    slo_excess(space, a)
+                        .partial_cmp(&slo_excess(space, b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .cloned();
+            Err(PlanError::Infeasible {
+                evaluated: evaluations.len() as u64,
+                closest,
+            })
+        }
+    }
+}
+
+/// Largest SLO violation of an evaluation (0 when feasible).
+fn slo_excess(space: &DesignSpace, e: &Evaluation) -> f64 {
+    space
+        .slos
+        .iter()
+        .map(|s| (e.call_blocking[s.class] - s.max_blocking).max(0.0))
+        .fold(0.0, f64::max)
+}
+
+/// Canonical-order enumeration with optional scanline pruning.
+fn exhaustive(
+    space: &DesignSpace,
+    cfg: &PlanConfig,
+    grid: &SweepGrid,
+    prune: bool,
+    batch: bool,
+) -> Result<(Vec<Evaluation>, u64), PlanError> {
+    let total = space.num_candidates();
+    if batch {
+        // Fleet path: build every distinct G_{-r} up front over the
+        // worker pool; the scan below then only recombines.
+        let pairs: Result<Vec<_>, _> = (0..total)
+            .map(|i| {
+                space
+                    .model_for(&space.candidate(i))
+                    .map(|m| (m, space.sweep_class()))
+            })
+            .collect();
+        grid.warm(&pairs.map_err(SolveError::Model)?);
+    }
+    // Scanline length: the innermost axis's steps (1 when no axes, so
+    // every candidate is its own scanline and pruning is a no-op).
+    let scan = space.axes.last().map_or(1, |a| a.steps as u64);
+    let mut evaluations = Vec::new();
+    let mut pruned = 0u64;
+    let mut i = 0u64;
+    while i < total {
+        let ev = evaluate(space, grid, space.candidate(i), cfg.objective)?;
+        let infeasible = !ev.feasible;
+        evaluations.push(ev);
+        if prune && infeasible && !space.slos.is_empty() {
+            // Rest of this ascending-ρ scanline can only block harder.
+            let into_scan = i % scan;
+            let skip = scan - 1 - into_scan;
+            pruned += skip;
+            i += skip + 1;
+        } else {
+            i += 1;
+        }
+    }
+    Ok((evaluations, pruned))
+}
+
+/// Deterministic start points for one geometry: box center, lo corner,
+/// hi corner (deduped when the box is degenerate), then any explicit
+/// extra starts.
+fn starts_for(space: &DesignSpace, extra: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let center: Vec<f64> = space.axes.iter().map(|a| 0.5 * (a.lo + a.hi)).collect();
+    let lo: Vec<f64> = space.axes.iter().map(|a| a.lo).collect();
+    let hi: Vec<f64> = space.axes.iter().map(|a| a.hi).collect();
+    let mut starts = vec![center];
+    for s in [lo, hi].into_iter().chain(extra.iter().cloned()) {
+        if !starts.contains(&s) {
+            starts.push(s);
+        }
+    }
+    starts
+}
+
+/// Projected gradient ascent over each geometry's `ρ` box.
+fn gradient_ascent(
+    space: &DesignSpace,
+    cfg: &PlanConfig,
+    grid: &SweepGrid,
+    max_iters: usize,
+    step0: f64,
+    extra_starts: &[Vec<f64>],
+) -> Result<Vec<Evaluation>, PlanError> {
+    let mut evaluations = Vec::new();
+    let widths: Vec<f64> = space.axes.iter().map(|a| a.hi - a.lo).collect();
+    for geometry in space.geometries() {
+        for start in starts_for(space, extra_starts) {
+            let mk = |rho: &[f64]| Candidate {
+                index: OFF_GRID,
+                geometry,
+                rho: rho.to_vec(),
+            };
+            let mut current = evaluate(space, grid, mk(&start), cfg.objective)?;
+            evaluations.push(current.clone());
+            if space.axes.is_empty() {
+                continue; // geometry-only: the start is the whole box
+            }
+            if !current.feasible {
+                // Ascent increases load and can only block harder; the
+                // lo-corner start covers feasibility recovery.
+                continue;
+            }
+            for _ in 0..max_iters {
+                // Exact ∂W/∂ρ at the current point needs a solver whose
+                // *base* is the current model (a grid entry may have been
+                // built from a scanline sibling, so build directly).
+                let model = space
+                    .model_for(&current.candidate)
+                    .map_err(SolveError::Model)?;
+                let solver = SweepSolver::new(&model, cfg.algorithm)?;
+                let grad: Vec<f64> = space
+                    .axes
+                    .iter()
+                    .map(|a| solver.gradients(a.class).revenue_by_rho)
+                    .collect();
+                // Project: zero the components that push out of the box.
+                let x = &current.candidate.rho;
+                let dir: Vec<f64> = grad
+                    .iter()
+                    .zip(space.axes.iter().zip(x))
+                    .map(|(&g, (a, &xi))| {
+                        if (xi >= a.hi && g > 0.0) || (xi <= a.lo && g < 0.0) {
+                            0.0
+                        } else {
+                            g
+                        }
+                    })
+                    .collect();
+                let norm = dir.iter().map(|d| d * d).sum::<f64>().sqrt();
+                if norm == 0.0 {
+                    break; // stationary (or pinned to the boundary)
+                }
+                // Fresh backtracking schedule every iteration: t scales
+                // each axis's step to step0·width at t = 1.
+                let mut t = 1.0f64;
+                let mut accepted = false;
+                while t >= 1e-4 {
+                    let probe: Vec<f64> = x
+                        .iter()
+                        .zip(dir.iter().zip(space.axes.iter().zip(&widths)))
+                        .map(|(&xi, (&d, (a, &w)))| a.clamp(xi + t * step0 * w * d / norm))
+                        .collect();
+                    if probe == *x {
+                        t *= 0.5; // clipped to the same point
+                        continue;
+                    }
+                    let ev = evaluate(space, grid, mk(&probe), cfg.objective)?;
+                    evaluations.push(ev.clone());
+                    if ev.feasible && ev.objective > current.objective {
+                        current = ev;
+                        accepted = true;
+                        break;
+                    }
+                    t *= 0.5;
+                }
+                if !accepted {
+                    break; // converged: no feasible improving step
+                }
+            }
+        }
+    }
+    Ok(evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{RhoAxis, Slo};
+    use xbar_core::{Dims, Model};
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn base() -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.02))
+            .with(TrafficClass::bpp(0.008, 0.004, 1.0).with_weight(2.0));
+        Model::new(Dims::square(8), w).unwrap()
+    }
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(base())
+            .with_geometry(Dims::square(6))
+            .with_geometry(Dims::square(8))
+            .with_axis(RhoAxis {
+                class: 0,
+                lo: 0.002,
+                hi: 0.08,
+                steps: 7,
+            })
+            .with_slo(Slo {
+                class: 1,
+                max_blocking: 0.40,
+            })
+    }
+
+    #[test]
+    fn exhaustive_pruned_and_unpruned_agree_on_the_optimum() {
+        let space = space();
+        let run = |prune, batch| {
+            plan(
+                &space,
+                &PlanConfig {
+                    strategy: Strategy::Exhaustive { prune, batch },
+                    ..PlanConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let full = run(false, false);
+        let pruned = run(true, false);
+        let batched = run(true, true);
+        assert_eq!(full.optimum.candidate.index, pruned.optimum.candidate.index);
+        assert_eq!(
+            full.optimum.objective.to_bits(),
+            pruned.optimum.objective.to_bits()
+        );
+        // The fleet-warmed path is bit-identical to the lazy path.
+        assert_eq!(
+            pruned.optimum.objective.to_bits(),
+            batched.optimum.objective.to_bits()
+        );
+        assert_eq!(pruned.evaluations.len(), batched.evaluations.len());
+        assert!(
+            pruned.pruned > 0,
+            "this space has an infeasible tail to prune"
+        );
+        assert_eq!(
+            full.evaluations.len() as u64,
+            pruned.evaluations.len() as u64 + pruned.pruned
+        );
+    }
+
+    #[test]
+    fn counters_tie_out() {
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let _g = xbar_obs::scope(&reg);
+        let space = space();
+        let report = plan(&space, &PlanConfig::default()).unwrap();
+        let snap = reg.snapshot();
+        let candidates = snap.counter("plan.candidates").unwrap();
+        let evaluated = snap.counter("plan.evaluated").unwrap();
+        let pruned = snap.counter("plan.pruned").unwrap_or(0);
+        let feasible = snap.counter("plan.feasible").unwrap();
+        let infeasible = snap.counter("plan.infeasible").unwrap_or(0);
+        assert_eq!(candidates, evaluated + pruned);
+        assert_eq!(evaluated, feasible + infeasible);
+        assert_eq!(evaluated, report.evaluations.len() as u64);
+        assert_eq!(pruned, report.pruned);
+        assert_eq!(candidates, space.num_candidates());
+    }
+
+    #[test]
+    fn infeasible_space_is_a_typed_error_not_a_panic() {
+        let space = DesignSpace::new(base()).with_slo(Slo {
+            class: 0,
+            max_blocking: 0.0,
+        });
+        match plan(&space, &PlanConfig::default()) {
+            Err(PlanError::Infeasible { evaluated, closest }) => {
+                assert_eq!(evaluated, 1);
+                assert!(closest.is_some());
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_weight_class_is_planable() {
+        // A zero-weight class contributes nothing to W but its SLO still
+        // constrains; the optimum must load the weighted class instead.
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.02).with_weight(0.0))
+            .with(TrafficClass::poisson(0.02));
+        let space = DesignSpace::new(Model::new(Dims::square(8), w).unwrap())
+            .with_axis(RhoAxis {
+                class: 1,
+                lo: 0.005,
+                hi: 0.03,
+                steps: 6,
+            })
+            .with_slo(Slo {
+                class: 0,
+                max_blocking: 0.9,
+            });
+        let report = plan(&space, &PlanConfig::default()).unwrap();
+        assert!(report.optimum.feasible);
+        assert!(report.optimum.objective > 0.0);
+        // With blocking nowhere near the loose SLO, more load is more
+        // revenue: the optimum sits at the top of the axis.
+        assert!((report.optimum.candidate.rho[0] - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cell_1x1_geometry_degenerates_gracefully() {
+        let w = Workload::new().with(TrafficClass::poisson(0.3));
+        let space = DesignSpace::new(Model::new(Dims::new(1, 1), w).unwrap());
+        let report = plan(&space, &PlanConfig::default()).unwrap();
+        assert_eq!(report.evaluations.len(), 1);
+        // One pair, Erlang-like: revenue = E ∈ (0, 1).
+        assert!(report.optimum.objective > 0.0 && report.optimum.objective < 1.0);
+    }
+
+    #[test]
+    fn gradient_ascent_climbs_to_the_box_face_the_grid_picks() {
+        let space = space();
+        let exh = plan(&space, &PlanConfig::default()).unwrap();
+        let grad = plan(
+            &space,
+            &PlanConfig {
+                strategy: Strategy::GradientAscent {
+                    max_iters: 60,
+                    step0: 0.25,
+                    starts: Vec::new(),
+                },
+                ..PlanConfig::default()
+            },
+        )
+        .unwrap();
+        // The continuous optimum must be at least as good as the best
+        // grid point of the same box (upper envelope), and feasible.
+        assert!(grad.optimum.feasible);
+        assert!(grad.optimum.objective >= exh.optimum.objective - 1e-9);
+        // Structural claim: nothing evaluated beats the reported optimum.
+        for e in grad.evaluations.iter().filter(|e| e.feasible) {
+            assert!(e.objective <= grad.optimum.objective);
+        }
+    }
+}

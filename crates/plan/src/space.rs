@@ -1,0 +1,358 @@
+//! The design space: what the planner is allowed to vary and what it
+//! must respect.
+//!
+//! A [`DesignSpace`] is a *base* [`Model`] plus three kinds of freedom:
+//!
+//! * a set of candidate geometries (`Dims`) — the integer knobs;
+//! * per-class offered-load axes ([`RhoAxis`]) — the continuous knobs,
+//!   discretised into `steps` grid points for exhaustive search and
+//!   treated as a box `[lo, hi]` by the gradient strategy;
+//! * per-class blocking SLOs ([`Slo`]) — the constraints.
+//!
+//! Candidates are indexed canonically in mixed radix: geometry is the
+//! outermost digit, axes follow in declaration order with the **last
+//! axis innermost**. Within an innermost scanline only the swept class's
+//! own parameters change, which is exactly the sharing
+//! [`xbar_core::SweepGrid`] exploits — a whole scanline recombines
+//! against one leave-one-out precompute.
+
+use xbar_core::{Dims, Model, ModelError};
+
+/// One continuous knob: class `class`'s per-set offered load `ρ` ranges
+/// over `[lo, hi]`, discretised into `steps` evenly spaced grid points
+/// (`steps == 1` pins the axis at `lo`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RhoAxis {
+    /// Which class's `ρ` this axis sweeps.
+    pub class: usize,
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+    /// Grid points for exhaustive enumeration (≥ 1).
+    pub steps: usize,
+}
+
+impl RhoAxis {
+    /// The `i`-th grid value, `i < steps`, ascending.
+    pub fn value(&self, i: usize) -> f64 {
+        debug_assert!(i < self.steps);
+        if self.steps <= 1 {
+            return self.lo;
+        }
+        self.lo + (self.hi - self.lo) * (i as f64) / ((self.steps - 1) as f64)
+    }
+
+    /// Clamp `x` into `[lo, hi]`.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+/// One constraint: class `class`'s **call blocking** (`1 −` call-level
+/// acceptance, the paper's `P_r`-weighted per-call measure — identical
+/// to tuple blocking for Poisson classes) must not exceed
+/// `max_blocking`. The bound is inclusive: a design sitting exactly on
+/// the boundary is feasible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slo {
+    /// Which class the SLO protects.
+    pub class: usize,
+    /// Maximum tolerated call blocking (inclusive).
+    pub max_blocking: f64,
+}
+
+/// A malformed design space (caught by [`DesignSpace::validate`] before
+/// any solving starts).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpaceError {
+    /// An axis or SLO names a class the base model does not have.
+    ClassOutOfRange(usize),
+    /// Two axes sweep the same class.
+    DuplicateAxis(usize),
+    /// An axis has `lo > hi`, a non-finite bound, a negative `lo`, or
+    /// zero steps.
+    BadAxis(usize),
+    /// An SLO bound is outside `[0, 1]`.
+    BadSlo(usize),
+    /// A listed geometry cannot carry the base workload.
+    BadGeometry(Dims, ModelError),
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::ClassOutOfRange(r) => write!(f, "class {r} out of range"),
+            SpaceError::DuplicateAxis(r) => write!(f, "class {r} swept by two axes"),
+            SpaceError::BadAxis(i) => {
+                write!(f, "axis {i} malformed (need 0 <= lo <= hi, steps >= 1)")
+            }
+            SpaceError::BadSlo(i) => write!(f, "slo {i} bound outside [0, 1]"),
+            SpaceError::BadGeometry(d, e) => {
+                write!(f, "geometry {}x{} rejects the workload: {e}", d.n1, d.n2)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// One point of the design space: a geometry plus a value per axis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// Canonical mixed-radix index (`u64::MAX` for off-grid points
+    /// produced by the gradient strategy).
+    pub index: u64,
+    /// The chosen geometry.
+    pub geometry: Dims,
+    /// Per-axis `ρ` values, parallel to [`DesignSpace::axes`].
+    pub rho: Vec<f64>,
+}
+
+/// Index of a gradient-strategy iterate that is not a grid point.
+pub const OFF_GRID: u64 = u64::MAX;
+
+/// The full search problem (see module docs).
+#[derive(Clone, Debug)]
+pub struct DesignSpace {
+    /// Workload template; its dims are used when `geometries` is empty.
+    pub base: Model,
+    /// Candidate geometries (empty → just `base.dims()`).
+    pub geometries: Vec<Dims>,
+    /// Continuous knobs (may be empty: geometry-only search).
+    pub axes: Vec<RhoAxis>,
+    /// Constraints (may be empty: unconstrained revenue maximisation).
+    pub slos: Vec<Slo>,
+}
+
+impl DesignSpace {
+    /// A space over the base model's own geometry with no axes or SLOs.
+    pub fn new(base: Model) -> Self {
+        DesignSpace {
+            base,
+            geometries: Vec::new(),
+            axes: Vec::new(),
+            slos: Vec::new(),
+        }
+    }
+
+    /// Builder: add a candidate geometry.
+    pub fn with_geometry(mut self, dims: Dims) -> Self {
+        self.geometries.push(dims);
+        self
+    }
+
+    /// Builder: add a `ρ` axis.
+    pub fn with_axis(mut self, axis: RhoAxis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Builder: add an SLO.
+    pub fn with_slo(mut self, slo: Slo) -> Self {
+        self.slos.push(slo);
+        self
+    }
+
+    /// The effective geometry list (falls back to the base dims).
+    pub fn geometries(&self) -> Vec<Dims> {
+        if self.geometries.is_empty() {
+            vec![self.base.dims()]
+        } else {
+            self.geometries.clone()
+        }
+    }
+
+    /// Check every structural invariant up front so the search itself
+    /// can only fail numerically.
+    pub fn validate(&self) -> Result<(), SpaceError> {
+        let classes = self.base.num_classes();
+        for (i, a) in self.axes.iter().enumerate() {
+            if a.class >= classes {
+                return Err(SpaceError::ClassOutOfRange(a.class));
+            }
+            if self.axes[..i].iter().any(|b| b.class == a.class) {
+                return Err(SpaceError::DuplicateAxis(a.class));
+            }
+            if !(a.lo.is_finite() && a.hi.is_finite() && a.lo >= 0.0 && a.lo <= a.hi)
+                || a.steps == 0
+            {
+                return Err(SpaceError::BadAxis(i));
+            }
+        }
+        for (i, s) in self.slos.iter().enumerate() {
+            if s.class >= classes {
+                return Err(SpaceError::ClassOutOfRange(s.class));
+            }
+            if !(s.max_blocking.is_finite() && (0.0..=1.0).contains(&s.max_blocking)) {
+                return Err(SpaceError::BadSlo(i));
+            }
+        }
+        for &d in &self.geometries {
+            if let Err(e) = self.base.with_dims(d) {
+                return Err(SpaceError::BadGeometry(d, e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of grid candidates
+    /// (`|geometries| × Π_axes steps`).
+    pub fn num_candidates(&self) -> u64 {
+        let geos = if self.geometries.is_empty() {
+            1
+        } else {
+            self.geometries.len() as u64
+        };
+        self.axes
+            .iter()
+            .fold(geos, |acc, a| acc.saturating_mul(a.steps as u64))
+    }
+
+    /// Decode the canonical candidate at `index` (geometry outermost,
+    /// last axis innermost).
+    pub fn candidate(&self, index: u64) -> Candidate {
+        debug_assert!(index < self.num_candidates());
+        let mut rem = index;
+        let mut digits = vec![0usize; self.axes.len()];
+        for (slot, a) in digits.iter_mut().zip(&self.axes).rev() {
+            *slot = (rem % a.steps as u64) as usize;
+            rem /= a.steps as u64;
+        }
+        let geometries = self.geometries();
+        let geometry = geometries[rem as usize];
+        let rho = digits
+            .iter()
+            .zip(&self.axes)
+            .map(|(&i, a)| a.value(i))
+            .collect();
+        Candidate {
+            index,
+            geometry,
+            rho,
+        }
+    }
+
+    /// Materialise the model a candidate describes. Geometry validity was
+    /// checked by [`DesignSpace::validate`]; `ρ` edits skip re-validation
+    /// (they act on the analytic continuation like
+    /// [`Model::with_rho`]).
+    pub fn model_for(&self, c: &Candidate) -> Result<Model, ModelError> {
+        let mut model = self.base.with_dims(c.geometry)?;
+        for (a, &x) in self.axes.iter().zip(&c.rho) {
+            model = model.with_rho(a.class, x)?;
+        }
+        Ok(model)
+    }
+
+    /// The class whose leave-one-out precompute an innermost scanline
+    /// shares: the last axis's class (class 0 when there are no axes —
+    /// any slot works, the grid then just dedups per class set).
+    pub fn sweep_class(&self) -> usize {
+        self.axes.last().map_or(0, |a| a.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_traffic::{TrafficClass, Workload};
+
+    fn base() -> Model {
+        let w = Workload::new()
+            .with(TrafficClass::poisson(0.2))
+            .with(TrafficClass::bpp(0.1, 0.05, 1.0).with_weight(2.0));
+        Model::new(Dims::square(8), w).unwrap()
+    }
+
+    #[test]
+    fn candidate_indexing_round_trips_in_canonical_order() {
+        let space = DesignSpace::new(base())
+            .with_geometry(Dims::square(6))
+            .with_geometry(Dims::square(8))
+            .with_axis(RhoAxis {
+                class: 0,
+                lo: 0.1,
+                hi: 0.3,
+                steps: 3,
+            })
+            .with_axis(RhoAxis {
+                class: 1,
+                lo: 0.05,
+                hi: 0.05,
+                steps: 2,
+            });
+        space.validate().unwrap();
+        assert_eq!(space.num_candidates(), 2 * 3 * 2);
+        // Innermost axis (class 1) varies fastest, geometry slowest.
+        let c0 = space.candidate(0);
+        let c1 = space.candidate(1);
+        assert_eq!(c0.geometry, Dims::square(6));
+        assert_eq!(c0.rho, vec![0.1, 0.05]);
+        assert_eq!(c1.rho[0], 0.1);
+        let last = space.candidate(11);
+        assert_eq!(last.geometry, Dims::square(8));
+        assert!((last.rho[0] - 0.3).abs() < 1e-15);
+        for i in 0..space.num_candidates() {
+            assert_eq!(space.candidate(i).index, i);
+        }
+    }
+
+    #[test]
+    fn validate_catches_malformed_spaces() {
+        let m = base();
+        let s = DesignSpace::new(m.clone()).with_axis(RhoAxis {
+            class: 5,
+            lo: 0.0,
+            hi: 1.0,
+            steps: 2,
+        });
+        assert_eq!(s.validate(), Err(SpaceError::ClassOutOfRange(5)));
+        let s = DesignSpace::new(m.clone())
+            .with_axis(RhoAxis {
+                class: 0,
+                lo: 0.0,
+                hi: 1.0,
+                steps: 2,
+            })
+            .with_axis(RhoAxis {
+                class: 0,
+                lo: 0.0,
+                hi: 1.0,
+                steps: 2,
+            });
+        assert_eq!(s.validate(), Err(SpaceError::DuplicateAxis(0)));
+        let s = DesignSpace::new(m.clone()).with_axis(RhoAxis {
+            class: 0,
+            lo: 1.0,
+            hi: 0.5,
+            steps: 2,
+        });
+        assert_eq!(s.validate(), Err(SpaceError::BadAxis(0)));
+        let s = DesignSpace::new(m.clone()).with_slo(Slo {
+            class: 0,
+            max_blocking: 1.5,
+        });
+        assert_eq!(s.validate(), Err(SpaceError::BadSlo(0)));
+        let s = DesignSpace::new(m).with_slo(Slo {
+            class: 9,
+            max_blocking: 0.5,
+        });
+        assert_eq!(s.validate(), Err(SpaceError::ClassOutOfRange(9)));
+    }
+
+    #[test]
+    fn model_for_applies_geometry_and_axis_values() {
+        let space = DesignSpace::new(base()).with_axis(RhoAxis {
+            class: 0,
+            lo: 0.4,
+            hi: 0.4,
+            steps: 1,
+        });
+        let c = space.candidate(0);
+        let m = space.model_for(&c).unwrap();
+        assert!((m.workload().classes()[0].rho() - 0.4).abs() < 1e-15);
+        // Class 1 untouched.
+        assert!((m.workload().classes()[1].alpha - 0.1).abs() < 1e-15);
+    }
+}

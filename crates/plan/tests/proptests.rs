@@ -1,0 +1,195 @@
+//! The optimizer-claims proptest battery.
+//!
+//! Random small design spaces, and for each the planner's headline
+//! guarantees are checked *as stated*, not as hoped:
+//!
+//! * the returned optimum is SLO-feasible, and an `Infeasible` error
+//!   really means no evaluated candidate was feasible;
+//! * no evaluated feasible candidate beats the optimum, and exact ties
+//!   resolve to the earliest (lowest-index) candidate;
+//! * the exhaustive strategy's pruned / unpruned / fleet-warmed paths
+//!   are bit-identical on the optimum;
+//! * the exact `∂W/∂ρ_s` ascent direction agrees with the
+//!   `sensitivity_fd` finite-difference oracle;
+//! * re-running the gradient strategy seeded from its reported optimum
+//!   is a fixed point (within 1e-9);
+//! * tightening an SLO onto the optimum's exact blocking keeps the
+//!   optimum feasible (inclusive boundary).
+
+use proptest::prelude::*;
+
+use xbar_core::sensitivity::sensitivity_fd;
+use xbar_core::{Algorithm, Dims, Model, SweepSolver};
+use xbar_plan::{plan, DesignSpace, PlanConfig, PlanError, RhoAxis, Slo, Strategy as PlanStrategy};
+use xbar_traffic::{TrafficClass, Workload};
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    (a - b).abs() / scale < tol
+}
+
+/// A random 2-class base model small enough that every candidate solves
+/// in microseconds.
+fn arb_base() -> impl Strategy<Value = Model> {
+    (
+        4u32..9,
+        0.001f64..0.05,
+        0.001f64..0.04,
+        0.0f64..0.5,
+        0.1f64..3.0,
+    )
+        .prop_filter_map("valid model", |(n, rho0, alpha1, frac1, w1)| {
+            let w = Workload::new()
+                .with(TrafficClass::poisson(rho0))
+                .with(TrafficClass::bpp(alpha1, frac1 * 1.0, 1.0).with_weight(w1));
+            Model::new(Dims::square(n), w).ok()
+        })
+}
+
+/// A random design space over a random base: 1–2 geometries, one `ρ`
+/// axis, one SLO whose bound lands somewhere inside the blocking range
+/// the axis spans (so feasible, partially-feasible and infeasible
+/// spaces all occur).
+fn arb_space() -> impl Strategy<Value = DesignSpace> {
+    (
+        arb_base(),
+        prop::bool::ANY,
+        0usize..2,
+        2usize..6,
+        0.0f64..1.0,
+        0.05f64..0.9,
+    )
+        .prop_map(|(base, two_geos, axis_class, steps, span, slo_frac)| {
+            let n = base.dims().n1;
+            let mut space = DesignSpace::new(base).with_geometry(Dims::square(n));
+            if two_geos && n > 4 {
+                space = space.with_geometry(Dims::square(n - 1));
+            }
+            let lo = 0.002 + 0.02 * span;
+            space
+                .with_axis(RhoAxis {
+                    class: axis_class,
+                    lo,
+                    hi: lo * 8.0,
+                    steps,
+                })
+                .with_slo(Slo {
+                    class: 1 - axis_class,
+                    max_blocking: slo_frac,
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Claims 1–3: feasibility, unbeaten optimum, canonical ties, and
+    /// path-independence of the exhaustive strategy.
+    #[test]
+    fn exhaustive_optimum_is_feasible_unbeaten_and_path_independent(space in arb_space()) {
+        let run = |prune, batch| plan(&space, &PlanConfig {
+            strategy: PlanStrategy::Exhaustive { prune, batch },
+            ..PlanConfig::default()
+        });
+        match run(false, false) {
+            Ok(full) => {
+                prop_assert!(full.optimum.feasible);
+                // Nothing evaluated beats it; equal values have higher index.
+                for e in full.evaluations.iter().filter(|e| e.feasible) {
+                    prop_assert!(e.objective <= full.optimum.objective);
+                    if e.objective == full.optimum.objective {
+                        prop_assert!(e.candidate.index >= full.optimum.candidate.index);
+                    }
+                }
+                // Pruned and fleet-warmed paths return the same optimum bit-for-bit.
+                let pruned = run(true, false).unwrap();
+                let batched = run(true, true).unwrap();
+                prop_assert_eq!(full.optimum.candidate.index, pruned.optimum.candidate.index);
+                prop_assert_eq!(
+                    full.optimum.objective.to_bits(),
+                    pruned.optimum.objective.to_bits()
+                );
+                prop_assert_eq!(
+                    pruned.optimum.objective.to_bits(),
+                    batched.optimum.objective.to_bits()
+                );
+                // Pruning only ever removes infeasible candidates.
+                prop_assert_eq!(
+                    full.evaluations.len() as u64,
+                    pruned.evaluations.len() as u64 + pruned.pruned
+                );
+            }
+            Err(PlanError::Infeasible { evaluated, closest }) => {
+                prop_assert!(evaluated > 0);
+                let c = closest.expect("diagnostic candidate");
+                prop_assert!(!c.feasible);
+            }
+            Err(e) => prop_assert!(false, "unexpected plan error: {e}"),
+        }
+    }
+
+    /// Claim 4: the ascent direction is the true gradient — exact sweep
+    /// `∂W/∂ρ_s` against the finite-difference oracle.
+    #[test]
+    fn ascent_direction_agrees_with_fd_oracle(base in arb_base()) {
+        let solver = SweepSolver::new(&base, Algorithm::Auto).unwrap();
+        let fd = sensitivity_fd(&base, Algorithm::Auto).unwrap();
+        for s in 0..base.num_classes() {
+            let exact = solver.gradients(s).revenue_by_rho;
+            prop_assert!(
+                close(exact, fd.revenue_by_rho[s], 1e-4),
+                "dW/drho_{s}: exact {exact} vs fd {}",
+                fd.revenue_by_rho[s]
+            );
+        }
+    }
+
+    /// Claim 5: restarting gradient ascent from the reported optimum is
+    /// a fixed point — the restarted search (a superset of the original
+    /// plus probes from the optimum itself) cannot move the optimum.
+    #[test]
+    fn gradient_restart_from_optimum_is_a_fixed_point(space in arb_space()) {
+        let ascent = |starts: Vec<Vec<f64>>| plan(&space, &PlanConfig {
+            strategy: PlanStrategy::GradientAscent { max_iters: 30, step0: 0.25, starts },
+            ..PlanConfig::default()
+        });
+        let Ok(first) = ascent(Vec::new()) else { return Ok(()) };
+        let second = ascent(vec![first.optimum.candidate.rho.clone()]).unwrap();
+        // Superset of evaluations ⇒ no worse; fixed point ⇒ no better.
+        prop_assert!(second.optimum.objective >= first.optimum.objective);
+        prop_assert!(
+            close(second.optimum.objective, first.optimum.objective, 1e-9),
+            "restart moved the optimum: {} -> {}",
+            first.optimum.objective,
+            second.optimum.objective
+        );
+        prop_assert!(second.optimum.feasible);
+    }
+
+    /// Boundary inclusivity: pinning an SLO to the optimum's achieved
+    /// blocking keeps that design feasible and the objective unchanged.
+    #[test]
+    fn slo_exactly_on_the_blocking_boundary_stays_feasible(space in arb_space()) {
+        let Ok(report) = plan(&space, &PlanConfig::default()) else { return Ok(()) };
+        let mut tight = space.clone();
+        // Tighten every SLO onto the optimum's exact achieved blocking.
+        for s in &mut tight.slos {
+            s.max_blocking = report.optimum.call_blocking[s.class];
+        }
+        let tightened = plan(&tight, &PlanConfig::default()).unwrap();
+        prop_assert!(tightened.optimum.feasible);
+        // The original optimum is still admissible, so the objective
+        // cannot drop (and cannot rise: the space only shrank).
+        prop_assert_eq!(
+            tightened.optimum.objective.to_bits(),
+            report.optimum.objective.to_bits()
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Sim cross-check: the planned design, replayed through the Gillespie
+//! jump chain, must *experience* the blocking it was planned against.
+//!
+//! The planner promises each SLO'd class an analytic call blocking; the
+//! replay drives the chosen model through the admission engine at a
+//! fixed seed and estimates per-class acceptance with batch means. The
+//! 99% CI of each SLO'd class must cover the analytic acceptance the
+//! plan was scored on — closing the loop between the §4 analysis the
+//! search trusted and an independent stochastic realisation of the
+//! same switch.
+
+use xbar_core::{Dims, Model};
+use xbar_plan::{plan, DesignSpace, PlanConfig, RhoAxis, Slo};
+use xbar_sim::{replay, ReplayConfig};
+use xbar_traffic::{TrafficClass, Workload};
+
+fn demo_space() -> DesignSpace {
+    let w = Workload::new()
+        .with(TrafficClass::poisson(0.02))
+        .with(TrafficClass::bpp(0.008, 0.004, 1.0).with_weight(2.0));
+    DesignSpace::new(Model::new(Dims::square(8), w).unwrap())
+        .with_geometry(Dims::square(6))
+        .with_geometry(Dims::square(8))
+        .with_axis(RhoAxis {
+            class: 0,
+            lo: 0.002,
+            hi: 0.08,
+            steps: 7,
+        })
+        .with_slo(Slo {
+            class: 1,
+            max_blocking: 0.40,
+        })
+}
+
+#[test]
+fn replayed_design_covers_its_planned_blocking_at_99ci() {
+    let space = demo_space();
+    let report = plan(&space, &PlanConfig::default()).expect("plan");
+    let model = space
+        .model_for(&report.optimum.candidate)
+        .expect("optimum model");
+
+    let replayed = replay(
+        &model,
+        &ReplayConfig {
+            events: 400_000,
+            seed: 7,
+            batches: 20,
+            engine: Default::default(),
+        },
+    )
+    .expect("replay");
+
+    for slo in &space.slos {
+        let cr = &replayed.classes[slo.class];
+        let planned_acceptance = 1.0 - report.optimum.call_blocking[slo.class];
+        // The replay's own analytic anchor must be the number the plan
+        // was scored on (same product form, same model).
+        assert!(
+            (cr.analytic_acceptance - planned_acceptance).abs() < 1e-9,
+            "replay anchor {} != planned {}",
+            cr.analytic_acceptance,
+            planned_acceptance
+        );
+        // And the stochastic 99% CI must cover it.
+        assert!(
+            cr.acceptance.covers(planned_acceptance),
+            "class {}: 99% CI {} ± {} misses planned acceptance {}",
+            slo.class,
+            cr.acceptance.mean,
+            cr.acceptance.half_width,
+            planned_acceptance
+        );
+        // Sanity: the realised design honours its SLO empirically, with
+        // the CI half-width as statistical slack.
+        let empirical_blocking = 1.0 - cr.acceptance.mean;
+        assert!(
+            empirical_blocking <= slo.max_blocking + cr.acceptance.half_width,
+            "class {}: empirical blocking {} blows SLO {}",
+            slo.class,
+            empirical_blocking,
+            slo.max_blocking
+        );
+    }
+}

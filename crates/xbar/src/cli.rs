@@ -14,12 +14,14 @@
 //! | 5    | simulator configuration error                     |
 //! | 6    | metrics failure (broken invariant, unwritable)    |
 //! | 7    | serve: tenant(s) quarantined after repeated faults|
+//! | 8    | plan: SLO set infeasible over the design space     |
 
 use std::time::Duration;
 
 use xbar_admission::{AdmissionEngine, AdmissionError, EngineConfig, PolicySpec};
 use xbar_core::solver::resilient::{solve_resilient, ResilientConfig};
 use xbar_core::{solve, Algorithm, Dims, Model, SolveError, SweepSolver};
+use xbar_plan::{DesignSpace, PlanConfig, PlanError, RhoAxis, Slo};
 use xbar_sim::{replay, CrossbarSim, FaultConfig, ReplayConfig, RunConfig, SimConfig};
 use xbar_traffic::{TildeClass, TrafficClass, Workload};
 
@@ -41,6 +43,11 @@ pub enum CliError {
     /// supervised failures (exit 7). The fleet kept running; the exit code
     /// flags the degradation for the operator.
     Quarantine(String),
+    /// The plan search finished cleanly but no evaluated design satisfied
+    /// every SLO (exit 8). Deliberately distinct from [`CliError::Solve`]:
+    /// the solver worked, the *requirements* are unsatisfiable over the
+    /// given space.
+    Infeasible(String),
 }
 
 impl CliError {
@@ -53,6 +60,7 @@ impl CliError {
             CliError::SimConfig(_) => 5,
             CliError::Metrics(_) => 6,
             CliError::Quarantine(_) => 7,
+            CliError::Infeasible(_) => 8,
         }
     }
 }
@@ -66,6 +74,7 @@ impl std::fmt::Display for CliError {
             CliError::SimConfig(m) => write!(f, "invalid simulation config: {m}"),
             CliError::Metrics(m) => write!(f, "metrics error: {m}"),
             CliError::Quarantine(m) => write!(f, "quarantine: {m}"),
+            CliError::Infeasible(m) => write!(f, "infeasible: {m}"),
         }
     }
 }
@@ -96,7 +105,12 @@ fn usage() -> String {
      [--metrics <path|->]\n  \
      xbar fleet --models <path> \
      [--algorithm auto|alg1-f64|alg1-scaled|alg1-ext|alg2-mva|alg3-convolution] \
-     [--simd scalar|strict|fast] [--threads <N>] [--metrics <path|->]\n\n\
+     [--simd scalar|strict|fast] [--threads <N>] [--metrics <path|->]\n  \
+     xbar plan  --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
+     [--geo <N|N1xN2> ...] [--rho-axis <r:lo:hi:steps> ...] \
+     [--slo <r:maxblock> ...] [--strategy exhaustive|gradient] \
+     [--objective w] [--frontier-csv <path>] [--contour-csv <path>] \
+     [--threads <N>] [--metrics <path|->]\n\n\
      sweep varies class r's per-set arrival intercept alpha across the grid \
      through one cached SweepSolver precompute (each point is an O(N) \
      recombination, not a fresh solve)\n\
@@ -112,6 +126,12 @@ fn usage() -> String {
      '<N>|<N1>x<N2> <class-spec> [<class-spec> ...]', # comments) as one \
      deduped batch sharded over the worker pool; --simd picks the sweep \
      recombination kernels (default strict: bit-for-bit scalar)\n\
+     plan searches the design space (candidate --geo geometries x the \
+     --rho-axis offered-load grids) for the revenue-maximal design whose \
+     per-class call blocking honours every --slo, prints a multi-analyzer \
+     report, and exits 8 when no design is feasible; --strategy gradient \
+     uses projected ascent on the exact dW/drho shadow prices instead of \
+     exhaustive enumeration\n\
      --threads 0 (default) auto-detects via available_parallelism\n\
      --metrics writes an obs snapshot as JSON to <path> after the run \
      (- prints a text table instead)\n\n\
@@ -269,6 +289,18 @@ pub struct Args {
     /// Sweep recombination kernel selection (for `fleet`; absent = the
     /// process default, `XBAR_SIMD` or strict).
     pub simd_mode: Option<xbar_core::KernelMode>,
+    /// Candidate geometries (for `plan`; empty = just the base `--n`).
+    pub geometries: Vec<Dims>,
+    /// Offered-load axes `r:lo:hi:steps` (for `plan`).
+    pub rho_axes: Vec<RhoAxis>,
+    /// Per-class call-blocking SLOs `r:maxblock` (for `plan`).
+    pub slos: Vec<Slo>,
+    /// Search strategy (for `plan`): `exhaustive` or `gradient`.
+    pub plan_strategy: String,
+    /// Where to write the Pareto frontier CSV (for `plan`).
+    pub frontier_csv: Option<String>,
+    /// Where to write the full contour CSV (for `plan`).
+    pub contour_csv: Option<String>,
 }
 
 /// Where the `serve` command reads its event stream from.
@@ -302,6 +334,66 @@ fn parse_alpha_range(s: &str) -> Result<(f64, f64, u32), String> {
     Ok((a0, a1, steps))
 }
 
+/// Parse a `plan` geometry spec: `N` (square) or `N1xN2`.
+fn parse_geo(s: &str) -> Result<Dims, String> {
+    let (n1, n2) = match s.split_once('x') {
+        Some((a, b)) => (
+            a.parse().map_err(|_| format!("bad N1 in --geo '{s}'"))?,
+            b.parse().map_err(|_| format!("bad N2 in --geo '{s}'"))?,
+        ),
+        None => {
+            let n: u32 = s.parse().map_err(|_| format!("bad --geo '{s}'"))?;
+            (n, n)
+        }
+    };
+    if n1 == 0 || n2 == 0 {
+        return Err(format!("--geo '{s}' needs N1, N2 >= 1"));
+    }
+    Ok(Dims::new(n1, n2))
+}
+
+/// Parse a `plan` offered-load axis spec `r:lo:hi:steps`.
+fn parse_rho_axis(s: &str) -> Result<RhoAxis, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [r, lo, hi, steps] = parts.as_slice() else {
+        return Err(format!("--rho-axis '{s}' must be r:lo:hi:steps"));
+    };
+    let class: usize = r.parse().map_err(|_| format!("bad class '{r}' in '{s}'"))?;
+    let lo: f64 = lo.parse().map_err(|_| format!("bad lo '{lo}' in '{s}'"))?;
+    let hi: f64 = hi.parse().map_err(|_| format!("bad hi '{hi}' in '{s}'"))?;
+    let steps: usize = steps
+        .parse()
+        .map_err(|_| format!("bad steps '{steps}' in '{s}'"))?;
+    if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo) {
+        return Err(format!("--rho-axis '{s}' needs 0 < lo <= hi, finite"));
+    }
+    if steps == 0 {
+        return Err("--rho-axis needs steps >= 1".into());
+    }
+    Ok(RhoAxis {
+        class,
+        lo,
+        hi,
+        steps,
+    })
+}
+
+/// Parse a `plan` SLO spec `r:maxblock`.
+fn parse_slo(s: &str) -> Result<Slo, String> {
+    let Some((r, p)) = s.split_once(':') else {
+        return Err(format!("--slo '{s}' must be r:maxblock"));
+    };
+    let class: usize = r.parse().map_err(|_| format!("bad class '{r}' in '{s}'"))?;
+    let max_blocking: f64 = p.parse().map_err(|_| format!("bad bound '{p}' in '{s}'"))?;
+    if !(0.0..=1.0).contains(&max_blocking) {
+        return Err(format!("--slo bound must be in [0, 1], got {max_blocking}"));
+    }
+    Ok(Slo {
+        class,
+        max_blocking,
+    })
+}
+
 fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
     Ok(match s {
         "auto" => Algorithm::Auto,
@@ -319,7 +411,7 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
 pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     let command = it.next().ok_or_else(usage)?.clone();
-    if !["solve", "sim", "admit", "sweep", "serve", "fleet"].contains(&command.as_str()) {
+    if !["solve", "sim", "admit", "sweep", "serve", "fleet", "plan"].contains(&command.as_str()) {
         return Err(format!("unknown command '{command}'\n{}", usage()));
     }
     let mut n1 = None;
@@ -355,6 +447,12 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut kill_after = None;
     let mut models_path = None;
     let mut simd_mode = None;
+    let mut geometries = Vec::new();
+    let mut rho_axes = Vec::new();
+    let mut slos = Vec::new();
+    let mut plan_strategy = "exhaustive".to_string();
+    let mut frontier_csv = None;
+    let mut contour_csv = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -501,6 +599,24 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 kill_after = Some(v);
             }
             "--models" => models_path = Some(value()?),
+            "--geo" => geometries.push(parse_geo(&value()?)?),
+            "--rho-axis" => rho_axes.push(parse_rho_axis(&value()?)?),
+            "--slo" => slos.push(parse_slo(&value()?)?),
+            "--strategy" => {
+                let v = value()?;
+                if !["exhaustive", "gradient"].contains(&v.as_str()) {
+                    return Err(format!("--strategy must be exhaustive|gradient, got '{v}'"));
+                }
+                plan_strategy = v;
+            }
+            "--objective" => {
+                let v = value()?;
+                if !["w", "revenue"].contains(&v.as_str()) {
+                    return Err(format!("--objective must be w (revenue), got '{v}'"));
+                }
+            }
+            "--frontier-csv" => frontier_csv = Some(value()?),
+            "--contour-csv" => contour_csv = Some(value()?),
             "--simd" => {
                 let v = value()?;
                 simd_mode = Some(
@@ -553,6 +669,26 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             return Err("serve needs an event source: --file, --tail, or --socket".into());
         }
     }
+    if command == "plan" {
+        for a in &rho_axes {
+            if a.class >= classes.len() {
+                return Err(format!(
+                    "--rho-axis class {} out of range: only {} class(es)",
+                    a.class,
+                    classes.len()
+                ));
+            }
+        }
+        for s in &slos {
+            if s.class >= classes.len() {
+                return Err(format!(
+                    "--slo class {} out of range: only {} class(es)",
+                    s.class,
+                    classes.len()
+                ));
+            }
+        }
+    }
     Ok(Args {
         command,
         n1,
@@ -588,6 +724,12 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         kill_after,
         models_path,
         simd_mode,
+        geometries,
+        rho_axes,
+        slos,
+        plan_strategy,
+        frontier_csv,
+        contour_csv,
     })
 }
 
@@ -768,6 +910,134 @@ pub fn run_sweep(args: &Args) -> Result<(), CliError> {
             point.revenue(),
             point.total_throughput(),
         );
+    }
+    Ok(())
+}
+
+/// Render frontier rows as CSV (one `;`-joined cell for the `ρ` vector,
+/// so the row stays one CSV record per design).
+fn frontier_to_csv(rows: &[xbar_plan::FrontierRow]) -> String {
+    let mut out = String::from("index,n1,n2,rho,objective,worst_blocking,optimal\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.9},{:.9},{}\n",
+            plan_index_cell(r.index),
+            r.n1,
+            r.n2,
+            plan_rho_cell(&r.rho),
+            r.objective,
+            r.worst_blocking,
+            r.optimal
+        ));
+    }
+    out
+}
+
+/// Render contour rows as CSV.
+fn contour_to_csv(rows: &[xbar_plan::ContourRow]) -> String {
+    let mut out = String::from("index,n1,n2,rho,objective,worst_blocking,feasible\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.9},{:.9},{}\n",
+            plan_index_cell(r.index),
+            r.n1,
+            r.n2,
+            plan_rho_cell(&r.rho),
+            r.objective,
+            r.worst_blocking,
+            r.feasible
+        ));
+    }
+    out
+}
+
+fn plan_index_cell(index: u64) -> String {
+    if index == xbar_plan::OFF_GRID {
+        "-".to_string()
+    } else {
+        index.to_string()
+    }
+}
+
+fn plan_rho_cell(rho: &[f64]) -> String {
+    rho.iter()
+        .map(|x| format!("{x:.6}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Execute the `plan` command: search the design space for the
+/// revenue-maximal SLO-feasible design, print the multi-analyzer report,
+/// and optionally dump the Pareto frontier / contour CSVs. An SLO set no
+/// evaluated design can satisfy exits 8 ([`CliError::Infeasible`]), with
+/// the least-violating candidate in the message — distinct from a solver
+/// failure (exit 3).
+pub fn run_plan(args: &Args) -> Result<(), CliError> {
+    let model = build_model(args).map_err(CliError::Usage)?;
+    let mut space = DesignSpace::new(model);
+    for g in &args.geometries {
+        space = space.with_geometry(*g);
+    }
+    for a in &args.rho_axes {
+        space = space.with_axis(*a);
+    }
+    for s in &args.slos {
+        space = space.with_slo(*s);
+    }
+    let strategy = match args.plan_strategy.as_str() {
+        "gradient" => xbar_plan::Strategy::GradientAscent {
+            max_iters: 60,
+            step0: 0.25,
+            starts: Vec::new(),
+        },
+        // Pruned and fleet-warmed: scanline tails past the first SLO
+        // violation are skipped, shared precomputes build over the worker
+        // pool. Bit-identical to the serial path (the crate's proptests
+        // hold the exhaustive strategy to that).
+        _ => xbar_plan::Strategy::Exhaustive {
+            prune: true,
+            batch: true,
+        },
+    };
+    let cfg = PlanConfig {
+        algorithm: args.algorithm,
+        strategy,
+        ..PlanConfig::default()
+    };
+    let report = xbar_plan::plan(&space, &cfg).map_err(|e| match &e {
+        PlanError::Space(_) => CliError::Usage(e.to_string()),
+        PlanError::Infeasible { closest, .. } => {
+            // Surface the least-violating candidate so the operator can
+            // see how far the requirement missed.
+            let detail = closest
+                .as_ref()
+                .map(|c| {
+                    format!(
+                        "; closest: {}x{} rho {} (W = {:.6}, blocking {})",
+                        c.candidate.geometry.n1,
+                        c.candidate.geometry.n2,
+                        plan_rho_cell(&c.candidate.rho),
+                        c.objective,
+                        plan_rho_cell(&c.call_blocking),
+                    )
+                })
+                .unwrap_or_default();
+            CliError::Infeasible(format!("{e}{detail}"))
+        }
+        PlanError::Solve(_) => CliError::Solve(e.to_string()),
+    })?;
+    let text = xbar_plan::render_report(&space, &cfg, &report)
+        .map_err(|e| CliError::Solve(e.to_string()))?;
+    print!("{text}");
+    if let Some(path) = &args.frontier_csv {
+        let csv = frontier_to_csv(&xbar_plan::frontier(&space, &report));
+        std::fs::write(path, csv)
+            .map_err(|e| CliError::Usage(format!("cannot write '{path}': {e}")))?;
+    }
+    if let Some(path) = &args.contour_csv {
+        let csv = contour_to_csv(&xbar_plan::contour(&space, &report));
+        std::fs::write(path, csv)
+            .map_err(|e| CliError::Usage(format!("cannot write '{path}': {e}")))?;
     }
     Ok(())
 }
@@ -1194,6 +1464,24 @@ pub fn verify_metrics_invariants(snap: &xbar_obs::Snapshot) -> Result<(), CliErr
             )));
         }
     }
+    if let Some(candidates) = snap.counter("plan.candidates") {
+        let evaluated = snap.counter("plan.evaluated").unwrap_or(0);
+        let pruned = snap.counter("plan.pruned").unwrap_or(0);
+        if candidates != evaluated + pruned {
+            return Err(CliError::Metrics(format!(
+                "plan accounting invariant broken: candidates ({candidates}) != evaluated \
+                 ({evaluated}) + pruned ({pruned})"
+            )));
+        }
+        let feasible = snap.counter("plan.feasible").unwrap_or(0);
+        let infeasible = snap.counter("plan.infeasible").unwrap_or(0);
+        if evaluated != feasible + infeasible {
+            return Err(CliError::Metrics(format!(
+                "plan SLO-verdict invariant broken: evaluated ({evaluated}) != feasible \
+                 ({feasible}) + infeasible ({infeasible})"
+            )));
+        }
+    }
     if let Some(batched) = snap.counter("serve.reanchor.batched") {
         let batches = snap.counter("serve.reanchor.batches").unwrap_or(0);
         if batches > batched {
@@ -1236,6 +1524,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "sweep" => run_sweep(&args),
         "serve" => run_serve(&args),
         "fleet" => run_fleet(&args),
+        "plan" => run_plan(&args),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     if let Some(target) = &args.metrics {
@@ -1244,8 +1533,13 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         // operator needs, so the snapshot is still emitted (and its
         // invariants still enforced — a broken ledger outranks a
         // quarantine flag).
+        // Likewise an infeasible plan: the search *completed* — its
+        // counters (how many candidates, how close the nearest miss) are
+        // exactly what the operator wants next.
         match &result {
-            Ok(()) | Err(CliError::Quarantine(_)) => emit_metrics(target)?,
+            Ok(()) | Err(CliError::Quarantine(_)) | Err(CliError::Infeasible(_)) => {
+                emit_metrics(target)?
+            }
             Err(_) => {}
         }
     }
@@ -1878,5 +2172,169 @@ mod tests {
         let err = verify_metrics_invariants(&broken.snapshot()).unwrap_err();
         assert_eq!(err.exit_code(), 6);
         assert!(err.to_string().contains("admission"));
+    }
+
+    #[test]
+    fn parses_plan_command() {
+        let a = parse_args(&argv(
+            "plan --n 8 --class poisson:rho=0.02 --class bpp:alpha=0.008,beta=0.004,w=2 \
+             --geo 6 --geo 8x8 --rho-axis 0:0.002:0.08:7 --slo 1:0.4 \
+             --strategy gradient --objective w",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "plan");
+        assert_eq!(a.geometries, vec![Dims::new(6, 6), Dims::new(8, 8)]);
+        assert_eq!(
+            a.rho_axes,
+            vec![RhoAxis {
+                class: 0,
+                lo: 0.002,
+                hi: 0.08,
+                steps: 7
+            }]
+        );
+        assert_eq!(
+            a.slos,
+            vec![Slo {
+                class: 1,
+                max_blocking: 0.4
+            }]
+        );
+        assert_eq!(a.plan_strategy, "gradient");
+        // Defaults.
+        let d = parse_args(&argv("plan --n 8 --class poisson:rho=0.02")).unwrap();
+        assert_eq!(d.plan_strategy, "exhaustive");
+        assert!(d.geometries.is_empty() && d.rho_axes.is_empty() && d.slos.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_plan_flags() {
+        let base = "plan --n 8 --class poisson:rho=0.02";
+        for bad in [
+            "--geo 0",
+            "--geo 4x0",
+            "--geo x",
+            "--rho-axis 0:0.01:0.1",
+            "--rho-axis 0:0:0.1:5",
+            "--rho-axis 0:0.1:0.01:5",
+            "--rho-axis 0:0.01:0.1:0",
+            "--rho-axis 0:a:0.1:5",
+            "--slo 0",
+            "--slo 0:1.5",
+            "--slo 0:-0.1",
+            "--slo x:0.5",
+            "--strategy newton",
+            "--objective throughput",
+            // Class indices out of range for a 1-class model.
+            "--rho-axis 1:0.01:0.1:5",
+            "--slo 1:0.5",
+        ] {
+            let cmd = format!("{base} {bad}");
+            assert!(parse_args(&argv(&cmd)).is_err(), "accepted: {cmd}");
+        }
+    }
+
+    #[test]
+    fn plan_end_to_end_writes_frontier_and_contour_csvs() {
+        let base = std::env::temp_dir().join(format!("xbar_cli_plan_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let frontier = base.join("frontier.csv");
+        let contour = base.join("contour.csv");
+        let cmd = format!(
+            "plan --n 8 --class poisson:rho=0.02 --class bpp:alpha=0.008,beta=0.004,w=2 \
+             --geo 6 --geo 8 --rho-axis 0:0.002:0.08:7 --slo 1:0.4 \
+             --frontier-csv {} --contour-csv {}",
+            frontier.display(),
+            contour.display()
+        );
+        let a = parse_args(&argv(&cmd)).unwrap();
+        run_plan(&a).unwrap();
+        let f = std::fs::read_to_string(&frontier).unwrap();
+        assert!(f.starts_with("index,n1,n2,rho,objective,worst_blocking,optimal\n"));
+        assert_eq!(
+            f.lines().filter(|l| l.ends_with(",true")).count(),
+            1,
+            "exactly one optimal frontier row:\n{f}"
+        );
+        let c = std::fs::read_to_string(&contour).unwrap();
+        assert!(c.starts_with("index,n1,n2,rho,objective,worst_blocking,feasible\n"));
+        // The contour covers every evaluated cell; pruning keeps it below
+        // the full 2 * 7 grid but the feasible band must be present.
+        assert!(c.lines().count() > 2);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn plan_infeasible_slo_maps_to_exit_8() {
+        // Minimum achievable class-1 blocking over this space is ~0.14;
+        // an SLO of 0.01 is unsatisfiable but perfectly solvable.
+        let a = parse_args(&argv(
+            "plan --n 8 --class poisson:rho=0.02 --class bpp:alpha=0.008,beta=0.004,w=2 \
+             --geo 6 --geo 8 --rho-axis 0:0.002:0.08:7 --slo 1:0.01",
+        ))
+        .unwrap();
+        let err = run_plan(&a).unwrap_err();
+        assert_eq!(err.exit_code(), 8, "got {err:?}");
+        // The diagnostic names the closest miss so the operator can see
+        // how far off the requirement is.
+        assert!(err.to_string().contains("closest"), "{err}");
+    }
+
+    #[test]
+    fn plan_gradient_strategy_runs_and_respects_the_slo() {
+        let a = parse_args(&argv(
+            "plan --n 8 --class poisson:rho=0.02 --class bpp:alpha=0.008,beta=0.004,w=2 \
+             --rho-axis 0:0.002:0.08:7 --slo 1:0.4 --strategy gradient",
+        ))
+        .unwrap();
+        assert!(run_plan(&a).is_ok());
+    }
+
+    #[test]
+    fn plan_metrics_invariants_accept_balanced_and_reject_broken_accounting() {
+        // Balanced ledger: candidates = evaluated + pruned, and every
+        // evaluation got exactly one SLO verdict.
+        let ok = xbar_obs::Registry::new();
+        ok.counter("plan.candidates").add(14);
+        ok.counter("plan.evaluated").add(10);
+        ok.counter("plan.pruned").add(4);
+        ok.counter("plan.feasible").add(7);
+        ok.counter("plan.infeasible").add(3);
+        assert!(verify_metrics_invariants(&ok.snapshot()).is_ok());
+
+        // A candidate that was neither evaluated nor pruned.
+        let lost = xbar_obs::Registry::new();
+        lost.counter("plan.candidates").add(14);
+        lost.counter("plan.evaluated").add(10);
+        lost.counter("plan.pruned").add(3);
+        let err = verify_metrics_invariants(&lost.snapshot()).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("plan accounting"));
+
+        // An evaluation with no SLO verdict.
+        let verdictless = xbar_obs::Registry::new();
+        verdictless.counter("plan.candidates").add(10);
+        verdictless.counter("plan.evaluated").add(10);
+        verdictless.counter("plan.feasible").add(9);
+        let err = verify_metrics_invariants(&verdictless.snapshot()).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("SLO-verdict"));
+    }
+
+    #[test]
+    fn plan_run_emits_counters_that_satisfy_the_invariants() {
+        let reg = std::sync::Arc::new(xbar_obs::Registry::new());
+        let _scope = xbar_obs::scope(&reg);
+        let a = parse_args(&argv(
+            "plan --n 8 --class poisson:rho=0.02 --class bpp:alpha=0.008,beta=0.004,w=2 \
+             --geo 6 --geo 8 --rho-axis 0:0.002:0.08:7 --slo 1:0.4",
+        ))
+        .unwrap();
+        run_plan(&a).unwrap();
+        let snap = reg.snapshot();
+        assert!(snap.counter("plan.candidates").unwrap_or(0) > 0);
+        assert!(snap.counter("plan.pruned").unwrap_or(0) > 0);
+        assert!(verify_metrics_invariants(&snap).is_ok());
     }
 }

@@ -18,6 +18,9 @@
 //! * [`serve`] — a fault-tolerant multi-tenant admission daemon over the
 //!   online engine, with WAL + snapshot durability, supervised restarts,
 //!   and load shedding;
+//! * [`plan`] — gradient-guided capacity planning: search a design space
+//!   of geometries and offered loads for the revenue-maximal design that
+//!   honours per-class blocking SLOs;
 //! * [`numeric`] — the extended-range floats and special functions
 //!   underpinning it all.
 //!
@@ -46,6 +49,7 @@ pub use xbar_baselines as baselines;
 pub use xbar_core as analytic;
 pub use xbar_numeric as numeric;
 pub use xbar_obs as obs;
+pub use xbar_plan as plan;
 pub use xbar_serve as serve;
 pub use xbar_sim as sim;
 pub use xbar_traffic as traffic;

@@ -7,7 +7,10 @@
 //! 1. brute-force enumeration of the product form,
 //! 2. Algorithm 1 (all numeric backends) and Algorithm 2 / MVA,
 //! 3. the online admission engine's incrementally maintained state after
-//!    replaying a random event sequence.
+//!    replaying a random event sequence,
+//! 4. (tier 7) the capacity planner's optimum over random small design
+//!    spaces against a brute-force argmax that solves every candidate
+//!    independently.
 //!
 //! Tolerances are tiered by the numeric quality of each pair: extended-
 //! range and MVA backends agree with enumeration to 1e-9; the plain f64
@@ -28,6 +31,7 @@ use xbar_core::policy::solve_policy;
 use xbar_core::sensitivity::{sensitivity, sensitivity_fd};
 use xbar_core::{solve, Algorithm, Dims, Model, SweepSolver};
 use xbar_numeric::permutation;
+use xbar_plan::{DesignSpace, PlanConfig, PlanError, RhoAxis, Slo, Strategy as PlanStrategy};
 use xbar_sim::{replay, ReplayConfig};
 use xbar_traffic::{TrafficClass, Workload};
 
@@ -387,6 +391,126 @@ proptest! {
             }
         }
     }
+
+    /// Tier 7: the capacity planner against brute force. Every candidate
+    /// of a random small design space is solved independently with a
+    /// fresh full [`solve`]; the brute-force argmax over SLO-feasible
+    /// candidates (earliest index on ties — the planner's canonical
+    /// tie-break) must agree with the planner's optimum to 1e-9, on the
+    /// pruned and unpruned search paths alike. `Infeasible` must mean
+    /// brute force found nothing feasible either.
+    #[test]
+    fn plan_optimum_matches_brute_force_argmax(space in arb_plan_space()) {
+        let brute = brute_force_plan(&space);
+        for prune in [false, true] {
+            let result = xbar_plan::plan(&space, &PlanConfig {
+                strategy: PlanStrategy::Exhaustive { prune, batch: false },
+                ..PlanConfig::default()
+            });
+            match (&brute, result) {
+                (Some((bi, bw)), Ok(report)) => {
+                    let opt = &report.optimum;
+                    prop_assert!(
+                        close(opt.objective, *bw, 1e-9),
+                        "prune={prune}: plan W {} vs brute W {bw}",
+                        opt.objective
+                    );
+                    // Same design unless another candidate sits within
+                    // the 1e-9 band of the maximum (then either is a
+                    // legitimate argmax).
+                    let near_ties = (0..space.num_candidates())
+                        .filter(|&i| i != *bi)
+                        .filter_map(|i| brute_objective(&space, i))
+                        .filter(|&(_, w)| close(w, *bw, 1e-9))
+                        .count();
+                    if near_ties == 0 {
+                        prop_assert_eq!(
+                            opt.candidate.index, *bi,
+                            "prune={}: unique argmax disagrees", prune
+                        );
+                    }
+                }
+                (None, Err(PlanError::Infeasible { evaluated, .. })) => {
+                    prop_assert!(evaluated > 0);
+                }
+                (b, r) => prop_assert!(
+                    false,
+                    "prune={prune}: brute {b:?} vs plan {:?} disagree on feasibility",
+                    r.map(|rep| rep.optimum.candidate.index)
+                ),
+            }
+        }
+    }
+}
+
+/// A random small design space for the tier-7 brute-force differential:
+/// 2-class base on a 3..6-port square, 1–2 geometries, one offered-load
+/// axis, one SLO landing anywhere from easily-satisfied to impossible.
+fn arb_plan_space() -> impl Strategy<Value = DesignSpace> {
+    (
+        (
+            3u32..7,
+            0.002f64..0.05,
+            0.002f64..0.04,
+            0.0f64..0.5,
+            0.1f64..3.0,
+        ),
+        (prop::bool::ANY, 0usize..2, 2usize..5, 0.02f64..0.9),
+    )
+        .prop_filter_map(
+            "valid space",
+            |((n, rho0, alpha1, frac1, w1), (two_geos, axis_class, steps, slo))| {
+                let w = Workload::new()
+                    .with(TrafficClass::poisson(rho0))
+                    .with(TrafficClass::bpp(alpha1, frac1 * 1.0, 1.0).with_weight(w1));
+                let base = Model::new(Dims::square(n), w).ok()?;
+                let mut space = DesignSpace::new(base).with_geometry(Dims::square(n));
+                if two_geos && n > 3 {
+                    space = space.with_geometry(Dims::square(n - 1));
+                }
+                Some(
+                    space
+                        .with_axis(RhoAxis {
+                            class: axis_class,
+                            lo: 0.003,
+                            hi: 0.024,
+                            steps,
+                        })
+                        .with_slo(Slo {
+                            class: 1 - axis_class,
+                            max_blocking: slo,
+                        }),
+                )
+            },
+        )
+}
+
+/// Solve candidate `i` with a fresh full solve; `Some((i, revenue))` iff
+/// it satisfies every SLO.
+fn brute_objective(space: &DesignSpace, i: u64) -> Option<(u64, f64)> {
+    let model = space
+        .model_for(&space.candidate(i))
+        .expect("valid candidate");
+    let sol = solve(&model, Algorithm::Auto).expect("solvable");
+    let feasible = space
+        .slos
+        .iter()
+        .all(|s| 1.0 - sol.call_acceptance(s.class) <= s.max_blocking);
+    feasible.then(|| (i, sol.revenue()))
+}
+
+/// Brute-force argmax over all candidates: strictly-greater keeps the
+/// earliest index on exact ties, mirroring the planner's canonical order.
+fn brute_force_plan(space: &DesignSpace) -> Option<(u64, f64)> {
+    let mut best: Option<(u64, f64)> = None;
+    for i in 0..space.num_candidates() {
+        if let Some((i, w)) = brute_objective(space, i) {
+            if best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((i, w));
+            }
+        }
+    }
+    best
 }
 
 /// Tier 3: a *policy-constrained* replay against the numerically solved

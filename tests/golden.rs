@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use xbar_experiments::{fig1, fig2, fig3, fig4, hotspot_sweep, rectangular, replay};
+use xbar_experiments::{fig1, fig2, fig3, fig4, hotspot_sweep, plan_frontier, rectangular, replay};
 
 /// Short, fixed-seed hot-spot sweep (the 100k-duration CLI default would
 /// dominate test wall-clock without changing what is being locked down).
@@ -93,4 +93,22 @@ fn replay_csv_matches_golden() {
 fn reprice_csv_matches_golden() {
     let rows = replay::reprice_rows(replay::EVENTS, replay::SEED);
     check("reprice.csv", &replay::reprice_table(&rows).to_csv());
+}
+
+/// Capacity-planning artefacts: every cell of the design-space search is
+/// an analytic product-form solve and the optimum's tie-break is
+/// canonical, so both the Pareto frontier and the full contour must be
+/// byte-identical at any `XBAR_THREADS` and on the fleet-warmed path
+/// (which is how [`plan_frontier::run`] evaluates).
+#[test]
+fn plan_frontier_and_contour_csvs_match_golden() {
+    let report = plan_frontier::run();
+    check(
+        "plan_frontier.csv",
+        &plan_frontier::frontier_table(&plan_frontier::frontier_rows(&report)).to_csv(),
+    );
+    check(
+        "plan_contour.csv",
+        &plan_frontier::contour_table(&plan_frontier::contour_rows(&report)).to_csv(),
+    );
 }
