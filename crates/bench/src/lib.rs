@@ -164,6 +164,30 @@ pub fn fleet_member_model(i: usize) -> Model {
     Model::new(Dims::square(n), workload).expect("valid fixture")
 }
 
+/// The replay hot-loop fixture: `r` traffic classes (alternating
+/// Poisson / Pascal, bandwidths 1 and 2) on a 16×16 switch. The PR 10
+/// `sim/events-per-sec` trajectory records are measured on this at
+/// `r = 64` — 128 rate slots, the smallest count where the
+/// [`RateTable`]'s `O(log R)` segment-tree path engages — and, as a
+/// supplementary scalar-regime record, at `r = 12`, where the table
+/// stays on the bit-identical legacy fold and the win is only the
+/// avoided per-event birth-rate rebuilds.
+///
+/// [`RateTable`]: ../xbar_sim/rates/struct.RateTable.html
+pub fn replay_hot_model(r: u32) -> Model {
+    let mut workload = Workload::new();
+    for i in 0..r {
+        let alpha = 0.02 + 0.01 * (i % 4) as f64;
+        let class = if i % 2 == 0 {
+            xbar_traffic::TrafficClass::poisson(alpha)
+        } else {
+            xbar_traffic::TrafficClass::bpp(alpha, 0.4, 1.0)
+        };
+        workload = workload.with(class.with_bandwidth(1 + (i % 3 == 2) as u32));
+    }
+    Model::new(Dims::square(16), workload).expect("valid fixture")
+}
+
 /// A heavier mixed multi-rate fixture exercising all recursion paths.
 pub fn mixed_model(n: u32) -> Model {
     let workload = Workload::from_tilde(
@@ -191,6 +215,8 @@ mod tests {
         assert!(solve(&fig2_sweep_model(8), Algorithm::Auto).is_ok());
         assert_eq!(fig2_sweep_model(8).num_classes(), 4);
         assert!(solve(&sensitivity_model(8), Algorithm::Auto).is_ok());
+        assert!(solve(&replay_hot_model(12), Algorithm::Auto).is_ok());
+        assert_eq!(replay_hot_model(12).num_classes(), 12);
     }
 
     #[test]

@@ -296,6 +296,43 @@ mod tests {
     }
 
     #[test]
+    fn replicated_complete_sharing_covers_the_analytic_acceptance() {
+        // PR 10 harness path: the same CS regression as above, but from
+        // independent replications merged across streams instead of batch
+        // means over one long path. `rows()` itself stays on the single
+        // fixed-seed replay so `tests/golden/replay.csv` stays
+        // byte-identical.
+        use xbar_sim::{run_replications, Confidence, RepConfig};
+        let merged = run_replications(
+            &model(),
+            &ReplayConfig {
+                events: 25_000,
+                seed: 0, // overridden per replication by the harness
+                batches: 10,
+                engine: EngineConfig::default(),
+            },
+            &RepConfig {
+                replications: 4,
+                master_seed: SEED,
+                confidence: Confidence::P99,
+            },
+        )
+        .expect("replay succeeds");
+        assert_eq!(merged.replications, 4);
+        for (class, c) in merged.classes.iter().enumerate() {
+            assert_eq!(c.denied_policy, 0, "CS never denies by policy");
+            assert_eq!(c.offered, c.admitted + c.denied_capacity);
+            assert!(
+                (c.acceptance.mean - c.analytic_acceptance).abs() <= c.acceptance.half_width + 5e-3,
+                "class {class}: {} ± {} vs {}",
+                c.acceptance.mean,
+                c.acceptance.half_width,
+                c.analytic_acceptance
+            );
+        }
+    }
+
+    #[test]
     fn rows_are_deterministic() {
         let a = rows(30_000, 7);
         let b = rows(30_000, 7);

@@ -5,10 +5,15 @@
 //! One operating point, sweeping the retry budget.
 
 use xbar_core::{solve, Algorithm, Dims, Model};
-use xbar_sim::{RetrialConfig, RetrialSim};
+use xbar_sim::{run_retrial_replications, Confidence, RepConfig, RetrialConfig, RunConfig};
 use xbar_traffic::{TrafficClass, Workload};
 
-use crate::{par_map, Table};
+use crate::Table;
+
+/// Independent replications per retry budget (PR 10): parallelism comes
+/// from the replication harness fanning these over the worker pool, not
+/// from `par_map` over the (only four) budgets.
+pub const REPLICATIONS: u64 = 4;
 
 /// Switch size.
 pub const N: u32 = 8;
@@ -45,24 +50,41 @@ pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
     )
     .expect("valid model");
     let analytic = solve(&model, Algorithm::Auto).unwrap().blocking(0);
-    par_map(ATTEMPTS.to_vec(), move |max_attempts| {
-        let cfg = RetrialConfig {
-            n1: N,
-            n2: N,
-            class: TrafficClass::poisson(RHO),
-            max_attempts,
-            backoff_mean: 0.25,
-        };
-        let rep = RetrialSim::new(cfg, seed).run(duration / 50.0, duration, 20);
-        Row {
-            max_attempts,
-            loss: rep.loss.mean,
-            ci: rep.loss.half_width,
-            attempt_blocking: rep.attempt_blocking.mean,
-            mean_attempts: rep.mean_attempts,
-            analytic_cleared: analytic,
-        }
-    })
+    let run = RunConfig {
+        warmup: duration / REPLICATIONS as f64 / 50.0,
+        duration: duration / REPLICATIONS as f64,
+        batches: 10,
+    };
+    let rep_cfg = RepConfig {
+        replications: REPLICATIONS,
+        master_seed: seed,
+        confidence: Confidence::P95,
+    };
+    ATTEMPTS
+        .into_iter()
+        .map(|max_attempts| {
+            let cfg = RetrialConfig {
+                n1: N,
+                n2: N,
+                class: TrafficClass::poisson(RHO),
+                max_attempts,
+                backoff_mean: 0.25,
+            };
+            let merged = run_retrial_replications(&cfg, &run, &rep_cfg);
+            Row {
+                max_attempts,
+                loss: merged.loss.mean,
+                ci: merged.loss.half_width,
+                attempt_blocking: merged.attempt_blocking.mean,
+                mean_attempts: if merged.calls > 0 {
+                    merged.attempts as f64 / merged.calls as f64
+                } else {
+                    0.0
+                },
+                analytic_cleared: analytic,
+            }
+        })
+        .collect()
 }
 
 /// Render as a table.

@@ -9,10 +9,17 @@
 //! the same object at any load).
 
 use xbar_core::{solve, Algorithm, Dims, Model};
-use xbar_sim::{CrossbarSim, RunConfig, SimConfig};
+use xbar_sim::{run_sim_replications, Confidence, RepConfig, RunConfig, SimConfig};
 use xbar_traffic::{TrafficClass, Workload};
 
-use crate::{par_map, Table};
+use crate::Table;
+
+/// Independent replications per scenario (PR 10): the harness fans them
+/// over the worker pool, so the parallelism that used to come from
+/// `par_map` over scenarios now comes from within each scenario — and
+/// the CI is an across-replication interval instead of batch means over
+/// one autocorrelated path.
+pub const REPLICATIONS: u64 = 4;
 
 /// One scenario of the comparison.
 #[derive(Clone, Debug)]
@@ -66,39 +73,52 @@ pub struct Row {
     pub analytic_concurrency: f64,
     /// Simulated concurrency.
     pub sim_concurrency: f64,
+    /// Replications merged into the estimates.
+    pub replications: u64,
     /// `true` iff the analytic value lies inside the (slightly slackened)
     /// simulation CI.
     pub agrees: bool,
 }
 
-/// Run all scenarios. `duration` is the measured sim-time per scenario.
+/// Run all scenarios. `duration` is the measured sim-time per scenario,
+/// split evenly across [`REPLICATIONS`] independent replications fanned
+/// over the worker pool by the PR 10 harness.
 pub fn rows(duration: f64, seed: u64) -> Vec<Row> {
-    par_map(scenarios(), move |sc| {
-        let model = Model::new(Dims::square(sc.n), Workload::new().with(sc.class.clone()))
-            .expect("valid scenario");
-        let sol = solve(&model, Algorithm::Auto).expect("solvable");
+    let run = RunConfig {
+        warmup: duration / REPLICATIONS as f64 / 50.0,
+        duration: duration / REPLICATIONS as f64,
+        batches: 10,
+    };
+    let rep_cfg = RepConfig {
+        replications: REPLICATIONS,
+        master_seed: seed,
+        confidence: Confidence::P95,
+    };
+    scenarios()
+        .into_iter()
+        .map(|sc| {
+            let model = Model::new(Dims::square(sc.n), Workload::new().with(sc.class.clone()))
+                .expect("valid scenario");
+            let sol = solve(&model, Algorithm::Auto).expect("solvable");
 
-        let cfg = SimConfig::new(sc.n, sc.n).with_exp_class(sc.class.clone());
-        let mut sim = CrossbarSim::new(cfg, seed);
-        let rep = sim.run(RunConfig {
-            warmup: duration / 50.0,
-            duration,
-            batches: 20,
-        });
-        let c = &rep.classes[0];
-        let agrees = c.availability.covers_with_slack(sol.nonblocking(0), 0.01)
-            && c.concurrency
-                .covers_with_slack(sol.concurrency(0), 0.02 * (1.0 + sol.concurrency(0)));
-        Row {
-            label: sc.label,
-            analytic_nonblocking: sol.nonblocking(0),
-            sim_availability: c.availability.mean,
-            sim_ci: c.availability.half_width,
-            analytic_concurrency: sol.concurrency(0),
-            sim_concurrency: c.concurrency.mean,
-            agrees,
-        }
-    })
+            let cfg = SimConfig::new(sc.n, sc.n).with_exp_class(sc.class.clone());
+            let merged = run_sim_replications(&cfg, &run, &rep_cfg).expect("valid scenario sim");
+            let c = &merged.classes[0];
+            let agrees = c.availability.covers_with_slack(sol.nonblocking(0), 0.01)
+                && c.concurrency
+                    .covers_with_slack(sol.concurrency(0), 0.02 * (1.0 + sol.concurrency(0)));
+            Row {
+                label: sc.label,
+                analytic_nonblocking: sol.nonblocking(0),
+                sim_availability: c.availability.mean,
+                sim_ci: c.availability.half_width,
+                analytic_concurrency: sol.concurrency(0),
+                sim_concurrency: c.concurrency.mean,
+                replications: merged.replications,
+                agrees,
+            }
+        })
+        .collect()
 }
 
 /// Render as a table.
@@ -110,6 +130,7 @@ pub fn table(rows: &[Row]) -> Table {
         "ci",
         "E_analytic",
         "E_sim",
+        "reps",
         "agrees",
     ]);
     for r in rows {
@@ -120,6 +141,7 @@ pub fn table(rows: &[Row]) -> Table {
             format!("{:.6}", r.sim_ci),
             format!("{:.4}", r.analytic_concurrency),
             format!("{:.4}", r.sim_concurrency),
+            r.replications.to_string(),
             r.agrees.to_string(),
         ]);
     }

@@ -11,7 +11,7 @@
 
 use xbar_core::{Dims, Model};
 use xbar_plan::{plan, DesignSpace, PlanConfig, RhoAxis, Slo};
-use xbar_sim::{replay, ReplayConfig};
+use xbar_sim::{run_until_ci, CiTarget, Confidence, RepConfig, ReplayConfig};
 use xbar_traffic::{TrafficClass, Workload};
 
 fn demo_space() -> DesignSpace {
@@ -41,14 +41,24 @@ fn replayed_design_covers_its_planned_blocking_at_99ci() {
         .model_for(&report.optimum.candidate)
         .expect("optimum model");
 
-    let replayed = replay(
+    // PR 10: independent 50k-event replications on the parallel harness,
+    // grown adaptively until the merged acceptance CI is tight — replaces
+    // the old single 400k-event replay and is deterministic for any
+    // XBAR_THREADS (seeds derive from (master_seed, index) alone).
+    let replayed = run_until_ci(
         &model,
         &ReplayConfig {
-            events: 400_000,
-            seed: 7,
+            events: 50_000,
+            seed: 0, // overridden per replication by the harness
             batches: 20,
             engine: Default::default(),
         },
+        &RepConfig {
+            replications: 0, // ignored by the adaptive path
+            master_seed: 7,
+            confidence: Confidence::P99,
+        },
+        CiTarget::new(4e-3),
     )
     .expect("replay");
 

@@ -11,6 +11,7 @@ use xbar_traffic::{TrafficClass, TrafficError};
 
 use crate::events::{Calendar, EventKind};
 use crate::faults::{FaultConfig, FaultLayer, FaultReport, Side};
+use crate::rates::RateTable;
 use crate::service::{sample_exp, ServiceDist};
 use crate::stats::{BatchMeans, Confidence, Estimate};
 
@@ -241,6 +242,15 @@ pub struct CrossbarSim {
     faults: FaultLayer,
     /// Circuits torn down by port failures (whole run, incl. warmup).
     torn_down: u64,
+    /// Resident per-class arrival rates — an event changes at most one
+    /// class's rate, so the hot loop updates this in O(1) instead of
+    /// rebuilding a `Vec` per event (see [`crate::rates`] for the
+    /// bit-compatibility argument).
+    arr_rates: RateTable,
+    /// Resident per-class tuple availabilities, recomputed only when the
+    /// occupancy or the failed-port sets change (blocked arrivals and
+    /// end-of-interval events leave them untouched).
+    avail: Vec<f64>,
 }
 
 impl CrossbarSim {
@@ -321,6 +331,8 @@ impl CrossbarSim {
             tuple_count,
             faults: FaultLayer::new(cfg.faults.clone(), cfg.n1, cfg.n2),
             torn_down: 0,
+            arr_rates: RateTable::new(r, false),
+            avail: vec![0.0; r],
             cfg,
         })
     }
@@ -539,7 +551,9 @@ impl CrossbarSim {
     /// Tear down the (at most one — ports are held exclusively) live
     /// circuit occupying the just-failed port. Its scheduled departure
     /// stays in the calendar as a stale entry the event loop skips.
-    fn tear_down_port(&mut self, side: Side, port: u32) {
+    /// Returns the torn-down circuit's class so the caller can refresh
+    /// that class's resident arrival rate.
+    fn tear_down_port(&mut self, side: Side, port: u32) -> Option<usize> {
         let victim = self.live.iter().find_map(|(&id, conn)| {
             let ports = match side {
                 Side::Input => &conn.inputs,
@@ -547,7 +561,7 @@ impl CrossbarSim {
             };
             ports.contains(&port).then_some(id)
         });
-        if let Some(id) = victim {
+        victim.map(|id| {
             let conn = self.live.remove(&id).expect("id came from live");
             for &i in &conn.inputs {
                 self.busy_in[i as usize] = false;
@@ -558,20 +572,55 @@ impl CrossbarSim {
             self.occupancy -= self.cfg.classes[conn.class].0.bandwidth;
             self.k[conn.class] -= 1;
             self.torn_down += 1;
+            conn.class
+        })
+    }
+
+    /// Refresh class `r`'s resident arrival rate after a `k[r]` change.
+    fn refresh_class_rate(&mut self, r: usize) {
+        let v = self.arrival_rate(r);
+        self.arr_rates.set(r, v);
+    }
+
+    /// Refresh every class's resident availability after an occupancy or
+    /// failed-port change. O(R·a) — the same work the legacy loop paid on
+    /// *every* event, now paid only on state-changing ones.
+    fn refresh_avail(&mut self) {
+        for r in 0..self.cfg.classes.len() {
+            let v = self.availability(r);
+            self.avail[r] = v;
         }
+    }
+
+    /// Rebuild both resident caches from the current state (loop entry —
+    /// state may have changed since the previous `advance_until` call).
+    fn refresh_residents(&mut self) {
+        for r in 0..self.cfg.classes.len() {
+            self.refresh_class_rate(r);
+        }
+        self.refresh_avail();
     }
 
     /// Core event loop with a recording callback. Generic over the record
     /// sink so warmup can run it with a no-op.
+    ///
+    /// The loop keeps the per-class arrival rates and availabilities
+    /// *resident* ([`Self::refresh_residents`]): only state-changing
+    /// events (accepted arrivals, live departures, fault transitions)
+    /// touch them, and the [`Record::Elapse`] snapshot borrows the
+    /// resident buffers instead of allocating per event. The total-rate
+    /// fold, the class-selection scan, and every RNG draw are unchanged,
+    /// so runs are bit-for-bit identical to the legacy rebuild loop
+    /// (pinned by the golden-stream tests).
     fn advance_until<F>(&mut self, end: f64, record: &mut F)
     where
-        F: FnMut(Record),
+        F: for<'a> FnMut(Record<'a>),
     {
-        let r_count = self.cfg.classes.len();
+        self.refresh_residents();
         loop {
-            // Total arrival rate in the current state.
-            let rates: Vec<f64> = (0..r_count).map(|r| self.arrival_rate(r)).collect();
-            let total_rate: f64 = rates.iter().sum();
+            // Total arrival rate in the current state (cached; re-summed
+            // in the legacy fold order only after a rate changed).
+            let total_rate = self.arr_rates.total();
 
             // Candidate next arrival (memoryless ⇒ resampling each event is
             // distributionally exact).
@@ -597,13 +646,14 @@ impl CrossbarSim {
             let t_departure = self.cal.peek_time().unwrap_or(f64::INFINITY);
             let t_next = t_arrival.min(t_departure).min(t_fault).min(end);
 
-            // Record the elapsed interval in the *current* state.
-            let avail: Vec<f64> = (0..r_count).map(|r| self.availability(r)).collect();
+            // Record the elapsed interval in the *current* state. The
+            // snapshot borrows the live buffers — the recorder consumes it
+            // during the call, so no per-event clone is needed.
             record(Record::Elapse {
                 from: self.now,
                 to: t_next,
-                k: self.k.clone(),
-                avail,
+                k: &self.k,
+                avail: &self.avail,
                 occ: self.occupancy,
                 failed_in: self.faults.failed_in_count,
                 failed_out: self.faults.failed_out_count,
@@ -620,8 +670,12 @@ impl CrossbarSim {
                 // Port fail/repair transition.
                 let tr = self.faults.sample_transition(&mut self.rng);
                 if tr.is_failure {
-                    self.tear_down_port(tr.side, tr.port);
+                    if let Some(class) = self.tear_down_port(tr.side, tr.port) {
+                        self.refresh_class_rate(class);
+                    }
                 }
+                // Both failures and repairs move the failed-port counts.
+                self.refresh_avail();
             } else if t_departure <= t_arrival {
                 // Departure. A circuit torn down by a port failure leaves
                 // its departure behind as a stale calendar entry — skip it.
@@ -637,18 +691,14 @@ impl CrossbarSim {
                     }
                     self.occupancy -= self.cfg.classes[class].0.bandwidth;
                     self.k[class] -= 1;
+                    self.refresh_class_rate(class);
+                    self.refresh_avail();
                 }
             } else {
-                // Arrival: pick the class proportional to its rate.
-                let mut pick = self.rng.gen::<f64>() * total_rate;
-                let mut class = r_count - 1;
-                for (r, &rate) in rates.iter().enumerate() {
-                    if pick < rate {
-                        class = r;
-                        break;
-                    }
-                    pick -= rate;
-                }
+                // Arrival: pick the class proportional to its rate — the
+                // legacy subtractive scan, via the resident table.
+                let pick = self.rng.gen::<f64>() * total_rate;
+                let class = self.arr_rates.select(pick);
                 let a = self.cfg.classes[class].0.bandwidth;
                 let (inputs, in_free, in_working) =
                     Self::draw_ports(&mut self.rng, &self.busy_in, &self.faults.failed_in, a);
@@ -671,6 +721,8 @@ impl CrossbarSim {
                     }
                     self.occupancy += a;
                     self.k[class] += 1;
+                    self.refresh_class_rate(class);
+                    self.refresh_avail();
                     let id = self.next_conn;
                     self.next_conn += 1;
                     self.live.insert(
@@ -699,12 +751,12 @@ impl CrossbarSim {
 // hoist it out of the method (kept private to the module).
 use record::Record;
 mod record {
-    pub(super) enum Record {
+    pub(super) enum Record<'a> {
         Elapse {
             from: f64,
             to: f64,
-            k: Vec<u64>,
-            avail: Vec<f64>,
+            k: &'a [u64],
+            avail: &'a [f64],
             occ: u32,
             failed_in: u32,
             failed_out: u32,

@@ -58,7 +58,9 @@
 pub mod crossbar;
 pub mod events;
 pub mod faults;
+pub mod harness;
 pub mod hotspot;
+pub mod rates;
 pub mod replay;
 pub mod retrial;
 pub mod service;
@@ -66,7 +68,14 @@ pub mod stats;
 
 pub use crossbar::{ClassReport, CrossbarSim, RunConfig, SimConfig, SimError, SimReport};
 pub use faults::{FaultConfig, FaultReport};
+pub use harness::{
+    replicate, replicate_range, run_replications, run_retrial_replications, run_retrial_until_ci,
+    run_sim_replications, run_sim_until_ci, run_until_ci, CiTarget, MergedClassReplay,
+    MergedClassSim, RepConfig, ReplayReplications, Replication, RetrialReplications,
+    SimReplications,
+};
 pub use hotspot::HotspotSim;
+pub use rates::RateTable;
 pub use replay::{replay, ClassReplay, ReplayConfig, ReplayReport};
 pub use retrial::{RetrialConfig, RetrialReport, RetrialSim};
 pub use service::ServiceDist;

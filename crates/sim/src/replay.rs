@@ -23,6 +23,7 @@ use xbar_admission::{AdmissionEngine, AdmissionError, Decision, EngineConfig};
 use xbar_core::Model;
 use xbar_numeric::permutation;
 
+use crate::rates::RateTable;
 use crate::stats::{BatchMeans, Confidence, Estimate};
 
 /// Replay parameters.
@@ -87,23 +88,167 @@ pub struct ReplayReport {
     pub classes: Vec<ClassReplay>,
 }
 
-/// Generate `cfg.events` synthetic call events for `model` and replay them
-/// through a fresh [`AdmissionEngine`].
-pub fn replay(model: &Model, cfg: &ReplayConfig) -> Result<ReplayReport, AdmissionError> {
-    let mut engine = AdmissionEngine::new(model, cfg.engine.clone())?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+/// Jump-chain tuple-scaled arrival factor per class:
+/// `P(N1,a_r)·P(N2,a_r)`.
+fn tuple_counts(model: &Model) -> Vec<f64> {
     let dims = model.dims();
-    let classes = model.workload().classes();
-    let r_count = classes.len();
-    let tuple_count: Vec<f64> = classes
+    model
+        .workload()
+        .classes()
         .iter()
         .map(|c| {
             permutation(dims.n1 as u64, c.bandwidth as u64)
                 * permutation(dims.n2 as u64, c.bandwidth as u64)
         })
+        .collect()
+}
+
+/// Assemble the [`ReplayReport`] from the engine's decision ledger and the
+/// per-batch acceptance counts.
+fn finish(
+    engine: &AdmissionEngine,
+    batch_counts: &[Vec<(u64, u64)>],
+    arrivals: u64,
+    departures: u64,
+) -> ReplayReport {
+    let stats = engine.stats();
+    let classes_out = (0..stats.per_class.len())
+        .map(|r| {
+            let fractions: Vec<f64> = batch_counts
+                .iter()
+                .filter(|b| b[r].0 > 0)
+                .map(|b| b[r].1 as f64 / b[r].0 as f64)
+                .collect();
+            let cs = &stats.per_class[r];
+            ClassReplay {
+                offered: cs.offered,
+                admitted: cs.admitted,
+                denied_capacity: cs.denied_capacity,
+                denied_policy: cs.denied_policy,
+                acceptance: BatchMeans::from_batches(fractions).estimate_at(Confidence::P99),
+                analytic_acceptance: engine.analytic_acceptance(r),
+            }
+        })
         .collect();
+    ReplayReport {
+        events: arrivals + departures,
+        arrivals,
+        departures,
+        re_anchors: stats.re_anchors,
+        reprice_batches: stats.reprice_batches,
+        reprice_updates: stats.reprice_updates,
+        classes: classes_out,
+    }
+}
+
+/// Generate `cfg.events` synthetic call events for `model` and replay them
+/// through a fresh [`AdmissionEngine`].
+///
+/// The hot loop keeps the `2R` transition rates resident in a
+/// [`RateTable`]: an event only changes class `r`'s two rates (and a
+/// blocked arrival changes nothing), so each iteration does O(1) rate
+/// maintenance instead of rebuilding and rescanning the whole vector.
+/// Decisions are bit-identical to [`replay_legacy`] — the table re-sums
+/// the total in the legacy fold order and keeps the legacy subtractive
+/// selection scan (see [`crate::rates`]); the differential proptest
+/// battery and the golden-stream tests pin this.
+pub fn replay(model: &Model, cfg: &ReplayConfig) -> Result<ReplayReport, AdmissionError> {
+    let mut engine = AdmissionEngine::new(model, cfg.engine.clone())?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let classes = model.workload().classes();
+    let r_count = classes.len();
+    let tuple_count = tuple_counts(model);
     let batches = cfg.batches.max(1);
     // Per-batch, per-class (offered, admitted) for the batch-means CI.
+    let mut batch_counts = vec![vec![(0u64, 0u64); r_count]; batches];
+    let mut arrivals = 0u64;
+    let mut departures = 0u64;
+
+    let mut table = RateTable::new(2 * r_count, true);
+    let set_class = |table: &mut RateTable, engine: &AdmissionEngine, r: usize| {
+        let kr = engine.state()[r];
+        table.set(2 * r, tuple_count[r] * classes[r].lambda(kr as u64));
+        table.set(2 * r + 1, kr as f64 * classes[r].mu);
+    };
+    for r in 0..r_count {
+        set_class(&mut table, &engine, r);
+    }
+
+    for i in 0..cfg.events {
+        let total = table.total();
+        // Negated so a NaN total (incomparable) also stops the replay.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(total > 0.0) {
+            // Absorbing state (all rates zero) — nothing left to replay.
+            break;
+        }
+        let chosen = table.select(rng.gen::<f64>() * total);
+        let (r, is_arrival) = (chosen / 2, chosen.is_multiple_of(2));
+        // u128 so `i * batches` cannot wrap for any event budget.
+        let batch = ((i as u128 * batches as u128) / cfg.events as u128) as usize;
+        // The timer probe re-checks `xbar_obs::enabled()` at each 64th
+        // event (not a flag hoisted before the loop), so toggling obs
+        // mid-run engages or disengages the probes at the same fixed
+        // cadence instead of timing a stale configuration. The probe
+        // brackets only the engine call — it touches neither the RNG nor
+        // the batch accounting, so decision streams are identical obs-on
+        // and obs-off (pinned by a regression test).
+        let probe = i.is_multiple_of(64);
+        if is_arrival {
+            arrivals += 1;
+            batch_counts[batch][r].0 += 1;
+            // The jump chain fires per *tuple-scaled* rate; whether the
+            // drawn ordered tuple is idle is a Bernoulli coin with the
+            // engine's instantaneous availability.
+            let tuple_idle = rng.gen::<f64>() < engine.availability(r);
+            let timer = (probe && xbar_obs::enabled()).then(Instant::now);
+            let admitted = if tuple_idle {
+                engine.offer(r)? == Decision::Admit
+            } else {
+                engine.record_blocked(r)?;
+                false
+            };
+            if let Some(t) = timer {
+                xbar_obs::record_duration("admission.decision", t.elapsed());
+            }
+            if admitted {
+                batch_counts[batch][r].1 += 1;
+                // Admission changed `k[r]`; a block changed nothing, so
+                // the cached rates (and total) stay valid.
+                set_class(&mut table, &engine, r);
+            }
+        } else {
+            departures += 1;
+            let timer = (probe && xbar_obs::enabled()).then(Instant::now);
+            engine.depart(r)?;
+            if let Some(t) = timer {
+                xbar_obs::record_duration("admission.decision", t.elapsed());
+            }
+            set_class(&mut table, &engine, r);
+        }
+    }
+
+    engine.flush_obs();
+    if xbar_obs::enabled() {
+        xbar_obs::add("replay.events", arrivals + departures);
+    }
+    Ok(finish(&engine, &batch_counts, arrivals, departures))
+}
+
+/// The pre-optimisation replay loop, kept verbatim as the reference for
+/// the [`replay`] hot path: it rebuilds all `2R` rates and rescans
+/// linearly every event. Retained (not test-gated) so the differential
+/// proptest battery can prove decision-for-decision equivalence and so
+/// the perf trajectory can benchmark the rewrite against a live baseline.
+/// Not part of the supported API surface.
+#[doc(hidden)]
+pub fn replay_legacy(model: &Model, cfg: &ReplayConfig) -> Result<ReplayReport, AdmissionError> {
+    let mut engine = AdmissionEngine::new(model, cfg.engine.clone())?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let classes = model.workload().classes();
+    let r_count = classes.len();
+    let tuple_count = tuple_counts(model);
+    let batches = cfg.batches.max(1);
     let mut batch_counts = vec![vec![(0u64, 0u64); r_count]; batches];
     let mut rates = vec![0.0f64; 2 * r_count];
     let mut arrivals = 0u64;
@@ -120,10 +265,8 @@ pub fn replay(model: &Model, cfg: &ReplayConfig) -> Result<ReplayReport, Admissi
             rates[2 * r + 1] = dep;
             total += arr + dep;
         }
-        // Negated so a NaN total (incomparable) also stops the replay.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(total > 0.0) {
-            // Absorbing state (all rates zero) — nothing left to replay.
             break;
         }
         let mut pick = rng.gen::<f64>() * total;
@@ -140,9 +283,6 @@ pub fn replay(model: &Model, cfg: &ReplayConfig) -> Result<ReplayReport, Admissi
         if is_arrival {
             arrivals += 1;
             batch_counts[batch][r].0 += 1;
-            // The jump chain fires per *tuple-scaled* rate; whether the
-            // drawn ordered tuple is idle is a Bernoulli coin with the
-            // engine's instantaneous availability.
             let tuple_idle = rng.gen::<f64>() < engine.availability(r);
             let timer = (obs && i.is_multiple_of(64)).then(Instant::now);
             let admitted = if tuple_idle {
@@ -171,36 +311,7 @@ pub fn replay(model: &Model, cfg: &ReplayConfig) -> Result<ReplayReport, Admissi
     if obs {
         xbar_obs::add("replay.events", arrivals + departures);
     }
-
-    let stats = engine.stats();
-    let classes_out = (0..r_count)
-        .map(|r| {
-            let fractions: Vec<f64> = batch_counts
-                .iter()
-                .filter(|b| b[r].0 > 0)
-                .map(|b| b[r].1 as f64 / b[r].0 as f64)
-                .collect();
-            let cs = &stats.per_class[r];
-            ClassReplay {
-                offered: cs.offered,
-                admitted: cs.admitted,
-                denied_capacity: cs.denied_capacity,
-                denied_policy: cs.denied_policy,
-                acceptance: BatchMeans::from_batches(fractions).estimate_at(Confidence::P99),
-                analytic_acceptance: engine.analytic_acceptance(r),
-            }
-        })
-        .collect();
-
-    Ok(ReplayReport {
-        events: arrivals + departures,
-        arrivals,
-        departures,
-        re_anchors: stats.re_anchors,
-        reprice_batches: stats.reprice_batches,
-        reprice_updates: stats.reprice_updates,
-        classes: classes_out,
-    })
+    Ok(finish(&engine, &batch_counts, arrivals, departures))
 }
 
 #[cfg(test)]
@@ -300,6 +411,67 @@ mod tests {
             assert_eq!(x.denied_capacity, y.denied_capacity);
             assert_eq!(x.denied_policy, y.denied_policy);
         }
+    }
+
+    fn fingerprint(rep: &ReplayReport) -> Vec<(u64, u64, u64, u64, u64)> {
+        rep.classes
+            .iter()
+            .map(|c| {
+                (
+                    c.offered,
+                    c.admitted,
+                    c.denied_capacity,
+                    c.denied_policy,
+                    c.acceptance.mean.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_loop_matches_legacy_bit_for_bit() {
+        for (policy, seed) in [
+            (PolicySpec::CompleteSharing, 9u64),
+            (PolicySpec::TrunkReservation(vec![0, 3]), 77),
+            (PolicySpec::ShadowPrice { reserve: 1 }, 11),
+        ] {
+            let cfg = ReplayConfig {
+                events: 30_000,
+                seed,
+                batches: 20,
+                engine: EngineConfig {
+                    policy: policy.clone(),
+                    ..EngineConfig::default()
+                },
+            };
+            let new = replay(&model(), &cfg).unwrap();
+            let old = replay_legacy(&model(), &cfg).unwrap();
+            assert_eq!(new.arrivals, old.arrivals, "{policy}");
+            assert_eq!(new.departures, old.departures, "{policy}");
+            assert_eq!(fingerprint(&new), fingerprint(&old), "{policy}");
+        }
+    }
+
+    #[test]
+    fn decision_stream_is_identical_obs_on_and_obs_off() {
+        // The 64-event timer probe must observe, never perturb: running
+        // inside a scoped obs registry (probes live) has to produce the
+        // same decisions, batch splits, and acceptance bits as running
+        // dark. This pins the satellite fix that re-checks
+        // `xbar_obs::enabled()` at probe time instead of hoisting it.
+        let dark = run(25_000, 42, PolicySpec::TrunkReservation(vec![0, 2]));
+        let registry = std::sync::Arc::new(xbar_obs::Registry::new());
+        let lit = {
+            let _scope = xbar_obs::scope(&registry);
+            assert!(xbar_obs::enabled());
+            run(25_000, 42, PolicySpec::TrunkReservation(vec![0, 2]))
+        };
+        assert_eq!(fingerprint(&dark), fingerprint(&lit));
+        assert_eq!(dark.arrivals, lit.arrivals);
+        assert_eq!(dark.departures, lit.departures);
+        // And the lit run actually exercised the probes.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("replay.events"), Some(25_000));
     }
 
     #[test]

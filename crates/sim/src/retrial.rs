@@ -34,14 +34,28 @@ pub struct RetrialConfig {
 }
 
 /// Outcome of a retrial run.
+///
+/// Accounting invariants (over measured-window calls, checked by tests):
+/// `attempts = carried + blocked_attempts`,
+/// `blocked_attempts = retries + lost`, and
+/// `calls = carried + lost + pending`.
 #[derive(Clone, Debug)]
 pub struct RetrialReport {
     /// Fresh calls generated in the measurement window.
     pub calls: u64,
-    /// Calls eventually carried.
+    /// Calls eventually carried (exactly one successful attempt each).
     pub carried: u64,
     /// Calls lost after exhausting their attempts.
     pub lost: u64,
+    /// Calls still waiting in retry back-off when the run ended —
+    /// "retried out" of the measurement window, neither carried nor lost.
+    pub pending: u64,
+    /// Total attempts made on behalf of measured calls.
+    pub attempts: u64,
+    /// Attempts that found a drawn port busy.
+    pub blocked_attempts: u64,
+    /// Retries scheduled for measured calls (fired or still pending).
+    pub retries: u64,
     /// Final loss probability (lost/calls) with CI.
     pub loss: Estimate,
     /// Per-attempt blocking probability (across all attempts) with CI.
@@ -120,6 +134,7 @@ impl RetrialSim {
             lost: u64,
             attempts: u64,
             blocked_attempts: u64,
+            retries: u64,
         }
         let mut per_batch = vec![Counts::default(); batches];
         let mut next_call = 0u64;
@@ -224,6 +239,9 @@ impl RetrialSim {
                         if ok {
                             call_batch.remove(&id);
                         } else if n_try < cfg.max_attempts {
+                            if let Some(b) = b {
+                                per_batch[b].retries += 1;
+                            }
                             let backoff =
                                 sample_exp(&mut self.rng, cfg.backoff_mean / cfg.class.mu);
                             seq += 1;
@@ -274,6 +292,7 @@ impl RetrialSim {
                     if cfg.max_attempts > 1 {
                         if let Some(b) = b {
                             call_batch.insert(id, b);
+                            per_batch[b].retries += 1;
                         } else {
                             // Warmup calls retry too, but aren't counted.
                             call_batch.insert(id, usize::MAX);
@@ -294,6 +313,11 @@ impl RetrialSim {
         let calls: u64 = per_batch.iter().map(|c| c.calls).sum();
         let lost: u64 = per_batch.iter().map(|c| c.lost).sum();
         let attempts: u64 = per_batch.iter().map(|c| c.attempts).sum();
+        let blocked_attempts: u64 = per_batch.iter().map(|c| c.blocked_attempts).sum();
+        let retries: u64 = per_batch.iter().map(|c| c.retries).sum();
+        // Measured calls still in back-off at `end` were "retried out":
+        // they resolved neither way, so they are not carried.
+        let pending = call_batch.values().filter(|&&b| b != usize::MAX).count() as u64;
         let loss = BatchMeans::from_batches(
             per_batch
                 .iter()
@@ -312,8 +336,12 @@ impl RetrialSim {
         .estimate();
         RetrialReport {
             calls,
-            carried: calls - lost,
+            carried: calls - lost - pending,
             lost,
+            pending,
+            attempts,
+            blocked_attempts,
+            retries,
             loss,
             attempt_blocking,
             mean_attempts: if calls > 0 {
@@ -395,8 +423,38 @@ mod tests {
     #[test]
     fn conservation() {
         let rep = RetrialSim::new(cfg(3), 1).run(100.0, 20_000.0, 10);
-        assert_eq!(rep.calls, rep.carried + rep.lost);
+        assert_eq!(rep.calls, rep.carried + rep.lost + rep.pending);
         assert!(rep.calls > 1000);
+    }
+
+    #[test]
+    fn attempt_accounting_balances_exactly() {
+        // offers = admitted + blocked + retried-out, at attempt
+        // granularity: every measured attempt either carried its call or
+        // was blocked; every blocked attempt either scheduled a retry or
+        // finalised a loss; and calls split into carried/lost/pending.
+        for (attempts_allowed, seed) in [(1u32, 2u64), (2, 3), (4, 4), (8, 5)] {
+            let rep = RetrialSim::new(cfg(attempts_allowed), seed).run(100.0, 15_000.0, 10);
+            assert!(rep.calls > 500, "starved run");
+            assert_eq!(
+                rep.attempts,
+                rep.carried + rep.blocked_attempts,
+                "max_attempts={attempts_allowed}"
+            );
+            assert_eq!(
+                rep.blocked_attempts,
+                rep.retries + rep.lost,
+                "max_attempts={attempts_allowed}"
+            );
+            assert_eq!(rep.calls, rep.carried + rep.lost + rep.pending);
+            if attempts_allowed == 1 {
+                assert_eq!(rep.retries, 0);
+                assert_eq!(rep.pending, 0);
+                assert_eq!(rep.blocked_attempts, rep.lost);
+            } else {
+                assert!(rep.retries > 0, "pressure high enough to retry");
+            }
+        }
     }
 
     #[test]
@@ -405,5 +463,14 @@ mod tests {
         let b = RetrialSim::new(cfg(3), 42).run(50.0, 5_000.0, 5);
         assert_eq!(a.calls, b.calls);
         assert_eq!(a.lost, b.lost);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.blocked_attempts, b.blocked_attempts);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.pending, b.pending);
+        assert_eq!(a.loss.mean.to_bits(), b.loss.mean.to_bits());
+        assert_eq!(
+            a.attempt_blocking.mean.to_bits(),
+            b.attempt_blocking.mean.to_bits()
+        );
     }
 }

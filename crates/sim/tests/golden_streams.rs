@@ -1,0 +1,132 @@
+//! Golden event-stream fingerprints pinning the hot-loop rewrite.
+//!
+//! These counters and f64 bit patterns were captured from the legacy
+//! rebuild-every-event loops (pre-PR 10) at fixed seeds. The incremental
+//! loops must reproduce them *bit for bit*: the resident rate table
+//! re-sums totals in the legacy fold order and keeps the legacy
+//! subtractive selection scan, so any divergence here means the
+//! bit-compatibility contract in `crates/sim/src/rates.rs` broke.
+
+use xbar_admission::{EngineConfig, PolicySpec};
+use xbar_core::{Dims, Model};
+use xbar_sim::{replay, CrossbarSim, ReplayConfig, RunConfig, SimConfig};
+use xbar_traffic::{TrafficClass, Workload};
+
+fn run_crossbar(cfg: SimConfig, seed: u64) -> (u64, Vec<(u64, u64, u64)>, u64) {
+    let mut sim = CrossbarSim::new(cfg, seed);
+    let rep = sim.run(RunConfig {
+        warmup: 50.0,
+        duration: 5_000.0,
+        batches: 10,
+    });
+    let classes = rep
+        .classes
+        .iter()
+        .map(|c| (c.offered, c.blocked, c.blocking.mean.to_bits()))
+        .collect();
+    (rep.events, classes, rep.revenue.to_bits())
+}
+
+#[test]
+fn crossbar_streams_match_the_legacy_loop_bit_for_bit() {
+    let (events, classes, revenue) = run_crossbar(
+        SimConfig::new(4, 4).with_exp_class(TrafficClass::poisson(0.2)),
+        7,
+    );
+    assert_eq!(events, 23_185);
+    assert_eq!(classes, vec![(16_010, 8_834, 0x3fe1_a797_a57e_8c4d)]);
+    assert_eq!(revenue, 0x3ff7_4051_f5f4_5a83);
+
+    let (events, classes, revenue) = run_crossbar(
+        SimConfig::new(6, 8)
+            .with_exp_class(TrafficClass::poisson(0.1))
+            .with_exp_class(TrafficClass::bpp(0.08, 0.04, 1.0))
+            .with_exp_class(TrafficClass::poisson(0.02).with_bandwidth(2)),
+        99,
+    );
+    assert_eq!(events, 235_176);
+    assert_eq!(
+        classes,
+        vec![
+            (24_172, 19_974, 0x3fea_71ab_2959_2aee),
+            (27_802, 23_293, 0x3fea_cf10_5876_ff21),
+            (168_560, 162_625, 0x3fee_df8e_adf3_cbeb),
+        ]
+    );
+    assert_eq!(revenue, 0x4007_9f08_4888_3e7a);
+
+    let (events, classes, revenue) = run_crossbar(
+        SimConfig::new(3, 3).with_exp_class(TrafficClass::bpp(0.64, -0.04, 1.0)),
+        13,
+    );
+    assert_eq!(events, 33_788);
+    assert_eq!(classes, vec![(25_909, 18_029, 0x3fe6_441d_cf70_9624)]);
+    assert_eq!(revenue, 0x3ff8_fd0d_f824_cdb9);
+}
+
+#[test]
+fn replay_streams_match_the_legacy_loop_bit_for_bit() {
+    let w = Workload::new()
+        .with(TrafficClass::poisson(0.1))
+        .with(TrafficClass::bpp(0.08, 0.04, 1.0));
+    let model = Model::new(Dims::new(6, 8), w).unwrap();
+    let run = |policy: PolicySpec, seed: u64| {
+        let rep = replay(
+            &model,
+            &ReplayConfig {
+                events: 50_000,
+                seed,
+                batches: 20,
+                engine: EngineConfig {
+                    policy,
+                    ..EngineConfig::default()
+                },
+            },
+        )
+        .unwrap();
+        let classes: Vec<(u64, u64, u64, u64, u64)> = rep
+            .classes
+            .iter()
+            .map(|c| {
+                (
+                    c.offered,
+                    c.admitted,
+                    c.denied_capacity,
+                    c.denied_policy,
+                    c.acceptance.mean.to_bits(),
+                )
+            })
+            .collect();
+        (rep.arrivals, rep.departures, classes)
+    };
+
+    let (arrivals, departures, classes) = run(PolicySpec::CompleteSharing, 9);
+    assert_eq!((arrivals, departures), (39_362, 10_638));
+    assert_eq!(
+        classes,
+        vec![
+            (15_486, 4_601, 10_885, 0, 0x3fd2_ff3c_e36f_153a),
+            (23_876, 6_040, 17_836, 0, 0x3fd0_30ab_e4f2_dff3),
+        ]
+    );
+
+    let (arrivals, departures, classes) = run(PolicySpec::TrunkReservation(vec![0, 3]), 77);
+    assert_eq!((arrivals, departures), (39_572, 10_428));
+    assert_eq!(
+        classes,
+        vec![
+            (18_088, 6_674, 11_414, 0, 0x3fd7_9c36_1ae6_ef8e),
+            (21_484, 3_758, 13_822, 3_904, 0x3fc6_64bd_4cd0_96dd),
+        ]
+    );
+
+    let (arrivals, departures, classes) = run(PolicySpec::ShadowPrice { reserve: 1 }, 11);
+    assert_eq!((arrivals, departures), (39_396, 10_604));
+    assert_eq!(
+        classes,
+        vec![
+            (15_447, 4_559, 10_888, 0, 0x3fd2_e3fa_8c06_922a),
+            (23_949, 6_047, 17_902, 0, 0x3fd0_2a02_f802_7f56),
+        ]
+    );
+}

@@ -197,6 +197,48 @@ fn insensitivity_to_service_distribution() {
 }
 
 #[test]
+fn retrial_at_retry_rate_zero_matches_complete_sharing_via_harness() {
+    // max_attempts = 1 is exactly blocked-calls-cleared, so the
+    // harness-merged retrial loss must reproduce the analytic blocking of
+    // the same single-class model. Uses the adaptive-stopping harness:
+    // replications accumulate only until the merged CI is tight enough
+    // for the assertion.
+    use xbar_sim::{run_retrial_until_ci, CiTarget, Confidence, RepConfig, RetrialConfig};
+    let class = TrafficClass::poisson(0.05);
+    let model = Model::new(Dims::square(6), Workload::new().with(class.clone())).unwrap();
+    let want = solve(&model, Algorithm::Auto).unwrap().blocking(0);
+    let cfg = RetrialConfig {
+        n1: 6,
+        n2: 6,
+        class,
+        max_attempts: 1,
+        backoff_mean: 0.3,
+    };
+    let run = RunConfig {
+        warmup: 200.0,
+        duration: 8_000.0,
+        batches: 10,
+    };
+    let rep = RepConfig {
+        replications: 0, // ignored by the adaptive path
+        master_seed: 4242,
+        confidence: Confidence::P99,
+    };
+    let merged = run_retrial_until_ci(&cfg, &run, &rep, CiTarget::new(4e-3));
+    assert!(
+        merged.loss.covers_with_slack(want, 5e-3),
+        "loss {:?} ({} replications) vs analytic {want}",
+        merged.loss,
+        merged.replications
+    );
+    // Retry-rate 0: the accounting degenerates to pure loss.
+    assert_eq!(merged.retries, 0);
+    assert_eq!(merged.pending, 0);
+    assert_eq!(merged.attempts, merged.calls);
+    assert_eq!(merged.blocked_attempts, merged.lost);
+}
+
+#[test]
 fn flow_balance_accepted_rate_equals_concurrency_times_mu() {
     // Little's-law style consistency inside the simulator itself:
     // accepted/duration ≈ μ·E.

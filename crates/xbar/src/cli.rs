@@ -22,7 +22,10 @@ use xbar_admission::{AdmissionEngine, AdmissionError, EngineConfig, PolicySpec};
 use xbar_core::solver::resilient::{solve_resilient, ResilientConfig};
 use xbar_core::{solve, Algorithm, Dims, Model, SolveError, SweepSolver};
 use xbar_plan::{DesignSpace, PlanConfig, PlanError, RhoAxis, Slo};
-use xbar_sim::{replay, CrossbarSim, FaultConfig, ReplayConfig, RunConfig, SimConfig};
+use xbar_sim::{
+    replay, run_sim_replications, Confidence, CrossbarSim, FaultConfig, RepConfig, ReplayConfig,
+    RunConfig, SimConfig,
+};
 use xbar_traffic::{TildeClass, TrafficClass, Workload};
 
 /// A CLI failure, carrying the process exit code it maps to.
@@ -87,7 +90,8 @@ fn usage() -> String {
      [--resilient] [--cross-check-tol <tol>] [--threads <N>] [--metrics <path|->] \
      --class <spec> [--class <spec> ...]\n  \
      xbar sim   --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
-     [--duration <t>] [--warmup <t>] [--seed <u64>] [--metrics <path|->] \
+     [--duration <t>] [--warmup <t>] [--seed <u64>] [--replications <n>] \
+     [--threads <N>] [--metrics <path|->] \
      [--port-mtbf <t> --port-mttr <t>] [--fail-inputs <k>] [--fail-outputs <k>]\n  \
      xbar admit --n <N> | --n1 <N1> --n2 <N2> --class <spec> [...] \
      [--policy cs|trunk:t0,t1,...|shadow[:reserve=N]] [--replay-events <n>] \
@@ -242,6 +246,11 @@ pub struct Args {
     pub warmup: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Independent replications for `sim` (`0` = one classic single run).
+    /// With `n > 0` the run fans `n` seed-derived replications over the
+    /// worker pool and reports merged across-replication statistics that
+    /// are bitwise identical for any `--threads`/`XBAR_THREADS`.
+    pub replications: u64,
     /// Mean time between failures per working port (`0`/absent = never).
     pub port_mtbf: f64,
     /// Mean time to repair per failed port (`0`/absent = never).
@@ -425,6 +434,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut duration = 100_000.0f64;
     let mut warmup = 1_000.0f64;
     let mut seed = 42u64;
+    let mut replications = 0u64;
     let mut port_mtbf = 0.0f64;
     let mut port_mttr = 0.0f64;
     let mut fail_inputs = 0u32;
@@ -496,6 +506,11 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--replications" => {
+                replications = value()?
+                    .parse()
+                    .map_err(|e| format!("--replications: {e}"))?;
+            }
             "--port-mtbf" => {
                 port_mtbf = value()?.parse().map_err(|e| format!("--port-mtbf: {e}"))?;
                 if port_mtbf.is_nan() || port_mtbf < 0.0 {
@@ -702,6 +717,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         duration,
         warmup,
         seed,
+        replications,
         port_mtbf,
         port_mttr,
         fail_inputs,
@@ -1115,6 +1131,9 @@ pub fn run_sim(args: &Args) -> Result<(), CliError> {
     for class in model.workload().classes() {
         cfg = cfg.with_exp_class(class.clone());
     }
+    if args.replications > 0 {
+        return run_sim_replicated(args, cfg);
+    }
     let mut sim =
         CrossbarSim::try_new(cfg, args.seed).map_err(|e| CliError::SimConfig(e.to_string()))?;
     let rep = sim.run(RunConfig {
@@ -1158,6 +1177,50 @@ pub fn run_sim(args: &Args) -> Result<(), CliError> {
         }
     }
     println!("revenue rate = {:.6}", rep.revenue);
+    Ok(())
+}
+
+/// The `sim --replications <n>` path: fan `n` seed-derived replications
+/// over the worker pool (the PR 10 harness) and print merged
+/// across-replication statistics. Every number printed here is bitwise
+/// identical for any `--threads`/`XBAR_THREADS` — CI diffs the t=1 and
+/// t=4 outputs byte for byte.
+fn run_sim_replicated(args: &Args, cfg: SimConfig) -> Result<(), CliError> {
+    let run = RunConfig {
+        warmup: args.warmup,
+        duration: args.duration,
+        batches: 20,
+    };
+    let rep_cfg = RepConfig {
+        replications: args.replications,
+        master_seed: args.seed,
+        confidence: Confidence::P99,
+    };
+    let merged = run_sim_replications(&cfg, &run, &rep_cfg)
+        .map_err(|e| CliError::SimConfig(e.to_string()))?;
+    println!(
+        "simulated {}x{} for t = {} x {} replications ({} events, master seed {})",
+        args.n1, args.n2, args.duration, merged.replications, merged.events, args.seed
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>22} {:>22}",
+        "class", "offered", "blocked", "blocking (99% CI)", "availability (99% CI)"
+    );
+    for (r, c) in merged.classes.iter().enumerate() {
+        println!(
+            "{r:>6} {:>10} {:>10} {:>14.6} ±{:.6} {:>14.6} ±{:.6}",
+            c.offered,
+            c.blocked,
+            c.blocking.mean,
+            c.blocking.half_width,
+            c.availability.mean,
+            c.availability.half_width,
+        );
+    }
+    println!(
+        "revenue rate = {:.6} ±{:.6}",
+        merged.revenue.mean, merged.revenue.half_width
+    );
     Ok(())
 }
 
@@ -1642,6 +1705,21 @@ mod tests {
         assert_eq!((a.n1, a.n2), (8, 12));
         assert_eq!(a.duration, 500.0);
         assert_eq!(a.seed, 9);
+        // Default: the classic single-run path.
+        assert_eq!(a.replications, 0);
+    }
+
+    #[test]
+    fn parses_and_runs_replicated_sim() {
+        let a = parse_args(&argv(
+            "sim --n 4 --class poisson:rho=0.1 --duration 200 --warmup 10 \
+             --seed 5 --replications 3",
+        ))
+        .unwrap();
+        assert_eq!(a.replications, 3);
+        assert!(run_sim(&a).is_ok());
+        assert!(parse_args(&argv("sim --n 4 --class poisson:rho=1 --replications -1")).is_err());
+        assert!(parse_args(&argv("sim --n 4 --class poisson:rho=1 --replications")).is_err());
     }
 
     #[test]

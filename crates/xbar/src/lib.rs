@@ -58,5 +58,8 @@ pub use xbar_core::{
     solve, solve_resilient, Algorithm, Dims, Model, ModelError, ResilientConfig, ResilientSolution,
     Solution, SolveReport, SwitchMeasures,
 };
-pub use xbar_sim::{CrossbarSim, FaultConfig, RunConfig, ServiceDist, SimConfig, SimError};
+pub use xbar_sim::{
+    run_replications, run_sim_replications, run_sim_until_ci, run_until_ci, CiTarget, CrossbarSim,
+    FaultConfig, RepConfig, RunConfig, ServiceDist, SimConfig, SimError, SimReplications,
+};
 pub use xbar_traffic::{Burstiness, TildeClass, TrafficClass, Workload};

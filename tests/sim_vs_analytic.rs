@@ -9,11 +9,20 @@
 //! blocked/offered ratio estimates; for the non-Poisson classes the two
 //! differ measurably, so covering the right one is itself a regression
 //! check on the measure plumbing.
+//!
+//! Since PR 10 the coverage test runs on the parallel replication
+//! harness with adaptive stopping ([`xbar::run_sim_until_ci`]): short
+//! independent replications accumulate only until the merged
+//! across-replication interval is tight enough for the assertion, which
+//! cuts wall-clock versus the old single 60k-duration path while keeping
+//! the run fully deterministic (per-replication seeds derive from
+//! `(master_seed, index)` alone, so thread count cannot change results).
 
 use std::sync::Arc;
 
 use xbar::{
-    solve, Algorithm, CrossbarSim, Dims, Model, RunConfig, SimConfig, TrafficClass, Workload,
+    run_sim_replications, run_sim_until_ci, solve, Algorithm, CiTarget, CrossbarSim, Dims, Model,
+    RepConfig, RunConfig, SimConfig, TrafficClass, Workload,
 };
 
 struct Scenario {
@@ -54,39 +63,67 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-fn run_scenario(sc: &Scenario, duration: f64) -> (f64, xbar::sim::SimReport) {
+fn analytic_call_blocking(sc: &Scenario) -> f64 {
     let model = Model::new(
         Dims::new(sc.n1, sc.n2),
         Workload::new().with(sc.class.clone()),
     )
     .expect("valid scenario model");
     let sol = solve(&model, Algorithm::Auto).expect("solvable");
-    let analytic_call_blocking = 1.0 - sol.call_acceptance(0);
+    1.0 - sol.call_acceptance(0)
+}
 
-    let cfg = SimConfig::new(sc.n1, sc.n2).with_exp_class(sc.class.clone());
+fn sim_config(sc: &Scenario) -> SimConfig {
+    SimConfig::new(sc.n1, sc.n2).with_exp_class(sc.class.clone())
+}
+
+fn run_scenario(sc: &Scenario, duration: f64) -> (f64, xbar::sim::SimReport) {
+    let cfg = sim_config(sc);
     let mut sim = CrossbarSim::new(cfg, sc.seed);
     let rep = sim.run(RunConfig {
         warmup: duration / 50.0,
         duration,
         batches: 20,
     });
-    (analytic_call_blocking, rep)
+    (analytic_call_blocking(sc), rep)
 }
 
 #[test]
 fn per_class_blocking_lands_in_the_99_percent_ci() {
+    // Replications of 8k time units each, grown adaptively until the
+    // merged 99% blocking interval is tight — replaces the fixed single
+    // 60k-duration run of the pre-harness version of this test.
+    let run = RunConfig {
+        warmup: 200.0,
+        duration: 8_000.0,
+        batches: 10,
+    };
     for sc in scenarios() {
-        let (analytic, rep) = run_scenario(&sc, 60_000.0);
-        let est = &rep.classes[0].blocking_99;
+        let analytic = analytic_call_blocking(&sc);
+        let rep = RepConfig {
+            replications: 0, // ignored by the adaptive path
+            master_seed: sc.seed,
+            confidence: xbar::sim::Confidence::P99,
+        };
+        let merged = run_sim_until_ci(&sim_config(&sc), &run, &rep, CiTarget::new(8e-3))
+            .expect("valid scenario sim");
+        let est = &merged.classes[0].blocking;
         assert!(
             est.covers(analytic),
-            "{}: analytic {analytic} outside sim 99% CI {} ± {}",
+            "{}: analytic {analytic} outside merged 99% CI {} ± {} ({} replications)",
             sc.label,
             est.mean,
-            est.half_width
+            est.half_width,
+            merged.replications
         );
-        // The 99% interval must really be the wider one.
-        assert!(est.half_width >= rep.classes[0].blocking.half_width);
+        // Adaptive stopping really stopped on the target (or the cap).
+        assert!(
+            est.half_width <= 8e-3 || merged.replications == 64,
+            "{}: stopped at width {} after {} replications",
+            sc.label,
+            est.half_width,
+            merged.replications
+        );
     }
 }
 
@@ -127,6 +164,45 @@ fn obs_accounting_balances_exactly_against_the_report() {
         assert_eq!(counter("sim.runs"), 1, "{}", sc.label);
         assert!(counter("sim.events") > 0, "{}", sc.label);
     }
+}
+
+#[test]
+fn replicated_obs_accounting_balances_across_the_merge() {
+    // Same ledger invariant, through the replication harness: workers
+    // re-install the caller's scope, so counters from every replication
+    // land here, and the harness adds its own sim.rep.* series.
+    let sc = &scenarios()[1]; // poisson-square
+    let run = RunConfig {
+        warmup: 100.0,
+        duration: 2_000.0,
+        batches: 10,
+    };
+    let rep = RepConfig {
+        replications: 3,
+        master_seed: sc.seed,
+        confidence: xbar::sim::Confidence::P99,
+    };
+    let reg = Arc::new(xbar::obs::Registry::new());
+    let merged = {
+        let _g = xbar::obs::scope(&reg);
+        run_sim_replications(&sim_config(sc), &run, &rep).expect("valid scenario sim")
+    };
+    let snap = reg.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+
+    assert_eq!(counter("sim.runs"), 3);
+    assert_eq!(counter("sim.rep.runs"), 1);
+    assert_eq!(counter("sim.rep.replications"), 3);
+    assert_eq!(counter("sim.rep.rounds"), 1);
+    assert_eq!(counter("sim.rep.events"), merged.events);
+    // The per-event ledger still balances exactly against the merged sums.
+    assert_eq!(counter("sim.offers"), merged.classes[0].offered);
+    assert_eq!(counter("sim.admitted"), merged.classes[0].accepted);
+    assert_eq!(counter("sim.blocked.capacity"), merged.classes[0].blocked);
+    assert_eq!(
+        counter("sim.offers"),
+        counter("sim.admitted") + counter("sim.blocked.capacity") + counter("sim.blocked.fault"),
+    );
 }
 
 #[test]
